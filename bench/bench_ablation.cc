@@ -1,0 +1,136 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   A1 — the dynamic-programming cache of algorithm `primary`
+//        (Section 6.5 "full version") on/off;
+//   A2 — the incremental algorithm's k schedule (initial k, additive
+//        delta vs geometric growth), Section 7.4.
+// Prints one table per ablation; rows are means over a fixed query set.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/fig7_common.h"
+#include "gen/query_generator.h"
+
+namespace approxql::bench {
+namespace {
+
+struct QuerySet {
+  std::vector<gen::GeneratedQuery> queries;
+};
+
+QuerySet MakeQueries(const engine::Database& db, std::string_view pattern,
+                     size_t renamings, size_t count) {
+  gen::QueryGenOptions options;
+  options.seed = 4242;
+  options.renamings_per_label = renamings;
+  gen::QueryGenerator qgen(db, options);
+  QuerySet set;
+  for (size_t i = 0; i < count; ++i) {
+    auto generated = qgen.Generate(pattern);
+    APPROXQL_CHECK(generated.ok());
+    set.queries.push_back(std::move(generated).value());
+  }
+  return set;
+}
+
+double MeanMs(const engine::Database& db, const QuerySet& set,
+              const engine::ExecOptions& base_options) {
+  double total = 0;
+  for (const auto& generated : set.queries) {
+    engine::ExecOptions options = base_options;
+    options.cost_model = &generated.cost_model;
+    util::WallTimer timer;
+    auto answers = db.Execute(generated.query, options);
+    total += timer.ElapsedSeconds() * 1000.0;
+    APPROXQL_CHECK(answers.ok());
+  }
+  return total / static_cast<double>(set.queries.size());
+}
+
+void AblationA1DpCache(const engine::Database& db) {
+  std::printf("=== A1: DP cache in algorithm primary (direct eval) ===\n");
+  std::printf("%-10s %-12s %12s %12s\n", "renamings", "pattern", "cache-ms",
+              "nocache-ms");
+  const std::pair<const char*, std::string_view> patterns[] = {
+      {"pattern2", gen::kPattern2},
+      {"pattern3", gen::kPattern3},
+  };
+  for (size_t renamings : {size_t{0}, size_t{5}, size_t{10}}) {
+    for (const auto& [name, pattern] : patterns) {
+      QuerySet set = MakeQueries(db, pattern, renamings, 5);
+      engine::ExecOptions with_cache;
+      with_cache.strategy = engine::Strategy::kDirect;
+      with_cache.n = SIZE_MAX;
+      engine::ExecOptions no_cache = with_cache;
+      no_cache.direct.use_cache = false;
+      std::printf("%-10zu %-12s %12.3f %12.3f\n", renamings, name,
+                  MeanMs(db, set, with_cache), MeanMs(db, set, no_cache));
+    }
+  }
+  std::printf("\n");
+}
+
+void AblationA2KSchedule(const engine::Database& db) {
+  std::printf("=== A2: incremental k schedule (schema eval, pattern 2) ===\n");
+  std::printf("%-22s %-8s %12s %12s %10s\n", "schedule", "n", "mean-ms",
+              "rounds", "final-k");
+  struct Schedule {
+    const char* name;
+    size_t initial_k;
+    size_t delta_k;
+    double growth;
+  };
+  const Schedule schedules[] = {
+      {"k0=4  +4 (paper)", 4, 4, 1.0},
+      {"k0=16 +16 (paper)", 16, 16, 1.0},
+      {"k0=64 +64 (paper)", 64, 64, 1.0},
+      {"k0=16 x2", 16, 16, 2.0},
+      {"k0=64 x2", 64, 64, 2.0},
+  };
+  QuerySet set = MakeQueries(db, gen::kPattern2, 5, 3);
+  for (const auto& schedule : schedules) {
+    for (size_t n : {size_t{10}, size_t{500}}) {
+      engine::ExecOptions options;
+      options.strategy = engine::Strategy::kSchema;
+      options.n = n;
+      options.schema.initial_k = schedule.initial_k;
+      options.schema.delta_k = schedule.delta_k;
+      options.schema.growth = schedule.growth;
+      double total_rounds = 0;
+      double total_k = 0;
+      double total_ms = 0;
+      for (const auto& generated : set.queries) {
+        engine::ExecOptions per_query = options;
+        per_query.cost_model = &generated.cost_model;
+        engine::SchemaEvalStats stats;
+        per_query.schema_stats_out = &stats;
+        util::WallTimer timer;
+        auto answers = db.Execute(generated.query, per_query);
+        total_ms += timer.ElapsedSeconds() * 1000.0;
+        APPROXQL_CHECK(answers.ok());
+        total_rounds += static_cast<double>(stats.rounds);
+        total_k += static_cast<double>(stats.final_k);
+      }
+      double queries = static_cast<double>(set.queries.size());
+      std::printf("%-22s %-8zu %12.3f %12.1f %10.0f\n", schedule.name, n,
+                  total_ms / queries, total_rounds / queries,
+                  total_k / queries);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace approxql::bench
+
+int main() {
+  using namespace approxql::bench;
+  approxql::util::SetLogLevel(approxql::util::LogLevel::kError);
+  approxql::engine::Database db = BuildBenchCollection();
+  auto stats = db.GetStats();
+  std::printf("collection: %zu elements, schema %zu\n\n", stats.struct_nodes,
+              stats.schema_nodes);
+  AblationA1DpCache(db);
+  AblationA2KSchedule(db);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 7(a): evaluation times of query pattern 1, the
+// "simple path query" name[name[name[term]]].
+#include "bench/fig7_common.h"
+#include "gen/query_generator.h"
+
+int main() {
+  return approxql::bench::RunFig7("a", "simple path query",
+                                  approxql::gen::kPattern1);
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 7(b): evaluation times of query pattern 2, the
+// "small Boolean query" name[name[term and (term or term)]].
+#include "bench/fig7_common.h"
+#include "gen/query_generator.h"
+
+int main() {
+  return approxql::bench::RunFig7("b", "small Boolean query",
+                                  approxql::gen::kPattern2);
+}

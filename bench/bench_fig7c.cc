@@ -1,0 +1,9 @@
+// Reproduces Figure 7(c): evaluation times of query pattern 3, the
+// "large Boolean query".
+#include "bench/fig7_common.h"
+#include "gen/query_generator.h"
+
+int main() {
+  return approxql::bench::RunFig7("c", "large Boolean query",
+                                  approxql::gen::kPattern3);
+}

@@ -1,0 +1,295 @@
+// Ablation A3: micro-benchmarks of the building blocks — list algebra
+// throughput (join/intersect/union over synthetic postings), varint
+// posting codec, B+tree point operations, XML parse throughput, Zipf
+// sampling, index construction. These are the costs the paper's O(s*l)
+// analysis is made of.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "engine/list_ops.h"
+#include "gen/xml_generator.h"
+#include "index/label_index.h"
+#include "index/stored_label_index.h"
+#include "schema/schema.h"
+#include "storage/bptree.h"
+#include "storage/mem_kv_store.h"
+#include "util/random.h"
+#include "util/varint.h"
+#include "util/zipf.h"
+#include "xml/xml_dom.h"
+
+namespace approxql {
+namespace {
+
+// --- list algebra ----------------------------------------------------------
+
+/// Builds a synthetic encoded "tree": a forest of chains so that
+/// ancestor/descendant relations exist between the two lists.
+struct SyntheticLists {
+  std::vector<doc::DataNode> nodes;
+  engine::EntryList ancestors;
+  engine::EntryList descendants;
+};
+
+SyntheticLists MakeLists(size_t count) {
+  SyntheticLists out;
+  util::Rng rng(99);
+  out.nodes.resize(count * 3);
+  // Groups of three nodes: ancestor -> middle -> descendant.
+  for (size_t g = 0; g < count; ++g) {
+    doc::NodeId base = static_cast<doc::NodeId>(3 * g);
+    for (int i = 0; i < 3; ++i) {
+      auto& n = out.nodes[base + static_cast<doc::NodeId>(i)];
+      n.parent = i == 0 ? doc::kInvalidNode : base + static_cast<doc::NodeId>(i) - 1;
+      n.bound = base + 2;
+      n.inscost = 1;
+      n.pathcost = i;
+    }
+    engine::Entry ancestor;
+    ancestor.pre = base;
+    ancestor.bound = base + 2;
+    ancestor.pathcost = 0;
+    ancestor.inscost = 1;
+    ancestor.cost_any = 0;
+    out.ancestors.push_back(ancestor);
+    engine::Entry descendant;
+    descendant.pre = base + 2;
+    descendant.bound = base + 2;
+    descendant.pathcost = 2;
+    descendant.inscost = 0;
+    descendant.cost_any = static_cast<cost::Cost>(rng.Uniform(5));
+    descendant.cost_leaf = descendant.cost_any;
+    out.descendants.push_back(descendant);
+  }
+  return out;
+}
+
+void BM_Join(benchmark::State& state) {
+  SyntheticLists lists = MakeLists(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::Join(lists.ancestors, lists.descendants, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Join)->Range(1 << 10, 1 << 18);
+
+void BM_OuterJoin(benchmark::State& state) {
+  SyntheticLists lists = MakeLists(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::OuterJoin(lists.ancestors, lists.descendants, 0, 5));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OuterJoin)->Range(1 << 10, 1 << 18);
+
+void BM_Intersect(benchmark::State& state) {
+  SyntheticLists lists = MakeLists(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::Intersect(lists.ancestors, lists.ancestors, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Intersect)->Range(1 << 10, 1 << 18);
+
+void BM_Union(benchmark::State& state) {
+  SyntheticLists lists = MakeLists(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::Union(lists.ancestors, lists.descendants, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Union)->Range(1 << 10, 1 << 18);
+
+// --- posting codec ---------------------------------------------------------
+
+void BM_PostingSerialize(benchmark::State& state) {
+  index::Posting posting;
+  util::Rng rng(7);
+  doc::NodeId id = 0;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    id += 1 + static_cast<doc::NodeId>(rng.Uniform(100));
+    posting.push_back(id);
+  }
+  for (auto _ : state) {
+    std::string out;
+    index::SerializePosting(posting, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PostingSerialize)->Range(1 << 10, 1 << 16);
+
+void BM_PostingDeserialize(benchmark::State& state) {
+  index::Posting posting;
+  util::Rng rng(7);
+  doc::NodeId id = 0;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    id += 1 + static_cast<doc::NodeId>(rng.Uniform(100));
+    posting.push_back(id);
+  }
+  std::string blob;
+  index::SerializePosting(posting, &blob);
+  for (auto _ : state) {
+    auto decoded = index::DeserializePosting(blob);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PostingDeserialize)->Range(1 << 10, 1 << 16);
+
+// --- storage ---------------------------------------------------------------
+
+void BM_BPlusTreePut(benchmark::State& state) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "approxql_bench_bptree.db")
+                         .string();
+  std::filesystem::remove(path);
+  auto store = storage::DiskKvStore::Open(path, true);
+  APPROXQL_CHECK(store.ok());
+  util::Rng rng(13);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.Next() % 1000000);
+    std::string value = "value" + std::to_string(i++);
+    benchmark::DoNotOptimize((*store)->Put(key, value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  (*store).reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_BPlusTreePut);
+
+void BM_BPlusTreeGet(benchmark::State& state) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "approxql_bench_bptree_get.db")
+                         .string();
+  std::filesystem::remove(path);
+  auto store = storage::DiskKvStore::Open(path, true);
+  APPROXQL_CHECK(store.ok());
+  for (int i = 0; i < 100000; ++i) {
+    APPROXQL_CHECK((*store)->Put("key" + std::to_string(i), "v").ok());
+  }
+  util::Rng rng(17);
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.Uniform(100000));
+    benchmark::DoNotOptimize((*store)->Get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+  (*store).reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_BPlusTreeGet);
+
+void BM_StoredPostingFetch(benchmark::State& state) {
+  // Cost of the paper-style deployment: postings decoded from the
+  // B+tree store on first touch (cache cleared per iteration by
+  // re-creating the source).
+  gen::XmlGenOptions gen_options;
+  gen_options.seed = 23;
+  gen_options.total_elements = 20000;
+  gen::XmlGenerator generator(gen_options);
+  auto tree = generator.GenerateTree(cost::CostModel());
+  APPROXQL_CHECK(tree.ok());
+  index::LabelIndex memory = index::LabelIndex::BuildFromTree(*tree);
+  storage::MemKvStore store;
+  APPROXQL_CHECK(memory.PersistTo(&store, "ix#").ok());
+  std::vector<doc::LabelId> labels;
+  for (const auto& [label, posting] : memory.postings(NodeType::kText)) {
+    (void)posting;
+    labels.push_back(label);
+  }
+  util::Rng rng(3);
+  for (auto _ : state) {
+    index::StoredLabelIndex stored(&store, "ix#");
+    for (int i = 0; i < 16; ++i) {
+      benchmark::DoNotOptimize(
+          stored.Fetch(NodeType::kText, labels[rng.Uniform(labels.size())]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_StoredPostingFetch);
+
+void BM_MemKvGet(benchmark::State& state) {
+  storage::MemKvStore store;
+  for (int i = 0; i < 100000; ++i) {
+    APPROXQL_CHECK(store.Put("key" + std::to_string(i), "v").ok());
+  }
+  util::Rng rng(17);
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.Uniform(100000));
+    benchmark::DoNotOptimize(store.Get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemKvGet);
+
+// --- XML & generators ------------------------------------------------------
+
+void BM_XmlParse(benchmark::State& state) {
+  gen::XmlGenOptions options;
+  options.seed = 5;
+  options.elements_per_document = 500;
+  options.total_elements = 500;
+  gen::XmlGenerator generator(options);
+  std::string xml = generator.GenerateDocumentXml();
+  for (auto _ : state) {
+    auto doc = xml::ParseXmlDocument(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_ZipfSample(benchmark::State& state) {
+  util::ZipfDistribution zipf(100000, 1.0);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_IndexBuild(benchmark::State& state) {
+  gen::XmlGenOptions options;
+  options.seed = 9;
+  options.total_elements = static_cast<size_t>(state.range(0));
+  gen::XmlGenerator generator(options);
+  auto tree = generator.GenerateTree(cost::CostModel());
+  APPROXQL_CHECK(tree.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index::LabelIndex::BuildFromTree(*tree));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tree->size()));
+}
+BENCHMARK(BM_IndexBuild)->Arg(10000)->Arg(50000);
+
+void BM_SchemaBuild(benchmark::State& state) {
+  gen::XmlGenOptions options;
+  options.seed = 9;
+  options.total_elements = static_cast<size_t>(state.range(0));
+  gen::XmlGenerator generator(options);
+  auto tree = generator.GenerateTree(cost::CostModel());
+  APPROXQL_CHECK(tree.ok());
+  cost::CostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schema::Schema::Build(&*tree, model));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tree->size()));
+}
+BENCHMARK(BM_SchemaBuild)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace approxql
+
+BENCHMARK_MAIN();

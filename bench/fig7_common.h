@@ -1,0 +1,131 @@
+// Shared harness for reproducing Figure 7 (a/b/c) of the paper: mean
+// evaluation time of 10 generated queries per query pattern, for
+// renamings-per-label in {0, 5, 10}, n in {1, 10, 100, 1000, all}, and
+// both algorithms ("direct" = Section 6 pruning, "schema" = Section 7
+// incremental). The paper's testbed was a 450 MHz Pentium III over a
+// 1M-element collection; the default here is a scaled-down collection —
+// absolute times differ, the series shapes are what EXPERIMENTS.md
+// compares. Scale with APPROXQL_BENCH_ELEMENTS (default 60000).
+#ifndef APPROXQL_BENCH_FIG7_COMMON_H_
+#define APPROXQL_BENCH_FIG7_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+#include "util/timer.h"
+
+namespace approxql::bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  size_t parsed = std::strtoull(value, nullptr, 10);
+  return parsed > 0 ? parsed : fallback;
+}
+
+inline engine::Database BuildBenchCollection() {
+  gen::XmlGenOptions options;
+  options.seed = 20020314;  // EDBT 2002
+  options.total_elements = EnvSize("APPROXQL_BENCH_ELEMENTS", 60000);
+  // The paper's ratios: 100 names and 10 words/element; the vocabulary
+  // scales with the collection (paper: 100k terms per 1M elements).
+  options.element_names = 100;
+  options.vocabulary = std::max<size_t>(options.total_elements / 10, 100);
+  options.words_per_element = 10.0;
+  options.zipf_theta = 1.0;
+  options.template_nodes = 150;
+  options.elements_per_document = EnvSize("APPROXQL_BENCH_DOC_ELEMENTS", 100);
+
+  gen::XmlGenerator generator(options);
+  auto tree = generator.GenerateTree(cost::CostModel());
+  APPROXQL_CHECK(tree.ok()) << tree.status();
+  auto db = engine::Database::FromDataTree(std::move(tree).value(),
+                                           cost::CostModel());
+  APPROXQL_CHECK(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+/// Runs the full sweep for one pattern and prints the figure's series.
+inline int RunFig7(const char* figure, const char* pattern_name,
+                   std::string_view pattern) {
+  // k-cap warnings are folded into the "capped" column instead.
+  util::SetLogLevel(util::LogLevel::kError);
+  std::printf("=== Figure 7(%s): %s  pattern: %s ===\n", figure, pattern_name,
+              std::string(pattern).c_str());
+  util::WallTimer build_timer;
+  engine::Database db = BuildBenchCollection();
+  auto stats = db.GetStats();
+  std::printf(
+      "collection: %zu elements, %zu words, %zu labels, schema %zu "
+      "(built in %.1fs)\n",
+      stats.struct_nodes, stats.text_nodes, stats.distinct_labels,
+      stats.schema_nodes, build_timer.ElapsedSeconds());
+
+  const size_t kQueriesPerPoint = EnvSize("APPROXQL_BENCH_QUERIES", 10);
+  const size_t kRenamings[] = {0, 5, 10};
+  const size_t kNs[] = {1, 10, 100, 1000, SIZE_MAX};
+
+  // "capped" counts queries whose schema evaluation stopped at the k
+  // bound before finding n results (EXPERIMENTS.md discusses this —
+  // it marks the regime where the paper's own measurements show the
+  // schema strategy degrading).
+  std::printf("%-10s %-8s %-9s %12s %12s %8s\n", "renamings", "n", "",
+              "mean-ms", "results", "capped");
+  for (size_t renamings : kRenamings) {
+    // Generate the query set once per renaming level (paper: one set of
+    // 10 queries per pattern and setting).
+    gen::QueryGenOptions q_options;
+    q_options.seed = 1000 + renamings;
+    q_options.renamings_per_label = renamings;
+    gen::QueryGenerator qgen(db, q_options);
+    std::vector<gen::GeneratedQuery> queries;
+    for (size_t i = 0; i < kQueriesPerPoint; ++i) {
+      auto generated = qgen.Generate(pattern);
+      APPROXQL_CHECK(generated.ok()) << generated.status();
+      queries.push_back(std::move(generated).value());
+    }
+    for (size_t n : kNs) {
+      for (engine::Strategy strategy :
+           {engine::Strategy::kDirect, engine::Strategy::kSchema}) {
+        engine::ExecOptions options;
+        options.strategy = strategy;
+        options.n = n;
+        options.schema.initial_k = 16;
+        options.schema.delta_k = 16;
+        options.schema.growth = 2.0;  // bounds rounds for n = all
+        double total_ms = 0;
+        size_t total_results = 0;
+        size_t capped = 0;
+        for (const auto& generated : queries) {
+          options.cost_model = &generated.cost_model;
+          engine::SchemaEvalStats stats;
+          options.schema_stats_out = &stats;
+          util::WallTimer timer;
+          auto answers = db.Execute(generated.query, options);
+          total_ms += timer.ElapsedSeconds() * 1000.0;
+          APPROXQL_CHECK(answers.ok()) << answers.status();
+          total_results += answers->size();
+          capped += stats.k_capped ? 1 : 0;
+        }
+        std::printf("%-10zu %-8s %-9s %12.3f %12.1f %8zu\n", renamings,
+                    n == SIZE_MAX ? "all" : std::to_string(n).c_str(),
+                    strategy == engine::Strategy::kDirect ? "direct"
+                                                          : "schema",
+                    total_ms / static_cast<double>(queries.size()),
+                    static_cast<double>(total_results) /
+                        static_cast<double>(queries.size()),
+                    capped);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace approxql::bench
+
+#endif  // APPROXQL_BENCH_FIG7_COMMON_H_

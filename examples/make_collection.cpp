@@ -1,0 +1,106 @@
+// Generates a synthetic XML collection (paper Section 8.1 parameters)
+// plus a matching random cost table on disk, ready for approxql_cli:
+//
+//   $ ./make_collection out_dir [elements] [names] [vocabulary]
+//   $ ./approxql_cli --xml out_dir/doc0.xml ... --costs out_dir/costs.txt
+//
+// Also prints a few example queries whose labels exist in the data.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "engine/database.h"
+#include "gen/query_file.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+
+using approxql::cost::CostModel;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: make_collection OUT_DIR [elements] [names] [vocab]\n");
+    return 2;
+  }
+  std::filesystem::path out_dir = argv[1];
+  approxql::gen::XmlGenOptions options;
+  options.seed = 4711;
+  options.total_elements =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5000;
+  options.element_names = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 50;
+  options.vocabulary = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1000;
+  options.words_per_element = 8.0;
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  approxql::gen::XmlGenerator generator(options);
+  size_t written_elements = 0;
+  int doc_index = 0;
+  std::vector<std::string> paths;
+  while (written_elements < options.total_elements) {
+    std::string xml = generator.GenerateDocumentXml();
+    // Rough element count: one '<' per start tag, half of all tags.
+    size_t tags = 0;
+    for (char c : xml) tags += c == '<' ? 1 : 0;
+    written_elements += tags / 2;
+    std::filesystem::path path =
+        out_dir / ("doc" + std::to_string(doc_index++) + ".xml");
+    std::ofstream out(path, std::ios::binary);
+    out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" << xml << "\n";
+    paths.push_back(path.string());
+    if (doc_index > 10000) break;  // safety
+  }
+
+  // Build an in-memory database once so the query generator can sample
+  // real labels, then emit a cost table and example queries.
+  std::vector<std::string> docs;
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    docs.push_back(std::move(content));
+  }
+  auto db = approxql::engine::Database::BuildFromXml(docs, CostModel());
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  approxql::gen::QueryGenOptions q_options;
+  q_options.seed = 99;
+  q_options.renamings_per_label = 5;
+  approxql::gen::QueryGenerator qgen(*db, q_options);
+  auto generated = qgen.Generate(approxql::gen::kPattern2);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+    return 1;
+  }
+  {
+    std::ofstream costs(out_dir / "costs.txt");
+    costs << generated->cost_model.ToConfigString();
+  }
+  {
+    std::ofstream query_file(out_dir / "query.aql");
+    query_file << approxql::gen::WriteQueryFile(*generated);
+  }
+
+  auto stats = db->GetStats();
+  std::printf("wrote %d documents (%zu nodes, schema %zu) to %s\n", doc_index,
+              stats.nodes, stats.schema_nodes, out_dir.c_str());
+  std::printf("cost table: %s\n", (out_dir / "costs.txt").c_str());
+  std::printf("example query:\n  %s\n", generated->text.c_str());
+  std::printf("try:\n  approxql_cli");
+  for (int i = 0; i < std::min(doc_index, 3); ++i) {
+    std::printf(" --xml %s/doc%d.xml", out_dir.c_str(), i);
+  }
+  std::printf(" --costs %s/costs.txt --query '%s'\n", out_dir.c_str(),
+              generated->text.c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a database from XML strings, run an approximate
+// query with both evaluation strategies, and materialize the results.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+using approxql::NodeType;
+using approxql::cost::CostModel;
+using approxql::engine::Database;
+using approxql::engine::ExecOptions;
+using approxql::engine::Strategy;
+
+int main() {
+  // 1. Some XML documents (a tiny CD catalog).
+  std::vector<std::string> documents = {
+      "<catalog><cd><title>Piano Concerto No. 2</title>"
+      "<composer>Rachmaninov</composer></cd></catalog>",
+      "<catalog><cd><title>Cello Sonata</title>"
+      "<composer>Chopin</composer></cd></catalog>",
+      "<catalog><mc><title>Piano Sonata</title>"
+      "<performer>Ashkenazy</performer></mc></catalog>",
+  };
+
+  // 2. A cost model: which query transformations are allowed, and what
+  //    they cost. Lower total cost = better result.
+  CostModel model;
+  model.SetRenameCost(NodeType::kStruct, "cd", "mc", 4);
+  model.SetRenameCost(NodeType::kText, "concerto", "sonata", 3);
+  model.SetDeleteCost(NodeType::kText, "piano", 8);
+
+  auto db = Database::BuildFromXml(documents, std::move(model));
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Ask for CDs with a piano concerto. Only the first document
+  //    matches exactly; the others are approximate results, ranked by
+  //    transformation cost.
+  const char* query = R"(cd[title["piano" and "concerto"]])";
+  for (Strategy strategy : {Strategy::kDirect, Strategy::kSchema}) {
+    ExecOptions options;
+    options.strategy = strategy;
+    options.n = 10;
+    auto answers = db->Execute(query, options);
+    if (!answers.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   answers.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("--- %s evaluation of %s ---\n",
+                strategy == Strategy::kDirect ? "direct" : "schema-driven",
+                query);
+    for (const auto& answer : *answers) {
+      std::printf("cost %2lld  %s\n", static_cast<long long>(answer.cost),
+                  db->MaterializeXml(answer.root).c_str());
+    }
+  }
+  return 0;
+}

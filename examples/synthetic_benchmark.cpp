@@ -1,0 +1,90 @@
+// End-to-end walk through the paper's experimental pipeline at toy
+// scale: generate a synthetic collection (Section 8.1), generate queries
+// for the three patterns, and compare the direct and schema-driven
+// strategies on wall-clock time for different n.
+//
+//   $ ./synthetic_benchmark [elements]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+#include "util/timer.h"
+
+using approxql::cost::CostModel;
+using approxql::engine::Database;
+using approxql::engine::ExecOptions;
+using approxql::engine::Strategy;
+using approxql::gen::QueryGenerator;
+using approxql::gen::XmlGenerator;
+
+int main(int argc, char** argv) {
+  size_t elements = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+
+  approxql::gen::XmlGenOptions gen_options;
+  gen_options.seed = 7;
+  gen_options.total_elements = elements;
+  gen_options.element_names = 50;
+  gen_options.vocabulary = 2000;
+  gen_options.words_per_element = 6.0;
+  XmlGenerator generator(gen_options);
+
+  approxql::util::WallTimer build_timer;
+  auto tree = generator.GenerateTree(CostModel());
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  auto db = Database::FromDataTree(std::move(tree).value(), CostModel());
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = db->GetStats();
+  std::printf(
+      "built collection in %.2fs: %zu nodes, %zu labels, schema %zu\n\n",
+      build_timer.ElapsedSeconds(), stats.nodes, stats.distinct_labels,
+      stats.schema_nodes);
+
+  approxql::gen::QueryGenOptions q_options;
+  q_options.seed = 11;
+  q_options.renamings_per_label = 5;
+  QueryGenerator qgen(*db, q_options);
+
+  const std::pair<const char*, std::string_view> patterns[] = {
+      {"path query", approxql::gen::kPattern1},
+      {"small Boolean query", approxql::gen::kPattern2},
+      {"large Boolean query", approxql::gen::kPattern3},
+  };
+  for (const auto& [label, pattern] : patterns) {
+    auto generated = qgen.Generate(pattern);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: %s\n", label, generated->text.c_str());
+    for (size_t n : {size_t{1}, size_t{10}, size_t{100}, SIZE_MAX}) {
+      for (Strategy strategy : {Strategy::kDirect, Strategy::kSchema}) {
+        ExecOptions options;
+        options.strategy = strategy;
+        options.n = n;
+        options.cost_model = &generated->cost_model;
+        approxql::util::WallTimer timer;
+        auto answers = db->Execute(generated->query, options);
+        double ms = timer.ElapsedSeconds() * 1000.0;
+        if (!answers.ok()) {
+          std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("  n=%-9s %-7s %8.2f ms  (%zu results)\n",
+                    n == SIZE_MAX ? "all" : std::to_string(n).c_str(),
+                    strategy == Strategy::kDirect ? "direct" : "schema", ms,
+                    answers->size());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

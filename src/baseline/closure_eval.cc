@@ -1,0 +1,217 @@
+#include "baseline/closure_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace approxql::baseline {
+
+using cost::Add;
+using cost::Cost;
+using cost::CostModel;
+using cost::IsFinite;
+using cost::kInfinite;
+using doc::DataTree;
+using doc::NodeId;
+using engine::RootCost;
+using query::ConjunctiveNode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// A semi-transformed query: a tree plus the accumulated transformation
+/// cost and the number of surviving original leaves.
+struct Variant {
+  Cost cost = 0;
+  size_t kept_leaves = 0;
+  std::unique_ptr<ConjunctiveNode> root;
+};
+
+/// One alternative contribution of a query node to its parent: a forest
+/// (deletion of an inner node promotes its children) plus cost/leaves.
+struct Alternative {
+  Cost cost = 0;
+  size_t kept_leaves = 0;
+  std::vector<std::unique_ptr<ConjunctiveNode>> forest;
+};
+
+std::vector<std::unique_ptr<ConjunctiveNode>> CloneForest(
+    const std::vector<std::unique_ptr<ConjunctiveNode>>& forest) {
+  std::vector<std::unique_ptr<ConjunctiveNode>> copy;
+  copy.reserve(forest.size());
+  for (const auto& node : forest) copy.push_back(node->Clone());
+  return copy;
+}
+
+/// Enumerates all semi-transformed alternatives of a subtree.
+Status Enumerate(const ConjunctiveNode& node, const CostModel& model,
+                 bool is_root, size_t max_variants,
+                 std::vector<Alternative>* out) {
+  bool is_leaf = node.children.empty();
+  // Combine children alternatives (cartesian product).
+  std::vector<Alternative> combined;
+  combined.emplace_back();
+  for (const auto& child : node.children) {
+    std::vector<Alternative> child_alts;
+    RETURN_IF_ERROR(
+        Enumerate(*child, model, /*is_root=*/false, max_variants, &child_alts));
+    std::vector<Alternative> next;
+    if (combined.size() * child_alts.size() > max_variants) {
+      return Status::OutOfRange("closure exceeds variant limit");
+    }
+    for (const auto& left : combined) {
+      for (const auto& right : child_alts) {
+        Alternative merged;
+        merged.cost = Add(left.cost, right.cost);
+        merged.kept_leaves = left.kept_leaves + right.kept_leaves;
+        merged.forest = CloneForest(left.forest);
+        for (auto& tree : CloneForest(right.forest)) {
+          merged.forest.push_back(std::move(tree));
+        }
+        next.push_back(std::move(merged));
+      }
+    }
+    combined = std::move(next);
+  }
+
+  std::vector<Alternative> alternatives;
+  // Keep the node under each label variant.
+  std::vector<cost::Renaming> labels;
+  labels.push_back({node.label, 0});
+  for (const auto& renaming : model.RenamingsOf(node.type, node.label)) {
+    labels.push_back(renaming);
+  }
+  for (const auto& label : labels) {
+    for (const auto& alt : combined) {
+      Alternative kept;
+      kept.cost = Add(alt.cost, label.cost);
+      kept.kept_leaves = alt.kept_leaves + (is_leaf ? 1 : 0);
+      auto copy = std::make_unique<ConjunctiveNode>();
+      copy->type = node.type;
+      copy->label = label.to;
+      copy->children = CloneForest(alt.forest);
+      kept.forest.push_back(std::move(copy));
+      alternatives.push_back(std::move(kept));
+    }
+  }
+  // Deletion (never of the root). Leaf deletion removes the node;
+  // inner-node deletion promotes the children.
+  Cost delete_cost = model.DeleteCost(node.type, node.label);
+  if (!is_root && IsFinite(delete_cost)) {
+    for (const auto& alt : combined) {
+      Alternative deleted;
+      deleted.cost = Add(alt.cost, delete_cost);
+      deleted.kept_leaves = alt.kept_leaves;
+      deleted.forest = CloneForest(alt.forest);
+      alternatives.push_back(std::move(deleted));
+    }
+  }
+  if (alternatives.size() > max_variants) {
+    return Status::OutOfRange("closure exceeds variant limit");
+  }
+  *out = std::move(alternatives);
+  return Status::OK();
+}
+
+Result<std::vector<Variant>> EnumerateVariants(const query::Query& query,
+                                               const CostModel& model,
+                                               const ClosureOptions& options) {
+  ASSIGN_OR_RETURN(
+      std::vector<query::ConjunctiveQuery> separated,
+      query::SeparatedRepresentation(query, options.max_conjunctive));
+  std::vector<Variant> variants;
+  for (const auto& conjunctive : separated) {
+    std::vector<Alternative> alternatives;
+    RETURN_IF_ERROR(Enumerate(*conjunctive.root, model, /*is_root=*/true,
+                              options.max_variants, &alternatives));
+    for (auto& alt : alternatives) {
+      APPROXQL_CHECK(alt.forest.size() == 1);
+      Variant variant;
+      variant.cost = alt.cost;
+      variant.kept_leaves = alt.kept_leaves;
+      variant.root = std::move(alt.forest.front());
+      variants.push_back(std::move(variant));
+      if (variants.size() > options.max_variants) {
+        return Status::OutOfRange("closure exceeds variant limit");
+      }
+    }
+  }
+  return variants;
+}
+
+/// Minimal cost of embedding query subtree `q` with its root mapped to
+/// data node `v` (labels/types must already match). Children embed at
+/// proper descendants, priced by path distance (= implicit insertions).
+Cost EmbedCost(const ConjunctiveNode& q, NodeId v, const DataTree& tree) {
+  Cost total = 0;
+  for (const auto& child : q.children) {
+    Cost best = kInfinite;
+    for (NodeId w = v + 1; w <= tree.node(v).bound; ++w) {
+      const doc::DataNode& n = tree.node(w);
+      if (n.type != child->type || tree.label(w) != child->label) continue;
+      Cost sub = EmbedCost(*child, w, tree);
+      if (IsFinite(sub)) {
+        best = std::min(best, Add(tree.Distance(v, w), sub));
+      }
+    }
+    if (!IsFinite(best)) return kInfinite;
+    total = Add(total, best);
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<std::vector<RootCost>> ClosureBestN(const query::Query& query,
+                                           const CostModel& model,
+                                           const DataTree& tree, size_t n,
+                                           const ClosureOptions& options) {
+  ASSIGN_OR_RETURN(std::vector<Variant> variants,
+                   EnumerateVariants(query, model, options));
+  bool query_has_leaves = false;
+  {
+    // The at-least-one-leaf rule is vacuous for a bare root query.
+    const query::AstNode& root = *query.root;
+    query_has_leaves = !root.children.empty();
+  }
+  std::map<NodeId, Cost> best_per_root;
+  for (const Variant& variant : variants) {
+    if (query_has_leaves && variant.kept_leaves == 0) continue;
+    // Try every data node with a matching root label (skip super-root).
+    for (NodeId v = 1; v < tree.size(); ++v) {
+      const doc::DataNode& node = tree.node(v);
+      if (node.type != variant.root->type ||
+          tree.label(v) != variant.root->label) {
+        continue;
+      }
+      Cost embed = EmbedCost(*variant.root, v, tree);
+      if (!IsFinite(embed)) continue;
+      Cost total = Add(variant.cost, embed);
+      auto [it, created] = best_per_root.try_emplace(v, total);
+      if (!created) it->second = std::min(it->second, total);
+    }
+  }
+  std::vector<RootCost> results;
+  results.reserve(best_per_root.size());
+  for (const auto& [root, cost] : best_per_root) {
+    results.push_back({root, cost});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const RootCost& a, const RootCost& b) {
+              return a.cost != b.cost ? a.cost < b.cost : a.root < b.root;
+            });
+  if (results.size() > n) results.resize(n);
+  return results;
+}
+
+Result<size_t> ClosureVariantCount(const query::Query& query,
+                                   const CostModel& model,
+                                   const ClosureOptions& options) {
+  ASSIGN_OR_RETURN(std::vector<Variant> variants,
+                   EnumerateVariants(query, model, options));
+  return variants.size();
+}
+
+}  // namespace approxql::baseline

@@ -1,0 +1,48 @@
+// Brute-force reference implementation of the approximate query-matching
+// semantics (Definitions 7-12): explicitly materializes the closure of
+// transformed queries — every combination of deletions and renamings of
+// every conjunctive query in the separated representation — and embeds
+// each against the data tree with ancestor-descendant semantics (node
+// insertions are priced implicitly through path distances, which is
+// equivalent to enumerating insertion sequences).
+//
+// Exponential in query size; exists as the correctness oracle for the
+// polynomial algorithms and as documentation of the model. Matches the
+// engine's "full version" rule: a result must match at least one query
+// leaf (leaves = text selectors and content-free name selectors).
+#ifndef APPROXQL_BASELINE_CLOSURE_EVAL_H_
+#define APPROXQL_BASELINE_CLOSURE_EVAL_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "doc/data_tree.h"
+#include "engine/entry_list.h"
+#include "query/ast.h"
+#include "query/separated.h"
+
+namespace approxql::baseline {
+
+struct ClosureOptions {
+  /// Abort with OutOfRange when the closure of semi-transformed queries
+  /// exceeds this many variants (guards tests against blow-ups).
+  size_t max_variants = 200000;
+  /// Limit for the separated representation.
+  size_t max_conjunctive = 4096;
+};
+
+/// Solves the best-n-pairs problem by exhaustive enumeration. Results
+/// are sorted by (cost, root) like the engine's output.
+util::Result<std::vector<engine::RootCost>> ClosureBestN(
+    const query::Query& query, const cost::CostModel& model,
+    const doc::DataTree& tree, size_t n, const ClosureOptions& options = {});
+
+/// Number of semi-transformed variants the oracle enumerated for the
+/// last-level inspection in tests (returned via out-param variant).
+util::Result<size_t> ClosureVariantCount(const query::Query& query,
+                                         const cost::CostModel& model,
+                                         const ClosureOptions& options = {});
+
+}  // namespace approxql::baseline
+
+#endif  // APPROXQL_BASELINE_CLOSURE_EVAL_H_

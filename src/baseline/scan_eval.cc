@@ -1,0 +1,168 @@
+#include "baseline/scan_eval.h"
+
+#include <algorithm>
+
+namespace approxql::baseline {
+
+using cost::Add;
+using cost::Cost;
+using cost::IsFinite;
+using cost::kInfinite;
+using engine::RootCost;
+using query::ExpandedNode;
+using query::ExpandedQuery;
+using query::RepType;
+
+ScanEvaluator::CostArray ScanEvaluator::BestDescendant(
+    const CostArray& d) const {
+  CostArray g(tree_.size);
+  // Children carry larger preorder numbers, so one reverse pass folds
+  // every node's best option into its parent:
+  //   g[v] = min over children c of min(d[c], g[c] + inscost(c)).
+  for (doc::NodeId v = static_cast<doc::NodeId>(tree_.size); v-- > 1;) {
+    const doc::DataNode& node = tree_.node(v);
+    if (node.parent == doc::kInvalidNode) continue;
+    CostPair candidate;
+    candidate.any = std::min(d[v].any, Add(g[v].any, node.inscost));
+    candidate.leaf = std::min(d[v].leaf, Add(g[v].leaf, node.inscost));
+    CostPair& parent = g[node.parent];
+    parent.any = std::min(parent.any, candidate.any);
+    parent.leaf = std::min(parent.leaf, candidate.leaf);
+  }
+  return g;
+}
+
+ScanEvaluator::CostArray ScanEvaluator::InnerArray(const ExpandedNode* node) {
+  if (inner_cache_.size() <= static_cast<size_t>(node->id)) {
+    inner_cache_.resize(static_cast<size_t>(node->id) + 1);
+  }
+  if (!inner_cache_[node->id].empty()) return inner_cache_[node->id];
+
+  bool leaf_rep = node->rep == RepType::kLeaf;
+  bool bare_root = node->rep == RepType::kNode && node->left == nullptr;
+  CostArray result(tree_.size);
+
+  // One pass per label variant: mark matching nodes, then (for kNode)
+  // evaluate the child expression anchored at them.
+  auto add_variant = [&](std::string_view label, Cost rename_cost) {
+    doc::LabelId id = labels_.Find(label);
+    if (id == doc::kInvalidLabel) return;
+    std::vector<bool> anchors(tree_.size, false);
+    bool any_anchor = false;
+    for (doc::NodeId v = 1; v < tree_.size; ++v) {
+      if (tree_.node(v).type == node->type && tree_.node(v).label == id) {
+        anchors[v] = true;
+        any_anchor = true;
+      }
+    }
+    if (!any_anchor) return;
+    CostArray variant;
+    if (leaf_rep || bare_root) {
+      variant.assign(tree_.size, CostPair{});
+      for (doc::NodeId v = 1; v < tree_.size; ++v) {
+        if (anchors[v]) variant[v] = {0, 0};
+      }
+    } else {
+      variant = EvalVertex(node->left, 0, anchors);
+    }
+    for (doc::NodeId v = 1; v < tree_.size; ++v) {
+      result[v].any = std::min(result[v].any,
+                               Add(variant[v].any, rename_cost));
+      result[v].leaf = std::min(result[v].leaf,
+                                Add(variant[v].leaf, rename_cost));
+    }
+  };
+
+  add_variant(node->label, 0);
+  for (const auto& renaming : node->renamings) {
+    add_variant(renaming.to, renaming.cost);
+  }
+  // A leaf's own match is a leaf match; inner nodes inherit their
+  // children's leaf costs via EvalVertex.
+  if (leaf_rep || bare_root) {
+    // Nothing extra: the {0, 0} pairs above already mark leaf matches.
+  }
+  inner_cache_[node->id] = std::move(result);
+  return inner_cache_[node->id];
+}
+
+ScanEvaluator::CostArray ScanEvaluator::EvalVertex(
+    const ExpandedNode* node, Cost edge_cost,
+    const std::vector<bool>& anchors) {
+  switch (node->rep) {
+    case RepType::kLeaf: {
+      CostArray g = BestDescendant(InnerArray(node));
+      CostArray out(tree_.size);
+      for (doc::NodeId v = 1; v < tree_.size; ++v) {
+        if (!anchors[v]) continue;
+        Cost any = Add(std::min(node->delcost, g[v].any), edge_cost);
+        if (!IsFinite(any)) continue;
+        out[v].any = any;
+        out[v].leaf = Add(g[v].leaf, edge_cost);
+      }
+      return out;
+    }
+    case RepType::kNode: {
+      const CostArray& inner = InnerArray(node);
+      if (node->is_root) return inner;
+      CostArray g = BestDescendant(inner);
+      CostArray out(tree_.size);
+      for (doc::NodeId v = 1; v < tree_.size; ++v) {
+        if (!anchors[v] || !IsFinite(g[v].any)) continue;
+        out[v].any = Add(g[v].any, edge_cost);
+        out[v].leaf = Add(g[v].leaf, edge_cost);
+      }
+      return out;
+    }
+    case RepType::kAnd: {
+      CostArray left = EvalVertex(node->left, 0, anchors);
+      CostArray right = EvalVertex(node->right, 0, anchors);
+      CostArray out(tree_.size);
+      for (doc::NodeId v = 1; v < tree_.size; ++v) {
+        Cost any = Add(left[v].any, right[v].any);
+        if (!IsFinite(any)) continue;
+        out[v].any = Add(any, edge_cost);
+        out[v].leaf = Add(std::min(Add(left[v].leaf, right[v].any),
+                                   Add(left[v].any, right[v].leaf)),
+                          edge_cost);
+      }
+      return out;
+    }
+    case RepType::kOr: {
+      CostArray left = EvalVertex(node->left, 0, anchors);
+      CostArray right = EvalVertex(node->right, node->edgecost, anchors);
+      CostArray out(tree_.size);
+      for (doc::NodeId v = 1; v < tree_.size; ++v) {
+        Cost any = std::min(left[v].any, right[v].any);
+        if (!IsFinite(any)) continue;
+        out[v].any = Add(any, edge_cost);
+        out[v].leaf =
+            Add(std::min(left[v].leaf, right[v].leaf), edge_cost);
+      }
+      return out;
+    }
+  }
+  APPROXQL_CHECK(false) << "unreachable representation type";
+  return {};
+}
+
+std::vector<RootCost> ScanEvaluator::BestN(const ExpandedQuery& query,
+                                           size_t n) {
+  inner_cache_.clear();
+  std::vector<bool> no_anchors(tree_.size, false);
+  CostArray roots = EvalVertex(query.root(), 0, no_anchors);
+  std::vector<RootCost> results;
+  for (doc::NodeId v = 1; v < tree_.size; ++v) {
+    if (IsFinite(roots[v].leaf)) {
+      results.push_back({v, roots[v].leaf});
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const RootCost& a, const RootCost& b) {
+              return a.cost != b.cost ? a.cost < b.cost : a.root < b.root;
+            });
+  if (results.size() > n) results.resize(n);
+  return results;
+}
+
+}  // namespace approxql::baseline

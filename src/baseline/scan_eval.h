@@ -1,0 +1,57 @@
+// Node-at-a-time evaluation baseline: computes, for EVERY data node, the
+// cost of embedding each query subtree there, by dense bottom-up dynamic
+// programming over the whole tree — the computation style of the
+// tree-matching algorithms the paper's Section 2 dismisses as
+// "touch[ing] every data node, which is inadequate for large databases"
+// (Zhang's restricted edit distance [16] and relatives).
+//
+// Complexity: O(|query DAG| * |data tree|) regardless of selectivity —
+// no indexes, no lists. Semantically identical to the engine (same
+// expanded representation, same two-component costs), so it serves both
+// as the performance baseline A4' and as a third, polynomial-time
+// correctness witness next to the exponential closure oracle.
+#ifndef APPROXQL_BASELINE_SCAN_EVAL_H_
+#define APPROXQL_BASELINE_SCAN_EVAL_H_
+
+#include <vector>
+
+#include "engine/entry_list.h"
+#include "query/expanded.h"
+
+namespace approxql::baseline {
+
+class ScanEvaluator {
+ public:
+  /// `tree` must outlive the evaluator.
+  explicit ScanEvaluator(const engine::EncodedTree& tree,
+                         const doc::LabelTable& labels)
+      : tree_(tree), labels_(labels) {}
+
+  /// Best-n root-cost pairs, identical contract to
+  /// engine::DirectEvaluator::BestN.
+  std::vector<engine::RootCost> BestN(const query::ExpandedQuery& query,
+                                      size_t n);
+
+ private:
+  /// Per-data-node (cost_any, cost_leaf) pair; kInfinite = no embedding.
+  struct CostPair {
+    cost::Cost any = cost::kInfinite;
+    cost::Cost leaf = cost::kInfinite;
+  };
+  using CostArray = std::vector<CostPair>;
+
+  CostArray EvalVertex(const query::ExpandedNode* node, cost::Cost edge_cost,
+                       const std::vector<bool>& anchors);
+  CostArray InnerArray(const query::ExpandedNode* node);
+  /// g[v] = min over proper descendants w of v of distance(v, w) + d[w],
+  /// computed for every node in one reverse-preorder pass.
+  CostArray BestDescendant(const CostArray& d) const;
+
+  const engine::EncodedTree& tree_;
+  const doc::LabelTable& labels_;
+  std::vector<CostArray> inner_cache_;
+};
+
+}  // namespace approxql::baseline
+
+#endif  // APPROXQL_BASELINE_SCAN_EVAL_H_

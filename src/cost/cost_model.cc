@@ -1,0 +1,193 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace approxql::cost {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+int TypeIndex(NodeType type) { return static_cast<int>(type); }
+
+}  // namespace
+
+void CostModel::SetInsertCost(NodeType type, std::string_view label, Cost c) {
+  insert_[TypeIndex(type)][std::string(label)] = c;
+}
+
+void CostModel::SetDeleteCost(NodeType type, std::string_view label, Cost c) {
+  delete_[TypeIndex(type)][std::string(label)] = c;
+}
+
+void CostModel::SetRenameCost(NodeType type, std::string_view from,
+                              std::string_view to, Cost c) {
+  auto& pair_map = rename_[TypeIndex(type)];
+  std::string key = PairKey(from, to);
+  auto [it, inserted] = pair_map.try_emplace(std::move(key), c);
+  auto& list = renamings_[TypeIndex(type)][std::string(from)];
+  if (inserted) {
+    list.push_back({std::string(to), c});
+  } else {
+    it->second = c;
+    for (auto& renaming : list) {
+      if (renaming.to == to) renaming.cost = c;
+    }
+  }
+}
+
+Cost CostModel::InsertCost(NodeType type, std::string_view label) const {
+  const auto& m = insert_[TypeIndex(type)];
+  auto it = m.find(std::string(label));
+  return it == m.end() ? default_insert_cost_ : it->second;
+}
+
+Cost CostModel::DeleteCost(NodeType type, std::string_view label) const {
+  const auto& m = delete_[TypeIndex(type)];
+  auto it = m.find(std::string(label));
+  return it == m.end() ? kInfinite : it->second;
+}
+
+Cost CostModel::RenameCost(NodeType type, std::string_view from,
+                           std::string_view to) const {
+  if (from == to) return 0;
+  const auto& m = rename_[TypeIndex(type)];
+  auto it = m.find(PairKey(from, to));
+  return it == m.end() ? kInfinite : it->second;
+}
+
+std::vector<Renaming> CostModel::RenamingsOf(NodeType type,
+                                             std::string_view from) const {
+  const auto& m = renamings_[TypeIndex(type)];
+  auto it = m.find(std::string(from));
+  if (it == m.end()) return {};
+  std::vector<Renaming> out;
+  for (const auto& renaming : it->second) {
+    if (IsFinite(renaming.cost)) out.push_back(renaming);
+  }
+  return out;
+}
+
+namespace {
+
+bool ParseCost(std::string_view token, Cost* out) {
+  if (token == "inf") {
+    *out = kInfinite;
+    return true;
+  }
+  uint64_t value = 0;
+  if (!util::ParseUint64(token, &value)) return false;
+  if (value > static_cast<uint64_t>(kInfinite)) return false;
+  *out = static_cast<Cost>(value);
+  return true;
+}
+
+bool ParseType(std::string_view token, NodeType* out) {
+  if (token == "struct") {
+    *out = NodeType::kStruct;
+    return true;
+  }
+  if (token == "text") {
+    *out = NodeType::kText;
+    return true;
+  }
+  return false;
+}
+
+Status LineError(int line_no, std::string_view message) {
+  return Status::ParseError("cost config line " + std::to_string(line_no) +
+                            ": " + std::string(message));
+}
+
+}  // namespace
+
+Result<CostModel> CostModel::ParseConfig(std::string_view text) {
+  CostModel model;
+  int line_no = 0;
+  for (std::string_view line : util::SplitView(text, '\n')) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = util::StripWhitespace(line);
+    if (line.empty()) continue;
+
+    std::vector<std::string> tokens;
+    for (std::string_view tok : util::SplitView(line, ' ')) {
+      tok = util::StripWhitespace(tok);
+      if (!tok.empty()) tokens.emplace_back(tok);
+    }
+
+    const std::string& verb = tokens[0];
+    if (verb == "default-insert") {
+      Cost c;
+      if (tokens.size() != 2 || !ParseCost(tokens[1], &c)) {
+        return LineError(line_no, "expected: default-insert <cost>");
+      }
+      model.set_default_insert_cost(c);
+    } else if (verb == "insert" || verb == "delete") {
+      NodeType type;
+      Cost c;
+      if (tokens.size() != 4 || !ParseType(tokens[1], &type) ||
+          !ParseCost(tokens[3], &c)) {
+        return LineError(line_no,
+                         "expected: " + verb + " <struct|text> <label> <cost>");
+      }
+      if (verb == "insert") {
+        model.SetInsertCost(type, tokens[2], c);
+      } else {
+        model.SetDeleteCost(type, tokens[2], c);
+      }
+    } else if (verb == "rename") {
+      NodeType type;
+      Cost c;
+      if (tokens.size() != 5 || !ParseType(tokens[1], &type) ||
+          !ParseCost(tokens[4], &c)) {
+        return LineError(line_no,
+                         "expected: rename <struct|text> <from> <to> <cost>");
+      }
+      model.SetRenameCost(type, tokens[2], tokens[3], c);
+    } else {
+      return LineError(line_no, "unknown directive '" + verb + "'");
+    }
+  }
+  return model;
+}
+
+std::string CostModel::ToConfigString() const {
+  std::string out = "default-insert " + std::to_string(default_insert_cost_) +
+                    "\n";
+  auto cost_str = [](Cost c) {
+    return IsFinite(c) ? std::to_string(c) : std::string("inf");
+  };
+  for (NodeType type : {NodeType::kStruct, NodeType::kText}) {
+    std::string_view type_name = NodeTypeToString(type);
+    // Sorted copies make the output deterministic.
+    std::map<std::string, Cost> inserts(insert_[TypeIndex(type)].begin(),
+                                        insert_[TypeIndex(type)].end());
+    for (const auto& [label, c] : inserts) {
+      out += "insert " + std::string(type_name) + " " + label + " " +
+             cost_str(c) + "\n";
+    }
+    std::map<std::string, Cost> deletes(delete_[TypeIndex(type)].begin(),
+                                        delete_[TypeIndex(type)].end());
+    for (const auto& [label, c] : deletes) {
+      out += "delete " + std::string(type_name) + " " + label + " " +
+             cost_str(c) + "\n";
+    }
+    std::map<std::string, std::vector<Renaming>> renames(
+        renamings_[TypeIndex(type)].begin(), renamings_[TypeIndex(type)].end());
+    for (const auto& [from, list] : renames) {
+      for (const auto& renaming : list) {
+        out += "rename " + std::string(type_name) + " " + from + " " +
+               renaming.to + " " + cost_str(renaming.cost) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace approxql::cost

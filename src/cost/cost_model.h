@@ -1,0 +1,105 @@
+// Transformation cost model (paper Section 5.2, Definition 6). Costs are
+// bound to node labels, the simplest of the variants the paper discusses:
+//   - insert cost per label (default 1; paper: "all remaining insert
+//     costs are 1"),
+//   - delete cost per label (default infinite),
+//   - rename cost per (from,to) label pair (default infinite).
+// Struct labels (element names) and text labels (words) live in separate
+// key spaces.
+#ifndef APPROXQL_COST_COST_MODEL_H_
+#define APPROXQL_COST_COST_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace approxql {
+
+/// Node types of the data model (paper Section 4).
+enum class NodeType : uint8_t { kStruct = 0, kText = 1 };
+
+inline std::string_view NodeTypeToString(NodeType type) {
+  return type == NodeType::kStruct ? "struct" : "text";
+}
+
+namespace cost {
+
+/// Costs are exact integers (all of the paper's examples are integral);
+/// kInfinite is a saturating sentinel for "transformation not allowed".
+using Cost = int64_t;
+inline constexpr Cost kInfinite = std::numeric_limits<int64_t>::max() / 4;
+
+/// a + b with kInfinite absorbing (never overflows).
+inline Cost Add(Cost a, Cost b) {
+  if (a >= kInfinite || b >= kInfinite) return kInfinite;
+  return a + b;
+}
+
+inline bool IsFinite(Cost c) { return c < kInfinite; }
+
+/// One allowed renaming of a label.
+struct Renaming {
+  std::string to;
+  Cost cost;
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// Insert cost used for labels without an explicit entry (paper: 1).
+  void set_default_insert_cost(Cost c) { default_insert_cost_ = c; }
+  Cost default_insert_cost() const { return default_insert_cost_; }
+
+  void SetInsertCost(NodeType type, std::string_view label, Cost c);
+  void SetDeleteCost(NodeType type, std::string_view label, Cost c);
+  void SetRenameCost(NodeType type, std::string_view from, std::string_view to,
+                     Cost c);
+
+  Cost InsertCost(NodeType type, std::string_view label) const;
+  Cost DeleteCost(NodeType type, std::string_view label) const;
+  Cost RenameCost(NodeType type, std::string_view from,
+                  std::string_view to) const;
+
+  /// All finite renamings of `from` (order unspecified but deterministic).
+  std::vector<Renaming> RenamingsOf(NodeType type, std::string_view from) const;
+
+  /// Parses the line-based config format:
+  ///   # comment
+  ///   default-insert <cost>
+  ///   insert <struct|text> <label> <cost>
+  ///   delete <struct|text> <label> <cost>
+  ///   rename <struct|text> <from> <to> <cost>
+  /// `inf` is accepted as a cost.
+  static util::Result<CostModel> ParseConfig(std::string_view text);
+
+  /// Inverse of ParseConfig (round-trips).
+  std::string ToConfigString() const;
+
+ private:
+  using CostMap = std::unordered_map<std::string, Cost>;
+
+  static std::string PairKey(std::string_view from, std::string_view to) {
+    std::string key(from);
+    key.push_back('\x1f');  // cannot occur in labels
+    key.append(to);
+    return key;
+  }
+
+  Cost default_insert_cost_ = 1;
+  CostMap insert_[2];
+  CostMap delete_[2];
+  CostMap rename_[2];  // keyed by PairKey(from, to)
+  // from-label -> renamings, kept in insertion order for determinism.
+  std::unordered_map<std::string, std::vector<Renaming>> renamings_[2];
+};
+
+}  // namespace cost
+}  // namespace approxql
+
+#endif  // APPROXQL_COST_COST_MODEL_H_

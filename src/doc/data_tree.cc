@@ -1,0 +1,243 @@
+#include "doc/data_tree.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/varint.h"
+
+namespace approxql::doc {
+
+using cost::Cost;
+using cost::CostModel;
+using util::Result;
+using util::Status;
+
+void DataTree::ApplyCosts(const CostModel& model) {
+  // Parents precede children in preorder, so one forward pass suffices.
+  // Text nodes are always leaves and are never inserted: inscost 0.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    DataNode& n = nodes_[id];
+    n.inscost = n.type == NodeType::kStruct
+                    ? model.InsertCost(NodeType::kStruct, labels_.Get(n.label))
+                    : 0;
+    if (n.parent == kInvalidNode) {
+      n.pathcost = 0;
+    } else {
+      const DataNode& p = nodes_[n.parent];
+      n.pathcost = cost::Add(p.pathcost, p.inscost);
+    }
+  }
+}
+
+xml::XmlElement DataTree::ToXml(NodeId id) const {
+  APPROXQL_CHECK(node(id).type == NodeType::kStruct)
+      << "ToXml requires a struct node";
+  xml::XmlElement out;
+  out.name = std::string(label(id));
+  std::string pending_words;
+  for (NodeId child = FirstChild(id); child != kInvalidNode;
+       child = NextSibling(child)) {
+    if (node(child).type == NodeType::kText) {
+      if (!pending_words.empty()) pending_words.push_back(' ');
+      pending_words.append(label(child));
+    } else {
+      if (!pending_words.empty()) {
+        out.children.emplace_back(std::move(pending_words));
+        pending_words.clear();
+      }
+      out.children.emplace_back(
+          std::make_unique<xml::XmlElement>(ToXml(child)));
+    }
+  }
+  if (!pending_words.empty()) {
+    out.children.emplace_back(std::move(pending_words));
+  }
+  return out;
+}
+
+void DataTree::Serialize(std::string* out) const {
+  using util::PutVarint32;
+  using util::PutVarint64;
+  PutVarint64(out, labels_.size());
+  for (LabelId id = 0; id < labels_.size(); ++id) {
+    std::string_view label = labels_.Get(id);
+    PutVarint64(out, label.size());
+    out->append(label);
+  }
+  PutVarint64(out, nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const DataNode& n = nodes_[id];
+    // parent+1 so the rootless super-root encodes as 0; parents are always
+    // smaller than the node id, so the delta id - parent is positive and
+    // small for deep trees.
+    PutVarint32(out, n.parent == kInvalidNode ? 0 : id - n.parent);
+    PutVarint32(out, (n.label << 1) | static_cast<uint32_t>(n.type));
+  }
+}
+
+Result<DataTree> DataTree::Deserialize(std::string_view data,
+                                       const CostModel& model) {
+  util::VarintReader reader(data);
+  DataTree tree;
+  uint64_t label_count = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&label_count));
+  for (uint64_t i = 0; i < label_count; ++i) {
+    uint64_t len = 0;
+    RETURN_IF_ERROR(reader.GetVarint64(&len));
+    std::string_view bytes;
+    RETURN_IF_ERROR(reader.GetBytes(len, &bytes));
+    if (tree.labels_.Intern(bytes) != i) {
+      return Status::Corruption("duplicate label in serialized data tree");
+    }
+  }
+  uint64_t node_count = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&node_count));
+  if (node_count > UINT32_MAX) {
+    return Status::Corruption("node count exceeds 32-bit id space");
+  }
+  tree.nodes_.resize(node_count);
+  for (NodeId id = 0; id < node_count; ++id) {
+    uint32_t parent_delta = 0;
+    uint32_t label_type = 0;
+    RETURN_IF_ERROR(reader.GetVarint32(&parent_delta));
+    RETURN_IF_ERROR(reader.GetVarint32(&label_type));
+    DataNode& n = tree.nodes_[id];
+    if (parent_delta == 0) {
+      if (id != 0) return Status::Corruption("non-root node without parent");
+      n.parent = kInvalidNode;
+    } else {
+      if (parent_delta > id) return Status::Corruption("parent after child");
+      n.parent = id - parent_delta;
+    }
+    n.label = label_type >> 1;
+    if (n.label >= tree.labels_.size()) {
+      return Status::Corruption("label id out of range");
+    }
+    n.type = (label_type & 1) ? NodeType::kText : NodeType::kStruct;
+  }
+  if (!reader.empty()) {
+    return Status::Corruption("trailing bytes after serialized data tree");
+  }
+  // Recompute bounds: every node's subtree interval ends at the maximum
+  // preorder number among its descendants.
+  for (NodeId id = 0; id < node_count; ++id) tree.nodes_[id].bound = id;
+  for (NodeId id = static_cast<NodeId>(node_count); id-- > 1;) {
+    DataNode& n = tree.nodes_[id];
+    DataNode& p = tree.nodes_[n.parent];
+    p.bound = std::max(p.bound, n.bound);
+  }
+  tree.ApplyCosts(model);
+  return tree;
+}
+
+DataTreeBuilder::DataTreeBuilder() {
+  DataNode root;
+  root.parent = kInvalidNode;
+  root.type = NodeType::kStruct;
+  root.label = tree_.labels_.Intern(kSuperRootLabel);
+  tree_.nodes_.push_back(root);
+  stack_.push_back(0);
+}
+
+void DataTreeBuilder::StartElement(std::string_view name) {
+  DataNode n;
+  n.parent = stack_.back();
+  n.type = NodeType::kStruct;
+  n.label = tree_.labels_.Intern(name);
+  NodeId id = static_cast<NodeId>(tree_.nodes_.size());
+  tree_.nodes_.push_back(n);
+  stack_.push_back(id);
+}
+
+void DataTreeBuilder::EndElement() {
+  APPROXQL_CHECK(stack_.size() > 1) << "EndElement without StartElement";
+  stack_.pop_back();
+}
+
+void DataTreeBuilder::AddWord(std::string_view word) {
+  DataNode n;
+  n.parent = stack_.back();
+  n.type = NodeType::kText;
+  n.label = tree_.labels_.Intern(word);
+  tree_.nodes_.push_back(n);
+}
+
+void DataTreeBuilder::AddText(std::string_view text) {
+  for (const std::string& word : util::SplitWords(text)) {
+    AddWord(word);
+  }
+}
+
+void DataTreeBuilder::AddAttribute(std::string_view name,
+                                   std::string_view value) {
+  StartElement(name);
+  AddText(value);
+  EndElement();
+}
+
+void DataTreeBuilder::AddDocument(const xml::XmlElement& element) {
+  StartElement(element.name);
+  for (const auto& attr : element.attributes) {
+    AddAttribute(attr.name, attr.value);
+  }
+  for (const auto& child : element.children) {
+    if (const auto* elem = std::get_if<std::unique_ptr<xml::XmlElement>>(
+            &child)) {
+      AddDocument(**elem);
+    } else {
+      AddText(std::get<std::string>(child));
+    }
+  }
+  EndElement();
+}
+
+namespace {
+
+/// Streams SAX events straight into a DataTreeBuilder (no DOM).
+class BuilderHandler : public xml::XmlHandler {
+ public:
+  explicit BuilderHandler(DataTreeBuilder* builder) : builder_(builder) {}
+
+  Status OnStartElement(std::string_view name,
+                        const std::vector<xml::XmlAttribute>& attrs) override {
+    builder_->StartElement(name);
+    for (const auto& attr : attrs) {
+      builder_->AddAttribute(attr.name, attr.value);
+    }
+    return Status::OK();
+  }
+  Status OnEndElement(std::string_view) override {
+    builder_->EndElement();
+    return Status::OK();
+  }
+  Status OnCharacters(std::string_view text) override {
+    builder_->AddText(text);
+    return Status::OK();
+  }
+
+ private:
+  DataTreeBuilder* builder_;
+};
+
+}  // namespace
+
+Status DataTreeBuilder::AddDocumentXml(std::string_view xml_text) {
+  BuilderHandler handler(this);
+  return xml::ParseXml(xml_text, &handler);
+}
+
+Result<DataTree> DataTreeBuilder::Build(const CostModel& model) && {
+  if (stack_.size() != 1) {
+    return Status::InvalidArgument("unbalanced StartElement/EndElement");
+  }
+  auto& nodes = tree_.nodes_;
+  for (NodeId id = 0; id < nodes.size(); ++id) nodes[id].bound = id;
+  for (NodeId id = static_cast<NodeId>(nodes.size()); id-- > 1;) {
+    nodes[nodes[id].parent].bound =
+        std::max(nodes[nodes[id].parent].bound, nodes[id].bound);
+  }
+  tree_.ApplyCosts(model);
+  return std::move(tree_);
+}
+
+}  // namespace approxql::doc

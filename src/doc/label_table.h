@@ -1,0 +1,77 @@
+// Label interning: element names and words are mapped to dense 32-bit
+// ids shared across the data tree, the indexes and the schema.
+#ifndef APPROXQL_DOC_LABEL_TABLE_H_
+#define APPROXQL_DOC_LABEL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace approxql::doc {
+
+using LabelId = uint32_t;
+inline constexpr LabelId kInvalidLabel = UINT32_MAX;
+
+class LabelTable {
+ public:
+  LabelTable() = default;
+
+  // The table hands out string_views into its own storage; moving it would
+  // not invalidate them (deque-like growth), but copying is still the
+  // clearer contract for a shared component: non-copyable, movable.
+  LabelTable(const LabelTable&) = delete;
+  LabelTable& operator=(const LabelTable&) = delete;
+  LabelTable(LabelTable&&) = default;
+  LabelTable& operator=(LabelTable&&) = default;
+
+  /// Returns the id for `label`, creating one if needed.
+  LabelId Intern(std::string_view label) {
+    auto it = ids_.find(label);
+    if (it != ids_.end()) return it->second;
+    LabelId id = static_cast<LabelId>(labels_.size());
+    labels_.emplace_back(label);
+    ids_.emplace(labels_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `label` or kInvalidLabel if never interned.
+  LabelId Find(std::string_view label) const {
+    auto it = ids_.find(label);
+    return it == ids_.end() ? kInvalidLabel : it->second;
+  }
+
+  std::string_view Get(LabelId id) const {
+    APPROXQL_DCHECK(id < labels_.size());
+    return labels_[id];
+  }
+
+  size_t size() const { return labels_.size(); }
+
+ private:
+  // ids_ stores its own string copies (heterogeneous lookup avoids
+  // temporary allocations on the hot Find path); labels_ provides the
+  // id -> label direction.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, LabelId, StringHash, StringEq> ids_;
+};
+
+}  // namespace approxql::doc
+
+#endif  // APPROXQL_DOC_LABEL_TABLE_H_

@@ -1,0 +1,258 @@
+#include "engine/database.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "query/expanded.h"
+#include "storage/bptree.h"
+
+namespace approxql::engine {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr std::string_view kTreeKey = "meta#tree";
+constexpr std::string_view kCostsKey = "meta#costs";
+constexpr std::string_view kLabelIndexPrefix = "ix#";
+constexpr std::string_view kSecondaryPrefix = "sec#";
+
+}  // namespace
+
+util::Status Database::CheckQueryCostModel(const ExecOptions& options) const {
+  if (options.cost_model == nullptr) return Status::OK();
+  // Insert costs are baked into the tree/schema encoding at build time;
+  // a per-query model may only change deletions and renamings. A full
+  // comparison would be O(labels), so the cheap canary is the default
+  // insert cost (the generator and all sane callers leave per-label
+  // insert costs untouched).
+  if (options.cost_model->default_insert_cost() !=
+      model_.default_insert_cost()) {
+    return Status::InvalidArgument(
+        "per-query cost model changes insert costs; rebuild the database "
+        "with the new model instead (insert costs are part of the tree "
+        "encoding)");
+  }
+  return Status::OK();
+}
+
+void Database::BuildDerivedState() {
+  label_index_ = index::LabelIndex::BuildFromTree(*tree_);
+  schema_ = std::make_unique<schema::Schema>(
+      schema::Schema::Build(tree_.get(), model_));
+}
+
+Result<Database> Database::BuildFromXml(
+    const std::vector<std::string>& documents, cost::CostModel model) {
+  doc::DataTreeBuilder builder;
+  for (const auto& document : documents) {
+    RETURN_IF_ERROR(builder.AddDocumentXml(document));
+  }
+  ASSIGN_OR_RETURN(doc::DataTree tree, std::move(builder).Build(model));
+  return FromDataTree(std::move(tree), std::move(model));
+}
+
+Result<Database> Database::BuildFromFiles(const std::vector<std::string>& paths,
+                                          cost::CostModel model) {
+  doc::DataTreeBuilder builder;
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::IoError("cannot read " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    util::Status parsed = builder.AddDocumentXml(buffer.str());
+    if (!parsed.ok()) {
+      return Status(parsed.code(), path + ": " + parsed.message());
+    }
+  }
+  ASSIGN_OR_RETURN(doc::DataTree tree, std::move(builder).Build(model));
+  return FromDataTree(std::move(tree), std::move(model));
+}
+
+Result<Database> Database::FromDataTree(doc::DataTree tree,
+                                        cost::CostModel model) {
+  Database db(std::move(model),
+              std::make_unique<doc::DataTree>(std::move(tree)));
+  db.BuildDerivedState();
+  return db;
+}
+
+Result<std::vector<QueryAnswer>> Database::Execute(
+    std::string_view query_text, const ExecOptions& options) const {
+  ASSIGN_OR_RETURN(query::Query query, query::Parse(query_text));
+  return Execute(query, options);
+}
+
+Result<std::vector<QueryAnswer>> Database::Execute(
+    const query::Query& query, const ExecOptions& options) const {
+  RETURN_IF_ERROR(CheckQueryCostModel(options));
+  const cost::CostModel& model =
+      options.cost_model != nullptr ? *options.cost_model : model_;
+  ASSIGN_OR_RETURN(query::ExpandedQuery expanded,
+                   query::ExpandedQuery::Build(query, model));
+  std::vector<RootCost> results;
+  switch (options.strategy) {
+    case Strategy::kDirect: {
+      DirectEvaluator evaluator(EncodedTree::Of(*tree_), label_index_,
+                                tree_->labels(), options.direct);
+      results = evaluator.BestN(expanded, options.n);
+      if (options.direct_stats_out != nullptr) {
+        *options.direct_stats_out = evaluator.stats();
+      }
+      break;
+    }
+    case Strategy::kFullScan: {
+      DirectEvaluator::Options scan = options.direct;
+      scan.full_scan = true;
+      DirectEvaluator evaluator(EncodedTree::Of(*tree_), label_index_,
+                                tree_->labels(), scan);
+      results = evaluator.BestN(expanded, options.n);
+      if (options.direct_stats_out != nullptr) {
+        *options.direct_stats_out = evaluator.stats();
+      }
+      break;
+    }
+    case Strategy::kSchema: {
+      SchemaEvaluator evaluator(*schema_, *tree_, options.schema);
+      results = evaluator.BestN(expanded, options.n);
+      if (options.schema_stats_out != nullptr) {
+        *options.schema_stats_out = evaluator.stats();
+      }
+      break;
+    }
+  }
+  std::vector<QueryAnswer> answers;
+  answers.reserve(results.size());
+  for (const RootCost& rc : results) {
+    answers.push_back({rc.root, rc.cost});
+  }
+  return answers;
+}
+
+std::optional<QueryAnswer> Database::AnswerStream::Next() {
+  std::optional<RootCost> next = stream_->Next();
+  if (!next.has_value()) return std::nullopt;
+  return QueryAnswer{next->root, next->cost};
+}
+
+Result<Database::AnswerStream> Database::ExecuteStream(
+    std::string_view query_text, const ExecOptions& options) const {
+  ASSIGN_OR_RETURN(query::Query query, query::Parse(query_text));
+  return ExecuteStream(query, options);
+}
+
+Result<Database::AnswerStream> Database::ExecuteStream(
+    const query::Query& query, const ExecOptions& options) const {
+  RETURN_IF_ERROR(CheckQueryCostModel(options));
+  const cost::CostModel& model =
+      options.cost_model != nullptr ? *options.cost_model : model_;
+  ASSIGN_OR_RETURN(query::ExpandedQuery expanded,
+                   query::ExpandedQuery::Build(query, model));
+  auto owned = std::make_unique<query::ExpandedQuery>(std::move(expanded));
+  auto stream = std::make_unique<ResultStream>(*schema_, *tree_, owned.get(),
+                                               options.schema);
+  return AnswerStream(std::move(owned), std::move(stream));
+}
+
+Result<std::vector<Database::Explanation>> Database::Explain(
+    std::string_view query_text, const ExecOptions& options) const {
+  RETURN_IF_ERROR(CheckQueryCostModel(options));
+  ASSIGN_OR_RETURN(query::Query query, query::Parse(query_text));
+  const cost::CostModel& model =
+      options.cost_model != nullptr ? *options.cost_model : model_;
+  ASSIGN_OR_RETURN(query::ExpandedQuery expanded,
+                   query::ExpandedQuery::Build(query, model));
+  SchemaEvaluator evaluator(*schema_, *tree_, options.schema);
+  TopKList skeletons = evaluator.TopKQueries(expanded, options.n);
+  std::vector<Explanation> explanations;
+  explanations.reserve(skeletons.size());
+  for (const SkeletonRef& skeleton : skeletons) {
+    Explanation explanation;
+    explanation.cost = skeleton->cost;
+    explanation.skeleton = evaluator.DescribeSkeleton(*skeleton);
+    explanation.result_count = evaluator.ExecuteSecondary(skeleton).size();
+    explanations.push_back(std::move(explanation));
+  }
+  return explanations;
+}
+
+std::string Database::MaterializeXml(doc::NodeId root, bool pretty) const {
+  xml::WriteOptions options;
+  options.pretty = pretty;
+  return xml::WriteXml(tree_->ToXml(root), options);
+}
+
+Status Database::Save(const std::string& path) const {
+  // Write-to-temp + rename: a crash or failure mid-save never corrupts
+  // an existing database file at `path`.
+  const std::string temp_path = path + ".tmp";
+  std::error_code ec;
+  std::filesystem::remove(temp_path, ec);
+  {
+    ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::DiskKvStore> store,
+        storage::DiskKvStore::Open(temp_path, /*create_if_missing=*/true));
+    std::string tree_blob;
+    tree_->Serialize(&tree_blob);
+    RETURN_IF_ERROR(store->Put(kTreeKey, tree_blob));
+    RETURN_IF_ERROR(store->Put(kCostsKey, model_.ToConfigString()));
+    RETURN_IF_ERROR(label_index_.PersistTo(store.get(), kLabelIndexPrefix));
+    RETURN_IF_ERROR(
+        schema_->secondary_index().PersistTo(store.get(), kSecondaryPrefix));
+    RETURN_IF_ERROR(store->Flush());
+  }
+  std::filesystem::rename(temp_path, path, ec);
+  if (ec) {
+    return Status::IoError("rename " + temp_path + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Result<Database> Database::Load(const std::string& path) {
+  ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::DiskKvStore> store,
+      storage::DiskKvStore::Open(path, /*create_if_missing=*/false));
+  ASSIGN_OR_RETURN(std::string costs_blob, store->Get(kCostsKey));
+  ASSIGN_OR_RETURN(cost::CostModel model,
+                   cost::CostModel::ParseConfig(costs_blob));
+  ASSIGN_OR_RETURN(std::string tree_blob, store->Get(kTreeKey));
+  ASSIGN_OR_RETURN(doc::DataTree tree,
+                   doc::DataTree::Deserialize(tree_blob, model));
+  Database db(std::move(model),
+              std::make_unique<doc::DataTree>(std::move(tree)));
+  // The schema rebuild is deterministic, so its class numbering matches
+  // the persisted secondary postings; the persisted label index replaces
+  // the rebuilt one (identical by construction — tests verify).
+  db.BuildDerivedState();
+  ASSIGN_OR_RETURN(index::LabelIndex label_index,
+                   index::LabelIndex::LoadFrom(*store, kLabelIndexPrefix));
+  db.label_index_ = std::move(label_index);
+  ASSIGN_OR_RETURN(index::SecondaryIndex secondary,
+                   index::SecondaryIndex::LoadFrom(*store, kSecondaryPrefix));
+  // Keep the rebuilt schema label index (it is derived from the schema
+  // itself) but attach the persisted instance postings.
+  db.schema_->ReplaceSecondaryIndex(std::move(secondary));
+  return db;
+}
+
+Database::Stats Database::GetStats() const {
+  Stats stats;
+  stats.nodes = tree_->size();
+  for (doc::NodeId id = 0; id < tree_->size(); ++id) {
+    if (tree_->node(id).type == NodeType::kStruct) {
+      ++stats.struct_nodes;
+    } else {
+      ++stats.text_nodes;
+    }
+  }
+  stats.distinct_labels = tree_->labels().size();
+  stats.schema_nodes = schema_->size();
+  return stats;
+}
+
+}  // namespace approxql::engine

@@ -1,0 +1,67 @@
+// List entries of the direct evaluation algorithm (paper Section 6.3):
+//   e = (pre, bound, pathcost, inscost, embcost)
+// Our entries carry two embedding costs instead of one:
+//   cost_any  — the paper's embcost (cheapest embedding of the query
+//               subtree, deletions included);
+//   cost_leaf — cheapest embedding that matches at least one query leaf
+//               (kInfinite if none). Root results report cost_leaf, which
+//               implements the full algorithm's rule of Section 6.5
+//               ("reject data subtrees that do not contain matches of any
+//               query leaf") in a single bottom-up pass.
+#ifndef APPROXQL_ENGINE_ENTRY_LIST_H_
+#define APPROXQL_ENGINE_ENTRY_LIST_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "doc/data_tree.h"
+#include "schema/schema.h"
+
+namespace approxql::engine {
+
+struct Entry {
+  doc::NodeId pre = 0;
+  doc::NodeId bound = 0;
+  cost::Cost pathcost = 0;
+  cost::Cost inscost = 0;
+  cost::Cost cost_any = 0;
+  cost::Cost cost_leaf = cost::kInfinite;
+};
+
+/// Sorted by pre, unique pre values.
+using EntryList = std::vector<Entry>;
+
+/// A uniform view over the encoded nodes of a data tree or a schema tree
+/// (the same algorithm runs over either, Section 7.2).
+struct EncodedTree {
+  const doc::DataNode* nodes = nullptr;
+  size_t size = 0;
+
+  static EncodedTree Of(const doc::DataTree& tree) {
+    // DataTree exposes nodes one at a time; the vector is contiguous.
+    return {&tree.node(0), tree.size()};
+  }
+  static EncodedTree Of(const schema::Schema& schema) {
+    return {schema.nodes().data(), schema.size()};
+  }
+
+  const doc::DataNode& node(doc::NodeId id) const {
+    APPROXQL_DCHECK(id < size);
+    return nodes[id];
+  }
+};
+
+/// One result of a query: the embedding root and the lowest cost of any
+/// embedding group rooted there (Definition 11).
+struct RootCost {
+  doc::NodeId root = 0;
+  cost::Cost cost = 0;
+
+  friend bool operator==(const RootCost& a, const RootCost& b) {
+    return a.root == b.root && a.cost == b.cost;
+  }
+};
+
+}  // namespace approxql::engine
+
+#endif  // APPROXQL_ENGINE_ENTRY_LIST_H_

@@ -1,0 +1,215 @@
+#include "engine/list_ops.h"
+
+#include <algorithm>
+
+namespace approxql::engine {
+
+using cost::Add;
+using cost::Cost;
+using cost::IsFinite;
+using cost::kInfinite;
+
+EntryList Fetch(const EncodedTree& tree, const index::Posting* posting,
+                bool as_leaf) {
+  EntryList list;
+  if (posting == nullptr) return list;
+  list.reserve(posting->size());
+  for (doc::NodeId id : *posting) {
+    const doc::DataNode& n = tree.node(id);
+    Entry e;
+    e.pre = id;
+    e.bound = n.bound;
+    e.pathcost = n.pathcost;
+    e.inscost = n.inscost;
+    e.cost_any = 0;
+    e.cost_leaf = as_leaf ? 0 : kInfinite;
+    list.push_back(e);
+  }
+  return list;
+}
+
+EntryList Merge(const EntryList& left, const EntryList& right,
+                Cost rename_cost) {
+  EntryList out;
+  out.reserve(left.size() + right.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < left.size() || j < right.size()) {
+    bool take_left =
+        j >= right.size() || (i < left.size() && left[i].pre <= right[j].pre);
+    if (take_left && j < right.size() && i < left.size() &&
+        left[i].pre == right[j].pre) {
+      // Defensive: identical node via two label variants — keep minima.
+      Entry e = left[i];
+      e.cost_any = std::min(e.cost_any, Add(right[j].cost_any, rename_cost));
+      e.cost_leaf = std::min(e.cost_leaf, Add(right[j].cost_leaf, rename_cost));
+      out.push_back(e);
+      ++i;
+      ++j;
+    } else if (take_left) {
+      out.push_back(left[i++]);
+    } else {
+      Entry e = right[j++];
+      e.cost_any = Add(e.cost_any, rename_cost);
+      e.cost_leaf = Add(e.cost_leaf, rename_cost);
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Distance between an ancestor entry and a descendant entry: the sum of
+/// the insert costs of the nodes strictly between them (Section 6.2).
+Cost Distance(const Entry& ancestor, const Entry& descendant) {
+  return descendant.pathcost - ancestor.pathcost - ancestor.inscost;
+}
+
+/// Shared structural pass of join/outerjoin: for every ancestor, the
+/// componentwise minimum of distance + descendant cost over all its
+/// descendants. Returns per-ancestor best costs (kInfinite if none).
+/// Linear in |ancestors| + |descendants| * stack depth; the stack holds
+/// only nested ancestors, so its depth is bounded by the maximal number
+/// of label repetitions along a path (the paper's l).
+std::vector<std::pair<Cost, Cost>> BestDescendantCosts(
+    const EntryList& ancestors, const EntryList& descendants) {
+  std::vector<std::pair<Cost, Cost>> best(ancestors.size(),
+                                          {kInfinite, kInfinite});
+  std::vector<size_t> stack;
+  size_t next = 0;
+  for (const Entry& d : descendants) {
+    // Open all ancestors starting before d.
+    while (next < ancestors.size() && ancestors[next].pre < d.pre) {
+      // Ancestors not containing the newcomer are finished for good
+      // (lists are sorted, so no later descendant can fall inside them).
+      while (!stack.empty() &&
+             ancestors[stack.back()].bound < ancestors[next].pre) {
+        stack.pop_back();
+      }
+      stack.push_back(next++);
+    }
+    // Close ancestors that end before d. The stack nests (outermost at
+    // the bottom), so remaining entries all contain d.
+    while (!stack.empty() && ancestors[stack.back()].bound < d.pre) {
+      stack.pop_back();
+    }
+    for (size_t idx : stack) {
+      const Entry& a = ancestors[idx];
+      APPROXQL_DCHECK(a.pre < d.pre && a.bound >= d.pre);
+      Cost dist = Distance(a, d);
+      auto& [best_any, best_leaf] = best[idx];
+      best_any = std::min(best_any, Add(dist, d.cost_any));
+      best_leaf = std::min(best_leaf, Add(dist, d.cost_leaf));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+EntryList Join(const EntryList& ancestors, const EntryList& descendants,
+               Cost edge_cost) {
+  std::vector<std::pair<Cost, Cost>> best =
+      BestDescendantCosts(ancestors, descendants);
+  EntryList out;
+  for (size_t i = 0; i < ancestors.size(); ++i) {
+    if (!IsFinite(best[i].first)) continue;
+    Entry e = ancestors[i];
+    e.cost_any = Add(best[i].first, edge_cost);
+    e.cost_leaf = Add(best[i].second, edge_cost);
+    out.push_back(e);
+  }
+  return out;
+}
+
+EntryList OuterJoin(const EntryList& ancestors, const EntryList& descendants,
+                    Cost edge_cost, Cost delete_cost) {
+  std::vector<std::pair<Cost, Cost>> best =
+      BestDescendantCosts(ancestors, descendants);
+  EntryList out;
+  for (size_t i = 0; i < ancestors.size(); ++i) {
+    Cost any = std::min(best[i].first, delete_cost);
+    if (!IsFinite(any)) continue;
+    Entry e = ancestors[i];
+    e.cost_any = Add(any, edge_cost);
+    // The deletion option matches no leaf: only real matches count.
+    e.cost_leaf = Add(best[i].second, edge_cost);
+    out.push_back(e);
+  }
+  return out;
+}
+
+EntryList Intersect(const EntryList& left, const EntryList& right,
+                    Cost edge_cost) {
+  EntryList out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < left.size() && j < right.size()) {
+    if (left[i].pre < right[j].pre) {
+      ++i;
+    } else if (left[i].pre > right[j].pre) {
+      ++j;
+    } else {
+      Entry e = left[i];
+      e.cost_any = Add(Add(left[i].cost_any, right[j].cost_any), edge_cost);
+      e.cost_leaf =
+          Add(std::min(Add(left[i].cost_leaf, right[j].cost_any),
+                       Add(left[i].cost_any, right[j].cost_leaf)),
+              edge_cost);
+      if (IsFinite(e.cost_any)) out.push_back(e);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+EntryList Union(const EntryList& left, const EntryList& right,
+                Cost edge_cost) {
+  EntryList out;
+  out.reserve(left.size() + right.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < left.size() || j < right.size()) {
+    if (j >= right.size() || (i < left.size() && left[i].pre < right[j].pre)) {
+      Entry e = left[i++];
+      e.cost_any = Add(e.cost_any, edge_cost);
+      e.cost_leaf = Add(e.cost_leaf, edge_cost);
+      out.push_back(e);
+    } else if (i >= left.size() || right[j].pre < left[i].pre) {
+      Entry e = right[j++];
+      e.cost_any = Add(e.cost_any, edge_cost);
+      e.cost_leaf = Add(e.cost_leaf, edge_cost);
+      out.push_back(e);
+    } else {
+      Entry e = left[i];
+      e.cost_any =
+          Add(std::min(left[i].cost_any, right[j].cost_any), edge_cost);
+      e.cost_leaf =
+          Add(std::min(left[i].cost_leaf, right[j].cost_leaf), edge_cost);
+      out.push_back(e);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<RootCost> SortBestN(const EntryList& list, size_t n) {
+  std::vector<RootCost> results;
+  results.reserve(list.size());
+  for (const Entry& e : list) {
+    if (IsFinite(e.cost_leaf)) {
+      results.push_back({e.pre, e.cost_leaf});
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const RootCost& a, const RootCost& b) {
+              return a.cost != b.cost ? a.cost < b.cost : a.root < b.root;
+            });
+  if (results.size() > n) results.resize(n);
+  return results;
+}
+
+}  // namespace approxql::engine

@@ -1,0 +1,46 @@
+#include "gen/query_file.h"
+
+#include "util/string_util.h"
+
+namespace approxql::gen {
+
+using util::Result;
+using util::Status;
+
+std::string WriteQueryFile(const GeneratedQuery& generated) {
+  std::string out = "query ";
+  out += generated.text;
+  out += "\n";
+  out += generated.cost_model.ToConfigString();
+  return out;
+}
+
+Result<GeneratedQuery> ParseQueryFile(std::string_view text) {
+  // The first non-blank, non-comment line must be the query directive;
+  // everything after it is cost-config.
+  size_t cursor = 0;
+  std::string_view query_line;
+  while (cursor < text.size()) {
+    size_t eol = text.find('\n', cursor);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line =
+        util::StripWhitespace(text.substr(cursor, eol - cursor));
+    cursor = eol + 1;
+    if (line.empty() || line.starts_with("#")) continue;
+    query_line = line;
+    break;
+  }
+  if (!query_line.starts_with("query ")) {
+    return Status::ParseError(
+        "query file must start with a 'query <approxql>' line");
+  }
+  GeneratedQuery out;
+  out.text = std::string(util::StripWhitespace(query_line.substr(6)));
+  ASSIGN_OR_RETURN(out.query, query::Parse(out.text));
+  std::string_view rest =
+      cursor <= text.size() ? text.substr(cursor) : std::string_view();
+  ASSIGN_OR_RETURN(out.cost_model, cost::CostModel::ParseConfig(rest));
+  return out;
+}
+
+}  // namespace approxql::gen

@@ -1,0 +1,29 @@
+// The query-file format: one self-contained text file holding an
+// approXQL query plus its transformation cost table — what the paper's
+// query generator emits ("for each produced query, the generator also
+// creates a file that contains the insert costs, the delete costs, and
+// the renamings of the query selectors", Section 8.1).
+//
+//   query cd[title["piano"]]
+//   # any cost-config directives follow
+//   delete text piano 8
+//   rename struct cd mc 4
+#ifndef APPROXQL_GEN_QUERY_FILE_H_
+#define APPROXQL_GEN_QUERY_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "gen/query_generator.h"
+
+namespace approxql::gen {
+
+/// Serializes a generated query with its cost table.
+std::string WriteQueryFile(const GeneratedQuery& generated);
+
+/// Parses a query file (inverse of WriteQueryFile).
+util::Result<GeneratedQuery> ParseQueryFile(std::string_view text);
+
+}  // namespace approxql::gen
+
+#endif  // APPROXQL_GEN_QUERY_FILE_H_

@@ -1,0 +1,95 @@
+#include "gen/query_generator.h"
+
+#include <algorithm>
+
+namespace approxql::gen {
+
+using cost::Cost;
+using cost::CostModel;
+using query::AstKind;
+using query::AstNode;
+using util::Result;
+using util::Status;
+
+QueryGenerator::QueryGenerator(const engine::Database& db,
+                               const QueryGenOptions& options)
+    : db_(db), options_(options), rng_(options.seed) {
+  const doc::LabelTable& labels = db.tree().labels();
+  for (NodeType type : {NodeType::kStruct, NodeType::kText}) {
+    auto& out = type == NodeType::kStruct ? names_ : terms_;
+    for (const auto& [label, posting] : db.label_index().postings(type)) {
+      (void)posting;
+      out.push_back(labels.Get(label));
+    }
+    std::sort(out.begin(), out.end());
+  }
+}
+
+std::string_view QueryGenerator::RandomName() {
+  APPROXQL_CHECK(!names_.empty()) << "database has no element names";
+  return names_[rng_.Uniform(names_.size())];
+}
+
+std::string_view QueryGenerator::RandomTerm() {
+  APPROXQL_CHECK(!terms_.empty()) << "database has no terms";
+  return terms_[rng_.Uniform(terms_.size())];
+}
+
+void QueryGenerator::AddTransformations(NodeType type, std::string_view label,
+                                        CostModel* model) {
+  if (rng_.NextDouble() < options_.deletable_fraction) {
+    model->SetDeleteCost(
+        type, label,
+        rng_.UniformInt(options_.min_delete_cost, options_.max_delete_cost));
+  }
+  const auto& pool = type == NodeType::kStruct ? names_ : terms_;
+  for (size_t i = 0; i < options_.renamings_per_label; ++i) {
+    std::string_view target = pool[rng_.Uniform(pool.size())];
+    if (target == label) continue;  // identity renamings are free anyway
+    model->SetRenameCost(type, label, target,
+                         rng_.UniformInt(options_.min_rename_cost,
+                                         options_.max_rename_cost));
+  }
+}
+
+void QueryGenerator::FillAst(AstNode* node, CostModel* model) {
+  switch (node->kind) {
+    case AstKind::kName:
+      if (node->label == "name") {
+        node->label = std::string(RandomName());
+      } else if (node->label == "term") {
+        // A `term` placeholder parses as a name selector; convert.
+        node->kind = AstKind::kText;
+        node->label = std::string(RandomTerm());
+        APPROXQL_CHECK(node->children.empty())
+            << "term placeholder cannot have content";
+        AddTransformations(NodeType::kText, node->label, model);
+        return;
+      }
+      AddTransformations(NodeType::kStruct, node->label, model);
+      break;
+    case AstKind::kText:
+      AddTransformations(NodeType::kText, node->label, model);
+      break;
+    case AstKind::kAnd:
+    case AstKind::kOr:
+      break;
+  }
+  for (auto& child : node->children) {
+    FillAst(child.get(), model);
+  }
+}
+
+Result<GeneratedQuery> QueryGenerator::Generate(std::string_view pattern) {
+  ASSIGN_OR_RETURN(query::Query query, query::Parse(pattern));
+  GeneratedQuery out;
+  // Transformation costs ride on the database's build-time model so that
+  // insert costs (baked into the encoding) stay consistent.
+  out.cost_model = db_.cost_model();
+  FillAst(query.root.get(), &out.cost_model);
+  out.text = query.ToString();
+  out.query = std::move(query);
+  return out;
+}
+
+}  // namespace approxql::gen

@@ -1,0 +1,82 @@
+// approXQL query generator (paper Section 8.1): takes a query pattern of
+// `name`/`term` templates and Boolean operators, fills the templates
+// with names and terms randomly selected from the database indexes, and
+// produces the accompanying cost table (delete costs and renamings of
+// the query selectors; renaming targets are again sampled from the
+// indexes).
+//
+// The paper's three benchmark patterns are provided as constants.
+#ifndef APPROXQL_GEN_QUERY_GENERATOR_H_
+#define APPROXQL_GEN_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "engine/database.h"
+#include "query/ast.h"
+#include "util/random.h"
+
+namespace approxql::gen {
+
+/// Paper Section 8.1, "simple path query".
+inline constexpr std::string_view kPattern1 = "name[name[name[term]]]";
+/// "small Boolean query".
+inline constexpr std::string_view kPattern2 =
+    "name[name[term and (term or term)]]";
+/// "large Boolean query".
+inline constexpr std::string_view kPattern3 =
+    "name[name[name[term and term and (term or term)] or "
+    "name[name[term and term]]] and name]";
+
+struct QueryGenOptions {
+  uint64_t seed = 1;
+  /// Renamings per query label (the paper tests 0, 5 and 10).
+  size_t renamings_per_label = 0;
+  /// Renaming costs are drawn uniformly from this range.
+  cost::Cost min_rename_cost = 1;
+  cost::Cost max_rename_cost = 8;
+  /// Delete costs of query selectors, drawn uniformly.
+  cost::Cost min_delete_cost = 2;
+  cost::Cost max_delete_cost = 10;
+  /// Fraction of selectors made deletable at all.
+  double deletable_fraction = 1.0;
+};
+
+struct GeneratedQuery {
+  query::Query query;
+  /// Transformation costs for this query (insert costs untouched, so the
+  /// database encoding stays valid).
+  cost::CostModel cost_model;
+  std::string text;  // canonical approXQL form
+};
+
+class QueryGenerator {
+ public:
+  /// Samples labels from `db`'s indexes. The database must outlive the
+  /// generator.
+  QueryGenerator(const engine::Database& db, const QueryGenOptions& options);
+
+  /// Instantiates `pattern` (approXQL syntax with the placeholder
+  /// selectors `name` and `term`).
+  util::Result<GeneratedQuery> Generate(std::string_view pattern);
+
+ private:
+  std::string_view RandomName();
+  std::string_view RandomTerm();
+  void FillAst(query::AstNode* node, cost::CostModel* model);
+  void AddTransformations(NodeType type, std::string_view label,
+                          cost::CostModel* model);
+
+  const engine::Database& db_;
+  QueryGenOptions options_;
+  util::Rng rng_;
+  // Sorted label names for deterministic sampling.
+  std::vector<std::string_view> names_;
+  std::vector<std::string_view> terms_;
+};
+
+}  // namespace approxql::gen
+
+#endif  // APPROXQL_GEN_QUERY_GENERATOR_H_

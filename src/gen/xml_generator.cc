@@ -1,0 +1,114 @@
+#include "gen/xml_generator.h"
+
+#include <algorithm>
+
+#include "xml/xml_dom.h"
+
+namespace approxql::gen {
+
+using doc::DataTree;
+using doc::DataTreeBuilder;
+using util::Result;
+
+XmlGenerator::XmlGenerator(const XmlGenOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(std::max<size_t>(options.vocabulary, 1), options.zipf_theta) {
+  BuildTemplate();
+}
+
+std::string XmlGenerator::ElementName(size_t index) const {
+  return "elem" + std::to_string(index % options_.element_names);
+}
+
+std::string XmlGenerator::Term(size_t rank) const {
+  return "term" + std::to_string(rank % options_.vocabulary);
+}
+
+void XmlGenerator::BuildTemplate() {
+  // Breadth-first growth: each open slot receives 0..max_children
+  // children until the node budget is spent. Labels are drawn uniformly;
+  // repeated labels at different positions create distinct label paths
+  // (recursion included), like real heterogeneous collections.
+  template_.clear();
+  template_.push_back({/*name=*/0, {}, /*words_mean=*/0});
+  std::vector<std::pair<size_t, size_t>> open = {{0, 0}};  // (node, depth)
+  size_t cursor = 0;
+  while (cursor < open.size() && template_.size() < options_.template_nodes) {
+    auto [node, depth] = open[cursor++];
+    if (depth + 1 >= options_.template_max_depth) continue;
+    size_t children = 1 + rng_.Uniform(options_.template_max_children);
+    for (size_t i = 0;
+         i < children && template_.size() < options_.template_nodes; ++i) {
+      size_t child = template_.size();
+      TemplateNode t;
+      t.name = rng_.Uniform(options_.element_names);
+      template_.push_back(std::move(t));
+      template_[node].children.push_back(child);
+      open.emplace_back(child, depth + 1);
+    }
+  }
+  // Words concentrate at the leaves of the template; inner nodes carry a
+  // smaller share, mirroring data-centric XML. Calibrate the means so
+  // the expected total matches words_per_element.
+  size_t leaves = 0;
+  for (const auto& t : template_) leaves += t.children.empty() ? 1 : 0;
+  double leaf_share = 0.8;
+  double inner_share = 1.0 - leaf_share;
+  size_t inner = template_.size() - leaves;
+  for (auto& t : template_) {
+    if (t.children.empty()) {
+      t.words_mean = options_.words_per_element * template_.size() *
+                     leaf_share / std::max<size_t>(leaves, 1);
+    } else {
+      t.words_mean = options_.words_per_element * template_.size() *
+                     inner_share / std::max<size_t>(inner, 1);
+    }
+  }
+}
+
+void XmlGenerator::EmitWords(double mean, DataTreeBuilder* builder) {
+  // Uniform in [0, 2*mean] has the right expectation and enough spread.
+  size_t count = rng_.Uniform(static_cast<uint64_t>(2 * mean) + 1);
+  for (size_t i = 0; i < count; ++i) {
+    builder->AddWord(Term(zipf_.Sample(rng_)));
+  }
+}
+
+size_t XmlGenerator::Instantiate(size_t node, size_t depth, size_t budget,
+                                 DataTreeBuilder* builder) {
+  const TemplateNode& t = template_[node];
+  builder->StartElement(ElementName(t.name));
+  EmitWords(t.words_mean, builder);
+  size_t emitted = 1;
+  for (size_t child : t.children) {
+    if (emitted >= budget) break;
+    size_t repeats = rng_.Uniform(options_.max_repeats + 1);
+    for (size_t r = 0; r < repeats && emitted < budget; ++r) {
+      emitted +=
+          Instantiate(child, depth + 1, budget - emitted, builder);
+    }
+  }
+  builder->EndElement();
+  return emitted;
+}
+
+Result<DataTree> XmlGenerator::GenerateTree(const cost::CostModel& model) {
+  DataTreeBuilder builder;
+  size_t elements = 0;
+  while (elements < options_.total_elements) {
+    elements += Instantiate(0, 0, options_.elements_per_document, &builder);
+  }
+  return std::move(builder).Build(model);
+}
+
+std::string XmlGenerator::GenerateDocumentXml() {
+  DataTreeBuilder builder;
+  Instantiate(0, 0, options_.elements_per_document, &builder);
+  auto tree = std::move(builder).Build(cost::CostModel());
+  APPROXQL_CHECK(tree.ok());
+  // The document root is the super-root's single child.
+  return xml::WriteXml(tree->ToXml(tree->FirstChild(tree->root())));
+}
+
+}  // namespace approxql::gen

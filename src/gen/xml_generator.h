@@ -1,0 +1,89 @@
+// Synthetic XML collection generator, replacing the generator of
+// Aboulnaga, Naughton & Zhang [1] used in the paper's experiments
+// (Section 8.1). The knobs the paper reports are reproduced: total
+// number of elements, number of distinct element names (100), vocabulary
+// size, total word occurrences (words per element), and a Zipfian term
+// frequency distribution.
+//
+// Shape: a random schema template (a small tree of element names) is
+// drawn first; documents are instantiations of the template with random
+// per-child repetition counts. This yields the structural regularities a
+// DataGuide compacts — the property the schema-driven evaluation relies
+// on — while still producing recursive, skewed documents.
+#ifndef APPROXQL_GEN_XML_GENERATOR_H_
+#define APPROXQL_GEN_XML_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "doc/data_tree.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace approxql::gen {
+
+struct XmlGenOptions {
+  uint64_t seed = 42;
+
+  /// Approximate total number of elements across the collection (the
+  /// generator stops starting new documents once reached).
+  size_t total_elements = 100000;
+  /// Distinct element names (paper: 100).
+  size_t element_names = 100;
+  /// Distinct terms (paper: 100,000 for 1M elements; scale accordingly).
+  size_t vocabulary = 10000;
+  /// Average words attached per element (paper: 10M words / 1M elements).
+  double words_per_element = 10.0;
+  /// Zipf exponent of the term distribution.
+  double zipf_theta = 1.0;
+
+  /// Template (schema) shape.
+  size_t template_nodes = 150;
+  size_t template_max_depth = 8;
+  size_t template_max_children = 4;
+  /// Maximum repetitions of one template child per parent instance.
+  size_t max_repeats = 3;
+  /// Approximate elements per document (paper parameter).
+  size_t elements_per_document = 100;
+};
+
+class XmlGenerator {
+ public:
+  explicit XmlGenerator(const XmlGenOptions& options);
+
+  /// Generates the whole collection directly into a data tree encoded
+  /// with `model` (no XML text round-trip).
+  util::Result<doc::DataTree> GenerateTree(const cost::CostModel& model);
+
+  /// Generates one document as XML text (for files and examples).
+  /// Successive calls produce different documents.
+  std::string GenerateDocumentXml();
+
+  /// Element name / term by index (used by tests).
+  std::string ElementName(size_t index) const;
+  std::string Term(size_t rank) const;
+
+ private:
+  struct TemplateNode {
+    size_t name = 0;                 // element-name index
+    std::vector<size_t> children;    // template node ids
+    double words_mean = 0;           // average words attached here
+  };
+
+  void BuildTemplate();
+  /// Instantiates `node`; returns the number of elements emitted.
+  size_t Instantiate(size_t node, size_t depth, size_t budget,
+                     doc::DataTreeBuilder* builder);
+  void EmitWords(double mean, doc::DataTreeBuilder* builder);
+
+  XmlGenOptions options_;
+  util::Rng rng_;
+  util::ZipfDistribution zipf_;
+  std::vector<TemplateNode> template_;
+};
+
+}  // namespace approxql::gen
+
+#endif  // APPROXQL_GEN_XML_GENERATOR_H_

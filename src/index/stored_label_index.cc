@@ -1,0 +1,34 @@
+#include "index/stored_label_index.h"
+
+#include "util/varint.h"
+
+namespace approxql::index {
+
+const Posting* StoredLabelIndex::Fetch(NodeType type,
+                                       doc::LabelId label) const {
+  uint64_t key = Key(type, label);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second.get();
+
+  std::string store_key(prefix_);
+  store_key.push_back(type == NodeType::kStruct ? 's' : 't');
+  util::PutVarint32(&store_key, label);
+  auto value = store_->Get(store_key);
+  if (!value.ok()) {
+    if (!value.status().IsNotFound()) ++corrupt_fetches_;
+    cache_.emplace(key, nullptr);  // negative-cache misses too
+    return nullptr;
+  }
+  auto posting = DeserializePosting(*value);
+  if (!posting.ok()) {
+    ++corrupt_fetches_;
+    cache_.emplace(key, nullptr);
+    return nullptr;
+  }
+  auto owned = std::make_unique<Posting>(std::move(posting).value());
+  const Posting* raw = owned.get();
+  cache_.emplace(key, std::move(owned));
+  return raw;
+}
+
+}  // namespace approxql::index

@@ -1,0 +1,50 @@
+// A PostingSource that reads postings out of a KvStore on first use and
+// caches the decoded lists — the paper's deployment shape ("implemented
+// in C++ on top of the Berkeley DB", Section 8.1): queries hit the
+// store for exactly the labels they mention instead of loading the
+// whole index up front.
+#ifndef APPROXQL_INDEX_STORED_LABEL_INDEX_H_
+#define APPROXQL_INDEX_STORED_LABEL_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "index/label_index.h"
+#include "storage/kv_store.h"
+
+namespace approxql::index {
+
+class StoredLabelIndex : public PostingSource {
+ public:
+  /// Reads postings persisted by LabelIndex::PersistTo(store, prefix).
+  /// The store must outlive this object.
+  StoredLabelIndex(const storage::KvStore* store, std::string prefix)
+      : store_(store), prefix_(std::move(prefix)) {}
+
+  /// Fetches from the cache or the store. Unknown labels and postings
+  /// that fail to decode return nullptr (a decode failure is also
+  /// recorded; see corrupt_fetches()).
+  const Posting* Fetch(NodeType type, doc::LabelId label) const override;
+
+  /// Number of postings materialized so far.
+  size_t CachedCount() const { return cache_.size(); }
+  /// Store reads that returned corrupt bytes (should stay 0).
+  size_t corrupt_fetches() const { return corrupt_fetches_; }
+
+ private:
+  static uint64_t Key(NodeType type, doc::LabelId label) {
+    return (static_cast<uint64_t>(type) << 32) | label;
+  }
+
+  const storage::KvStore* store_;
+  std::string prefix_;
+  // Pointers into the map stay valid under rehash (node-based), which
+  // is what lets Fetch hand out stable Posting pointers.
+  mutable std::unordered_map<uint64_t, std::unique_ptr<Posting>> cache_;
+  mutable size_t corrupt_fetches_ = 0;
+};
+
+}  // namespace approxql::index
+
+#endif  // APPROXQL_INDEX_STORED_LABEL_INDEX_H_

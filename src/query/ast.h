@@ -1,0 +1,65 @@
+// approXQL abstract syntax (paper Section 3). The language subset:
+// name selectors, text selectors, the containment operator "[]" and the
+// Boolean operators "and" / "or":
+//
+//   cd[title["piano" and "concerto"] and composer["rachmaninov"]]
+//
+// Grammar (text selectors accept double or single quotes; "and" binds
+// tighter than "or"):
+//   query    := selector
+//   selector := NAME ( '[' or-expr ']' )?
+//   or-expr  := and-expr ( 'or' and-expr )*
+//   and-expr := primary ( 'and' primary )*
+//   primary  := selector | TEXT | '(' or-expr ')'
+//
+// A TEXT selector with several words ("piano concerto") is sugar for the
+// conjunction of its words, matching the word-granular data model.
+#ifndef APPROXQL_QUERY_AST_H_
+#define APPROXQL_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace approxql::query {
+
+enum class AstKind : uint8_t {
+  kName,  // name selector; at most one child (the bracket expression)
+  kText,  // text selector (single word); no children
+  kAnd,   // n-ary conjunction
+  kOr,    // n-ary disjunction
+};
+
+struct AstNode {
+  AstKind kind;
+  std::string label;  // kName / kText only
+  std::vector<std::unique_ptr<AstNode>> children;
+};
+
+/// A parsed approXQL query; the root is always a name selector.
+struct Query {
+  std::unique_ptr<AstNode> root;
+
+  /// Canonical text form (parses back to an equal AST).
+  std::string ToString() const;
+};
+
+/// Parses approXQL text. Errors carry a character offset.
+util::Result<Query> Parse(std::string_view text);
+
+/// Structural equality of ASTs (for tests).
+bool AstEquals(const AstNode& a, const AstNode& b);
+
+/// Number of selectors (name + text nodes) in the query.
+size_t SelectorCount(const AstNode& node);
+
+/// Number of "or" operators in the query (the separated representation
+/// has up to 2^or-count conjunctive queries).
+size_t OrCount(const AstNode& node);
+
+}  // namespace approxql::query
+
+#endif  // APPROXQL_QUERY_AST_H_

@@ -1,0 +1,197 @@
+#include "query/expanded.h"
+
+#include <limits>
+#include <unordered_map>
+
+namespace approxql::query {
+
+using cost::CostModel;
+using util::Result;
+using util::Status;
+
+ExpandedNode* ExpandedQuery::New(RepType rep) {
+  auto node = std::make_unique<ExpandedNode>();
+  node->rep = rep;
+  node->id = static_cast<int>(arena_.size());
+  ExpandedNode* raw = node.get();
+  arena_.push_back(std::move(node));
+  return raw;
+}
+
+const ExpandedNode* ExpandedQuery::BuildExpr(const AstNode& ast,
+                                             const CostModel& model) {
+  switch (ast.kind) {
+    case AstKind::kText: {
+      ExpandedNode* leaf = New(RepType::kLeaf);
+      leaf->type = NodeType::kText;
+      leaf->label = ast.label;
+      leaf->renamings = model.RenamingsOf(NodeType::kText, ast.label);
+      leaf->delcost = model.DeleteCost(NodeType::kText, ast.label);
+      return leaf;
+    }
+    case AstKind::kName:
+      return BuildSelector(ast, model, /*is_root=*/false);
+    case AstKind::kAnd:
+    case AstKind::kOr: {
+      RepType rep = ast.kind == AstKind::kAnd ? RepType::kAnd : RepType::kOr;
+      const ExpandedNode* acc = BuildExpr(*ast.children.front(), model);
+      for (size_t i = 1; i < ast.children.size(); ++i) {
+        ExpandedNode* op = New(rep);
+        op->left = acc;
+        op->right = BuildExpr(*ast.children[i], model);
+        op->edgecost = 0;  // query-level operators carry no edge cost
+        acc = op;
+      }
+      return acc;
+    }
+  }
+  APPROXQL_CHECK(false) << "unreachable AST kind";
+  return nullptr;
+}
+
+const ExpandedNode* ExpandedQuery::BuildSelector(const AstNode& ast,
+                                                 const CostModel& model,
+                                                 bool is_root) {
+  APPROXQL_DCHECK(ast.kind == AstKind::kName);
+  if (ast.children.empty() && !is_root) {
+    // A name selector without content is a query leaf of type struct.
+    ExpandedNode* leaf = New(RepType::kLeaf);
+    leaf->type = NodeType::kStruct;
+    leaf->label = ast.label;
+    leaf->renamings = model.RenamingsOf(NodeType::kStruct, ast.label);
+    leaf->delcost = model.DeleteCost(NodeType::kStruct, ast.label);
+    return leaf;
+  }
+  const ExpandedNode* child =
+      ast.children.empty() ? nullptr : BuildExpr(*ast.children.front(), model);
+  ExpandedNode* node = New(RepType::kNode);
+  node->type = NodeType::kStruct;
+  node->label = ast.label;
+  node->renamings = model.RenamingsOf(NodeType::kStruct, ast.label);
+  node->is_root = is_root;
+  node->left = child;
+  if (is_root) return node;
+  // Deletable inner node: wrap in a deletion bridge that shares the
+  // child subtree (DAG edge), per Figure 2(a). The root is never
+  // deletable (Definition 3).
+  cost::Cost delete_cost = model.DeleteCost(NodeType::kStruct, ast.label);
+  if (!cost::IsFinite(delete_cost)) return node;
+  ExpandedNode* bridge = New(RepType::kOr);
+  bridge->left = node;
+  bridge->right = child;
+  bridge->edgecost = delete_cost;
+  return bridge;
+}
+
+Result<ExpandedQuery> ExpandedQuery::Build(const Query& query,
+                                           const CostModel& model) {
+  if (query.root == nullptr) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (query.root->kind != AstKind::kName) {
+    return Status::InvalidArgument("query root must be a name selector");
+  }
+  ExpandedQuery expanded;
+  expanded.root_ =
+      expanded.BuildSelector(*query.root, model, /*is_root=*/true);
+  return expanded;
+}
+
+namespace {
+
+size_t SaturatingMul(size_t a, size_t b) {
+  if (a != 0 && b > std::numeric_limits<size_t>::max() / a) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return a * b;
+}
+
+size_t SaturatingAdd(size_t a, size_t b) {
+  size_t sum = a + b;
+  return sum < a ? std::numeric_limits<size_t>::max() : sum;
+}
+
+/// Counts derivable semi-transformed queries: label choices multiply,
+/// "or" edges add, "and" edges multiply, a deletable leaf doubles (kept
+/// or deleted).
+size_t Count(const ExpandedNode* node,
+             std::unordered_map<const ExpandedNode*, size_t>* memo) {
+  auto it = memo->find(node);
+  if (it != memo->end()) return it->second;
+  size_t result = 0;
+  switch (node->rep) {
+    case RepType::kLeaf:
+      result = 1 + node->renamings.size();
+      if (cost::IsFinite(node->delcost)) result = SaturatingAdd(result, 1);
+      break;
+    case RepType::kNode: {
+      size_t labels = 1 + node->renamings.size();
+      size_t below = node->left == nullptr ? 1 : Count(node->left, memo);
+      result = SaturatingMul(labels, below);
+      break;
+    }
+    case RepType::kAnd:
+      result = SaturatingMul(Count(node->left, memo), Count(node->right, memo));
+      break;
+    case RepType::kOr:
+      result = SaturatingAdd(Count(node->left, memo), Count(node->right, memo));
+      break;
+  }
+  (*memo)[node] = result;
+  return result;
+}
+
+const char* RepName(RepType rep) {
+  switch (rep) {
+    case RepType::kNode:
+      return "node";
+    case RepType::kLeaf:
+      return "leaf";
+    case RepType::kAnd:
+      return "and";
+    case RepType::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+}  // namespace
+
+size_t ExpandedQuery::SemiTransformedCount() const {
+  std::unordered_map<const ExpandedNode*, size_t> memo;
+  return Count(root_, &memo);
+}
+
+std::string ExpandedQuery::ToDot() const {
+  std::string out = "digraph expanded {\n";
+  for (const auto& node : arena_) {
+    out += "  n" + std::to_string(node->id) + " [label=\"";
+    out += RepName(node->rep);
+    if (node->rep == RepType::kNode || node->rep == RepType::kLeaf) {
+      out += ": " + node->label;
+      for (const auto& renaming : node->renamings) {
+        out += " | " + renaming.to + "/" + std::to_string(renaming.cost);
+      }
+      if (node->rep == RepType::kLeaf && cost::IsFinite(node->delcost)) {
+        out += " del=" + std::to_string(node->delcost);
+      }
+    }
+    out += "\"];\n";
+    if (node->left != nullptr) {
+      out += "  n" + std::to_string(node->id) + " -> n" +
+             std::to_string(node->left->id) + ";\n";
+    }
+    if (node->right != nullptr) {
+      out += "  n" + std::to_string(node->id) + " -> n" +
+             std::to_string(node->right->id);
+      if (node->rep == RepType::kOr && node->edgecost > 0) {
+        out += " [label=\"" + std::to_string(node->edgecost) + "\"]";
+      }
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace approxql::query

@@ -1,0 +1,250 @@
+#include "query/ast.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace approxql::query {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == ':' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Query> Parse() {
+    SkipWhitespace();
+    ASSIGN_OR_RETURN(std::unique_ptr<AstNode> root, ParseSelector());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    Query query;
+    query.root = std::move(root);
+    return query;
+  }
+
+ private:
+  Status Error(std::string message) const {
+    return Status::ParseError("query offset " + std::to_string(pos_) + ": " +
+                              std::move(message));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// True if the next token is the keyword `word` (consumes it).
+  bool ConsumeKeyword(std::string_view word) {
+    SkipWhitespace();
+    if (!text_.substr(pos_).starts_with(word)) return false;
+    size_t end = pos_ + word.size();
+    if (end < text_.size() && IsNameChar(text_[end])) return false;
+    pos_ = end;
+    return true;
+  }
+
+  Result<std::unique_ptr<AstNode>> ParseSelector() {
+    SkipWhitespace();
+    if (AtEnd() || !IsNameChar(Peek())) {
+      return Error("expected name selector");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    std::string name(text_.substr(start, pos_ - start));
+    if (name == "and" || name == "or") {
+      return Error("'" + name + "' is a reserved word");
+    }
+    auto node = std::make_unique<AstNode>();
+    node->kind = AstKind::kName;
+    node->label = std::move(name);
+    SkipWhitespace();
+    if (Consume('[')) {
+      ASSIGN_OR_RETURN(std::unique_ptr<AstNode> expr, ParseOrExpr());
+      SkipWhitespace();
+      if (!Consume(']')) return Error("expected ']'");
+      node->children.push_back(std::move(expr));
+    }
+    return node;
+  }
+
+  /// Appends `child` to the n-ary `parent`, splicing same-kind children
+  /// so "a and b and c" is one flat kAnd whether it came from operators
+  /// or from a multi-word text selector.
+  static void Adopt(AstNode* parent, std::unique_ptr<AstNode> child) {
+    if (child->kind == parent->kind) {
+      for (auto& grandchild : child->children) {
+        parent->children.push_back(std::move(grandchild));
+      }
+    } else {
+      parent->children.push_back(std::move(child));
+    }
+  }
+
+  Result<std::unique_ptr<AstNode>> ParseOrExpr() {
+    ASSIGN_OR_RETURN(std::unique_ptr<AstNode> first, ParseAndExpr());
+    if (!ConsumeKeyword("or")) return first;
+    auto node = std::make_unique<AstNode>();
+    node->kind = AstKind::kOr;
+    Adopt(node.get(), std::move(first));
+    do {
+      ASSIGN_OR_RETURN(std::unique_ptr<AstNode> next, ParseAndExpr());
+      Adopt(node.get(), std::move(next));
+    } while (ConsumeKeyword("or"));
+    return node;
+  }
+
+  Result<std::unique_ptr<AstNode>> ParseAndExpr() {
+    ASSIGN_OR_RETURN(std::unique_ptr<AstNode> first, ParsePrimary());
+    if (!ConsumeKeyword("and")) return first;
+    auto node = std::make_unique<AstNode>();
+    node->kind = AstKind::kAnd;
+    Adopt(node.get(), std::move(first));
+    do {
+      ASSIGN_OR_RETURN(std::unique_ptr<AstNode> next, ParsePrimary());
+      Adopt(node.get(), std::move(next));
+    } while (ConsumeKeyword("and"));
+    return node;
+  }
+
+  Result<std::unique_ptr<AstNode>> ParsePrimary() {
+    SkipWhitespace();
+    if (AtEnd()) return Error("expected selector, text, or '('");
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      ASSIGN_OR_RETURN(std::unique_ptr<AstNode> expr, ParseOrExpr());
+      SkipWhitespace();
+      if (!Consume(')')) return Error("expected ')'");
+      return expr;
+    }
+    if (c == '"' || c == '\'') {
+      return ParseTextSelector();
+    }
+    return ParseSelector();
+  }
+
+  Result<std::unique_ptr<AstNode>> ParseTextSelector() {
+    char quote = Peek();
+    ++pos_;
+    // The paper's examples typeset the opening quote as ''; accept a
+    // doubled single quote as one delimiter.
+    if (quote == '\'' && Consume('\'')) quote = '\'';
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) return Error("unterminated text selector");
+    std::string_view raw = text_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    std::vector<std::string> words = util::SplitWords(raw);
+    if (words.empty()) {
+      return Error("text selector contains no words");
+    }
+    if (words.size() == 1) {
+      auto node = std::make_unique<AstNode>();
+      node->kind = AstKind::kText;
+      node->label = std::move(words[0]);
+      return node;
+    }
+    // Multi-word text selector: conjunction of its words.
+    auto conj = std::make_unique<AstNode>();
+    conj->kind = AstKind::kAnd;
+    for (auto& word : words) {
+      auto leaf = std::make_unique<AstNode>();
+      leaf->kind = AstKind::kText;
+      leaf->label = std::move(word);
+      conj->children.push_back(std::move(leaf));
+    }
+    return conj;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendString(const AstNode& node, std::string* out) {
+  switch (node.kind) {
+    case AstKind::kName:
+      out->append(node.label);
+      if (!node.children.empty()) {
+        out->push_back('[');
+        AppendString(*node.children.front(), out);
+        out->push_back(']');
+      }
+      break;
+    case AstKind::kText:
+      out->push_back('"');
+      out->append(node.label);
+      out->push_back('"');
+      break;
+    case AstKind::kAnd:
+    case AstKind::kOr: {
+      const char* op = node.kind == AstKind::kAnd ? " and " : " or ";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out->append(op);
+        const AstNode& child = *node.children[i];
+        bool needs_parens = child.kind == AstKind::kOr ||
+                            (node.kind == AstKind::kOr &&
+                             child.kind == AstKind::kAnd);
+        if (needs_parens) out->push_back('(');
+        AppendString(child, out);
+        if (needs_parens) out->push_back(')');
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Query> Parse(std::string_view text) { return Parser(text).Parse(); }
+
+std::string Query::ToString() const {
+  std::string out;
+  if (root != nullptr) AppendString(*root, &out);
+  return out;
+}
+
+bool AstEquals(const AstNode& a, const AstNode& b) {
+  if (a.kind != b.kind || a.label != b.label ||
+      a.children.size() != b.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!AstEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+size_t SelectorCount(const AstNode& node) {
+  size_t n = node.kind == AstKind::kName || node.kind == AstKind::kText ? 1 : 0;
+  for (const auto& child : node.children) n += SelectorCount(*child);
+  return n;
+}
+
+size_t OrCount(const AstNode& node) {
+  size_t n =
+      node.kind == AstKind::kOr ? node.children.size() - 1 : 0;
+  for (const auto& child : node.children) n += OrCount(*child);
+  return n;
+}
+
+}  // namespace approxql::query

@@ -1,0 +1,169 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace approxql::schema {
+
+using cost::CostModel;
+using doc::DataNode;
+using doc::DataTree;
+using doc::kInvalidLabel;
+using doc::kInvalidNode;
+using doc::LabelId;
+using doc::NodeId;
+
+namespace {
+
+/// Temporary class record during construction (creation order).
+struct ClassRecord {
+  uint32_t parent = UINT32_MAX;
+  LabelId label = kInvalidLabel;
+  NodeType type = NodeType::kStruct;
+  std::vector<uint32_t> children;  // creation order
+};
+
+/// Key of a class: (parent class, type, label). Text classes are keyed
+/// with the shared text-class label (compaction).
+uint64_t ClassKey(uint32_t parent, NodeType type, LabelId label) {
+  // parent < 2^31 classes, label < 2^32: fold with a mixing constant.
+  return (static_cast<uint64_t>(parent) << 33) ^
+         (static_cast<uint64_t>(type) << 32) ^ label;
+}
+
+}  // namespace
+
+Schema Schema::Build(DataTree* tree, const CostModel& model) {
+  Schema schema;
+  schema.text_class_label_ = tree->mutable_labels().Intern(kTextClassLabel);
+
+  // Pass 1: assign a class to every data node.
+  std::vector<ClassRecord> classes;
+  std::unordered_map<uint64_t, uint32_t> class_by_key;
+  schema.class_of_.resize(tree->size());
+
+  for (NodeId id = 0; id < tree->size(); ++id) {
+    const DataNode& n = tree->node(id);
+    uint32_t parent_class =
+        n.parent == kInvalidNode ? UINT32_MAX : schema.class_of_[n.parent];
+    LabelId class_label =
+        n.type == NodeType::kText ? schema.text_class_label_ : n.label;
+    uint64_t key = ClassKey(parent_class, n.type, class_label);
+    APPROXQL_CHECK(classes.size() < (1u << 31)) << "schema too large";
+    auto [it, created] =
+        class_by_key.try_emplace(key, static_cast<uint32_t>(classes.size()));
+    if (created) {
+      ClassRecord record;
+      record.parent = parent_class;
+      record.label = class_label;
+      record.type = n.type;
+      classes.push_back(std::move(record));
+      if (parent_class != UINT32_MAX) {
+        classes[parent_class].children.push_back(it->second);
+      }
+    }
+    schema.class_of_[id] = it->second;
+  }
+
+  // Assign schema preorder numbers by iterative DFS over creation-order
+  // children (deterministic).
+  std::vector<uint32_t> pre_of_class(classes.size(), UINT32_MAX);
+  schema.nodes_.resize(classes.size());
+  {
+    std::vector<std::pair<uint32_t, uint32_t>> stack;  // (class, schema parent)
+    stack.emplace_back(0, UINT32_MAX);
+    uint32_t next_pre = 0;
+    while (!stack.empty()) {
+      auto [cls, schema_parent] = stack.back();
+      stack.pop_back();
+      uint32_t pre = next_pre++;
+      pre_of_class[cls] = pre;
+      DataNode& node = schema.nodes_[pre];
+      node.parent = schema_parent;
+      node.label = classes[cls].label;
+      node.type = classes[cls].type;
+      // Push children in reverse so they pop in creation order.
+      const auto& children = classes[cls].children;
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        stack.emplace_back(*it, pre);
+      }
+    }
+  }
+  // Remap class ids to schema preorder numbers.
+  for (auto& cls : schema.class_of_) cls = pre_of_class[cls];
+
+  // Bounds (children precede parents in reverse preorder) and costs.
+  for (uint32_t id = 0; id < schema.nodes_.size(); ++id) {
+    schema.nodes_[id].bound = id;
+  }
+  for (uint32_t id = static_cast<uint32_t>(schema.nodes_.size()); id-- > 1;) {
+    DataNode& parent = schema.nodes_[schema.nodes_[id].parent];
+    parent.bound = std::max(parent.bound, schema.nodes_[id].bound);
+  }
+  for (uint32_t id = 0; id < schema.nodes_.size(); ++id) {
+    DataNode& n = schema.nodes_[id];
+    n.inscost =
+        n.type == NodeType::kStruct
+            ? model.InsertCost(NodeType::kStruct, tree->labels().Get(n.label))
+            : 0;
+    if (n.parent == UINT32_MAX) {
+      n.pathcost = 0;
+    } else {
+      const DataNode& p = schema.nodes_[n.parent];
+      n.pathcost = cost::Add(p.pathcost, p.inscost);
+    }
+  }
+
+  // Schema label index: struct classes directly from the schema tree
+  // (skip the super-root class, like the data index).
+  for (uint32_t id = 1; id < schema.nodes_.size(); ++id) {
+    const DataNode& n = schema.nodes_[id];
+    if (n.type == NodeType::kStruct) {
+      schema.label_index_.Add(NodeType::kStruct, n.label, id);
+    }
+  }
+
+  // Pass 2: instance postings (I_sec) keyed by (class, label), and the
+  // word -> text-class postings for the schema's I_text.
+  for (NodeId id = 1; id < tree->size(); ++id) {
+    const DataNode& n = tree->node(id);
+    uint32_t cls = schema.class_of_[id];
+    // I_sec postings grow in ascending data preorder.
+    schema.secondary_.Add(cls, n.label, id);
+  }
+  // Derive I_text over the schema from the secondary keys: word ->
+  // sorted list of text classes containing it.
+  {
+    std::vector<std::pair<LabelId, uint32_t>> word_classes;
+    for (NodeId id = 1; id < tree->size(); ++id) {
+      const DataNode& n = tree->node(id);
+      if (n.type == NodeType::kText) {
+        word_classes.emplace_back(n.label, schema.class_of_[id]);
+      }
+    }
+    std::sort(word_classes.begin(), word_classes.end());
+    word_classes.erase(std::unique(word_classes.begin(), word_classes.end()),
+                       word_classes.end());
+    for (const auto& [word, cls] : word_classes) {
+      schema.label_index_.Add(NodeType::kText, word, cls);
+    }
+  }
+  return schema;
+}
+
+std::string Schema::PathOf(uint32_t schema_node,
+                           const doc::LabelTable& labels) const {
+  std::vector<uint32_t> path;
+  for (uint32_t cursor = schema_node; cursor != UINT32_MAX;
+       cursor = nodes_[cursor].parent) {
+    path.push_back(cursor);
+  }
+  std::string out;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if (!out.empty()) out.push_back('/');
+    out.append(labels.Get(nodes_[*it].label));
+  }
+  return out;
+}
+
+}  // namespace approxql::schema

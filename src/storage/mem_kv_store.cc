@@ -1,0 +1,58 @@
+#include "storage/mem_kv_store.h"
+
+namespace approxql::storage {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+class MemIterator : public KvIterator {
+ public:
+  explicit MemIterator(const std::map<std::string, std::string, std::less<>>* map)
+      : map_(map), it_(map->end()) {}
+
+  void Seek(std::string_view key) override { it_ = map_->lower_bound(key); }
+  void SeekToFirst() override { it_ = map_->begin(); }
+  bool Valid() const override { return it_ != map_->end(); }
+  void Next() override { ++it_; }
+  std::string_view key() const override { return it_->first; }
+  std::string_view value() const override { return it_->second; }
+
+ private:
+  const std::map<std::string, std::string, std::less<>>* map_;
+  std::map<std::string, std::string, std::less<>>::const_iterator it_;
+};
+
+}  // namespace
+
+Status MemKvStore::Put(std::string_view key, std::string_view value) {
+  map_.insert_or_assign(std::string(key), std::string(value));
+  return Status::OK();
+}
+
+Result<std::string> MemKvStore::Get(std::string_view key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return Status::NotFound("key not found: " + std::string(key));
+  }
+  return it->second;
+}
+
+Status MemKvStore::Delete(std::string_view key, bool* existed) {
+  auto it = map_.find(key);
+  bool found = it != map_.end();
+  if (found) map_.erase(it);
+  if (existed != nullptr) *existed = found;
+  return Status::OK();
+}
+
+Result<bool> MemKvStore::Contains(std::string_view key) const {
+  return map_.find(key) != map_.end();
+}
+
+std::unique_ptr<KvIterator> MemKvStore::NewIterator() const {
+  return std::make_unique<MemIterator>(&map_);
+}
+
+}  // namespace approxql::storage

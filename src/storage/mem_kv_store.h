@@ -1,0 +1,32 @@
+// In-memory KvStore over std::map. Default store for query evaluation
+// benchmarks (the paper measures algorithm time, not disk time).
+#ifndef APPROXQL_STORAGE_MEM_KV_STORE_H_
+#define APPROXQL_STORAGE_MEM_KV_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "storage/kv_store.h"
+
+namespace approxql::storage {
+
+class MemKvStore : public KvStore {
+ public:
+  MemKvStore() = default;
+
+  util::Status Put(std::string_view key, std::string_view value) override;
+  util::Result<std::string> Get(std::string_view key) const override;
+  util::Status Delete(std::string_view key, bool* existed) override;
+  util::Result<bool> Contains(std::string_view key) const override;
+  std::unique_ptr<KvIterator> NewIterator() const override;
+  size_t KeyCount() const override { return map_.size(); }
+  util::Status Flush() override { return util::Status::OK(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> map_;
+};
+
+}  // namespace approxql::storage
+
+#endif  // APPROXQL_STORAGE_MEM_KV_STORE_H_

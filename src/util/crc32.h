@@ -1,0 +1,22 @@
+// CRC-32C (Castagnoli), table-driven. Used as the page checksum of the
+// storage engine.
+#ifndef APPROXQL_UTIL_CRC32_H_
+#define APPROXQL_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace approxql::util {
+
+/// CRC-32C of `data`, optionally chained via `seed` (pass a previous
+/// result to extend).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace approxql::util
+
+#endif  // APPROXQL_UTIL_CRC32_H_

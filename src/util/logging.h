@@ -1,0 +1,116 @@
+// Minimal CHECK/LOG facility. CHECK aborts on violated invariants (the
+// library's contract-violation path; recoverable errors use Status).
+#ifndef APPROXQL_UTIL_LOGGING_H_
+#define APPROXQL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace approxql::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level for APPROXQL_LOG output (default kInfo).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log/check message; emits it (and aborts for fatal
+/// messages) in the destructor.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal)
+      : level_(level), fatal_(fatal) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  ~LogMessage() {
+    if (fatal_ || level_ >= GetLogLevel()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (fatal_) std::abort();
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  std::ostringstream stream_;
+  LogLevel level_;
+  bool fatal_;
+};
+
+/// Swallows a streamed expression when a check passes; lets the compiler
+/// elide the whole statement.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// `Voidify() & stream` turns a streamed LogMessage chain into void so it
+/// can sit on one arm of a ternary (& binds looser than <<).
+struct Voidify {
+  void operator&(LogMessage&) {}
+  void operator&(LogMessage&&) {}
+  void operator&(NullStream&) {}
+  void operator&(NullStream&&) {}
+};
+
+}  // namespace internal
+
+#define APPROXQL_LOG(level)                                             \
+  ::approxql::util::internal::LogMessage(                               \
+      ::approxql::util::LogLevel::k##level, __FILE__, __LINE__, false)
+
+#define APPROXQL_CHECK(cond)                                              \
+  (cond) ? (void)0                                                        \
+         : ::approxql::util::internal::Voidify() &                        \
+               ::approxql::util::internal::LogMessage(                    \
+                   ::approxql::util::LogLevel::kError, __FILE__,          \
+                   __LINE__, true)                                        \
+                   << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define APPROXQL_DCHECK(cond) APPROXQL_CHECK(cond)
+#else
+#define APPROXQL_DCHECK(cond)                       \
+  true ? (void)0                                    \
+       : ::approxql::util::internal::Voidify() &    \
+             ::approxql::util::internal::NullStream()
+#endif
+
+}  // namespace approxql::util
+
+#endif  // APPROXQL_UTIL_LOGGING_H_

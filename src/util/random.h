@@ -1,0 +1,79 @@
+// Deterministic pseudo-random generator (splitmix64 seeded xoshiro256**).
+// All generators in the repo (data generator, query generator, property
+// tests) derive from this so runs are reproducible from a single seed.
+#ifndef APPROXQL_UTIL_RANDOM_H_
+#define APPROXQL_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace approxql::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    APPROXQL_DCHECK(bound > 0);
+    // Debiased modulo via rejection; bias is negligible for our bounds but
+    // rejection keeps the generator honest for property tests.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    APPROXQL_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace approxql::util
+
+#endif  // APPROXQL_UTIL_RANDOM_H_

@@ -1,0 +1,158 @@
+// Status and Result<T>: exception-free error handling in the style of
+// Arrow / RocksDB. Library code never throws; fallible operations return
+// Status (no payload) or Result<T> (payload or error).
+#ifndef APPROXQL_UTIL_STATUS_H_
+#define APPROXQL_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace approxql::util {
+
+/// Broad classification of an error. Kept small on purpose: callers
+/// branch on a handful of conditions, everything else is in the message.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail but returns no value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error keeps call sites terse
+  // (`return 42;` / `return Status::NotFound(...)`), mirroring
+  // arrow::Result. NOLINT on purpose.
+  Result(T value) : repr_(std::move(value)) {}                 // NOLINT
+  Result(Status status) : repr_(std::move(status)) {           // NOLINT
+    APPROXQL_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    APPROXQL_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    APPROXQL_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    APPROXQL_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Internal helpers for the macros below.
+#define APPROXQL_CONCAT_IMPL(x, y) x##y
+#define APPROXQL_CONCAT(x, y) APPROXQL_CONCAT_IMPL(x, y)
+
+/// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                       \
+  do {                                              \
+    ::approxql::util::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status,
+/// otherwise assigns the value to `lhs` (which may be a declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(APPROXQL_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                          \
+  if (!result.ok()) return result.status();       \
+  lhs = std::move(result).value()
+
+}  // namespace approxql::util
+
+#endif  // APPROXQL_UTIL_STATUS_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared by the tokenizer, the query language and
+// the config parsers.
+#ifndef APPROXQL_UTIL_STRING_UTIL_H_
+#define APPROXQL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace approxql::util {
+
+/// ASCII lowercase copy (the data model folds case, Section 4: text
+/// selectors match words case-insensitively in our implementation).
+std::string AsciiToLower(std::string_view s);
+
+/// True for ASCII letters/digits; word characters for the tokenizer.
+bool IsWordChar(char c);
+
+/// Splits `text` into lowercase words at non-word characters; empty
+/// tokens are dropped.
+std::vector<std::string> SplitWords(std::string_view text);
+
+/// Splits on a single delimiter; keeps empty fields.
+std::vector<std::string_view> SplitView(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True iff `s` consists only of ASCII whitespace (or is empty).
+bool IsBlank(std::string_view s);
+
+/// Parses a non-negative decimal integer; returns false on any
+/// non-digit or overflow.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Parses a non-negative decimal with optional fraction ("3", "3.5").
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace approxql::util
+
+#endif  // APPROXQL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,52 @@
+#include "util/varint.h"
+
+namespace approxql::util {
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+Status VarintReader::GetVarint64(uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (pos_ >= data_.size()) {
+      return Status::Corruption("truncated varint");
+    }
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint longer than 64 bits");
+}
+
+Status VarintReader::GetVarint32(uint32_t* value) {
+  uint64_t v64 = 0;
+  RETURN_IF_ERROR(GetVarint64(&v64));
+  if (v64 > UINT32_MAX) {
+    return Status::Corruption("varint32 out of range");
+  }
+  *value = static_cast<uint32_t>(v64);
+  return Status::OK();
+}
+
+Status VarintReader::GetBytes(size_t n, std::string_view* out) {
+  if (remaining() < n) {
+    return Status::Corruption("truncated byte range");
+  }
+  *out = data_.substr(pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace approxql::util

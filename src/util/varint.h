@@ -1,0 +1,50 @@
+// LEB128 variable-length integer codec, used to delta-encode index
+// postings (the dominant on-disk representation in the system).
+#ifndef APPROXQL_UTIL_VARINT_H_
+#define APPROXQL_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace approxql::util {
+
+/// Appends `value` to `dst` in LEB128 (7 bits per byte, MSB = more).
+void PutVarint64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+
+/// ZigZag-maps a signed value so small magnitudes encode small.
+inline uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+/// Streaming decoder over a byte range. All Get* calls fail with
+/// Corruption on truncated or oversized encodings.
+class VarintReader {
+ public:
+  explicit VarintReader(std::string_view data) : data_(data), pos_(0) {}
+
+  bool empty() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status GetVarint64(uint64_t* value);
+  Status GetVarint32(uint32_t* value);
+
+  /// Reads `n` raw bytes.
+  Status GetBytes(size_t n, std::string_view* out);
+
+ private:
+  std::string_view data_;
+  size_t pos_;
+};
+
+}  // namespace approxql::util
+
+#endif  // APPROXQL_UTIL_VARINT_H_

@@ -1,0 +1,36 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace approxql::util {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  APPROXQL_CHECK(n >= 1) << "Zipf needs at least one rank";
+  APPROXQL_CHECK(theta > 0) << "Zipf exponent must be positive";
+  cdf_.resize(n);
+  double sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t rank) const {
+  APPROXQL_CHECK(rank < n_);
+  double prev = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - prev;
+}
+
+}  // namespace approxql::util

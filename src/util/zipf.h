@@ -1,0 +1,39 @@
+// Zipfian sampler over ranks 0..n-1: P(rank i) proportional to
+// 1 / (i+1)^theta. The paper's synthetic collection draws its term
+// occurrences from a Zipfian frequency distribution (Section 8.1).
+#ifndef APPROXQL_UTIL_ZIPF_H_
+#define APPROXQL_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace approxql::util {
+
+class ZipfDistribution {
+ public:
+  /// Precondition: n >= 1, theta > 0.
+  ZipfDistribution(uint64_t n, double theta = 1.0);
+
+  /// Samples a rank in [0, n). Rank 0 is the most frequent.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Probability mass of a rank (for tests).
+  double Pmf(uint64_t rank) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  // Cumulative distribution over ranks; binary-searched at sample time.
+  // O(n) doubles of setup buys O(log n) exact samples, which is the right
+  // trade for vocabulary-sized n (<= a few hundred thousand).
+  std::vector<double> cdf_;
+};
+
+}  // namespace approxql::util
+
+#endif  // APPROXQL_UTIL_ZIPF_H_

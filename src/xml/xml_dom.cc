@@ -1,0 +1,150 @@
+#include "xml/xml_dom.h"
+
+namespace approxql::xml {
+
+using util::Result;
+using util::Status;
+
+const std::string* XmlElement::FindAttribute(std::string_view attr_name) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == attr_name) return &attr.value;
+  }
+  return nullptr;
+}
+
+std::string XmlElement::Text() const {
+  std::string out;
+  for (const auto& child : children) {
+    if (const auto* text = std::get_if<std::string>(&child)) {
+      out += *text;
+    }
+  }
+  return out;
+}
+
+const XmlElement* XmlElement::FindChild(std::string_view child_name) const {
+  for (const auto& child : children) {
+    if (const auto* elem = std::get_if<std::unique_ptr<XmlElement>>(&child)) {
+      if ((*elem)->name == child_name) return elem->get();
+    }
+  }
+  return nullptr;
+}
+
+size_t XmlElement::CountChildElements() const {
+  size_t n = 0;
+  for (const auto& child : children) {
+    if (std::holds_alternative<std::unique_ptr<XmlElement>>(child)) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// Builds the DOM from SAX events.
+class DomBuilder : public XmlHandler {
+ public:
+  Status OnStartElement(std::string_view name,
+                        const std::vector<XmlAttribute>& attrs) override {
+    auto element = std::make_unique<XmlElement>();
+    element->name = std::string(name);
+    element->attributes = attrs;
+    XmlElement* raw = element.get();
+    if (stack_.empty()) {
+      root_ = std::move(element);
+    } else {
+      stack_.back()->children.emplace_back(std::move(element));
+    }
+    stack_.push_back(raw);
+    return Status::OK();
+  }
+
+  Status OnEndElement(std::string_view) override {
+    stack_.pop_back();
+    return Status::OK();
+  }
+
+  Status OnCharacters(std::string_view text) override {
+    if (stack_.empty()) {
+      return Status::ParseError("character data outside root element");
+    }
+    auto& children = stack_.back()->children;
+    // Coalesce adjacent runs so CDATA boundaries are invisible to users.
+    if (!children.empty() &&
+        std::holds_alternative<std::string>(children.back())) {
+      std::get<std::string>(children.back()).append(text);
+    } else {
+      children.emplace_back(std::string(text));
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<XmlElement> TakeRoot() { return std::move(root_); }
+
+ private:
+  std::unique_ptr<XmlElement> root_;
+  std::vector<XmlElement*> stack_;
+};
+
+void WriteElement(const XmlElement& element, const WriteOptions& options,
+                  int depth, std::string* out) {
+  auto indent = [&](int d) {
+    if (options.pretty) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(d) * 2, ' ');
+    }
+  };
+  out->push_back('<');
+  out->append(element.name);
+  for (const auto& attr : element.attributes) {
+    out->push_back(' ');
+    out->append(attr.name);
+    out->append("=\"");
+    out->append(EscapeAttribute(attr.value));
+    out->push_back('"');
+  }
+  if (element.children.empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  bool has_element_child = false;
+  for (const auto& child : element.children) {
+    if (const auto* elem = std::get_if<std::unique_ptr<XmlElement>>(&child)) {
+      has_element_child = true;
+      indent(depth + 1);
+      WriteElement(**elem, options, depth + 1, out);
+    } else {
+      out->append(EscapeText(std::get<std::string>(child)));
+    }
+  }
+  if (has_element_child) indent(depth);
+  out->append("</");
+  out->append(element.name);
+  out->push_back('>');
+}
+
+}  // namespace
+
+Result<XmlDocument> ParseXmlDocument(std::string_view input) {
+  DomBuilder builder;
+  RETURN_IF_ERROR(ParseXml(input, &builder));
+  XmlDocument doc;
+  doc.root = builder.TakeRoot();
+  if (doc.root == nullptr) {
+    return Status::ParseError("document has no root element");
+  }
+  return doc;
+}
+
+std::string WriteXml(const XmlElement& element, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out += "\n";
+  }
+  WriteElement(element, options, 0, &out);
+  return out;
+}
+
+}  // namespace approxql::xml

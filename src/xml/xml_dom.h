@@ -1,0 +1,59 @@
+// Owned DOM built on top of the SAX parser, plus a serializer. Used by
+// the document-tree builder, the data generator (to emit collections)
+// and result materialization.
+#ifndef APPROXQL_XML_XML_DOM_H_
+#define APPROXQL_XML_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/xml_parser.h"
+
+namespace approxql::xml {
+
+struct XmlElement;
+
+/// A child of an element: either a nested element or a run of character
+/// data (entities already resolved).
+using XmlContent = std::variant<std::unique_ptr<XmlElement>, std::string>;
+
+struct XmlElement {
+  std::string name;
+  std::vector<XmlAttribute> attributes;
+  std::vector<XmlContent> children;
+
+  /// Returns the attribute value or nullptr.
+  const std::string* FindAttribute(std::string_view attr_name) const;
+
+  /// Concatenation of all directly contained character data.
+  std::string Text() const;
+
+  /// First child element with the given name, or nullptr.
+  const XmlElement* FindChild(std::string_view child_name) const;
+
+  /// Number of element children.
+  size_t CountChildElements() const;
+};
+
+struct XmlDocument {
+  std::unique_ptr<XmlElement> root;
+};
+
+/// Parses a complete document into a DOM.
+util::Result<XmlDocument> ParseXmlDocument(std::string_view input);
+
+struct WriteOptions {
+  bool pretty = false;    // newline + two-space indent per depth
+  bool declaration = false;  // emit <?xml version="1.0"?> header
+};
+
+/// Serializes an element subtree; round-trips through ParseXmlDocument.
+std::string WriteXml(const XmlElement& element, const WriteOptions& options = {});
+
+}  // namespace approxql::xml
+
+#endif  // APPROXQL_XML_XML_DOM_H_

@@ -1,0 +1,407 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+
+namespace approxql::xml {
+namespace {
+
+using util::Status;
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+/// Appends the UTF-8 encoding of `cp` to `out`; false for invalid code
+/// points.
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, XmlHandler* handler)
+      : input_(input), handler_(handler) {}
+
+  Status Parse() {
+    SkipBom();
+    RETURN_IF_ERROR(SkipProlog());
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    RETURN_IF_ERROR(ParseElement());
+    RETURN_IF_ERROR(SkipMiscAfterRoot());
+    if (!AtEnd()) return Error("content after root element");
+    return Status::OK();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  bool Consume(char c) {
+    if (!AtEnd() && Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeLiteral(std::string_view lit) {
+    if (input_.substr(pos_).starts_with(lit)) {
+      for (size_t i = 0; i < lit.size(); ++i) Advance();
+      return true;
+    }
+    return false;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(std::string message) const {
+    return Status::ParseError("XML line " + std::to_string(line_) + ": " +
+                              std::move(message));
+  }
+
+  void SkipBom() {
+    if (input_.substr(pos_).starts_with("\xEF\xBB\xBF")) pos_ += 3;
+  }
+
+  // Prolog: XML declaration, comments, PIs, DOCTYPE — all optional.
+  Status SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (ConsumeLiteral("<?")) {
+        RETURN_IF_ERROR(SkipUntil("?>", "unterminated processing instruction"));
+      } else if (input_.substr(pos_).starts_with("<!--")) {
+        RETURN_IF_ERROR(SkipComment());
+      } else if (ConsumeLiteral("<!DOCTYPE")) {
+        RETURN_IF_ERROR(SkipDoctype());
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status SkipUntil(std::string_view terminator, const char* error) {
+    size_t found = input_.find(terminator, pos_);
+    if (found == std::string_view::npos) return Error(error);
+    while (pos_ < found + terminator.size()) Advance();
+    return Status::OK();
+  }
+
+  Status SkipComment() {
+    // Caller verified the "<!--" prefix.
+    ConsumeLiteral("<!--");
+    size_t found = input_.find("--", pos_);
+    if (found == std::string_view::npos) return Error("unterminated comment");
+    while (pos_ < found) Advance();
+    if (!ConsumeLiteral("-->")) {
+      return Error("'--' not allowed inside comment");
+    }
+    return Status::OK();
+  }
+
+  // Skips <!DOCTYPE ...> including a bracketed internal subset.
+  Status SkipDoctype() {
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+        if (bracket_depth < 0) return Error("unbalanced ']' in DOCTYPE");
+      } else if (c == '>' && bracket_depth == 0) {
+        Advance();
+        return Status::OK();
+      }
+      Advance();
+    }
+    return Error("unterminated DOCTYPE");
+  }
+
+  Status ParseName(std::string* name) {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    name->assign(input_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  // Decodes one entity reference starting at '&'; appends to out.
+  Status ParseEntity(std::string* out) {
+    Advance();  // consume '&'
+    size_t semi = input_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 10) {
+      return Error("unterminated entity reference");
+    }
+    std::string_view body = input_.substr(pos_, semi - pos_);
+    while (pos_ <= semi) Advance();
+    if (body == "lt") {
+      out->push_back('<');
+    } else if (body == "gt") {
+      out->push_back('>');
+    } else if (body == "amp") {
+      out->push_back('&');
+    } else if (body == "apos") {
+      out->push_back('\'');
+    } else if (body == "quot") {
+      out->push_back('"');
+    } else if (body.starts_with("#")) {
+      uint32_t cp = 0;
+      bool hex = body.size() > 1 && (body[1] == 'x' || body[1] == 'X');
+      std::string_view digits = body.substr(hex ? 2 : 1);
+      if (digits.empty()) return Error("empty character reference");
+      for (char c : digits) {
+        uint32_t digit;
+        if (c >= '0' && c <= '9') {
+          digit = static_cast<uint32_t>(c - '0');
+        } else if (hex && c >= 'a' && c <= 'f') {
+          digit = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (hex && c >= 'A' && c <= 'F') {
+          digit = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          return Error("invalid character reference");
+        }
+        cp = cp * (hex ? 16 : 10) + digit;
+        if (cp > 0x10FFFF) return Error("character reference out of range");
+      }
+      if (!AppendUtf8(cp, out)) {
+        return Error("character reference out of range");
+      }
+    } else {
+      return Error("unknown entity '&" + std::string(body) + ";'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseAttributeValue(std::string* value) {
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') {
+      return Error("attribute value must be quoted");
+    }
+    Advance();
+    while (!AtEnd() && Peek() != quote) {
+      char c = Peek();
+      if (c == '&') {
+        RETURN_IF_ERROR(ParseEntity(value));
+      } else if (c == '<') {
+        return Error("'<' not allowed in attribute value");
+      } else {
+        value->push_back(c);
+        Advance();
+      }
+    }
+    if (!Consume(quote)) return Error("unterminated attribute value");
+    return Status::OK();
+  }
+
+  Status ParseAttributes(std::vector<XmlAttribute>* attrs) {
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      char c = Peek();
+      if (c == '>' || c == '/' || c == '?') return Status::OK();
+      XmlAttribute attr;
+      RETURN_IF_ERROR(ParseName(&attr.name));
+      SkipWhitespace();
+      if (!Consume('=')) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      RETURN_IF_ERROR(ParseAttributeValue(&attr.value));
+      for (const auto& existing : *attrs) {
+        if (existing.name == attr.name) {
+          return Error("duplicate attribute '" + attr.name + "'");
+        }
+      }
+      attrs->push_back(std::move(attr));
+    }
+  }
+
+  // Parses one element (including its subtree). Iterative over an explicit
+  // stack of open element names so pathological depth cannot overflow the
+  // call stack.
+  Status ParseElement() {
+    std::vector<std::string> open;
+    do {
+      if (!Consume('<')) return Error("expected '<'");
+      std::string name;
+      RETURN_IF_ERROR(ParseName(&name));
+      std::vector<XmlAttribute> attrs;
+      RETURN_IF_ERROR(ParseAttributes(&attrs));
+      bool self_closing = Consume('/');
+      if (!Consume('>')) return Error("expected '>' in start tag");
+      RETURN_IF_ERROR(handler_->OnStartElement(name, attrs));
+      if (self_closing) {
+        RETURN_IF_ERROR(handler_->OnEndElement(name));
+      } else {
+        open.push_back(std::move(name));
+      }
+      RETURN_IF_ERROR(ParseContentUntilTag(&open));
+    } while (!open.empty());
+    return Status::OK();
+  }
+
+  // Consumes character data, comments, PIs, CDATA and end tags until the
+  // next start tag or until all open elements are closed.
+  Status ParseContentUntilTag(std::vector<std::string>* open) {
+    std::string text;
+    auto flush_text = [&]() -> Status {
+      if (!text.empty()) {
+        Status s = handler_->OnCharacters(text);
+        text.clear();
+        return s;
+      }
+      return Status::OK();
+    };
+    while (!open->empty()) {
+      if (AtEnd()) {
+        return Error("unexpected end of input inside <" + open->back() + ">");
+      }
+      char c = Peek();
+      if (c == '<') {
+        if (input_.substr(pos_).starts_with("<!--")) {
+          RETURN_IF_ERROR(flush_text());
+          RETURN_IF_ERROR(SkipComment());
+        } else if (input_.substr(pos_).starts_with("<![CDATA[")) {
+          ConsumeLiteral("<![CDATA[");
+          size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated CDATA section");
+          }
+          text.append(input_.substr(pos_, end - pos_));
+          while (pos_ < end + 3) Advance();
+        } else if (input_.substr(pos_).starts_with("<?")) {
+          RETURN_IF_ERROR(flush_text());
+          ConsumeLiteral("<?");
+          RETURN_IF_ERROR(
+              SkipUntil("?>", "unterminated processing instruction"));
+        } else if (PeekAt(1) == '/') {
+          RETURN_IF_ERROR(flush_text());
+          Advance();  // '<'
+          Advance();  // '/'
+          std::string name;
+          RETURN_IF_ERROR(ParseName(&name));
+          SkipWhitespace();
+          if (!Consume('>')) return Error("expected '>' in end tag");
+          if (name != open->back()) {
+            return Error("mismatched end tag </" + name + ">, expected </" +
+                         open->back() + ">");
+          }
+          RETURN_IF_ERROR(handler_->OnEndElement(name));
+          open->pop_back();
+        } else {
+          // Start tag: hand control back to ParseElement's loop.
+          RETURN_IF_ERROR(flush_text());
+          return Status::OK();
+        }
+      } else if (c == '&') {
+        RETURN_IF_ERROR(ParseEntity(&text));
+      } else {
+        text.push_back(c);
+        Advance();
+      }
+    }
+    return flush_text();
+  }
+
+  Status SkipMiscAfterRoot() {
+    for (;;) {
+      SkipWhitespace();
+      if (input_.substr(pos_).starts_with("<!--")) {
+        RETURN_IF_ERROR(SkipComment());
+      } else if (input_.substr(pos_).starts_with("<?")) {
+        ConsumeLiteral("<?");
+        RETURN_IF_ERROR(SkipUntil("?>", "unterminated processing instruction"));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  std::string_view input_;
+  XmlHandler* handler_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+util::Status ParseXml(std::string_view input, XmlHandler* handler) {
+  APPROXQL_CHECK(handler != nullptr);
+  return Parser(input, handler).Parse();
+}
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace approxql::xml

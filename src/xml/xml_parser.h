@@ -1,0 +1,63 @@
+// From-scratch, non-validating XML parser (SAX-style). This is the
+// substrate the paper implicitly depends on for loading document
+// collections; we implement the subset of XML 1.0 that data-centric
+// collections use: elements, attributes, character data, CDATA sections,
+// comments, processing instructions, a skipped DOCTYPE, and the five
+// predefined entities plus numeric character references.
+//
+// Deliberately out of scope (documented, returns ParseError where
+// ambiguous): DTD-defined entities, namespaces-aware validation (prefixes
+// are kept as part of the name), and non-UTF-8 encodings.
+#ifndef APPROXQL_XML_XML_PARSER_H_
+#define APPROXQL_XML_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace approxql::xml {
+
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// SAX-style event receiver. Returning a non-OK status from any callback
+/// aborts the parse and propagates the status to the ParseXml caller.
+class XmlHandler {
+ public:
+  virtual ~XmlHandler() = default;
+
+  virtual util::Status OnStartElement(std::string_view name,
+                                      const std::vector<XmlAttribute>& attrs) {
+    (void)name;
+    (void)attrs;
+    return util::Status::OK();
+  }
+  virtual util::Status OnEndElement(std::string_view name) {
+    (void)name;
+    return util::Status::OK();
+  }
+  /// Character data with entities already resolved. May be called several
+  /// times per text node (e.g. around CDATA sections).
+  virtual util::Status OnCharacters(std::string_view text) {
+    (void)text;
+    return util::Status::OK();
+  }
+};
+
+/// Parses a complete XML document (optional prolog, optional DOCTYPE,
+/// exactly one root element). Errors carry 1-based line numbers.
+util::Status ParseXml(std::string_view input, XmlHandler* handler);
+
+/// Escapes `text` for use as element character data (&, <, >).
+std::string EscapeText(std::string_view text);
+
+/// Escapes `text` for use inside a double-quoted attribute value.
+std::string EscapeAttribute(std::string_view text);
+
+}  // namespace approxql::xml
+
+#endif  // APPROXQL_XML_XML_PARSER_H_

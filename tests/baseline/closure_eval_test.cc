@@ -1,0 +1,143 @@
+#include "baseline/closure_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace approxql::baseline {
+namespace {
+
+using cost::CostModel;
+using doc::DataTree;
+using doc::DataTreeBuilder;
+
+DataTree BuildTree(std::string_view xml, const CostModel& model) {
+  DataTreeBuilder builder;
+  auto s = builder.AddDocumentXml(xml);
+  EXPECT_TRUE(s.ok()) << s;
+  auto tree = std::move(builder).Build(model);
+  EXPECT_TRUE(tree.ok());
+  return std::move(tree).value();
+}
+
+query::Query ParseQuery(const char* text) {
+  auto q = query::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).value();
+}
+
+TEST(ClosureEvalTest, ExactEmbedding) {
+  CostModel model;
+  DataTree tree = BuildTree("<a><b>x y</b><c>z</c></a>", model);
+  auto q = ParseQuery(R"(a[b["x"]])");
+  auto results = ClosureBestN(q, model, tree, SIZE_MAX);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].cost, 0);
+}
+
+TEST(ClosureEvalTest, InsertionPricedByPathDistance) {
+  CostModel model;
+  model.SetInsertCost(NodeType::kStruct, "m", 7);
+  DataTree tree = BuildTree("<a><m><b>x</b></m></a>", model);
+  auto q = ParseQuery(R"(a[b["x"]])");
+  auto results = ClosureBestN(q, model, tree, SIZE_MAX);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].cost, 7);
+}
+
+TEST(ClosureEvalTest, VariantCountGrowsWithTransformations) {
+  CostModel none;
+  auto q = ParseQuery(R"(a[b["x" and "y"]])");
+  auto base = ClosureVariantCount(q, none);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(*base, 1u);
+
+  CostModel model;
+  model.SetRenameCost(NodeType::kStruct, "b", "c", 1);
+  auto with_rename = ClosureVariantCount(q, model);
+  ASSERT_TRUE(with_rename.ok());
+  EXPECT_EQ(*with_rename, 2u);
+
+  model.SetDeleteCost(NodeType::kStruct, "b", 2);
+  auto with_delete = ClosureVariantCount(q, model);
+  ASSERT_TRUE(with_delete.ok());
+  EXPECT_EQ(*with_delete, 3u);  // b, c, deleted
+
+  model.SetDeleteCost(NodeType::kText, "x", 1);
+  auto with_leaf = ClosureVariantCount(q, model);
+  ASSERT_TRUE(with_leaf.ok());
+  EXPECT_EQ(*with_leaf, 6u);  // {b,c,del} x {x kept, x deleted}
+}
+
+TEST(ClosureEvalTest, SeparatedRepresentationMultiplies) {
+  CostModel model;
+  auto q = ParseQuery(R"(a["x" or "y"])");
+  auto count = ClosureVariantCount(q, model);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+}
+
+TEST(ClosureEvalTest, AtLeastOneLeafRule) {
+  CostModel model;
+  model.SetDeleteCost(NodeType::kText, "q", 1);
+  model.SetDeleteCost(NodeType::kText, "p", 1);
+  DataTree tree = BuildTree("<a><b>other words</b></a>", model);
+  auto q = ParseQuery(R"(a[b["q" and "p"]])");
+  auto results = ClosureBestN(q, model, tree, SIZE_MAX);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty()) << "deleting every leaf is not a match";
+}
+
+TEST(ClosureEvalTest, RootNotDeletable) {
+  CostModel model;
+  model.SetDeleteCost(NodeType::kStruct, "a", 1);
+  DataTree tree = BuildTree("<z><b>x</b></z>", model);
+  auto q = ParseQuery(R"(a[b["x"]])");
+  auto results = ClosureBestN(q, model, tree, SIZE_MAX);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty()) << "no 'a' in data and root undeletable";
+}
+
+TEST(ClosureEvalTest, NonInjectiveEmbedding) {
+  // Both query leaves may map to the same data node's subtree.
+  CostModel model;
+  DataTree tree = BuildTree("<a><b>x</b></a>", model);
+  auto q = ParseQuery(R"(a[b["x"] and b["x"]])");
+  auto results = ClosureBestN(q, model, tree, SIZE_MAX);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].cost, 0);
+}
+
+TEST(ClosureEvalTest, VariantLimitEnforced) {
+  CostModel model;
+  for (char c = 'p'; c <= 'z'; ++c) {
+    model.SetRenameCost(NodeType::kText, "x", std::string(1, c), 1);
+    model.SetRenameCost(NodeType::kText, "y", std::string(1, c), 1);
+    model.SetRenameCost(NodeType::kText, "z", std::string(1, c), 1);
+  }
+  auto q = ParseQuery(R"(a["x" and "y" and "z" and "x" and "y"])");
+  ClosureOptions options;
+  options.max_variants = 100;
+  auto count = ClosureVariantCount(q, model, options);
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(ClosureEvalTest, GroupsKeepMinimumCost) {
+  // Two embeddings with different costs into the same root: the
+  // root-cost pair reports the cheaper one (Definition 11).
+  CostModel model;
+  model.SetRenameCost(NodeType::kText, "x", "y", 5);
+  DataTree tree = BuildTree("<a><b>x</b><b>y</b></a>", model);
+  auto q = ParseQuery(R"(a[b["x"]])");
+  auto results = ClosureBestN(q, model, tree, SIZE_MAX);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].cost, 0);
+}
+
+}  // namespace
+}  // namespace approxql::baseline

@@ -1,0 +1,133 @@
+#include "baseline/scan_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baseline/closure_eval.h"
+#include "engine/direct_eval.h"
+
+namespace approxql::baseline {
+namespace {
+
+using cost::CostModel;
+using doc::DataTree;
+using doc::DataTreeBuilder;
+
+struct Fixture {
+  Fixture(std::string_view xml, CostModel cost_model)
+      : model(std::move(cost_model)) {
+    DataTreeBuilder builder;
+    auto s = builder.AddDocumentXml(xml);
+    APPROXQL_CHECK(s.ok()) << s;
+    auto built = std::move(builder).Build(model);
+    APPROXQL_CHECK(built.ok());
+    tree = std::make_unique<DataTree>(std::move(built).value());
+    index = std::make_unique<index::LabelIndex>(
+        index::LabelIndex::BuildFromTree(*tree));
+  }
+
+  std::vector<engine::RootCost> Scan(const std::string& text,
+                                     size_t n = SIZE_MAX) {
+    auto q = query::Parse(text);
+    APPROXQL_CHECK(q.ok());
+    auto expanded = query::ExpandedQuery::Build(*q, model);
+    APPROXQL_CHECK(expanded.ok());
+    engine::EncodedTree view = engine::EncodedTree::Of(*tree);
+    ScanEvaluator evaluator(view, tree->labels());
+    return evaluator.BestN(*expanded, n);
+  }
+
+  std::vector<engine::RootCost> Direct(const std::string& text,
+                                       size_t n = SIZE_MAX) {
+    auto q = query::Parse(text);
+    APPROXQL_CHECK(q.ok());
+    auto expanded = query::ExpandedQuery::Build(*q, model);
+    APPROXQL_CHECK(expanded.ok());
+    engine::DirectEvaluator evaluator(engine::EncodedTree::Of(*tree), *index,
+                                      tree->labels());
+    return evaluator.BestN(*expanded, n);
+  }
+
+  CostModel model;
+  std::unique_ptr<DataTree> tree;
+  std::unique_ptr<index::LabelIndex> index;
+};
+
+CostModel PaperCosts() {
+  auto model = CostModel::ParseConfig(
+      "insert struct category 4\n"
+      "insert struct cd 2\n"
+      "insert struct composer 5\n"
+      "insert struct title 3\n"
+      "delete struct composer 7\n"
+      "delete text concerto 6\n"
+      "delete text piano 8\n"
+      "delete struct title 5\n"
+      "delete struct track 3\n"
+      "rename struct cd mc 4\n"
+      "rename struct composer performer 4\n"
+      "rename text concerto sonata 3\n"
+      "rename struct title category 4\n");
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+constexpr std::string_view kCatalogXml =
+    "<catalog>"
+    "<cd><title>piano concerto</title><composer>rachmaninov</composer></cd>"
+    "<cd><category>piano concerto</category>"
+    "<tracks><track><title>vivace</title></track>"
+    "<track><title>allegro piano</title></track></tracks>"
+    "<performer>ashkenazy</performer></cd>"
+    "<mc><title>piano sonata</title><composer>chopin</composer></mc>"
+    "</catalog>";
+
+TEST(ScanEvalTest, MatchesDirectOnPaperCatalog) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  for (const char* text : {
+           R"(cd[title["piano" and "concerto"] and composer["rachmaninov"]])",
+           R"(cd[title["piano" and "concerto"]])",
+           R"(cd[track[title["vivace"]]])",
+           R"(cd[title["piano" and ("concerto" or "sonata")]])",
+           R"(cd[composer["rachmaninov"] or performer["ashkenazy"]])",
+           R"(cd[title["piano"] and composer])",
+           R"(cd[performer])",
+           "cd",
+           R"(zzz[yyy["x"]])",
+       }) {
+    EXPECT_EQ(fx.Scan(text), fx.Direct(text)) << text;
+  }
+}
+
+TEST(ScanEvalTest, MatchesDirectWithDefaultCosts) {
+  Fixture fx(kCatalogXml, CostModel());
+  for (const char* text : {
+           R"(cd[title["piano"]])",
+           R"(cd[title["vivace"]])",
+           R"(catalog["piano" and "concerto"])",
+       }) {
+    EXPECT_EQ(fx.Scan(text), fx.Direct(text)) << text;
+  }
+}
+
+TEST(ScanEvalTest, BestNTruncates) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  auto all = fx.Scan(R"(cd[title["piano"]])");
+  ASSERT_GE(all.size(), 2u);
+  auto top1 = fx.Scan(R"(cd[title["piano"]])", 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0], all[0]);
+}
+
+TEST(ScanEvalTest, MatchesClosureOracle) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  auto q = query::Parse(R"(cd[title["piano" and "concerto"]])");
+  ASSERT_TRUE(q.ok());
+  auto oracle = ClosureBestN(*q, fx.model, *fx.tree, SIZE_MAX);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(fx.Scan(R"(cd[title["piano" and "concerto"]])"), *oracle);
+}
+
+}  // namespace
+}  // namespace approxql::baseline

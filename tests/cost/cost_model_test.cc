@@ -1,0 +1,151 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace approxql::cost {
+namespace {
+
+TEST(CostArithmeticTest, AddSaturates) {
+  EXPECT_EQ(Add(2, 3), 5);
+  EXPECT_EQ(Add(kInfinite, 3), kInfinite);
+  EXPECT_EQ(Add(3, kInfinite), kInfinite);
+  EXPECT_EQ(Add(kInfinite, kInfinite), kInfinite);
+  EXPECT_FALSE(IsFinite(Add(kInfinite, 0)));
+  EXPECT_TRUE(IsFinite(Add(1, 2)));
+}
+
+TEST(CostModelTest, Defaults) {
+  CostModel model;
+  EXPECT_EQ(model.InsertCost(NodeType::kStruct, "anything"), 1);
+  EXPECT_EQ(model.DeleteCost(NodeType::kStruct, "anything"), kInfinite);
+  EXPECT_EQ(model.RenameCost(NodeType::kStruct, "a", "b"), kInfinite);
+  EXPECT_TRUE(model.RenamingsOf(NodeType::kText, "a").empty());
+}
+
+TEST(CostModelTest, IdentityRenameIsFree) {
+  CostModel model;
+  EXPECT_EQ(model.RenameCost(NodeType::kStruct, "cd", "cd"), 0);
+  EXPECT_EQ(model.RenameCost(NodeType::kText, "piano", "piano"), 0);
+}
+
+TEST(CostModelTest, PaperSection6Costs) {
+  // The cost table from Section 6 of the paper.
+  CostModel model;
+  model.SetInsertCost(NodeType::kStruct, "category", 4);
+  model.SetInsertCost(NodeType::kStruct, "cd", 2);
+  model.SetInsertCost(NodeType::kStruct, "composer", 5);
+  model.SetInsertCost(NodeType::kStruct, "performer", 5);
+  model.SetInsertCost(NodeType::kStruct, "title", 3);
+  model.SetDeleteCost(NodeType::kStruct, "composer", 7);
+  model.SetDeleteCost(NodeType::kText, "concerto", 6);
+  model.SetDeleteCost(NodeType::kText, "piano", 8);
+  model.SetDeleteCost(NodeType::kStruct, "title", 5);
+  model.SetDeleteCost(NodeType::kStruct, "track", 3);
+  model.SetRenameCost(NodeType::kStruct, "cd", "dvd", 6);
+  model.SetRenameCost(NodeType::kStruct, "cd", "mc", 4);
+  model.SetRenameCost(NodeType::kStruct, "composer", "performer", 4);
+  model.SetRenameCost(NodeType::kText, "concerto", "sonata", 3);
+  model.SetRenameCost(NodeType::kStruct, "title", "category", 4);
+
+  EXPECT_EQ(model.InsertCost(NodeType::kStruct, "cd"), 2);
+  EXPECT_EQ(model.InsertCost(NodeType::kStruct, "tracks"), 1);  // default
+  EXPECT_EQ(model.DeleteCost(NodeType::kText, "piano"), 8);
+  EXPECT_EQ(model.DeleteCost(NodeType::kText, "rachmaninov"), kInfinite);
+  EXPECT_EQ(model.RenameCost(NodeType::kStruct, "cd", "mc"), 4);
+  EXPECT_EQ(model.RenameCost(NodeType::kStruct, "mc", "cd"), kInfinite);
+
+  auto renamings = model.RenamingsOf(NodeType::kStruct, "cd");
+  ASSERT_EQ(renamings.size(), 2u);
+  EXPECT_EQ(renamings[0].to, "dvd");
+  EXPECT_EQ(renamings[0].cost, 6);
+  EXPECT_EQ(renamings[1].to, "mc");
+  EXPECT_EQ(renamings[1].cost, 4);
+}
+
+TEST(CostModelTest, StructAndTextSpacesAreSeparate) {
+  CostModel model;
+  model.SetDeleteCost(NodeType::kStruct, "piano", 2);
+  EXPECT_EQ(model.DeleteCost(NodeType::kStruct, "piano"), 2);
+  EXPECT_EQ(model.DeleteCost(NodeType::kText, "piano"), kInfinite);
+}
+
+TEST(CostModelTest, OverwriteUpdatesRenamingsList) {
+  CostModel model;
+  model.SetRenameCost(NodeType::kStruct, "a", "b", 5);
+  model.SetRenameCost(NodeType::kStruct, "a", "b", 2);
+  EXPECT_EQ(model.RenameCost(NodeType::kStruct, "a", "b"), 2);
+  auto renamings = model.RenamingsOf(NodeType::kStruct, "a");
+  ASSERT_EQ(renamings.size(), 1u);
+  EXPECT_EQ(renamings[0].cost, 2);
+}
+
+TEST(CostModelTest, InfiniteRenamingExcludedFromList) {
+  CostModel model;
+  model.SetRenameCost(NodeType::kStruct, "a", "b", 3);
+  model.SetRenameCost(NodeType::kStruct, "a", "c", kInfinite);
+  auto renamings = model.RenamingsOf(NodeType::kStruct, "a");
+  ASSERT_EQ(renamings.size(), 1u);
+  EXPECT_EQ(renamings[0].to, "b");
+}
+
+TEST(CostModelConfigTest, ParseBasic) {
+  auto model = CostModel::ParseConfig(
+      "# paper example\n"
+      "default-insert 1\n"
+      "insert struct cd 2\n"
+      "delete struct track 3\n"
+      "delete text concerto 6\n"
+      "rename struct cd mc 4\n"
+      "rename text concerto sonata 3\n"
+      "\n");
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->InsertCost(NodeType::kStruct, "cd"), 2);
+  EXPECT_EQ(model->DeleteCost(NodeType::kStruct, "track"), 3);
+  EXPECT_EQ(model->DeleteCost(NodeType::kText, "concerto"), 6);
+  EXPECT_EQ(model->RenameCost(NodeType::kStruct, "cd", "mc"), 4);
+  EXPECT_EQ(model->RenameCost(NodeType::kText, "concerto", "sonata"), 3);
+}
+
+TEST(CostModelConfigTest, ParseInf) {
+  auto model = CostModel::ParseConfig("insert struct rare inf\n");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->InsertCost(NodeType::kStruct, "rare"), kInfinite);
+}
+
+TEST(CostModelConfigTest, TrailingCommentsAndSpaces) {
+  auto model = CostModel::ParseConfig("  insert  struct  cd  2  # why\n");
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->InsertCost(NodeType::kStruct, "cd"), 2);
+}
+
+TEST(CostModelConfigTest, Errors) {
+  EXPECT_FALSE(CostModel::ParseConfig("bogus struct a 1\n").ok());
+  EXPECT_FALSE(CostModel::ParseConfig("insert wrongtype a 1\n").ok());
+  EXPECT_FALSE(CostModel::ParseConfig("insert struct a notanumber\n").ok());
+  EXPECT_FALSE(CostModel::ParseConfig("insert struct a\n").ok());
+  EXPECT_FALSE(CostModel::ParseConfig("rename struct a b\n").ok());
+  EXPECT_FALSE(CostModel::ParseConfig("insert struct a -1\n").ok());
+  auto err = CostModel::ParseConfig("default-insert 1\nbroken\n");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CostModelConfigTest, RoundTrip) {
+  auto model = CostModel::ParseConfig(
+      "default-insert 2\n"
+      "insert struct cd 2\n"
+      "insert text piano 4\n"
+      "delete struct track 3\n"
+      "rename struct cd mc 4\n"
+      "rename struct cd dvd 6\n");
+  ASSERT_TRUE(model.ok());
+  std::string config = model->ToConfigString();
+  auto model2 = CostModel::ParseConfig(config);
+  ASSERT_TRUE(model2.ok()) << model2.status() << "\n" << config;
+  EXPECT_EQ(model2->ToConfigString(), config);
+  EXPECT_EQ(model2->default_insert_cost(), 2);
+  EXPECT_EQ(model2->RenameCost(NodeType::kStruct, "cd", "dvd"), 6);
+}
+
+}  // namespace
+}  // namespace approxql::cost

@@ -1,0 +1,271 @@
+#include "doc/data_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/random.h"
+
+namespace approxql::doc {
+namespace {
+
+using cost::CostModel;
+
+// Figure 1(b)-style catalog document.
+constexpr std::string_view kCatalogXml =
+    "<catalog>"
+    "<cd><title>Piano concerto</title><composer>Rachmaninov</composer></cd>"
+    "<cd><tracks><track><title>Vivace</title></track></tracks></cd>"
+    "</catalog>";
+
+DataTree BuildCatalog(const CostModel& model = CostModel()) {
+  DataTreeBuilder builder;
+  auto status = builder.AddDocumentXml(kCatalogXml);
+  EXPECT_TRUE(status.ok()) << status;
+  auto tree = std::move(builder).Build(model);
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  return std::move(tree).value();
+}
+
+TEST(DataTreeBuilderTest, SuperRootAndStructure) {
+  DataTree tree = BuildCatalog();
+  EXPECT_EQ(tree.label(tree.root()), kSuperRootLabel);
+  NodeId catalog = tree.FirstChild(tree.root());
+  ASSERT_NE(catalog, kInvalidNode);
+  EXPECT_EQ(tree.label(catalog), "catalog");
+  EXPECT_EQ(tree.NextSibling(catalog), kInvalidNode);
+}
+
+TEST(DataTreeBuilderTest, WordsBecomeTextLeaves) {
+  DataTree tree = BuildCatalog();
+  // Find "title" under first cd and verify two word children.
+  NodeId catalog = tree.FirstChild(tree.root());
+  NodeId cd = tree.FirstChild(catalog);
+  EXPECT_EQ(tree.label(cd), "cd");
+  NodeId title = tree.FirstChild(cd);
+  EXPECT_EQ(tree.label(title), "title");
+  NodeId word1 = tree.FirstChild(title);
+  ASSERT_NE(word1, kInvalidNode);
+  EXPECT_EQ(tree.node(word1).type, NodeType::kText);
+  EXPECT_EQ(tree.label(word1), "piano");
+  NodeId word2 = tree.NextSibling(word1);
+  ASSERT_NE(word2, kInvalidNode);
+  EXPECT_EQ(tree.label(word2), "concerto");
+  EXPECT_EQ(tree.NextSibling(word2), kInvalidNode);
+}
+
+TEST(DataTreeBuilderTest, WordsAreLowercased) {
+  DataTree tree = BuildCatalog();
+  EXPECT_NE(tree.labels().Find("rachmaninov"), kInvalidLabel);
+  EXPECT_EQ(tree.labels().Find("Rachmaninov"), kInvalidLabel);
+}
+
+TEST(DataTreeBuilderTest, AttributesBecomeStructTextPairs) {
+  DataTreeBuilder builder;
+  ASSERT_TRUE(builder.AddDocumentXml("<cd genre=\"classical music\"/>").ok());
+  auto tree = std::move(builder).Build(CostModel());
+  ASSERT_TRUE(tree.ok());
+  NodeId cd = tree->FirstChild(tree->root());
+  NodeId genre = tree->FirstChild(cd);
+  ASSERT_NE(genre, kInvalidNode);
+  EXPECT_EQ(tree->label(genre), "genre");
+  EXPECT_EQ(tree->node(genre).type, NodeType::kStruct);
+  NodeId w1 = tree->FirstChild(genre);
+  ASSERT_NE(w1, kInvalidNode);
+  EXPECT_EQ(tree->label(w1), "classical");
+  NodeId w2 = tree->NextSibling(w1);
+  ASSERT_NE(w2, kInvalidNode);
+  EXPECT_EQ(tree->label(w2), "music");
+}
+
+TEST(DataTreeBuilderTest, MultipleDocuments) {
+  DataTreeBuilder builder;
+  ASSERT_TRUE(builder.AddDocumentXml("<a><x>1</x></a>").ok());
+  ASSERT_TRUE(builder.AddDocumentXml("<b><y>2</y></b>").ok());
+  auto tree = std::move(builder).Build(CostModel());
+  ASSERT_TRUE(tree.ok());
+  NodeId a = tree->FirstChild(tree->root());
+  ASSERT_NE(a, kInvalidNode);
+  NodeId b = tree->NextSibling(a);
+  ASSERT_NE(b, kInvalidNode);
+  EXPECT_EQ(tree->label(a), "a");
+  EXPECT_EQ(tree->label(b), "b");
+}
+
+TEST(DataTreeBuilderTest, UnbalancedBuildFails) {
+  DataTreeBuilder builder;
+  builder.StartElement("unclosed");
+  auto tree = std::move(builder).Build(CostModel());
+  EXPECT_FALSE(tree.ok());
+}
+
+TEST(DataTreeEncodingTest, PreorderBoundInvariant) {
+  DataTree tree = BuildCatalog();
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    const DataNode& n = tree.node(u);
+    EXPECT_GE(n.bound, u);
+    if (n.parent != kInvalidNode) {
+      EXPECT_LT(n.parent, u);
+      EXPECT_LE(n.bound, tree.node(n.parent).bound);
+      EXPECT_TRUE(tree.IsAncestor(n.parent, u));
+    }
+  }
+  // Descendants of u are exactly the ids in (u, bound(u)].
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      bool in_interval = v > u && v <= tree.node(u).bound;
+      EXPECT_EQ(tree.IsAncestor(u, v), in_interval) << u << " " << v;
+    }
+  }
+}
+
+TEST(DataTreeEncodingTest, PathcostTelescopes) {
+  CostModel model;
+  model.SetInsertCost(NodeType::kStruct, "cd", 2);
+  model.SetInsertCost(NodeType::kStruct, "tracks", 2);
+  model.SetInsertCost(NodeType::kStruct, "track", 3);
+  model.SetInsertCost(NodeType::kStruct, "title", 3);
+  DataTree tree = BuildCatalog(model);
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    const DataNode& n = tree.node(u);
+    if (n.parent == kInvalidNode) {
+      EXPECT_EQ(n.pathcost, 0);
+    } else {
+      EXPECT_EQ(n.pathcost, tree.node(n.parent).pathcost +
+                                tree.node(n.parent).inscost);
+    }
+    if (n.type == NodeType::kText) {
+      EXPECT_EQ(n.inscost, 0);
+    }
+  }
+}
+
+TEST(DataTreeEncodingTest, DistanceMatchesPaperExample) {
+  // Paper Section 6.2: distance between tracks and a grandchild word
+  // equals the sum of the insert costs of the nodes strictly between.
+  CostModel model;
+  model.SetInsertCost(NodeType::kStruct, "track", 3);
+  model.SetInsertCost(NodeType::kStruct, "title", 3);
+  DataTree tree = BuildCatalog(model);
+
+  // Locate: cd2 -> tracks -> track -> title -> "vivace".
+  NodeId catalog = tree.FirstChild(tree.root());
+  NodeId cd1 = tree.FirstChild(catalog);
+  NodeId cd2 = tree.NextSibling(cd1);
+  NodeId tracks = tree.FirstChild(cd2);
+  ASSERT_EQ(tree.label(tracks), "tracks");
+  NodeId track = tree.FirstChild(tracks);
+  NodeId title = tree.FirstChild(track);
+  NodeId vivace = tree.FirstChild(title);
+  ASSERT_EQ(tree.label(vivace), "vivace");
+
+  // Between tracks and vivace lie track (3) and title (3).
+  EXPECT_EQ(tree.Distance(tracks, vivace), 6);
+  // Adjacent parent-child pairs have distance 0.
+  EXPECT_EQ(tree.Distance(tracks, track), 0);
+  EXPECT_EQ(tree.Distance(title, vivace), 0);
+}
+
+TEST(DataTreeTest, ToXmlReconstructsSubtree) {
+  DataTree tree = BuildCatalog();
+  NodeId catalog = tree.FirstChild(tree.root());
+  NodeId cd = tree.FirstChild(catalog);
+  xml::XmlElement element = tree.ToXml(cd);
+  std::string xml = xml::WriteXml(element);
+  EXPECT_EQ(xml,
+            "<cd><title>piano concerto</title>"
+            "<composer>rachmaninov</composer></cd>");
+}
+
+TEST(DataTreeTest, SerializeRoundTrip) {
+  CostModel model;
+  model.SetInsertCost(NodeType::kStruct, "title", 3);
+  DataTree tree = BuildCatalog(model);
+  std::string blob;
+  tree.Serialize(&blob);
+  auto restored = DataTree::Deserialize(blob, model);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), tree.size());
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    EXPECT_EQ(restored->node(id).parent, tree.node(id).parent);
+    EXPECT_EQ(restored->node(id).bound, tree.node(id).bound);
+    EXPECT_EQ(restored->node(id).type, tree.node(id).type);
+    EXPECT_EQ(restored->node(id).inscost, tree.node(id).inscost);
+    EXPECT_EQ(restored->node(id).pathcost, tree.node(id).pathcost);
+    EXPECT_EQ(restored->label(id), tree.label(id));
+  }
+}
+
+TEST(DataTreeTest, DeserializeRejectsCorruption) {
+  DataTree tree = BuildCatalog();
+  std::string blob;
+  tree.Serialize(&blob);
+  CostModel model;
+  // Truncations at every prefix must fail cleanly, never crash.
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    auto r = DataTree::Deserialize(std::string_view(blob).substr(0, cut),
+                                   model);
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+  // Trailing garbage is also rejected.
+  auto r = DataTree::Deserialize(blob + "x", model);
+  EXPECT_FALSE(r.ok());
+}
+
+// Property test: random trees keep the encoding invariants.
+class DataTreeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataTreeRandomTest, EncodingInvariants) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  DataTreeBuilder builder;
+  int depth = 0;
+  int opened = 0;
+  for (int step = 0; step < 300; ++step) {
+    int choice = static_cast<int>(rng.Uniform(4));
+    if (choice == 0 && depth > 0) {
+      builder.EndElement();
+      --depth;
+    } else if (choice == 3) {
+      builder.AddText("word" + std::to_string(rng.Uniform(20)));
+    } else {
+      builder.StartElement("e" + std::to_string(rng.Uniform(8)));
+      ++depth;
+      ++opened;
+    }
+  }
+  while (depth-- > 0) builder.EndElement();
+  auto tree = std::move(builder).Build(cost::CostModel());
+  ASSERT_TRUE(tree.ok());
+
+  for (NodeId u = 0; u < tree->size(); ++u) {
+    const DataNode& n = tree->node(u);
+    EXPECT_GE(n.bound, u);
+    if (n.parent != kInvalidNode) {
+      EXPECT_TRUE(tree->IsAncestor(n.parent, u));
+      EXPECT_EQ(n.pathcost,
+                tree->node(n.parent).pathcost + tree->node(n.parent).inscost);
+    }
+    // Children partition (u, bound].
+    NodeId cursor = u + 1;
+    for (NodeId child = tree->FirstChild(u); child != kInvalidNode;
+         child = tree->NextSibling(child)) {
+      EXPECT_EQ(child, cursor);
+      EXPECT_EQ(tree->node(child).parent, u);
+      cursor = tree->node(child).bound + 1;
+    }
+    EXPECT_EQ(cursor, n.bound + 1);
+  }
+
+  // Serialization round-trips structurally.
+  std::string blob;
+  tree->Serialize(&blob);
+  auto restored = DataTree::Deserialize(blob, cost::CostModel());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), tree->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataTreeRandomTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace approxql::doc

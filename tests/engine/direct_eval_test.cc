@@ -1,0 +1,359 @@
+#include "engine/direct_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baseline/closure_eval.h"
+#include "query/ast.h"
+
+namespace approxql::engine {
+namespace {
+
+using cost::CostModel;
+using cost::kInfinite;
+using doc::DataTree;
+using doc::DataTreeBuilder;
+
+// The Figure 1(b)-style data: two CDs, one with track titles.
+constexpr std::string_view kCatalogXml =
+    "<catalog>"
+    "<cd><title>piano concerto</title><composer>rachmaninov</composer></cd>"
+    "<cd><category>piano concerto</category>"
+    "<tracks><track><title>vivace</title></track>"
+    "<track><title>allegro piano</title></track></tracks>"
+    "<performer>ashkenazy</performer></cd>"
+    "<mc><title>piano sonata</title><composer>chopin</composer></mc>"
+    "</catalog>";
+
+CostModel PaperCosts() {
+  auto model = CostModel::ParseConfig(
+      "insert struct category 4\n"
+      "insert struct cd 2\n"
+      "insert struct composer 5\n"
+      "insert struct performer 5\n"
+      "insert struct title 3\n"
+      "delete struct composer 7\n"
+      "delete text concerto 6\n"
+      "delete text piano 8\n"
+      "delete struct title 5\n"
+      "delete struct track 3\n"
+      "rename struct cd dvd 6\n"
+      "rename struct cd mc 4\n"
+      "rename struct composer performer 4\n"
+      "rename text concerto sonata 3\n"
+      "rename struct title category 4\n");
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(model).value();
+}
+
+struct Fixture {
+  explicit Fixture(std::string_view xml, CostModel cost_model = CostModel())
+      : model(std::move(cost_model)) {
+    DataTreeBuilder builder;
+    auto s = builder.AddDocumentXml(xml);
+    APPROXQL_CHECK(s.ok()) << s;
+    auto built = std::move(builder).Build(model);
+    APPROXQL_CHECK(built.ok());
+    tree = std::make_unique<DataTree>(std::move(built).value());
+    index = std::make_unique<index::LabelIndex>(
+        index::LabelIndex::BuildFromTree(*tree));
+  }
+
+  std::vector<RootCost> Run(const std::string& text, size_t n = SIZE_MAX,
+                            DirectEvaluator::Options options = {},
+                            EvalStats* stats = nullptr) {
+    auto q = query::Parse(text);
+    APPROXQL_CHECK(q.ok()) << q.status();
+    auto expanded = query::ExpandedQuery::Build(*q, model);
+    APPROXQL_CHECK(expanded.ok());
+    DirectEvaluator evaluator(EncodedTree::Of(*tree), *index, tree->labels(),
+                              options);
+    auto results = evaluator.BestN(*expanded, n);
+    if (stats != nullptr) *stats = evaluator.stats();
+    return results;
+  }
+
+  std::vector<RootCost> Oracle(const std::string& text, size_t n = SIZE_MAX) {
+    auto q = query::Parse(text);
+    APPROXQL_CHECK(q.ok());
+    auto results = baseline::ClosureBestN(*q, model, *tree, n);
+    APPROXQL_CHECK(results.ok()) << results.status();
+    return std::move(results).value();
+  }
+
+  /// First node (in preorder) whose label path from the super-root is
+  /// exactly `path`; searches all branches.
+  doc::NodeId Locate(const std::vector<std::string_view>& path) {
+    doc::NodeId found = LocateFrom(tree->root(), path, 0);
+    APPROXQL_CHECK(found != doc::kInvalidNode) << "path not found";
+    return found;
+  }
+
+  doc::NodeId LocateFrom(doc::NodeId at,
+                         const std::vector<std::string_view>& path,
+                         size_t depth) {
+    if (depth == path.size()) return at;
+    for (doc::NodeId child = tree->FirstChild(at); child != doc::kInvalidNode;
+         child = tree->NextSibling(child)) {
+      if (tree->label(child) != path[depth]) continue;
+      doc::NodeId found = LocateFrom(child, path, depth + 1);
+      if (found != doc::kInvalidNode) return found;
+    }
+    return doc::kInvalidNode;
+  }
+
+  CostModel model;
+  std::unique_ptr<DataTree> tree;
+  std::unique_ptr<index::LabelIndex> index;
+};
+
+doc::NodeId tree_parent(const Fixture& fx, doc::NodeId id) {
+  return fx.tree->node(id).parent;
+}
+
+TEST(DirectEvalTest, ExactMatchCostsZero) {
+  Fixture fx(kCatalogXml);
+  auto results = fx.Run(R"(cd[title["piano" and "concerto"]])");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].cost, 0);
+  EXPECT_EQ(results[0].root, fx.Locate({"catalog", "cd"}));
+}
+
+TEST(DirectEvalTest, NoTransformationsNoApproximateResults) {
+  Fixture fx(kCatalogXml);  // default cost model: no deletes/renames
+  // Only the first cd has composer rachmaninov AND title piano.
+  auto results = fx.Run(R"(cd[title["piano"] and composer["rachmaninov"]])");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].cost, 0);
+  // No cd has title "vivace" (it is a track title); without insertions
+  // being free... insertions ARE always allowed: the track/title chain
+  // costs the inserted nodes. With the default model (insert cost 1 each)
+  // the second cd matches via two insertions.
+  auto approx = fx.Run(R"(cd[title["vivace"]])");
+  ASSERT_EQ(approx.size(), 1u);
+  EXPECT_EQ(approx[0].cost, 2);  // insert tracks + track, 1 each
+  // The embedding root is the cd containing the tracks subtree.
+  EXPECT_EQ(approx[0].root,
+            tree_parent(fx, fx.Locate({"catalog", "cd", "tracks"})));
+}
+
+TEST(DirectEvalTest, InsertionCostsComeFromTheCostModel) {
+  CostModel model;
+  model.SetInsertCost(NodeType::kStruct, "tracks", 4);
+  model.SetInsertCost(NodeType::kStruct, "track", 3);
+  Fixture fx(kCatalogXml, std::move(model));
+  auto results = fx.Run(R"(cd[title["vivace"]])");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].cost, 7);
+}
+
+TEST(DirectEvalTest, RootRenamingShiftsSearchSpace) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  // "piano sonata" appears under mc/title; cd->mc rename costs 4.
+  // (Renamings apply to query labels: "sonata" has no renamings, so the
+  // cd titles cannot satisfy this query.)
+  auto results = fx.Run(R"(cd[title["piano" and "sonata"]])");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].cost, 4);
+  EXPECT_EQ(results[0].root, fx.Locate({"catalog", "mc"}));
+}
+
+TEST(DirectEvalTest, LeafRenamingRanksWorse) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  // Query "concerto" may be renamed to "sonata" (cost 3): the mc's
+  // "piano sonata" matches at 3 (rename) + 4 (root rename) = 7.
+  auto results = fx.Run(R"(cd[title["concerto"]])");
+  ASSERT_GE(results.size(), 2u);
+  EXPECT_EQ(results[0].cost, 0);  // cd1 exact
+  EXPECT_EQ(results[0].root, fx.Locate({"catalog", "cd"}));
+}
+
+TEST(DirectEvalTest, LeafDeletionUsesCoordinationLevelMatch) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  // Second cd's category has words piano+concerto; title->category rename
+  // is 4. First cd matches exactly. mc needs root rename 4 + nothing else.
+  auto results = fx.Run(R"(cd[title["piano" and "concerto"]])");
+  ASSERT_GE(results.size(), 3u);
+  EXPECT_EQ(results[0].cost, 0);
+  // mc[title[piano sonata]]: rename cd->mc (4) + delete concerto (6) = 10
+  // or rename concerto->sonata (3) + cd->mc (4) = 7.
+  RootCost mc_result{0, 0};
+  for (const auto& r : results) {
+    if (r.root == fx.Locate({"catalog", "mc"})) mc_result = r;
+  }
+  EXPECT_EQ(mc_result.cost, 7);
+}
+
+TEST(DirectEvalTest, InnerNodeDeletionFindsTrackTitles) {
+  // Query asks for cd titles; deleting nothing, the track titles also
+  // match via inserted tracks/track nodes.
+  Fixture fx(kCatalogXml, PaperCosts());
+  auto results = fx.Run(R"(cd[title["vivace"]])");
+  ASSERT_EQ(results.size(), 1u);
+  // Insert tracks (1, default) + track (paper table has no track insert
+  // cost? it does: not listed -> default 1)... both default 1 -> cost 2.
+  EXPECT_EQ(results[0].cost, 2);
+}
+
+TEST(DirectEvalTest, StructLeafQuery) {
+  Fixture fx(kCatalogXml);
+  auto results = fx.Run(R"(cd[performer])");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].cost, 0);
+  EXPECT_EQ(results[0].root,
+            tree_parent(fx, fx.Locate({"catalog", "cd", "performer"})));
+}
+
+TEST(DirectEvalTest, BareRootQuery) {
+  Fixture fx(kCatalogXml);
+  auto results = fx.Run("cd");
+  EXPECT_EQ(results.size(), 2u);
+  for (const auto& r : results) EXPECT_EQ(r.cost, 0);
+}
+
+TEST(DirectEvalTest, OrPicksCheaperBranch) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  auto results =
+      fx.Run(R"(cd[composer["rachmaninov"] or performer["ashkenazy"]])");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].cost, 0);
+  EXPECT_EQ(results[1].cost, 0);
+}
+
+TEST(DirectEvalTest, AndRequiresBothUnderSameRoot) {
+  Fixture fx(kCatalogXml);
+  auto results =
+      fx.Run(R"(cd[title["piano"] and performer["ashkenazy"]])");
+  // cd1 has title piano but no performer. cd2 has the performer and a
+  // track title containing "piano" reachable by two insertions — the
+  // only root matching both conjuncts.
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].cost, 2);
+  EXPECT_EQ(results[0].root,
+            tree_parent(fx, fx.Locate({"catalog", "cd", "performer"})));
+
+  // Under the same root: a query whose conjuncts live in different cds
+  // has no result.
+  auto cross = fx.Run(R"(cd[composer["rachmaninov"] and )"
+                      R"(performer["ashkenazy"]])");
+  EXPECT_TRUE(cross.empty());
+}
+
+TEST(DirectEvalTest, BestNTruncatesSortedResults) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  auto all = fx.Run(R"(cd[title["piano"]])");
+  ASSERT_GE(all.size(), 2u);
+  auto top1 = fx.Run(R"(cd[title["piano"]])", 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0], all[0]);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i].cost, all[i - 1].cost);
+  }
+}
+
+TEST(DirectEvalTest, AtLeastOneLeafMustMatch) {
+  // Both leaves deletable and absent from the data: without the rule the
+  // query would "match" every cd at pure deletion cost.
+  CostModel model;
+  model.SetDeleteCost(NodeType::kText, "zzz", 1);
+  model.SetDeleteCost(NodeType::kText, "yyy", 1);
+  Fixture fx(kCatalogXml, std::move(model));
+  auto results = fx.Run(R"(cd[title["zzz" and "yyy"]])");
+  EXPECT_TRUE(results.empty());
+  // If one of them matches, deleting the other is fine.
+  CostModel model2;
+  model2.SetDeleteCost(NodeType::kText, "zzz", 1);
+  Fixture fx2(kCatalogXml, std::move(model2));
+  auto results2 = fx2.Run(R"(cd[title["piano" and "zzz"]])");
+  // cd1: piano matches, zzz deleted (1). cd2: track title "allegro
+  // piano" via two insertions + deletion (3).
+  ASSERT_EQ(results2.size(), 2u);
+  EXPECT_EQ(results2[0].cost, 1);
+  EXPECT_EQ(results2[1].cost, 3);
+}
+
+TEST(DirectEvalTest, UnknownLabelsYieldNothing) {
+  Fixture fx(kCatalogXml);
+  EXPECT_TRUE(fx.Run(R"(nonexistent[title["piano"]])").empty());
+  EXPECT_TRUE(fx.Run(R"(cd[title["qqqqq"]])").empty());
+}
+
+TEST(DirectEvalTest, MatchesOracleOnPaperExample) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  for (const char* text : {
+           R"(cd[title["piano" and "concerto"] and composer["rachmaninov"]])",
+           R"(cd[title["piano" and "concerto"]])",
+           R"(cd[track[title["vivace"]]])",
+           R"(cd[title["piano" and ("concerto" or "sonata")]])",
+           R"(cd[composer["rachmaninov"] or performer["ashkenazy"]])",
+           R"(cd[title["piano"] and composer])",
+           "cd",
+       }) {
+    EXPECT_EQ(fx.Run(text), fx.Oracle(text)) << text;
+  }
+}
+
+TEST(DirectEvalTest, CacheDoesNotChangeResults) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  const char* text =
+      R"(cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]])";
+  EvalStats with_cache, without_cache;
+  DirectEvaluator::Options no_cache;
+  no_cache.use_cache = false;
+  auto a = fx.Run(text, SIZE_MAX, {}, &with_cache);
+  auto b = fx.Run(text, SIZE_MAX, no_cache, &without_cache);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(with_cache.cache_hits, 0u)
+      << "deletion bridges must share subtree evaluations";
+  EXPECT_GT(without_cache.fetches, with_cache.fetches);
+}
+
+TEST(DirectEvalTest, FullScanMatchesIndexed) {
+  Fixture fx(kCatalogXml, PaperCosts());
+  DirectEvaluator::Options scan;
+  scan.full_scan = true;
+  for (const char* text : {
+           R"(cd[title["piano" and "concerto"]])",
+           R"(cd[composer["rachmaninov"] or performer["ashkenazy"]])",
+       }) {
+    EXPECT_EQ(fx.Run(text, SIZE_MAX, scan), fx.Run(text)) << text;
+  }
+}
+
+TEST(DirectEvalTest, AndShortCircuitSkipsRightConjunct) {
+  Fixture fx(kCatalogXml);
+  EvalStats stats;
+  // The first conjunct has no matches anywhere, so the title subtree
+  // must never be fetched.
+  auto results =
+      fx.Run(R"(cd[nonexistent["x"] and title["piano"]])", SIZE_MAX, {},
+             &stats);
+  EXPECT_TRUE(results.empty());
+  EXPECT_GT(stats.and_short_circuits, 0u);
+  // Equivalent query with conjuncts swapped still returns nothing (the
+  // right conjunct now fails, no short-circuit).
+  EvalStats stats2;
+  auto swapped =
+      fx.Run(R"(cd[title["piano"] and nonexistent["x"]])", SIZE_MAX, {},
+             &stats2);
+  EXPECT_TRUE(swapped.empty());
+  EXPECT_EQ(stats2.and_short_circuits, 0u);
+}
+
+TEST(DirectEvalTest, EmptyDataTree) {
+  DataTreeBuilder builder;
+  auto tree = std::move(builder).Build(CostModel());
+  ASSERT_TRUE(tree.ok());
+  index::LabelIndex empty_index = index::LabelIndex::BuildFromTree(*tree);
+  auto q = query::Parse(R"(cd[title["piano"]])");
+  ASSERT_TRUE(q.ok());
+  auto expanded = query::ExpandedQuery::Build(*q, CostModel());
+  ASSERT_TRUE(expanded.ok());
+  DirectEvaluator evaluator(EncodedTree::Of(*tree), empty_index,
+                            tree->labels());
+  EXPECT_TRUE(evaluator.BestN(*expanded, 10).empty());
+}
+
+}  // namespace
+}  // namespace approxql::engine

@@ -1,0 +1,177 @@
+// The central correctness property of the reproduction: on random data
+// trees, random cost models and random queries, three independent
+// implementations of the approximate query-matching semantics agree —
+//   1. the brute-force closure oracle (Definitions 7-12, exponential),
+//   2. the direct evaluation algorithm `primary` (Section 6),
+//   3. the schema-driven incremental algorithm (Section 7).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/closure_eval.h"
+#include "baseline/scan_eval.h"
+#include "engine/database.h"
+#include "query/expanded.h"
+#include "util/random.h"
+
+namespace approxql::engine {
+namespace {
+
+using cost::CostModel;
+using util::Rng;
+
+// Small pools keep label collisions (and thus approximate matches)
+// frequent.
+const char* const kNames[] = {"a", "b", "c", "d", "e"};
+const char* const kWords[] = {"u", "v", "w", "x", "y", "z"};
+
+std::string RandomDocument(Rng& rng) {
+  // Random well-formed document over the pools, depth <= 5.
+  std::string out;
+  int steps = 3 + static_cast<int>(rng.Uniform(40));
+  std::vector<const char*> stack;
+  out += "<r>";
+  stack.push_back("r");
+  for (int i = 0; i < steps; ++i) {
+    int choice = static_cast<int>(rng.Uniform(4));
+    if (choice == 0 && stack.size() > 1) {
+      out += std::string("</") + stack.back() + ">";
+      stack.pop_back();
+    } else if (choice == 1 && stack.size() < 5) {
+      const char* name = kNames[rng.Uniform(5)];
+      out += std::string("<") + name + ">";
+      stack.push_back(name);
+    } else {
+      out += std::string(kWords[rng.Uniform(6)]) + " ";
+    }
+  }
+  while (!stack.empty()) {
+    out += std::string("</") + stack.back() + ">";
+    stack.pop_back();
+  }
+  return out;
+}
+
+CostModel RandomCostModel(Rng& rng) {
+  CostModel model;
+  // Random insert costs for a few labels (encoding-relevant).
+  for (const char* name : kNames) {
+    if (rng.Bernoulli(0.5)) {
+      model.SetInsertCost(NodeType::kStruct, name,
+                          rng.UniformInt(1, 5));
+    }
+  }
+  // Random deletions and renamings.
+  for (const char* name : kNames) {
+    if (rng.Bernoulli(0.4)) {
+      model.SetDeleteCost(NodeType::kStruct, name, rng.UniformInt(1, 9));
+    }
+    if (rng.Bernoulli(0.4)) {
+      model.SetRenameCost(NodeType::kStruct, name, kNames[rng.Uniform(5)],
+                          rng.UniformInt(1, 9));
+    }
+  }
+  for (const char* word : kWords) {
+    if (rng.Bernoulli(0.4)) {
+      model.SetDeleteCost(NodeType::kText, word, rng.UniformInt(1, 9));
+    }
+    if (rng.Bernoulli(0.4)) {
+      model.SetRenameCost(NodeType::kText, word, kWords[rng.Uniform(6)],
+                          rng.UniformInt(1, 9));
+    }
+  }
+  return model;
+}
+
+std::string RandomQueryText(Rng& rng, int budget) {
+  // selector := name | name [ expr ]
+  std::string name = kNames[rng.Uniform(5)];
+  if (budget <= 1 || rng.Bernoulli(0.25)) return name;
+  int parts = 1 + static_cast<int>(rng.Uniform(2));
+  std::string expr;
+  for (int i = 0; i < parts; ++i) {
+    if (i > 0) expr += rng.Bernoulli(0.5) ? " and " : " or ";
+    if (rng.Bernoulli(0.5)) {
+      expr += std::string("\"") + kWords[rng.Uniform(6)] + "\"";
+    } else {
+      expr += RandomQueryText(rng, budget / 2);
+    }
+  }
+  return name + "[" + expr + "]";
+}
+
+class EquivalencePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivalencePropertyTest, OracleDirectSchemaAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  // Build a random little collection.
+  std::vector<std::string> docs;
+  size_t doc_count = 1 + rng.Uniform(3);
+  for (size_t i = 0; i < doc_count; ++i) docs.push_back(RandomDocument(rng));
+  CostModel model = RandomCostModel(rng);
+  auto db = Database::BuildFromXml(docs, model);
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  for (int q = 0; q < 6; ++q) {
+    std::string text = RandomQueryText(rng, 4);
+    auto parsed = query::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+
+    auto oracle = baseline::ClosureBestN(*parsed, model, db->tree(),
+                                         SIZE_MAX);
+    ASSERT_TRUE(oracle.ok()) << text << ": " << oracle.status();
+
+    ExecOptions direct_options;
+    direct_options.strategy = Strategy::kDirect;
+    direct_options.n = SIZE_MAX;
+    auto direct = db->Execute(*parsed, direct_options);
+    ASSERT_TRUE(direct.ok()) << text;
+
+    ExecOptions schema_options;
+    schema_options.strategy = Strategy::kSchema;
+    schema_options.n = SIZE_MAX;
+    schema_options.schema.initial_k = 1 + rng.Uniform(4);
+    schema_options.schema.delta_k = 1 + rng.Uniform(4);
+    auto schema = db->Execute(*parsed, schema_options);
+    ASSERT_TRUE(schema.ok()) << text;
+
+    // Fourth witness: the node-at-a-time DP baseline.
+    auto expanded = query::ExpandedQuery::Build(*parsed, model);
+    ASSERT_TRUE(expanded.ok());
+    EncodedTree view = EncodedTree::Of(db->tree());
+    baseline::ScanEvaluator scan_eval(view, db->tree().labels());
+    auto scan = scan_eval.BestN(*expanded, SIZE_MAX);
+
+    ASSERT_EQ(direct->size(), oracle->size()) << text;
+    ASSERT_EQ(schema->size(), oracle->size()) << text;
+    ASSERT_EQ(scan.size(), oracle->size()) << text;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*direct)[i].root, (*oracle)[i].root) << text << " i=" << i;
+      EXPECT_EQ((*direct)[i].cost, (*oracle)[i].cost) << text << " i=" << i;
+      EXPECT_EQ((*schema)[i].root, (*oracle)[i].root) << text << " i=" << i;
+      EXPECT_EQ((*schema)[i].cost, (*oracle)[i].cost) << text << " i=" << i;
+      EXPECT_EQ(scan[i].root, (*oracle)[i].root) << text << " i=" << i;
+      EXPECT_EQ(scan[i].cost, (*oracle)[i].cost) << text << " i=" << i;
+    }
+
+    // Best-n prefixes agree on costs for every n.
+    for (size_t n = 1; n <= oracle->size(); ++n) {
+      ExecOptions topn = schema_options;
+      topn.n = n;
+      auto top = db->Execute(*parsed, topn);
+      ASSERT_TRUE(top.ok());
+      ASSERT_EQ(top->size(), n) << text;
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ((*top)[i].cost, (*oracle)[i].cost) << text << " n=" << n;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalencePropertyTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace approxql::engine

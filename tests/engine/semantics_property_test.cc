@@ -1,0 +1,176 @@
+// Semantic laws of the cost-based transformation model, checked on
+// random data: relaxing a cost model can only help, scaling costs
+// scales scores, and best-n lists nest.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "util/random.h"
+
+namespace approxql::engine {
+namespace {
+
+using cost::Cost;
+using cost::CostModel;
+using util::Rng;
+
+const char* const kNames[] = {"a", "b", "c", "d"};
+const char* const kWords[] = {"u", "v", "w", "x"};
+
+std::string RandomDocument(Rng& rng) {
+  std::string out = "<r>";
+  std::vector<const char*> stack = {"r"};
+  for (int i = 0; i < 30; ++i) {
+    int choice = static_cast<int>(rng.Uniform(4));
+    if (choice == 0 && stack.size() > 1) {
+      out += std::string("</") + stack.back() + ">";
+      stack.pop_back();
+    } else if (choice == 1 && stack.size() < 5) {
+      const char* name = kNames[rng.Uniform(4)];
+      out += std::string("<") + name + ">";
+      stack.push_back(name);
+    } else {
+      out += std::string(kWords[rng.Uniform(4)]) + " ";
+    }
+  }
+  while (!stack.empty()) {
+    out += std::string("</") + stack.back() + ">";
+    stack.pop_back();
+  }
+  return out;
+}
+
+std::map<doc::NodeId, Cost> ResultMap(const Database& db,
+                                      const std::string& query,
+                                      const CostModel* model = nullptr) {
+  ExecOptions options;
+  options.strategy = Strategy::kDirect;
+  options.n = SIZE_MAX;
+  options.cost_model = model;
+  auto answers = db.Execute(query, options);
+  APPROXQL_CHECK(answers.ok()) << answers.status();
+  std::map<doc::NodeId, Cost> out;
+  for (const auto& answer : *answers) out[answer.root] = answer.cost;
+  return out;
+}
+
+class SemanticsPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  Database BuildRandomDb(Rng& rng, CostModel model = CostModel()) {
+    std::vector<std::string> docs;
+    for (size_t i = 0; i < 2 + rng.Uniform(2); ++i) {
+      docs.push_back(RandomDocument(rng));
+    }
+    auto db = Database::BuildFromXml(docs, std::move(model));
+    APPROXQL_CHECK(db.ok());
+    return std::move(db).value();
+  }
+};
+
+TEST_P(SemanticsPropertyTest, RelaxingTheModelOnlyHelps) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 613 + 7);
+  Database db = BuildRandomDb(rng);
+  const std::string query = R"(a[b["u"] and "v"])";
+
+  CostModel strict;  // no transformations
+  CostModel relaxed;
+  relaxed.SetRenameCost(NodeType::kStruct, "b", "c", 3);
+  relaxed.SetDeleteCost(NodeType::kText, "v", 4);
+  relaxed.SetDeleteCost(NodeType::kStruct, "b", 5);
+
+  auto strict_results = ResultMap(db, query, &strict);
+  auto relaxed_results = ResultMap(db, query, &relaxed);
+  // Every strict result survives with an equal-or-lower cost.
+  for (const auto& [root, cost] : strict_results) {
+    auto it = relaxed_results.find(root);
+    ASSERT_NE(it, relaxed_results.end()) << "root " << root;
+    EXPECT_LE(it->second, cost);
+  }
+  EXPECT_GE(relaxed_results.size(), strict_results.size());
+}
+
+TEST_P(SemanticsPropertyTest, ScalingCostsScalesScores) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 617 + 3);
+  // Insert costs are part of the encoding, so both databases are built
+  // with their own scaled model (scale factor 3).
+  CostModel base;
+  base.set_default_insert_cost(2);
+  base.SetInsertCost(NodeType::kStruct, "b", 4);
+  base.SetRenameCost(NodeType::kText, "u", "w", 5);
+  base.SetDeleteCost(NodeType::kText, "v", 7);
+  CostModel scaled;
+  scaled.set_default_insert_cost(6);
+  scaled.SetInsertCost(NodeType::kStruct, "b", 12);
+  scaled.SetRenameCost(NodeType::kText, "u", "w", 15);
+  scaled.SetDeleteCost(NodeType::kText, "v", 21);
+
+  std::vector<std::string> docs;
+  for (int i = 0; i < 3; ++i) docs.push_back(RandomDocument(rng));
+  auto db1 = Database::BuildFromXml(docs, base);
+  auto db2 = Database::BuildFromXml(docs, scaled);
+  ASSERT_TRUE(db1.ok());
+  ASSERT_TRUE(db2.ok());
+
+  const std::string query = R"(a[c["u" and "v"]])";
+  auto r1 = ResultMap(*db1, query);
+  auto r2 = ResultMap(*db2, query);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (const auto& [root, cost] : r1) {
+    auto it = r2.find(root);
+    ASSERT_NE(it, r2.end());
+    EXPECT_EQ(it->second, 3 * cost) << "root " << root;
+  }
+}
+
+TEST_P(SemanticsPropertyTest, BestNListsNest) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 619 + 11);
+  CostModel model;
+  model.SetRenameCost(NodeType::kText, "u", "v", 2);
+  model.SetDeleteCost(NodeType::kText, "w", 3);
+  Database db = BuildRandomDb(rng, std::move(model));
+  const std::string query = R"(a["u" and "w"])";
+  for (Strategy strategy : {Strategy::kDirect, Strategy::kSchema}) {
+    ExecOptions options;
+    options.strategy = strategy;
+    options.n = SIZE_MAX;
+    auto all = db.Execute(query, options);
+    ASSERT_TRUE(all.ok());
+    for (size_t n = 1; n <= all->size(); ++n) {
+      options.n = n;
+      auto top = db.Execute(query, options);
+      ASSERT_TRUE(top.ok());
+      ASSERT_EQ(top->size(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ((*top)[i].cost, (*all)[i].cost);
+      }
+    }
+  }
+}
+
+TEST_P(SemanticsPropertyTest, ResultCostsAreCheapestEmbeddings) {
+  // Lowering one rename cost lowers exactly the results that use it.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 631 + 2);
+  Database db = BuildRandomDb(rng);
+  CostModel cheap, pricey;
+  cheap.SetRenameCost(NodeType::kText, "u", "x", 1);
+  pricey.SetRenameCost(NodeType::kText, "u", "x", 9);
+  const std::string query = R"(a["u"])";
+  auto with_cheap = ResultMap(db, query, &cheap);
+  auto with_pricey = ResultMap(db, query, &pricey);
+  ASSERT_EQ(with_cheap.size(), with_pricey.size());
+  for (const auto& [root, cost] : with_cheap) {
+    Cost other = with_pricey.at(root);
+    EXPECT_LE(cost, other);
+    // A gap can only come from the renamed-leaf option: 8 = 9 - 1.
+    EXPECT_TRUE(other == cost || other - cost <= 8) << root;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsPropertyTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace approxql::engine

@@ -1,0 +1,90 @@
+// Equivalence of the two engine strategies across collection *shapes*:
+// term skew, template depth/recursion and renaming load all change
+// which code paths dominate (segment sizes, insertion depths, k
+// growth), so the sweep runs the generated-query workload over a grid
+// of generator parameters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+
+namespace approxql::engine {
+namespace {
+
+// (zipf_theta x10, template_max_depth, renamings_per_label)
+using Shape = std::tuple<int, int, int>;
+
+class ShapeSweepTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ShapeSweepTest, StrategiesAgreeOnGeneratedQueries) {
+  auto [theta_x10, depth, renamings] = GetParam();
+  gen::XmlGenOptions options;
+  options.seed = 1000 + static_cast<uint64_t>(theta_x10) * 31 +
+                 static_cast<uint64_t>(depth) * 7 +
+                 static_cast<uint64_t>(renamings);
+  options.total_elements = 3000;
+  options.element_names = 25;
+  options.vocabulary = 400;
+  options.words_per_element = 5.0;
+  options.zipf_theta = theta_x10 / 10.0;
+  options.template_max_depth = static_cast<size_t>(depth);
+  options.template_nodes = 50;
+  gen::XmlGenerator generator(options);
+  auto tree = generator.GenerateTree(cost::CostModel());
+  ASSERT_TRUE(tree.ok());
+  auto db = Database::FromDataTree(std::move(tree).value(),
+                                   cost::CostModel());
+  ASSERT_TRUE(db.ok());
+
+  gen::QueryGenOptions q_options;
+  q_options.seed = options.seed + 5;
+  q_options.renamings_per_label = static_cast<size_t>(renamings);
+  gen::QueryGenerator qgen(*db, q_options);
+  for (std::string_view pattern : {gen::kPattern1, gen::kPattern2}) {
+    for (int i = 0; i < 3; ++i) {
+      auto generated = qgen.Generate(pattern);
+      ASSERT_TRUE(generated.ok());
+      ExecOptions direct;
+      direct.strategy = Strategy::kDirect;
+      direct.n = 25;
+      direct.cost_model = &generated->cost_model;
+      auto a = db->Execute(generated->query, direct);
+      ASSERT_TRUE(a.ok()) << generated->text;
+
+      ExecOptions schema = direct;
+      schema.strategy = Strategy::kSchema;
+      SchemaEvalStats stats;
+      schema.schema_stats_out = &stats;
+      auto b = db->Execute(generated->query, schema);
+      ASSERT_TRUE(b.ok()) << generated->text;
+
+      if (!stats.k_capped) {
+        ASSERT_EQ(a->size(), b->size()) << generated->text;
+      } else {
+        ASSERT_LE(b->size(), a->size()) << generated->text;
+      }
+      for (size_t j = 0; j < b->size(); ++j) {
+        EXPECT_EQ((*a)[j].cost, (*b)[j].cost)
+            << generated->text << " j=" << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweepTest,
+    ::testing::Combine(::testing::Values(5, 10, 15),   // zipf theta x10
+                       ::testing::Values(4, 8),        // template depth
+                       ::testing::Values(0, 3, 8)),    // renamings
+    [](const auto& info) {
+      return "theta" + std::to_string(std::get<0>(info.param)) + "_depth" +
+             std::to_string(std::get<1>(info.param)) + "_ren" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace approxql::engine

@@ -1,0 +1,153 @@
+// Tests for the incremental retrieval stream (paper conclusion) and the
+// EXPLAIN facility over second-level queries.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace approxql::engine {
+namespace {
+
+using cost::CostModel;
+
+std::vector<std::string> CatalogDocs() {
+  return {
+      "<catalog><cd><title>piano concerto</title>"
+      "<composer>rachmaninov</composer></cd></catalog>",
+      "<catalog><cd><tracks><track><title>piano concerto</title></track>"
+      "</tracks><composer>rachmaninov</composer></cd></catalog>",
+      "<catalog><mc><title>piano concerto</title>"
+      "<composer>rachmaninov</composer></mc></catalog>",
+      "<catalog><cd><title>piano etudes</title>"
+      "<composer>rachmaninov</composer></cd></catalog>",
+  };
+}
+
+CostModel SomeCosts() {
+  auto model = CostModel::ParseConfig(
+      "rename struct cd mc 4\n"
+      "delete text concerto 6\n"
+      "delete struct track 3\n");
+  APPROXQL_CHECK(model.ok());
+  return std::move(model).value();
+}
+
+TEST(AnswerStreamTest, StreamsAllResultsInCostOrder) {
+  auto db = Database::BuildFromXml(CatalogDocs(), SomeCosts());
+  ASSERT_TRUE(db.ok()) << db.status();
+  ExecOptions options;
+  options.n = SIZE_MAX;
+  auto batch = db->Execute(R"(cd[title["piano" and "concerto"]])", options);
+  ASSERT_TRUE(batch.ok());
+
+  auto stream =
+      db->ExecuteStream(R"(cd[title["piano" and "concerto"]])", options);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  std::vector<QueryAnswer> streamed;
+  cost::Cost last = 0;
+  while (auto answer = stream->Next()) {
+    EXPECT_GE(answer->cost, last) << "stream must be cost-ordered";
+    last = answer->cost;
+    streamed.push_back(*answer);
+  }
+  ASSERT_EQ(streamed.size(), batch->size());
+  // Same multiset of (root, cost) as the batch API.
+  auto key = [](const QueryAnswer& a) {
+    return std::pair<doc::NodeId, cost::Cost>(a.root, a.cost);
+  };
+  std::vector<std::pair<doc::NodeId, cost::Cost>> a_keys, b_keys;
+  for (const auto& answer : streamed) a_keys.push_back(key(answer));
+  for (const auto& answer : *batch) b_keys.push_back(key(answer));
+  std::sort(a_keys.begin(), a_keys.end());
+  std::sort(b_keys.begin(), b_keys.end());
+  EXPECT_EQ(a_keys, b_keys);
+  // Exhausted stream stays exhausted.
+  EXPECT_FALSE(stream->Next().has_value());
+  EXPECT_FALSE(stream->truncated_by_k_cap());
+}
+
+TEST(AnswerStreamTest, FirstResultAvailableImmediately) {
+  auto db = Database::BuildFromXml(CatalogDocs(), SomeCosts());
+  ASSERT_TRUE(db.ok());
+  ExecOptions options;
+  auto stream =
+      db->ExecuteStream(R"(cd[title["piano" and "concerto"]])", options);
+  ASSERT_TRUE(stream.ok());
+  auto first = stream->Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->cost, 0);
+  std::string xml = db->MaterializeXml(first->root);
+  EXPECT_NE(xml.find("piano concerto"), std::string::npos);
+}
+
+TEST(AnswerStreamTest, EmptyResult) {
+  auto db = Database::BuildFromXml(CatalogDocs(), SomeCosts());
+  ASSERT_TRUE(db.ok());
+  ExecOptions options;
+  auto stream = db->ExecuteStream(R"(zzz[yyy["xxx"]])", options);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_FALSE(stream->Next().has_value());
+}
+
+TEST(AnswerStreamTest, ParseErrorPropagates) {
+  auto db = Database::BuildFromXml(CatalogDocs(), SomeCosts());
+  ASSERT_TRUE(db.ok());
+  ExecOptions options;
+  auto stream = db->ExecuteStream("cd[broken", options);
+  EXPECT_FALSE(stream.ok());
+}
+
+TEST(ExplainTest, RanksSecondLevelQueries) {
+  auto db = Database::BuildFromXml(CatalogDocs(), SomeCosts());
+  ASSERT_TRUE(db.ok());
+  ExecOptions options;
+  options.n = 10;
+  auto explanations =
+      db->Explain(R"(cd[title["piano" and "concerto"]])", options);
+  ASSERT_TRUE(explanations.ok()) << explanations.status();
+  ASSERT_GE(explanations->size(), 3u);
+  // Cheapest second-level query: the exact match, rooted at the cd
+  // class, one result.
+  EXPECT_EQ((*explanations)[0].cost, 0);
+  EXPECT_NE((*explanations)[0].skeleton.find("cd@"), std::string::npos);
+  EXPECT_NE((*explanations)[0].skeleton.find("/catalog/cd"),
+            std::string::npos);
+  EXPECT_NE((*explanations)[0].skeleton.find("piano"), std::string::npos);
+  EXPECT_EQ((*explanations)[0].result_count, 1u);
+  // Costs ascend.
+  for (size_t i = 1; i < explanations->size(); ++i) {
+    EXPECT_GE((*explanations)[i].cost, (*explanations)[i - 1].cost);
+  }
+  // Some second-level query describes the mc rename.
+  bool saw_mc = false;
+  for (const auto& explanation : *explanations) {
+    if (explanation.skeleton.find("mc@") != std::string::npos) saw_mc = true;
+  }
+  EXPECT_TRUE(saw_mc);
+}
+
+TEST(ExplainTest, SkeletonShowsDeletedLeafAsAbsent) {
+  auto db = Database::BuildFromXml(CatalogDocs(), SomeCosts());
+  ASSERT_TRUE(db.ok());
+  ExecOptions options;
+  options.n = 32;
+  auto explanations =
+      db->Explain(R"(cd[title["piano" and "concerto"]])", options);
+  ASSERT_TRUE(explanations.ok());
+  // The "concerto deleted" variant (cost 6) mentions piano but not
+  // concerto.
+  bool found = false;
+  for (const auto& explanation : *explanations) {
+    if (explanation.cost == 6 &&
+        explanation.skeleton.find("concerto") == std::string::npos &&
+        explanation.skeleton.find("piano") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace approxql::engine

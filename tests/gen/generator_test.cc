@@ -1,0 +1,228 @@
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/database.h"
+#include "xml/xml_dom.h"
+
+namespace approxql::gen {
+namespace {
+
+using cost::CostModel;
+
+XmlGenOptions SmallOptions(uint64_t seed = 7) {
+  XmlGenOptions options;
+  options.seed = seed;
+  options.total_elements = 2000;
+  options.element_names = 20;
+  options.vocabulary = 300;
+  options.words_per_element = 4.0;
+  options.template_nodes = 40;
+  options.elements_per_document = 50;
+  return options;
+}
+
+TEST(XmlGeneratorTest, HitsElementTarget) {
+  XmlGenerator gen(SmallOptions());
+  auto tree = gen.GenerateTree(CostModel());
+  ASSERT_TRUE(tree.ok());
+  size_t struct_nodes = 0;
+  for (doc::NodeId id = 1; id < tree->size(); ++id) {
+    struct_nodes += tree->node(id).type == NodeType::kStruct ? 1 : 0;
+  }
+  EXPECT_GE(struct_nodes, 2000u);
+  EXPECT_LE(struct_nodes, 2100u);  // one document of overshoot at most
+}
+
+TEST(XmlGeneratorTest, WordVolumeNearTarget) {
+  XmlGenerator gen(SmallOptions());
+  auto tree = gen.GenerateTree(CostModel());
+  ASSERT_TRUE(tree.ok());
+  size_t struct_nodes = 0;
+  size_t text_nodes = 0;
+  for (doc::NodeId id = 1; id < tree->size(); ++id) {
+    if (tree->node(id).type == NodeType::kStruct) {
+      ++struct_nodes;
+    } else {
+      ++text_nodes;
+    }
+  }
+  double words_per_element =
+      static_cast<double>(text_nodes) / static_cast<double>(struct_nodes);
+  EXPECT_GT(words_per_element, 1.0);
+  EXPECT_LT(words_per_element, 12.0);
+}
+
+TEST(XmlGeneratorTest, DeterministicForSeed) {
+  XmlGenerator gen1(SmallOptions(5));
+  XmlGenerator gen2(SmallOptions(5));
+  auto t1 = gen1.GenerateTree(CostModel());
+  auto t2 = gen2.GenerateTree(CostModel());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_EQ(t1->size(), t2->size());
+  for (doc::NodeId id = 0; id < t1->size(); ++id) {
+    ASSERT_EQ(t1->label(id), t2->label(id));
+  }
+  XmlGenerator gen3(SmallOptions(6));
+  auto t3 = gen3.GenerateTree(CostModel());
+  ASSERT_TRUE(t3.ok());
+  EXPECT_NE(t1->size(), t3->size());
+}
+
+TEST(XmlGeneratorTest, TermsAreZipfSkewed) {
+  XmlGenerator gen(SmallOptions());
+  auto tree = gen.GenerateTree(CostModel());
+  ASSERT_TRUE(tree.ok());
+  // The most frequent term should dominate any mid-tail term clearly.
+  auto count = [&](const std::string& term) {
+    doc::LabelId id = tree->labels().Find(term);
+    if (id == doc::kInvalidLabel) return size_t{0};
+    size_t n = 0;
+    for (doc::NodeId node = 1; node < tree->size(); ++node) {
+      n += tree->node(node).type == NodeType::kText &&
+                   tree->node(node).label == id
+               ? 1
+               : 0;
+    }
+    return n;
+  };
+  EXPECT_GT(count(gen.Term(0)), 4 * count(gen.Term(100)) + 4);
+}
+
+TEST(XmlGeneratorTest, SchemaStaysCompact) {
+  XmlGenerator gen(SmallOptions());
+  auto tree = gen.GenerateTree(CostModel());
+  ASSERT_TRUE(tree.ok());
+  CostModel model;
+  auto schema = schema::Schema::Build(&*tree, model);
+  // The schema reflects the template, not the data volume.
+  EXPECT_LT(schema.size(), 200u);
+}
+
+TEST(XmlGeneratorTest, DocumentXmlParses) {
+  XmlGenerator gen(SmallOptions());
+  for (int i = 0; i < 3; ++i) {
+    std::string xml = gen.GenerateDocumentXml();
+    auto doc = xml::ParseXmlDocument(xml);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+  }
+}
+
+struct DbFixture {
+  DbFixture() {
+    XmlGenerator gen(SmallOptions());
+    auto tree = gen.GenerateTree(CostModel());
+    APPROXQL_CHECK(tree.ok());
+    auto built =
+        engine::Database::FromDataTree(std::move(tree).value(), CostModel());
+    APPROXQL_CHECK(built.ok());
+    db = std::make_unique<engine::Database>(std::move(built).value());
+  }
+  std::unique_ptr<engine::Database> db;
+};
+
+TEST(QueryGeneratorTest, FillsPatternFromIndexes) {
+  DbFixture fx;
+  QueryGenOptions options;
+  options.seed = 3;
+  options.renamings_per_label = 5;
+  QueryGenerator qgen(*fx.db, options);
+  auto generated = qgen.Generate(kPattern2);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  // Pattern 2 = name[name[term and (term or term)]].
+  auto reparsed = query::Parse(generated->text);
+  ASSERT_TRUE(reparsed.ok()) << generated->text;
+  EXPECT_EQ(query::SelectorCount(*reparsed->root), 5u);
+  EXPECT_EQ(query::OrCount(*reparsed->root), 1u);
+  // All labels come from the database (no "name"/"term" placeholders).
+  EXPECT_EQ(generated->text.find("name"), std::string::npos);
+  EXPECT_EQ(generated->text.find("term["), std::string::npos);
+}
+
+TEST(QueryGeneratorTest, CostModelHasRequestedRenamings) {
+  DbFixture fx;
+  QueryGenOptions options;
+  options.seed = 11;
+  options.renamings_per_label = 10;
+  QueryGenerator qgen(*fx.db, options);
+  auto generated = qgen.Generate(kPattern1);
+  ASSERT_TRUE(generated.ok());
+  // The root selector must have close to 10 renamings (collisions with
+  // itself are skipped).
+  auto renamings = generated->cost_model.RenamingsOf(
+      NodeType::kStruct, generated->query.root->label);
+  EXPECT_GE(renamings.size(), 7u);
+  EXPECT_LE(renamings.size(), 10u);
+  // Delete costs assigned to selectors.
+  EXPECT_TRUE(cost::IsFinite(generated->cost_model.DeleteCost(
+      NodeType::kStruct, generated->query.root->label)));
+}
+
+TEST(QueryGeneratorTest, ZeroRenamings) {
+  DbFixture fx;
+  QueryGenOptions options;
+  options.renamings_per_label = 0;
+  options.deletable_fraction = 0.0;
+  QueryGenerator qgen(*fx.db, options);
+  auto generated = qgen.Generate(kPattern1);
+  ASSERT_TRUE(generated.ok());
+  auto renamings = generated->cost_model.RenamingsOf(
+      NodeType::kStruct, generated->query.root->label);
+  EXPECT_TRUE(renamings.empty());
+}
+
+TEST(QueryGeneratorTest, GeneratedQueriesExecute) {
+  DbFixture fx;
+  QueryGenOptions options;
+  options.seed = 23;
+  options.renamings_per_label = 5;
+  QueryGenerator qgen(*fx.db, options);
+  for (std::string_view pattern : {kPattern1, kPattern2, kPattern3}) {
+    for (int i = 0; i < 3; ++i) {
+      auto generated = qgen.Generate(pattern);
+      ASSERT_TRUE(generated.ok());
+      engine::ExecOptions direct;
+      direct.strategy = engine::Strategy::kDirect;
+      direct.n = 10;
+      direct.cost_model = &generated->cost_model;
+      auto a = fx.db->Execute(generated->query, direct);
+      ASSERT_TRUE(a.ok()) << generated->text;
+      engine::ExecOptions schema = direct;
+      schema.strategy = engine::Strategy::kSchema;
+      engine::SchemaEvalStats stats;
+      schema.schema_stats_out = &stats;
+      auto b = fx.db->Execute(generated->query, schema);
+      ASSERT_TRUE(b.ok()) << generated->text;
+      if (stats.k_capped) {
+        // The k cap may shorten the list, never corrupt its prefix.
+        ASSERT_LE(b->size(), a->size()) << generated->text;
+      } else {
+        ASSERT_EQ(a->size(), b->size()) << generated->text;
+      }
+      for (size_t j = 0; j < b->size(); ++j) {
+        EXPECT_EQ((*a)[j].cost, (*b)[j].cost) << generated->text;
+      }
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, DifferentSeedsDifferentQueries) {
+  DbFixture fx;
+  std::set<std::string> texts;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    QueryGenOptions options;
+    options.seed = seed;
+    QueryGenerator qgen(*fx.db, options);
+    auto generated = qgen.Generate(kPattern1);
+    ASSERT_TRUE(generated.ok());
+    texts.insert(generated->text);
+  }
+  EXPECT_GE(texts.size(), 4u);
+}
+
+}  // namespace
+}  // namespace approxql::gen

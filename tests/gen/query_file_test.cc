@@ -1,0 +1,75 @@
+#include "gen/query_file.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "gen/xml_generator.h"
+
+namespace approxql::gen {
+namespace {
+
+GeneratedQuery MakeGenerated() {
+  XmlGenOptions options;
+  options.seed = 3;
+  options.total_elements = 500;
+  options.element_names = 10;
+  options.vocabulary = 100;
+  XmlGenerator generator(options);
+  auto tree = generator.GenerateTree(cost::CostModel());
+  APPROXQL_CHECK(tree.ok());
+  auto db = engine::Database::FromDataTree(std::move(tree).value(),
+                                           cost::CostModel());
+  APPROXQL_CHECK(db.ok());
+  QueryGenOptions q_options;
+  q_options.seed = 17;
+  q_options.renamings_per_label = 4;
+  QueryGenerator qgen(*db, q_options);
+  auto generated = qgen.Generate(kPattern2);
+  APPROXQL_CHECK(generated.ok());
+  return std::move(generated).value();
+}
+
+TEST(QueryFileTest, RoundTrip) {
+  GeneratedQuery original = MakeGenerated();
+  std::string file = WriteQueryFile(original);
+  auto parsed = ParseQueryFile(file);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << file;
+  EXPECT_EQ(parsed->text, original.text);
+  EXPECT_TRUE(query::AstEquals(*parsed->query.root, *original.query.root));
+  EXPECT_EQ(parsed->cost_model.ToConfigString(),
+            original.cost_model.ToConfigString());
+}
+
+TEST(QueryFileTest, HandwrittenFile) {
+  auto parsed = ParseQueryFile(
+      "# a comment first\n"
+      "\n"
+      "query cd[title[\"piano\" and \"concerto\"]]\n"
+      "default-insert 1\n"
+      "delete text piano 8\n"
+      "rename struct cd mc 4\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->text, R"(cd[title["piano" and "concerto"]])");
+  EXPECT_EQ(parsed->cost_model.DeleteCost(NodeType::kText, "piano"), 8);
+  EXPECT_EQ(parsed->cost_model.RenameCost(NodeType::kStruct, "cd", "mc"), 4);
+}
+
+TEST(QueryFileTest, Errors) {
+  EXPECT_FALSE(ParseQueryFile("").ok());
+  EXPECT_FALSE(ParseQueryFile("delete text piano 8\n").ok());
+  EXPECT_FALSE(ParseQueryFile("query \n").ok());
+  EXPECT_FALSE(ParseQueryFile("query cd[oops\n").ok());
+  EXPECT_FALSE(
+      ParseQueryFile("query cd\nnot-a-directive struct x 1\n").ok());
+}
+
+TEST(QueryFileTest, QueryOnlyFileHasDefaultCosts) {
+  auto parsed = ParseQueryFile("query cd[title[\"x\"]]");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->cost_model.default_insert_cost(), 1);
+  EXPECT_FALSE(
+      cost::IsFinite(parsed->cost_model.DeleteCost(NodeType::kText, "x")));
+}
+
+}  // namespace
+}  // namespace approxql::gen

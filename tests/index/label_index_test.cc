@@ -1,0 +1,149 @@
+#include "index/label_index.h"
+
+#include <gtest/gtest.h>
+
+#include "index/secondary_index.h"
+#include "storage/mem_kv_store.h"
+#include "util/varint.h"
+
+namespace approxql::index {
+namespace {
+
+using doc::DataTree;
+using doc::DataTreeBuilder;
+using doc::NodeId;
+
+DataTree BuildTree() {
+  DataTreeBuilder builder;
+  auto s = builder.AddDocumentXml(
+      "<catalog>"
+      "<cd><title>piano concerto</title><composer>rachmaninov</composer></cd>"
+      "<cd><title>piano sonata</title></cd>"
+      "</catalog>");
+  EXPECT_TRUE(s.ok()) << s;
+  auto tree = std::move(builder).Build(cost::CostModel());
+  EXPECT_TRUE(tree.ok());
+  return std::move(tree).value();
+}
+
+TEST(LabelIndexTest, BuildFromTreePostingsSortedAndComplete) {
+  DataTree tree = BuildTree();
+  LabelIndex index = LabelIndex::BuildFromTree(tree);
+
+  doc::LabelId cd = tree.labels().Find("cd");
+  ASSERT_NE(cd, doc::kInvalidLabel);
+  const Posting* cds = index.Fetch(NodeType::kStruct, cd);
+  ASSERT_NE(cds, nullptr);
+  EXPECT_EQ(cds->size(), 2u);
+  for (NodeId id : *cds) {
+    EXPECT_EQ(tree.label(id), "cd");
+    EXPECT_EQ(tree.node(id).type, NodeType::kStruct);
+  }
+  EXPECT_TRUE(std::is_sorted(cds->begin(), cds->end()));
+
+  doc::LabelId piano = tree.labels().Find("piano");
+  const Posting* pianos = index.Fetch(NodeType::kText, piano);
+  ASSERT_NE(pianos, nullptr);
+  EXPECT_EQ(pianos->size(), 2u);
+
+  // Struct and text spaces are separate: "piano" as element name is absent.
+  EXPECT_EQ(index.Fetch(NodeType::kStruct, piano), nullptr);
+  // Unknown labels fetch nothing.
+  EXPECT_EQ(index.Fetch(NodeType::kText, 999999), nullptr);
+}
+
+TEST(LabelIndexTest, SuperRootNotIndexed) {
+  DataTree tree = BuildTree();
+  LabelIndex index = LabelIndex::BuildFromTree(tree);
+  doc::LabelId root_label = tree.labels().Find(doc::kSuperRootLabel);
+  ASSERT_NE(root_label, doc::kInvalidLabel);
+  EXPECT_EQ(index.Fetch(NodeType::kStruct, root_label), nullptr);
+}
+
+TEST(LabelIndexTest, EveryNonRootNodeIndexedExactlyOnce) {
+  DataTree tree = BuildTree();
+  LabelIndex index = LabelIndex::BuildFromTree(tree);
+  size_t total = 0;
+  for (NodeType type : {NodeType::kStruct, NodeType::kText}) {
+    for (const auto& [label, posting] : index.postings(type)) {
+      total += posting.size();
+    }
+  }
+  EXPECT_EQ(total, tree.size() - 1);
+}
+
+TEST(PostingSerializationTest, RoundTrip) {
+  Posting posting = {1, 5, 6, 100, 4000000, 4000001};
+  std::string blob;
+  SerializePosting(posting, &blob);
+  auto restored = DeserializePosting(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(*restored, posting);
+}
+
+TEST(PostingSerializationTest, EmptyPosting) {
+  Posting posting;
+  std::string blob;
+  SerializePosting(posting, &blob);
+  auto restored = DeserializePosting(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(PostingSerializationTest, CorruptionRejected) {
+  Posting posting = {3, 7, 20};
+  std::string blob;
+  SerializePosting(posting, &blob);
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    EXPECT_FALSE(DeserializePosting(blob.substr(0, cut)).ok()) << cut;
+  }
+  EXPECT_FALSE(DeserializePosting(blob + "\x01").ok());
+  // A zero delta after the first entry means a duplicate node: corrupt.
+  std::string dup;
+  util::PutVarint64(&dup, 2);
+  util::PutVarint32(&dup, 5);
+  util::PutVarint32(&dup, 0);
+  EXPECT_FALSE(DeserializePosting(dup).ok());
+}
+
+TEST(LabelIndexPersistTest, RoundTripThroughKvStore) {
+  DataTree tree = BuildTree();
+  LabelIndex index = LabelIndex::BuildFromTree(tree);
+  storage::MemKvStore store;
+  ASSERT_TRUE(index.PersistTo(&store, "ix#").ok());
+  auto loaded = LabelIndex::LoadFrom(store, "ix#");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (NodeType type : {NodeType::kStruct, NodeType::kText}) {
+    ASSERT_EQ(loaded->postings(type).size(), index.postings(type).size());
+    for (const auto& [label, posting] : index.postings(type)) {
+      const Posting* got = loaded->Fetch(type, label);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, posting);
+    }
+  }
+}
+
+TEST(SecondaryIndexTest, AddFetchPersist) {
+  SecondaryIndex sec;
+  sec.Add(3, 7, 10);
+  sec.Add(3, 7, 12);
+  sec.Add(3, 8, 11);
+  sec.Add(4, 7, 20);
+  const Posting* p = sec.Fetch(3, 7);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, (Posting{10, 12}));
+  EXPECT_EQ(sec.Fetch(3, 9), nullptr);
+  EXPECT_EQ(sec.Fetch(99, 7), nullptr);
+  EXPECT_EQ(sec.KeyCount(), 3u);
+
+  storage::MemKvStore store;
+  ASSERT_TRUE(sec.PersistTo(&store, "sec#").ok());
+  auto loaded = SecondaryIndex::LoadFrom(store, "sec#");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->KeyCount(), 3u);
+  ASSERT_NE(loaded->Fetch(4, 7), nullptr);
+  EXPECT_EQ(*loaded->Fetch(4, 7), (Posting{20}));
+}
+
+}  // namespace
+}  // namespace approxql::index

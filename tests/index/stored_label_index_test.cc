@@ -1,0 +1,121 @@
+#include "index/stored_label_index.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine/direct_eval.h"
+#include "query/expanded.h"
+#include "storage/bptree.h"
+#include "storage/mem_kv_store.h"
+#include "util/varint.h"
+
+namespace approxql::index {
+namespace {
+
+using doc::DataTree;
+using doc::DataTreeBuilder;
+
+DataTree BuildTree() {
+  DataTreeBuilder builder;
+  auto s = builder.AddDocumentXml(
+      "<catalog>"
+      "<cd><title>piano concerto</title><composer>rachmaninov</composer></cd>"
+      "<cd><title>piano sonata</title></cd>"
+      "</catalog>");
+  EXPECT_TRUE(s.ok()) << s;
+  auto tree = std::move(builder).Build(cost::CostModel());
+  EXPECT_TRUE(tree.ok());
+  return std::move(tree).value();
+}
+
+TEST(StoredLabelIndexTest, FetchMatchesInMemoryIndex) {
+  DataTree tree = BuildTree();
+  LabelIndex memory = LabelIndex::BuildFromTree(tree);
+  storage::MemKvStore store;
+  ASSERT_TRUE(memory.PersistTo(&store, "ix#").ok());
+  StoredLabelIndex stored(&store, "ix#");
+
+  for (NodeType type : {NodeType::kStruct, NodeType::kText}) {
+    for (const auto& [label, posting] : memory.postings(type)) {
+      const Posting* got = stored.Fetch(type, label);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, posting);
+      // Second fetch hits the cache and returns the same pointer.
+      EXPECT_EQ(stored.Fetch(type, label), got);
+    }
+  }
+  EXPECT_EQ(stored.corrupt_fetches(), 0u);
+}
+
+TEST(StoredLabelIndexTest, UnknownLabelIsNegativeCached) {
+  storage::MemKvStore store;
+  StoredLabelIndex stored(&store, "ix#");
+  EXPECT_EQ(stored.Fetch(NodeType::kStruct, 424242), nullptr);
+  EXPECT_EQ(stored.Fetch(NodeType::kStruct, 424242), nullptr);
+  EXPECT_EQ(stored.CachedCount(), 1u);
+  EXPECT_EQ(stored.corrupt_fetches(), 0u);
+}
+
+TEST(StoredLabelIndexTest, CorruptPostingReported) {
+  storage::MemKvStore store;
+  std::string key = "ix#s";
+  util::PutVarint32(&key, 7);
+  ASSERT_TRUE(store.Put(key, "\xff\xff\xff").ok());  // bad varint stream
+  StoredLabelIndex stored(&store, "ix#");
+  EXPECT_EQ(stored.Fetch(NodeType::kStruct, 7), nullptr);
+  EXPECT_EQ(stored.corrupt_fetches(), 1u);
+}
+
+TEST(StoredLabelIndexTest, LazyLoadingOnlyTouchesQueriedLabels) {
+  DataTree tree = BuildTree();
+  LabelIndex memory = LabelIndex::BuildFromTree(tree);
+  storage::MemKvStore store;
+  ASSERT_TRUE(memory.PersistTo(&store, "ix#").ok());
+  StoredLabelIndex stored(&store, "ix#");
+  doc::LabelId piano = tree.labels().Find("piano");
+  ASSERT_NE(stored.Fetch(NodeType::kText, piano), nullptr);
+  EXPECT_EQ(stored.CachedCount(), 1u);
+}
+
+TEST(StoredLabelIndexTest, DirectEvaluatorRunsOnStoredPostings) {
+  DataTree tree = BuildTree();
+  LabelIndex memory = LabelIndex::BuildFromTree(tree);
+
+  // Through a real on-disk B+tree, not just the in-memory store.
+  std::string path = (std::filesystem::temp_directory_path() /
+                      ("approxql_stored_ix_" + std::to_string(::getpid())))
+                         .string();
+  std::filesystem::remove(path);
+  {
+    auto disk = storage::DiskKvStore::Open(path, true);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE(memory.PersistTo(disk->get(), "ix#").ok());
+    ASSERT_TRUE((*disk)->Flush().ok());
+  }
+  auto disk = storage::DiskKvStore::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+  StoredLabelIndex stored(disk->get(), "ix#");
+
+  auto q = query::Parse(R"(cd[title["piano" and "concerto"]])");
+  ASSERT_TRUE(q.ok());
+  auto expanded = query::ExpandedQuery::Build(*q, cost::CostModel());
+  ASSERT_TRUE(expanded.ok());
+
+  engine::DirectEvaluator from_store(engine::EncodedTree::Of(tree), stored,
+                                     tree.labels());
+  engine::DirectEvaluator from_memory(engine::EncodedTree::Of(tree), memory,
+                                      tree.labels());
+  auto a = from_store.BestN(*expanded, SIZE_MAX);
+  auto b = from_memory.BestN(*expanded, SIZE_MAX);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].root, b[i].root);
+    EXPECT_EQ(a[i].cost, b[i].cost);
+  }
+  EXPECT_GT(stored.CachedCount(), 0u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace approxql::index

@@ -1,0 +1,236 @@
+// Cross-module integration: synthetic collection -> database -> file
+// persistence -> reload -> queries via every strategy, stream and
+// explain, with strategy-equivalence checks on realistic data shapes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+
+namespace approxql {
+namespace {
+
+using engine::Database;
+using engine::ExecOptions;
+using engine::Strategy;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::XmlGenOptions options;
+    options.seed = 77;
+    options.total_elements = 5000;
+    options.element_names = 30;
+    options.vocabulary = 500;
+    options.words_per_element = 5.0;
+    options.template_nodes = 60;
+    gen::XmlGenerator generator(options);
+    cost::CostModel model;
+    model.set_default_insert_cost(1);
+    auto tree = generator.GenerateTree(model);
+    APPROXQL_CHECK(tree.ok());
+    auto built = Database::FromDataTree(std::move(tree).value(), model);
+    APPROXQL_CHECK(built.ok());
+    db_ = new Database(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+};
+
+Database* IntegrationTest::db_ = nullptr;
+
+TEST_F(IntegrationTest, GeneratedQueriesAgreeAcrossStrategies) {
+  gen::QueryGenOptions q_options;
+  q_options.seed = 5;
+  q_options.renamings_per_label = 3;
+  gen::QueryGenerator qgen(*db_, q_options);
+  int compared = 0;
+  for (std::string_view pattern : {gen::kPattern1, gen::kPattern2}) {
+    for (int i = 0; i < 4; ++i) {
+      auto generated = qgen.Generate(pattern);
+      ASSERT_TRUE(generated.ok());
+      ExecOptions direct;
+      direct.strategy = Strategy::kDirect;
+      direct.n = 20;
+      direct.cost_model = &generated->cost_model;
+      auto a = db_->Execute(generated->query, direct);
+      ASSERT_TRUE(a.ok());
+      ExecOptions schema = direct;
+      schema.strategy = Strategy::kSchema;
+      engine::SchemaEvalStats stats;
+      schema.schema_stats_out = &stats;
+      auto b = db_->Execute(generated->query, schema);
+      ASSERT_TRUE(b.ok());
+      if (!stats.k_capped) {
+        ASSERT_EQ(a->size(), b->size()) << generated->text;
+        ++compared;
+      }
+      for (size_t j = 0; j < std::min(a->size(), b->size()); ++j) {
+        EXPECT_EQ((*a)[j].cost, (*b)[j].cost) << generated->text;
+      }
+    }
+  }
+  EXPECT_GT(compared, 0) << "every query hit the k cap; weaken the data";
+}
+
+TEST_F(IntegrationTest, PersistenceRoundTripAtScale) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      ("approxql_integration_" + std::to_string(::getpid())))
+                         .string();
+  std::filesystem::remove(path);
+  ASSERT_TRUE(db_->Save(path).ok());
+  auto loaded = Database::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->tree().size(), db_->tree().size());
+  EXPECT_EQ(loaded->schema().size(), db_->schema().size());
+
+  gen::QueryGenOptions q_options;
+  q_options.seed = 9;
+  q_options.renamings_per_label = 2;
+  gen::QueryGenerator qgen(*db_, q_options);
+  for (int i = 0; i < 3; ++i) {
+    auto generated = qgen.Generate(gen::kPattern2);
+    ASSERT_TRUE(generated.ok());
+    ExecOptions options;
+    options.n = 10;
+    options.cost_model = &generated->cost_model;
+    for (Strategy strategy : {Strategy::kDirect, Strategy::kSchema}) {
+      options.strategy = strategy;
+      auto a = db_->Execute(generated->query, options);
+      auto b = loaded->Execute(generated->query, options);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a->size(), b->size()) << generated->text;
+      for (size_t j = 0; j < a->size(); ++j) {
+        EXPECT_EQ((*a)[j].root, (*b)[j].root);
+        EXPECT_EQ((*a)[j].cost, (*b)[j].cost);
+      }
+    }
+  }
+  // The saved file is a valid store of non-trivial size.
+  EXPECT_GT(std::filesystem::file_size(path), 10 * 4096u);
+  std::filesystem::remove(path);
+}
+
+TEST_F(IntegrationTest, StreamMatchesBatchOnSyntheticData) {
+  gen::QueryGenOptions q_options;
+  q_options.seed = 21;
+  q_options.renamings_per_label = 2;
+  gen::QueryGenerator qgen(*db_, q_options);
+  auto generated = qgen.Generate(gen::kPattern1);
+  ASSERT_TRUE(generated.ok());
+  ExecOptions options;
+  options.n = 15;
+  options.cost_model = &generated->cost_model;
+  auto batch = db_->Execute(generated->query, options);
+  ASSERT_TRUE(batch.ok());
+  auto stream = db_->ExecuteStream(generated->query, options);
+  ASSERT_TRUE(stream.ok());
+  size_t pulled = 0;
+  cost::Cost last = 0;
+  while (pulled < batch->size()) {
+    auto next = stream->Next();
+    ASSERT_TRUE(next.has_value()) << generated->text;
+    EXPECT_GE(next->cost, last);
+    last = next->cost;
+    EXPECT_EQ(next->cost, (*batch)[pulled].cost);
+    ++pulled;
+  }
+}
+
+TEST_F(IntegrationTest, ExplainCoversResults) {
+  gen::QueryGenOptions q_options;
+  q_options.seed = 33;
+  q_options.renamings_per_label = 1;
+  gen::QueryGenerator qgen(*db_, q_options);
+  auto generated = qgen.Generate(gen::kPattern1);
+  ASSERT_TRUE(generated.ok());
+  ExecOptions options;
+  options.n = 20;
+  options.cost_model = &generated->cost_model;
+  auto explanations = db_->Explain(generated->text, options);
+  ASSERT_TRUE(explanations.ok()) << explanations.status();
+  for (size_t i = 1; i < explanations->size(); ++i) {
+    EXPECT_GE((*explanations)[i].cost, (*explanations)[i - 1].cost);
+  }
+}
+
+TEST_F(IntegrationTest, ConcurrentQueriesAreSafe) {
+  // Execute() is const and every call builds its own evaluator, so
+  // read-only parallel querying must be race-free and deterministic.
+  gen::QueryGenOptions q_options;
+  q_options.seed = 55;
+  q_options.renamings_per_label = 2;
+  gen::QueryGenerator qgen(*db_, q_options);
+  std::vector<gen::GeneratedQuery> queries;
+  for (int i = 0; i < 6; ++i) {
+    auto generated = qgen.Generate(gen::kPattern1);
+    ASSERT_TRUE(generated.ok());
+    queries.push_back(std::move(generated).value());
+  }
+  // Reference results, single-threaded.
+  std::vector<std::vector<engine::QueryAnswer>> expected;
+  for (const auto& generated : queries) {
+    ExecOptions options;
+    options.n = 10;
+    options.cost_model = &generated.cost_model;
+    auto answers = db_->Execute(generated.query, options);
+    ASSERT_TRUE(answers.ok());
+    expected.push_back(std::move(answers).value());
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int round = 0; round < 20; ++round) {
+        size_t qi = static_cast<size_t>(t + round) % queries.size();
+        ExecOptions options;
+        options.strategy =
+            (t + round) % 2 == 0 ? Strategy::kDirect : Strategy::kSchema;
+        options.n = 10;
+        options.cost_model = &queries[qi].cost_model;
+        auto answers = db_->Execute(queries[qi].query, options);
+        if (!answers.ok() || answers->size() != expected[qi].size()) {
+          ++mismatches;
+          continue;
+        }
+        for (size_t i = 0; i < answers->size(); ++i) {
+          if ((*answers)[i].cost != expected[qi][i].cost) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(IntegrationTest, MaterializedResultsParseBack) {
+  gen::QueryGenOptions q_options;
+  q_options.seed = 41;
+  gen::QueryGenerator qgen(*db_, q_options);
+  auto generated = qgen.Generate(gen::kPattern1);
+  ASSERT_TRUE(generated.ok());
+  ExecOptions options;
+  options.n = 5;
+  options.cost_model = &generated->cost_model;
+  auto answers = db_->Execute(generated->query, options);
+  ASSERT_TRUE(answers.ok());
+  for (const auto& answer : *answers) {
+    std::string xml = db_->MaterializeXml(answer.root);
+    auto parsed = xml::ParseXmlDocument(xml);
+    EXPECT_TRUE(parsed.ok()) << xml.substr(0, 200);
+  }
+}
+
+}  // namespace
+}  // namespace approxql

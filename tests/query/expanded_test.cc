@@ -1,0 +1,198 @@
+#include "query/expanded.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+
+namespace approxql::query {
+namespace {
+
+using cost::CostModel;
+
+CostModel PaperCosts() {
+  auto model = CostModel::ParseConfig(
+      "insert struct category 4\n"
+      "insert struct cd 2\n"
+      "insert struct composer 5\n"
+      "insert struct performer 5\n"
+      "insert struct title 3\n"
+      "delete struct composer 7\n"
+      "delete text concerto 6\n"
+      "delete text piano 8\n"
+      "delete struct title 5\n"
+      "delete struct track 3\n"
+      "rename struct cd dvd 6\n"
+      "rename struct cd mc 4\n"
+      "rename struct composer performer 4\n"
+      "rename text concerto sonata 3\n"
+      "rename struct title category 4\n");
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(model).value();
+}
+
+ExpandedQuery Build(const char* text, const CostModel& model) {
+  auto q = Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  auto expanded = ExpandedQuery::Build(*q, model);
+  EXPECT_TRUE(expanded.ok()) << expanded.status();
+  return std::move(expanded).value();
+}
+
+TEST(ExpandedQueryTest, SimplePathStructure) {
+  CostModel model;  // no deletions/renamings allowed
+  ExpandedQuery eq = Build(R"(cd[title["piano"]])", model);
+  const ExpandedNode* root = eq.root();
+  ASSERT_EQ(root->rep, RepType::kNode);
+  EXPECT_TRUE(root->is_root);
+  EXPECT_EQ(root->label, "cd");
+  EXPECT_TRUE(root->renamings.empty());
+  // No deletion bridges without finite delete costs.
+  const ExpandedNode* title = root->left;
+  ASSERT_EQ(title->rep, RepType::kNode);
+  EXPECT_EQ(title->label, "title");
+  const ExpandedNode* piano = title->left;
+  ASSERT_EQ(piano->rep, RepType::kLeaf);
+  EXPECT_EQ(piano->type, NodeType::kText);
+  EXPECT_FALSE(cost::IsFinite(piano->delcost));
+}
+
+TEST(ExpandedQueryTest, PaperFigure2Shape) {
+  ExpandedQuery eq = Build(
+      R"(cd[track[title["piano" and "concerto"]] and )"
+      R"(composer["rachmaninov"]])",
+      PaperCosts());
+  const ExpandedNode* root = eq.root();
+  ASSERT_EQ(root->rep, RepType::kNode);
+  EXPECT_EQ(root->label, "cd");
+  ASSERT_EQ(root->renamings.size(), 2u);  // dvd, mc
+  // Root child: and(track-part, composer-part).
+  const ExpandedNode* conj = root->left;
+  ASSERT_EQ(conj->rep, RepType::kAnd);
+  // track is deletable -> or-bridge with edgecost 3.
+  const ExpandedNode* track_bridge = conj->left;
+  ASSERT_EQ(track_bridge->rep, RepType::kOr);
+  EXPECT_EQ(track_bridge->edgecost, 3);
+  const ExpandedNode* track = track_bridge->left;
+  ASSERT_EQ(track->rep, RepType::kNode);
+  EXPECT_EQ(track->label, "track");
+  // The bridge's right edge shares the track node's child (DAG).
+  const ExpandedNode* title_bridge = track->left;
+  EXPECT_EQ(track_bridge->right, title_bridge)
+      << "deletion bridge must share the child subtree";
+  ASSERT_EQ(title_bridge->rep, RepType::kOr);
+  EXPECT_EQ(title_bridge->edgecost, 5);  // delete title
+  const ExpandedNode* title = title_bridge->left;
+  EXPECT_EQ(title->label, "title");
+  ASSERT_EQ(title->renamings.size(), 1u);
+  EXPECT_EQ(title->renamings[0].to, "category");
+  // Leaves carry renamings and delete costs.
+  const ExpandedNode* leaves = title->left;
+  ASSERT_EQ(leaves->rep, RepType::kAnd);
+  const ExpandedNode* piano = leaves->left;
+  EXPECT_EQ(piano->label, "piano");
+  EXPECT_EQ(piano->delcost, 8);
+  const ExpandedNode* concerto = leaves->right;
+  EXPECT_EQ(concerto->label, "concerto");
+  EXPECT_EQ(concerto->delcost, 6);
+  ASSERT_EQ(concerto->renamings.size(), 1u);
+  EXPECT_EQ(concerto->renamings[0].to, "sonata");
+  EXPECT_EQ(concerto->renamings[0].cost, 3);
+  // composer side: deletable, renamable.
+  const ExpandedNode* composer_bridge = conj->right;
+  ASSERT_EQ(composer_bridge->rep, RepType::kOr);
+  EXPECT_EQ(composer_bridge->edgecost, 7);
+  const ExpandedNode* composer = composer_bridge->left;
+  EXPECT_EQ(composer->label, "composer");
+  ASSERT_EQ(composer->renamings.size(), 1u);
+  EXPECT_EQ(composer->renamings[0].to, "performer");
+}
+
+TEST(ExpandedQueryTest, RootIsNeverDeletableOrBridged) {
+  CostModel model;
+  model.SetDeleteCost(NodeType::kStruct, "cd", 1);
+  ExpandedQuery eq = Build(R"(cd[title["x"]])", model);
+  EXPECT_EQ(eq.root()->rep, RepType::kNode);
+  EXPECT_TRUE(eq.root()->is_root);
+}
+
+TEST(ExpandedQueryTest, QueryOrHasZeroEdgeCost) {
+  CostModel model;
+  ExpandedQuery eq = Build(R"(a["x" or "y"])", model);
+  const ExpandedNode* disj = eq.root()->left;
+  ASSERT_EQ(disj->rep, RepType::kOr);
+  EXPECT_EQ(disj->edgecost, 0);
+}
+
+TEST(ExpandedQueryTest, StructLeafGetsLeafRep) {
+  CostModel model;
+  model.SetDeleteCost(NodeType::kStruct, "bonus", 2);
+  ExpandedQuery eq = Build(R"(cd[title["x"] and bonus])", model);
+  const ExpandedNode* conj = eq.root()->left;
+  const ExpandedNode* bonus = conj->right;
+  ASSERT_EQ(bonus->rep, RepType::kLeaf);
+  EXPECT_EQ(bonus->type, NodeType::kStruct);
+  EXPECT_EQ(bonus->delcost, 2);
+}
+
+TEST(ExpandedQueryTest, BareRootHasNoChild) {
+  CostModel model;
+  ExpandedQuery eq = Build("cd", model);
+  EXPECT_EQ(eq.root()->rep, RepType::kNode);
+  EXPECT_EQ(eq.root()->left, nullptr);
+  EXPECT_TRUE(eq.root()->is_root);
+}
+
+TEST(ExpandedQueryTest, NaryAndBinarizes) {
+  CostModel model;
+  ExpandedQuery eq = Build(R"(a["x" and "y" and "z"])", model);
+  const ExpandedNode* top = eq.root()->left;
+  ASSERT_EQ(top->rep, RepType::kAnd);
+  ASSERT_EQ(top->left->rep, RepType::kAnd);
+  EXPECT_EQ(top->right->label, "z");
+  EXPECT_EQ(top->left->left->label, "x");
+  EXPECT_EQ(top->left->right->label, "y");
+}
+
+TEST(ExpandedQueryTest, SemiTransformedCountSimple) {
+  CostModel model;
+  // No transformations allowed: exactly one semi-transformed query.
+  ExpandedQuery eq = Build(R"(cd[title["piano"]])", model);
+  EXPECT_EQ(eq.SemiTransformedCount(), 1u);
+
+  // One renaming on the leaf: two.
+  model.SetRenameCost(NodeType::kText, "piano", "violin", 2);
+  ExpandedQuery eq2 = Build(R"(cd[title["piano"]])", model);
+  EXPECT_EQ(eq2.SemiTransformedCount(), 2u);
+
+  // Title deletable: doubles the title part (kept or bridged).
+  model.SetDeleteCost(NodeType::kStruct, "title", 5);
+  ExpandedQuery eq3 = Build(R"(cd[title["piano"]])", model);
+  EXPECT_EQ(eq3.SemiTransformedCount(), 4u);
+}
+
+TEST(ExpandedQueryTest, ToDotMentionsEveryVertex) {
+  ExpandedQuery eq = Build(
+      R"(cd[track[title["piano" and "concerto"]] and )"
+      R"(composer["rachmaninov"]])",
+      PaperCosts());
+  std::string dot = eq.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("cd"), std::string::npos);
+  EXPECT_NE(dot.find("sonata"), std::string::npos);
+  for (size_t i = 0; i < eq.node_count(); ++i) {
+    EXPECT_NE(dot.find("n" + std::to_string(i) + " "), std::string::npos);
+  }
+}
+
+TEST(ExpandedQueryTest, RejectsNonNameRoot) {
+  // The parser already enforces this; Build double-checks.
+  Query q;
+  q.root = std::make_unique<AstNode>();
+  q.root->kind = AstKind::kText;
+  q.root->label = "word";
+  auto expanded = ExpandedQuery::Build(q, CostModel());
+  EXPECT_FALSE(expanded.ok());
+}
+
+}  // namespace
+}  // namespace approxql::query

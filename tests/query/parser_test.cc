@@ -1,0 +1,189 @@
+#include "query/ast.h"
+
+#include <gtest/gtest.h>
+
+namespace approxql::query {
+namespace {
+
+TEST(QueryParserTest, BareName) {
+  auto q = Parse("cd");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->root->kind, AstKind::kName);
+  EXPECT_EQ(q->root->label, "cd");
+  EXPECT_TRUE(q->root->children.empty());
+}
+
+TEST(QueryParserTest, PaperQuery) {
+  auto q = Parse(
+      R"(cd[title["piano" and "concerto"] and composer["rachmaninov"]])");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const AstNode& cd = *q->root;
+  EXPECT_EQ(cd.label, "cd");
+  ASSERT_EQ(cd.children.size(), 1u);
+  const AstNode& conj = *cd.children.front();
+  ASSERT_EQ(conj.kind, AstKind::kAnd);
+  ASSERT_EQ(conj.children.size(), 2u);
+  const AstNode& title = *conj.children[0];
+  EXPECT_EQ(title.label, "title");
+  ASSERT_EQ(title.children.size(), 1u);
+  const AstNode& title_conj = *title.children.front();
+  ASSERT_EQ(title_conj.kind, AstKind::kAnd);
+  ASSERT_EQ(title_conj.children.size(), 2u);
+  EXPECT_EQ(title_conj.children[0]->kind, AstKind::kText);
+  EXPECT_EQ(title_conj.children[0]->label, "piano");
+  EXPECT_EQ(title_conj.children[1]->label, "concerto");
+  const AstNode& composer = *conj.children[1];
+  EXPECT_EQ(composer.label, "composer");
+}
+
+TEST(QueryParserTest, OrAndPrecedence) {
+  // and binds tighter than or.
+  auto q = Parse(R"(a["x" and "y" or "z"])");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const AstNode& expr = *q->root->children.front();
+  ASSERT_EQ(expr.kind, AstKind::kOr);
+  ASSERT_EQ(expr.children.size(), 2u);
+  EXPECT_EQ(expr.children[0]->kind, AstKind::kAnd);
+  EXPECT_EQ(expr.children[1]->kind, AstKind::kText);
+  EXPECT_EQ(expr.children[1]->label, "z");
+}
+
+TEST(QueryParserTest, ParenthesesOverridePrecedence) {
+  auto q = Parse(R"(a["x" and ("y" or "z")])");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const AstNode& expr = *q->root->children.front();
+  ASSERT_EQ(expr.kind, AstKind::kAnd);
+  ASSERT_EQ(expr.children.size(), 2u);
+  EXPECT_EQ(expr.children[1]->kind, AstKind::kOr);
+}
+
+TEST(QueryParserTest, NaryOperatorsFlatten) {
+  auto q = Parse(R"(a["x" and "y" and "z" and "w"])");
+  ASSERT_TRUE(q.ok());
+  const AstNode& expr = *q->root->children.front();
+  ASSERT_EQ(expr.kind, AstKind::kAnd);
+  EXPECT_EQ(expr.children.size(), 4u);
+}
+
+TEST(QueryParserTest, MultiWordTextBecomesConjunction) {
+  auto q = Parse(R"(cd[title["piano concerto"]])");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const AstNode& title = *q->root->children.front();
+  const AstNode& conj = *title.children.front();
+  ASSERT_EQ(conj.kind, AstKind::kAnd);
+  ASSERT_EQ(conj.children.size(), 2u);
+  EXPECT_EQ(conj.children[0]->label, "piano");
+  EXPECT_EQ(conj.children[1]->label, "concerto");
+}
+
+TEST(QueryParserTest, TextIsLowercasedAndTokenized) {
+  auto q = Parse(R"(a["Piano-Concerto No.2"])");
+  ASSERT_TRUE(q.ok());
+  const AstNode& conj = *q->root->children.front();
+  ASSERT_EQ(conj.kind, AstKind::kAnd);
+  ASSERT_EQ(conj.children.size(), 4u);
+  EXPECT_EQ(conj.children[0]->label, "piano");
+  EXPECT_EQ(conj.children[1]->label, "concerto");
+  EXPECT_EQ(conj.children[2]->label, "no");
+  EXPECT_EQ(conj.children[3]->label, "2");
+}
+
+TEST(QueryParserTest, SingleQuotesAndPaperTypography) {
+  // The paper's text renders the opening quote as '' — both accepted.
+  auto q1 = Parse("cd[title['piano']]");
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  auto q2 = Parse("cd[title[''piano']]");
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  EXPECT_TRUE(AstEquals(*q1->root, *q2->root));
+}
+
+TEST(QueryParserTest, NestedSelectors) {
+  auto q = Parse(R"(a[b[c[d["w"]]]])");
+  ASSERT_TRUE(q.ok());
+  const AstNode* cursor = q->root.get();
+  for (const char* name : {"a", "b", "c", "d"}) {
+    EXPECT_EQ(cursor->label, name);
+    ASSERT_LE(cursor->children.size(), 1u);
+    if (!cursor->children.empty()) cursor = cursor->children.front().get();
+  }
+  EXPECT_EQ(cursor->kind, AstKind::kText);
+}
+
+TEST(QueryParserTest, MixedStructAndTextOperands) {
+  auto q = Parse(R"(cd[title and "x"])");
+  ASSERT_TRUE(q.ok());
+  const AstNode& conj = *q->root->children.front();
+  EXPECT_EQ(conj.children[0]->kind, AstKind::kName);
+  EXPECT_EQ(conj.children[1]->kind, AstKind::kText);
+}
+
+TEST(QueryParserTest, WhitespaceInsensitive) {
+  auto q1 = Parse("  cd [ title [ \"x\"  and  \"y\" ] ]  ");
+  auto q2 = Parse("cd[title[\"x\" and \"y\"]]");
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(AstEquals(*q1->root, *q2->root));
+}
+
+TEST(QueryParserTest, ToStringRoundTrips) {
+  for (const char* text : {
+           "cd",
+           "cd[title[\"piano\" and \"concerto\"] and "
+           "composer[\"rachmaninov\"]]",
+           "a[\"x\" and (\"y\" or \"z\")]",
+           "a[(\"x\" and \"y\") or \"z\"]",
+           "a[b and c[\"w\"]]",
+           "a[\"x\" or \"y\" or \"z\"]",
+       }) {
+    auto q = Parse(text);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status();
+    std::string printed = q->ToString();
+    auto reparsed = Parse(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_TRUE(AstEquals(*q->root, *reparsed->root))
+        << text << " -> " << printed;
+  }
+}
+
+TEST(QueryParserTest, SelectorAndOrCounts) {
+  auto q = Parse(
+      R"(cd[title["piano" and ("concerto" or "sonata")] and )"
+      R"((composer["rachmaninov"] or performer["ashkenazy"])])");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(SelectorCount(*q->root), 9u);
+  EXPECT_EQ(OrCount(*q->root), 2u);
+}
+
+// --- failure injection ---
+
+TEST(QueryParserErrorTest, Rejections) {
+  for (const char* text : {
+           "",                    // empty
+           "[x]",                 // no root name
+           "\"text\"",            // root must be a name selector
+           "cd[",                 // unterminated bracket
+           "cd[]",                // empty bracket
+           "cd[\"x\" and ]",      // dangling operator
+           "cd[\"x\" or]",        // dangling operator
+           "cd[and \"x\"]",       // leading operator
+           "cd[\"x\"] extra",     // trailing input
+           "cd[\"unterminated]",  // unterminated text
+           "cd[(\"x\" and \"y\"]",  // unbalanced paren
+           "cd[\"  \"]",          // no words in text
+           "and",                 // reserved word as name
+           "or[x]",               // reserved word as name
+       }) {
+    auto q = Parse(text);
+    EXPECT_FALSE(q.ok()) << "should reject: " << text;
+    EXPECT_TRUE(q.status().IsParseError()) << text;
+  }
+}
+
+TEST(QueryParserErrorTest, ErrorCarriesOffset) {
+  auto q = Parse("cd[title[\"x\"] and ]");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxql::query

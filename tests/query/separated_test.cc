@@ -1,0 +1,92 @@
+#include "query/separated.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace approxql::query {
+namespace {
+
+std::set<std::string> ExpandToStrings(const char* text,
+                                      size_t max_queries = 4096) {
+  auto q = Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  auto separated = SeparatedRepresentation(*q, max_queries);
+  EXPECT_TRUE(separated.ok()) << separated.status();
+  std::set<std::string> out;
+  for (const auto& cq : *separated) out.insert(cq.ToString());
+  return out;
+}
+
+TEST(SeparatedTest, ConjunctiveQueryIsItself) {
+  auto queries = ExpandToStrings(
+      R"(cd[title["piano" and "concerto"] and composer["rachmaninov"]])");
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(*queries.begin(),
+            "cd[title[\"piano\" and \"concerto\"] and "
+            "composer[\"rachmaninov\"]]");
+}
+
+TEST(SeparatedTest, PaperSection3Example) {
+  // Two "or"s -> 2^2 = 4 conjunctive queries, exactly the paper's set.
+  auto queries = ExpandToStrings(
+      R"(cd[title["piano" and ("concerto" or "sonata")] and )"
+      R"((composer["rachmaninov"] or performer["ashkenazy"])])");
+  std::set<std::string> expected = {
+      R"(cd[title["piano" and "concerto"] and composer["rachmaninov"]])",
+      R"(cd[title["piano" and "concerto"] and performer["ashkenazy"]])",
+      R"(cd[title["piano" and "sonata"] and composer["rachmaninov"]])",
+      R"(cd[title["piano" and "sonata"] and performer["ashkenazy"]])",
+  };
+  EXPECT_EQ(queries, expected);
+}
+
+TEST(SeparatedTest, OrOfStructSelectors) {
+  auto queries = ExpandToStrings(R"(a[b["x"] or c["y"]])");
+  std::set<std::string> expected = {R"(a[b["x"]])", R"(a[c["y"]])"};
+  EXPECT_EQ(queries, expected);
+}
+
+TEST(SeparatedTest, NestedOrMultiplies) {
+  auto queries =
+      ExpandToStrings(R"(a[("x" or "y") and ("u" or "v") and ("p" or "q")])");
+  EXPECT_EQ(queries.size(), 8u);
+}
+
+TEST(SeparatedTest, OrInsideNestedSelector) {
+  auto queries = ExpandToStrings(R"(a[b[c["x" or "y"]]])");
+  std::set<std::string> expected = {R"(a[b[c["x"]]])", R"(a[b[c["y"]]])"};
+  EXPECT_EQ(queries, expected);
+}
+
+TEST(SeparatedTest, BareNameSingleton) {
+  auto queries = ExpandToStrings("cd");
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(*queries.begin(), "cd");
+}
+
+TEST(SeparatedTest, LimitEnforced) {
+  auto q = Parse(
+      R"(a[("a" or "b") and ("c" or "d") and ("e" or "f") and ("g" or "h")])");
+  ASSERT_TRUE(q.ok());
+  auto separated = SeparatedRepresentation(*q, /*max_queries=*/8);
+  ASSERT_FALSE(separated.ok());
+  EXPECT_EQ(separated.status().code(), util::StatusCode::kOutOfRange);
+  auto ok = SeparatedRepresentation(*q, /*max_queries=*/16);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 16u);
+}
+
+TEST(SeparatedTest, CloneIsDeep) {
+  auto q = Parse(R"(a[b["x"]])");
+  ASSERT_TRUE(q.ok());
+  auto separated = SeparatedRepresentation(*q);
+  ASSERT_TRUE(separated.ok());
+  auto clone = (*separated)[0].root->Clone();
+  (*separated)[0].root->children.front()->label = "mutated";
+  EXPECT_EQ(clone->children.front()->label, "b");
+}
+
+}  // namespace
+}  // namespace approxql::query

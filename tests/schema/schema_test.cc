@@ -1,0 +1,252 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/random.h"
+
+namespace approxql::schema {
+namespace {
+
+using cost::CostModel;
+using doc::DataTree;
+using doc::DataTreeBuilder;
+using doc::NodeId;
+
+DataTree BuildTree(std::string_view xml) {
+  DataTreeBuilder builder;
+  auto s = builder.AddDocumentXml(xml);
+  EXPECT_TRUE(s.ok()) << s;
+  auto tree = std::move(builder).Build(CostModel());
+  EXPECT_TRUE(tree.ok());
+  return std::move(tree).value();
+}
+
+constexpr std::string_view kCatalog =
+    "<catalog>"
+    "<cd><title>piano concerto</title><composer>rachmaninov</composer></cd>"
+    "<cd><title>cello sonata</title><composer>chopin</composer></cd>"
+    "<cd><tracks><track><title>vivace</title></track></tracks></cd>"
+    "</catalog>";
+
+TEST(SchemaTest, EveryLabelTypePathExactlyOnce) {
+  DataTree tree = BuildTree(kCatalog);
+  Schema schema = Schema::Build(&tree, CostModel());
+
+  // Collect the distinct label-type paths of the data tree (text nodes
+  // compacted to <text>).
+  std::set<std::string> data_paths;
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    std::string path;
+    std::vector<NodeId> chain;
+    for (NodeId cursor = id;; cursor = tree.node(cursor).parent) {
+      chain.push_back(cursor);
+      if (tree.node(cursor).parent == doc::kInvalidNode) break;
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (!path.empty()) path.push_back('/');
+      path.append(tree.node(*it).type == NodeType::kText
+                      ? std::string(kTextClassLabel)
+                      : std::string(tree.label(*it)));
+    }
+    data_paths.insert(path);
+  }
+
+  std::set<std::string> schema_paths;
+  for (uint32_t id = 0; id < schema.size(); ++id) {
+    bool inserted =
+        schema_paths.insert(schema.PathOf(id, tree.labels())).second;
+    EXPECT_TRUE(inserted) << "duplicate path in schema";
+  }
+  EXPECT_EQ(schema_paths, data_paths);
+}
+
+TEST(SchemaTest, ClassPreservesLabelTypeAndParent) {
+  DataTree tree = BuildTree(kCatalog);
+  Schema schema = Schema::Build(&tree, CostModel());
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    uint32_t cls = schema.ClassOf(id);
+    const doc::DataNode& data_node = tree.node(id);
+    const doc::DataNode& class_node = schema.nodes()[cls];
+    EXPECT_EQ(class_node.type, data_node.type);
+    if (data_node.type == NodeType::kStruct) {
+      EXPECT_EQ(class_node.label, data_node.label);
+    } else {
+      EXPECT_EQ(class_node.label, schema.text_class_label());
+    }
+    if (data_node.parent != doc::kInvalidNode) {
+      EXPECT_EQ(class_node.parent, schema.ClassOf(data_node.parent))
+          << "class function must preserve parent-child edges";
+    }
+  }
+}
+
+TEST(SchemaTest, CompactionSharesTextClass) {
+  DataTree tree = BuildTree(kCatalog);
+  Schema schema = Schema::Build(&tree, CostModel());
+  // "piano" and "cello" occur under the same path catalog/cd/title, so
+  // they must map to the same (single) text class.
+  doc::LabelId piano = tree.labels().Find("piano");
+  doc::LabelId cello = tree.labels().Find("cello");
+  const index::Posting* p1 = schema.label_index().Fetch(NodeType::kText, piano);
+  const index::Posting* p2 = schema.label_index().Fetch(NodeType::kText, cello);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  ASSERT_EQ(p1->size(), 1u);
+  EXPECT_EQ(*p1, *p2);
+  // "vivace" occurs under track/title — a different class.
+  doc::LabelId vivace = tree.labels().Find("vivace");
+  const index::Posting* p3 =
+      schema.label_index().Fetch(NodeType::kText, vivace);
+  ASSERT_NE(p3, nullptr);
+  EXPECT_NE((*p3)[0], (*p1)[0]);
+}
+
+TEST(SchemaTest, StructIndexHasOneEntryPerClass) {
+  DataTree tree = BuildTree(kCatalog);
+  Schema schema = Schema::Build(&tree, CostModel());
+  doc::LabelId title = tree.labels().Find("title");
+  const index::Posting* titles =
+      schema.label_index().Fetch(NodeType::kStruct, title);
+  ASSERT_NE(titles, nullptr);
+  // cd/title and cd/tracks/track/title: two classes.
+  EXPECT_EQ(titles->size(), 2u);
+  doc::LabelId cd = tree.labels().Find("cd");
+  const index::Posting* cds = schema.label_index().Fetch(NodeType::kStruct, cd);
+  ASSERT_NE(cds, nullptr);
+  EXPECT_EQ(cds->size(), 1u) << "all three cd elements share one class";
+}
+
+TEST(SchemaTest, SecondaryPostingsPartitionInstances) {
+  DataTree tree = BuildTree(kCatalog);
+  Schema schema = Schema::Build(&tree, CostModel());
+  // Sum of all instance postings = all nodes except the super-root.
+  size_t total = 0;
+  for (NodeId id = 1; id < tree.size(); ++id) {
+    uint32_t cls = schema.ClassOf(id);
+    const index::Posting* posting =
+        schema.secondary_index().Fetch(cls, tree.node(id).label);
+    ASSERT_NE(posting, nullptr);
+    EXPECT_TRUE(std::binary_search(posting->begin(), posting->end(), id));
+    (void)total;
+  }
+  // Instances of the cd class are the three cd nodes.
+  doc::LabelId cd = tree.labels().Find("cd");
+  uint32_t cd_class =
+      (*schema.label_index().Fetch(NodeType::kStruct, cd))[0];
+  const index::Posting* cd_instances =
+      schema.secondary_index().Fetch(cd_class, cd);
+  ASSERT_NE(cd_instances, nullptr);
+  EXPECT_EQ(cd_instances->size(), 3u);
+}
+
+TEST(SchemaTest, EncodingInvariants) {
+  DataTree tree = BuildTree(kCatalog);
+  CostModel model;
+  model.SetInsertCost(NodeType::kStruct, "cd", 2);
+  model.SetInsertCost(NodeType::kStruct, "tracks", 4);
+  Schema schema = Schema::Build(&tree, model);
+  const auto& nodes = schema.nodes();
+  for (uint32_t id = 0; id < nodes.size(); ++id) {
+    EXPECT_GE(nodes[id].bound, id);
+    if (id > 0) {
+      EXPECT_LT(nodes[id].parent, id);
+      const auto& parent = nodes[nodes[id].parent];
+      EXPECT_EQ(nodes[id].pathcost,
+                cost::Add(parent.pathcost, parent.inscost));
+    }
+  }
+}
+
+TEST(SchemaTest, ClassDistanceEqualsInstanceDistance) {
+  DataTree tree = BuildTree(kCatalog);
+  CostModel model;
+  model.SetInsertCost(NodeType::kStruct, "track", 3);
+  model.SetInsertCost(NodeType::kStruct, "tracks", 2);
+  model.SetInsertCost(NodeType::kStruct, "title", 7);
+  // Rebuild the tree with the model so data pathcosts use it too.
+  DataTreeBuilder builder;
+  ASSERT_TRUE(builder.AddDocumentXml(kCatalog).ok());
+  auto tree2 = std::move(builder).Build(model);
+  ASSERT_TRUE(tree2.ok());
+  Schema schema = Schema::Build(&*tree2, model);
+  // Section 7.1: all instance pairs of (u, v) have the same distance as
+  // their classes.
+  for (NodeId u = 1; u < tree2->size(); ++u) {
+    for (NodeId v = u + 1; v <= tree2->node(u).bound; ++v) {
+      uint32_t cu = schema.ClassOf(u);
+      uint32_t cv = schema.ClassOf(v);
+      ASSERT_TRUE(cu == cv || schema.IsAncestor(cu, cv));
+      EXPECT_EQ(tree2->Distance(u, v), schema.Distance(cu, cv))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(SchemaTest, RecursiveStructuresFold) {
+  // part/part/part nests: each depth is its own label-type path.
+  DataTree tree = BuildTree(
+      "<part><part><part><name>bolt</name></part></part>"
+      "<part><name>nut</name></part></part>");
+  Schema schema = Schema::Build(&tree, CostModel());
+  // Paths: <root>, /part, /part/part, /part/part/part, plus name+<text>
+  // at depths 2 and 3.
+  doc::LabelId part = tree.labels().Find("part");
+  const index::Posting* parts =
+      schema.label_index().Fetch(NodeType::kStruct, part);
+  ASSERT_NE(parts, nullptr);
+  EXPECT_EQ(parts->size(), 3u) << "three distinct part depths";
+}
+
+// Property: schema of a random tree contains each path once and class
+// mapping preserves structure.
+class SchemaRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemaRandomTest, Invariants) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 5);
+  DataTreeBuilder builder;
+  int depth = 0;
+  for (int step = 0; step < 400; ++step) {
+    int choice = static_cast<int>(rng.Uniform(4));
+    if (choice == 0 && depth > 0) {
+      builder.EndElement();
+      --depth;
+    } else if (choice == 3) {
+      builder.AddWord("w" + std::to_string(rng.Uniform(30)));
+    } else {
+      builder.StartElement("e" + std::to_string(rng.Uniform(5)));
+      ++depth;
+    }
+  }
+  while (depth-- > 0) builder.EndElement();
+  auto tree = std::move(builder).Build(CostModel());
+  ASSERT_TRUE(tree.ok());
+  Schema schema = Schema::Build(&*tree, CostModel());
+
+  // Paths unique.
+  std::set<std::string> paths;
+  for (uint32_t id = 0; id < schema.size(); ++id) {
+    EXPECT_TRUE(paths.insert(schema.PathOf(id, tree->labels())).second);
+  }
+  // Class mapping preserves parent-child and type.
+  for (NodeId id = 1; id < tree->size(); ++id) {
+    uint32_t cls = schema.ClassOf(id);
+    EXPECT_EQ(schema.nodes()[cls].type, tree->node(id).type);
+    EXPECT_EQ(schema.nodes()[cls].parent,
+              schema.ClassOf(tree->node(id).parent));
+  }
+  // Every instance posting is sorted.
+  for (NodeId id = 1; id < tree->size(); ++id) {
+    const index::Posting* posting = schema.secondary_index().Fetch(
+        schema.ClassOf(id), tree->node(id).label);
+    ASSERT_NE(posting, nullptr);
+    EXPECT_TRUE(std::is_sorted(posting->begin(), posting->end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemaRandomTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace approxql::schema

@@ -1,0 +1,140 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+namespace approxql::storage {
+namespace {
+
+class PagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("approxql_pager_" + std::to_string(::getpid())))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::unique_ptr<Pager> OpenPager(bool create = true) {
+    auto pager = Pager::Open(path_, create);
+    EXPECT_TRUE(pager.ok()) << pager.status();
+    return std::move(pager).value();
+  }
+
+  std::string path_;
+};
+
+TEST_F(PagerTest, FreshFileHasMetaPageOnly) {
+  auto pager = OpenPager();
+  EXPECT_EQ(pager->page_count(), 1u);
+  EXPECT_EQ(pager->freelist_size(), 0u);
+}
+
+TEST_F(PagerTest, AllocateWriteReadRoundTrip) {
+  {
+    auto pager = OpenPager();
+    auto id = pager->Allocate();
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, 1u);
+    auto page = pager->Fetch(*id);
+    ASSERT_TRUE(page.ok());
+    std::memcpy((*page)->data.data(), "hello pager", 11);
+    (*page)->dirty = true;
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  auto pager = OpenPager(/*create=*/false);
+  EXPECT_EQ(pager->page_count(), 2u);
+  auto page = pager->Fetch(1);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(std::memcmp((*page)->data.data(), "hello pager", 11), 0);
+}
+
+TEST_F(PagerTest, MetaSlotsPersist) {
+  {
+    auto pager = OpenPager();
+    pager->SetMetaSlot(0, 12345);
+    pager->SetMetaSlot(3, 0xDEADBEEF);
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  auto pager = OpenPager(false);
+  EXPECT_EQ(pager->GetMetaSlot(0), 12345u);
+  EXPECT_EQ(pager->GetMetaSlot(3), 0xDEADBEEFu);
+  EXPECT_EQ(pager->GetMetaSlot(1), 0u);
+}
+
+TEST_F(PagerTest, FreelistRecyclesPages) {
+  auto pager = OpenPager();
+  auto a = pager->Allocate();
+  auto b = pager->Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(pager->Free(*a).ok());
+  EXPECT_EQ(pager->freelist_size(), 1u);
+  auto c = pager->Allocate();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a) << "freed page must be recycled";
+  EXPECT_EQ(pager->freelist_size(), 0u);
+  EXPECT_EQ(pager->page_count(), 3u);
+}
+
+TEST_F(PagerTest, FetchBeyondPageCountFails) {
+  auto pager = OpenPager();
+  auto page = pager->Fetch(99);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST_F(PagerTest, EvictionWritesBackDirtyPages) {
+  auto pager = OpenPager();
+  pager->set_cache_limit(2);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = pager->Allocate();
+    ASSERT_TRUE(id.ok());
+    auto page = pager->Fetch(*id);
+    ASSERT_TRUE(page.ok());
+    (*page)->data[0] = static_cast<uint8_t>(0xA0 + i);
+    (*page)->dirty = true;
+    ids.push_back(*id);
+    ASSERT_TRUE(pager->EvictIfNeeded().ok());
+    EXPECT_LE(pager->cached_pages(), 2u);
+  }
+  // Every page readable with its content, through re-reads from disk.
+  for (int i = 0; i < 6; ++i) {
+    auto page = pager->Fetch(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(page.ok()) << page.status();
+    EXPECT_EQ((*page)->data[0], 0xA0 + i);
+  }
+}
+
+TEST_F(PagerTest, UnlimitedCacheNeverEvicts) {
+  auto pager = OpenPager();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pager->Allocate().ok());
+  }
+  ASSERT_TRUE(pager->EvictIfNeeded().ok());
+  EXPECT_EQ(pager->cached_pages(), 10u);
+}
+
+TEST_F(PagerTest, CorruptMetaRejectedOnOpen) {
+  {
+    auto pager = OpenPager();
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 64, SEEK_SET);
+    std::fputc(0x5A, f);
+    std::fclose(f);
+  }
+  auto pager = Pager::Open(path_, /*create_if_missing=*/false);
+  ASSERT_FALSE(pager.ok());
+  EXPECT_TRUE(pager.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace approxql::storage

@@ -1,0 +1,39 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace approxql::util {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32C test vectors.
+  EXPECT_EQ(Crc32c(std::string_view("")), 0x00000000u);
+  EXPECT_EQ(Crc32c(std::string_view("123456789")), 0xE3069283u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+}
+
+TEST(Crc32Test, SensitiveToEveryBit) {
+  std::string data(64, 'a');
+  uint32_t base = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(mutated[i] ^ 1);
+    EXPECT_NE(Crc32c(mutated), base) << "byte " << i;
+  }
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32c(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t part = Crc32c(data.substr(0, split));
+    uint32_t chained = Crc32c(data.substr(split), part);
+    EXPECT_EQ(chained, whole) << "split " << split;
+  }
+}
+
+}  // namespace
+}  // namespace approxql::util

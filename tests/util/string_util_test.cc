@@ -1,0 +1,76 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace approxql::util {
+namespace {
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("Piano Concerto No.2"), "piano concerto no.2");
+  EXPECT_EQ(AsciiToLower(""), "");
+  EXPECT_EQ(AsciiToLower("ALL-CAPS_123"), "all-caps_123");
+}
+
+TEST(StringUtilTest, SplitWordsBasic) {
+  auto words = SplitWords("Piano concerto, No. 2!");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "piano");
+  EXPECT_EQ(words[1], "concerto");
+  EXPECT_EQ(words[2], "no");
+  EXPECT_EQ(words[3], "2");
+}
+
+TEST(StringUtilTest, SplitWordsEmptyAndPunctOnly) {
+  EXPECT_TRUE(SplitWords("").empty());
+  EXPECT_TRUE(SplitWords("  ,.;:!?  ").empty());
+}
+
+TEST(StringUtilTest, SplitView) {
+  auto parts = SplitView("a#b##c", '#');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitView("", '#').size(), 1u);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(StripWhitespace("hello"), "hello");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringUtilTest, IsBlank) {
+  EXPECT_TRUE(IsBlank(""));
+  EXPECT_TRUE(IsBlank(" \t\r\n"));
+  EXPECT_FALSE(IsBlank(" x "));
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_TRUE(ParseDouble("7", &d));
+  EXPECT_DOUBLE_EQ(d, 7.0);
+  EXPECT_FALSE(ParseDouble("x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("-2", &d));  // costs are non-negative
+  EXPECT_FALSE(ParseDouble("3.5x", &d));
+}
+
+}  // namespace
+}  // namespace approxql::util

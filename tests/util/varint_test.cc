@@ -1,0 +1,107 @@
+#include "util/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace approxql::util {
+namespace {
+
+TEST(VarintTest, RoundTripSmall) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    VarintReader reader(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(reader.GetVarint64(&out).ok());
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(reader.empty());
+  }
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  std::vector<uint64_t> values;
+  for (int shift = 0; shift < 64; ++shift) {
+    values.push_back(1ULL << shift);
+    values.push_back((1ULL << shift) - 1);
+  }
+  values.push_back(std::numeric_limits<uint64_t>::max());
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  VarintReader reader(buf);
+  for (uint64_t v : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(reader.GetVarint64(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(VarintTest, EncodingLength) {
+  std::string buf;
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(VarintTest, TruncatedFailsWithCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    VarintReader reader(std::string_view(buf).substr(0, cut));
+    uint64_t out = 0;
+    Status s = reader.GetVarint64(&out);
+    EXPECT_TRUE(s.IsCorruption()) << "cut=" << cut;
+  }
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  // Eleven continuation bytes exceed the 64-bit budget.
+  std::string buf(11, static_cast<char>(0x80));
+  VarintReader reader(buf);
+  uint64_t out = 0;
+  EXPECT_TRUE(reader.GetVarint64(&out).IsCorruption());
+}
+
+TEST(VarintTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 33);
+  VarintReader reader(buf);
+  uint32_t out = 0;
+  EXPECT_TRUE(reader.GetVarint32(&out).IsCorruption());
+}
+
+TEST(VarintTest, ZigZagRoundTrip) {
+  const int64_t kValues[] = {0,        1,       -1,
+                             2,        -2,      1000000,
+                             -1000000, std::numeric_limits<int64_t>::max(),
+                             std::numeric_limits<int64_t>::min()};
+  for (int64_t v : kValues) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  // Small magnitudes map to small codes.
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(VarintTest, GetBytes) {
+  std::string buf = "abcdef";
+  VarintReader reader(buf);
+  std::string_view out;
+  ASSERT_TRUE(reader.GetBytes(4, &out).ok());
+  EXPECT_EQ(out, "abcd");
+  EXPECT_TRUE(reader.GetBytes(3, &out).IsCorruption());
+  ASSERT_TRUE(reader.GetBytes(2, &out).ok());
+  EXPECT_EQ(out, "ef");
+  EXPECT_TRUE(reader.empty());
+}
+
+}  // namespace
+}  // namespace approxql::util

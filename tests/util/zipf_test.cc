@@ -1,0 +1,66 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace approxql::util {
+namespace {
+
+TEST(ZipfTest, SingleRank) {
+  ZipfDistribution zipf(1);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(0), 1.0);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.0);
+  double sum = 0;
+  for (uint64_t i = 0; i < 100; ++i) sum += zipf.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotonicallyDecreasing) {
+  ZipfDistribution zipf(1000, 1.0);
+  for (uint64_t i = 1; i < 1000; ++i) {
+    EXPECT_LE(zipf.Pmf(i), zipf.Pmf(i - 1)) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, RankZeroDominates) {
+  // With theta=1 over n=100, the top rank holds ~1/H_100 ~ 19% of mass.
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(5);
+  int rank0 = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) rank0 += zipf.Sample(rng) == 0 ? 1 : 0;
+  EXPECT_NEAR(rank0 / static_cast<double>(kSamples), zipf.Pmf(0), 0.02);
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(kSamples), zipf.Pmf(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  ZipfDistribution flat(100, 0.5), steep(100, 2.0);
+  EXPECT_GT(steep.Pmf(0), flat.Pmf(0));
+  EXPECT_LT(steep.Pmf(99), flat.Pmf(99));
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfDistribution zipf(37, 1.2);
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 37u);
+}
+
+}  // namespace
+}  // namespace approxql::util

@@ -1,0 +1,90 @@
+#include "xml/xml_dom.h"
+
+#include <gtest/gtest.h>
+
+namespace approxql::xml {
+namespace {
+
+TEST(XmlDomTest, BuildsTree) {
+  auto doc = ParseXmlDocument(
+      "<catalog><cd id=\"1\"><title>Piano Concerto</title>"
+      "<composer>Rachmaninov</composer></cd></catalog>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const XmlElement& root = *doc->root;
+  EXPECT_EQ(root.name, "catalog");
+  ASSERT_EQ(root.CountChildElements(), 1u);
+  const XmlElement* cd = root.FindChild("cd");
+  ASSERT_NE(cd, nullptr);
+  const std::string* id = cd->FindAttribute("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(*id, "1");
+  const XmlElement* title = cd->FindChild("title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_EQ(title->Text(), "Piano Concerto");
+  EXPECT_EQ(cd->FindChild("absent"), nullptr);
+  EXPECT_EQ(cd->FindAttribute("absent"), nullptr);
+}
+
+TEST(XmlDomTest, MixedContentTextConcatenation) {
+  auto doc = ParseXmlDocument("<p>one <b>bold</b> two</p>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->Text(), "one  two");
+  ASSERT_EQ(doc->root->children.size(), 3u);
+}
+
+TEST(XmlDomTest, CdataCoalescedWithText) {
+  auto doc = ParseXmlDocument("<a>x<![CDATA[&y]]>z</a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root->children.size(), 1u);
+  EXPECT_EQ(doc->root->Text(), "x&yz");
+}
+
+TEST(XmlDomTest, ParseErrorPropagates) {
+  auto doc = ParseXmlDocument("<a><b></a>");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError());
+}
+
+TEST(XmlDomTest, WriteRoundTrip) {
+  const std::string xml =
+      "<catalog><cd id=\"1\"><title>Adagio &amp; Fugue</title></cd>"
+      "<cd id=\"2\"/></catalog>";
+  auto doc = ParseXmlDocument(xml);
+  ASSERT_TRUE(doc.ok());
+  std::string written = WriteXml(*doc->root);
+  auto doc2 = ParseXmlDocument(written);
+  ASSERT_TRUE(doc2.ok()) << doc2.status() << " in: " << written;
+  EXPECT_EQ(WriteXml(*doc2->root), written);
+}
+
+TEST(XmlDomTest, WriteEscapesSpecials) {
+  XmlElement element;
+  element.name = "a";
+  element.attributes.push_back({"t", "x\"<&"});
+  element.children.emplace_back(std::string("1 < 2 & 3 > 2"));
+  std::string written = WriteXml(element);
+  EXPECT_EQ(written, "<a t=\"x&quot;&lt;&amp;\">1 &lt; 2 &amp; 3 &gt; 2</a>");
+  auto round = ParseXmlDocument(written);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->root->Text(), "1 < 2 & 3 > 2");
+}
+
+TEST(XmlDomTest, PrettyPrinting) {
+  auto doc = ParseXmlDocument("<a><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.pretty = true;
+  EXPECT_EQ(WriteXml(*doc->root, options), "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+}
+
+TEST(XmlDomTest, DeclarationHeader) {
+  XmlElement element;
+  element.name = "a";
+  WriteOptions options;
+  options.declaration = true;
+  EXPECT_EQ(WriteXml(element, options),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+}
+
+}  // namespace
+}  // namespace approxql::xml

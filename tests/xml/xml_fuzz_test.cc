@@ -1,0 +1,94 @@
+// Robustness: the XML parser must never crash or hang on corrupted
+// input — every mutation of a valid document either parses or returns a
+// clean ParseError.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "doc/data_tree.h"
+#include "util/random.h"
+#include "xml/xml_dom.h"
+
+namespace approxql::xml {
+namespace {
+
+constexpr std::string_view kSeedDocs[] = {
+    "<catalog><cd id=\"1\" genre='classical'><title>Piano &amp; Forte"
+    "</title><!-- note --><composer>Rachmaninov</composer></cd></catalog>",
+    "<?xml version=\"1.0\"?><!DOCTYPE a [ <!ELEMENT a (b)> ]>"
+    "<a><![CDATA[raw <bytes> &here;]]><b x=\"&#65;\"/></a>",
+    "<a>&lt;&gt;&amp;&quot;&apos;&#x41;<b/><c>mixed <d/> content</c></a>",
+};
+
+class XmlFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlFuzzTest, MutatedInputNeverCrashes) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 48271 + 11);
+  for (int round = 0; round < 400; ++round) {
+    std::string doc(kSeedDocs[rng.Uniform(3)]);
+    // 1-6 random mutations: byte flips, deletions, duplications, splices.
+    size_t mutations = 1 + rng.Uniform(6);
+    for (size_t m = 0; m < mutations && !doc.empty(); ++m) {
+      size_t pos = rng.Uniform(doc.size());
+      switch (rng.Uniform(4)) {
+        case 0:
+          doc[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:
+          doc.erase(pos, 1 + rng.Uniform(4));
+          break;
+        case 2:
+          doc.insert(pos, doc.substr(rng.Uniform(doc.size()),
+                                     rng.Uniform(8)));
+          break;
+        case 3: {
+          const char* bits[] = {"<", ">", "&", "<!--", "]]>", "<?", "\"",
+                                "&#", "</"};
+          doc.insert(pos, bits[rng.Uniform(9)]);
+          break;
+        }
+      }
+    }
+    // Must terminate and either succeed or fail cleanly.
+    auto parsed = ParseXmlDocument(doc);
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsParseError()) << parsed.status();
+    } else {
+      // If it parsed, the writer output must re-parse (well-formedness).
+      auto again = ParseXmlDocument(WriteXml(*parsed->root));
+      EXPECT_TRUE(again.ok()) << again.status();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest, ::testing::Range(0, 8));
+
+// The data-tree deserializer gets the same treatment.
+TEST(DataTreeFuzzTest, MutatedBlobNeverCrashes) {
+  doc::DataTreeBuilder builder;
+  ASSERT_TRUE(builder
+                  .AddDocumentXml("<a><b>one two</b><c x='3'>four</c>"
+                                  "<b><d>five</d></b></a>")
+                  .ok());
+  auto tree = std::move(builder).Build(cost::CostModel());
+  ASSERT_TRUE(tree.ok());
+  std::string blob;
+  tree->Serialize(&blob);
+  util::Rng rng(17);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = blob;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = static_cast<char>(rng.Uniform(256));
+    // Either a clean failure or a tree that passes basic sanity.
+    auto restored = doc::DataTree::Deserialize(mutated, cost::CostModel());
+    if (restored.ok()) {
+      for (doc::NodeId id = 1; id < restored->size(); ++id) {
+        EXPECT_LT(restored->node(id).parent, id);
+        EXPECT_GE(restored->node(id).bound, id);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace approxql::xml

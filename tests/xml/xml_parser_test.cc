@@ -1,0 +1,257 @@
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace approxql::xml {
+namespace {
+
+using util::Status;
+
+/// Records SAX events as readable strings for assertions.
+class EventRecorder : public XmlHandler {
+ public:
+  Status OnStartElement(std::string_view name,
+                        const std::vector<XmlAttribute>& attrs) override {
+    std::string event = "start:" + std::string(name);
+    for (const auto& attr : attrs) {
+      event += " " + attr.name + "=" + attr.value;
+    }
+    events.push_back(event);
+    return Status::OK();
+  }
+  Status OnEndElement(std::string_view name) override {
+    events.push_back("end:" + std::string(name));
+    return Status::OK();
+  }
+  Status OnCharacters(std::string_view text) override {
+    events.push_back("text:" + std::string(text));
+    return Status::OK();
+  }
+
+  std::vector<std::string> events;
+};
+
+std::vector<std::string> Parse(std::string_view xml, Status* status = nullptr) {
+  EventRecorder recorder;
+  Status s = ParseXml(xml, &recorder);
+  if (status != nullptr) *status = s;
+  return recorder.events;
+}
+
+TEST(XmlParserTest, SimpleElement) {
+  Status s;
+  auto events = Parse("<cd>text</cd>", &s);
+  ASSERT_TRUE(s.ok()) << s;
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], "start:cd");
+  EXPECT_EQ(events[1], "text:text");
+  EXPECT_EQ(events[2], "end:cd");
+}
+
+TEST(XmlParserTest, NestedElements) {
+  Status s;
+  auto events = Parse("<cd><title>Piano</title><composer>Rachmaninov"
+                      "</composer></cd>",
+                      &s);
+  ASSERT_TRUE(s.ok()) << s;
+  std::vector<std::string> expected = {
+      "start:cd",    "start:title",    "text:Piano",       "end:title",
+      "start:composer", "text:Rachmaninov", "end:composer", "end:cd"};
+  EXPECT_EQ(events, expected);
+}
+
+TEST(XmlParserTest, SelfClosingTag) {
+  Status s;
+  auto events = Parse("<a><b/><c x='1'/></a>", &s);
+  ASSERT_TRUE(s.ok()) << s;
+  std::vector<std::string> expected = {"start:a", "start:b",     "end:b",
+                                       "start:c x=1", "end:c", "end:a"};
+  EXPECT_EQ(events, expected);
+}
+
+TEST(XmlParserTest, Attributes) {
+  Status s;
+  auto events = Parse(R"(<cd id="42" genre='classical'>x</cd>)", &s);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(events[0], "start:cd id=42 genre=classical");
+}
+
+TEST(XmlParserTest, AttributeEntities) {
+  Status s;
+  auto events = Parse(R"(<a t="&lt;x&gt; &amp; &quot;y&quot; &apos;"/>)", &s);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(events[0], "start:a t=<x> & \"y\" '");
+}
+
+TEST(XmlParserTest, TextEntities) {
+  Status s;
+  auto events = Parse("<a>fish &amp; chips &lt;cheap&gt;</a>", &s);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(events[1], "text:fish & chips <cheap>");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  Status s;
+  auto events = Parse("<a>&#65;&#x42;&#xE9;</a>", &s);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(events[1], "text:AB\xC3\xA9");
+}
+
+TEST(XmlParserTest, CdataSection) {
+  Status s;
+  auto events = Parse("<a><![CDATA[<not> & parsed]]></a>", &s);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(events[1], "text:<not> & parsed");
+}
+
+TEST(XmlParserTest, CommentsSkipped) {
+  Status s;
+  auto events = Parse("<!-- head --><a><!-- inside -->x</a><!-- tail -->", &s);
+  ASSERT_TRUE(s.ok()) << s;
+  std::vector<std::string> expected = {"start:a", "text:x", "end:a"};
+  EXPECT_EQ(events, expected);
+}
+
+TEST(XmlParserTest, PrologAndDoctype) {
+  Status s;
+  Parse("<?xml version=\"1.0\"?><!DOCTYPE catalog [ <!ELEMENT cd (#PCDATA)> ]>"
+        "<catalog/>",
+        &s);
+  EXPECT_TRUE(s.ok()) << s;
+}
+
+TEST(XmlParserTest, ProcessingInstructionInside) {
+  Status s;
+  auto events = Parse("<a>x<?php echo ?>y</a>", &s);
+  ASSERT_TRUE(s.ok()) << s;
+  // PI flushes text, so two runs.
+  std::vector<std::string> expected = {"start:a", "text:x", "text:y", "end:a"};
+  EXPECT_EQ(events, expected);
+}
+
+TEST(XmlParserTest, Utf8BomAccepted) {
+  Status s;
+  Parse("\xEF\xBB\xBF<a/>", &s);
+  EXPECT_TRUE(s.ok()) << s;
+}
+
+TEST(XmlParserTest, DeeplyNestedDoesNotOverflow) {
+  // 100k-deep nesting exercises the iterative parser.
+  std::string xml;
+  for (int i = 0; i < 100000; ++i) xml += "<d>";
+  for (int i = 0; i < 100000; ++i) xml += "</d>";
+  Status s;
+  Parse(xml, &s);
+  EXPECT_TRUE(s.ok()) << s;
+}
+
+// --- failure injection ---
+
+TEST(XmlParserErrorTest, MismatchedTags) {
+  Status s;
+  Parse("<a><b></a></b>", &s);
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParserErrorTest, UnclosedElement) {
+  Status s;
+  Parse("<a><b>", &s);
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(XmlParserErrorTest, ContentAfterRoot) {
+  Status s;
+  Parse("<a/><b/>", &s);
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("after root"), std::string::npos);
+}
+
+TEST(XmlParserErrorTest, EmptyInput) {
+  Status s;
+  Parse("", &s);
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(XmlParserErrorTest, BareText) {
+  Status s;
+  Parse("just text", &s);
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(XmlParserErrorTest, UnknownEntity) {
+  Status s;
+  Parse("<a>&nbsp;</a>", &s);
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("nbsp"), std::string::npos);
+}
+
+TEST(XmlParserErrorTest, InvalidCharacterReference) {
+  Status s;
+  Parse("<a>&#xZZ;</a>", &s);
+  EXPECT_TRUE(s.IsParseError());
+  Parse("<a>&#1114112;</a>", &s);  // > 0x10FFFF
+  EXPECT_TRUE(s.IsParseError());
+  Parse("<a>&#xD800;</a>", &s);  // surrogate
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(XmlParserErrorTest, DuplicateAttribute) {
+  Status s;
+  Parse("<a x='1' x='2'/>", &s);
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST(XmlParserErrorTest, UnquotedAttribute) {
+  Status s;
+  Parse("<a x=1/>", &s);
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(XmlParserErrorTest, LessThanInAttribute) {
+  Status s;
+  Parse("<a x='<'/>", &s);
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(XmlParserErrorTest, UnterminatedComment) {
+  Status s;
+  Parse("<a><!-- no end </a>", &s);
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(XmlParserErrorTest, DoubleDashInComment) {
+  Status s;
+  Parse("<a><!-- x -- y --></a>", &s);
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(XmlParserErrorTest, UnterminatedCdata) {
+  Status s;
+  Parse("<a><![CDATA[ x </a>", &s);
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(XmlParserErrorTest, ErrorsReportLineNumbers) {
+  Status s;
+  Parse("<a>\n\n<b>\n</wrong>\n</a>", &s);
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("line 4"), std::string::npos) << s;
+}
+
+TEST(XmlEscapeTest, TextEscaping) {
+  EXPECT_EQ(EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeText("plain"), "plain");
+}
+
+TEST(XmlEscapeTest, AttributeEscaping) {
+  EXPECT_EQ(EscapeAttribute("say \"hi\" & <go>"),
+            "say &quot;hi&quot; &amp; &lt;go>");
+}
+
+}  // namespace
+}  // namespace approxql::xml
