@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxql_cli.dir/approxql_cli.cpp.o"
+  "CMakeFiles/approxql_cli.dir/approxql_cli.cpp.o.d"
+  "approxql_cli"
+  "approxql_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxql_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_collection.dir/make_collection.cpp.o"
+  "CMakeFiles/make_collection.dir/make_collection.cpp.o.d"
+  "make_collection"
+  "make_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

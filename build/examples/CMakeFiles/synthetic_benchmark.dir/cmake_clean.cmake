@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_benchmark.dir/synthetic_benchmark.cpp.o"
+  "CMakeFiles/synthetic_benchmark.dir/synthetic_benchmark.cpp.o.d"
+  "synthetic_benchmark"
+  "synthetic_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

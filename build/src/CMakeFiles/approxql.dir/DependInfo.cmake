@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/closure_eval.cc" "src/CMakeFiles/approxql.dir/baseline/closure_eval.cc.o" "gcc" "src/CMakeFiles/approxql.dir/baseline/closure_eval.cc.o.d"
+  "/root/repo/src/baseline/scan_eval.cc" "src/CMakeFiles/approxql.dir/baseline/scan_eval.cc.o" "gcc" "src/CMakeFiles/approxql.dir/baseline/scan_eval.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/approxql.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/approxql.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/doc/data_tree.cc" "src/CMakeFiles/approxql.dir/doc/data_tree.cc.o" "gcc" "src/CMakeFiles/approxql.dir/doc/data_tree.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/approxql.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/approxql.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/direct_eval.cc" "src/CMakeFiles/approxql.dir/engine/direct_eval.cc.o" "gcc" "src/CMakeFiles/approxql.dir/engine/direct_eval.cc.o.d"
+  "/root/repo/src/engine/list_ops.cc" "src/CMakeFiles/approxql.dir/engine/list_ops.cc.o" "gcc" "src/CMakeFiles/approxql.dir/engine/list_ops.cc.o.d"
+  "/root/repo/src/engine/topk_eval.cc" "src/CMakeFiles/approxql.dir/engine/topk_eval.cc.o" "gcc" "src/CMakeFiles/approxql.dir/engine/topk_eval.cc.o.d"
+  "/root/repo/src/gen/query_file.cc" "src/CMakeFiles/approxql.dir/gen/query_file.cc.o" "gcc" "src/CMakeFiles/approxql.dir/gen/query_file.cc.o.d"
+  "/root/repo/src/gen/query_generator.cc" "src/CMakeFiles/approxql.dir/gen/query_generator.cc.o" "gcc" "src/CMakeFiles/approxql.dir/gen/query_generator.cc.o.d"
+  "/root/repo/src/gen/xml_generator.cc" "src/CMakeFiles/approxql.dir/gen/xml_generator.cc.o" "gcc" "src/CMakeFiles/approxql.dir/gen/xml_generator.cc.o.d"
+  "/root/repo/src/index/label_index.cc" "src/CMakeFiles/approxql.dir/index/label_index.cc.o" "gcc" "src/CMakeFiles/approxql.dir/index/label_index.cc.o.d"
+  "/root/repo/src/index/secondary_index.cc" "src/CMakeFiles/approxql.dir/index/secondary_index.cc.o" "gcc" "src/CMakeFiles/approxql.dir/index/secondary_index.cc.o.d"
+  "/root/repo/src/index/stored_label_index.cc" "src/CMakeFiles/approxql.dir/index/stored_label_index.cc.o" "gcc" "src/CMakeFiles/approxql.dir/index/stored_label_index.cc.o.d"
+  "/root/repo/src/query/expanded.cc" "src/CMakeFiles/approxql.dir/query/expanded.cc.o" "gcc" "src/CMakeFiles/approxql.dir/query/expanded.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/approxql.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/approxql.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/separated.cc" "src/CMakeFiles/approxql.dir/query/separated.cc.o" "gcc" "src/CMakeFiles/approxql.dir/query/separated.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/approxql.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/approxql.dir/schema/schema.cc.o.d"
+  "/root/repo/src/storage/bptree.cc" "src/CMakeFiles/approxql.dir/storage/bptree.cc.o" "gcc" "src/CMakeFiles/approxql.dir/storage/bptree.cc.o.d"
+  "/root/repo/src/storage/mem_kv_store.cc" "src/CMakeFiles/approxql.dir/storage/mem_kv_store.cc.o" "gcc" "src/CMakeFiles/approxql.dir/storage/mem_kv_store.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/approxql.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/approxql.dir/storage/pager.cc.o.d"
+  "/root/repo/src/util/crc32.cc" "src/CMakeFiles/approxql.dir/util/crc32.cc.o" "gcc" "src/CMakeFiles/approxql.dir/util/crc32.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/approxql.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/approxql.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/approxql.dir/util/status.cc.o" "gcc" "src/CMakeFiles/approxql.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/approxql.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/approxql.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/varint.cc" "src/CMakeFiles/approxql.dir/util/varint.cc.o" "gcc" "src/CMakeFiles/approxql.dir/util/varint.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/approxql.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/approxql.dir/util/zipf.cc.o.d"
+  "/root/repo/src/xml/xml_dom.cc" "src/CMakeFiles/approxql.dir/xml/xml_dom.cc.o" "gcc" "src/CMakeFiles/approxql.dir/xml/xml_dom.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/approxql.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/approxql.dir/xml/xml_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

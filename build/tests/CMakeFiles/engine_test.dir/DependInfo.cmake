@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/database_test.cc" "tests/CMakeFiles/engine_test.dir/engine/database_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/database_test.cc.o.d"
+  "/root/repo/tests/engine/direct_eval_test.cc" "tests/CMakeFiles/engine_test.dir/engine/direct_eval_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/direct_eval_test.cc.o.d"
+  "/root/repo/tests/engine/list_ops_test.cc" "tests/CMakeFiles/engine_test.dir/engine/list_ops_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/list_ops_test.cc.o.d"
+  "/root/repo/tests/engine/paper_example_test.cc" "tests/CMakeFiles/engine_test.dir/engine/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/paper_example_test.cc.o.d"
+  "/root/repo/tests/engine/stream_explain_test.cc" "tests/CMakeFiles/engine_test.dir/engine/stream_explain_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/stream_explain_test.cc.o.d"
+  "/root/repo/tests/engine/topk_eval_test.cc" "tests/CMakeFiles/engine_test.dir/engine/topk_eval_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/topk_eval_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/approxql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

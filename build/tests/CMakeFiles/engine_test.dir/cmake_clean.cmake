@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/database_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/database_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/direct_eval_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/direct_eval_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/list_ops_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/list_ops_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/paper_example_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/paper_example_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/stream_explain_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/stream_explain_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/topk_eval_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/topk_eval_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

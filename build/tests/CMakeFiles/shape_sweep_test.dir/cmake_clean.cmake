@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_sweep_test.dir/engine/shape_sweep_test.cc.o"
+  "CMakeFiles/shape_sweep_test.dir/engine/shape_sweep_test.cc.o.d"
+  "shape_sweep_test"
+  "shape_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

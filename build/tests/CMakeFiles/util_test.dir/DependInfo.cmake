@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/crc32_test.cc" "tests/CMakeFiles/util_test.dir/util/crc32_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/crc32_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/util_test.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/varint_test.cc" "tests/CMakeFiles/util_test.dir/util/varint_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/varint_test.cc.o.d"
+  "/root/repo/tests/util/zipf_test.cc" "tests/CMakeFiles/util_test.dir/util/zipf_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/approxql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/crc32_test.cc.o"
+  "CMakeFiles/util_test.dir/util/crc32_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/random_test.cc.o"
+  "CMakeFiles/util_test.dir/util/random_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/string_util_test.cc.o"
+  "CMakeFiles/util_test.dir/util/string_util_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/varint_test.cc.o"
+  "CMakeFiles/util_test.dir/util/varint_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/zipf_test.cc.o"
+  "CMakeFiles/util_test.dir/util/zipf_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_test.dir/xml/xml_dom_test.cc.o"
+  "CMakeFiles/xml_test.dir/xml/xml_dom_test.cc.o.d"
+  "CMakeFiles/xml_test.dir/xml/xml_fuzz_test.cc.o"
+  "CMakeFiles/xml_test.dir/xml/xml_fuzz_test.cc.o.d"
+  "CMakeFiles/xml_test.dir/xml/xml_parser_test.cc.o"
+  "CMakeFiles/xml_test.dir/xml/xml_parser_test.cc.o.d"
+  "CMakeFiles/xml_test.dir/xml/xml_roundtrip_property_test.cc.o"
+  "CMakeFiles/xml_test.dir/xml/xml_roundtrip_property_test.cc.o.d"
+  "xml_test"
+  "xml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
