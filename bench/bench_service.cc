@@ -1,0 +1,136 @@
+// Serving-layer benchmarks: query throughput through the QueryService
+// (thread pool + admission + cache) against calling Database::Execute
+// directly, the cache hit path, and the raw thread-pool dispatch
+// overhead. Run with --benchmark_filter=BM_Service.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+
+namespace approxql {
+namespace {
+
+using engine::Database;
+using engine::ExecOptions;
+using service::QueryRequest;
+using service::QueryService;
+using service::ServiceOptions;
+
+/// One synthetic database plus a generated workload, shared by all
+/// benchmark repetitions (construction dominates otherwise).
+struct Fixture {
+  Database db;
+  std::vector<std::string> queries;
+
+  static Fixture& Get() {
+    static Fixture* fixture = [] {
+      gen::XmlGenOptions options;
+      options.seed = 7;
+      options.total_elements = 20000;
+      options.vocabulary = 2000;
+      gen::XmlGenerator generator(options);
+      cost::CostModel model;
+      auto tree = generator.GenerateTree(model);
+      APPROXQL_CHECK(tree.ok()) << tree.status();
+      auto built = Database::FromDataTree(std::move(tree).value(), model);
+      APPROXQL_CHECK(built.ok()) << built.status();
+      auto* f = new Fixture{std::move(built).value(), {}};
+      gen::QueryGenerator qgen(f->db, gen::QueryGenOptions{});
+      for (size_t i = 0; i < 64; ++i) {
+        auto q = qgen.Generate(i % 2 == 0 ? gen::kPattern1 : gen::kPattern2);
+        APPROXQL_CHECK(q.ok()) << q.status();
+        f->queries.push_back(std::move(q->text));
+      }
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  Fixture& fixture = Fixture::Get();
+  ServiceOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.queue_capacity = 1024;
+  options.cache_capacity = 0;  // measure evaluation, not caching
+  QueryService service(fixture.db, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    // Keep one batch in flight per iteration: submit a window, then
+    // drain it — models a closed loop of `num_threads` clients.
+    std::vector<std::future<service::QueryResponse>> batch;
+    for (size_t j = 0; j < options.num_threads; ++j) {
+      QueryRequest request;
+      request.query_text = fixture.queries[i++ % fixture.queries.size()];
+      request.exec.n = 10;
+      batch.push_back(service.Submit(std::move(request)));
+    }
+    for (auto& future : batch) {
+      benchmark::DoNotOptimize(future.get());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ServiceThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DirectExecuteBaseline(benchmark::State& state) {
+  Fixture& fixture = Fixture::Get();
+  ExecOptions options;
+  options.n = 10;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.db.Execute(
+        fixture.queries[i++ % fixture.queries.size()], options));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectExecuteBaseline);
+
+void BM_ServiceCacheHit(benchmark::State& state) {
+  Fixture& fixture = Fixture::Get();
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 256;
+  QueryService service(fixture.db, options);
+  QueryRequest warm;
+  warm.query_text = fixture.queries[0];
+  warm.exec.n = 10;
+  service.ExecuteNow(warm);  // populate
+  for (auto _ : state) {
+    QueryRequest request;
+    request.query_text = fixture.queries[0];
+    request.exec.n = 10;
+    benchmark::DoNotOptimize(service.ExecuteNow(std::move(request)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceCacheHit);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  service::ThreadPool pool({.num_threads = 4, .queue_capacity = 4096});
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i) {
+      while (!pool.TrySubmit(
+          [&done] { done.fetch_add(1, std::memory_order_relaxed); })) {
+      }
+    }
+    while (done.load(std::memory_order_relaxed) != 64) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolDispatch);
+
+}  // namespace
+}  // namespace approxql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,307 @@
+// Closed-loop load driver for the concurrent query service: loads a
+// database, replays a workload file (one approXQL query per line)
+// across N client threads, and prints per-pass throughput, latency
+// percentiles and the service's metrics snapshot.
+//
+//   approxql_serve --xml catalog.xml --workload queries.txt
+//                  [--clients 8] [--threads 8] [--queue 128]
+//                  [--cache 256] [--passes 2] [--repeat 1]
+//                  [--n 10] [--strategy schema|direct|scan]
+//                  [--deadline-ms 0]
+//   approxql_serve --load db.apx --workload queries.txt
+//   approxql_serve --gen-data 20000 --gen 250 --repeat 4   # self-contained:
+//     synthetic collection + workload drawn from the paper's query patterns
+//
+// Each client thread is a synchronous caller: it submits one request,
+// waits for the answer, then takes the next query (so concurrency ==
+// --clients). With the default --passes 2 the second pass replays the
+// identical workload against a warm result cache — the per-pass report
+// makes the cold/warm speedup visible directly.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+#include "service/query_service.h"
+#include "service/workload.h"
+#include "util/histogram.h"
+#include "util/timer.h"
+
+using approxql::engine::Database;
+using approxql::engine::Strategy;
+using approxql::service::QueryRequest;
+using approxql::service::QueryResponse;
+using approxql::service::QueryService;
+using approxql::service::ServiceOptions;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: approxql_serve (--xml FILE)... --workload FILE [options]\n"
+      "       approxql_serve --load DB --workload FILE [options]\n"
+      "       approxql_serve --gen-data ELEMS --gen QUERIES [options]\n"
+      "  --clients N      concurrent client threads (default 8)\n"
+      "  --threads N      service worker threads (default 8)\n"
+      "  --queue N        admission queue capacity (default 128)\n"
+      "  --cache N        result-cache entries, 0 = off (default 256)\n"
+      "  --passes N       workload replays; pass 2+ hits a warm cache "
+      "(default 2)\n"
+      "  --repeat N       repetitions of the workload per pass (default 1)\n"
+      "  --n N            best-n bound per query (default 10)\n"
+      "  --strategy S     schema|direct|scan (default schema)\n"
+      "  --deadline-ms N  per-request deadline, 0 = none (default 0)\n"
+      "  --gen-data N     build a synthetic collection of ~N elements\n"
+      "  --gen N          generate an N-query workload from the paper's\n"
+      "                   patterns instead of --workload\n"
+      "  --seed N         generator seed (default 42)\n");
+  return 2;
+}
+
+struct PassResult {
+  size_t requests = 0;
+  size_t completed = 0;
+  size_t rejected = 0;
+  size_t truncated = 0;
+  size_t failed = 0;
+  size_t cache_hits = 0;
+  double wall_seconds = 0;
+  approxql::util::Histogram latency_us;
+};
+
+PassResult RunPass(QueryService& service,
+                   const std::vector<std::string>& workload, size_t clients,
+                   size_t repeat, const approxql::engine::ExecOptions& exec,
+                   int deadline_ms) {
+  const size_t total = workload.size() * repeat;
+  std::atomic<size_t> next{0};
+  std::vector<approxql::util::Histogram> latencies(clients);
+  std::vector<PassResult> partials(clients);
+  approxql::util::WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      PassResult& mine = partials[c];
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) break;
+        QueryRequest request;
+        request.query_text = workload[i % workload.size()];
+        request.exec = exec;
+        request.deadline = std::chrono::milliseconds(deadline_ms);
+        QueryResponse response = service.Submit(std::move(request)).get();
+        ++mine.requests;
+        latencies[c].Record(
+            static_cast<uint64_t>(response.total_micros));
+        if (response.status.ok()) {
+          ++mine.completed;
+          if (response.truncated) ++mine.truncated;
+          if (response.cache_hit) ++mine.cache_hits;
+        } else if (response.status.IsResourceExhausted()) {
+          ++mine.rejected;
+        } else {
+          ++mine.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  PassResult result;
+  result.wall_seconds = timer.ElapsedSeconds();
+  for (size_t c = 0; c < clients; ++c) {
+    result.requests += partials[c].requests;
+    result.completed += partials[c].completed;
+    result.rejected += partials[c].rejected;
+    result.truncated += partials[c].truncated;
+    result.failed += partials[c].failed;
+    result.cache_hits += partials[c].cache_hits;
+    result.latency_us.Merge(latencies[c]);
+  }
+  return result;
+}
+
+void PrintPass(size_t pass, const PassResult& r) {
+  std::printf(
+      "pass %zu: %zu requests in %.3f s  (%.0f q/s)\n"
+      "  completed %zu  cache-hit %zu  truncated %zu  rejected %zu  "
+      "failed %zu\n"
+      "  latency %s\n",
+      pass, r.requests, r.wall_seconds,
+      r.wall_seconds > 0 ? static_cast<double>(r.requests) / r.wall_seconds
+                         : 0.0,
+      r.completed, r.cache_hits, r.truncated, r.rejected, r.failed,
+      r.latency_us.Summary("us").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> xml_paths;
+  std::string load_path, workload_path;
+  size_t clients = 8, passes = 2, repeat = 1;
+  size_t gen_data = 0, gen_queries = 0, seed = 42;
+  int deadline_ms = 0;
+  ServiceOptions service_options;
+  service_options.num_threads = 8;
+  approxql::engine::ExecOptions exec;
+  exec.strategy = Strategy::kSchema;
+  exec.n = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_num = [&](size_t* out) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      *out = std::strtoull(v, nullptr, 10);
+      return true;
+    };
+    if (arg == "--xml") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      xml_paths.push_back(v);
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      load_path = v;
+    } else if (arg == "--workload") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      workload_path = v;
+    } else if (arg == "--clients") {
+      if (!next_num(&clients) || clients == 0) return Usage();
+    } else if (arg == "--threads") {
+      if (!next_num(&service_options.num_threads)) return Usage();
+    } else if (arg == "--queue") {
+      if (!next_num(&service_options.queue_capacity)) return Usage();
+    } else if (arg == "--cache") {
+      if (!next_num(&service_options.cache_capacity)) return Usage();
+    } else if (arg == "--passes") {
+      if (!next_num(&passes) || passes == 0) return Usage();
+    } else if (arg == "--repeat") {
+      if (!next_num(&repeat) || repeat == 0) return Usage();
+    } else if (arg == "--n") {
+      if (!next_num(&exec.n)) return Usage();
+    } else if (arg == "--deadline-ms") {
+      size_t ms;
+      if (!next_num(&ms)) return Usage();
+      deadline_ms = static_cast<int>(ms);
+    } else if (arg == "--gen-data") {
+      if (!next_num(&gen_data) || gen_data == 0) return Usage();
+    } else if (arg == "--gen") {
+      if (!next_num(&gen_queries) || gen_queries == 0) return Usage();
+    } else if (arg == "--seed") {
+      if (!next_num(&seed)) return Usage();
+    } else if (arg == "--strategy") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      if (std::strcmp(v, "schema") == 0) {
+        exec.strategy = Strategy::kSchema;
+      } else if (std::strcmp(v, "direct") == 0) {
+        exec.strategy = Strategy::kDirect;
+      } else if (std::strcmp(v, "scan") == 0) {
+        exec.strategy = Strategy::kFullScan;
+      } else {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+  if (workload_path.empty() && gen_queries == 0) return Usage();
+
+  std::unique_ptr<Database> db;
+  if (!load_path.empty()) {
+    auto loaded = Database::Load(load_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::make_unique<Database>(std::move(loaded).value());
+  } else if (!xml_paths.empty()) {
+    auto built = Database::BuildFromFiles(xml_paths, approxql::cost::CostModel());
+    if (!built.ok()) {
+      std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    db = std::make_unique<Database>(std::move(built).value());
+  } else if (gen_data > 0) {
+    approxql::gen::XmlGenOptions gen_options;
+    gen_options.seed = seed;
+    gen_options.total_elements = gen_data;
+    gen_options.vocabulary = std::max<size_t>(1000, gen_data / 10);
+    approxql::gen::XmlGenerator generator(gen_options);
+    approxql::cost::CostModel model;
+    auto tree = generator.GenerateTree(model);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "gen: %s\n", tree.status().ToString().c_str());
+      return 1;
+    }
+    auto built = Database::FromDataTree(std::move(tree).value(), model);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    db = std::make_unique<Database>(std::move(built).value());
+  } else {
+    return Usage();
+  }
+
+  std::vector<std::string> workload_queries;
+  if (!workload_path.empty()) {
+    auto workload = approxql::service::LoadWorkloadFile(workload_path);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+      return 1;
+    }
+    workload_queries = std::move(workload).value();
+  } else {
+    // Instantiate the paper's three benchmark patterns round-robin.
+    approxql::gen::QueryGenOptions gen_options;
+    gen_options.seed = seed;
+    approxql::gen::QueryGenerator generator(*db, gen_options);
+    constexpr std::string_view kPatterns[] = {
+        approxql::gen::kPattern1, approxql::gen::kPattern2,
+        approxql::gen::kPattern3};
+    for (size_t i = 0; i < gen_queries; ++i) {
+      auto generated = generator.Generate(kPatterns[i % 3]);
+      if (!generated.ok()) {
+        std::fprintf(stderr, "gen: %s\n",
+                     generated.status().ToString().c_str());
+        return 1;
+      }
+      workload_queries.push_back(std::move(generated->text));
+    }
+  }
+
+  auto stats = db->GetStats();
+  std::fprintf(stderr,
+               "database: %zu nodes, %zu labels, schema %zu\n"
+               "workload: %zu queries x %zu repeat x %zu passes, "
+               "%zu clients, %zu workers\n",
+               stats.nodes, stats.distinct_labels, stats.schema_nodes,
+               workload_queries.size(), repeat, passes, clients,
+               service_options.num_threads);
+
+  QueryService service(*db, service_options);
+  for (size_t pass = 1; pass <= passes; ++pass) {
+    PassResult result = RunPass(service, workload_queries, clients, repeat,
+                                exec, deadline_ms);
+    PrintPass(pass, result);
+  }
+
+  std::printf("--- service metrics ---\n%s", service.DumpMetrics().c_str());
+  return 0;
+}

@@ -49,6 +49,19 @@ struct QueryAnswer {
   cost::Cost cost = 0;
 };
 
+/// Thread-safety: a Database is immutable after construction (Build*/
+/// Load), and every const member is safe to call from any number of
+/// threads concurrently — Execute/ExecuteStream/Explain construct their
+/// evaluator state per call and only read tree_, schema_, label_index_
+/// and model_, none of which have lazy/mutable components (audited:
+/// LabelIndex::Fetch and SecondaryIndex::Fetch are pure map lookups;
+/// the lazily-caching StoredLabelIndex is not used by Database — it
+/// locks internally for callers that do share one). The exceptions:
+///   - Save() is const but writes `path` + ".tmp"; concurrent Saves to
+///     the same path race on the temp file. Serialize externally.
+///   - Move assignment/destruction must not overlap any other call.
+/// The service layer (src/service/) relies on this contract to run one
+/// shared Database across a thread pool without locking.
 class Database {
  public:
   Database(Database&&) = default;

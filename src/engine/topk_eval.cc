@@ -479,10 +479,21 @@ std::vector<RootCost> SchemaEvaluator::BestN(const ExpandedQuery& query,
   memo_guard_.clear();
   size_t k = options_.initial_k;
   for (;;) {
+    if (options_.cancelled && options_.cancelled()) {
+      stats_.cancelled = true;
+      break;
+    }
     ++stats_.rounds;
     stats_.final_k = k;
     TopKList queries = TopKQueries(query, k);
     for (const SkeletonRef& skeleton : queries) {
+      // Second-level queries run in ascending cost order, so stopping on
+      // a fired deadline between them still leaves a correct (short)
+      // prefix of the best results.
+      if (options_.cancelled && options_.cancelled()) {
+        stats_.cancelled = true;
+        break;
+      }
       std::string signature = Signature(*skeleton);
       if (!executed.insert(std::move(signature)).second) continue;
       index::Posting roots = ExecuteSecondary(skeleton);
@@ -495,6 +506,7 @@ std::vector<RootCost> SchemaEvaluator::BestN(const ExpandedQuery& query,
       }
       if (results.size() >= n) break;
     }
+    if (stats_.cancelled) break;
     if (results.size() >= n) break;
     // Fewer valid skeletons than requested means the schema closure is
     // exhausted (per-segment trims only bind once a segment reaches k,
@@ -535,6 +547,10 @@ bool ResultStream::Advance() {
   // Find the next unexecuted skeleton, growing k across rounds exactly
   // like SchemaEvaluator::BestN.
   for (;;) {
+    if (evaluator_.options().cancelled && evaluator_.options().cancelled()) {
+      evaluator_.stats_.cancelled = true;
+      return false;
+    }
     while (round_index_ < round_.size()) {
       const SkeletonRef& skeleton = round_[round_index_++];
       std::string signature = SchemaEvaluator::Signature(*skeleton);

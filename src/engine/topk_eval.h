@@ -18,6 +18,7 @@
 #ifndef APPROXQL_ENGINE_TOPK_EVAL_H_
 #define APPROXQL_ENGINE_TOPK_EVAL_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -63,6 +64,10 @@ struct SchemaEvalStats {
   /// results or exhausting the closure. The returned results are still
   /// the true best ones found so far; the list may just be short.
   bool k_capped = false;
+  /// True if Options::cancelled fired and evaluation stopped early. Like
+  /// k_capped, everything returned up to that point is correct — the
+  /// list may just be short.
+  bool cancelled = false;
 };
 
 class SchemaEvaluator {
@@ -84,6 +89,11 @@ class SchemaEvaluator {
     /// schema-driven strategy (the paper's Figure 7 shows it losing
     /// against direct evaluation exactly when n approaches all results).
     size_t max_k = 4096;
+    /// Cooperative cancellation (deadlines): polled between incremental
+    /// rounds and between second-level executions, never mid-round, so a
+    /// fired check still yields the correct (possibly short) prefix of
+    /// results. Null = never cancelled.
+    std::function<bool()> cancelled;
   };
 
   /// `schema`, `tree` (its labels and encoding) must outlive this.

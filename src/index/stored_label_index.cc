@@ -7,6 +7,7 @@ namespace approxql::index {
 const Posting* StoredLabelIndex::Fetch(NodeType type,
                                        doc::LabelId label) const {
   uint64_t key = Key(type, label);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second.get();
 

@@ -7,6 +7,7 @@
 #define APPROXQL_INDEX_STORED_LABEL_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -28,9 +29,15 @@ class StoredLabelIndex : public PostingSource {
   const Posting* Fetch(NodeType type, doc::LabelId label) const override;
 
   /// Number of postings materialized so far.
-  size_t CachedCount() const { return cache_.size(); }
+  size_t CachedCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
   /// Store reads that returned corrupt bytes (should stay 0).
-  size_t corrupt_fetches() const { return corrupt_fetches_; }
+  size_t corrupt_fetches() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return corrupt_fetches_;
+  }
 
  private:
   static uint64_t Key(NodeType type, doc::LabelId label) {
@@ -39,6 +46,13 @@ class StoredLabelIndex : public PostingSource {
 
   const storage::KvStore* store_;
   std::string prefix_;
+  // Guards the lazy cache: Fetch is const but materializes postings on
+  // first use, and concurrent Execute calls share one index. Returned
+  // Posting pointers stay stable outside the lock because entries are
+  // heap-allocated and never erased. The underlying KvStore read also
+  // happens under the lock — DiskKvStore's page cache is not itself
+  // thread-safe.
+  mutable std::mutex mu_;
   // Pointers into the map stay valid under rehash (node-based), which
   // is what lets Fetch hand out stable Posting pointers.
   mutable std::unordered_map<uint64_t, std::unique_ptr<Posting>> cache_;

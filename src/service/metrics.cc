@@ -1,0 +1,53 @@
+#include "service/metrics.h"
+
+namespace approxql::service {
+
+Counter* MetricsRegistry::RegisterCounter(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.name = std::move(name);
+  entry.counter = std::make_unique<Counter>();
+  Counter* raw = entry.counter.get();
+  entries_.push_back(std::move(entry));
+  return raw;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.name = std::move(name);
+  entry.gauge = std::make_unique<Gauge>();
+  Gauge* raw = entry.gauge.get();
+  entries_.push_back(std::move(entry));
+  return raw;
+}
+
+LatencyHistogram* MetricsRegistry::RegisterHistogram(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.name = std::move(name);
+  entry.histogram = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* raw = entry.histogram.get();
+  entries_.push_back(std::move(entry));
+  return raw;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Entry& entry : entries_) {
+    out += entry.name;
+    out.push_back(' ');
+    if (entry.counter != nullptr) {
+      out += std::to_string(entry.counter->Value());
+    } else if (entry.gauge != nullptr) {
+      out += std::to_string(entry.gauge->Value());
+    } else {
+      out += entry.histogram->Snapshot().Summary("us");
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace approxql::service

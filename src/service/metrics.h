@@ -1,0 +1,101 @@
+// Metrics for the query service: named counters, gauges and latency
+// histograms collected in a registry and dumped as a flat text snapshot
+// (one `name value` line per metric, Prometheus-exposition flavored).
+//
+// Counters and gauges are lock-free atomics; histograms take a per-
+// histogram mutex on Record (recording a latency is ~ns next to the
+// query it measures). The registry owns every metric; handles returned
+// by Register* stay valid for the registry's lifetime.
+#ifndef APPROXQL_SERVICE_METRICS_H_
+#define APPROXQL_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace approxql::service {
+
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that goes up and down (queue depth, in-flight requests).
+class Gauge {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t delta = 1) {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A mutex-guarded util::Histogram for concurrent recording.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Record(value);
+  }
+  /// A consistent copy for reading quantiles.
+  util::Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  util::Histogram histogram_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Names should be snake_case with a unit suffix where applicable
+  /// (e.g. "queries_completed", "exec_latency_us"). Duplicate names are
+  /// allowed but make the dump ambiguous; don't.
+  Counter* RegisterCounter(std::string name);
+  Gauge* RegisterGauge(std::string name);
+  LatencyHistogram* RegisterHistogram(std::string name);
+
+  /// Flat text snapshot, metrics in registration order:
+  ///   queries_completed 1042
+  ///   queue_depth 3
+  ///   exec_latency_us count=1042 mean=81.2us p50=64us ...
+  std::string DumpText() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  mutable std::mutex mu_;  // guards entries_ (registration vs. dump)
+  std::vector<Entry> entries_;
+};
+
+}  // namespace approxql::service
+
+#endif  // APPROXQL_SERVICE_METRICS_H_

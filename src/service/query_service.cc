@@ -1,0 +1,203 @@
+#include "service/query_service.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "query/ast.h"
+
+namespace approxql::service {
+
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+QueryService::QueryService(const engine::Database& db, ServiceOptions options)
+    : db_(db),
+      options_(options),
+      cache_(options.cache_capacity),
+      submitted_(metrics_.RegisterCounter("queries_submitted")),
+      rejected_(metrics_.RegisterCounter("queries_rejected")),
+      completed_(metrics_.RegisterCounter("queries_completed")),
+      failed_(metrics_.RegisterCounter("queries_failed")),
+      deadline_exceeded_(metrics_.RegisterCounter("queries_deadline_exceeded")),
+      truncated_(metrics_.RegisterCounter("queries_truncated")),
+      cache_hits_(metrics_.RegisterCounter("cache_hits")),
+      cache_misses_(metrics_.RegisterCounter("cache_misses")),
+      queue_depth_(metrics_.RegisterGauge("queue_depth")),
+      running_(metrics_.RegisterGauge("queries_running")),
+      queue_wait_us_(metrics_.RegisterHistogram("queue_wait_us")),
+      exec_latency_us_(metrics_.RegisterHistogram("exec_latency_us")),
+      total_latency_us_(metrics_.RegisterHistogram("total_latency_us")),
+      pool_(ThreadPool::Options{options.num_threads, options.queue_capacity}) {
+}
+
+QueryService::~QueryService() { pool_.Shutdown(); }
+
+std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
+  submitted_->Increment();
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+  Clock::time_point admitted = Clock::now();
+  auto task = [this, promise, admitted,
+               request = std::move(request)]() mutable {
+    queue_depth_->Decrement();
+    promise->set_value(Run(request, admitted));
+  };
+  queue_depth_->Increment();
+  if (!pool_.TrySubmit(std::move(task))) {
+    queue_depth_->Decrement();
+    rejected_->Increment();
+    promise->set_value(QueryResponse{
+        util::Status::ResourceExhausted(
+            "admission queue full (" +
+            std::to_string(options_.queue_capacity) + " waiting)"),
+        {}, false, false, 0, 0, 0});
+    return future;
+  }
+  return future;
+}
+
+QueryResponse QueryService::ExecuteNow(QueryRequest request) {
+  submitted_->Increment();
+  return Run(request, Clock::now());
+}
+
+QueryResponse QueryService::Run(QueryRequest& request,
+                                Clock::time_point admitted) {
+  QueryResponse response;
+  response.queue_micros = MicrosSince(admitted);
+  queue_wait_us_->Record(static_cast<uint64_t>(response.queue_micros));
+  running_->Increment();
+  Clock::time_point started = Clock::now();
+
+  const std::chrono::milliseconds deadline_ms = EffectiveDeadline(request);
+  const bool has_deadline = deadline_ms.count() != 0;
+  const Clock::time_point deadline = admitted + deadline_ms;
+
+  auto finish = [&](QueryResponse&& r) {
+    r.queue_micros = response.queue_micros;
+    r.exec_micros = MicrosSince(started);
+    r.total_micros = MicrosSince(admitted);
+    exec_latency_us_->Record(static_cast<uint64_t>(r.exec_micros));
+    total_latency_us_->Record(static_cast<uint64_t>(r.total_micros));
+    running_->Decrement();
+    return std::move(r);
+  };
+
+  // A request that spent its whole deadline waiting in the queue fails
+  // fast instead of burning a worker on an answer nobody awaits.
+  if (has_deadline && Clock::now() >= deadline) {
+    deadline_exceeded_->Increment();
+    QueryResponse r;
+    r.status = util::Status::DeadlineExceeded("deadline expired in queue");
+    return finish(std::move(r));
+  }
+
+  auto parsed = query::Parse(request.query_text);
+  if (!parsed.ok()) {
+    failed_->Increment();
+    QueryResponse r;
+    r.status = parsed.status();
+    return finish(std::move(r));
+  }
+  const query::Query& query = *parsed;
+
+  const cost::CostModel& effective_model = request.exec.cost_model != nullptr
+                                               ? *request.exec.cost_model
+                                               : db_.cost_model();
+  CacheKey key;
+  key.normalized_query = query.ToString();
+  key.strategy = request.exec.strategy;
+  key.n = request.exec.n;
+  key.cost_fingerprint = FingerprintCostModel(effective_model);
+
+  if (!request.bypass_cache) {
+    if (auto cached = cache_.Lookup(key); cached.has_value()) {
+      cache_hits_->Increment();
+      completed_->Increment();
+      QueryResponse r;
+      r.answers = std::move(*cached);
+      r.cache_hit = true;
+      return finish(std::move(r));
+    }
+    cache_misses_->Increment();
+  }
+
+  // Deadline enforcement: the schema strategy polls cooperatively
+  // between top-k rounds and second-level executions, producing a
+  // correct-prefix partial answer. The direct strategies have no safe
+  // interior stopping point (one recursive pass over the list algebra),
+  // so their deadline is only checked at dispatch above.
+  engine::ExecOptions exec = request.exec;
+  engine::SchemaEvalStats schema_stats;
+  if (exec.strategy == engine::Strategy::kSchema) {
+    if (has_deadline) {
+      exec.schema.cancelled = [deadline] { return Clock::now() >= deadline; };
+    }
+    if (exec.schema_stats_out == nullptr) {
+      exec.schema_stats_out = &schema_stats;
+    }
+  }
+
+  auto answers = db_.Execute(query, exec);
+  if (!answers.ok()) {
+    failed_->Increment();
+    QueryResponse r;
+    r.status = answers.status();
+    return finish(std::move(r));
+  }
+
+  QueryResponse r;
+  r.answers = std::move(*answers);
+  if (exec.strategy == engine::Strategy::kSchema &&
+      exec.schema_stats_out->cancelled) {
+    r.truncated = true;
+    truncated_->Increment();
+    deadline_exceeded_->Increment();
+  }
+  completed_->Increment();
+  // Only complete answer lists are cacheable; a truncated prefix served
+  // from cache would silently under-answer future requests.
+  if (!request.bypass_cache && !r.truncated) {
+    cache_.Insert(key, r.answers);
+  }
+  return finish(std::move(r));
+}
+
+void QueryService::InvalidateCache() { cache_.Invalidate(); }
+
+QueryService::Snapshot QueryService::GetSnapshot() const {
+  Snapshot snapshot;
+  snapshot.queue_depth = pool_.QueueDepth();
+  snapshot.running = running_->Value();
+  snapshot.submitted = submitted_->Value();
+  snapshot.rejected = rejected_->Value();
+  snapshot.completed = completed_->Value();
+  snapshot.failed = failed_->Value();
+  snapshot.deadline_exceeded = deadline_exceeded_->Value();
+  snapshot.truncated = truncated_->Value();
+  snapshot.cache = cache_.GetStats();
+  return snapshot;
+}
+
+std::string QueryService::DumpMetrics() const {
+  std::string out = metrics_.DumpText();
+  ResultCache::Stats cache = cache_.GetStats();
+  out += "cache_evictions " + std::to_string(cache.evictions) + "\n";
+  out += "cache_size " + std::to_string(cache.size) + "\n";
+  out += "cache_capacity " + std::to_string(cache.capacity) + "\n";
+  double total = static_cast<double>(cache.hits + cache.misses);
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.4f",
+                total == 0 ? 0.0 : static_cast<double>(cache.hits) / total);
+  out += std::string("cache_hit_rate ") + rate + "\n";
+  return out;
+}
+
+}  // namespace approxql::service

@@ -1,0 +1,142 @@
+// The concurrent serving layer over an immutable engine::Database: a
+// fixed-size thread pool behind a bounded admission queue (overload is
+// shed with kResourceExhausted instead of buffered), per-request
+// deadlines enforced cooperatively between the schema strategy's top-k
+// rounds (an expired deadline yields the partial answers found so far,
+// flagged `truncated`), an LRU result cache, and a metrics registry
+// covering the whole request lifecycle.
+//
+// Safe because Database's const query paths are thread-safe (see the
+// contract in engine/database.h): workers share one Database without
+// locks; all service-side shared state (queue, cache, metrics) locks
+// internally.
+#ifndef APPROXQL_SERVICE_QUERY_SERVICE_H_
+#define APPROXQL_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <future>
+#include <string>
+
+#include "engine/database.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+#include "service/thread_pool.h"
+
+namespace approxql::service {
+
+struct ServiceOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  size_t num_threads = 8;
+  /// Bounded admission queue; submissions beyond this are rejected.
+  size_t queue_capacity = 128;
+  /// LRU result-cache entries; 0 disables caching.
+  size_t cache_capacity = 256;
+  /// Deadline applied to requests that don't set one; zero = none.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+struct QueryRequest {
+  std::string query_text;
+  /// Strategy, n, per-query cost model and evaluator knobs. The
+  /// schema.cancelled hook is owned by the service (overwritten when a
+  /// deadline applies).
+  engine::ExecOptions exec;
+  /// Per-request deadline from admission; zero = use
+  /// ServiceOptions::default_deadline. A negative value is a deadline
+  /// already in the past (deterministic expiry, used by tests).
+  std::chrono::milliseconds deadline{0};
+  /// Skip cache lookup and insertion for this request.
+  bool bypass_cache = false;
+};
+
+struct QueryResponse {
+  util::Status status = util::Status::OK();
+  std::vector<engine::QueryAnswer> answers;
+  /// Deadline fired mid-evaluation: `answers` is a correct but possibly
+  /// short prefix of the best results (schema strategy only).
+  bool truncated = false;
+  bool cache_hit = false;
+  int64_t queue_micros = 0;  // admission-to-start wait
+  int64_t exec_micros = 0;   // parse + evaluate (0 on cache hit)
+  int64_t total_micros = 0;  // admission-to-response
+};
+
+class QueryService {
+ public:
+  /// `db` must outlive the service and must not be mutated (moved-from,
+  /// destroyed) while the service exists.
+  QueryService(const engine::Database& db, ServiceOptions options);
+  /// Drains queued requests, then joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits a request. The future is always valid: rejection (queue
+  /// full) resolves it immediately with kResourceExhausted.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Runs a request synchronously on the caller's thread — same cache,
+  /// deadline and metrics treatment, but no admission control.
+  QueryResponse ExecuteNow(QueryRequest request);
+
+  /// Drops all cached results (e.g. when the caller swaps databases).
+  void InvalidateCache();
+
+  /// Point-in-time service state for programmatic inspection.
+  struct Snapshot {
+    size_t queue_depth = 0;
+    int64_t running = 0;
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t deadline_exceeded = 0;
+    uint64_t truncated = 0;
+    ResultCache::Stats cache;
+  };
+  Snapshot GetSnapshot() const;
+
+  /// Registry dump plus cache and queue lines; the serve driver prints
+  /// this verbatim.
+  std::string DumpMetrics() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// The worker-side request lifecycle (also the ExecuteNow body).
+  QueryResponse Run(QueryRequest& request, Clock::time_point admitted);
+
+  std::chrono::milliseconds EffectiveDeadline(
+      const QueryRequest& request) const {
+    return request.deadline.count() != 0 ? request.deadline
+                                         : options_.default_deadline;
+  }
+
+  const engine::Database& db_;
+  const ServiceOptions options_;
+  ResultCache cache_;
+  MetricsRegistry metrics_;
+
+  Counter* submitted_;
+  Counter* rejected_;
+  Counter* completed_;
+  Counter* failed_;
+  Counter* deadline_exceeded_;
+  Counter* truncated_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Gauge* queue_depth_;
+  Gauge* running_;
+  LatencyHistogram* queue_wait_us_;
+  LatencyHistogram* exec_latency_us_;
+  LatencyHistogram* total_latency_us_;
+
+  ThreadPool pool_;  // last member: workers stop before metrics die
+};
+
+}  // namespace approxql::service
+
+#endif  // APPROXQL_SERVICE_QUERY_SERVICE_H_

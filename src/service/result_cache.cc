@@ -1,0 +1,77 @@
+#include "service/result_cache.h"
+
+#include "util/crc32.h"
+
+namespace approxql::service {
+
+std::string CacheKey::Encode() const {
+  std::string out;
+  out += std::to_string(static_cast<int>(strategy));
+  out.push_back('|');
+  out += std::to_string(n);
+  out.push_back('|');
+  out += std::to_string(cost_fingerprint);
+  out.push_back('|');
+  out += normalized_query;
+  return out;
+}
+
+uint32_t FingerprintCostModel(const cost::CostModel& model) {
+  return util::Crc32c(model.ToConfigString());
+}
+
+std::optional<std::vector<engine::QueryAnswer>> ResultCache::Lookup(
+    const CacheKey& key) {
+  if (capacity_ == 0) return std::nullopt;
+  std::string encoded = key.Encode();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(encoded);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->answers;
+}
+
+void ResultCache::Insert(const CacheKey& key,
+                         std::vector<engine::QueryAnswer> answers) {
+  if (capacity_ == 0) return;
+  std::string encoded = key.Encode();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(encoded);
+  if (it != index_.end()) {
+    it->second->answers = std::move(answers);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Slot{encoded, std::move(answers)});
+  index_.emplace(std::move(encoded), lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void ResultCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  invalidations_ += lru_.size();
+  index_.clear();
+  lru_.clear();
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.invalidations = invalidations_;
+  stats.size = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace approxql::service

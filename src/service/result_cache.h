@@ -1,0 +1,93 @@
+// LRU cache of complete query answers. A hit must be indistinguishable
+// from re-execution, so the key carries everything that determines the
+// answer list: the *normalized* query text (Query::ToString of the
+// parsed AST, so `cd[ title ]` and `cd[title]` share an entry), the
+// strategy, the result bound n, and a fingerprint of the effective cost
+// model (CRC-32C of its canonical config string — per-query cost files
+// with different tables never alias). Only complete, non-truncated
+// results may be inserted; partial (deadline-cut) answers are not
+// cacheable.
+//
+// Thread-safe; one mutex around the list + map. The values are small
+// (root id + cost per answer, bounded by n), so copies out of the cache
+// are cheap next to evaluation.
+#ifndef APPROXQL_SERVICE_RESULT_CACHE_H_
+#define APPROXQL_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace approxql::service {
+
+struct CacheKey {
+  std::string normalized_query;
+  engine::Strategy strategy = engine::Strategy::kSchema;
+  size_t n = 0;
+  uint32_t cost_fingerprint = 0;
+
+  /// Flat encoding used as the map key (strategy|n|fp|query).
+  std::string Encode() const;
+};
+
+/// CRC-32C of the model's canonical config string; the cache-key
+/// component that keeps per-query cost tables from aliasing.
+uint32_t FingerprintCostModel(const cost::CostModel& model);
+
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;  // entries dropped by Invalidate()
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  /// capacity = max entries; 0 disables the cache (Lookup always misses,
+  /// Insert is a no-op — callers need no special case).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached answers and refreshes recency, or nullopt.
+  std::optional<std::vector<engine::QueryAnswer>> Lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entries beyond capacity.
+  void Insert(const CacheKey& key, std::vector<engine::QueryAnswer> answers);
+
+  /// Drops every entry (e.g. after swapping the underlying database).
+  void Invalidate();
+
+  Stats GetStats() const;
+
+ private:
+  struct Slot {
+    std::string key;
+    std::vector<engine::QueryAnswer> answers;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  // Front = most recently used. map values point into the list; list
+  // iterators stay valid under splice, which is all Touch does.
+  std::list<Slot> lru_;
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace approxql::service
+
+#endif  // APPROXQL_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,61 @@
+// A fixed-size worker pool with a bounded FIFO admission queue. The
+// queue never blocks producers: TrySubmit returns false when the queue
+// is full (or the pool is shutting down), which is what lets the query
+// service shed load with an explicit rejection instead of buffering
+// unbounded work — overload degrades to fast failures, not OOM.
+#ifndef APPROXQL_SERVICE_THREAD_POOL_H_
+#define APPROXQL_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace approxql::service {
+
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker count; 0 = hardware_concurrency (min 1).
+    size_t num_threads = 0;
+    /// Max tasks waiting (excluding the ones running). TrySubmit fails
+    /// beyond this.
+    size_t queue_capacity = 256;
+  };
+
+  explicit ThreadPool(Options options);
+  /// Finishes queued tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` unless the queue is at capacity or Shutdown began.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Tasks currently waiting (not yet picked up by a worker).
+  size_t QueueDepth() const;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Stops admission, drains the queue, joins workers. Idempotent;
+  /// called by the destructor.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  size_t queue_capacity_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace approxql::service
+
+#endif  // APPROXQL_SERVICE_THREAD_POOL_H_

@@ -1,0 +1,55 @@
+#include "service/workload.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "query/ast.h"
+
+namespace approxql::service {
+
+util::Result<std::vector<std::string>> ParseWorkload(std::string_view text) {
+  std::vector<std::string> queries;
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    // Trim whitespace; skip blanks and comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    auto parsed = query::Parse(line);
+    if (!parsed.ok()) {
+      return util::Status(parsed.status().code(),
+                          "workload line " + std::to_string(line_number) +
+                              ": " + parsed.status().message());
+    }
+    queries.emplace_back(line);
+  }
+  if (queries.empty()) {
+    return util::Status::InvalidArgument("workload contains no queries");
+  }
+  return queries;
+}
+
+util::Result<std::vector<std::string>> LoadWorkloadFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IoError("cannot read workload file " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseWorkload(buffer.str());
+}
+
+}  // namespace approxql::service

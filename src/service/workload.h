@@ -1,0 +1,25 @@
+// Workload files for the serve driver: a plain text file with one
+// approXQL query per line. Blank lines and `#` comments are skipped;
+// every remaining line must parse as approXQL (validated up front so a
+// typo fails the replay before it starts, not 40 seconds in).
+#ifndef APPROXQL_SERVICE_WORKLOAD_H_
+#define APPROXQL_SERVICE_WORKLOAD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace approxql::service {
+
+/// Parses workload text. Returns the queries in file order.
+util::Result<std::vector<std::string>> ParseWorkload(std::string_view text);
+
+/// Reads and parses a workload file.
+util::Result<std::vector<std::string>> LoadWorkloadFile(
+    const std::string& path);
+
+}  // namespace approxql::service
+
+#endif  // APPROXQL_SERVICE_WORKLOAD_H_

@@ -1,0 +1,90 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace approxql::util {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < 4) return static_cast<size_t>(value);
+  size_t b = 63 - static_cast<size_t>(std::countl_zero(value));
+  if (b > 62) return kNumBuckets - 1;
+  size_t sub = static_cast<size_t>(value >> (b - 2)) & 3;
+  return 4 + (b - 2) * 4 + sub;
+}
+
+uint64_t Histogram::BucketLower(size_t index) {
+  if (index < 4) return index;
+  size_t i = index - 4;
+  size_t b = i / 4 + 2;
+  uint64_t sub = i % 4;
+  return (uint64_t{1} << b) + sub * (uint64_t{1} << (b - 2));
+}
+
+uint64_t Histogram::BucketUpper(size_t index) {
+  if (index < 4) return index + 1;
+  size_t b = (index - 4) / 4 + 2;
+  return BucketLower(index) + (uint64_t{1} << (b - 2));
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      double lower = static_cast<double>(BucketLower(i));
+      double upper = static_cast<double>(BucketUpper(i));
+      double fraction = (target - before) / static_cast<double>(buckets_[i]);
+      double value = lower + (upper - lower) * fraction;
+      // The true extremes are tracked exactly; never report outside them.
+      return std::clamp(value, static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+std::string Histogram::Summary(std::string_view unit) const {
+  char buffer[256];
+  std::string unit_str(unit);
+  std::snprintf(buffer, sizeof(buffer),
+                "count=%llu mean=%.1f%s p50=%.0f%s p90=%.0f%s p99=%.0f%s "
+                "max=%llu%s",
+                static_cast<unsigned long long>(count_), Mean(),
+                unit_str.c_str(), Quantile(0.50), unit_str.c_str(),
+                Quantile(0.90), unit_str.c_str(), Quantile(0.99),
+                unit_str.c_str(), static_cast<unsigned long long>(max_),
+                unit_str.c_str());
+  return buffer;
+}
+
+}  // namespace approxql::util

@@ -1,0 +1,58 @@
+// A fixed-footprint histogram for latency-style values (non-negative,
+// heavy-tailed): power-of-two buckets with four linear sub-buckets each,
+// so relative error per recorded value stays under 25% while the whole
+// structure is 2 KiB of plain counters — cheap to copy, merge and
+// snapshot. Not thread-safe; the service metrics layer serializes access.
+#ifndef APPROXQL_UTIL_HISTOGRAM_H_
+#define APPROXQL_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace approxql::util {
+
+class Histogram {
+ public:
+  /// 4 sub-buckets per power of two up to 2^62; values above saturate
+  /// into the last bucket.
+  static constexpr size_t kNumBuckets = 248;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1], linearly interpolated inside the
+  /// containing bucket. 0 when empty.
+  double Quantile(double q) const;
+
+  /// Adds all of `other`'s recorded values to this histogram.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  /// One-line summary: "count=… mean=… p50=… p90=… p99=… max=…".
+  /// `unit` is appended to each value (e.g. "us").
+  std::string Summary(std::string_view unit = "") const;
+
+ private:
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive lower / exclusive upper bound of a bucket's value range.
+  static uint64_t BucketLower(size_t index);
+  static uint64_t BucketUpper(size_t index);
+
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace approxql::util
+
+#endif  // APPROXQL_UTIL_HISTOGRAM_H_

@@ -27,6 +27,8 @@ enum class StatusCode : uint8_t {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,  // admission queue full, capacity limit hit
+  kDeadlineExceeded,   // request deadline passed before completion
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...).
@@ -64,6 +66,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -72,6 +80,12 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   std::string ToString() const;
 

@@ -1,0 +1,226 @@
+// Thread-safety of the Database const query paths (the contract the
+// service layer builds on): 8 threads hammer one shared Database with a
+// mix of Execute (all three strategies), ExecuteStream and Explain and
+// every thread must observe results identical to a serial baseline.
+// Each operation's output is serialized to a canonical string so the
+// comparison is byte-exact; comparisons happen on the main thread after
+// joining (gtest assertions are not thread-safe).
+//
+// The same property is then checked through the QueryService: a
+// cache-enabled service under 8 concurrent clients must return exactly
+// the serial answers for every request.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+#include "service/query_service.h"
+
+namespace approxql {
+namespace {
+
+using engine::Database;
+using engine::ExecOptions;
+using engine::Strategy;
+
+constexpr size_t kThreads = 8;
+constexpr size_t kResultBound = 10;
+
+Database MakeSyntheticDb() {
+  gen::XmlGenOptions options;
+  options.seed = 20020314;  // EDBT 2002 ;-)
+  options.total_elements = 4000;
+  options.vocabulary = 800;
+  gen::XmlGenerator generator(options);
+  cost::CostModel model;
+  auto tree = generator.GenerateTree(model);
+  APPROXQL_CHECK(tree.ok()) << tree.status();
+  auto db = Database::FromDataTree(std::move(tree).value(), model);
+  APPROXQL_CHECK(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+std::vector<std::string> MakeQueries(const Database& db) {
+  gen::QueryGenOptions options;
+  options.seed = 99;
+  options.renamings_per_label = 3;
+  gen::QueryGenerator generator(db, options);
+  std::vector<std::string> queries;
+  constexpr std::string_view kPatterns[] = {gen::kPattern1, gen::kPattern2,
+                                            gen::kPattern3};
+  for (size_t i = 0; i < 12; ++i) {
+    auto generated = generator.Generate(kPatterns[i % 3]);
+    APPROXQL_CHECK(generated.ok()) << generated.status();
+    queries.push_back(std::move(generated->text));
+  }
+  return queries;
+}
+
+// One mixed operation per (query, op) pair, result canonicalized.
+enum class Op {
+  kExecuteSchema = 0,
+  kExecuteDirect,
+  kExecuteStream,
+  kExplain,
+  kOpCount
+};
+constexpr size_t kOpCount = static_cast<size_t>(Op::kOpCount);
+
+std::string RunOp(const Database& db, const std::string& query, Op op) {
+  std::string out;
+  switch (op) {
+    case Op::kExecuteSchema:
+    case Op::kExecuteDirect: {
+      ExecOptions exec;
+      exec.strategy =
+          op == Op::kExecuteSchema ? Strategy::kSchema : Strategy::kDirect;
+      exec.n = kResultBound;
+      auto answers = db.Execute(query, exec);
+      if (!answers.ok()) return "error: " + answers.status().ToString();
+      for (const auto& answer : *answers) {
+        out += std::to_string(answer.root) + ":" +
+               std::to_string(answer.cost) + ";";
+      }
+      return out;
+    }
+    case Op::kExecuteStream: {
+      ExecOptions exec;
+      exec.n = kResultBound;
+      auto stream = db.ExecuteStream(query, exec);
+      if (!stream.ok()) return "error: " + stream.status().ToString();
+      for (size_t i = 0; i < kResultBound; ++i) {
+        auto answer = stream->Next();
+        if (!answer.has_value()) break;
+        out += std::to_string(answer->root) + ":" +
+               std::to_string(answer->cost) + ";";
+      }
+      return out;
+    }
+    case Op::kExplain: {
+      ExecOptions exec;
+      exec.n = kResultBound;
+      auto explanations = db.Explain(query, exec);
+      if (!explanations.ok()) {
+        return "error: " + explanations.status().ToString();
+      }
+      for (const auto& explanation : *explanations) {
+        out += std::to_string(explanation.cost) + "|" +
+               explanation.skeleton + "|" +
+               std::to_string(explanation.result_count) + ";";
+      }
+      return out;
+    }
+    case Op::kOpCount:
+      break;
+  }
+  return out;
+}
+
+TEST(ConcurrencyTest, MixedOperationsMatchSerialBaseline) {
+  Database db = MakeSyntheticDb();
+  std::vector<std::string> queries = MakeQueries(db);
+
+  // Serial baseline: every (query, op) combination once.
+  std::vector<std::vector<std::string>> baseline(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (size_t op = 0; op < kOpCount; ++op) {
+      baseline[q].push_back(RunOp(db, queries[q], static_cast<Op>(op)));
+    }
+  }
+
+  // 8 threads, each running every combination in a thread-dependent
+  // order (staggered start op) so different operations overlap.
+  std::vector<std::vector<std::vector<std::string>>> observed(
+      kThreads, std::vector<std::vector<std::string>>(
+                    queries.size(), std::vector<std::string>(kOpCount)));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &queries, &observed, t] {
+      for (size_t q = 0; q < queries.size(); ++q) {
+        for (size_t i = 0; i < kOpCount; ++i) {
+          size_t op = (t + q + i) % kOpCount;
+          observed[t][q][op] = RunOp(db, queries[q], static_cast<Op>(op));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      for (size_t op = 0; op < kOpCount; ++op) {
+        EXPECT_EQ(observed[t][q][op], baseline[q][op])
+            << "thread " << t << " query `" << queries[q] << "` op " << op;
+      }
+    }
+  }
+}
+
+TEST(ConcurrencyTest, ServiceUnderConcurrentClientsMatchesSerial) {
+  Database db = MakeSyntheticDb();
+  std::vector<std::string> queries = MakeQueries(db);
+
+  std::vector<std::string> baseline;
+  baseline.reserve(queries.size());
+  for (const std::string& query : queries) {
+    baseline.push_back(RunOp(db, query, Op::kExecuteSchema));
+  }
+
+  service::ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 1024;
+  options.cache_capacity = 64;
+  service::QueryService service(db, options);
+
+  std::vector<std::vector<std::string>> observed(
+      kThreads, std::vector<std::string>(queries.size()));
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&service, &queries, &observed, t] {
+      for (size_t q = 0; q < queries.size(); ++q) {
+        // Spread start positions so cache hits and misses interleave.
+        size_t index = (q + t) % queries.size();
+        service::QueryRequest request;
+        request.query_text = queries[index];
+        request.exec.n = kResultBound;
+        service::QueryResponse response =
+            service.Submit(std::move(request)).get();
+        std::string& out = observed[t][index];
+        if (!response.status.ok()) {
+          out = "error: " + response.status.ToString();
+          continue;
+        }
+        for (const auto& answer : response.answers) {
+          out += std::to_string(answer.root) + ":" +
+                 std::to_string(answer.cost) + ";";
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(observed[t][q], baseline[q])
+          << "client " << t << " query `" << queries[q] << "`";
+    }
+  }
+
+  service::QueryService::Snapshot snapshot = service.GetSnapshot();
+  EXPECT_EQ(snapshot.submitted, kThreads * queries.size());
+  EXPECT_EQ(snapshot.completed, kThreads * queries.size());
+  EXPECT_EQ(snapshot.rejected, 0u);
+  // Identical repeated queries must have produced cache hits.
+  EXPECT_GT(snapshot.cache.hits, 0u);
+  EXPECT_EQ(snapshot.cache.hits + snapshot.cache.misses,
+            kThreads * queries.size());
+}
+
+}  // namespace
+}  // namespace approxql

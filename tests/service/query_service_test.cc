@@ -1,0 +1,260 @@
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "service/thread_pool.h"
+
+namespace approxql::service {
+namespace {
+
+using engine::Database;
+using engine::ExecOptions;
+using engine::QueryAnswer;
+using engine::Strategy;
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool({.num_threads = 4, .queue_capacity = 1024});
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(pool.TrySubmit(
+        [&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, RejectsWhenQueueFull) {
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 2});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> started;
+  // Occupy the only worker, then fill the queue.
+  ASSERT_TRUE(pool.TrySubmit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+  ASSERT_TRUE(pool.TrySubmit([gate] { gate.wait(); }));
+  ASSERT_TRUE(pool.TrySubmit([gate] { gate.wait(); }));
+  EXPECT_EQ(pool.QueueDepth(), 2u);
+  EXPECT_FALSE(pool.TrySubmit([] {}));  // bounded: reject, don't buffer
+  release.set_value();
+  pool.Shutdown();  // drains the two queued tasks
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, ShutdownStopsAdmission) {
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 8});
+  pool.Shutdown();
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+}
+
+// --- QueryService ----------------------------------------------------------
+
+std::vector<std::string> CatalogDocs() {
+  return {
+      "<catalog><cd><title>piano concerto</title>"
+      "<composer>rachmaninov</composer></cd></catalog>",
+      "<catalog><cd><title>goldberg variations</title>"
+      "<composer>bach</composer></cd></catalog>",
+  };
+}
+
+Database MakeDb() {
+  cost::CostModel model;
+  model.SetRenameCost(NodeType::kText, "concerto", "variations", 3);
+  model.SetDeleteCost(NodeType::kText, "piano", 5);
+  auto db = Database::BuildFromXml(CatalogDocs(), std::move(model));
+  APPROXQL_CHECK(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+constexpr char kQuery[] = R"(cd[title["piano" and "concerto"]])";
+
+TEST(QueryServiceTest, SubmitMatchesDirectDatabaseExecution) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 2});
+  QueryRequest request;
+  request.query_text = kQuery;
+  request.exec.n = SIZE_MAX;
+  QueryResponse response = service.Submit(request).get();
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_FALSE(response.truncated);
+  EXPECT_FALSE(response.cache_hit);
+
+  ExecOptions exec;
+  exec.n = SIZE_MAX;
+  auto expected = db.Execute(kQuery, exec);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(response.answers.size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ(response.answers[i].root, (*expected)[i].root);
+    EXPECT_EQ(response.answers[i].cost, (*expected)[i].cost);
+  }
+}
+
+TEST(QueryServiceTest, SecondIdenticalRequestHitsCache) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 2});
+  QueryRequest request;
+  request.query_text = kQuery;
+  QueryResponse first = service.Submit(request).get();
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  // Normalization: extra whitespace must map onto the same cache entry.
+  QueryRequest spaced;
+  spaced.query_text = R"(cd[ title [ "piano"   and "concerto" ] ])";
+  QueryResponse second = service.Submit(spaced).get();
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  ASSERT_EQ(second.answers.size(), first.answers.size());
+  for (size_t i = 0; i < first.answers.size(); ++i) {
+    EXPECT_EQ(second.answers[i].root, first.answers[i].root);
+    EXPECT_EQ(second.answers[i].cost, first.answers[i].cost);
+  }
+  QueryService::Snapshot snapshot = service.GetSnapshot();
+  EXPECT_EQ(snapshot.cache.hits, 1u);
+  EXPECT_EQ(snapshot.cache.misses, 1u);
+}
+
+TEST(QueryServiceTest, BypassCacheSkipsLookupAndInsert) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 1});
+  QueryRequest request;
+  request.query_text = kQuery;
+  request.bypass_cache = true;
+  EXPECT_FALSE(service.ExecuteNow(request).cache_hit);
+  EXPECT_FALSE(service.ExecuteNow(request).cache_hit);
+  EXPECT_EQ(service.GetSnapshot().cache.size, 0u);
+}
+
+TEST(QueryServiceTest, QueueFullRejectsWithResourceExhausted) {
+  Database db = MakeDb();
+  // Zero queue capacity: every Submit is rejected up front, which makes
+  // the overload path deterministic.
+  QueryService service(
+      db, ServiceOptions{.num_threads = 1, .queue_capacity = 0});
+  QueryRequest request;
+  request.query_text = kQuery;
+  QueryResponse response = service.Submit(request).get();
+  EXPECT_TRUE(response.status.IsResourceExhausted()) << response.status;
+  EXPECT_TRUE(response.answers.empty());
+  QueryService::Snapshot snapshot = service.GetSnapshot();
+  EXPECT_EQ(snapshot.rejected, 1u);
+  EXPECT_EQ(snapshot.submitted, 1u);
+  // ExecuteNow bypasses admission and still works under a full queue.
+  EXPECT_TRUE(service.ExecuteNow(request).status.ok());
+}
+
+TEST(QueryServiceTest, ExpiredDeadlineFailsBeforeExecution) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 1});
+  QueryRequest request;
+  request.query_text = kQuery;
+  request.deadline = std::chrono::milliseconds(-1);  // already expired
+  QueryResponse response = service.Submit(request).get();
+  EXPECT_TRUE(response.status.IsDeadlineExceeded()) << response.status;
+  EXPECT_EQ(service.GetSnapshot().deadline_exceeded, 1u);
+}
+
+TEST(QueryServiceTest, CancelledSchemaRunReturnsTruncated) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 1});
+  QueryRequest request;
+  request.query_text = kQuery;
+  // A user-supplied cancellation hook (no deadline) fires immediately:
+  // the run completes OK but flags truncation, and the partial answer
+  // must not be cached.
+  request.exec.schema.cancelled = [] { return true; };
+  QueryResponse response = service.ExecuteNow(request);
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_TRUE(response.truncated);
+  EXPECT_EQ(service.GetSnapshot().truncated, 1u);
+  EXPECT_EQ(service.GetSnapshot().cache.size, 0u);
+
+  QueryRequest clean;
+  clean.query_text = kQuery;
+  QueryResponse full = service.ExecuteNow(clean);
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_FALSE(full.cache_hit);  // truncated run must not have populated
+  EXPECT_FALSE(full.truncated);
+  EXPECT_FALSE(full.answers.empty());
+}
+
+TEST(QueryServiceTest, PerQueryCostModelsGetDistinctCacheEntries) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 1});
+  cost::CostModel expensive;
+  expensive.SetRenameCost(NodeType::kText, "concerto", "variations", 3);
+  expensive.SetDeleteCost(NodeType::kText, "piano", 50);  // build-time: 5
+
+  QueryRequest base;
+  base.query_text = kQuery;
+  base.exec.n = SIZE_MAX;
+  QueryRequest tweaked = base;
+  tweaked.exec.cost_model = &expensive;
+
+  QueryResponse base_response = service.ExecuteNow(base);
+  QueryResponse tweaked_response = service.ExecuteNow(tweaked);
+  ASSERT_TRUE(base_response.status.ok());
+  ASSERT_TRUE(tweaked_response.status.ok());
+  EXPECT_FALSE(tweaked_response.cache_hit);  // different fingerprint
+  ASSERT_EQ(base_response.answers.size(), 2u);
+  ASSERT_EQ(tweaked_response.answers.size(), 2u);
+  EXPECT_NE(base_response.answers[1].cost, tweaked_response.answers[1].cost);
+  // Each model now hits its own entry.
+  EXPECT_TRUE(service.ExecuteNow(base).cache_hit);
+  EXPECT_TRUE(service.ExecuteNow(tweaked).cache_hit);
+}
+
+TEST(QueryServiceTest, InvalidateCacheForcesReexecution) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 1});
+  QueryRequest request;
+  request.query_text = kQuery;
+  service.ExecuteNow(request);
+  ASSERT_TRUE(service.ExecuteNow(request).cache_hit);
+  service.InvalidateCache();
+  EXPECT_FALSE(service.ExecuteNow(request).cache_hit);
+}
+
+TEST(QueryServiceTest, ParseErrorCountsAsFailed) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 1});
+  QueryRequest request;
+  request.query_text = "cd[oops";
+  QueryResponse response = service.Submit(request).get();
+  EXPECT_TRUE(response.status.IsParseError());
+  EXPECT_EQ(service.GetSnapshot().failed, 1u);
+}
+
+TEST(QueryServiceTest, MetricsDumpCoversLifecycle) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 1});
+  QueryRequest request;
+  request.query_text = kQuery;
+  service.ExecuteNow(request);
+  service.ExecuteNow(request);
+  std::string dump = service.DumpMetrics();
+  for (const char* key :
+       {"queries_submitted 2", "queries_completed 2", "queries_rejected 0",
+        "queries_deadline_exceeded 0", "queue_depth", "queries_running 0",
+        "queue_wait_us", "exec_latency_us", "total_latency_us",
+        "cache_hits 1", "cache_misses 1", "cache_hit_rate 0.5000",
+        "cache_evictions 0"}) {
+    EXPECT_NE(dump.find(key), std::string::npos)
+        << "missing `" << key << "` in:\n"
+        << dump;
+  }
+}
+
+}  // namespace
+}  // namespace approxql::service

@@ -1,0 +1,113 @@
+#include "service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace approxql::service {
+namespace {
+
+using engine::QueryAnswer;
+using engine::Strategy;
+
+CacheKey Key(const std::string& query, size_t n = 10,
+             uint32_t fingerprint = 1,
+             Strategy strategy = Strategy::kSchema) {
+  CacheKey key;
+  key.normalized_query = query;
+  key.strategy = strategy;
+  key.n = n;
+  key.cost_fingerprint = fingerprint;
+  return key;
+}
+
+std::vector<QueryAnswer> Answers(doc::NodeId root, cost::Cost cost) {
+  return {QueryAnswer{root, cost}};
+}
+
+TEST(ResultCacheTest, HitReturnsInsertedAnswers) {
+  ResultCache cache(4);
+  cache.Insert(Key("a"), Answers(7, 3));
+  auto hit = cache.Lookup(Key("a"));
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0].root, 7u);
+  EXPECT_EQ((*hit)[0].cost, 3);
+  EXPECT_FALSE(cache.Lookup(Key("b")).has_value());
+  ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.Insert(Key("a"), Answers(1, 0));
+  cache.Insert(Key("b"), Answers(2, 0));
+  // Touch "a" so "b" becomes the LRU entry.
+  ASSERT_TRUE(cache.Lookup(Key("a")).has_value());
+  cache.Insert(Key("c"), Answers(3, 0));
+  EXPECT_TRUE(cache.Lookup(Key("a")).has_value());
+  EXPECT_FALSE(cache.Lookup(Key("b")).has_value());
+  EXPECT_TRUE(cache.Lookup(Key("c")).has_value());
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.GetStats().size, 2u);
+}
+
+TEST(ResultCacheTest, EveryKeyComponentDiscriminates) {
+  ResultCache cache(16);
+  cache.Insert(Key("a", 10, 1, Strategy::kSchema), Answers(1, 0));
+  // Different n, fingerprint, or strategy must all miss.
+  EXPECT_FALSE(cache.Lookup(Key("a", 20, 1, Strategy::kSchema)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key("a", 10, 2, Strategy::kSchema)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key("a", 10, 1, Strategy::kDirect)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key("a", 10, 1, Strategy::kSchema)).has_value());
+}
+
+TEST(ResultCacheTest, FingerprintDistinguishesCostModels) {
+  cost::CostModel a;
+  cost::CostModel b;
+  b.SetDeleteCost(NodeType::kText, "piano", 5);
+  EXPECT_NE(FingerprintCostModel(a), FingerprintCostModel(b));
+  EXPECT_EQ(FingerprintCostModel(a), FingerprintCostModel(cost::CostModel()));
+}
+
+TEST(ResultCacheTest, InsertRefreshesExistingEntry) {
+  ResultCache cache(2);
+  cache.Insert(Key("a"), Answers(1, 0));
+  cache.Insert(Key("a"), Answers(9, 4));  // refresh, no growth
+  EXPECT_EQ(cache.GetStats().size, 1u);
+  auto hit = cache.Lookup(Key("a"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].root, 9u);
+}
+
+TEST(ResultCacheTest, InvalidateDropsEverything) {
+  ResultCache cache(8);
+  cache.Insert(Key("a"), Answers(1, 0));
+  cache.Insert(Key("b"), Answers(2, 0));
+  cache.Invalidate();
+  EXPECT_FALSE(cache.Lookup(Key("a")).has_value());
+  EXPECT_FALSE(cache.Lookup(Key("b")).has_value());
+  ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.invalidations, 2u);
+  // Invalidation is not an eviction.
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Insert(Key("a"), Answers(1, 0));
+  EXPECT_FALSE(cache.Lookup(Key("a")).has_value());
+  EXPECT_EQ(cache.GetStats().size, 0u);
+}
+
+TEST(ResultCacheTest, EmptyAnswerListsAreCacheable) {
+  // A query with no results is still a complete (cacheable) answer.
+  ResultCache cache(4);
+  cache.Insert(Key("nothing"), {});
+  auto hit = cache.Lookup(Key("nothing"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->empty());
+}
+
+}  // namespace
+}  // namespace approxql::service

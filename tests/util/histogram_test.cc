@@ -1,0 +1,108 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace approxql::util {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ExactAggregates) {
+  Histogram h;
+  for (uint64_t v : {3u, 1u, 4u, 1u, 5u, 9u, 2u, 6u}) h.Record(v);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum(), 31u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 9u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 31.0 / 8.0);
+}
+
+TEST(HistogramTest, QuantileBoundedRelativeError) {
+  // Sub-bucket width is 1/4 of the power-of-two range, so any quantile
+  // of identical recorded values lies within 25% of the true value.
+  for (uint64_t value : {7u, 100u, 1000u, 123456u, 99999999u}) {
+    Histogram h;
+    for (int i = 0; i < 100; ++i) h.Record(value);
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+      double estimate = h.Quantile(q);
+      EXPECT_GE(estimate, static_cast<double>(value) * 0.75) << value;
+      EXPECT_LE(estimate, static_cast<double>(value) * 1.25) << value;
+    }
+  }
+}
+
+TEST(HistogramTest, QuantileOrdering) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  double p10 = h.Quantile(0.10);
+  double p50 = h.Quantile(0.50);
+  double p99 = h.Quantile(0.99);
+  EXPECT_LT(p10, p50);
+  EXPECT_LT(p50, p99);
+  // The uniform 1..1000 distribution pins quantiles near their rank.
+  EXPECT_NEAR(p50, 500.0, 150.0);
+  EXPECT_NEAR(p99, 990.0, 250.0);
+}
+
+TEST(HistogramTest, QuantileNeverOutsideRecordedRange) {
+  Histogram h;
+  h.Record(17);
+  h.Record(90);
+  EXPECT_GE(h.Quantile(0.0), 17.0);
+  EXPECT_LE(h.Quantile(1.0), 90.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Histogram a, b, combined;
+  for (uint64_t v = 0; v < 500; ++v) {
+    (v % 2 == 0 ? a : b).Record(v * 7);
+    combined.Record(v * 7);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), combined.Quantile(q));
+  }
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, HugeValuesSaturateWithoutOverflow) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(HistogramTest, SummaryContainsFields) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.Record(v);
+  std::string summary = h.Summary("us");
+  EXPECT_NE(summary.find("count=10"), std::string::npos);
+  EXPECT_NE(summary.find("p50="), std::string::npos);
+  EXPECT_NE(summary.find("p99="), std::string::npos);
+  EXPECT_NE(summary.find("max=10us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxql::util
