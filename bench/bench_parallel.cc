@@ -1,0 +1,175 @@
+// Intra-query parallelism sweep: evaluates an or-heavy workload (eight
+// disjuncts per query after separation) through the QueryService at
+// parallelism 1/2/4/8 and reports throughput plus latency percentiles
+// per level, with speedup relative to the serial run. Results land on
+// stdout and in BENCH_parallel.json for EXPERIMENTS.md.
+//
+// Scale with APPROXQL_BENCH_ELEMENTS (default 100000) and
+// APPROXQL_BENCH_QUERIES (default 24). Note: measured speedup is
+// bounded by the machine's core count — on a single-core container
+// every level collapses to ~1x.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/fig7_common.h"
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+#include "service/query_service.h"
+#include "util/timer.h"
+
+namespace approxql::bench {
+namespace {
+
+using engine::Database;
+using service::QueryRequest;
+using service::QueryResponse;
+using service::QueryService;
+using service::ServiceOptions;
+
+// Three independent binary "or"s: 2^3 disjuncts in the separated
+// representation, the fan-out the parallel path distributes.
+constexpr std::string_view kOrHeavyPattern =
+    "name[(name[term] or term) and (term or term) and (name[term] or term)]";
+
+struct Sample {
+  size_t parallelism = 0;
+  double total_seconds = 0;
+  double qps = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double speedup = 0;
+  uint64_t parallel_tasks = 0;
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+int Run() {
+  util::SetLogLevel(util::LogLevel::kError);
+  gen::XmlGenOptions gen_options;
+  gen_options.seed = 20020314;
+  gen_options.total_elements = EnvSize("APPROXQL_BENCH_ELEMENTS", 100000);
+  gen_options.element_names = 100;
+  gen_options.vocabulary =
+      std::max<size_t>(gen_options.total_elements / 10, 100);
+  gen_options.words_per_element = 10.0;
+  gen_options.zipf_theta = 1.0;
+  gen_options.template_nodes = 150;
+
+  util::WallTimer build_timer;
+  gen::XmlGenerator generator(gen_options);
+  auto tree = generator.GenerateTree(cost::CostModel());
+  APPROXQL_CHECK(tree.ok()) << tree.status();
+  auto built =
+      Database::FromDataTree(std::move(tree).value(), cost::CostModel());
+  APPROXQL_CHECK(built.ok()) << built.status();
+  Database db = std::move(built).value();
+  auto stats = db.GetStats();
+  std::printf(
+      "collection: %zu elements, %zu words, %zu labels (built in %.1fs)\n",
+      stats.struct_nodes, stats.text_nodes, stats.distinct_labels,
+      build_timer.ElapsedSeconds());
+
+  const size_t kQueries = EnvSize("APPROXQL_BENCH_QUERIES", 24);
+  gen::QueryGenOptions q_options;
+  q_options.seed = 42;
+  q_options.renamings_per_label = 3;
+  gen::QueryGenerator qgen(db, q_options);
+  std::vector<gen::GeneratedQuery> queries;
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto generated = qgen.Generate(kOrHeavyPattern);
+    APPROXQL_CHECK(generated.ok()) << generated.status();
+    queries.push_back(std::move(generated).value());
+  }
+
+  const size_t kLevels[] = {1, 2, 4, 8};
+  std::vector<Sample> samples;
+  std::printf("%-12s %10s %10s %10s %10s %9s %8s\n", "parallelism", "qps",
+              "mean-ms", "p50-ms", "p99-ms", "speedup", "tasks");
+  for (size_t level : kLevels) {
+    ServiceOptions options;
+    options.num_threads = level;
+    options.queue_capacity = 256;
+    options.cache_capacity = 0;  // measure evaluation, not caching
+    options.parallelism = level;
+    QueryService service(db, options);
+
+    // One warm-up pass primes index pages outside the measurement.
+    for (const auto& generated : queries) {
+      QueryRequest request;
+      request.query_text = generated.text;
+      request.exec.n = 10;
+      request.exec.cost_model = &generated.cost_model;
+      request.bypass_cache = true;
+      APPROXQL_CHECK(service.ExecuteNow(request).status.ok());
+    }
+
+    std::vector<double> latencies_ms;
+    util::WallTimer sweep_timer;
+    for (int round = 0; round < 3; ++round) {
+      for (const auto& generated : queries) {
+        QueryRequest request;
+        request.query_text = generated.text;
+        request.exec.n = 10;
+        request.exec.cost_model = &generated.cost_model;
+        request.bypass_cache = true;
+        util::WallTimer timer;
+        QueryResponse response = service.ExecuteNow(request);
+        latencies_ms.push_back(timer.ElapsedSeconds() * 1000.0);
+        APPROXQL_CHECK(response.status.ok()) << response.status;
+      }
+    }
+    Sample sample;
+    sample.parallelism = level;
+    sample.total_seconds = sweep_timer.ElapsedSeconds();
+    sample.qps =
+        static_cast<double>(latencies_ms.size()) / sample.total_seconds;
+    double total = 0;
+    for (double ms : latencies_ms) total += ms;
+    sample.mean_ms = total / static_cast<double>(latencies_ms.size());
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    sample.p50_ms = Percentile(latencies_ms, 0.50);
+    sample.p99_ms = Percentile(latencies_ms, 0.99);
+    sample.speedup =
+        samples.empty() ? 1.0 : samples.front().mean_ms / sample.mean_ms;
+    sample.parallel_tasks = service.GetSnapshot().parallel_tasks;
+    samples.push_back(sample);
+    std::printf("%-12zu %10.1f %10.3f %10.3f %10.3f %8.2fx %8llu\n", level,
+                sample.qps, sample.mean_ms, sample.p50_ms, sample.p99_ms,
+                sample.speedup,
+                static_cast<unsigned long long>(sample.parallel_tasks));
+  }
+
+  std::FILE* out = std::fopen("BENCH_parallel.json", "w");
+  APPROXQL_CHECK(out != nullptr) << "cannot write BENCH_parallel.json";
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"parallel_intra_query\",\n"
+               "  \"elements\": %zu,\n  \"queries\": %zu,\n  \"levels\": [\n",
+               gen_options.total_elements, queries.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "    {\"parallelism\": %zu, \"qps\": %.2f, "
+                 "\"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"speedup\": %.3f, \"parallel_tasks\": %llu}%s\n",
+                 s.parallelism, s.qps, s.mean_ms, s.p50_ms, s.p99_ms,
+                 s.speedup, static_cast<unsigned long long>(s.parallel_tasks),
+                 i + 1 == samples.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_parallel.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace approxql::bench
+
+int main() { return approxql::bench::Run(); }

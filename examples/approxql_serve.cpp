@@ -53,6 +53,8 @@ int Usage() {
       "  --clients N      concurrent client threads (default 8)\n"
       "  --threads N      service worker threads (default 8)\n"
       "  --queue N        admission queue capacity (default 128)\n"
+      "  --parallelism N  intra-query fan-out per request, 1 = serial "
+      "(default 1)\n"
       "  --cache N        result-cache entries, 0 = off (default 256)\n"
       "  --passes N       workload replays; pass 2+ hits a warm cache "
       "(default 2)\n"
@@ -186,6 +188,11 @@ int main(int argc, char** argv) {
       if (!next_num(&service_options.num_threads)) return Usage();
     } else if (arg == "--queue") {
       if (!next_num(&service_options.queue_capacity)) return Usage();
+    } else if (arg == "--parallelism") {
+      if (!next_num(&service_options.parallelism) ||
+          service_options.parallelism == 0) {
+        return Usage();
+      }
     } else if (arg == "--cache") {
       if (!next_num(&service_options.cache_capacity)) return Usage();
     } else if (arg == "--passes") {

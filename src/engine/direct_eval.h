@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "engine/entry_list.h"
+#include "engine/fetch_plan.h"
 #include "engine/list_ops.h"
 #include "index/label_index.h"
 #include "query/expanded.h"
@@ -43,6 +44,11 @@ class DirectEvaluator {
     /// scanning every tree node, like the matching algorithms the paper
     /// criticizes in Section 2 ("touches every data node").
     bool full_scan = false;
+    /// Optional pre-materialized fetch lists (see fetch_plan.h). Slots
+    /// found in the plan are copied instead of fetched from the index;
+    /// misses fall back to the inline fetch. Ignored under full_scan.
+    /// Must outlive the evaluator and be immutable while it runs.
+    const FetchPlan* fetch_plan = nullptr;
   };
 
   /// `tree`, `index` and `labels` must outlive the evaluator. `labels`

@@ -1,6 +1,7 @@
 #include "engine/list_ops.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace approxql::engine {
 
@@ -196,6 +197,14 @@ EntryList Union(const EntryList& left, const EntryList& right,
   return out;
 }
 
+namespace {
+
+bool RootCostLess(const RootCost& a, const RootCost& b) {
+  return a.cost != b.cost ? a.cost < b.cost : a.root < b.root;
+}
+
+}  // namespace
+
 std::vector<RootCost> SortBestN(const EntryList& list, size_t n) {
   std::vector<RootCost> results;
   results.reserve(list.size());
@@ -204,12 +213,60 @@ std::vector<RootCost> SortBestN(const EntryList& list, size_t n) {
       results.push_back({e.pre, e.cost_leaf});
     }
   }
-  std::sort(results.begin(), results.end(),
-            [](const RootCost& a, const RootCost& b) {
-              return a.cost != b.cost ? a.cost < b.cost : a.root < b.root;
-            });
-  if (results.size() > n) results.resize(n);
+  SortTopN(&results, n);
   return results;
+}
+
+void SortTopN(std::vector<RootCost>* results, size_t n) {
+  if (n < results->size()) {
+    std::partial_sort(results->begin(), results->begin() + n, results->end(),
+                      RootCostLess);
+    results->resize(n);
+  } else {
+    std::sort(results->begin(), results->end(), RootCostLess);
+  }
+}
+
+std::vector<RootCost> MergeTopN(const std::vector<std::vector<RootCost>>& lists,
+                                size_t n) {
+  struct Cursor {
+    const std::vector<RootCost>* list;
+    size_t index;
+    size_t tie;  // source list position, for a deterministic heap order
+  };
+  // Min-heap on (cost, root, tie): std::*_heap is a max-heap, so the
+  // comparator is "greater".
+  auto after = [](const Cursor& a, const Cursor& b) {
+    const RootCost& x = (*a.list)[a.index];
+    const RootCost& y = (*b.list)[b.index];
+    if (x.cost != y.cost) return x.cost > y.cost;
+    if (x.root != y.root) return x.root > y.root;
+    return a.tie > b.tie;
+  };
+
+  std::vector<Cursor> heap;
+  heap.reserve(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (!lists[i].empty()) heap.push_back({&lists[i], 0, i});
+  }
+  std::make_heap(heap.begin(), heap.end(), after);
+
+  std::vector<RootCost> out;
+  std::unordered_set<doc::NodeId> seen;
+  while (out.size() < n && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), after);
+    Cursor cur = heap.back();
+    heap.pop_back();
+    const RootCost& rc = (*cur.list)[cur.index];
+    // Entries pop in ascending (cost, root) order, so the first time a
+    // root appears its cost is the minimum over all lists.
+    if (seen.insert(rc.root).second) out.push_back(rc);
+    if (++cur.index < cur.list->size()) {
+      heap.push_back(cur);
+      std::push_heap(heap.begin(), heap.end(), after);
+    }
+  }
+  return out;
 }
 
 }  // namespace approxql::engine

@@ -55,6 +55,22 @@ EntryList Union(const EntryList& left, const EntryList& right,
 /// ties broken by pre; entries without a leaf match are skipped.
 std::vector<RootCost> SortBestN(const EntryList& list, size_t n);
 
+/// The shared final ranking step of both evaluators: orders `results`
+/// by (cost, root) and truncates to the best n. Partial-sorts when n is
+/// smaller than the list, so ranking costs O(|results| + n log n)
+/// instead of sorting every finite entry.
+void SortTopN(std::vector<RootCost>* results, size_t n);
+
+/// K-way merge of per-disjunct best-n lists (each sorted by
+/// (cost, root) with unique roots) into the global best n. A root
+/// appearing in several lists keeps its cheapest cost: entries pop in
+/// ascending (cost, root) order, so the first occurrence of a root is
+/// its minimum and later ones are skipped. A bounded heap of one cursor
+/// per list replaces concatenate-and-sort: O(n log k) pops instead of
+/// sorting the concatenation.
+std::vector<RootCost> MergeTopN(const std::vector<std::vector<RootCost>>& lists,
+                                size_t n);
+
 }  // namespace approxql::engine
 
 #endif  // APPROXQL_ENGINE_LIST_OPS_H_

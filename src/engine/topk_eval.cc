@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/list_ops.h"
 #include "util/varint.h"
 
 namespace approxql::engine {
@@ -478,6 +479,15 @@ std::vector<RootCost> SchemaEvaluator::BestN(const ExpandedQuery& query,
   secondary_memo_.clear();
   memo_guard_.clear();
   size_t k = options_.initial_k;
+  // Once n results exist, `boundary` is the cost of the skeleton that
+  // crossed n. Skeletons run in ascending cost order, so draining every
+  // remaining skeleton that ties with the boundary before stopping makes
+  // the (cost, root)-truncated list canonical: the same n answers
+  // regardless of enumeration order, which is what lets the parallel
+  // per-disjunct path reproduce this list bit-for-bit.
+  bool have_boundary = false;
+  cost::Cost boundary = 0;
+  bool done = false;
   for (;;) {
     if (options_.cancelled && options_.cancelled()) {
       stats_.cancelled = true;
@@ -494,6 +504,10 @@ std::vector<RootCost> SchemaEvaluator::BestN(const ExpandedQuery& query,
         stats_.cancelled = true;
         break;
       }
+      if (have_boundary && skeleton->cost > boundary) {
+        done = true;
+        break;
+      }
       std::string signature = Signature(*skeleton);
       if (!executed.insert(std::move(signature)).second) continue;
       index::Posting roots = ExecuteSecondary(skeleton);
@@ -504,10 +518,13 @@ std::vector<RootCost> SchemaEvaluator::BestN(const ExpandedQuery& query,
           results.push_back({root, skeleton->cost});
         }
       }
-      if (results.size() >= n) break;
+      if (!have_boundary && results.size() >= n) {
+        have_boundary = true;
+        boundary = skeleton->cost;
+      }
     }
     if (stats_.cancelled) break;
-    if (results.size() >= n) break;
+    if (done) break;
     // Fewer valid skeletons than requested means the schema closure is
     // exhausted (per-segment trims only bind once a segment reaches k,
     // which forces the global list to k as well) — growing k adds
@@ -522,11 +539,7 @@ std::vector<RootCost> SchemaEvaluator::BestN(const ExpandedQuery& query,
                                        std::max(options_.growth, 1.0));
     k = std::min(std::max(k + options_.delta_k, grown), options_.max_k);
   }
-  std::sort(results.begin(), results.end(),
-            [](const RootCost& a, const RootCost& b) {
-              return a.cost != b.cost ? a.cost < b.cost : a.root < b.root;
-            });
-  if (results.size() > n) results.resize(n);
+  SortTopN(&results, n);
   return results;
 }
 

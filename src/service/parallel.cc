@@ -1,0 +1,108 @@
+#include "service/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace approxql::service {
+
+void CountDownLatch::CountDown(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  remaining_ -= std::min(n, remaining_);
+  if (remaining_ == 0) zero_.notify_all();
+}
+
+void CountDownLatch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  zero_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+namespace {
+
+/// Shared between the caller and the helper tasks. Helpers hold a
+/// shared_ptr, so a helper that starts after the caller has already
+/// returned (every iteration claimed by others) still finds live state.
+struct ForkState {
+  ForkState(size_t count, std::function<void(size_t)> fn,
+            std::function<bool()> cancel)
+      : count(count), body(std::move(fn)), cancel(std::move(cancel)),
+        done(count) {}
+
+  const size_t count;
+  const std::function<void(size_t)> body;
+  const std::function<bool()> cancel;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> executed{0};
+  std::atomic<size_t> skipped{0};
+  std::atomic<bool> stop{false};      // cancellation observed
+  std::atomic<bool> failed{false};    // an iteration threw
+  std::mutex error_mu;
+  std::exception_ptr error;           // first exception, guarded by error_mu
+  CountDownLatch done;
+};
+
+/// The claim loop run by the caller and by every helper. Every claimed
+/// iteration counts down exactly once, run or skipped, so `done` always
+/// reaches zero.
+void RunIterations(const std::shared_ptr<ForkState>& state) {
+  for (;;) {
+    size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->count) return;
+    bool skip = state->stop.load(std::memory_order_relaxed) ||
+                state->failed.load(std::memory_order_relaxed);
+    if (!skip && state->cancel && state->cancel()) {
+      state->stop.store(true, std::memory_order_relaxed);
+      skip = true;
+    }
+    if (skip) {
+      state->skipped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        state->body(i);
+        state->executed.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(state->error_mu);
+          if (!state->error) state->error = std::current_exception();
+        }
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    state->done.CountDown();
+  }
+}
+
+}  // namespace
+
+ParallelForResult ParallelFor(ThreadPool* pool, size_t count,
+                              std::function<void(size_t)> fn,
+                              const ParallelForOptions& options) {
+  ParallelForResult result;
+  if (count == 0) return result;
+  auto state =
+      std::make_shared<ForkState>(count, std::move(fn), options.cancelled);
+  size_t parallelism = options.parallelism;
+  if (parallelism == 0) {
+    parallelism = (pool != nullptr ? pool->num_threads() : 0) + 1;
+  }
+  size_t helpers = std::min(parallelism - 1, count - 1);
+  if (pool != nullptr) {
+    for (size_t h = 0; h < helpers; ++h) {
+      // Best effort: a rejected helper just means less parallelism.
+      if (!pool->TrySubmit([state] { RunIterations(state); })) break;
+    }
+  }
+  RunIterations(state);
+  state->done.Wait();
+  result.executed = state->executed.load(std::memory_order_relaxed);
+  result.skipped = state->skipped.load(std::memory_order_relaxed);
+  result.cancelled = state->stop.load(std::memory_order_relaxed);
+  if (state->failed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(state->error_mu);
+    if (state->error) std::rethrow_exception(state->error);
+  }
+  return result;
+}
+
+}  // namespace approxql::service

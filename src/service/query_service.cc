@@ -1,9 +1,15 @@
 #include "service/query_service.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <utility>
 
+#include "engine/fetch_plan.h"
+#include "engine/list_ops.h"
 #include "query/ast.h"
+#include "query/separated.h"
+#include "service/parallel.h"
 
 namespace approxql::service {
 
@@ -14,6 +20,41 @@ int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
              std::chrono::steady_clock::now() - start)
       .count();
 }
+
+/// Owns a submitted request's promise until the worker takes it. If the
+/// task is destroyed without running (ThreadPool::Shutdown(kAbandon)),
+/// the destructor resolves the future with kUnavailable — no caller is
+/// ever left holding a broken promise.
+class PendingResponse {
+ public:
+  PendingResponse(std::shared_ptr<std::promise<QueryResponse>> promise,
+                  Gauge* queue_depth, Counter* abandoned)
+      : promise_(std::move(promise)),
+        queue_depth_(queue_depth),
+        abandoned_(abandoned) {}
+
+  PendingResponse(const PendingResponse&) = delete;
+  PendingResponse& operator=(const PendingResponse&) = delete;
+
+  ~PendingResponse() {
+    if (promise_ == nullptr) return;
+    queue_depth_->Decrement();
+    abandoned_->Increment();
+    QueryResponse response;
+    response.status =
+        util::Status::Unavailable("service shut down before the request ran");
+    promise_->set_value(std::move(response));
+  }
+
+  std::shared_ptr<std::promise<QueryResponse>> Take() {
+    return std::move(promise_);
+  }
+
+ private:
+  std::shared_ptr<std::promise<QueryResponse>> promise_;
+  Gauge* queue_depth_;
+  Counter* abandoned_;
+};
 
 }  // namespace
 
@@ -29,35 +70,51 @@ QueryService::QueryService(const engine::Database& db, ServiceOptions options)
       truncated_(metrics_.RegisterCounter("queries_truncated")),
       cache_hits_(metrics_.RegisterCounter("cache_hits")),
       cache_misses_(metrics_.RegisterCounter("cache_misses")),
+      abandoned_(metrics_.RegisterCounter("queries_abandoned")),
+      parallel_tasks_(metrics_.RegisterCounter("query_parallel_tasks")),
       queue_depth_(metrics_.RegisterGauge("queue_depth")),
       running_(metrics_.RegisterGauge("queries_running")),
       queue_wait_us_(metrics_.RegisterHistogram("queue_wait_us")),
       exec_latency_us_(metrics_.RegisterHistogram("exec_latency_us")),
       total_latency_us_(metrics_.RegisterHistogram("total_latency_us")),
+      parallel_fetch_us_(metrics_.RegisterHistogram("parallel_fetch_us")),
+      parallel_eval_us_(metrics_.RegisterHistogram("parallel_eval_us")),
+      parallel_merge_us_(metrics_.RegisterHistogram("parallel_merge_us")),
       pool_(ThreadPool::Options{options.num_threads, options.queue_capacity}) {
 }
 
-QueryService::~QueryService() { pool_.Shutdown(); }
+// Abandon, don't drain: a service being torn down has nobody left to
+// serve, and a deep queue of expensive queries would stall the teardown
+// for their full execution time. The promise guard resolves every
+// abandoned future with kUnavailable.
+QueryService::~QueryService() { pool_.Shutdown(DrainMode::kAbandon); }
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
   submitted_->Increment();
   auto promise = std::make_shared<std::promise<QueryResponse>>();
   std::future<QueryResponse> future = promise->get_future();
   Clock::time_point admitted = Clock::now();
-  auto task = [this, promise, admitted,
+  auto pending = std::make_shared<PendingResponse>(promise, queue_depth_,
+                                                   abandoned_);
+  auto task = [this, pending, admitted,
                request = std::move(request)]() mutable {
+    auto taken = pending->Take();
     queue_depth_->Decrement();
-    promise->set_value(Run(request, admitted));
+    taken->set_value(Run(request, admitted));
   };
   queue_depth_->Increment();
   if (!pool_.TrySubmit(std::move(task))) {
+    // The rejected closure is already destroyed, but Submit's own
+    // `pending` reference kept the guard alive; taking the promise here
+    // disarms it so rejection resolves exactly once.
+    auto taken = pending->Take();
     queue_depth_->Decrement();
     rejected_->Increment();
-    promise->set_value(QueryResponse{
-        util::Status::ResourceExhausted(
-            "admission queue full (" +
-            std::to_string(options_.queue_capacity) + " waiting)"),
-        {}, false, false, 0, 0, 0});
+    QueryResponse response;
+    response.status = util::Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(options_.queue_capacity) +
+        " waiting)");
+    taken->set_value(std::move(response));
     return future;
   }
   return future;
@@ -118,11 +175,11 @@ QueryResponse QueryService::Run(QueryRequest& request,
   key.cost_fingerprint = FingerprintCostModel(effective_model);
 
   if (!request.bypass_cache) {
-    if (auto cached = cache_.Lookup(key); cached.has_value()) {
+    if (auto cached = cache_.Lookup(key); cached != nullptr) {
       cache_hits_->Increment();
       completed_->Increment();
       QueryResponse r;
-      r.answers = std::move(*cached);
+      r.answers = *cached;
       r.cache_hit = true;
       return finish(std::move(r));
     }
@@ -133,28 +190,50 @@ QueryResponse QueryService::Run(QueryRequest& request,
   // between top-k rounds and second-level executions, producing a
   // correct-prefix partial answer. The direct strategies have no safe
   // interior stopping point (one recursive pass over the list algebra),
-  // so their deadline is only checked at dispatch above.
+  // so their deadline is only checked at dispatch above. The parallel
+  // path additionally polls between ParallelFor iterations — but a
+  // partial disjunct union is *not* a correct prefix of the global
+  // ranking, so a deadline there fails the request (kDeadlineExceeded)
+  // instead of returning truncated answers.
+  std::function<bool()> cancelled;
+  if (has_deadline) {
+    cancelled = [deadline] { return Clock::now() >= deadline; };
+  }
   engine::ExecOptions exec = request.exec;
   engine::SchemaEvalStats schema_stats;
   if (exec.strategy == engine::Strategy::kSchema) {
     if (has_deadline) {
-      exec.schema.cancelled = [deadline] { return Clock::now() >= deadline; };
+      exec.schema.cancelled = cancelled;
     }
     if (exec.schema_stats_out == nullptr) {
       exec.schema_stats_out = &schema_stats;
     }
   }
 
-  auto answers = db_.Execute(query, exec);
-  if (!answers.ok()) {
-    failed_->Increment();
-    QueryResponse r;
-    r.status = answers.status();
+  const size_t parallelism = request.parallelism != 0 ? request.parallelism
+                                                      : options_.parallelism;
+  QueryResponse r;
+  bool handled =
+      parallelism > 1 && RunParallel(query, exec, parallelism, cancelled, &r);
+  if (!handled) {
+    auto answers = db_.Execute(query, exec);
+    if (answers.ok()) {
+      r.answers = std::move(*answers);
+    } else {
+      r.status = answers.status();
+    }
+  }
+
+  if (!r.status.ok()) {
+    if (r.status.IsDeadlineExceeded()) {
+      deadline_exceeded_->Increment();
+    } else {
+      failed_->Increment();
+    }
+    r.answers.clear();
     return finish(std::move(r));
   }
 
-  QueryResponse r;
-  r.answers = std::move(*answers);
   if (exec.strategy == engine::Strategy::kSchema &&
       exec.schema_stats_out->cancelled) {
     r.truncated = true;
@@ -170,6 +249,181 @@ QueryResponse QueryService::Run(QueryRequest& request,
   return finish(std::move(r));
 }
 
+bool QueryService::RunParallel(const query::Query& query,
+                               engine::ExecOptions& exec, size_t parallelism,
+                               const std::function<bool()>& cancelled,
+                               QueryResponse* out) {
+  // The full-scan baseline deliberately ignores the index; the fetch
+  // plan has nothing to offer it and a baseline should stay a baseline.
+  if (exec.strategy == engine::Strategy::kFullScan) return false;
+  const bool direct = exec.strategy == engine::Strategy::kDirect;
+
+  const cost::CostModel& model =
+      exec.cost_model != nullptr ? *exec.cost_model : db_.cost_model();
+
+  // The separated representation is exponential in the or-count; when
+  // it overflows its limit, the serial engines (which encode "or"
+  // natively in the expanded DAG) handle the query instead.
+  auto separated = query::SeparatedRepresentation(query);
+  if (!separated.ok()) return false;
+  const size_t disjuncts = separated->size();
+  // The schema strategy has no concurrent fetch stage, so a single
+  // conjunct leaves nothing to parallelize.
+  if (!direct && disjuncts < 2) return false;
+
+  auto expanded = query::ExpandedQuery::Build(query, model);
+  if (!expanded.ok()) return false;
+
+  ParallelForOptions pf;
+  pf.parallelism = parallelism;
+  pf.cancelled = cancelled;
+
+  // Stage 1 (direct only): materialize every per-label index read of
+  // the full query concurrently. Sub-queries fetch a subset of the full
+  // query's (type, label, as_leaf) slots, so one plan serves them all.
+  engine::FetchPlan plan;
+  if (direct) {
+    plan = engine::FetchPlan(*expanded);
+    Clock::time_point fetch_started = Clock::now();
+    const engine::EncodedTree tree = engine::EncodedTree::Of(db_.tree());
+    ParallelForResult fetched = ParallelFor(
+        &pool_, plan.size(),
+        [&](size_t i) {
+          plan.Materialize(i, tree, db_.label_index(), db_.tree().labels());
+        },
+        pf);
+    parallel_tasks_->Increment(fetched.executed);
+    parallel_fetch_us_->Record(
+        static_cast<uint64_t>(MicrosSince(fetch_started)));
+    if (fetched.cancelled) {
+      out->parallel = true;
+      out->status = util::Status::DeadlineExceeded(
+          "deadline expired during parallel evaluation");
+      return true;
+    }
+    exec.direct.fetch_plan = &plan;
+  }
+
+  if (disjuncts < 2) {
+    // One conjunct: only the fetch stage parallelized; evaluate inline.
+    Clock::time_point eval_started = Clock::now();
+    auto answers = db_.Execute(query, exec);
+    parallel_eval_us_->Record(static_cast<uint64_t>(MicrosSince(eval_started)));
+    if (answers.ok()) {
+      out->answers = std::move(*answers);
+    } else {
+      out->status = answers.status();
+    }
+    out->parallel = true;
+    return true;
+  }
+
+  // Stage 2: evaluate the disjuncts concurrently, each for the full
+  // top n. Per-disjunct top-n lists suffice for the exact global top n:
+  // every global answer's cost is its minimum over the disjuncts, and
+  // any disjunct entry outside that disjunct's top n is dominated by n
+  // better (cost, root) pairs which also reach the merge.
+  struct Part {
+    util::Status status = util::Status::OK();
+    std::vector<engine::QueryAnswer> answers;
+    engine::SchemaEvalStats schema_stats;
+    engine::EvalStats direct_stats;
+  };
+  std::vector<query::Query> subqueries;
+  subqueries.reserve(disjuncts);
+  for (const query::ConjunctiveQuery& conjunct : *separated) {
+    subqueries.push_back(conjunct.ToQuery());
+  }
+  std::vector<Part> parts(disjuncts);
+  Clock::time_point eval_started = Clock::now();
+  ParallelForResult evaluated = ParallelFor(
+      &pool_, disjuncts,
+      [&](size_t i) {
+        engine::ExecOptions sub = exec;
+        sub.schema_stats_out = &parts[i].schema_stats;
+        sub.direct_stats_out = &parts[i].direct_stats;
+        auto result = db_.Execute(subqueries[i], sub);
+        if (result.ok()) {
+          parts[i].answers = std::move(*result);
+        } else {
+          parts[i].status = result.status();
+        }
+      },
+      pf);
+  parallel_tasks_->Increment(evaluated.executed);
+  parallel_eval_us_->Record(static_cast<uint64_t>(MicrosSince(eval_started)));
+  out->parallel = true;
+
+  // Surface aggregate evaluator counters: sums for work counts, max for
+  // final_k, OR for the flags — the caller sees the union of what the
+  // disjunct evaluations did.
+  if (exec.schema_stats_out != nullptr) {
+    engine::SchemaEvalStats total;
+    for (const Part& part : parts) {
+      total.rounds += part.schema_stats.rounds;
+      total.final_k = std::max(total.final_k, part.schema_stats.final_k);
+      total.entries_created += part.schema_stats.entries_created;
+      total.second_level_executed += part.schema_stats.second_level_executed;
+      total.instances_scanned += part.schema_stats.instances_scanned;
+      total.k_capped = total.k_capped || part.schema_stats.k_capped;
+      total.cancelled = total.cancelled || part.schema_stats.cancelled;
+    }
+    *exec.schema_stats_out = total;
+  }
+  if (exec.direct_stats_out != nullptr) {
+    engine::EvalStats total;
+    for (const Part& part : parts) {
+      total.fetches += part.direct_stats.fetches;
+      total.entries_fetched += part.direct_stats.entries_fetched;
+      total.list_ops += part.direct_stats.list_ops;
+      total.cache_hits += part.direct_stats.cache_hits;
+      total.cache_misses += part.direct_stats.cache_misses;
+      total.and_short_circuits += part.direct_stats.and_short_circuits;
+    }
+    *exec.direct_stats_out = total;
+  }
+
+  for (const Part& part : parts) {
+    if (!part.status.ok()) {
+      out->status = part.status;
+      return true;
+    }
+  }
+  // A deadline mid-fan-out leaves some disjuncts partial or unrun; the
+  // union of what finished is not a correct prefix of the global
+  // ranking, so the request fails rather than under-answer silently.
+  bool fired = evaluated.cancelled;
+  for (const Part& part : parts) {
+    fired = fired || part.schema_stats.cancelled;
+  }
+  if (fired) {
+    out->status = util::Status::DeadlineExceeded(
+        "deadline expired during parallel evaluation");
+    if (exec.schema_stats_out != nullptr) {
+      exec.schema_stats_out->cancelled = true;
+    }
+    return true;
+  }
+
+  // Stage 3: k-way merge of the per-disjunct rankings (first occurrence
+  // of a root wins = its minimum cost over the disjuncts).
+  Clock::time_point merge_started = Clock::now();
+  std::vector<std::vector<engine::RootCost>> lists(disjuncts);
+  for (size_t i = 0; i < disjuncts; ++i) {
+    lists[i].reserve(parts[i].answers.size());
+    for (const engine::QueryAnswer& answer : parts[i].answers) {
+      lists[i].push_back({answer.root, answer.cost});
+    }
+  }
+  std::vector<engine::RootCost> merged = engine::MergeTopN(lists, exec.n);
+  out->answers.reserve(merged.size());
+  for (const engine::RootCost& rc : merged) {
+    out->answers.push_back({rc.root, rc.cost});
+  }
+  parallel_merge_us_->Record(static_cast<uint64_t>(MicrosSince(merge_started)));
+  return true;
+}
+
 void QueryService::InvalidateCache() { cache_.Invalidate(); }
 
 QueryService::Snapshot QueryService::GetSnapshot() const {
@@ -182,6 +436,8 @@ QueryService::Snapshot QueryService::GetSnapshot() const {
   snapshot.failed = failed_->Value();
   snapshot.deadline_exceeded = deadline_exceeded_->Value();
   snapshot.truncated = truncated_->Value();
+  snapshot.abandoned = abandoned_->Value();
+  snapshot.parallel_tasks = parallel_tasks_->Value();
   snapshot.cache = cache_.GetStats();
   return snapshot;
 }

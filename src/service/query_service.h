@@ -6,6 +6,16 @@
 // flagged `truncated`), an LRU result cache, and a metrics registry
 // covering the whole request lifecycle.
 //
+// Intra-query parallelism (parallelism > 1): a request is decomposed
+// into the conjunctive disjuncts of its separated representation
+// (paper Section 3), the disjuncts are evaluated concurrently on the
+// same worker pool via ParallelFor (deadlock-free — see parallel.h),
+// and their per-disjunct top-n lists are k-way merged into the global
+// top n. The direct strategy additionally materializes all per-label
+// index fetches concurrently up front (engine::FetchPlan). Parallel
+// results are bit-identical to serial execution; see DESIGN.md for the
+// argument and the one caveat (schema-strategy k-capping).
+//
 // Safe because Database's const query paths are thread-safe (see the
 // contract in engine/database.h): workers share one Database without
 // locks; all service-side shared state (queue, cache, metrics) locks
@@ -33,6 +43,10 @@ struct ServiceOptions {
   size_t cache_capacity = 256;
   /// Deadline applied to requests that don't set one; zero = none.
   std::chrono::milliseconds default_deadline{0};
+  /// Default intra-query parallelism (concurrent executors per request,
+  /// including the thread running the request). 1 = serial; requests
+  /// can override per-call. Results are identical either way.
+  size_t parallelism = 1;
 };
 
 struct QueryRequest {
@@ -47,6 +61,8 @@ struct QueryRequest {
   std::chrono::milliseconds deadline{0};
   /// Skip cache lookup and insertion for this request.
   bool bypass_cache = false;
+  /// Intra-query parallelism override; 0 = ServiceOptions::parallelism.
+  size_t parallelism = 0;
 };
 
 struct QueryResponse {
@@ -56,6 +72,9 @@ struct QueryResponse {
   /// short prefix of the best results (schema strategy only).
   bool truncated = false;
   bool cache_hit = false;
+  /// The parallel evaluation path ran (disjunct fan-out and/or
+  /// concurrent fetch). False for serial execution and cache hits.
+  bool parallel = false;
   int64_t queue_micros = 0;  // admission-to-start wait
   int64_t exec_micros = 0;   // parse + evaluate (0 on cache hit)
   int64_t total_micros = 0;  // admission-to-response
@@ -66,7 +85,8 @@ class QueryService {
   /// `db` must outlive the service and must not be mutated (moved-from,
   /// destroyed) while the service exists.
   QueryService(const engine::Database& db, ServiceOptions options);
-  /// Drains queued requests, then joins the workers.
+  /// Abandons queued requests (their futures resolve with kUnavailable)
+  /// and joins the workers; in-flight requests finish first.
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -93,6 +113,8 @@ class QueryService {
     uint64_t failed = 0;
     uint64_t deadline_exceeded = 0;
     uint64_t truncated = 0;
+    uint64_t abandoned = 0;       // queued requests dropped at shutdown
+    uint64_t parallel_tasks = 0;  // ParallelFor iterations executed
     ResultCache::Stats cache;
   };
   Snapshot GetSnapshot() const;
@@ -108,6 +130,15 @@ class QueryService {
 
   /// The worker-side request lifecycle (also the ExecuteNow body).
   QueryResponse Run(QueryRequest& request, Clock::time_point admitted);
+
+  /// Parallel evaluation of a parsed query. Returns false when the
+  /// request has no exploitable parallelism (full-scan baseline,
+  /// separated representation too large, single disjunct under the
+  /// schema strategy); the caller then executes serially with `exec`
+  /// untouched. Returns true with `out` filled otherwise.
+  bool RunParallel(const query::Query& query, engine::ExecOptions& exec,
+                   size_t parallelism, const std::function<bool()>& cancelled,
+                   QueryResponse* out);
 
   std::chrono::milliseconds EffectiveDeadline(
       const QueryRequest& request) const {
@@ -128,11 +159,16 @@ class QueryService {
   Counter* truncated_;
   Counter* cache_hits_;
   Counter* cache_misses_;
+  Counter* abandoned_;
+  Counter* parallel_tasks_;
   Gauge* queue_depth_;
   Gauge* running_;
   LatencyHistogram* queue_wait_us_;
   LatencyHistogram* exec_latency_us_;
   LatencyHistogram* total_latency_us_;
+  LatencyHistogram* parallel_fetch_us_;
+  LatencyHistogram* parallel_eval_us_;
+  LatencyHistogram* parallel_merge_us_;
 
   ThreadPool pool_;  // last member: workers stop before metrics die
 };

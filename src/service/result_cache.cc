@@ -20,15 +20,14 @@ uint32_t FingerprintCostModel(const cost::CostModel& model) {
   return util::Crc32c(model.ToConfigString());
 }
 
-std::optional<std::vector<engine::QueryAnswer>> ResultCache::Lookup(
-    const CacheKey& key) {
-  if (capacity_ == 0) return std::nullopt;
+CachedAnswers ResultCache::Lookup(const CacheKey& key) {
+  if (capacity_ == 0) return nullptr;
   std::string encoded = key.Encode();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(encoded);
   if (it == index_.end()) {
     ++misses_;
-    return std::nullopt;
+    return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
@@ -39,14 +38,18 @@ void ResultCache::Insert(const CacheKey& key,
                          std::vector<engine::QueryAnswer> answers) {
   if (capacity_ == 0) return;
   std::string encoded = key.Encode();
+  // Allocate outside the lock; readers holding the old pointer keep it
+  // alive independently of the slot.
+  auto shared = std::make_shared<const std::vector<engine::QueryAnswer>>(
+      std::move(answers));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(encoded);
   if (it != index_.end()) {
-    it->second->answers = std::move(answers);
+    it->second->answers = std::move(shared);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Slot{encoded, std::move(answers)});
+  lru_.push_front(Slot{encoded, std::move(shared)});
   index_.emplace(std::move(encoded), lru_.begin());
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);

@@ -8,16 +8,18 @@
 // results may be inserted; partial (deadline-cut) answers are not
 // cacheable.
 //
-// Thread-safe; one mutex around the list + map. The values are small
-// (root id + cost per answer, bounded by n), so copies out of the cache
-// are cheap next to evaluation.
+// Thread-safe; one mutex around the list + map. Answer vectors are held
+// behind shared_ptr<const ...>, so a hit hands back a reference with
+// O(1) work under the lock (a splice plus a pointer copy — no answer
+// copy), and the vector stays alive for the caller even if the entry is
+// evicted or invalidated a moment later.
 #ifndef APPROXQL_SERVICE_RESULT_CACHE_H_
 #define APPROXQL_SERVICE_RESULT_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +42,10 @@ struct CacheKey {
 /// component that keeps per-query cost tables from aliasing.
 uint32_t FingerprintCostModel(const cost::CostModel& model);
 
+/// An immutable, shareable answer list; what Lookup returns and Insert
+/// stores.
+using CachedAnswers = std::shared_ptr<const std::vector<engine::QueryAnswer>>;
+
 class ResultCache {
  public:
   struct Stats {
@@ -58,8 +64,10 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  /// Returns the cached answers and refreshes recency, or nullopt.
-  std::optional<std::vector<engine::QueryAnswer>> Lookup(const CacheKey& key);
+  /// Returns the cached answers and refreshes recency, or nullptr. The
+  /// returned vector is immutable and remains valid after eviction or
+  /// Invalidate.
+  CachedAnswers Lookup(const CacheKey& key);
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used
   /// entries beyond capacity.
@@ -73,7 +81,7 @@ class ResultCache {
  private:
   struct Slot {
     std::string key;
-    std::vector<engine::QueryAnswer> answers;
+    CachedAnswers answers;
   };
 
   const size_t capacity_;

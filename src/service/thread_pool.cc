@@ -33,11 +33,16 @@ size_t ThreadPool::QueueDepth() const {
   return queue_.size();
 }
 
-void ThreadPool::Shutdown() {
+void ThreadPool::Shutdown(DrainMode mode) {
+  std::deque<std::function<void()>> abandoned;
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    if (mode == DrainMode::kAbandon) abandoned.swap(queue_);
   }
+  // Destroy abandoned tasks outside the lock: their captures may run
+  // arbitrary destructors (promise guards that notify waiters, etc.).
+  abandoned.clear();
   work_available_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();

@@ -16,6 +16,12 @@
 
 namespace approxql::service {
 
+/// What happens to tasks still queued when Shutdown is called.
+enum class DrainMode {
+  kDrain,    // run everything already admitted, then stop
+  kAbandon,  // destroy queued tasks without running them
+};
+
 class ThreadPool {
  public:
   struct Options {
@@ -41,9 +47,12 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Stops admission, drains the queue, joins workers. Idempotent;
-  /// called by the destructor.
-  void Shutdown();
+  /// Stops admission, then either drains or abandons the queue, and
+  /// joins workers. Idempotent (later calls find an empty queue); the
+  /// destructor calls Shutdown(kDrain). Abandoned tasks are destroyed
+  /// without running — callers whose tasks carry completion obligations
+  /// (promises) must discharge them from the task's destructor.
+  void Shutdown(DrainMode mode = DrainMode::kDrain);
 
  private:
   void WorkerLoop();

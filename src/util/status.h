@@ -29,6 +29,7 @@ enum class StatusCode : uint8_t {
   kInternal,
   kResourceExhausted,  // admission queue full, capacity limit hit
   kDeadlineExceeded,   // request deadline passed before completion
+  kUnavailable,        // service shutting down; retry against another
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...).
@@ -72,6 +73,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +90,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   std::string ToString() const;
 

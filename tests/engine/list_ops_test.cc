@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <vector>
 
 #include "util/random.h"
@@ -201,6 +203,104 @@ TEST(SortBestNTest, SortsFiltersTruncates) {
   auto all = SortBestN(list, SIZE_MAX);
   ASSERT_EQ(all.size(), 3u);  // infinite cost_leaf filtered
   EXPECT_EQ(all[2].cost, 5);
+}
+
+TEST(SortTopNTest, MatchesFullSortForEveryN) {
+  util::Rng rng(20020314);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<RootCost> list;
+    size_t size = rng.Uniform(40);
+    for (size_t i = 0; i < size; ++i) {
+      // Few distinct costs and roots force tie-breaking through both
+      // comparator components.
+      list.push_back({static_cast<doc::NodeId>(rng.Uniform(20)),
+                      static_cast<cost::Cost>(rng.Uniform(5))});
+    }
+    std::vector<RootCost> reference = list;
+    std::sort(reference.begin(), reference.end(),
+              [](const RootCost& a, const RootCost& b) {
+                return a.cost != b.cost ? a.cost < b.cost : a.root < b.root;
+              });
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size, SIZE_MAX}) {
+      std::vector<RootCost> partial = list;
+      SortTopN(&partial, n);
+      std::vector<RootCost> expected = reference;
+      if (expected.size() > n) expected.resize(n);
+      EXPECT_EQ(partial, expected) << "size=" << size << " n=" << n;
+    }
+  }
+}
+
+TEST(MergeTopNTest, DedupKeepsMinimumCost) {
+  // Root 5 appears in both lists; the cheaper occurrence must win.
+  std::vector<std::vector<RootCost>> lists = {
+      {{5, 1}, {7, 4}},
+      {{3, 2}, {5, 3}},
+  };
+  auto merged = MergeTopN(lists, SIZE_MAX);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], (RootCost{5, 1}));
+  EXPECT_EQ(merged[1], (RootCost{3, 2}));
+  EXPECT_EQ(merged[2], (RootCost{7, 4}));
+}
+
+TEST(MergeTopNTest, TruncatesToNAndHandlesEmpty) {
+  std::vector<std::vector<RootCost>> lists = {
+      {{1, 1}, {2, 2}, {3, 3}},
+      {},
+      {{4, 1}, {5, 5}},
+  };
+  auto merged = MergeTopN(lists, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  // Equal costs tie-break by root.
+  EXPECT_EQ(merged[0], (RootCost{1, 1}));
+  EXPECT_EQ(merged[1], (RootCost{4, 1}));
+  EXPECT_TRUE(MergeTopN({}, 10).empty());
+  EXPECT_TRUE(MergeTopN({{}, {}}, 10).empty());
+  EXPECT_TRUE(MergeTopN(lists, 0).empty());
+}
+
+TEST(MergeTopNTest, MatchesConcatenateSortDedup) {
+  util::Rng rng(7001);
+  for (int round = 0; round < 20; ++round) {
+    size_t k = 1 + rng.Uniform(5);
+    std::vector<std::vector<RootCost>> lists(k);
+    for (auto& list : lists) {
+      // Unique roots per list, sorted by (cost, root) — the contract the
+      // per-disjunct evaluators guarantee.
+      size_t size = rng.Uniform(15);
+      std::vector<doc::NodeId> roots;
+      for (size_t i = 0; i < size; ++i) {
+        roots.push_back(static_cast<doc::NodeId>(rng.Uniform(30)));
+      }
+      std::sort(roots.begin(), roots.end());
+      roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+      for (doc::NodeId root : roots) {
+        list.push_back({root, static_cast<cost::Cost>(rng.Uniform(8))});
+      }
+      std::sort(list.begin(), list.end(),
+                [](const RootCost& a, const RootCost& b) {
+                  return a.cost != b.cost ? a.cost < b.cost : a.root < b.root;
+                });
+    }
+    // Oracle: concatenate, keep the min cost per root, sort, truncate.
+    std::map<doc::NodeId, cost::Cost> best;
+    for (const auto& list : lists) {
+      for (const RootCost& rc : list) {
+        auto [it, inserted] = best.emplace(rc.root, rc.cost);
+        if (!inserted && rc.cost < it->second) it->second = rc.cost;
+      }
+    }
+    std::vector<RootCost> expected;
+    for (const auto& [root, costv] : best) expected.push_back({root, costv});
+    std::sort(expected.begin(), expected.end(),
+              [](const RootCost& a, const RootCost& b) {
+                return a.cost != b.cost ? a.cost < b.cost : a.root < b.root;
+              });
+    size_t n = rng.Uniform(10);
+    if (expected.size() > n) expected.resize(n);
+    EXPECT_EQ(MergeTopN(lists, n), expected) << "round " << round;
+  }
 }
 
 // Algebraic properties on random lists.

@@ -1,0 +1,213 @@
+// Bit-identical results: the parallel evaluation path (disjunct fan-out
+// + concurrent fetch + k-way merge) must return exactly the answers the
+// serial path returns, in the same order, for both strategies, at every
+// parallelism level. Queries come from the paper's benchmark patterns
+// plus an or-heavy pattern whose separated representation has eight
+// disjuncts.
+//
+// The comparison holds whenever no deadline fires and the schema
+// evaluator does not hit its max_k cap; runs where either side reports
+// k_capped are skipped (a capped search may legitimately return fewer
+// answers than an uncapped one).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+#include "service/query_service.h"
+
+namespace approxql {
+namespace {
+
+using engine::Database;
+using engine::Strategy;
+using service::QueryRequest;
+using service::QueryResponse;
+using service::QueryService;
+using service::ServiceOptions;
+
+constexpr size_t kResultBound = 10;
+
+Database MakeSyntheticDb() {
+  gen::XmlGenOptions options;
+  options.seed = 20020314;
+  options.total_elements = 4000;
+  options.vocabulary = 800;
+  gen::XmlGenerator generator(options);
+  cost::CostModel model;
+  auto tree = generator.GenerateTree(model);
+  APPROXQL_CHECK(tree.ok()) << tree.status();
+  auto db = Database::FromDataTree(std::move(tree).value(), model);
+  APPROXQL_CHECK(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+// Eight disjuncts: three independent binary "or"s.
+constexpr std::string_view kOrHeavyPattern =
+    "name[(name[term] or term) and (term or term) and (name[term] or term)]";
+
+std::vector<gen::GeneratedQuery> MakeQueries(const Database& db) {
+  gen::QueryGenOptions options;
+  options.seed = 99;
+  options.renamings_per_label = 3;
+  gen::QueryGenerator generator(db, options);
+  std::vector<gen::GeneratedQuery> queries;
+  constexpr std::string_view kPatterns[] = {gen::kPattern1, gen::kPattern2,
+                                            gen::kPattern3, kOrHeavyPattern};
+  for (size_t i = 0; i < 16; ++i) {
+    auto generated = generator.Generate(kPatterns[i % 4]);
+    APPROXQL_CHECK(generated.ok()) << generated.status();
+    queries.push_back(std::move(generated).value());
+  }
+  return queries;
+}
+
+std::string Canonical(const QueryResponse& response) {
+  if (!response.status.ok()) return "error: " + response.status.ToString();
+  std::string out;
+  for (const auto& answer : response.answers) {
+    out += std::to_string(answer.root) + ":" + std::to_string(answer.cost) +
+           ";";
+  }
+  return out;
+}
+
+class ParallelEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(MakeSyntheticDb());
+    queries_ = new std::vector<gen::GeneratedQuery>(MakeQueries(*db_));
+  }
+  static void TearDownTestSuite() {
+    delete queries_;
+    queries_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static std::vector<gen::GeneratedQuery>* queries_;
+};
+
+Database* ParallelEquivalenceTest::db_ = nullptr;
+std::vector<gen::GeneratedQuery>* ParallelEquivalenceTest::queries_ = nullptr;
+
+void CheckStrategy(const Database& db,
+                   const std::vector<gen::GeneratedQuery>& queries,
+                   Strategy strategy) {
+  QueryService service(db, ServiceOptions{.num_threads = 4,
+                                          .queue_capacity = 64,
+                                          .cache_capacity = 0});
+  for (const gen::GeneratedQuery& generated : queries) {
+    QueryRequest request;
+    request.query_text = generated.text;
+    request.exec.strategy = strategy;
+    request.exec.n = kResultBound;
+    request.exec.cost_model = &generated.cost_model;
+    request.bypass_cache = true;
+
+    engine::SchemaEvalStats serial_stats;
+    request.exec.schema_stats_out = &serial_stats;
+    request.parallelism = 1;
+    QueryResponse serial = service.ExecuteNow(request);
+    ASSERT_TRUE(serial.status.ok())
+        << generated.text << ": " << serial.status;
+    EXPECT_FALSE(serial.parallel);
+    const std::string expected = Canonical(serial);
+
+    // The serial service path must itself match the raw engine.
+    auto baseline = db.Execute(generated.text, request.exec);
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+    std::string engine_canonical;
+    for (const auto& answer : *baseline) {
+      engine_canonical += std::to_string(answer.root) + ":" +
+                          std::to_string(answer.cost) + ";";
+    }
+    EXPECT_EQ(expected, engine_canonical) << generated.text;
+
+    for (size_t parallelism : {size_t{2}, size_t{4}, size_t{8}}) {
+      engine::SchemaEvalStats parallel_stats;
+      request.exec.schema_stats_out = &parallel_stats;
+      request.parallelism = parallelism;
+      QueryResponse parallel = service.ExecuteNow(request);
+      ASSERT_TRUE(parallel.status.ok())
+          << generated.text << " @" << parallelism << ": " << parallel.status;
+      // Bit-identity is guaranteed only when the incremental evaluator
+      // did not hit its max_k cap: per-disjunct searches cap later than
+      // the whole-query search, so a capped run may (legitimately)
+      // return *more* answers than its counterpart.
+      if (serial_stats.k_capped || parallel_stats.k_capped) continue;
+      EXPECT_EQ(Canonical(parallel), expected)
+          << generated.text << " @" << parallelism;
+    }
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, DirectStrategyBitIdentical) {
+  CheckStrategy(*db_, *queries_, Strategy::kDirect);
+}
+
+TEST_F(ParallelEquivalenceTest, SchemaStrategyBitIdentical) {
+  CheckStrategy(*db_, *queries_, Strategy::kSchema);
+}
+
+TEST_F(ParallelEquivalenceTest, ParallelFlagSetOnFanOut) {
+  QueryService service(*db_, ServiceOptions{.num_threads = 4,
+                                            .queue_capacity = 64,
+                                            .cache_capacity = 0,
+                                            .parallelism = 4});
+  // The or-heavy pattern always decomposes into multiple disjuncts.
+  const gen::GeneratedQuery& generated = (*queries_)[3];
+  QueryRequest request;
+  request.query_text = generated.text;
+  request.exec.strategy = Strategy::kDirect;
+  request.exec.n = kResultBound;
+  request.exec.cost_model = &generated.cost_model;
+  request.bypass_cache = true;
+  QueryResponse response = service.ExecuteNow(request);
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_TRUE(response.parallel);
+  EXPECT_GT(service.GetSnapshot().parallel_tasks, 0u);
+}
+
+TEST_F(ParallelEquivalenceTest, SubmittedParallelRequestsAgreeWithSerial) {
+  // The same property through the admission queue: concurrent parallel
+  // requests on a shared pool (workers forking into their own pool).
+  QueryService service(*db_, ServiceOptions{.num_threads = 4,
+                                            .queue_capacity = 64,
+                                            .cache_capacity = 0,
+                                            .parallelism = 4});
+  const size_t count = queries_->size();
+  std::vector<std::string> expected(count);
+  std::vector<engine::SchemaEvalStats> serial_stats(count);
+  std::vector<engine::SchemaEvalStats> parallel_stats(count);
+  std::vector<std::future<QueryResponse>> futures;
+  for (size_t i = 0; i < count; ++i) {
+    const gen::GeneratedQuery& generated = (*queries_)[i];
+    QueryRequest request;
+    request.query_text = generated.text;
+    request.exec.strategy = Strategy::kSchema;
+    request.exec.n = kResultBound;
+    request.exec.cost_model = &generated.cost_model;
+    request.bypass_cache = true;
+    request.exec.schema_stats_out = &serial_stats[i];
+    request.parallelism = 1;
+    expected[i] = Canonical(service.ExecuteNow(request));
+    request.exec.schema_stats_out = &parallel_stats[i];
+    request.parallelism = 4;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    QueryResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok())
+        << (*queries_)[i].text << ": " << response.status;
+    if (serial_stats[i].k_capped || parallel_stats[i].k_capped) continue;
+    EXPECT_EQ(Canonical(response), expected[i]) << (*queries_)[i].text;
+  }
+}
+
+}  // namespace
+}  // namespace approxql

@@ -1,0 +1,247 @@
+#include "service/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "service/thread_pool.h"
+
+namespace approxql::service {
+namespace {
+
+// --- CountDownLatch --------------------------------------------------------
+
+TEST(CountDownLatchTest, WaitReturnsOnceCountReachesZero) {
+  CountDownLatch latch(3);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    latch.Wait();
+    released.store(true);
+  });
+  latch.CountDown();
+  EXPECT_FALSE(released.load());
+  latch.CountDown(2);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(CountDownLatchTest, ZeroCountNeverBlocks) {
+  CountDownLatch latch(0);
+  latch.Wait();  // must return immediately
+}
+
+TEST(CountDownLatchTest, OvercountingSaturatesAtZero) {
+  CountDownLatch latch(1);
+  latch.CountDown(5);
+  latch.Wait();
+}
+
+// --- ParallelFor -----------------------------------------------------------
+
+TEST(ParallelForTest, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool({.num_threads = 4, .queue_capacity = 64});
+  constexpr size_t kCount = 100;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelForResult result =
+      ParallelFor(&pool, kCount, [&](size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(result.executed, kCount);
+  EXPECT_EQ(result.skipped, 0u);
+  EXPECT_FALSE(result.cancelled);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "iteration " << i;
+  }
+}
+
+TEST(ParallelForTest, HandlesEmptyAndSingleIteration) {
+  ThreadPool pool({.num_threads = 2, .queue_capacity = 8});
+  EXPECT_EQ(ParallelFor(&pool, 0, [](size_t) { FAIL(); }).executed, 0u);
+  std::atomic<int> ran{0};
+  EXPECT_EQ(ParallelFor(&pool, 1, [&](size_t) { ran++; }).executed, 1u);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::atomic<size_t> sum{0};
+  ParallelForResult result =
+      ParallelFor(nullptr, 10, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(result.executed, 10u);
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ParallelForTest, CompletesWhenEveryHelperIsRejected) {
+  // Queue capacity 0: every TrySubmit fails, so the caller must finish
+  // the whole loop alone — the deadlock-freedom guarantee.
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 0});
+  std::atomic<size_t> sum{0};
+  ParallelForResult result =
+      ParallelFor(&pool, 10, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(result.executed, 10u);
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ParallelForTest, CompletesWhileWorkersAreAllBusy) {
+  // Occupy every worker, then fork: helpers sit in the queue unserved
+  // until the blockers finish, but the caller claims iterations itself,
+  // so the fork-join completes even if no helper ever runs.
+  ThreadPool pool({.num_threads = 2, .queue_capacity = 64});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([gate] { gate.wait(); }));
+  }
+  std::atomic<size_t> sum{0};
+  ParallelForResult result =
+      ParallelFor(&pool, 20, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(result.executed, 20u);
+  EXPECT_EQ(sum.load(), 190u);
+  release.set_value();
+}
+
+TEST(ParallelForTest, NestedForksOnTheSamePoolDoNotDeadlock) {
+  // Workers running ParallelFor callers fork sub-loops into the pool
+  // they occupy; each caller can always finish its own iterations.
+  ThreadPool pool({.num_threads = 2, .queue_capacity = 64});
+  std::atomic<size_t> total{0};
+  ParallelForResult outer = ParallelFor(&pool, 4, [&](size_t) {
+    ParallelFor(&pool, 8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(outer.executed, 4u);
+  EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(ParallelForTest, FirstExceptionPropagatesToCaller) {
+  ThreadPool pool({.num_threads = 2, .queue_capacity = 64});
+  EXPECT_THROW(ParallelFor(&pool, 16,
+                           [](size_t i) {
+                             if (i % 2 == 1) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, CancellationSkipsUnclaimedIterations) {
+  // parallelism 1 = the caller alone, in index order: deterministic.
+  std::atomic<bool> fire{false};
+  std::atomic<size_t> bodies{0};
+  ParallelForOptions options;
+  options.parallelism = 1;
+  options.cancelled = [&] { return fire.load(); };
+  ParallelForResult result = ParallelFor(
+      nullptr, 10,
+      [&](size_t i) {
+        bodies.fetch_add(1);
+        if (i == 2) fire.store(true);
+      },
+      options);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.executed, 3u);
+  EXPECT_EQ(result.skipped, 7u);
+  EXPECT_EQ(result.executed + result.skipped, 10u);
+  EXPECT_EQ(bodies.load(), 3u);
+}
+
+TEST(ParallelForTest, EveryIterationAccountedForUnderConcurrentCancel) {
+  ThreadPool pool({.num_threads = 4, .queue_capacity = 64});
+  std::atomic<bool> fire{false};
+  ParallelForOptions options;
+  options.cancelled = [&] { return fire.load(); };
+  ParallelForResult result = ParallelFor(
+      &pool, 200,
+      [&](size_t i) {
+        if (i == 50) fire.store(true);
+      },
+      options);
+  EXPECT_EQ(result.executed + result.skipped, 200u);
+  EXPECT_TRUE(result.cancelled);
+}
+
+// --- ThreadPool::Shutdown(DrainMode) ---------------------------------------
+
+TEST(DrainModeTest, DrainRunsEveryQueuedTask) {
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 8});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> started;
+  ASSERT_TRUE(pool.TrySubmit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  ASSERT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  release.set_value();
+  pool.Shutdown(DrainMode::kDrain);
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(DrainModeTest, AbandonDestroysQueuedTasksWithoutRunning) {
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 8});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> started;
+  ASSERT_TRUE(pool.TrySubmit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  ASSERT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.QueueDepth(), 2u);
+  // Release the blocker only after Shutdown has swapped the queue out
+  // (observable as QueueDepth() == 0), so neither queued task can be
+  // picked up before abandonment — the sequencing is deterministic.
+  std::thread releaser([&] {
+    while (pool.QueueDepth() != 0) std::this_thread::yield();
+    release.set_value();
+  });
+  pool.Shutdown(DrainMode::kAbandon);
+  releaser.join();
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(DrainModeTest, AbandonedTaskDestructorsRun) {
+  // The promise-guard pattern in the query service relies on destroyed-
+  // not-run tasks still discharging obligations from their destructors.
+  struct Marker {
+    explicit Marker(std::atomic<int>* count) : count_(count) {}
+    ~Marker() {
+      if (count_ != nullptr) count_->fetch_add(1);
+    }
+    Marker(Marker&& other) noexcept : count_(other.count_) {
+      other.count_ = nullptr;
+    }
+    Marker(const Marker&) = delete;
+    std::atomic<int>* count_;
+  };
+  std::atomic<int> destroyed{0};
+  {
+    ThreadPool pool({.num_threads = 1, .queue_capacity = 8});
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    std::promise<void> started;
+    ASSERT_TRUE(pool.TrySubmit([&started, gate] {
+      started.set_value();
+      gate.wait();
+    }));
+    started.get_future().wait();
+    auto marker = std::make_shared<Marker>(&destroyed);
+    ASSERT_TRUE(pool.TrySubmit([marker] {}));
+    marker.reset();
+    EXPECT_EQ(destroyed.load(), 0);
+    std::thread releaser([&] {
+      while (pool.QueueDepth() != 0) std::this_thread::yield();
+      release.set_value();
+    });
+    pool.Shutdown(DrainMode::kAbandon);
+    releaser.join();
+  }
+  EXPECT_EQ(destroyed.load(), 1);
+}
+
+}  // namespace
+}  // namespace approxql::service

@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/thread_pool.h"
@@ -234,6 +237,91 @@ TEST(QueryServiceTest, ParseErrorCountsAsFailed) {
   QueryResponse response = service.Submit(request).get();
   EXPECT_TRUE(response.status.IsParseError());
   EXPECT_EQ(service.GetSnapshot().failed, 1u);
+}
+
+TEST(QueryServiceTest, ParallelRequestMatchesSerialAndSetsFlag) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 2});
+  // Two disjuncts under the schema strategy; parallel and serial must
+  // rank identically.
+  QueryRequest request;
+  request.query_text = R"(cd[title["piano" or "goldberg"]])";
+  request.exec.n = SIZE_MAX;
+  request.bypass_cache = true;
+  request.parallelism = 1;
+  QueryResponse serial = service.ExecuteNow(request);
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+  EXPECT_FALSE(serial.parallel);
+  request.parallelism = 4;
+  QueryResponse parallel = service.ExecuteNow(request);
+  ASSERT_TRUE(parallel.status.ok()) << parallel.status;
+  EXPECT_TRUE(parallel.parallel);
+  ASSERT_EQ(parallel.answers.size(), serial.answers.size());
+  for (size_t i = 0; i < serial.answers.size(); ++i) {
+    EXPECT_EQ(parallel.answers[i].root, serial.answers[i].root);
+    EXPECT_EQ(parallel.answers[i].cost, serial.answers[i].cost);
+  }
+  EXPECT_GT(service.GetSnapshot().parallel_tasks, 0u);
+}
+
+TEST(QueryServiceTest, ParallelAndSerialShareCacheEntries) {
+  Database db = MakeDb();
+  QueryService service(db, ServiceOptions{.num_threads = 2});
+  QueryRequest request;
+  request.query_text = R"(cd[title["piano" or "goldberg"]])";
+  request.parallelism = 4;
+  QueryResponse first = service.ExecuteNow(request);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  // Parallelism does not affect results, so a serial request may serve
+  // from the parallel run's entry.
+  request.parallelism = 1;
+  QueryResponse second = service.ExecuteNow(request);
+  EXPECT_TRUE(second.cache_hit);
+}
+
+TEST(QueryServiceTest, DestructionResolvesQueuedFuturesUnavailable) {
+  Database db = MakeDb();
+  std::future<QueryResponse> running;
+  std::future<QueryResponse> queued;
+  std::thread releaser;
+  {
+    QueryService service(
+        db, ServiceOptions{.num_threads = 1, .queue_capacity = 8});
+    // Park the only worker inside a request via a blocking cancellation
+    // hook, then queue a second request behind it.
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    auto started = std::make_shared<std::promise<void>>();
+    std::future<void> started_future = started->get_future();
+    QueryRequest blocker;
+    blocker.query_text = kQuery;
+    blocker.exec.schema.cancelled = [gate, started]() mutable {
+      if (started != nullptr) {
+        started->set_value();
+        started.reset();
+      }
+      gate.wait();
+      return false;
+    };
+    running = service.Submit(blocker);
+    started_future.wait();
+    QueryRequest waiting;
+    waiting.query_text = kQuery;
+    queued = service.Submit(waiting);
+    // Unblock the worker only once the queued request's future resolves
+    // — which abandonment does during ~QueryService. In-flight work is
+    // never abandoned, so `running` still completes normally.
+    releaser = std::thread([&queued, release = std::move(release)]() mutable {
+      queued.wait();
+      release.set_value();
+    });
+  }
+  releaser.join();
+  QueryResponse abandoned = queued.get();
+  EXPECT_TRUE(abandoned.status.IsUnavailable()) << abandoned.status;
+  QueryResponse finished = running.get();
+  EXPECT_TRUE(finished.status.ok()) << finished.status;
 }
 
 TEST(QueryServiceTest, MetricsDumpCoversLifecycle) {

@@ -27,11 +27,11 @@ TEST(ResultCacheTest, HitReturnsInsertedAnswers) {
   ResultCache cache(4);
   cache.Insert(Key("a"), Answers(7, 3));
   auto hit = cache.Lookup(Key("a"));
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_NE(hit, nullptr);
   ASSERT_EQ(hit->size(), 1u);
   EXPECT_EQ((*hit)[0].root, 7u);
   EXPECT_EQ((*hit)[0].cost, 3);
-  EXPECT_FALSE(cache.Lookup(Key("b")).has_value());
+  EXPECT_EQ(cache.Lookup(Key("b")), nullptr);
   ResultCache::Stats stats = cache.GetStats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
@@ -42,11 +42,11 @@ TEST(ResultCacheTest, CapacityEvictsLeastRecentlyUsed) {
   cache.Insert(Key("a"), Answers(1, 0));
   cache.Insert(Key("b"), Answers(2, 0));
   // Touch "a" so "b" becomes the LRU entry.
-  ASSERT_TRUE(cache.Lookup(Key("a")).has_value());
+  ASSERT_NE(cache.Lookup(Key("a")), nullptr);
   cache.Insert(Key("c"), Answers(3, 0));
-  EXPECT_TRUE(cache.Lookup(Key("a")).has_value());
-  EXPECT_FALSE(cache.Lookup(Key("b")).has_value());
-  EXPECT_TRUE(cache.Lookup(Key("c")).has_value());
+  EXPECT_NE(cache.Lookup(Key("a")), nullptr);
+  EXPECT_EQ(cache.Lookup(Key("b")), nullptr);
+  EXPECT_NE(cache.Lookup(Key("c")), nullptr);
   EXPECT_EQ(cache.GetStats().evictions, 1u);
   EXPECT_EQ(cache.GetStats().size, 2u);
 }
@@ -55,10 +55,10 @@ TEST(ResultCacheTest, EveryKeyComponentDiscriminates) {
   ResultCache cache(16);
   cache.Insert(Key("a", 10, 1, Strategy::kSchema), Answers(1, 0));
   // Different n, fingerprint, or strategy must all miss.
-  EXPECT_FALSE(cache.Lookup(Key("a", 20, 1, Strategy::kSchema)).has_value());
-  EXPECT_FALSE(cache.Lookup(Key("a", 10, 2, Strategy::kSchema)).has_value());
-  EXPECT_FALSE(cache.Lookup(Key("a", 10, 1, Strategy::kDirect)).has_value());
-  EXPECT_TRUE(cache.Lookup(Key("a", 10, 1, Strategy::kSchema)).has_value());
+  EXPECT_EQ(cache.Lookup(Key("a", 20, 1, Strategy::kSchema)), nullptr);
+  EXPECT_EQ(cache.Lookup(Key("a", 10, 2, Strategy::kSchema)), nullptr);
+  EXPECT_EQ(cache.Lookup(Key("a", 10, 1, Strategy::kDirect)), nullptr);
+  EXPECT_NE(cache.Lookup(Key("a", 10, 1, Strategy::kSchema)), nullptr);
 }
 
 TEST(ResultCacheTest, FingerprintDistinguishesCostModels) {
@@ -75,7 +75,7 @@ TEST(ResultCacheTest, InsertRefreshesExistingEntry) {
   cache.Insert(Key("a"), Answers(9, 4));  // refresh, no growth
   EXPECT_EQ(cache.GetStats().size, 1u);
   auto hit = cache.Lookup(Key("a"));
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_NE(hit, nullptr);
   EXPECT_EQ((*hit)[0].root, 9u);
 }
 
@@ -84,8 +84,8 @@ TEST(ResultCacheTest, InvalidateDropsEverything) {
   cache.Insert(Key("a"), Answers(1, 0));
   cache.Insert(Key("b"), Answers(2, 0));
   cache.Invalidate();
-  EXPECT_FALSE(cache.Lookup(Key("a")).has_value());
-  EXPECT_FALSE(cache.Lookup(Key("b")).has_value());
+  EXPECT_EQ(cache.Lookup(Key("a")), nullptr);
+  EXPECT_EQ(cache.Lookup(Key("b")), nullptr);
   ResultCache::Stats stats = cache.GetStats();
   EXPECT_EQ(stats.size, 0u);
   EXPECT_EQ(stats.invalidations, 2u);
@@ -96,8 +96,24 @@ TEST(ResultCacheTest, InvalidateDropsEverything) {
 TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
   ResultCache cache(0);
   cache.Insert(Key("a"), Answers(1, 0));
-  EXPECT_FALSE(cache.Lookup(Key("a")).has_value());
+  EXPECT_EQ(cache.Lookup(Key("a")), nullptr);
   EXPECT_EQ(cache.GetStats().size, 0u);
+}
+
+TEST(ResultCacheTest, HitSurvivesEvictionAndInvalidate) {
+  // Lookup hands out a shared reference, not a copy tied to the slot:
+  // the answers must stay readable after the entry is evicted,
+  // refreshed, or the whole cache is invalidated.
+  ResultCache cache(1);
+  cache.Insert(Key("a"), Answers(7, 3));
+  CachedAnswers held = cache.Lookup(Key("a"));
+  ASSERT_NE(held, nullptr);
+  cache.Insert(Key("b"), Answers(8, 1));  // evicts "a"
+  cache.Insert(Key("b"), Answers(9, 2));  // refreshes "b" in place
+  cache.Invalidate();
+  ASSERT_EQ(held->size(), 1u);
+  EXPECT_EQ((*held)[0].root, 7u);
+  EXPECT_EQ((*held)[0].cost, 3);
 }
 
 TEST(ResultCacheTest, EmptyAnswerListsAreCacheable) {
@@ -105,7 +121,7 @@ TEST(ResultCacheTest, EmptyAnswerListsAreCacheable) {
   ResultCache cache(4);
   cache.Insert(Key("nothing"), {});
   auto hit = cache.Lookup(Key("nothing"));
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_NE(hit, nullptr);
   EXPECT_TRUE(hit->empty());
 }
 
