@@ -1,7 +1,20 @@
-// Closed-loop load driver for the concurrent query service: loads a
-// database, replays a workload file (one approXQL query per line)
-// across N client threads, and prints per-pass throughput, latency
-// percentiles and the service's metrics snapshot.
+// Serving front end and load driver for the query service — three
+// modes sharing one database/workload setup:
+//
+//   in-process replay (default): loads a database, replays a workload
+//   file across N synchronous client threads against the in-process
+//   QueryService, prints per-pass throughput/latency and metrics.
+//
+//   --listen PORT: serves the loaded database over TCP (net::Server,
+//   binary wire protocol). SIGTERM/SIGINT trigger a graceful drain:
+//   stop accepting, finish in-flight requests, flush, exit with the
+//   metrics dump.
+//
+//   --connect HOST:PORT: the same closed-loop replay, but each client
+//   thread drives its own net::Client connection — a wire-level load
+//   generator. With --verify (and a locally built copy of the same
+//   database) every wire answer list is compared against the in-process
+//   path; --bench-json FILE records the per-pass report as JSON.
 //
 //   approxql_serve --xml catalog.xml --workload queries.txt
 //                  [--clients 8] [--threads 8] [--queue 128]
@@ -11,16 +24,22 @@
 //   approxql_serve --load db.apx --workload queries.txt
 //   approxql_serve --gen-data 20000 --gen 250 --repeat 4   # self-contained:
 //     synthetic collection + workload drawn from the paper's query patterns
+//   approxql_serve --gen-data 20000 --gen 250 --dump-workload q.txt
+//                  --listen 7007                           # terminal 1
+//   approxql_serve --connect 127.0.0.1:7007 --workload q.txt
+//                  --clients 8                             # terminal 2
 //
 // Each client thread is a synchronous caller: it submits one request,
 // waits for the answer, then takes the next query (so concurrency ==
 // --clients). With the default --passes 2 the second pass replays the
 // identical workload against a warm result cache — the per-pass report
 // makes the cold/warm speedup visible directly.
+#include <csignal>
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -30,6 +49,8 @@
 #include "engine/database.h"
 #include "gen/query_generator.h"
 #include "gen/xml_generator.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/query_service.h"
 #include "service/workload.h"
 #include "util/histogram.h"
@@ -37,6 +58,12 @@
 
 using approxql::engine::Database;
 using approxql::engine::Strategy;
+using approxql::net::Client;
+using approxql::net::ClientOptions;
+using approxql::net::Server;
+using approxql::net::ServerOptions;
+using approxql::net::WireRequest;
+using approxql::net::WireResponse;
 using approxql::service::QueryRequest;
 using approxql::service::QueryResponse;
 using approxql::service::QueryService;
@@ -50,6 +77,8 @@ int Usage() {
       "usage: approxql_serve (--xml FILE)... --workload FILE [options]\n"
       "       approxql_serve --load DB --workload FILE [options]\n"
       "       approxql_serve --gen-data ELEMS --gen QUERIES [options]\n"
+      "       approxql_serve ... --listen PORT        serve over TCP\n"
+      "       approxql_serve --connect HOST:PORT --workload FILE [options]\n"
       "  --clients N      concurrent client threads (default 8)\n"
       "  --threads N      service worker threads (default 8)\n"
       "  --queue N        admission queue capacity (default 128)\n"
@@ -65,7 +94,16 @@ int Usage() {
       "  --gen-data N     build a synthetic collection of ~N elements\n"
       "  --gen N          generate an N-query workload from the paper's\n"
       "                   patterns instead of --workload\n"
-      "  --seed N         generator seed (default 42)\n");
+      "  --seed N         generator seed (default 42)\n"
+      "  --listen PORT    serve the database on PORT until SIGTERM "
+      "(graceful drain)\n"
+      "  --connect H:P    replay over the wire against a running server\n"
+      "  --dump-workload F  write the generated workload to F (one query "
+      "per line)\n"
+      "  --verify         (--connect) check wire answers against the\n"
+      "                   in-process path; needs the same db flags as the "
+      "server\n"
+      "  --bench-json F   (--connect) append the per-pass wire report to F\n");
   return 2;
 }
 
@@ -76,6 +114,8 @@ struct PassResult {
   size_t truncated = 0;
   size_t failed = 0;
   size_t cache_hits = 0;
+  size_t transport_errors = 0;
+  size_t mismatches = 0;
   double wall_seconds = 0;
   approxql::util::Histogram latency_us;
 };
@@ -132,26 +172,128 @@ PassResult RunPass(QueryService& service,
   return result;
 }
 
-void PrintPass(size_t pass, const PassResult& r) {
+/// The wire flavor of RunPass: same closed loop, but each client thread
+/// owns one TCP connection. `oracle` (optional) re-executes every query
+/// in process and counts answer-list mismatches.
+PassResult RunWirePass(const std::string& host, uint16_t port,
+                       const std::vector<std::string>& workload,
+                       size_t clients, size_t repeat,
+                       const approxql::engine::ExecOptions& exec,
+                       int deadline_ms, QueryService* oracle) {
+  const size_t total = workload.size() * repeat;
+  std::atomic<size_t> next{0};
+  std::vector<approxql::util::Histogram> latencies(clients);
+  std::vector<PassResult> partials(clients);
+  approxql::util::WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      PassResult& mine = partials[c];
+      ClientOptions client_options;
+      client_options.host = host;
+      client_options.port = port;
+      Client client(client_options);
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) break;
+        WireRequest request;
+        request.query = workload[i % workload.size()];
+        request.strategy = exec.strategy;
+        request.n = exec.n;
+        request.deadline_ms = deadline_ms;
+        approxql::util::WallTimer call_timer;
+        auto response = client.Call(request);
+        latencies[c].Record(
+            static_cast<uint64_t>(call_timer.ElapsedSeconds() * 1e6));
+        ++mine.requests;
+        if (response.ok()) {
+          ++mine.completed;
+          if (response->truncated) ++mine.truncated;
+          if (response->cache_hit) ++mine.cache_hits;
+          if (oracle != nullptr) {
+            QueryRequest check;
+            check.query_text = request.query;
+            check.exec = exec;
+            QueryResponse expected = oracle->ExecuteNow(std::move(check));
+            bool match = expected.status.ok() &&
+                         expected.answers.size() == response->answers.size();
+            if (match) {
+              for (size_t k = 0; k < expected.answers.size(); ++k) {
+                if (expected.answers[k].root != response->answers[k].root ||
+                    expected.answers[k].cost != response->answers[k].cost) {
+                  match = false;
+                  break;
+                }
+              }
+            }
+            if (!match) ++mine.mismatches;
+          }
+        } else if (response.status().IsResourceExhausted()) {
+          ++mine.rejected;
+        } else if (response.status().IsDeadlineExceeded()) {
+          ++mine.failed;
+        } else if (response.status().code() ==
+                       approxql::util::StatusCode::kIoError ||
+                   response.status().IsUnavailable() ||
+                   response.status().IsCorruption()) {
+          ++mine.transport_errors;
+        } else {
+          ++mine.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  PassResult result;
+  result.wall_seconds = timer.ElapsedSeconds();
+  for (size_t c = 0; c < clients; ++c) {
+    result.requests += partials[c].requests;
+    result.completed += partials[c].completed;
+    result.rejected += partials[c].rejected;
+    result.truncated += partials[c].truncated;
+    result.failed += partials[c].failed;
+    result.cache_hits += partials[c].cache_hits;
+    result.transport_errors += partials[c].transport_errors;
+    result.mismatches += partials[c].mismatches;
+    result.latency_us.Merge(latencies[c]);
+  }
+  return result;
+}
+
+void PrintPass(size_t pass, const PassResult& r, bool wire) {
   std::printf(
       "pass %zu: %zu requests in %.3f s  (%.0f q/s)\n"
       "  completed %zu  cache-hit %zu  truncated %zu  rejected %zu  "
-      "failed %zu\n"
-      "  latency %s\n",
+      "failed %zu\n",
       pass, r.requests, r.wall_seconds,
       r.wall_seconds > 0 ? static_cast<double>(r.requests) / r.wall_seconds
                          : 0.0,
-      r.completed, r.cache_hits, r.truncated, r.rejected, r.failed,
-      r.latency_us.Summary("us").c_str());
+      r.completed, r.cache_hits, r.truncated, r.rejected, r.failed);
+  if (wire) {
+    std::printf("  transport-errors %zu  verify-mismatches %zu\n",
+                r.transport_errors, r.mismatches);
+  }
+  std::printf("  latency %s\n", r.latency_us.Summary("us").c_str());
+}
+
+Server* g_server = nullptr;
+
+void HandleDrainSignal(int) {
+  // Async-signal-safe: RequestDrain is an atomic store + eventfd write.
+  if (g_server != nullptr) g_server->RequestDrain();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> xml_paths;
-  std::string load_path, workload_path;
+  std::string load_path, workload_path, dump_workload_path, bench_json_path;
+  std::string connect_spec;
   size_t clients = 8, passes = 2, repeat = 1;
   size_t gen_data = 0, gen_queries = 0, seed = 42;
+  size_t listen_port = 0;
+  bool listen_mode = false, verify = false;
   int deadline_ms = 0;
   ServiceOptions service_options;
   service_options.num_threads = 8;
@@ -211,6 +353,23 @@ int main(int argc, char** argv) {
       if (!next_num(&gen_queries) || gen_queries == 0) return Usage();
     } else if (arg == "--seed") {
       if (!next_num(&seed)) return Usage();
+    } else if (arg == "--listen") {
+      if (!next_num(&listen_port) || listen_port > 65535) return Usage();
+      listen_mode = true;
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      connect_spec = v;
+    } else if (arg == "--dump-workload") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      dump_workload_path = v;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--bench-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      bench_json_path = v;
     } else if (arg == "--strategy") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -227,43 +386,57 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (workload_path.empty() && gen_queries == 0) return Usage();
-
-  std::unique_ptr<Database> db;
-  if (!load_path.empty()) {
-    auto loaded = Database::Load(load_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
-      return 1;
-    }
-    db = std::make_unique<Database>(std::move(loaded).value());
-  } else if (!xml_paths.empty()) {
-    auto built = Database::BuildFromFiles(xml_paths, approxql::cost::CostModel());
-    if (!built.ok()) {
-      std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
-      return 1;
-    }
-    db = std::make_unique<Database>(std::move(built).value());
-  } else if (gen_data > 0) {
-    approxql::gen::XmlGenOptions gen_options;
-    gen_options.seed = seed;
-    gen_options.total_elements = gen_data;
-    gen_options.vocabulary = std::max<size_t>(1000, gen_data / 10);
-    approxql::gen::XmlGenerator generator(gen_options);
-    approxql::cost::CostModel model;
-    auto tree = generator.GenerateTree(model);
-    if (!tree.ok()) {
-      std::fprintf(stderr, "gen: %s\n", tree.status().ToString().c_str());
-      return 1;
-    }
-    auto built = Database::FromDataTree(std::move(tree).value(), model);
-    if (!built.ok()) {
-      std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
-      return 1;
-    }
-    db = std::make_unique<Database>(std::move(built).value());
-  } else {
+  if (listen_mode && !connect_spec.empty()) return Usage();
+  const bool connect_mode = !connect_spec.empty();
+  // Serving needs no workload; replay modes need one (from a file or
+  // the generator).
+  if (!listen_mode && workload_path.empty() && gen_queries == 0) {
     return Usage();
+  }
+
+  // A database is needed to serve, to replay in process, to generate a
+  // workload, and to verify wire answers — a pure wire replay from a
+  // workload file is the one mode without.
+  const bool needs_db = listen_mode || !connect_mode || gen_queries > 0 ||
+                        verify;
+  std::unique_ptr<Database> db;
+  if (needs_db) {
+    if (!load_path.empty()) {
+      auto loaded = Database::Load(load_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      db = std::make_unique<Database>(std::move(loaded).value());
+    } else if (!xml_paths.empty()) {
+      auto built =
+          Database::BuildFromFiles(xml_paths, approxql::cost::CostModel());
+      if (!built.ok()) {
+        std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+        return 1;
+      }
+      db = std::make_unique<Database>(std::move(built).value());
+    } else if (gen_data > 0) {
+      approxql::gen::XmlGenOptions gen_options;
+      gen_options.seed = seed;
+      gen_options.total_elements = gen_data;
+      gen_options.vocabulary = std::max<size_t>(1000, gen_data / 10);
+      approxql::gen::XmlGenerator generator(gen_options);
+      approxql::cost::CostModel model;
+      auto tree = generator.GenerateTree(model);
+      if (!tree.ok()) {
+        std::fprintf(stderr, "gen: %s\n", tree.status().ToString().c_str());
+        return 1;
+      }
+      auto built = Database::FromDataTree(std::move(tree).value(), model);
+      if (!built.ok()) {
+        std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+        return 1;
+      }
+      db = std::make_unique<Database>(std::move(built).value());
+    } else {
+      return Usage();
+    }
   }
 
   std::vector<std::string> workload_queries;
@@ -274,7 +447,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     workload_queries = std::move(workload).value();
-  } else {
+  } else if (gen_queries > 0) {
     // Instantiate the paper's three benchmark patterns round-robin.
     approxql::gen::QueryGenOptions gen_options;
     gen_options.seed = seed;
@@ -292,21 +465,129 @@ int main(int argc, char** argv) {
       workload_queries.push_back(std::move(generated->text));
     }
   }
+  if (!dump_workload_path.empty()) {
+    std::ofstream out(dump_workload_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", dump_workload_path.c_str());
+      return 1;
+    }
+    out << "# generated by approxql_serve --gen " << workload_queries.size()
+        << " --seed " << seed << "\n";
+    for (const std::string& query : workload_queries) out << query << "\n";
+    std::fprintf(stderr, "wrote %zu queries to %s\n", workload_queries.size(),
+                 dump_workload_path.c_str());
+  }
 
-  auto stats = db->GetStats();
+  if (db != nullptr) {
+    auto stats = db->GetStats();
+    std::fprintf(stderr, "database: %zu nodes, %zu labels, schema %zu\n",
+                 stats.nodes, stats.distinct_labels, stats.schema_nodes);
+  }
+
+  if (listen_mode) {
+    QueryService service(*db, service_options);
+    ServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(listen_port);
+    Server server(service, *db, server_options);
+    auto started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    g_server = &server;
+    std::signal(SIGTERM, HandleDrainSignal);
+    std::signal(SIGINT, HandleDrainSignal);
+    std::fprintf(stderr,
+                 "listening on %s:%u (%zu workers, queue %zu) — SIGTERM "
+                 "drains\n",
+                 server_options.bind_address.c_str(), server.port(),
+                 service_options.num_threads, service_options.queue_capacity);
+    server.Wait();  // returns when a drain signal quiesces the loop
+    g_server = nullptr;
+    std::printf("--- server metrics ---\n%s", server.DumpMetrics().c_str());
+    server.Shutdown(/*drain=*/true);
+    return 0;
+  }
+
   std::fprintf(stderr,
-               "database: %zu nodes, %zu labels, schema %zu\n"
                "workload: %zu queries x %zu repeat x %zu passes, "
-               "%zu clients, %zu workers\n",
-               stats.nodes, stats.distinct_labels, stats.schema_nodes,
+               "%zu clients%s\n",
                workload_queries.size(), repeat, passes, clients,
-               service_options.num_threads);
+               connect_mode ? " (wire)" : "");
+
+  if (connect_mode) {
+    size_t colon = connect_spec.rfind(':');
+    if (colon == std::string::npos) return Usage();
+    const std::string host = connect_spec.substr(0, colon);
+    const size_t port = std::strtoull(connect_spec.c_str() + colon + 1,
+                                      nullptr, 10);
+    if (port == 0 || port > 65535) return Usage();
+
+    std::unique_ptr<QueryService> oracle;
+    if (verify) {
+      ServiceOptions oracle_options = service_options;
+      oracle_options.cache_capacity = 0;  // always re-execute
+      oracle = std::make_unique<QueryService>(*db, oracle_options);
+    }
+    size_t transport_errors = 0, mismatches = 0;
+    std::vector<PassResult> results;
+    for (size_t pass = 1; pass <= passes; ++pass) {
+      PassResult result =
+          RunWirePass(host, static_cast<uint16_t>(port), workload_queries,
+                      clients, repeat, exec, deadline_ms, oracle.get());
+      PrintPass(pass, result, /*wire=*/true);
+      transport_errors += result.transport_errors;
+      mismatches += result.mismatches;
+      results.push_back(std::move(result));
+    }
+    if (!bench_json_path.empty()) {
+      std::FILE* out = std::fopen(bench_json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", bench_json_path.c_str());
+        return 1;
+      }
+      std::fprintf(out,
+                   "{\n  \"benchmark\": \"wire_replay\",\n"
+                   "  \"clients\": %zu,\n  \"passes\": [\n",
+                   clients);
+      for (size_t p = 0; p < results.size(); ++p) {
+        const PassResult& r = results[p];
+        std::fprintf(
+            out,
+            "    {\"pass\": %zu, \"requests\": %zu, \"qps\": %.2f, "
+            "\"p50_us\": %.0f, \"p90_us\": %.0f, \"p99_us\": %.0f, "
+            "\"max_us\": %llu, \"transport_errors\": %zu}%s\n",
+            p + 1, r.requests,
+            r.wall_seconds > 0
+                ? static_cast<double>(r.requests) / r.wall_seconds
+                : 0.0,
+            r.latency_us.Quantile(0.50), r.latency_us.Quantile(0.90),
+            r.latency_us.Quantile(0.99),
+            static_cast<unsigned long long>(r.latency_us.max()),
+            r.transport_errors, p + 1 == results.size() ? "" : ",");
+      }
+      std::fprintf(out, "  ]\n}\n");
+      std::fclose(out);
+      std::printf("wrote %s\n", bench_json_path.c_str());
+    }
+    if (transport_errors > 0) {
+      std::fprintf(stderr, "FAILED: %zu transport errors\n", transport_errors);
+      return 1;
+    }
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "FAILED: %zu wire answers differ from in-process\n",
+                   mismatches);
+      return 1;
+    }
+    return 0;
+  }
 
   QueryService service(*db, service_options);
   for (size_t pass = 1; pass <= passes; ++pass) {
     PassResult result = RunPass(service, workload_queries, clients, repeat,
                                 exec, deadline_ms);
-    PrintPass(pass, result);
+    PrintPass(pass, result, /*wire=*/false);
   }
 
   std::printf("--- service metrics ---\n%s", service.DumpMetrics().c_str());

@@ -1,0 +1,212 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace approxql::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Remaining milliseconds before `deadline`, clamped for poll();
+/// returns -1 (infinite) when no deadline applies.
+int RemainingMs(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 1'000'000) return 1'000'000;
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)), decoder_(options_.max_frame_bytes) {}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_.Reset();
+}
+
+util::Status Client::Connect() {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("bad host address " + options_.host);
+  }
+  // Bounded connect: non-blocking connect + poll, then back to blocking
+  // semantics (all further blocking is poll()-driven anyway).
+  timeval tv{};
+  tv.tv_sec = options_.connect_timeout_ms / 1000;
+  tv.tv_usec = (options_.connect_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    util::Status st = util::Status::IoError(
+        "connect " + options_.host + ":" + std::to_string(options_.port) +
+        ": " + strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return util::Status::OK();
+}
+
+util::Status Client::SendFrame(uint64_t request_id, MessageType type,
+                               const std::string& payload) {
+  FrameHeader header{kProtocolVersion, request_id,
+                     static_cast<uint32_t>(type)};
+  std::string frame;
+  EncodeFrame(header, payload, &frame);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return util::Status::IoError(std::string("send: ") + strerror(errno));
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::pair<FrameHeader, std::string>> Client::ReadFrame(
+    int deadline_ms) {
+  const bool has_deadline = deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  char buf[16384];
+  for (;;) {
+    FrameHeader header;
+    std::string payload;
+    util::Status error;
+    switch (decoder_.Take(&header, &payload, &error)) {
+      case FrameDecoder::Next::kFrame:
+        return std::make_pair(header, std::move(payload));
+      case FrameDecoder::Next::kError:
+        Close();
+        return error;
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, RemainingMs(has_deadline, deadline));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return util::Status::IoError(std::string("poll: ") + strerror(errno));
+    }
+    if (ready == 0) {
+      // The response may still arrive later, but this call's caller has
+      // given up; drop the connection rather than resynchronize.
+      Close();
+      return util::Status::DeadlineExceeded("no response within " +
+                                            std::to_string(deadline_ms) +
+                                            " ms");
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    if (n == 0) {
+      return util::Status::Unavailable("server closed the connection");
+    }
+    return util::Status::IoError(std::string("recv: ") + strerror(errno));
+  }
+}
+
+util::Result<std::pair<FrameHeader, std::string>> Client::RoundTrip(
+    MessageType type, const std::string& payload, int deadline_ms) {
+  uint64_t request_id = next_request_id_++;
+  bool reconnected = false;
+  if (fd_ < 0) {
+    RETURN_IF_ERROR(Connect());
+    reconnected = true;
+  }
+  util::Status sent = SendFrame(request_id, type, payload);
+  if (!sent.ok() && !reconnected) {
+    // The server (or an idle timeout) closed under us between calls;
+    // one reconnect covers that without turning errors into loops.
+    RETURN_IF_ERROR(Connect());
+    sent = SendFrame(request_id, type, payload);
+  }
+  RETURN_IF_ERROR(sent);
+  for (;;) {
+    ASSIGN_OR_RETURN(auto frame, ReadFrame(deadline_ms));
+    // A blocking client has exactly one request outstanding, but a
+    // previous deadline-abandoned response may still be queued ahead of
+    // ours; skip stale ids instead of failing.
+    if (frame.first.request_id == request_id) return frame;
+  }
+}
+
+util::Result<WireResponse> Client::Call(const WireRequest& request,
+                                        int deadline_ms) {
+  ASSIGN_OR_RETURN(
+      auto frame,
+      RoundTrip(MessageType::kQueryRequest, EncodeQueryRequest(request),
+                deadline_ms));
+  if (frame.first.type != static_cast<uint32_t>(MessageType::kQueryResponse)) {
+    Close();
+    return util::Status::Corruption("unexpected response type " +
+                                    std::to_string(frame.first.type));
+  }
+  WireResponse response;
+  util::Status decoded = DecodeQueryResponse(frame.second, &response);
+  if (!decoded.ok()) {
+    Close();
+    return decoded;
+  }
+  if (response.status_code != static_cast<uint32_t>(util::StatusCode::kOk)) {
+    // Guard the cast: a code outside the known range (newer server?)
+    // degrades to kInternal instead of an out-of-range enum.
+    uint32_t code = response.status_code;
+    if (code > static_cast<uint32_t>(util::StatusCode::kUnavailable)) {
+      code = static_cast<uint32_t>(util::StatusCode::kInternal);
+    }
+    return util::Status(static_cast<util::StatusCode>(code),
+                        response.status_message);
+  }
+  return response;
+}
+
+util::Result<std::string> Client::FetchMetrics(int deadline_ms) {
+  ASSIGN_OR_RETURN(auto frame, RoundTrip(MessageType::kMetricsDump,
+                                         std::string(), deadline_ms));
+  if (frame.first.type != static_cast<uint32_t>(MessageType::kMetricsText)) {
+    Close();
+    return util::Status::Corruption("unexpected response type " +
+                                    std::to_string(frame.first.type));
+  }
+  return std::move(frame.second);
+}
+
+}  // namespace approxql::net

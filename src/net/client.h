@@ -1,0 +1,72 @@
+// Blocking client for net::Server's wire protocol: one TCP connection,
+// synchronous request/response with a per-call deadline, and automatic
+// reconnect-once when the connection is found dead at send time (safe
+// for this protocol because queries are read-only — a resent request
+// at worst evaluates twice). Not thread-safe; use one Client per
+// thread, as the load driver does.
+#ifndef APPROXQL_NET_CLIENT_H_
+#define APPROXQL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace approxql::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 5000;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Establishes (or re-establishes) the connection. Call() connects
+  /// lazily, so this is only needed to check reachability up front.
+  util::Status Connect();
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends the request and blocks for its response. `deadline_ms` <= 0
+  /// waits forever; on expiry the call fails with kDeadlineExceeded and
+  /// the connection is closed (the response may still be in flight, and
+  /// matching it up later is not worth the state). A WireResponse whose
+  /// status_code is non-OK is returned as an error Status carrying the
+  /// server's code and message, so transport and server errors read
+  /// uniformly; truncated/answers of successful calls come back in the
+  /// response.
+  util::Result<WireResponse> Call(const WireRequest& request,
+                                  int deadline_ms = 0);
+
+  /// Fetches the server's metrics dump (kMetricsDump round trip).
+  util::Result<std::string> FetchMetrics(int deadline_ms = 0);
+
+ private:
+  /// One request/response exchange; reconnects once if the send hits a
+  /// dead connection. Returns the response frame's header and payload.
+  util::Result<std::pair<FrameHeader, std::string>> RoundTrip(
+      MessageType type, const std::string& payload, int deadline_ms);
+  util::Status SendFrame(uint64_t request_id, MessageType type,
+                         const std::string& payload);
+  util::Result<std::pair<FrameHeader, std::string>> ReadFrame(
+      int deadline_ms);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace approxql::net
+
+#endif  // APPROXQL_NET_CLIENT_H_

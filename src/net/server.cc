@@ -1,0 +1,543 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace approxql::net {
+
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+/// Everything the loop thread needs per socket, plus the one field
+/// worker threads touch: the mutex-guarded outbox of encoded response
+/// frames. `closed` flips before the fd is closed so a late completion
+/// appends into a connection object that is about to die rather than
+/// into a recycled fd.
+struct Server::Connection {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::chrono::steady_clock::time_point last_active;
+  bool want_write = false;
+  std::string write_buffer;  // loop-thread staging, partially written
+
+  std::atomic<int64_t> in_flight{0};
+  std::atomic<bool> closed{false};
+  std::mutex out_mu;
+  std::string outbox;  // worker threads append complete frames
+
+  explicit Connection(size_t max_frame_bytes)
+      : decoder(max_frame_bytes),
+        last_active(std::chrono::steady_clock::now()) {}
+};
+
+Server::Server(service::QueryService& service, const engine::Database& db,
+               ServerOptions options)
+    : service_(service),
+      db_(db),
+      options_(std::move(options)),
+      connections_open_(metrics_.RegisterGauge("net_connections_open")),
+      connections_accepted_(
+          metrics_.RegisterCounter("net_connections_accepted")),
+      connections_rejected_(
+          metrics_.RegisterCounter("net_connections_rejected")),
+      requests_(metrics_.RegisterCounter("net_requests")),
+      protocol_errors_(metrics_.RegisterCounter("net_protocol_errors")),
+      bytes_read_(metrics_.RegisterCounter("net_bytes_read")),
+      bytes_written_(metrics_.RegisterCounter("net_bytes_written")),
+      wire_latency_us_(metrics_.RegisterHistogram("net_wire_latency_us")) {}
+
+Server::~Server() { Shutdown(/*drain=*/false); }
+
+util::Status Server::Start() {
+  APPROXQL_CHECK(!started_) << "Server::Start called twice";
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::InvalidArgument("bad bind address " +
+                                         options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    util::Status st = util::Status::IoError(
+        "bind " + options_.bind_address + ":" +
+        std::to_string(options_.port) + ": " + strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 128) < 0) {
+    util::Status st =
+        util::Status::IoError(std::string("listen: ") + strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    util::Status st = util::Status::IoError("epoll_create1/eventfd failed");
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  started_ = true;
+  loop_thread_ = std::thread([this] { Loop(); });
+  return util::Status::OK();
+}
+
+void Server::RequestDrain() {
+  drain_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  // Only async-signal-safe calls here; a failed wake is recovered by
+  // the loop's periodic timeout.
+  [[maybe_unused]] ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::Wait() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void Server::Shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_ || joined_) return;
+    if (drain) {
+      drain_.store(true, std::memory_order_release);
+    } else {
+      stop_.store(true, std::memory_order_release);
+    }
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    if (loop_thread_.joinable()) loop_thread_.join();
+    joined_ = true;
+  }
+  // The loop is gone and every connection is marked closed; late
+  // completions can only append to dead outboxes. Wait for them so no
+  // callback outlives `this`.
+  {
+    std::unique_lock<std::mutex> lock(outstanding_mu_);
+    outstanding_cv_.wait(lock, [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+void Server::Loop() {
+  bool accepting = true;
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const bool draining = drain_.load(std::memory_order_acquire);
+    if (draining && accepting) {
+      // Drain step 1: stop accepting. The listening socket stays bound
+      // (connect attempts queue and then fail on close) but no new
+      // connection enters the loop.
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      accepting = false;
+    }
+
+    int n = ::epoll_wait(epoll_fd_, events, 64, draining ? 20 : 200);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        if (accepting) HandleAccept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drainv;
+        while (::read(wake_fd_, &drainv, sizeof(drainv)) > 0) {
+        }
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(conn);
+      }
+      if (!conn->closed.load(std::memory_order_acquire) &&
+          (events[i].events & EPOLLOUT)) {
+        FlushWrites(conn);
+      }
+    }
+
+    // Completions that arrived from worker threads since the last pass.
+    std::vector<std::shared_ptr<Connection>> pending;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending.swap(pending_writes_);
+    }
+    for (const std::shared_ptr<Connection>& conn : pending) {
+      if (!conn->closed.load(std::memory_order_acquire)) FlushWrites(conn);
+    }
+
+    SweepIdle();
+
+    if (draining) {
+      // Drain step 2: once nothing is in flight and every response has
+      // reached its socket, close everything and leave.
+      bool quiesced = true;
+      for (const auto& [fd, conn] : connections_) {
+        // Read in_flight before the outbox: a completion enqueues its
+        // response *then* decrements, so observing zero here guarantees
+        // the outbox read below sees that response.
+        if (conn->in_flight.load(std::memory_order_acquire) != 0) {
+          quiesced = false;
+          break;
+        }
+        bool outbox_empty;
+        {
+          std::lock_guard<std::mutex> lock(conn->out_mu);
+          outbox_empty = conn->outbox.empty();
+        }
+        if (!outbox_empty || !conn->write_buffer.empty()) {
+          quiesced = false;
+          break;
+        }
+      }
+      if (quiesced) break;
+    }
+  }
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (int fd : fds) CloseConnection(fd, "server shutdown");
+}
+
+void Server::HandleAccept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      // The limit protects the event loop itself; shedding here is a
+      // hard close because there is no connection state to answer on.
+      connections_rejected_->Increment();
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(options_.max_frame_bytes);
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    connections_accepted_->Increment();
+    connections_open_->Increment();
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      bytes_read_->Increment(static_cast<uint64_t>(n));
+      conn->last_active = std::chrono::steady_clock::now();
+      conn->decoder.Append(buf, static_cast<size_t>(n));
+      for (;;) {
+        FrameHeader header;
+        std::string payload;
+        util::Status error;
+        FrameDecoder::Next next = conn->decoder.Take(&header, &payload,
+                                                     &error);
+        if (next == FrameDecoder::Next::kNeedMore) break;
+        if (next == FrameDecoder::Next::kError) {
+          // Corrupt stream: nothing after this point can be framed, and
+          // a request id can't be trusted, so the whole connection goes.
+          protocol_errors_->Increment();
+          APPROXQL_LOG(Warning)
+              << "net: closing connection: " << error.message();
+          CloseConnection(conn->fd, "protocol error");
+          return;
+        }
+        DispatchFrame(conn, header, std::move(payload));
+        if (conn->closed.load(std::memory_order_acquire)) return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      if (conn->decoder.buffered() > 0) {
+        // EOF mid-frame: the peer died between writes. Only this
+        // connection is affected.
+        protocol_errors_->Increment();
+      }
+      CloseConnection(conn->fd, "peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConnection(conn->fd, "read error");
+    return;
+  }
+}
+
+void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                           const FrameHeader& header, std::string payload) {
+  if (header.type == static_cast<uint32_t>(MessageType::kMetricsDump)) {
+    FrameHeader reply{kProtocolVersion, header.request_id,
+                      static_cast<uint32_t>(MessageType::kMetricsText)};
+    EnqueueResponse(conn, reply, DumpMetrics());
+    FlushWrites(conn);
+    return;
+  }
+
+  FrameHeader reply{kProtocolVersion, header.request_id,
+                    static_cast<uint32_t>(MessageType::kQueryResponse)};
+
+  if (header.type != static_cast<uint32_t>(MessageType::kQueryRequest)) {
+    // The frame itself was well-formed (CRC passed), so the sender gets
+    // a per-request error and the connection lives on.
+    WireResponse response;
+    response.status_code =
+        static_cast<uint32_t>(util::StatusCode::kUnimplemented);
+    response.status_message =
+        "unknown message type " + std::to_string(header.type);
+    EnqueueResponse(conn, reply, EncodeQueryResponse(response));
+    FlushWrites(conn);
+    return;
+  }
+
+  requests_->Increment();
+  WireRequest wire_request;
+  util::Status decoded = DecodeQueryRequest(payload, &wire_request);
+  if (!decoded.ok()) {
+    WireResponse response;
+    response.status_code = static_cast<uint32_t>(decoded.code());
+    response.status_message = "bad query request: " + decoded.message();
+    EnqueueResponse(conn, reply, EncodeQueryResponse(response));
+    FlushWrites(conn);
+    return;
+  }
+  if (drain_.load(std::memory_order_acquire)) {
+    WireResponse response;
+    response.status_code =
+        static_cast<uint32_t>(util::StatusCode::kUnavailable);
+    response.status_message = "server draining";
+    EnqueueResponse(conn, reply, EncodeQueryResponse(response));
+    FlushWrites(conn);
+    return;
+  }
+
+  service::QueryRequest request;
+  request.query_text = std::move(wire_request.query);
+  request.exec.strategy = wire_request.strategy;
+  request.exec.n = static_cast<size_t>(wire_request.n);
+  request.parallelism = wire_request.parallelism;
+  request.deadline = std::chrono::milliseconds(wire_request.deadline_ms);
+  request.bypass_cache = wire_request.bypass_cache;
+
+  conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  const auto start = std::chrono::steady_clock::now();
+  service_.SubmitAsync(
+      std::move(request),
+      [this, conn, reply, start](service::QueryResponse r) {
+        WireResponse response;
+        response.status_code = static_cast<uint32_t>(r.status.code());
+        response.status_message = r.status.message();
+        response.truncated = r.truncated;
+        response.cache_hit = r.cache_hit;
+        response.answers.reserve(r.answers.size());
+        for (const engine::QueryAnswer& answer : r.answers) {
+          response.answers.push_back(
+              {answer.cost, answer.root, DocRootOf(answer.root)});
+        }
+        EnqueueResponse(conn, reply, EncodeQueryResponse(response));
+        wire_latency_us_->Record(static_cast<uint64_t>(MicrosSince(start)));
+        // Order matters for drain: the response must be visible in the
+        // outbox before in_flight hits zero, or the drain check could
+        // quiesce between the two and drop the final response.
+        conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        NotifyWritable(conn);
+        {
+          // notify_all under the mutex, not after: the waiter in
+          // Shutdown may destroy this server (and the condvar) the
+          // moment it can reacquire the lock and see zero, so the
+          // notifying thread must be done with the condvar before the
+          // lock is released.
+          std::lock_guard<std::mutex> lock(outstanding_mu_);
+          outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+          outstanding_cv_.notify_all();
+        }
+      });
+}
+
+void Server::EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                             const FrameHeader& header,
+                             std::string_view payload) {
+  std::string frame;
+  EncodeFrame(header, payload, &frame);
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  if (conn->closed.load(std::memory_order_acquire)) return;  // client gone
+  conn->outbox.append(frame);
+}
+
+void Server::NotifyWritable(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_writes_.push_back(conn);
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (!conn->outbox.empty()) {
+      conn->write_buffer.append(conn->outbox);
+      conn->outbox.clear();
+    }
+  }
+  size_t written = 0;
+  while (written < conn->write_buffer.size()) {
+    ssize_t n = ::write(conn->fd, conn->write_buffer.data() + written,
+                        conn->write_buffer.size() - written);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      bytes_written_->Increment(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn->fd, "write error");
+    return;
+  }
+  conn->write_buffer.erase(0, written);
+  if (written > 0) conn->last_active = std::chrono::steady_clock::now();
+  const bool want_write = !conn->write_buffer.empty();
+  if (want_write != conn->want_write) UpdateEpoll(conn.get(), want_write);
+}
+
+void Server::UpdateEpoll(Connection* conn, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->want_write = want_write;
+  }
+}
+
+void Server::CloseConnection(int fd, const char* reason) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  std::shared_ptr<Connection> conn = it->second;
+  {
+    // Under out_mu so no worker can append between the flag flip and
+    // the erase — its append would land after `closed` and be dropped.
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->closed.store(true, std::memory_order_release);
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conn->fd = -1;
+  connections_.erase(it);
+  connections_open_->Decrement();
+  (void)reason;
+}
+
+void Server::SweepIdle() {
+  if (options_.idle_timeout.count() <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->in_flight.load(std::memory_order_acquire) != 0) continue;
+    if (!conn->write_buffer.empty()) continue;
+    if (now - conn->last_active < options_.idle_timeout) continue;
+    bool outbox_empty;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      outbox_empty = conn->outbox.empty();
+    }
+    if (outbox_empty) idle.push_back(fd);
+  }
+  for (int fd : idle) CloseConnection(fd, "idle timeout");
+}
+
+doc::NodeId Server::DocRootOf(doc::NodeId node) const {
+  const doc::DataTree& tree = db_.tree();
+  if (node == tree.root() || node >= tree.size()) return node;
+  doc::NodeId current = node;
+  for (;;) {
+    doc::NodeId parent = tree.node(current).parent;
+    if (parent == tree.root() || parent == doc::kInvalidNode) return current;
+    current = parent;
+  }
+}
+
+Server::Stats Server::GetStats() const {
+  Stats stats;
+  stats.connections_open = connections_open_->Value();
+  stats.connections_accepted = connections_accepted_->Value();
+  stats.connections_rejected = connections_rejected_->Value();
+  stats.requests = requests_->Value();
+  stats.protocol_errors = protocol_errors_->Value();
+  stats.bytes_read = bytes_read_->Value();
+  stats.bytes_written = bytes_written_->Value();
+  return stats;
+}
+
+std::string Server::DumpMetrics() const {
+  return service_.DumpMetrics() + metrics_.DumpText();
+}
+
+}  // namespace approxql::net

@@ -1,0 +1,183 @@
+// An epoll-based TCP front end for service::QueryService: one event-
+// loop thread multiplexes every connection (non-blocking accept, read,
+// write), decodes wire frames (net/wire.h), and hands each query to
+// QueryService::SubmitAsync — so all evaluation runs on the service's
+// worker pool and its admission control applies unchanged. A pool
+// rejection becomes a clean RESOURCE_EXHAUSTED response frame on the
+// wire, never a dropped connection: wire clients observe exactly the
+// backpressure in-process callers do.
+//
+// Connection lifecycle and failure containment:
+//   - accept       → over max_connections: accepted then closed
+//                    immediately (counted net_connections_rejected).
+//   - read         → frames may arrive torn across reads or several
+//                    per read; FrameDecoder buffers partials. Requests
+//                    pipeline freely; responses carry the request id
+//                    and may complete out of order.
+//   - protocol     → a corrupt stream (bad CRC, oversized length, bad
+//                    version) closes only that connection. An unknown
+//                    message type in a *valid* frame fails only that
+//                    request (kUnimplemented response).
+//   - write        → responses are appended to a per-connection outbox
+//                    by worker threads; the loop drains it with
+//                    partial-write buffering and EPOLLOUT when the
+//                    socket blocks.
+//   - disconnect   → a client gone mid-request only discards that
+//                    connection's pending responses; the evaluation
+//                    itself finishes on the pool (queries are read-
+//                    only) and its result is dropped.
+//   - idle timeout → connections with no traffic and no in-flight
+//                    requests for idle_timeout are closed.
+//   - drain        → RequestDrain() (async-signal-safe; call it from a
+//                    SIGTERM handler) stops accepting, finishes all
+//                    in-flight requests, flushes their responses, then
+//                    closes everything and ends the loop.
+#ifndef APPROXQL_NET_SERVER_H_
+#define APPROXQL_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+#include "net/wire.h"
+#include "service/metrics.h"
+#include "service/query_service.h"
+#include "util/status.h"
+
+namespace approxql::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the actual port with Server::port() after
+  /// Start().
+  uint16_t port = 0;
+  size_t max_connections = 1024;
+  /// Idle connections (no traffic, nothing in flight) are closed after
+  /// this long; zero disables the sweep.
+  std::chrono::milliseconds idle_timeout{60000};
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Server {
+ public:
+  /// `service` executes the queries; `db` is the same database the
+  /// service fronts (used only to resolve each answer's document root
+  /// for the wire response). Both must outlive the server.
+  Server(service::QueryService& service, const engine::Database& db,
+         ServerOptions options);
+  /// Equivalent to Shutdown(/*drain=*/false).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event-loop thread. Fails (IoError)
+  /// if the address/port cannot be bound.
+  util::Status Start();
+
+  /// Stops the server and joins the loop thread. drain=true completes
+  /// and flushes all in-flight requests first; drain=false discards
+  /// them (their evaluations still finish on the pool, results are
+  /// dropped). Idempotent.
+  void Shutdown(bool drain);
+
+  /// Begins a graceful drain without blocking. Async-signal-safe: only
+  /// an atomic store and an eventfd write, so a SIGTERM handler may
+  /// call it directly. Use Wait() (or Shutdown) to join afterwards.
+  void RequestDrain();
+
+  /// Blocks until the event loop exits (e.g. after RequestDrain) and
+  /// joins its thread.
+  void Wait();
+
+  /// The bound port; valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    int64_t connections_open = 0;
+    uint64_t connections_accepted = 0;
+    uint64_t connections_rejected = 0;
+    uint64_t requests = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  };
+  Stats GetStats() const;
+
+  /// The service's dump followed by this server's net_* metrics — the
+  /// payload of a kMetricsDump wire request.
+  std::string DumpMetrics() const;
+
+ private:
+  struct Connection;
+
+  void Loop();
+  void HandleAccept();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn,
+                     const FrameHeader& header, std::string payload);
+  void EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                       const FrameHeader& header, std::string_view payload);
+  /// Moves the outbox into the write buffer and writes what the socket
+  /// accepts; arms/disarms EPOLLOUT as needed.
+  void FlushWrites(const std::shared_ptr<Connection>& conn);
+  void UpdateEpoll(Connection* conn, bool want_write);
+  void CloseConnection(int fd, const char* reason);
+  void SweepIdle();
+  /// Worker threads call this (via the completion callback) to get the
+  /// loop's attention for a connection with a freshly filled outbox.
+  void NotifyWritable(const std::shared_ptr<Connection>& conn);
+  doc::NodeId DocRootOf(doc::NodeId node) const;
+
+  service::QueryService& service_;
+  const engine::Database& db_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_{false};
+  bool started_ = false;
+  bool joined_ = false;
+  std::mutex lifecycle_mu_;  // serializes Shutdown/Wait callers
+
+  /// Loop-thread-only: fd → connection.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  /// Connections whose outbox gained data from a worker thread since
+  /// the loop last looked.
+  std::mutex pending_mu_;
+  std::vector<std::shared_ptr<Connection>> pending_writes_;
+
+  /// SubmitAsync completion callbacks capture `this`; Shutdown waits
+  /// for every one of them to finish (even with drain=false) so no
+  /// callback ever runs against a destroyed server.
+  std::atomic<int64_t> outstanding_{0};
+  std::mutex outstanding_mu_;
+  std::condition_variable outstanding_cv_;
+
+  service::MetricsRegistry metrics_;
+  service::Gauge* connections_open_;
+  service::Counter* connections_accepted_;
+  service::Counter* connections_rejected_;
+  service::Counter* requests_;
+  service::Counter* protocol_errors_;
+  service::Counter* bytes_read_;
+  service::Counter* bytes_written_;
+  service::LatencyHistogram* wire_latency_us_;
+};
+
+}  // namespace approxql::net
+
+#endif  // APPROXQL_NET_SERVER_H_

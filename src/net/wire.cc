@@ -1,0 +1,200 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/varint.h"
+
+namespace approxql::net {
+
+namespace {
+
+constexpr size_t kLengthBytes = 4;
+constexpr size_t kCrcBytes = 4;
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+uint32_t GetFixed32(const char* data) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(data[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[3])) << 24;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  util::PutVarint64(dst, value.size());
+  dst->append(value);
+}
+
+util::Status GetLengthPrefixed(util::VarintReader* reader, std::string* out) {
+  uint64_t size = 0;
+  RETURN_IF_ERROR(reader->GetVarint64(&size));
+  if (size > reader->remaining()) {
+    return util::Status::Corruption("length-prefixed field overruns payload");
+  }
+  std::string_view bytes;
+  RETURN_IF_ERROR(reader->GetBytes(static_cast<size_t>(size), &bytes));
+  out->assign(bytes);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+void EncodeFrame(const FrameHeader& header, std::string_view payload,
+                 std::string* out) {
+  std::string body;
+  body.reserve(payload.size() + 16);
+  util::PutVarint32(&body, header.version);
+  util::PutVarint64(&body, header.request_id);
+  util::PutVarint32(&body, header.type);
+  body.append(payload);
+  PutFixed32(out, static_cast<uint32_t>(body.size() + kCrcBytes));
+  out->append(body);
+  PutFixed32(out, util::Crc32c(body));
+}
+
+FrameDecoder::Next FrameDecoder::Take(FrameHeader* header,
+                                      std::string* payload,
+                                      util::Status* error) {
+  if (poisoned_) {
+    *error = util::Status::Corruption("frame decoder poisoned by prior error");
+    return Next::kError;
+  }
+  if (buffer_.size() < kLengthBytes) return Next::kNeedMore;
+  const uint64_t length = GetFixed32(buffer_.data());
+  if (length < kCrcBytes + 3 ||  // minimum body: three 1-byte varints
+      length > max_frame_bytes_) {
+    poisoned_ = true;
+    *error = util::Status::Corruption(
+        "frame length " + std::to_string(length) + " outside [7, " +
+        std::to_string(max_frame_bytes_) + "]");
+    return Next::kError;
+  }
+  if (buffer_.size() < kLengthBytes + length) return Next::kNeedMore;
+
+  const std::string_view body(buffer_.data() + kLengthBytes,
+                              static_cast<size_t>(length) - kCrcBytes);
+  const uint32_t expected_crc =
+      GetFixed32(buffer_.data() + kLengthBytes + body.size());
+  if (util::Crc32c(body) != expected_crc) {
+    poisoned_ = true;
+    *error = util::Status::Corruption("frame CRC mismatch");
+    return Next::kError;
+  }
+
+  util::VarintReader reader(body);
+  util::Status st = reader.GetVarint32(&header->version);
+  if (st.ok()) st = reader.GetVarint64(&header->request_id);
+  if (st.ok()) st = reader.GetVarint32(&header->type);
+  if (!st.ok()) {
+    poisoned_ = true;
+    *error = util::Status::Corruption("frame header: " + st.message());
+    return Next::kError;
+  }
+  if (header->version != kProtocolVersion) {
+    poisoned_ = true;
+    *error = util::Status::Corruption(
+        "protocol version " + std::to_string(header->version) +
+        " (expected " + std::to_string(kProtocolVersion) + ")");
+    return Next::kError;
+  }
+  payload->assign(body.substr(reader.position()));
+  buffer_.erase(0, kLengthBytes + static_cast<size_t>(length));
+  return Next::kFrame;
+}
+
+std::string EncodeQueryRequest(const WireRequest& request) {
+  std::string out;
+  PutLengthPrefixed(&out, request.query);
+  util::PutVarint32(&out, static_cast<uint32_t>(request.strategy));
+  util::PutVarint64(&out, request.n);
+  util::PutVarint32(&out, request.parallelism);
+  util::PutVarint64(&out, util::ZigZagEncode(request.deadline_ms));
+  util::PutVarint32(&out, request.bypass_cache ? 1 : 0);
+  return out;
+}
+
+util::Status DecodeQueryRequest(std::string_view payload, WireRequest* out) {
+  util::VarintReader reader(payload);
+  RETURN_IF_ERROR(GetLengthPrefixed(&reader, &out->query));
+  uint32_t strategy = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&strategy));
+  switch (strategy) {
+    case static_cast<uint32_t>(engine::Strategy::kDirect):
+    case static_cast<uint32_t>(engine::Strategy::kSchema):
+    case static_cast<uint32_t>(engine::Strategy::kFullScan):
+      out->strategy = static_cast<engine::Strategy>(strategy);
+      break;
+    default:
+      return util::Status::InvalidArgument("unknown strategy " +
+                                           std::to_string(strategy));
+  }
+  RETURN_IF_ERROR(reader.GetVarint64(&out->n));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->parallelism));
+  uint64_t deadline = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&deadline));
+  out->deadline_ms = util::ZigZagDecode(deadline);
+  uint32_t bypass = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&bypass));
+  out->bypass_cache = bypass != 0;
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after query request");
+  }
+  return util::Status::OK();
+}
+
+std::string EncodeQueryResponse(const WireResponse& response) {
+  std::string out;
+  util::PutVarint32(&out, response.status_code);
+  PutLengthPrefixed(&out, response.status_message);
+  util::PutVarint32(&out, (response.truncated ? 1 : 0) |
+                              (response.cache_hit ? 2 : 0));
+  util::PutVarint64(&out, response.answers.size());
+  for (const WireAnswer& answer : response.answers) {
+    util::PutVarint64(&out, util::ZigZagEncode(answer.cost));
+    util::PutVarint32(&out, answer.root);
+    util::PutVarint32(&out, answer.doc);
+  }
+  return out;
+}
+
+util::Status DecodeQueryResponse(std::string_view payload, WireResponse* out) {
+  util::VarintReader reader(payload);
+  RETURN_IF_ERROR(reader.GetVarint32(&out->status_code));
+  RETURN_IF_ERROR(GetLengthPrefixed(&reader, &out->status_message));
+  uint32_t flags = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&flags));
+  out->truncated = (flags & 1) != 0;
+  out->cache_hit = (flags & 2) != 0;
+  uint64_t count = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&count));
+  // Each answer is at least 3 bytes; a count beyond that bound cannot
+  // be satisfied by the remaining payload.
+  if (count > reader.remaining() / 3) {
+    return util::Status::Corruption("answer count overruns payload");
+  }
+  out->answers.clear();
+  out->answers.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    WireAnswer answer;
+    uint64_t cost = 0;
+    RETURN_IF_ERROR(reader.GetVarint64(&cost));
+    answer.cost = util::ZigZagDecode(cost);
+    RETURN_IF_ERROR(reader.GetVarint32(&answer.root));
+    RETURN_IF_ERROR(reader.GetVarint32(&answer.doc));
+    out->answers.push_back(answer);
+  }
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after query response");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace approxql::net

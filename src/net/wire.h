@@ -1,0 +1,143 @@
+// The binary wire protocol between net::Server and net::Client. Every
+// message is one frame:
+//
+//   +----------------+---------------------------------------+--------+
+//   | length (u32 LE)| body                                  | crc    |
+//   +----------------+---------------------------------------+--------+
+//                    | version | request_id | type | payload | u32 LE |
+//                    | varint  | varint     |varint| bytes   |        |
+//
+// `length` counts everything after itself (body + 4-byte CRC), so a
+// reader needs exactly 4 bytes to learn how much more to buffer. The
+// CRC is CRC-32C over the body (header varints + payload), the same
+// util::Crc32c the storage pages use; a mismatch means the connection
+// stream is corrupt and must be closed. Payloads are varint/length-
+// prefixed structures built on util::varint — no alignment, no padding,
+// byte-order independent.
+//
+// Responses carry the request_id of the request they answer, so
+// pipelined requests on one connection may complete out of order and
+// still be matched up by the client.
+#ifndef APPROXQL_NET_WIRE_H_
+#define APPROXQL_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "doc/data_tree.h"
+#include "engine/database.h"
+#include "util/status.h"
+
+namespace approxql::net {
+
+/// Bumped on any incompatible frame or payload change. A server
+/// rejects (closes) connections speaking a different version.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Hard ceiling a decoder enforces before buffering a frame; a declared
+/// length beyond this is treated as stream corruption, not a large
+/// message (protects the server from one rogue 4-byte prefix pinning
+/// gigabytes).
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class MessageType : uint32_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  /// Empty-payload request for the server's metrics dump.
+  kMetricsDump = 3,
+  /// Response to kMetricsDump: payload is the dump text, raw bytes.
+  kMetricsText = 4,
+};
+
+struct FrameHeader {
+  uint32_t version = kProtocolVersion;
+  uint64_t request_id = 0;
+  /// Raw on the wire so a receiver can answer an unknown type with an
+  /// error instead of failing to decode the frame.
+  uint32_t type = 0;
+};
+
+/// Appends one complete frame (length prefix, header, payload, CRC).
+void EncodeFrame(const FrameHeader& header, std::string_view payload,
+                 std::string* out);
+
+/// Incremental frame extraction over a TCP byte stream: Append whatever
+/// arrived, then Take until kNeedMore. Tolerates frames split across
+/// arbitrarily many reads and multiple frames per read. After kError
+/// (oversized/corrupt stream) the decoder is poisoned — the connection
+/// must be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(const char* data, size_t size) { buffer_.append(data, size); }
+
+  enum class Next {
+    kFrame,     // *header / *payload filled with one complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kError,     // stream corrupt; *error explains, connection is dead
+  };
+  Next Take(FrameHeader* header, std::string* payload, util::Status* error);
+
+  /// Bytes buffered but not yet consumed (torn-frame detection: nonzero
+  /// at EOF means the peer died mid-frame).
+  size_t buffered() const { return buffer_.size(); }
+
+  void Reset() {
+    buffer_.clear();
+    poisoned_ = false;
+  }
+
+ private:
+  std::string buffer_;
+  size_t max_frame_bytes_;
+  bool poisoned_ = false;
+};
+
+/// kQueryRequest payload: everything QueryService needs to run one
+/// query. Mirrors service::QueryRequest minus the in-process-only knobs
+/// (cost-model pointers, stats out-parameters).
+struct WireRequest {
+  std::string query;
+  engine::Strategy strategy = engine::Strategy::kSchema;
+  /// Best-n bound; UINT64_MAX = all results (matches SIZE_MAX in-process).
+  uint64_t n = 10;
+  uint32_t parallelism = 0;  // 0 = server default
+  /// Per-request deadline; 0 = server default, negative = already
+  /// expired (deterministic DEADLINE_EXCEEDED, used by tests).
+  int64_t deadline_ms = 0;
+  bool bypass_cache = false;
+};
+
+struct WireAnswer {
+  cost::Cost cost = 0;
+  doc::NodeId root = 0;
+  /// Root of the document subtree containing `root` (the answer's
+  /// child-of-super-root ancestor), so clients can group hits per
+  /// document without holding the tree.
+  doc::NodeId doc = 0;
+};
+
+/// kQueryResponse payload.
+struct WireResponse {
+  /// util::StatusCode on the wire as its integer value.
+  uint32_t status_code = 0;
+  std::string status_message;
+  bool truncated = false;
+  bool cache_hit = false;
+  std::vector<WireAnswer> answers;
+};
+
+std::string EncodeQueryRequest(const WireRequest& request);
+util::Status DecodeQueryRequest(std::string_view payload, WireRequest* out);
+
+std::string EncodeQueryResponse(const WireResponse& response);
+util::Status DecodeQueryResponse(std::string_view payload, WireResponse* out);
+
+}  // namespace approxql::net
+
+#endif  // APPROXQL_NET_WIRE_H_

@@ -21,15 +21,16 @@ int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Owns a submitted request's promise until the worker takes it. If the
-/// task is destroyed without running (ThreadPool::Shutdown(kAbandon)),
-/// the destructor resolves the future with kUnavailable — no caller is
-/// ever left holding a broken promise.
+/// Owns a submitted request's completion callback until the worker
+/// takes it. If the task is destroyed without running
+/// (ThreadPool::Shutdown(kAbandon)), the destructor invokes the
+/// callback with kUnavailable — no caller is ever left waiting on a
+/// completion that will never come.
 class PendingResponse {
  public:
-  PendingResponse(std::shared_ptr<std::promise<QueryResponse>> promise,
-                  Gauge* queue_depth, Counter* abandoned)
-      : promise_(std::move(promise)),
+  PendingResponse(std::function<void(QueryResponse)> done, Gauge* queue_depth,
+                  Counter* abandoned)
+      : done_(std::move(done)),
         queue_depth_(queue_depth),
         abandoned_(abandoned) {}
 
@@ -37,21 +38,19 @@ class PendingResponse {
   PendingResponse& operator=(const PendingResponse&) = delete;
 
   ~PendingResponse() {
-    if (promise_ == nullptr) return;
+    if (!done_) return;
     queue_depth_->Decrement();
     abandoned_->Increment();
     QueryResponse response;
     response.status =
         util::Status::Unavailable("service shut down before the request ran");
-    promise_->set_value(std::move(response));
+    done_(std::move(response));
   }
 
-  std::shared_ptr<std::promise<QueryResponse>> Take() {
-    return std::move(promise_);
-  }
+  std::function<void(QueryResponse)> Take() { return std::move(done_); }
 
  private:
-  std::shared_ptr<std::promise<QueryResponse>> promise_;
+  std::function<void(QueryResponse)> done_;
   Gauge* queue_depth_;
   Counter* abandoned_;
 };
@@ -73,6 +72,8 @@ QueryService::QueryService(const engine::Database& db, ServiceOptions options)
       abandoned_(metrics_.RegisterCounter("queries_abandoned")),
       parallel_tasks_(metrics_.RegisterCounter("query_parallel_tasks")),
       queue_depth_(metrics_.RegisterGauge("queue_depth")),
+      thread_pool_queue_depth_(
+          metrics_.RegisterGauge("thread_pool_queue_depth")),
       running_(metrics_.RegisterGauge("queries_running")),
       queue_wait_us_(metrics_.RegisterHistogram("queue_wait_us")),
       exec_latency_us_(metrics_.RegisterHistogram("exec_latency_us")),
@@ -90,34 +91,43 @@ QueryService::QueryService(const engine::Database& db, ServiceOptions options)
 QueryService::~QueryService() { pool_.Shutdown(DrainMode::kAbandon); }
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
-  submitted_->Increment();
   auto promise = std::make_shared<std::promise<QueryResponse>>();
   std::future<QueryResponse> future = promise->get_future();
+  SubmitAsync(std::move(request), [promise](QueryResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void QueryService::SubmitAsync(QueryRequest request,
+                               std::function<void(QueryResponse)> done) {
+  submitted_->Increment();
   Clock::time_point admitted = Clock::now();
-  auto pending = std::make_shared<PendingResponse>(promise, queue_depth_,
-                                                   abandoned_);
+  auto pending = std::make_shared<PendingResponse>(std::move(done),
+                                                   queue_depth_, abandoned_);
   auto task = [this, pending, admitted,
                request = std::move(request)]() mutable {
     auto taken = pending->Take();
     queue_depth_->Decrement();
-    taken->set_value(Run(request, admitted));
+    taken(Run(request, admitted));
   };
   queue_depth_->Increment();
   if (!pool_.TrySubmit(std::move(task))) {
-    // The rejected closure is already destroyed, but Submit's own
-    // `pending` reference kept the guard alive; taking the promise here
-    // disarms it so rejection resolves exactly once.
+    // The rejected closure is already destroyed, but SubmitAsync's own
+    // `pending` reference kept the guard alive; taking the callback
+    // here disarms it so rejection completes exactly once.
     auto taken = pending->Take();
     queue_depth_->Decrement();
     rejected_->Increment();
+    thread_pool_queue_depth_->Set(static_cast<int64_t>(pool_.QueueDepth()));
     QueryResponse response;
     response.status = util::Status::ResourceExhausted(
         "admission queue full (" + std::to_string(options_.queue_capacity) +
         " waiting)");
-    taken->set_value(std::move(response));
-    return future;
+    taken(std::move(response));
+    return;
   }
-  return future;
+  thread_pool_queue_depth_->Set(static_cast<int64_t>(pool_.QueueDepth()));
 }
 
 QueryResponse QueryService::ExecuteNow(QueryRequest request) {
@@ -144,6 +154,7 @@ QueryResponse QueryService::Run(QueryRequest& request,
     exec_latency_us_->Record(static_cast<uint64_t>(r.exec_micros));
     total_latency_us_->Record(static_cast<uint64_t>(r.total_micros));
     running_->Decrement();
+    thread_pool_queue_depth_->Set(static_cast<int64_t>(pool_.QueueDepth()));
     return std::move(r);
   };
 

@@ -24,6 +24,7 @@
 #define APPROXQL_SERVICE_QUERY_SERVICE_H_
 
 #include <chrono>
+#include <functional>
 #include <future>
 #include <string>
 
@@ -96,6 +97,16 @@ class QueryService {
   /// full) resolves it immediately with kResourceExhausted.
   std::future<QueryResponse> Submit(QueryRequest request);
 
+  /// Callback flavor of Submit, for callers that integrate with an
+  /// event loop instead of blocking on futures (the network server).
+  /// `done` is invoked exactly once — from a worker thread on normal
+  /// completion, or inline from the calling thread on admission
+  /// rejection (kResourceExhausted) and from the teardown path on
+  /// abandonment (kUnavailable). It must not throw and must tolerate
+  /// running on any of those threads.
+  void SubmitAsync(QueryRequest request,
+                   std::function<void(QueryResponse)> done);
+
   /// Runs a request synchronously on the caller's thread — same cache,
   /// deadline and metrics treatment, but no admission control.
   QueryResponse ExecuteNow(QueryRequest request);
@@ -162,6 +173,10 @@ class QueryService {
   Counter* abandoned_;
   Counter* parallel_tasks_;
   Gauge* queue_depth_;
+  /// ThreadPool::QueueDepth() sampled at submit and completion — the
+  /// wire-level backpressure signal (how close admission is to
+  /// rejecting), readable from DumpText without a Snapshot call.
+  Gauge* thread_pool_queue_depth_;
   Gauge* running_;
   LatencyHistogram* queue_wait_us_;
   LatencyHistogram* exec_latency_us_;

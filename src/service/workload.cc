@@ -7,8 +7,13 @@
 
 namespace approxql::service {
 
-util::Result<std::vector<std::string>> ParseWorkload(std::string_view text) {
-  std::vector<std::string> queries;
+std::string WorkloadError::ToString() const {
+  return "line " + std::to_string(line) + ": `" + text +
+         "`: " + status.ToString();
+}
+
+Workload ScanWorkload(std::string_view text) {
+  Workload workload;
   size_t line_number = 0;
   size_t start = 0;
   while (start <= text.size()) {
@@ -29,16 +34,32 @@ util::Result<std::vector<std::string>> ParseWorkload(std::string_view text) {
     if (line.empty() || line.front() == '#') continue;
     auto parsed = query::Parse(line);
     if (!parsed.ok()) {
-      return util::Status(parsed.status().code(),
-                          "workload line " + std::to_string(line_number) +
-                              ": " + parsed.status().message());
+      workload.errors.push_back(
+          {line_number, std::string(line), parsed.status()});
+      continue;
     }
-    queries.emplace_back(line);
+    workload.queries.emplace_back(line);
   }
-  if (queries.empty()) {
+  return workload;
+}
+
+util::Result<std::vector<std::string>> ParseWorkload(std::string_view text) {
+  Workload workload = ScanWorkload(text);
+  if (!workload.errors.empty()) {
+    const WorkloadError& first = workload.errors.front();
+    return util::Status(first.status.code(),
+                        "workload " + first.ToString() +
+                            (workload.errors.size() > 1
+                                 ? " (+" +
+                                       std::to_string(workload.errors.size() -
+                                                      1) +
+                                       " more bad lines)"
+                                 : ""));
+  }
+  if (workload.queries.empty()) {
     return util::Status::InvalidArgument("workload contains no queries");
   }
-  return queries;
+  return std::move(workload.queries);
 }
 
 util::Result<std::vector<std::string>> LoadWorkloadFile(

@@ -1,7 +1,9 @@
-// Workload files for the serve driver: a plain text file with one
-// approXQL query per line. Blank lines and `#` comments are skipped;
-// every remaining line must parse as approXQL (validated up front so a
-// typo fails the replay before it starts, not 40 seconds in).
+// Workload files for the serve drivers (in-process and wire replay): a
+// plain text file with one approXQL query per line. Blank lines and
+// lines starting with `#` are skipped. Every remaining line is parsed
+// up front so a typo fails the replay before it starts, not 40 seconds
+// in — and every unparseable line is reported with its line number and
+// parse error, not silently counted as a runtime failure.
 #ifndef APPROXQL_SERVICE_WORKLOAD_H_
 #define APPROXQL_SERVICE_WORKLOAD_H_
 
@@ -13,10 +15,34 @@
 
 namespace approxql::service {
 
-/// Parses workload text. Returns the queries in file order.
+/// One unparseable workload line: where it is and why it failed.
+struct WorkloadError {
+  size_t line = 0;      // 1-based line number in the input
+  std::string text;     // the offending line, trimmed
+  util::Status status;  // the parse error
+
+  /// "line 12: `cd[oops`: ParseError: ..." — ready to print.
+  std::string ToString() const;
+};
+
+/// Parsed workload: the valid queries in file order plus every bad
+/// line. Callers decide whether errors are fatal (the serve drivers
+/// print them and refuse to replay a partially valid file).
+struct Workload {
+  std::vector<std::string> queries;
+  std::vector<WorkloadError> errors;
+};
+
+/// Parses workload text, collecting all unparseable lines instead of
+/// stopping at the first.
+Workload ScanWorkload(std::string_view text);
+
+/// Strict flavor: fails with the first bad line's (line, error), and
+/// with InvalidArgument when no queries remain. Returns the queries in
+/// file order.
 util::Result<std::vector<std::string>> ParseWorkload(std::string_view text);
 
-/// Reads and parses a workload file.
+/// Reads and strictly parses a workload file.
 util::Result<std::vector<std::string>> LoadWorkloadFile(
     const std::string& path);
 

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
+
+#include "util/random.h"
 
 namespace approxql::util {
 namespace {
@@ -32,6 +36,47 @@ TEST(Crc32Test, ChainingMatchesOneShot) {
     uint32_t part = Crc32c(data.substr(0, split));
     uint32_t chained = Crc32c(data.substr(split), part);
     EXPECT_EQ(chained, whole) << "split " << split;
+  }
+}
+
+TEST(Crc32Test, RandomizedSplitBufferChainingMatchesOneShot) {
+  // Incremental CRC over arbitrarily fragmented buffers (the frame
+  // decoder's situation) must equal the one-shot checksum.
+  Rng rng(0xc4c32c);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string data(1 + rng.Uniform(4096), '\0');
+    for (char& c : data) c = static_cast<char>(rng.Uniform(256));
+    const uint32_t whole = Crc32c(data);
+
+    // Cut the buffer into a random number of random-length pieces.
+    std::vector<size_t> cuts = {0, data.size()};
+    const size_t pieces = 1 + rng.Uniform(8);
+    for (size_t i = 1; i < pieces; ++i) {
+      cuts.push_back(rng.Uniform(data.size() + 1));
+    }
+    std::sort(cuts.begin(), cuts.end());
+
+    uint32_t chained = 0;
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+      std::string_view piece(data.data() + cuts[i], cuts[i + 1] - cuts[i]);
+      chained = Crc32c(piece, chained);
+    }
+    ASSERT_EQ(chained, whole) << "trial " << trial;
+  }
+}
+
+TEST(Crc32Test, RandomizedBitFlipAlwaysDetected) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string data(1 + rng.Uniform(512), '\0');
+    for (char& c : data) c = static_cast<char>(rng.Uniform(256));
+    const uint32_t base = Crc32c(data);
+    std::string mutated = data;
+    const size_t byte = rng.Uniform(mutated.size());
+    const int bit = static_cast<int>(rng.Uniform(8));
+    mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+    EXPECT_NE(Crc32c(mutated), base)
+        << "flip of bit " << bit << " in byte " << byte << " undetected";
   }
 }
 

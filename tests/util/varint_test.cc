@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/random.h"
+
 namespace approxql::util {
 namespace {
 
@@ -89,6 +91,72 @@ TEST(VarintTest, ZigZagRoundTrip) {
   EXPECT_EQ(ZigZagEncode(0), 0u);
   EXPECT_EQ(ZigZagEncode(-1), 1u);
   EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(VarintTest, RandomizedRoundTrip) {
+  // Mixed stream of random values skewed toward encoding-length
+  // boundaries, including max-length (10-byte) varints.
+  Rng rng(0xdecafbad);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint64_t> values;
+    const size_t count = 1 + rng.Uniform(64);
+    for (size_t i = 0; i < count; ++i) {
+      switch (rng.Uniform(4)) {
+        case 0:  // uniform over the full 64-bit range (10-byte heavy)
+          values.push_back(rng.Next());
+          break;
+        case 1:  // small values (1-2 bytes)
+          values.push_back(rng.Uniform(16384));
+          break;
+        case 2:  // near an encoding-length boundary
+          values.push_back((1ULL << (7 * (1 + rng.Uniform(9)))) -
+                           1 + rng.Uniform(3));
+          break;
+        default:  // extremes
+          values.push_back(rng.Uniform(2) == 0
+                               ? std::numeric_limits<uint64_t>::max()
+                               : 0);
+      }
+    }
+    std::string buf;
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    VarintReader reader(buf);
+    for (uint64_t v : values) {
+      uint64_t out = 0;
+      ASSERT_TRUE(reader.GetVarint64(&out).ok());
+      ASSERT_EQ(out, v);
+    }
+    EXPECT_TRUE(reader.empty());
+  }
+}
+
+TEST(VarintTest, RandomizedTruncationAlwaysFailsCleanly) {
+  // Any strict prefix of a single varint must fail with kCorruption —
+  // never succeed, never read past the buffer.
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string buf;
+    PutVarint64(&buf, rng.Next() | (1ULL << 63));  // force 10 bytes
+    const size_t cut = rng.Uniform(buf.size());
+    VarintReader reader(std::string_view(buf).substr(0, cut));
+    uint64_t out = 0;
+    EXPECT_TRUE(reader.GetVarint64(&out).IsCorruption());
+  }
+}
+
+TEST(VarintTest, RandomizedZigZagRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int64_t v = static_cast<int64_t>(rng.Next());
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+    // ZigZag through the varint layer, as the wire protocol does.
+    std::string buf;
+    PutVarint64(&buf, ZigZagEncode(v));
+    VarintReader reader(buf);
+    uint64_t raw = 0;
+    ASSERT_TRUE(reader.GetVarint64(&raw).ok());
+    EXPECT_EQ(ZigZagDecode(raw), v);
+  }
 }
 
 TEST(VarintTest, GetBytes) {
