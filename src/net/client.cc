@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -45,7 +46,7 @@ void Client::Close() {
 
 util::Status Client::Connect() {
   Close();
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) {
     return util::Status::IoError(std::string("socket: ") + strerror(errno));
   }
@@ -56,16 +57,54 @@ util::Status Client::Connect() {
     ::close(fd);
     return util::Status::InvalidArgument("bad host address " + options_.host);
   }
-  // Bounded connect: non-blocking connect + poll, then back to blocking
-  // semantics (all further blocking is poll()-driven anyway).
-  timeval tv{};
-  tv.tv_sec = options_.connect_timeout_ms / 1000;
-  tv.tv_usec = (options_.connect_timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    util::Status st = util::Status::IoError(
-        "connect " + options_.host + ":" + std::to_string(options_.port) +
-        ": " + strerror(errno));
+  // Bounded connect: non-blocking connect, poll(POLLOUT) with the
+  // configured timeout, then SO_ERROR for the actual result. The socket
+  // goes back to blocking afterwards (all further waiting is
+  // poll()-driven in ReadFrame; SendFrame relies on blocking send).
+  const std::string endpoint =
+      options_.host + ":" + std::to_string(options_.port);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    util::Status st =
+        util::Status::IoError("connect " + endpoint + ": " + strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (rc < 0) {
+    const bool has_deadline = options_.connect_timeout_ms > 0;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(options_.connect_timeout_ms);
+    int ready;
+    do {
+      pollfd pfd{fd, POLLOUT, 0};
+      ready = ::poll(&pfd, 1, RemainingMs(has_deadline, deadline));
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      util::Status st =
+          util::Status::IoError(std::string("poll: ") + strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    if (ready == 0) {
+      ::close(fd);
+      return util::Status::DeadlineExceeded(
+          "connect " + endpoint + ": no answer within " +
+          std::to_string(options_.connect_timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      util::Status st =
+          util::Status::IoError("connect " + endpoint + ": " + strerror(err));
+      ::close(fd);
+      return st;
+    }
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    util::Status st =
+        util::Status::IoError(std::string("fcntl: ") + strerror(errno));
     ::close(fd);
     return st;
   }
@@ -80,7 +119,8 @@ util::Status Client::SendFrame(uint64_t request_id, MessageType type,
   FrameHeader header{kProtocolVersion, request_id,
                      static_cast<uint32_t>(type)};
   std::string frame;
-  EncodeFrame(header, payload, &frame);
+  RETURN_IF_ERROR(EncodeFrame(header, payload, &frame,
+                              options_.max_frame_bytes));
   size_t sent = 0;
   while (sent < frame.size()) {
     ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
@@ -152,9 +192,11 @@ util::Result<std::pair<FrameHeader, std::string>> Client::RoundTrip(
     reconnected = true;
   }
   util::Status sent = SendFrame(request_id, type, payload);
-  if (!sent.ok() && !reconnected) {
+  if (!sent.ok() && !sent.IsResourceExhausted() && !reconnected) {
     // The server (or an idle timeout) closed under us between calls;
-    // one reconnect covers that without turning errors into loops.
+    // one reconnect covers that without turning errors into loops. A
+    // ResourceExhausted send is an oversized request — retrying it on a
+    // fresh connection cannot help.
     RETURN_IF_ERROR(Connect());
     sent = SendFrame(request_id, type, payload);
   }

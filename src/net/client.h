@@ -19,6 +19,8 @@ namespace approxql::net {
 struct ClientOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  /// Bound on connection establishment (non-blocking connect +
+  /// poll(POLLOUT)); <= 0 waits forever.
   int connect_timeout_ms = 5000;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };

@@ -36,6 +36,7 @@ struct Server::Connection {
   int fd = -1;
   FrameDecoder decoder;
   std::chrono::steady_clock::time_point last_active;
+  bool want_read = true;
   bool want_write = false;
   std::string write_buffer;  // loop-thread staging, partially written
 
@@ -137,25 +138,46 @@ void Server::RequestDrain() {
   [[maybe_unused]] ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
 }
 
-void Server::Wait() {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (loop_thread_.joinable()) loop_thread_.join();
+void Server::JoinLoop() {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  if (!started_ || joined_) return;
+  if (joining_) {
+    // Someone else owns the join; wait for it rather than calling
+    // join() twice on the same thread.
+    lifecycle_cv_.wait(lock, [this] { return joined_; });
+    return;
+  }
+  joining_ = true;
+  // Join with lifecycle_mu_ released: a concurrent Shutdown must be
+  // able to store stop_/drain_ (it does so without the lock) and a
+  // concurrent Wait must be able to park on lifecycle_cv_.
+  lock.unlock();
+  loop_thread_.join();
+  lock.lock();
+  joined_ = true;
+  lifecycle_cv_.notify_all();
 }
+
+void Server::Wait() { JoinLoop(); }
 
 void Server::Shutdown(bool drain) {
   {
+    // Only the stop-flag store and a non-blocking eventfd wake happen
+    // under lifecycle_mu_ — never the join itself — so a thread parked
+    // in Wait() can no longer deadlock a concurrent Shutdown.
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
-    if (!started_ || joined_) return;
+    if (!started_) return;
     if (drain) {
       drain_.store(true, std::memory_order_release);
     } else {
       stop_.store(true, std::memory_order_release);
     }
-    uint64_t one = 1;
-    [[maybe_unused]] ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
-    if (loop_thread_.joinable()) loop_thread_.join();
-    joined_ = true;
+    if (!fds_closed_) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    }
   }
+  JoinLoop();
   // The loop is gone and every connection is marked closed; late
   // completions can only append to dead outboxes. Wait for them so no
   // callback outlives `this`.
@@ -165,6 +187,11 @@ void Server::Shutdown(bool drain) {
       return outstanding_.load(std::memory_order_acquire) == 0;
     });
   }
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (fds_closed_) return;
+    fds_closed_ = true;
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
@@ -173,6 +200,7 @@ void Server::Shutdown(bool drain) {
 
 void Server::Loop() {
   bool accepting = true;
+  std::chrono::steady_clock::time_point drain_start;
   epoll_event events[64];
   while (!stop_.load(std::memory_order_acquire)) {
     const bool draining = drain_.load(std::memory_order_acquire);
@@ -182,6 +210,16 @@ void Server::Loop() {
       // connection enters the loop.
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
       accepting = false;
+      drain_start = std::chrono::steady_clock::now();
+      // Drain step 1b: stop reading. Requests arriving now would only
+      // be turned away, and their kUnavailable responses would keep
+      // refilling outboxes — the quiesce check below could never
+      // converge against a peer that keeps sending. TCP flow control
+      // pushes back on such a peer instead. (No new connections appear
+      // during the drain, so one pass over the map is enough.)
+      for (const auto& [fd, conn] : connections_) {
+        UpdateEpoll(conn.get(), conn->want_write, /*want_read=*/false);
+      }
     }
 
     int n = ::epoll_wait(epoll_fd_, events, 64, draining ? 20 : 200);
@@ -245,6 +283,19 @@ void Server::Loop() {
         }
       }
       if (quiesced) break;
+      // A peer that refuses to read keeps its write_buffer nonempty
+      // forever, so quiescence alone is not a bound; past the grace
+      // period the drain hard-closes whatever is left (in-flight
+      // evaluations still retire on the pool).
+      if (options_.drain_timeout.count() > 0 &&
+          std::chrono::steady_clock::now() - drain_start >=
+              options_.drain_timeout) {
+        APPROXQL_LOG(Warning)
+            << "net: drain timed out after "
+            << options_.drain_timeout.count() << " ms; hard-closing "
+            << connections_.size() << " connection(s)";
+        break;
+      }
     }
   }
   std::vector<int> fds;
@@ -287,7 +338,13 @@ void Server::HandleAccept() {
 
 void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
   char buf[16384];
-  for (;;) {
+  // Bound the work done per event: reading until EAGAIN would let one
+  // firehose peer pin the loop inside this call indefinitely, starving
+  // every other connection — and the drain deadline, which is only
+  // checked between epoll passes. Level-triggered epoll re-reports the
+  // fd on the next pass, so leftover bytes are not lost.
+  constexpr int kMaxReadsPerEvent = 16;
+  for (int reads = 0; reads < kMaxReadsPerEvent; ++reads) {
     ssize_t n = ::read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
       bytes_read_->Increment(static_cast<uint64_t>(n));
@@ -335,7 +392,16 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
   if (header.type == static_cast<uint32_t>(MessageType::kMetricsDump)) {
     FrameHeader reply{kProtocolVersion, header.request_id,
                       static_cast<uint32_t>(MessageType::kMetricsText)};
-    EnqueueResponse(conn, reply, DumpMetrics());
+    std::string dump = DumpMetrics();
+    // A truncated dump beats an unframeable one: cap the text so the
+    // frame (4-byte length + header varints + CRC) stays under the
+    // limit. 32 bytes comfortably covers the non-payload overhead.
+    constexpr size_t kFrameOverhead = 32;
+    const size_t max_payload = options_.max_frame_bytes > kFrameOverhead
+                                   ? options_.max_frame_bytes - kFrameOverhead
+                                   : 0;
+    if (dump.size() > max_payload) dump.resize(max_payload);
+    EnqueueResponse(conn, reply, dump);
     FlushWrites(conn);
     return;
   }
@@ -425,7 +491,26 @@ void Server::EnqueueResponse(const std::shared_ptr<Connection>& conn,
                              const FrameHeader& header,
                              std::string_view payload) {
   std::string frame;
-  EncodeFrame(header, payload, &frame);
+  util::Status encoded =
+      EncodeFrame(header, payload, &frame, options_.max_frame_bytes);
+  if (!encoded.ok() &&
+      header.type == static_cast<uint32_t>(MessageType::kQueryResponse)) {
+    // The real response is too big for the wire (e.g. n=all on a large
+    // database): fail just this request with a bounded error instead of
+    // emitting a frame the peer would reject as stream corruption.
+    WireResponse error;
+    error.status_code =
+        static_cast<uint32_t>(util::StatusCode::kResourceExhausted);
+    error.status_message = encoded.message();
+    frame.clear();
+    encoded = EncodeFrame(header, EncodeQueryResponse(error), &frame,
+                          options_.max_frame_bytes);
+  }
+  if (!encoded.ok()) {
+    APPROXQL_LOG(Warning)
+        << "net: dropping oversized response frame: " << encoded.message();
+    return;
+  }
   std::lock_guard<std::mutex> lock(conn->out_mu);
   if (conn->closed.load(std::memory_order_acquire)) return;  // client gone
   conn->outbox.append(frame);
@@ -450,8 +535,11 @@ void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
   }
   size_t written = 0;
   while (written < conn->write_buffer.size()) {
-    ssize_t n = ::write(conn->fd, conn->write_buffer.data() + written,
-                        conn->write_buffer.size() - written);
+    // MSG_NOSIGNAL: a peer that reset its connection between epoll_wait
+    // and this flush must surface as EPIPE (close below), not as a
+    // process-terminating SIGPIPE.
+    ssize_t n = ::send(conn->fd, conn->write_buffer.data() + written,
+                       conn->write_buffer.size() - written, MSG_NOSIGNAL);
     if (n > 0) {
       written += static_cast<size_t>(n);
       bytes_written_->Increment(static_cast<uint64_t>(n));
@@ -465,15 +553,18 @@ void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
   conn->write_buffer.erase(0, written);
   if (written > 0) conn->last_active = std::chrono::steady_clock::now();
   const bool want_write = !conn->write_buffer.empty();
-  if (want_write != conn->want_write) UpdateEpoll(conn.get(), want_write);
+  if (want_write != conn->want_write) {
+    UpdateEpoll(conn.get(), want_write, conn->want_read);
+  }
 }
 
-void Server::UpdateEpoll(Connection* conn, bool want_write) {
+void Server::UpdateEpoll(Connection* conn, bool want_write, bool want_read) {
   epoll_event ev{};
-  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = conn->fd;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
     conn->want_write = want_write;
+    conn->want_read = want_read;
   }
 }
 

@@ -29,9 +29,18 @@
 //   - idle timeout → connections with no traffic and no in-flight
 //                    requests for idle_timeout are closed.
 //   - drain        → RequestDrain() (async-signal-safe; call it from a
-//                    SIGTERM handler) stops accepting, finishes all
-//                    in-flight requests, flushes their responses, then
-//                    closes everything and ends the loop.
+//                    SIGTERM handler) stops accepting and stops
+//                    reading, finishes all in-flight requests, flushes
+//                    their responses, then closes everything and ends
+//                    the loop. A peer that refuses to read its
+//                    responses cannot hold the loop open forever:
+//                    after drain_timeout the remaining connections are
+//                    hard-closed.
+//
+// All socket writes use send(MSG_NOSIGNAL), so a peer that resets its
+// connection between epoll_wait and a flush yields EPIPE (connection
+// closed) instead of a process-killing SIGPIPE; embedders need not
+// install a SIGPIPE handler.
 #ifndef APPROXQL_NET_SERVER_H_
 #define APPROXQL_NET_SERVER_H_
 
@@ -63,6 +72,11 @@ struct ServerOptions {
   /// Idle connections (no traffic, nothing in flight) are closed after
   /// this long; zero disables the sweep.
   std::chrono::milliseconds idle_timeout{60000};
+  /// Upper bound on a graceful drain: connections that have not
+  /// quiesced this long after the drain began are hard-closed (their
+  /// in-flight evaluations still retire on the pool, results dropped).
+  /// Zero means no bound.
+  std::chrono::milliseconds drain_timeout{10000};
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };
 
@@ -119,6 +133,10 @@ class Server {
  private:
   struct Connection;
 
+  /// Joins the loop thread exactly once, without holding lifecycle_mu_
+  /// across the join — concurrent Wait/Shutdown callers either perform
+  /// the join or wait on lifecycle_cv_ for whoever does.
+  void JoinLoop();
   void Loop();
   void HandleAccept();
   void HandleReadable(const std::shared_ptr<Connection>& conn);
@@ -129,7 +147,7 @@ class Server {
   /// Moves the outbox into the write buffer and writes what the socket
   /// accepts; arms/disarms EPOLLOUT as needed.
   void FlushWrites(const std::shared_ptr<Connection>& conn);
-  void UpdateEpoll(Connection* conn, bool want_write);
+  void UpdateEpoll(Connection* conn, bool want_write, bool want_read);
   void CloseConnection(int fd, const char* reason);
   void SweepIdle();
   /// Worker threads call this (via the completion callback) to get the
@@ -149,8 +167,11 @@ class Server {
   std::atomic<bool> stop_{false};
   std::atomic<bool> drain_{false};
   bool started_ = false;
+  bool joining_ = false;  // a thread is blocked in loop_thread_.join()
   bool joined_ = false;
-  std::mutex lifecycle_mu_;  // serializes Shutdown/Wait callers
+  bool fds_closed_ = false;
+  std::mutex lifecycle_mu_;  // guards the four flags above
+  std::condition_variable lifecycle_cv_;  // signaled when joined_ flips
 
   /// Loop-thread-only: fd → connection.
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;

@@ -1,6 +1,7 @@
 #include "net/wire.h"
 
 #include <cstring>
+#include <limits>
 
 #include "util/crc32.h"
 #include "util/varint.h"
@@ -47,17 +48,25 @@ util::Status GetLengthPrefixed(util::VarintReader* reader, std::string* out) {
 
 }  // namespace
 
-void EncodeFrame(const FrameHeader& header, std::string_view payload,
-                 std::string* out) {
+util::Status EncodeFrame(const FrameHeader& header, std::string_view payload,
+                         std::string* out, size_t max_frame_bytes) {
   std::string body;
   body.reserve(payload.size() + 16);
   util::PutVarint32(&body, header.version);
   util::PutVarint64(&body, header.request_id);
   util::PutVarint32(&body, header.type);
   body.append(payload);
-  PutFixed32(out, static_cast<uint32_t>(body.size() + kCrcBytes));
+  const uint64_t length = static_cast<uint64_t>(body.size()) + kCrcBytes;
+  if (length > max_frame_bytes ||
+      length > std::numeric_limits<uint32_t>::max()) {
+    return util::Status::ResourceExhausted(
+        "frame body " + std::to_string(length) + " bytes exceeds limit " +
+        std::to_string(max_frame_bytes));
+  }
+  PutFixed32(out, static_cast<uint32_t>(length));
   out->append(body);
   PutFixed32(out, util::Crc32c(body));
+  return util::Status::OK();
 }
 
 FrameDecoder::Next FrameDecoder::Take(FrameHeader* header,

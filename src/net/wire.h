@@ -61,8 +61,14 @@ struct FrameHeader {
 };
 
 /// Appends one complete frame (length prefix, header, payload, CRC).
-void EncodeFrame(const FrameHeader& header, std::string_view payload,
-                 std::string* out);
+/// Enforces the same bound the receiving FrameDecoder does: if the body
+/// plus CRC would exceed `max_frame_bytes` (or overflow the uint32
+/// length prefix), nothing is appended and ResourceExhausted is
+/// returned — the sender must degrade (error response, truncation)
+/// rather than emit a frame the peer will treat as stream corruption.
+util::Status EncodeFrame(const FrameHeader& header, std::string_view payload,
+                         std::string* out,
+                         size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
 /// Incremental frame extraction over a TCP byte stream: Append whatever
 /// arrived, then Take until kNeedMore. Tolerates frames split across

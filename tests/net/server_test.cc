@@ -524,6 +524,82 @@ TEST_F(ServerTest, ConnectionLimitRejectsExcessConnections) {
   }
 }
 
+TEST_F(ServerTest, ShutdownWhileAnotherThreadWaitsDoesNotDeadlock) {
+  // Wait() used to hold the lifecycle mutex across the join, so a
+  // concurrent Shutdown could never store the stop flag: both threads
+  // hung forever. Shutdown must be able to end the loop out from under
+  // a parked Wait().
+  StartServer();
+  std::thread waiter([this] { server_->Wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server_->Shutdown(/*drain=*/false);
+  waiter.join();
+}
+
+TEST_F(ServerTest, DrainTimesOutUnderContinuousLoad) {
+  // A peer that floods requests and never reads its responses keeps
+  // its write_buffer nonempty, so the quiesce check alone never
+  // converges; the drain deadline must bound the loop's lifetime.
+  ServerOptions options;
+  options.drain_timeout = std::chrono::milliseconds(200);
+  StartServer(ServiceOptions{.num_threads = 2}, options);
+  int fd = ConnectRaw(server_->port());
+  ASSERT_GE(fd, 0);
+  WireRequest request;
+  request.query = kQuery;
+  request.bypass_cache = true;
+  std::string wire;
+  ASSERT_TRUE(EncodeFrame(
+                  FrameHeader{kProtocolVersion, 1,
+                              static_cast<uint32_t>(MessageType::kQueryRequest)},
+                  EncodeQueryRequest(request), &wire)
+                  .ok());
+  std::thread spammer([&] {
+    // Send and never read, until the server hard-closes the socket.
+    while (SendAll(fd, wire)) {
+    }
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->GetStats().requests == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "no request ever reached the server";
+    std::this_thread::yield();
+  }
+  server_->RequestDrain();
+  server_->Wait();  // must return via the drain deadline, not hang
+  spammer.join();
+  ::close(fd);
+}
+
+TEST_F(ServerTest, MetricsDumpIsTruncatedToTheFrameLimit) {
+  // The full dump text is well over this limit; the server must shrink
+  // it to something frameable instead of emitting an oversized frame
+  // the client's decoder would reject as corruption.
+  ServerOptions options;
+  options.max_frame_bytes = 512;
+  StartServer(ServiceOptions{.num_threads = 2}, options);
+  Client client = MakeClient();
+  auto metrics = client.FetchMetrics(/*deadline_ms=*/5000);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_LE(metrics->size(), 512u);
+  EXPECT_FALSE(metrics->empty());
+  // The connection survived and still serves queries.
+  WireRequest request;
+  request.query = kQuery;
+  EXPECT_TRUE(client.Call(request, 5000).ok());
+}
+
+TEST(ClientConnectTest, RefusedConnectionFailsWithoutHanging) {
+  ClientOptions options;
+  options.port = 1;  // nothing listens here
+  options.connect_timeout_ms = 2000;
+  Client client(options);
+  util::Status status = client.Connect();
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(client.connected());
+}
+
 TEST_F(ServerTest, ShutdownWithoutDrainIsSafeWithRequestsInFlight) {
   StartServer();
   std::vector<std::thread> callers;

@@ -147,6 +147,32 @@ TEST(FrameTest, CorruptedByteFailsCrc) {
             FrameDecoder::Next::kError);
 }
 
+TEST(FrameTest, EncodeRejectsBodyOverFrameLimit) {
+  // The sender must enforce the same bound the receiver does — an
+  // oversized frame on the wire would poison the peer's decoder.
+  std::string wire;
+  std::string payload(2000, 'x');
+  util::Status status =
+      EncodeFrame(MakeHeader(1, MessageType::kQueryResponse), payload, &wire,
+                  /*max_frame_bytes=*/1024);
+  EXPECT_TRUE(status.IsResourceExhausted()) << status;
+  EXPECT_TRUE(wire.empty()) << "failed encode must not emit partial bytes";
+
+  // Just under the limit still encodes and decodes.
+  std::string small(900, 'x');
+  ASSERT_TRUE(EncodeFrame(MakeHeader(2, MessageType::kQueryResponse), small,
+                          &wire, /*max_frame_bytes=*/1024)
+                  .ok());
+  FrameDecoder decoder(/*max_frame_bytes=*/1024);
+  decoder.Append(wire.data(), wire.size());
+  FrameHeader header;
+  std::string decoded;
+  util::Status error;
+  ASSERT_EQ(decoder.Take(&header, &decoded, &error),
+            FrameDecoder::Next::kFrame);
+  EXPECT_EQ(decoded, small);
+}
+
 TEST(FrameTest, OversizedLengthRejectedBeforeBuffering) {
   FrameDecoder decoder(/*max_frame_bytes=*/1024);
   // A 4-byte prefix claiming 1 MiB must fail immediately — the decoder
