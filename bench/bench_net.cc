@@ -26,6 +26,10 @@
 #include "util/histogram.h"
 #include "util/timer.h"
 
+#ifndef APPROXQL_BUILD_TYPE
+#define APPROXQL_BUILD_TYPE "unknown"
+#endif
+
 namespace approxql::bench {
 namespace {
 
@@ -151,8 +155,11 @@ int Run() {
   APPROXQL_CHECK(out != nullptr) << "cannot write BENCH_net.json";
   std::fprintf(out,
                "{\n  \"benchmark\": \"wire_serving\",\n"
+               "  \"config\": {\"elements\": %zu, \"queries\": %zu, "
+               "\"shards\": 1, \"build_type\": \"%s\"},\n"
                "  \"elements\": %zu,\n  \"queries\": %zu,\n"
                "  \"rounds\": %zu,\n  \"levels\": [\n",
+               gen_options.total_elements, queries.size(), APPROXQL_BUILD_TYPE,
                gen_options.total_elements, queries.size(), kRounds);
   for (size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];

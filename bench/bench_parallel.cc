@@ -20,6 +20,10 @@
 #include "service/query_service.h"
 #include "util/timer.h"
 
+#ifndef APPROXQL_BUILD_TYPE
+#define APPROXQL_BUILD_TYPE "unknown"
+#endif
+
 namespace approxql::bench {
 namespace {
 
@@ -151,7 +155,10 @@ int Run() {
   APPROXQL_CHECK(out != nullptr) << "cannot write BENCH_parallel.json";
   std::fprintf(out,
                "{\n  \"benchmark\": \"parallel_intra_query\",\n"
+               "  \"config\": {\"elements\": %zu, \"queries\": %zu, "
+               "\"shards\": 1, \"build_type\": \"%s\"},\n"
                "  \"elements\": %zu,\n  \"queries\": %zu,\n  \"levels\": [\n",
+               gen_options.total_elements, queries.size(), APPROXQL_BUILD_TYPE,
                gen_options.total_elements, queries.size());
   for (size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];

@@ -53,10 +53,17 @@
 #include "net/server.h"
 #include "service/query_service.h"
 #include "service/workload.h"
+#include "shard/sharded_database.h"
 #include "util/histogram.h"
+#include "util/random.h"
 #include "util/timer.h"
 
+#ifndef APPROXQL_BUILD_TYPE
+#define APPROXQL_BUILD_TYPE "unknown"
+#endif
+
 using approxql::engine::Database;
+using approxql::shard::ShardedDatabase;
 using approxql::engine::Strategy;
 using approxql::net::Client;
 using approxql::net::ClientOptions;
@@ -91,6 +98,9 @@ int Usage() {
       "  --n N            best-n bound per query (default 10)\n"
       "  --strategy S     schema|direct|scan (default schema)\n"
       "  --deadline-ms N  per-request deadline, 0 = none (default 0)\n"
+      "  --shards N       partition the corpus into N shards and serve\n"
+      "                   with scatter-gather, 1 = single database "
+      "(default 1)\n"
       "  --gen-data N     build a synthetic collection of ~N elements\n"
       "  --gen N          generate an N-query workload from the paper's\n"
       "                   patterns instead of --workload\n"
@@ -292,6 +302,7 @@ int main(int argc, char** argv) {
   std::string connect_spec;
   size_t clients = 8, passes = 2, repeat = 1;
   size_t gen_data = 0, gen_queries = 0, seed = 42;
+  size_t shards = 1;
   size_t listen_port = 0;
   bool listen_mode = false, verify = false;
   int deadline_ms = 0;
@@ -353,6 +364,8 @@ int main(int argc, char** argv) {
       if (!next_num(&gen_queries) || gen_queries == 0) return Usage();
     } else if (arg == "--seed") {
       if (!next_num(&seed)) return Usage();
+    } else if (arg == "--shards") {
+      if (!next_num(&shards) || shards == 0) return Usage();
     } else if (arg == "--listen") {
       if (!next_num(&listen_port) || listen_port > 65535) return Usage();
       listen_mode = true;
@@ -422,7 +435,26 @@ int main(int argc, char** argv) {
       gen_options.total_elements = gen_data;
       gen_options.vocabulary = std::max<size_t>(1000, gen_data / 10);
       approxql::gen::XmlGenerator generator(gen_options);
+      // Seeded approximate-match costs: generated workload queries
+      // sample labels independently of structure, so exact embeddings
+      // are rare — without delete costs in the *database's* model a
+      // wire replay would verify mostly-empty answer lists (per-query
+      // cost models cannot ride the wire). Baking a deterministic
+      // delete-cost table derived from --seed into the build-time
+      // model makes the workload return real ranked answers, and lets
+      // a --verify client reconstruct the identical model.
       approxql::cost::CostModel model;
+      approxql::util::Rng cost_rng(seed ^ 0x9E3779B97F4A7C15ULL);
+      for (size_t i = 0; i < gen_options.element_names; ++i) {
+        model.SetDeleteCost(
+            approxql::NodeType::kStruct, "elem" + std::to_string(i),
+            static_cast<approxql::cost::Cost>(cost_rng.UniformInt(2, 10)));
+      }
+      for (size_t i = 0; i < gen_options.vocabulary; ++i) {
+        model.SetDeleteCost(
+            approxql::NodeType::kText, "term" + std::to_string(i),
+            static_cast<approxql::cost::Cost>(cost_rng.UniformInt(2, 10)));
+      }
       auto tree = generator.GenerateTree(model);
       if (!tree.ok()) {
         std::fprintf(stderr, "gen: %s\n", tree.status().ToString().c_str());
@@ -484,28 +516,57 @@ int main(int argc, char** argv) {
                  stats.nodes, stats.distinct_labels, stats.schema_nodes);
   }
 
+  // Sharded backend: partition the corpus the single database holds.
+  // The single db stays alive — the query generator samples from it, and
+  // --verify's oracle deliberately runs unsharded so a wire replay
+  // cross-checks scatter-gather answers against the single-database path.
+  std::unique_ptr<ShardedDatabase> sharded;
+  if (db != nullptr && shards > 1) {
+    auto partitioned =
+        ShardedDatabase::Partition(db->tree(), db->cost_model(), shards);
+    if (!partitioned.ok()) {
+      std::fprintf(stderr, "shard: %s\n",
+                   partitioned.status().ToString().c_str());
+      return 1;
+    }
+    sharded = std::make_unique<ShardedDatabase>(std::move(partitioned).value());
+    auto sstats = sharded->GetStats();
+    std::fprintf(stderr,
+                 "sharded: %zu shards, %zu documents, %zu global classes "
+                 "(layout fingerprint %08x)\n",
+                 sstats.num_shards, sstats.documents, sstats.global_classes,
+                 sharded->LayoutFingerprint());
+  }
+
   if (listen_mode) {
-    QueryService service(*db, service_options);
+    auto service = sharded != nullptr
+                       ? std::make_unique<QueryService>(*sharded,
+                                                        service_options)
+                       : std::make_unique<QueryService>(*db, service_options);
     ServerOptions server_options;
     server_options.port = static_cast<uint16_t>(listen_port);
-    Server server(service, *db, server_options);
-    auto started = server.Start();
+    auto server =
+        sharded != nullptr
+            ? std::make_unique<Server>(*service, *sharded, server_options)
+            : std::make_unique<Server>(*service, *db, server_options);
+    auto started = server->Start();
     if (!started.ok()) {
       std::fprintf(stderr, "%s\n", started.ToString().c_str());
       return 1;
     }
-    g_server = &server;
+    g_server = server.get();
     std::signal(SIGTERM, HandleDrainSignal);
     std::signal(SIGINT, HandleDrainSignal);
     std::fprintf(stderr,
-                 "listening on %s:%u (%zu workers, queue %zu) — SIGTERM "
-                 "drains\n",
-                 server_options.bind_address.c_str(), server.port(),
-                 service_options.num_threads, service_options.queue_capacity);
-    server.Wait();  // returns when a drain signal quiesces the loop
+                 "listening on %s:%u (%zu workers, queue %zu, %zu shard%s) — "
+                 "SIGTERM drains\n",
+                 server_options.bind_address.c_str(), server->port(),
+                 service_options.num_threads, service_options.queue_capacity,
+                 shards, shards == 1 ? "" : "s");
+    server->Wait();  // returns when a drain signal quiesces the loop
     g_server = nullptr;
-    std::printf("--- server metrics ---\n%s", server.DumpMetrics().c_str());
-    server.Shutdown(/*drain=*/true);
+    std::printf("--- server metrics ---\n%s", server->DumpMetrics().c_str());
+    server->Shutdown(/*drain=*/true);
     return 0;
   }
 
@@ -548,7 +609,12 @@ int main(int argc, char** argv) {
       }
       std::fprintf(out,
                    "{\n  \"benchmark\": \"wire_replay\",\n"
+                   "  \"config\": {\"shards\": %zu, \"clients\": %zu, "
+                   "\"threads\": %zu, \"parallelism\": %zu, "
+                   "\"build_type\": \"%s\"},\n"
                    "  \"clients\": %zu,\n  \"passes\": [\n",
+                   shards, clients, service_options.num_threads,
+                   service_options.parallelism, APPROXQL_BUILD_TYPE,
                    clients);
       for (size_t p = 0; p < results.size(); ++p) {
         const PassResult& r = results[p];
@@ -583,13 +649,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  QueryService service(*db, service_options);
+  auto service =
+      sharded != nullptr
+          ? std::make_unique<QueryService>(*sharded, service_options)
+          : std::make_unique<QueryService>(*db, service_options);
   for (size_t pass = 1; pass <= passes; ++pass) {
-    PassResult result = RunPass(service, workload_queries, clients, repeat,
+    PassResult result = RunPass(*service, workload_queries, clients, repeat,
                                 exec, deadline_ms);
     PrintPass(pass, result, /*wire=*/false);
   }
 
-  std::printf("--- service metrics ---\n%s", service.DumpMetrics().c_str());
+  std::printf("--- service metrics ---\n%s", service->DumpMetrics().c_str());
   return 0;
 }

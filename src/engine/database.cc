@@ -97,7 +97,10 @@ Result<std::vector<QueryAnswer>> Database::Execute(
   std::vector<RootCost> results;
   switch (options.strategy) {
     case Strategy::kDirect: {
-      DirectEvaluator evaluator(EncodedTree::Of(*tree_), label_index_,
+      const index::PostingSource& source = options.posting_source != nullptr
+                                               ? *options.posting_source
+                                               : label_index_;
+      DirectEvaluator evaluator(EncodedTree::Of(*tree_), source,
                                 tree_->labels(), options.direct);
       results = evaluator.BestN(expanded, options.n);
       if (options.direct_stats_out != nullptr) {

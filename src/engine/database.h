@@ -37,6 +37,12 @@ struct ExecOptions {
   const cost::CostModel* cost_model = nullptr;
   SchemaEvaluator::Options schema;
   DirectEvaluator::Options direct;
+  /// Posting source for the direct strategy instead of the database's
+  /// in-memory label index (e.g. a shard's own stored postings, so
+  /// concurrent fetches hit disjoint storage partitions). Must index the
+  /// same tree — postings are identical, only their storage differs.
+  /// Ignored by kSchema/kFullScan. Must outlive the call.
+  const index::PostingSource* posting_source = nullptr;
   /// Optional out-parameters: filled with the evaluator's counters when
   /// non-null (benchmarks and tests inspect these).
   SchemaEvalStats* schema_stats_out = nullptr;

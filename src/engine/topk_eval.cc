@@ -98,6 +98,27 @@ void TopKPairs(const std::vector<const SkeletonRef*>& left,
 
 }  // namespace
 
+std::shared_ptr<const index::Posting> SharedSkeletonMemo::Lookup(
+    const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(signature);
+  return it != map_.end() ? it->second : nullptr;
+}
+
+void SharedSkeletonMemo::Insert(const std::string& signature,
+                                index::Posting posting) {
+  auto shared = std::make_shared<const index::Posting>(std::move(posting));
+  std::lock_guard<std::mutex> lock(mu_);
+  // First writer wins; concurrent inserts for one signature carry the
+  // same deterministic posting, so dropping the copy is safe.
+  map_.emplace(signature, std::move(shared));
+}
+
+size_t SharedSkeletonMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
 SchemaEvaluator::SchemaEvaluator(const schema::Schema& schema,
                                  const doc::DataTree& tree, Options options)
     : schema_(schema), tree_(tree), options_(options) {}
@@ -403,6 +424,20 @@ TopKList SchemaEvaluator::TopKQueries(const ExpandedQuery& query, size_t k) {
 index::Posting SchemaEvaluator::ExecuteSecondary(const SkeletonRef& skeleton) {
   auto it = secondary_memo_.find(skeleton.get());
   if (it != secondary_memo_.end()) return it->second;
+  // The cross-evaluator memo is consulted (and filled) per skeleton,
+  // including the recursive child executions below, so overlapping
+  // sub-skeletons computed by a concurrent disjunct are reused too.
+  std::string shared_key;
+  if (options_.shared_memo != nullptr) {
+    shared_key = Signature(*skeleton);
+    if (auto shared = options_.shared_memo->Lookup(shared_key);
+        shared != nullptr) {
+      ++stats_.shared_memo_hits;
+      secondary_memo_.emplace(skeleton.get(), *shared);
+      memo_guard_.push_back(skeleton);
+      return *shared;
+    }
+  }
   ++stats_.second_level_executed;
   index::Posting result;
   const index::Posting* posting =
@@ -429,6 +464,9 @@ index::Posting SchemaEvaluator::ExecuteSecondary(const SkeletonRef& skeleton) {
       }
       result = std::move(filtered);
     }
+  }
+  if (options_.shared_memo != nullptr) {
+    options_.shared_memo->Insert(shared_key, result);
   }
   secondary_memo_.emplace(skeleton.get(), result);
   memo_guard_.push_back(skeleton);
@@ -508,6 +546,15 @@ std::vector<RootCost> SchemaEvaluator::BestN(const ExpandedQuery& query,
         done = true;
         break;
       }
+      // External bound (scatter-gather): a competing evaluation already
+      // holds n answers at or below this cost, so costlier skeletons are
+      // globally useless — even when *this* evaluation has fewer than n
+      // results. Inclusive: ties at the bound still run, which is what
+      // keeps the merged (cost, root) ranking bit-identical.
+      if (options_.cost_bound && skeleton->cost > options_.cost_bound()) {
+        done = true;
+        break;
+      }
       std::string signature = Signature(*skeleton);
       if (!executed.insert(std::move(signature)).second) continue;
       index::Posting roots = ExecuteSecondary(skeleton);
@@ -521,6 +568,7 @@ std::vector<RootCost> SchemaEvaluator::BestN(const ExpandedQuery& query,
       if (!have_boundary && results.size() >= n) {
         have_boundary = true;
         boundary = skeleton->cost;
+        if (options_.publish_bound) options_.publish_bound(boundary);
       }
     }
     if (stats_.cancelled) break;

@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -60,6 +61,7 @@ struct SchemaEvalStats {
   uint64_t entries_created = 0;
   uint64_t second_level_executed = 0;
   uint64_t instances_scanned = 0;  // posting entries touched by secondary
+  uint64_t shared_memo_hits = 0;   // skeletons answered by a shared memo
   /// True if BestN stopped at Options::max_k before either finding n
   /// results or exhausting the closure. The returned results are still
   /// the true best ones found so far; the list may just be short.
@@ -68,6 +70,34 @@ struct SchemaEvalStats {
   /// k_capped, everything returned up to that point is correct — the
   /// list may just be short.
   bool cancelled = false;
+};
+
+/// A signature-keyed memo of second-level (skeleton) results shared
+/// across SchemaEvaluators running against the *same* schema and tree —
+/// the PR 2 disjunct fan-out: disjuncts differ only in or-branch
+/// choices, so most of their skeletons overlap and per-evaluator memos
+/// re-execute them. Thread-safe; results are deterministic per
+/// signature, so whichever evaluator computes one first stores the same
+/// posting every other would. Never share one memo across different
+/// schemas (signatures embed schema preorder numbers).
+class SharedSkeletonMemo {
+ public:
+  SharedSkeletonMemo() = default;
+  SharedSkeletonMemo(const SharedSkeletonMemo&) = delete;
+  SharedSkeletonMemo& operator=(const SharedSkeletonMemo&) = delete;
+
+  /// The memoized posting for a skeleton signature, or nullptr.
+  std::shared_ptr<const index::Posting> Lookup(
+      const std::string& signature) const;
+
+  /// Stores (or keeps the existing, identical) posting for `signature`.
+  void Insert(const std::string& signature, index::Posting posting);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const index::Posting>> map_;
 };
 
 class SchemaEvaluator {
@@ -94,6 +124,22 @@ class SchemaEvaluator {
     /// fired check still yields the correct (possibly short) prefix of
     /// results. Null = never cancelled.
     std::function<bool()> cancelled;
+    /// External *inclusive* upper bound on useful skeleton cost, polled
+    /// before each second-level execution (sharded scatter-gather: the
+    /// best known cost of a competing n-th answer). Skeletons with cost
+    /// strictly above the bound are pruned — they can never enter the
+    /// global top n — so the answers BestN returns are exactly its
+    /// answers with cost <= bound (up to n). Null = no bound.
+    std::function<cost::Cost()> cost_bound;
+    /// Called at most once per BestN, when the evaluation first
+    /// accumulates n results, with the crossing skeleton's cost — an
+    /// upper bound on this evaluation's true n-th cost. Scatter-gather
+    /// feeds it back into other shards' cost_bound.
+    std::function<void(cost::Cost)> publish_bound;
+    /// Optional cross-evaluator memo of second-level results (see
+    /// SharedSkeletonMemo). Must outlive the evaluator and refer to the
+    /// same schema/tree.
+    SharedSkeletonMemo* shared_memo = nullptr;
   };
 
   /// `schema`, `tree` (its labels and encoding) must outlive this.

@@ -1,5 +1,7 @@
 #include "index/stored_label_index.h"
 
+#include <chrono>
+
 #include "util/varint.h"
 
 namespace approxql::index {
@@ -7,7 +9,19 @@ namespace approxql::index {
 const Posting* StoredLabelIndex::Fetch(NodeType type,
                                        doc::LabelId label) const {
   uint64_t key = Key(type, label);
-  std::lock_guard<std::mutex> lock(mu_);
+  // Contention probe: a failed try_lock means another thread holds the
+  // store mutex right now — the signal the sharded bench compares
+  // against the single-shared-store baseline. The wait itself is timed.
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    auto wait_started = std::chrono::steady_clock::now();
+    lock.lock();
+    ++lock_waits_;
+    lock_wait_us_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_started)
+            .count());
+  }
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second.get();
 

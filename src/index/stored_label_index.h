@@ -39,6 +39,19 @@ class StoredLabelIndex : public PostingSource {
     return corrupt_fetches_;
   }
 
+  /// Contention counters: fetches that found the store mutex held by
+  /// another thread, and the total time they spent waiting for it. The
+  /// sharding bench reports these against the single-shared-store
+  /// baseline (per-shard stores should drive both toward zero).
+  uint64_t lock_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lock_waits_;
+  }
+  uint64_t lock_wait_us() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lock_wait_us_;
+  }
+
  private:
   static uint64_t Key(NodeType type, doc::LabelId label) {
     return (static_cast<uint64_t>(type) << 32) | label;
@@ -57,6 +70,8 @@ class StoredLabelIndex : public PostingSource {
   // is what lets Fetch hand out stable Posting pointers.
   mutable std::unordered_map<uint64_t, std::unique_ptr<Posting>> cache_;
   mutable size_t corrupt_fetches_ = 0;
+  mutable uint64_t lock_waits_ = 0;
+  mutable uint64_t lock_wait_us_ = 0;
 };
 
 }  // namespace approxql::index

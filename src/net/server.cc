@@ -13,6 +13,7 @@
 
 #include <utility>
 
+#include "shard/sharded_database.h"
 #include "util/logging.h"
 
 namespace approxql::net {
@@ -52,8 +53,34 @@ struct Server::Connection {
 
 Server::Server(service::QueryService& service, const engine::Database& db,
                ServerOptions options)
+    : Server(service,
+             // Walk parents to the child of the super-root: the document
+             // root containing `node` (Database keeps no document table).
+             [&db](doc::NodeId node) -> doc::NodeId {
+               const doc::DataTree& tree = db.tree();
+               if (node == tree.root() || node >= tree.size()) return node;
+               doc::NodeId current = node;
+               for (;;) {
+                 doc::NodeId parent = tree.node(current).parent;
+                 if (parent == tree.root() || parent == doc::kInvalidNode) {
+                   return current;
+                 }
+                 current = parent;
+               }
+             },
+             std::move(options)) {}
+
+Server::Server(service::QueryService& service, const shard::ShardedDatabase& db,
+               ServerOptions options)
+    : Server(service,
+             [&db](doc::NodeId node) { return db.DocRootOf(node); },
+             std::move(options)) {}
+
+Server::Server(service::QueryService& service,
+               std::function<doc::NodeId(doc::NodeId)> doc_root_of,
+               ServerOptions options)
     : service_(service),
-      db_(db),
+      doc_root_of_(std::move(doc_root_of)),
       options_(std::move(options)),
       connections_open_(metrics_.RegisterGauge("net_connections_open")),
       connections_accepted_(
@@ -602,17 +629,6 @@ void Server::SweepIdle() {
     if (outbox_empty) idle.push_back(fd);
   }
   for (int fd : idle) CloseConnection(fd, "idle timeout");
-}
-
-doc::NodeId Server::DocRootOf(doc::NodeId node) const {
-  const doc::DataTree& tree = db_.tree();
-  if (node == tree.root() || node >= tree.size()) return node;
-  doc::NodeId current = node;
-  for (;;) {
-    doc::NodeId parent = tree.node(current).parent;
-    if (parent == tree.root() || parent == doc::kInvalidNode) return current;
-    current = parent;
-  }
 }
 
 Server::Stats Server::GetStats() const {

@@ -48,6 +48,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -60,6 +61,10 @@
 #include "service/metrics.h"
 #include "service/query_service.h"
 #include "util/status.h"
+
+namespace approxql::shard {
+class ShardedDatabase;
+}  // namespace approxql::shard
 
 namespace approxql::net {
 
@@ -86,6 +91,10 @@ class Server {
   /// service fronts (used only to resolve each answer's document root
   /// for the wire response). Both must outlive the server.
   Server(service::QueryService& service, const engine::Database& db,
+         ServerOptions options);
+  /// Sharded-backend flavor: answer roots are global ids, resolved
+  /// through the shard layout's document table.
+  Server(service::QueryService& service, const shard::ShardedDatabase& db,
          ServerOptions options);
   /// Equivalent to Shutdown(/*drain=*/false).
   ~Server();
@@ -153,10 +162,20 @@ class Server {
   /// Worker threads call this (via the completion callback) to get the
   /// loop's attention for a connection with a freshly filled outbox.
   void NotifyWritable(const std::shared_ptr<Connection>& conn);
-  doc::NodeId DocRootOf(doc::NodeId node) const;
+  doc::NodeId DocRootOf(doc::NodeId node) const {
+    return doc_root_of_(node);
+  }
+
+  Server(service::QueryService& service,
+         std::function<doc::NodeId(doc::NodeId)> doc_root_of,
+         ServerOptions options);
 
   service::QueryService& service_;
-  const engine::Database& db_;
+  /// Maps an answer root to its containing document root — the only
+  /// thing the wire layer needs from the corpus, abstracted so single
+  /// and sharded backends plug in alike. Must be thread-safe (worker
+  /// threads call it concurrently).
+  const std::function<doc::NodeId(doc::NodeId)> doc_root_of_;
   const ServerOptions options_;
 
   int listen_fd_ = -1;

@@ -10,6 +10,8 @@
 #include "query/ast.h"
 #include "query/separated.h"
 #include "service/parallel.h"
+#include "shard/sharded_database.h"
+#include "util/crc32.h"
 
 namespace approxql::service {
 
@@ -58,7 +60,19 @@ class PendingResponse {
 }  // namespace
 
 QueryService::QueryService(const engine::Database& db, ServiceOptions options)
+    : QueryService(&db, nullptr, std::move(options)) {}
+
+QueryService::QueryService(const shard::ShardedDatabase& db,
+                           ServiceOptions options)
+    : QueryService(nullptr, &db, std::move(options)) {}
+
+QueryService::QueryService(const engine::Database* db,
+                           const shard::ShardedDatabase* sharded,
+                           ServiceOptions options)
     : db_(db),
+      sharded_(sharded),
+      backend_fingerprint_(sharded != nullptr ? sharded->LayoutFingerprint()
+                                              : util::Crc32c("backend=single")),
       options_(options),
       cache_(options.cache_capacity),
       submitted_(metrics_.RegisterCounter("queries_submitted")),
@@ -178,12 +192,13 @@ QueryResponse QueryService::Run(QueryRequest& request,
 
   const cost::CostModel& effective_model = request.exec.cost_model != nullptr
                                                ? *request.exec.cost_model
-                                               : db_.cost_model();
+                                               : BackendCostModel();
   CacheKey key;
   key.normalized_query = query.ToString();
   key.strategy = request.exec.strategy;
   key.n = request.exec.n;
   key.cost_fingerprint = FingerprintCostModel(effective_model);
+  key.backend_fingerprint = backend_fingerprint_;
 
   if (!request.bypass_cache) {
     if (auto cached = cache_.Lookup(key); cached != nullptr) {
@@ -224,14 +239,18 @@ QueryResponse QueryService::Run(QueryRequest& request,
   const size_t parallelism = request.parallelism != 0 ? request.parallelism
                                                       : options_.parallelism;
   QueryResponse r;
-  bool handled =
-      parallelism > 1 && RunParallel(query, exec, parallelism, cancelled, &r);
-  if (!handled) {
-    auto answers = db_.Execute(query, exec);
-    if (answers.ok()) {
-      r.answers = std::move(*answers);
-    } else {
-      r.status = answers.status();
+  if (sharded_ != nullptr) {
+    r = RunSharded(query, exec, parallelism, cancelled);
+  } else {
+    bool handled =
+        parallelism > 1 && RunParallel(query, exec, parallelism, cancelled, &r);
+    if (!handled) {
+      auto answers = db_->Execute(query, exec);
+      if (answers.ok()) {
+        r.answers = std::move(*answers);
+      } else {
+        r.status = answers.status();
+      }
     }
   }
 
@@ -270,7 +289,7 @@ bool QueryService::RunParallel(const query::Query& query,
   const bool direct = exec.strategy == engine::Strategy::kDirect;
 
   const cost::CostModel& model =
-      exec.cost_model != nullptr ? *exec.cost_model : db_.cost_model();
+      exec.cost_model != nullptr ? *exec.cost_model : db_->cost_model();
 
   // The separated representation is exponential in the or-count; when
   // it overflows its limit, the serial engines (which encode "or"
@@ -296,11 +315,11 @@ bool QueryService::RunParallel(const query::Query& query,
   if (direct) {
     plan = engine::FetchPlan(*expanded);
     Clock::time_point fetch_started = Clock::now();
-    const engine::EncodedTree tree = engine::EncodedTree::Of(db_.tree());
+    const engine::EncodedTree tree = engine::EncodedTree::Of(db_->tree());
     ParallelForResult fetched = ParallelFor(
         &pool_, plan.size(),
         [&](size_t i) {
-          plan.Materialize(i, tree, db_.label_index(), db_.tree().labels());
+          plan.Materialize(i, tree, db_->label_index(), db_->tree().labels());
         },
         pf);
     parallel_tasks_->Increment(fetched.executed);
@@ -318,7 +337,7 @@ bool QueryService::RunParallel(const query::Query& query,
   if (disjuncts < 2) {
     // One conjunct: only the fetch stage parallelized; evaluate inline.
     Clock::time_point eval_started = Clock::now();
-    auto answers = db_.Execute(query, exec);
+    auto answers = db_->Execute(query, exec);
     parallel_eval_us_->Record(static_cast<uint64_t>(MicrosSince(eval_started)));
     if (answers.ok()) {
       out->answers = std::move(*answers);
@@ -346,6 +365,12 @@ bool QueryService::RunParallel(const query::Query& query,
     subqueries.push_back(conjunct.ToQuery());
   }
   std::vector<Part> parts(disjuncts);
+  // Disjuncts differ only in their or-branch choices, so their skeleton
+  // closures overlap heavily; a shared second-level memo lets whichever
+  // disjunct executes a skeleton first answer it for all the others
+  // (results are deterministic per signature, so sharing cannot change
+  // answers — only skip re-execution).
+  engine::SharedSkeletonMemo skeleton_memo;
   Clock::time_point eval_started = Clock::now();
   ParallelForResult evaluated = ParallelFor(
       &pool_, disjuncts,
@@ -353,7 +378,10 @@ bool QueryService::RunParallel(const query::Query& query,
         engine::ExecOptions sub = exec;
         sub.schema_stats_out = &parts[i].schema_stats;
         sub.direct_stats_out = &parts[i].direct_stats;
-        auto result = db_.Execute(subqueries[i], sub);
+        if (sub.strategy == engine::Strategy::kSchema) {
+          sub.schema.shared_memo = &skeleton_memo;
+        }
+        auto result = db_->Execute(subqueries[i], sub);
         if (result.ok()) {
           parts[i].answers = std::move(*result);
         } else {
@@ -376,6 +404,7 @@ bool QueryService::RunParallel(const query::Query& query,
       total.entries_created += part.schema_stats.entries_created;
       total.second_level_executed += part.schema_stats.second_level_executed;
       total.instances_scanned += part.schema_stats.instances_scanned;
+      total.shared_memo_hits += part.schema_stats.shared_memo_hits;
       total.k_capped = total.k_capped || part.schema_stats.k_capped;
       total.cancelled = total.cancelled || part.schema_stats.cancelled;
     }
@@ -435,6 +464,41 @@ bool QueryService::RunParallel(const query::Query& query,
   return true;
 }
 
+QueryResponse QueryService::RunSharded(const query::Query& query,
+                                       engine::ExecOptions& exec,
+                                       size_t parallelism,
+                                       const std::function<bool()>& cancelled) {
+  QueryResponse r;
+  shard::ScatterOptions scatter;
+  scatter.pool = &pool_;
+  scatter.parallelism = parallelism;
+  scatter.cancelled = cancelled;
+  shard::ScatterStats stats;
+  Clock::time_point eval_started = Clock::now();
+  auto answers = sharded_->Execute(query, exec, scatter, &stats);
+  parallel_eval_us_->Record(static_cast<uint64_t>(MicrosSince(eval_started)));
+  parallel_tasks_->Increment(stats.shards.size());
+  r.parallel = sharded_->num_shards() > 1 && parallelism > 1;
+  // Surface the aggregated evaluator counters through the caller's
+  // stats slot (Run's truncation logic reads the cancelled flag there).
+  if (exec.schema_stats_out != nullptr) {
+    *exec.schema_stats_out = stats.schema;
+  }
+  if (exec.direct_stats_out != nullptr) {
+    *exec.direct_stats_out = stats.direct;
+  }
+  if (answers.ok()) {
+    r.answers = std::move(*answers);
+  } else {
+    r.status = answers.status();
+  }
+  return r;
+}
+
+const cost::CostModel& QueryService::BackendCostModel() const {
+  return sharded_ != nullptr ? sharded_->cost_model() : db_->cost_model();
+}
+
 void QueryService::InvalidateCache() { cache_.Invalidate(); }
 
 QueryService::Snapshot QueryService::GetSnapshot() const {
@@ -464,6 +528,9 @@ std::string QueryService::DumpMetrics() const {
   std::snprintf(rate, sizeof(rate), "%.4f",
                 total == 0 ? 0.0 : static_cast<double>(cache.hits) / total);
   out += std::string("cache_hit_rate ") + rate + "\n";
+  if (sharded_ != nullptr) {
+    out += sharded_->DumpMetrics();
+  }
   return out;
 }
 

@@ -33,6 +33,10 @@
 #include "service/result_cache.h"
 #include "service/thread_pool.h"
 
+namespace approxql::shard {
+class ShardedDatabase;
+}  // namespace approxql::shard
+
 namespace approxql::service {
 
 struct ServiceOptions {
@@ -86,6 +90,13 @@ class QueryService {
   /// `db` must outlive the service and must not be mutated (moved-from,
   /// destroyed) while the service exists.
   QueryService(const engine::Database& db, ServiceOptions options);
+  /// Sharded backend: requests scatter-gather across the shards on this
+  /// service's own worker pool (request `parallelism` bounds the
+  /// concurrent shard evaluations). Results are bit-identical to the
+  /// single-database backend over the same corpus; the cache key carries
+  /// the backend's layout fingerprint, so answers never alias across
+  /// backends or shard layouts.
+  QueryService(const shard::ShardedDatabase& db, ServiceOptions options);
   /// Abandons queued requests (their futures resolve with kUnavailable)
   /// and joins the workers; in-flight requests finish first.
   ~QueryService();
@@ -139,8 +150,20 @@ class QueryService {
  private:
   using Clock = std::chrono::steady_clock;
 
+  QueryService(const engine::Database* db, const shard::ShardedDatabase* sharded,
+               ServiceOptions options);
+
   /// The worker-side request lifecycle (also the ExecuteNow body).
   QueryResponse Run(QueryRequest& request, Clock::time_point admitted);
+
+  /// Scatter-gather execution against the sharded backend (sharded_
+  /// != nullptr). Mirrors the serial/parallel paths' deadline and
+  /// truncation semantics.
+  QueryResponse RunSharded(const query::Query& query, engine::ExecOptions& exec,
+                           size_t parallelism,
+                           const std::function<bool()>& cancelled);
+
+  const cost::CostModel& BackendCostModel() const;
 
   /// Parallel evaluation of a parsed query. Returns false when the
   /// request has no exploitable parallelism (full-scan baseline,
@@ -157,7 +180,12 @@ class QueryService {
                                          : options_.default_deadline;
   }
 
-  const engine::Database& db_;
+  /// Exactly one backend is set. Requests dispatch to db_ (serial or
+  /// disjunct-parallel) or to sharded_ (scatter-gather).
+  const engine::Database* db_ = nullptr;
+  const shard::ShardedDatabase* sharded_ = nullptr;
+  /// Folded into every cache key (see CacheKey::backend_fingerprint).
+  uint32_t backend_fingerprint_ = 0;
   const ServiceOptions options_;
   ResultCache cache_;
   MetricsRegistry metrics_;

@@ -12,6 +12,8 @@ std::string CacheKey::Encode() const {
   out.push_back('|');
   out += std::to_string(cost_fingerprint);
   out.push_back('|');
+  out += std::to_string(backend_fingerprint);
+  out.push_back('|');
   out += normalized_query;
   return out;
 }

@@ -33,8 +33,15 @@ struct CacheKey {
   engine::Strategy strategy = engine::Strategy::kSchema;
   size_t n = 0;
   uint32_t cost_fingerprint = 0;
+  /// Fingerprint of the executing backend and its shard layout
+  /// (engine::Database vs. shard::ShardedDatabase at N shards —
+  /// see ShardedDatabase::LayoutFingerprint). Answers are bit-identical
+  /// across backends *by theorem, not by key*; keeping the layouts
+  /// separate means a cache never papers over an equivalence bug and
+  /// stays correct if a future backend relaxes the guarantee.
+  uint32_t backend_fingerprint = 0;
 
-  /// Flat encoding used as the map key (strategy|n|fp|query).
+  /// Flat encoding used as the map key (strategy|n|fp|backend|query).
   std::string Encode() const;
 };
 

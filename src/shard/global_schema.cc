@@ -1,0 +1,40 @@
+#include "shard/global_schema.h"
+
+namespace approxql::shard {
+
+GlobalSchema GlobalSchema::Merge(
+    const std::vector<const engine::Database*>& shards) {
+  GlobalSchema merged;
+  merged.class_map_.resize(shards.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const engine::Database& db = *shards[s];
+    const schema::Schema& schema = db.schema();
+    auto& local_to_global = merged.class_map_[s];
+    local_to_global.resize(schema.size());
+    for (uint32_t c = 0; c < schema.size(); ++c) {
+      std::string path = schema.PathOf(c, db.tree().labels());
+      auto [it, inserted] = merged.by_path_.emplace(
+          std::move(path), static_cast<uint32_t>(merged.paths_.size()));
+      if (inserted) merged.paths_.push_back(it->first);
+      local_to_global[c] = it->second;
+    }
+    for (int t = 0; t < 2; ++t) {
+      for (const auto& [label, posting] :
+           db.label_index().postings(static_cast<NodeType>(t))) {
+        merged.labels_[t].emplace(db.tree().labels().Get(label));
+      }
+    }
+  }
+  return merged;
+}
+
+uint32_t GlobalSchema::FindPath(std::string_view path) const {
+  auto it = by_path_.find(std::string(path));
+  return it == by_path_.end() ? UINT32_MAX : it->second;
+}
+
+bool GlobalSchema::HasLabel(NodeType type, std::string_view label) const {
+  return labels_[static_cast<int>(type)].count(std::string(label)) > 0;
+}
+
+}  // namespace approxql::shard

@@ -1,0 +1,74 @@
+// The merged, shard-agnostic structural summary of a partitioned
+// corpus: the union of the per-shard DataGuides (paper Section 7.1),
+// with one global class id per distinct label-type path. Query
+// expansion (Section 6.1) only needs the query and the cost model, so
+// it is already shard-agnostic; this summary restores the other global
+// views sharding takes away — the corpus-wide class count, the distinct
+// label vocabulary, and a stable mapping from any shard's local schema
+// classes onto global ones (used by stats, EXPLAIN aggregation and the
+// partition-invariant tests: merging the shard schemas must reproduce
+// the unpartitioned schema path set exactly).
+#ifndef APPROXQL_SHARD_GLOBAL_SCHEMA_H_
+#define APPROXQL_SHARD_GLOBAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace approxql::shard {
+
+class GlobalSchema {
+ public:
+  GlobalSchema() = default;
+  GlobalSchema(const GlobalSchema&) = delete;
+  GlobalSchema& operator=(const GlobalSchema&) = delete;
+  GlobalSchema(GlobalSchema&&) = default;
+  GlobalSchema& operator=(GlobalSchema&&) = default;
+
+  /// Merges the schemas of `shards` (each a self-contained database over
+  /// one partition). Global class ids are assigned in first-seen order
+  /// (shard 0's schema preorder first), so the numbering is deterministic
+  /// for a fixed shard layout.
+  static GlobalSchema Merge(
+      const std::vector<const engine::Database*>& shards);
+
+  /// Number of distinct label-type paths across all shards.
+  size_t class_count() const { return paths_.size(); }
+
+  /// Global class id of a shard's local schema class.
+  uint32_t GlobalClassOf(size_t shard, uint32_t local_class) const {
+    return class_map_[shard][local_class];
+  }
+
+  /// The label-type path of a global class,
+  /// e.g. "<root>/catalog/cd/title/<text>".
+  const std::string& PathOf(uint32_t global_class) const {
+    return paths_[global_class];
+  }
+
+  /// Global class id for a path, or UINT32_MAX if no shard contains it.
+  uint32_t FindPath(std::string_view path) const;
+
+  /// Distinct labels of `type` across every shard (words for kText).
+  size_t LabelCount(NodeType type) const {
+    return labels_[static_cast<int>(type)].size();
+  }
+
+  /// True iff some shard's corpus contains `label` with `type`.
+  bool HasLabel(NodeType type, std::string_view label) const;
+
+ private:
+  std::vector<std::string> paths_;  // global class id -> path
+  std::unordered_map<std::string, uint32_t> by_path_;
+  std::vector<std::vector<uint32_t>> class_map_;  // [shard][local] -> global
+  std::unordered_set<std::string> labels_[2];
+};
+
+}  // namespace approxql::shard
+
+#endif  // APPROXQL_SHARD_GLOBAL_SCHEMA_H_

@@ -1,0 +1,409 @@
+#include "shard/sharded_database.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "engine/fetch_plan.h"
+#include "engine/list_ops.h"
+#include "query/expanded.h"
+#include "service/parallel.h"
+#include "util/crc32.h"
+
+namespace approxql::shard {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr std::string_view kPostingPrefix = "ix#";
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+ShardedDatabase::Builder::Builder(size_t num_shards)
+    : builders_(std::max<size_t>(1, num_shards)),
+      spans_(builders_.size()) {}
+
+Status ShardedDatabase::Builder::AddDocumentXml(std::string_view xml) {
+  size_t shard = next_doc_ % builders_.size();
+  doc::DataTreeBuilder& builder = builders_[shard];
+  DocSpan span;
+  span.local_start = static_cast<doc::NodeId>(builder.node_count());
+  span.global_start = next_global_;
+  RETURN_IF_ERROR(builder.AddDocumentXml(xml));
+  span.length =
+      static_cast<uint32_t>(builder.node_count() - span.local_start);
+  next_global_ += span.length;
+  spans_[shard].push_back(span);
+  ++next_doc_;
+  return Status::OK();
+}
+
+Result<ShardedDatabase> ShardedDatabase::Builder::Build(
+    cost::CostModel model) && {
+  std::vector<engine::Database> databases;
+  databases.reserve(builders_.size());
+  for (doc::DataTreeBuilder& builder : builders_) {
+    ASSIGN_OR_RETURN(doc::DataTree tree, std::move(builder).Build(model));
+    ASSIGN_OR_RETURN(engine::Database db,
+                     engine::Database::FromDataTree(std::move(tree), model));
+    databases.push_back(std::move(db));
+  }
+  return Assemble(std::move(databases), std::move(spans_), std::move(model));
+}
+
+Result<ShardedDatabase> ShardedDatabase::Partition(const doc::DataTree& tree,
+                                                   const cost::CostModel& model,
+                                                   size_t num_shards) {
+  size_t n = std::max<size_t>(1, num_shards);
+  std::vector<doc::DataTreeBuilder> builders(n);
+  std::vector<std::vector<DocSpan>> spans(n);
+  size_t doc_index = 0;
+  for (doc::NodeId d = tree.FirstChild(tree.root()); d != doc::kInvalidNode;
+       d = tree.NextSibling(d)) {
+    size_t shard = doc_index % n;
+    doc::DataTreeBuilder& builder = builders[shard];
+    DocSpan span;
+    span.local_start = static_cast<doc::NodeId>(builder.node_count());
+    span.global_start = d;
+    span.length = tree.node(d).bound - d + 1;
+    // Replay the document subtree as SAX events. Labels were normalized
+    // at original build time (attributes are struct nodes, text is one
+    // lowercase word per node), so StartElement/AddWord reproduce the
+    // subtree exactly.
+    std::vector<doc::NodeId> open;  // struct nodes awaiting EndElement
+    for (doc::NodeId id = d; id <= tree.node(d).bound; ++id) {
+      while (!open.empty() && tree.node(open.back()).bound < id) {
+        builder.EndElement();
+        open.pop_back();
+      }
+      if (tree.node(id).type == NodeType::kStruct) {
+        builder.StartElement(tree.label(id));
+        open.push_back(id);
+      } else {
+        builder.AddWord(tree.label(id));
+      }
+    }
+    while (!open.empty()) {
+      builder.EndElement();
+      open.pop_back();
+    }
+    spans[shard].push_back(span);
+    ++doc_index;
+  }
+  std::vector<engine::Database> databases;
+  databases.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    ASSIGN_OR_RETURN(doc::DataTree shard_tree,
+                     std::move(builders[s]).Build(model));
+    ASSIGN_OR_RETURN(
+        engine::Database db,
+        engine::Database::FromDataTree(std::move(shard_tree), model));
+    databases.push_back(std::move(db));
+  }
+  return Assemble(std::move(databases), std::move(spans), model);
+}
+
+Result<ShardedDatabase> ShardedDatabase::BuildFromXml(
+    const std::vector<std::string>& documents, cost::CostModel model,
+    size_t num_shards) {
+  Builder builder(num_shards);
+  for (const std::string& document : documents) {
+    RETURN_IF_ERROR(builder.AddDocumentXml(document));
+  }
+  return std::move(builder).Build(std::move(model));
+}
+
+Result<ShardedDatabase> ShardedDatabase::Load(const std::string& path,
+                                              size_t num_shards) {
+  ASSIGN_OR_RETURN(engine::Database db, engine::Database::Load(path));
+  return Partition(db.tree(), db.cost_model(), num_shards);
+}
+
+Result<ShardedDatabase> ShardedDatabase::Assemble(
+    std::vector<engine::Database> databases,
+    std::vector<std::vector<DocSpan>> spans, cost::CostModel model) {
+  ShardedDatabase sdb;
+  sdb.model_ = std::move(model);
+  sdb.metrics_ = std::make_unique<service::MetricsRegistry>();
+  for (size_t i = 0; i < databases.size(); ++i) {
+    auto shard = std::make_unique<Shard>(std::move(databases[i]));
+    shard->spans = std::move(spans[i]);
+    shard->store = std::make_unique<storage::MemKvStore>();
+    RETURN_IF_ERROR(
+        shard->db.label_index().PersistTo(shard->store.get(), kPostingPrefix));
+    shard->postings = std::make_unique<index::StoredLabelIndex>(
+        shard->store.get(), std::string(kPostingPrefix));
+    const std::string stem = "shard" + std::to_string(i);
+    shard->fetch_us = sdb.metrics_->RegisterHistogram(stem + "_fetch_us");
+    shard->eval_us = sdb.metrics_->RegisterHistogram(stem + "_eval_us");
+    shard->answers = sdb.metrics_->RegisterCounter(stem + "_answers");
+    for (const DocSpan& span : shard->spans) {
+      sdb.docs_.push_back({span.global_start, span.length,
+                           static_cast<uint32_t>(i), span.local_start});
+    }
+    sdb.shards_.push_back(std::move(shard));
+  }
+  std::sort(sdb.docs_.begin(), sdb.docs_.end(),
+            [](const GlobalDoc& a, const GlobalDoc& b) {
+              return a.global_start < b.global_start;
+            });
+  std::vector<const engine::Database*> shard_dbs;
+  shard_dbs.reserve(sdb.shards_.size());
+  for (const auto& shard : sdb.shards_) shard_dbs.push_back(&shard->db);
+  sdb.global_schema_ = GlobalSchema::Merge(shard_dbs);
+
+  std::string layout = "backend=sharded-mem;shards=" +
+                       std::to_string(sdb.shards_.size()) + ";";
+  for (size_t i = 0; i < sdb.shards_.size(); ++i) {
+    const Shard& shard = *sdb.shards_[i];
+    layout += "s" + std::to_string(i) +
+              ":docs=" + std::to_string(shard.spans.size()) +
+              ",nodes=" + std::to_string(shard.db.tree().size()) + ";";
+  }
+  sdb.fingerprint_ = util::Crc32c(layout);
+  return sdb;
+}
+
+doc::NodeId ShardedDatabase::ToGlobal(size_t shard, doc::NodeId local) const {
+  if (local == 0) return 0;  // shard super-root -> global super-root
+  const std::vector<DocSpan>& spans = shards_[shard]->spans;
+  auto it = std::upper_bound(spans.begin(), spans.end(), local,
+                             [](doc::NodeId value, const DocSpan& span) {
+                               return value < span.local_start;
+                             });
+  APPROXQL_DCHECK(it != spans.begin());
+  const DocSpan& span = *(it - 1);
+  APPROXQL_DCHECK(local < span.local_start + span.length);
+  return span.global_start + (local - span.local_start);
+}
+
+doc::NodeId ShardedDatabase::DocRootOf(doc::NodeId global) const {
+  if (global == 0) return 0;
+  auto it = std::upper_bound(docs_.begin(), docs_.end(), global,
+                             [](doc::NodeId value, const GlobalDoc& d) {
+                               return value < d.global_start;
+                             });
+  if (it == docs_.begin()) return 0;
+  const GlobalDoc& d = *(it - 1);
+  return global < d.global_start + d.length ? d.global_start : 0;
+}
+
+std::string ShardedDatabase::MaterializeXml(doc::NodeId global_root,
+                                            bool pretty) const {
+  xml::WriteOptions options;
+  options.pretty = pretty;
+  if (global_root == 0) {
+    xml::XmlElement root;
+    root.name = std::string(doc::kSuperRootLabel);
+    root.children.reserve(docs_.size());
+    for (const GlobalDoc& d : docs_) {
+      root.children.push_back(std::make_unique<xml::XmlElement>(
+          shards_[d.shard]->db.tree().ToXml(d.local_start)));
+    }
+    return xml::WriteXml(root, options);
+  }
+  auto it = std::upper_bound(docs_.begin(), docs_.end(), global_root,
+                             [](doc::NodeId value, const GlobalDoc& d) {
+                               return value < d.global_start;
+                             });
+  APPROXQL_DCHECK(it != docs_.begin());
+  const GlobalDoc& d = *(it - 1);
+  APPROXQL_DCHECK(global_root < d.global_start + d.length);
+  doc::NodeId local = d.local_start + (global_root - d.global_start);
+  return shards_[d.shard]->db.MaterializeXml(local, pretty);
+}
+
+Result<std::vector<engine::QueryAnswer>> ShardedDatabase::Execute(
+    std::string_view query_text, const engine::ExecOptions& options,
+    const ScatterOptions& scatter, ScatterStats* stats_out) const {
+  ASSIGN_OR_RETURN(query::Query query, query::Parse(query_text));
+  return Execute(query, options, scatter, stats_out);
+}
+
+Result<std::vector<engine::QueryAnswer>> ShardedDatabase::Execute(
+    const query::Query& query, const engine::ExecOptions& options,
+    const ScatterOptions& scatter, ScatterStats* stats_out) const {
+  const size_t n_shards = shards_.size();
+  // The shared inclusive skeleton-cost bound (schema strategy): the
+  // cheapest boundary any shard has published so far. A shard that
+  // accumulates n results at crossing cost c proves the global n-th
+  // answer costs <= c, so skeletons costing strictly more are globally
+  // useless everywhere.
+  std::atomic<cost::Cost> bound{cost::kInfinite};
+  const bool use_bound = scatter.share_cost_bound && n_shards > 1 &&
+                         options.strategy == engine::Strategy::kSchema &&
+                         options.n != SIZE_MAX;
+
+  std::vector<std::vector<engine::RootCost>> lists(n_shards);
+  std::vector<Status> statuses(n_shards, Status::OK());
+  std::vector<engine::SchemaEvalStats> schema_stats(n_shards);
+  std::vector<engine::EvalStats> direct_stats(n_shards);
+  std::vector<uint64_t> eval_us(n_shards, 0);
+
+  auto run_shard = [&](size_t i) {
+    const Shard& sh = *shards_[i];
+    engine::ExecOptions local = options;
+    local.schema_stats_out = &schema_stats[i];
+    local.direct_stats_out = &direct_stats[i];
+    local.posting_source = nullptr;
+
+    engine::FetchPlan plan;
+    if (local.strategy == engine::Strategy::kDirect) {
+      // Run against the shard's own stored postings — the partitioned
+      // storage this subsystem exists for — and pre-materialize the
+      // query's fetch set so the storage reads are timed separately
+      // from evaluation.
+      local.posting_source = sh.postings.get();
+      const cost::CostModel& model =
+          options.cost_model != nullptr ? *options.cost_model : model_;
+      auto expanded = query::ExpandedQuery::Build(query, model);
+      if (expanded.ok()) {  // else let Execute surface the error
+        plan = engine::FetchPlan(*expanded);
+        auto fetch_started = std::chrono::steady_clock::now();
+        for (size_t slot = 0; slot < plan.size(); ++slot) {
+          plan.Materialize(slot, engine::EncodedTree::Of(sh.db.tree()),
+                           *sh.postings, sh.db.tree().labels());
+        }
+        sh.fetch_us->Record(ElapsedUs(fetch_started));
+        local.direct.fetch_plan = &plan;
+      }
+    }
+    if (local.strategy == engine::Strategy::kSchema) {
+      if (scatter.cancelled) {
+        auto inner = local.schema.cancelled;
+        auto outer = scatter.cancelled;
+        local.schema.cancelled = [inner, outer] {
+          return (inner && inner()) || outer();
+        };
+      }
+      if (use_bound) {
+        auto* shared = &bound;
+        local.schema.cost_bound = [shared] {
+          return shared->load(std::memory_order_relaxed);
+        };
+        local.schema.publish_bound = [shared](cost::Cost c) {
+          cost::Cost current = shared->load(std::memory_order_relaxed);
+          while (c < current && !shared->compare_exchange_weak(
+                                    current, c, std::memory_order_relaxed)) {
+          }
+        };
+      }
+    }
+
+    auto eval_started = std::chrono::steady_clock::now();
+    auto result = sh.db.Execute(query, local);
+    eval_us[i] = ElapsedUs(eval_started);
+    sh.eval_us->Record(eval_us[i]);
+    if (!result.ok()) {
+      statuses[i] = result.status();
+      return;
+    }
+    std::vector<engine::RootCost>& list = lists[i];
+    list.reserve(result->size());
+    for (const engine::QueryAnswer& answer : *result) {
+      // Local -> global translation is strictly increasing (docs are
+      // appended to a shard in increasing global order), so the list
+      // stays sorted by (cost, root) — MergeTopN's precondition.
+      list.push_back({ToGlobal(i, answer.root), answer.cost});
+    }
+    sh.answers->Increment(list.size());
+  };
+
+  service::ParallelForOptions pf_options;
+  pf_options.parallelism = scatter.parallelism;
+  pf_options.cancelled = scatter.cancelled;
+  service::ParallelForResult pf =
+      service::ParallelFor(scatter.pool, n_shards, run_shard, pf_options);
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  bool mid_cancel = false;
+  for (const engine::SchemaEvalStats& s : schema_stats) {
+    mid_cancel = mid_cancel || s.cancelled;
+  }
+  // A skipped shard means a hole in the global ranking; a mid-shard
+  // cancellation under a multi-shard layout likewise leaves some shard
+  // short. With one shard, the partial prefix is still the correct
+  // prefix of the global ranking (same contract as engine::Database).
+  if (pf.skipped > 0 || (mid_cancel && n_shards > 1)) {
+    if (stats_out != nullptr) {
+      stats_out->final_bound = bound.load(std::memory_order_relaxed);
+      stats_out->cancelled = true;
+    }
+    return Status::DeadlineExceeded(
+        "query cancelled before all shards completed");
+  }
+
+  std::vector<engine::RootCost> merged = engine::MergeTopN(lists, options.n);
+  if (stats_out != nullptr) {
+    stats_out->shards.resize(n_shards);
+    for (size_t i = 0; i < n_shards; ++i) {
+      stats_out->shards[i].answers = lists[i].size();
+      stats_out->shards[i].eval_us = eval_us[i];
+      stats_out->schema.rounds += schema_stats[i].rounds;
+      stats_out->schema.final_k += schema_stats[i].final_k;
+      stats_out->schema.entries_created += schema_stats[i].entries_created;
+      stats_out->schema.second_level_executed +=
+          schema_stats[i].second_level_executed;
+      stats_out->schema.instances_scanned += schema_stats[i].instances_scanned;
+      stats_out->schema.shared_memo_hits += schema_stats[i].shared_memo_hits;
+      stats_out->schema.k_capped =
+          stats_out->schema.k_capped || schema_stats[i].k_capped;
+      stats_out->schema.cancelled =
+          stats_out->schema.cancelled || schema_stats[i].cancelled;
+      stats_out->direct.fetches += direct_stats[i].fetches;
+      stats_out->direct.entries_fetched += direct_stats[i].entries_fetched;
+      stats_out->direct.list_ops += direct_stats[i].list_ops;
+      stats_out->direct.cache_hits += direct_stats[i].cache_hits;
+      stats_out->direct.cache_misses += direct_stats[i].cache_misses;
+      stats_out->direct.and_short_circuits +=
+          direct_stats[i].and_short_circuits;
+    }
+    stats_out->final_bound = bound.load(std::memory_order_relaxed);
+    stats_out->cancelled = pf.cancelled || mid_cancel;
+  }
+  std::vector<engine::QueryAnswer> answers;
+  answers.reserve(merged.size());
+  for (const engine::RootCost& rc : merged) {
+    answers.push_back({rc.root, rc.cost});
+  }
+  return answers;
+}
+
+ShardedDatabase::Stats ShardedDatabase::GetStats() const {
+  Stats stats;
+  stats.num_shards = shards_.size();
+  stats.documents = docs_.size();
+  stats.nodes = 1;  // the global super-root
+  for (const GlobalDoc& d : docs_) stats.nodes += d.length;
+  stats.global_classes = global_schema_.class_count();
+  stats.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    stats.per_shard.push_back(shard->db.GetStats());
+  }
+  return stats;
+}
+
+std::string ShardedDatabase::DumpMetrics() const {
+  std::string out = metrics_->DumpText();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string stem = "shard" + std::to_string(i);
+    out += stem + "_lock_waits " +
+           std::to_string(shards_[i]->postings->lock_waits()) + "\n";
+    out += stem + "_lock_wait_us " +
+           std::to_string(shards_[i]->postings->lock_wait_us()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace approxql::shard

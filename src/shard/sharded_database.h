@@ -1,0 +1,242 @@
+// Sharded corpus: the collection is partitioned by document into N
+// self-contained shards, each owning its own data tree, label postings
+// (persisted into a per-shard store and served through a lazy
+// StoredLabelIndex, so concurrent fetches hit disjoint storage), schema
+// and statistics. A scatter-gather executor fans one query out across
+// the shards and merges the per-shard top-n lists with MergeTopN.
+//
+// Equivalence (the subsystem's contract, asserted by tests at 1/2/4/8
+// shards): sharded evaluation is bit-identical to evaluating the same
+// corpus in one engine::Database.
+//   - Every answer root except the super-root lies inside exactly one
+//     document subtree, and its cost is computed entirely from that
+//     subtree (the list algebra only looks below the root; pathcost
+//     arithmetic is relative). The super-root itself can never be an
+//     answer — its label "<root>" contains '<', which no query label or
+//     renaming target can.
+//   - Documents are assigned round-robin (doc j -> shard j % N) in
+//     arrival order, so shard-local preorder is a strictly increasing
+//     function of global preorder; per-shard (cost, root) rankings stay
+//     sorted after translating roots back to global ids.
+//   - Roots across shards are disjoint, so MergeTopN's duplicate-root
+//     rule never fires and the merged list is exactly the single-shard
+//     ranking truncated to n.
+//   - The shared cost bound (schema strategy) prunes only skeletons
+//     whose cost is strictly above a published shard boundary, which is
+//     itself >= the global n-th answer cost — pruning never removes a
+//     global top-n answer and cannot reorder ties.
+#ifndef APPROXQL_SHARD_SHARDED_DATABASE_H_
+#define APPROXQL_SHARD_SHARDED_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/database.h"
+#include "index/stored_label_index.h"
+#include "service/metrics.h"
+#include "service/thread_pool.h"
+#include "shard/global_schema.h"
+#include "storage/mem_kv_store.h"
+
+namespace approxql::shard {
+
+/// One document's placement: `length` consecutive preorder ids starting
+/// at `local_start` in the shard's tree and `global_start` in the global
+/// (unpartitioned) id space.
+struct DocSpan {
+  doc::NodeId local_start = 0;
+  doc::NodeId global_start = 0;
+  uint32_t length = 0;
+};
+
+/// Scatter-gather execution knobs (how, not what — the query-level
+/// options stay in engine::ExecOptions).
+struct ScatterOptions {
+  /// Pool for the per-shard fan-out; null runs shards inline on the
+  /// caller (still correct, just serial).
+  service::ThreadPool* pool = nullptr;
+  /// Maximum concurrent shard evaluations including the caller;
+  /// 0 = pool size + 1.
+  size_t parallelism = 0;
+  /// Cooperative cancellation, polled between shards and inside each
+  /// shard's schema evaluation.
+  std::function<bool()> cancelled;
+  /// Propagate the best known n-th answer cost across shards as an
+  /// inclusive skeleton-cost bound (schema strategy only). Sound and
+  /// bit-identity-preserving (see the equivalence notes above); off only
+  /// for A/B measurement.
+  bool share_cost_bound = true;
+};
+
+/// Per-execution observability for benchmarks and tests.
+struct ScatterStats {
+  struct PerShard {
+    size_t answers = 0;
+    uint64_t eval_us = 0;
+  };
+  std::vector<PerShard> shards;
+  /// Field-wise sums over shards (flags OR-ed).
+  engine::SchemaEvalStats schema;
+  engine::EvalStats direct;
+  /// Final value of the shared cost bound (kInfinite if never set).
+  cost::Cost final_bound = cost::kInfinite;
+  bool cancelled = false;
+};
+
+/// A document-partitioned corpus exposing the same read surface as
+/// engine::Database (Execute / MaterializeXml / GetStats / Save-less).
+/// Thread-safety mirrors Database: immutable after construction; all
+/// const members safe concurrently (per-shard StoredLabelIndex and
+/// metrics lock internally).
+class ShardedDatabase {
+ public:
+  ShardedDatabase(ShardedDatabase&&) = default;
+  ShardedDatabase& operator=(ShardedDatabase&&) = default;
+
+  /// Incremental construction: documents are assigned to shards
+  /// round-robin in the order they are added, and global ids are
+  /// assigned exactly as DataTreeBuilder would in one tree.
+  class Builder {
+   public:
+    explicit Builder(size_t num_shards);
+
+    /// Parses `xml` and adds it as the next document.
+    util::Status AddDocumentXml(std::string_view xml);
+
+    size_t document_count() const { return next_doc_; }
+
+    /// Finalizes every shard. The builder is consumed.
+    util::Result<ShardedDatabase> Build(cost::CostModel model) &&;
+
+   private:
+    std::vector<doc::DataTreeBuilder> builders_;
+    std::vector<std::vector<DocSpan>> spans_;
+    size_t next_doc_ = 0;
+    doc::NodeId next_global_ = 1;  // 0 is the super-root
+  };
+
+  /// Partitions an existing (unpartitioned) data tree: each document
+  /// subtree is replayed into its shard's builder, so global ids are the
+  /// ids of `tree` itself.
+  static util::Result<ShardedDatabase> Partition(const doc::DataTree& tree,
+                                                 const cost::CostModel& model,
+                                                 size_t num_shards);
+
+  /// Builds from XML document strings (round-robin assignment).
+  static util::Result<ShardedDatabase> BuildFromXml(
+      const std::vector<std::string>& documents, cost::CostModel model,
+      size_t num_shards);
+
+  /// Loads a single-file database (engine::Database::Save format) and
+  /// partitions it.
+  static util::Result<ShardedDatabase> Load(const std::string& path,
+                                            size_t num_shards);
+
+  /// Scatter-gather execution: runs the query on every shard (direct
+  /// strategy against the shard's own stored postings; schema strategy
+  /// with the shared cost bound) and merges the per-shard rankings.
+  /// Answer roots are global ids. With a multi-shard layout a fired
+  /// `scatter.cancelled` returns DeadlineExceeded — a partial scatter is
+  /// not a correct prefix of the global ranking; with one shard the
+  /// partial (still correct) prefix is returned, matching Database
+  /// deadline semantics.
+  util::Result<std::vector<engine::QueryAnswer>> Execute(
+      std::string_view query_text, const engine::ExecOptions& options,
+      const ScatterOptions& scatter, ScatterStats* stats_out = nullptr) const;
+  util::Result<std::vector<engine::QueryAnswer>> Execute(
+      const query::Query& query, const engine::ExecOptions& options,
+      const ScatterOptions& scatter, ScatterStats* stats_out = nullptr) const;
+
+  /// The result subtree of an answer (global id), serialized as XML.
+  /// The super-root (id 0) reassembles all documents in global order,
+  /// matching Database::MaterializeXml(0) on the unpartitioned corpus.
+  std::string MaterializeXml(doc::NodeId global_root,
+                             bool pretty = false) const;
+
+  /// Global id of the document root containing `global` (0 for the
+  /// super-root itself) — the unit answers are grouped by in the wire
+  /// protocol.
+  doc::NodeId DocRootOf(doc::NodeId global) const;
+
+  /// Translates a shard-local node id to the global id space.
+  doc::NodeId ToGlobal(size_t shard, doc::NodeId local) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  const engine::Database& shard(size_t i) const { return shards_[i]->db; }
+  /// The shard's own stored postings (what direct-strategy scatters fetch
+  /// from). Exposed for the contention benchmark's lock-wait counters.
+  const index::StoredLabelIndex& shard_postings(size_t i) const {
+    return *shards_[i]->postings;
+  }
+  const std::vector<DocSpan>& shard_spans(size_t i) const {
+    return shards_[i]->spans;
+  }
+  const GlobalSchema& global_schema() const { return global_schema_; }
+  const cost::CostModel& cost_model() const { return model_; }
+
+  /// Fingerprint of the backend + shard layout: shard count, per-shard
+  /// document/node counts. Two layouts answering queries over different
+  /// partitions (or a partitioned vs. unpartitioned corpus) never share
+  /// it; the result cache folds it into its key.
+  uint32_t LayoutFingerprint() const { return fingerprint_; }
+
+  struct Stats {
+    size_t num_shards = 0;
+    size_t documents = 0;
+    size_t nodes = 0;           // global id space size (incl. super-root)
+    size_t global_classes = 0;  // merged schema size
+    std::vector<engine::Database::Stats> per_shard;
+  };
+  Stats GetStats() const;
+
+  /// Per-shard metrics snapshot: fetch/eval latency histograms, answer
+  /// counts, stored-postings lock contention.
+  std::string DumpMetrics() const;
+
+ private:
+  struct Shard {
+    explicit Shard(engine::Database database) : db(std::move(database)) {}
+
+    engine::Database db;
+    /// The shard's own posting storage: label postings persisted into a
+    /// private store and fetched lazily — the partitioned counterpart of
+    /// one shared StoredLabelIndex, so concurrent queries contend (if at
+    /// all) only within a shard.
+    std::unique_ptr<storage::MemKvStore> store;
+    std::unique_ptr<index::StoredLabelIndex> postings;
+    std::vector<DocSpan> spans;  // increasing local_start AND global_start
+    service::LatencyHistogram* fetch_us = nullptr;  // owned by metrics_
+    service::LatencyHistogram* eval_us = nullptr;
+    service::Counter* answers = nullptr;
+  };
+
+  /// One document in the global id space, with its shard placement.
+  struct GlobalDoc {
+    doc::NodeId global_start = 0;
+    uint32_t length = 0;
+    uint32_t shard = 0;
+    doc::NodeId local_start = 0;
+  };
+
+  ShardedDatabase() = default;
+
+  /// Shared tail of all construction paths: per-shard stores/postings,
+  /// metrics, merged schema, global doc table, fingerprint.
+  static util::Result<ShardedDatabase> Assemble(
+      std::vector<engine::Database> databases,
+      std::vector<std::vector<DocSpan>> spans, cost::CostModel model);
+
+  cost::CostModel model_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<GlobalDoc> docs_;  // sorted by global_start
+  GlobalSchema global_schema_;
+  std::unique_ptr<service::MetricsRegistry> metrics_;
+  uint32_t fingerprint_ = 0;
+};
+
+}  // namespace approxql::shard
+
+#endif  // APPROXQL_SHARD_SHARDED_DATABASE_H_

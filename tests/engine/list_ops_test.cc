@@ -260,6 +260,41 @@ TEST(MergeTopNTest, TruncatesToNAndHandlesEmpty) {
   EXPECT_TRUE(MergeTopN(lists, 0).empty());
 }
 
+TEST(MergeTopNTest, DuplicateCostRootPairAcrossLists) {
+  // The sharded scatter can (in principle) present the exact same
+  // (cost, root) pair in several input lists; the merge must emit it
+  // once — heap pops of equal keys are adjacent, so the first pop wins
+  // and the rest are skipped as duplicate roots.
+  std::vector<std::vector<RootCost>> lists = {
+      {{9, 2}, {4, 7}},
+      {{9, 2}},
+      {{9, 2}, {1, 5}},
+  };
+  auto merged = MergeTopN(lists, SIZE_MAX);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], (RootCost{9, 2}));
+  EXPECT_EQ(merged[1], (RootCost{1, 5}));
+  EXPECT_EQ(merged[2], (RootCost{4, 7}));
+
+  // k = 0 with duplicates present still yields nothing.
+  EXPECT_TRUE(MergeTopN(lists, 0).empty());
+}
+
+TEST(MergeTopNTest, NLargerThanUnionReturnsWholeUnion) {
+  // A finite n beyond the deduplicated union must not pad, repeat, or
+  // drop entries — it returns exactly the union, still ranked.
+  std::vector<std::vector<RootCost>> lists = {
+      {{2, 1}, {6, 3}},
+      {{2, 4}, {8, 3}},
+  };
+  auto merged = MergeTopN(lists, 100);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], (RootCost{2, 1}));
+  // Equal costs tie-break by root: (6,3) before (8,3).
+  EXPECT_EQ(merged[1], (RootCost{6, 3}));
+  EXPECT_EQ(merged[2], (RootCost{8, 3}));
+}
+
 TEST(MergeTopNTest, MatchesConcatenateSortDedup) {
   util::Rng rng(7001);
   for (int round = 0; round < 20; ++round) {

@@ -61,6 +61,20 @@ TEST(ResultCacheTest, EveryKeyComponentDiscriminates) {
   EXPECT_NE(cache.Lookup(Key("a", 10, 1, Strategy::kSchema)), nullptr);
 }
 
+TEST(ResultCacheTest, BackendFingerprintDiscriminates) {
+  // The same query against a different backend/shard layout (a
+  // repartitioned corpus is a different corpus as far as cached entries
+  // are concerned) must miss.
+  ResultCache cache(16);
+  CacheKey single = Key("a");
+  single.backend_fingerprint = 0xC0FFEE;
+  CacheKey sharded = single;
+  sharded.backend_fingerprint = 0xBEEF;
+  cache.Insert(single, Answers(1, 0));
+  EXPECT_EQ(cache.Lookup(sharded), nullptr);
+  EXPECT_NE(cache.Lookup(single), nullptr);
+}
+
 TEST(ResultCacheTest, FingerprintDistinguishesCostModels) {
   cost::CostModel a;
   cost::CostModel b;

@@ -1,0 +1,393 @@
+// Sharded-corpus invariants and the subsystem's core contract: a
+// document-partitioned corpus answers every query bit-identically to
+// the same corpus in one engine::Database — for both strategies, at
+// 1/2/4/8 shards, with the shared cost bound on and off, inline and on
+// a thread pool.
+#include "shard/sharded_database.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+#include "util/random.h"
+
+namespace approxql::shard {
+namespace {
+
+using engine::Database;
+using engine::ExecOptions;
+using engine::QueryAnswer;
+using engine::Strategy;
+
+// ~40 documents of ~100 elements: enough to spread across 8 shards.
+Database MakeSyntheticDb() {
+  gen::XmlGenOptions options;
+  options.seed = 20020314;
+  options.total_elements = 4000;
+  options.vocabulary = 800;
+  gen::XmlGenerator generator(options);
+  cost::CostModel model;
+  auto tree = generator.GenerateTree(model);
+  APPROXQL_CHECK(tree.ok()) << tree.status();
+  auto db = Database::FromDataTree(std::move(tree).value(), model);
+  APPROXQL_CHECK(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+constexpr std::string_view kOrHeavyPattern =
+    "name[(name[term] or term) and (term or term) and (name[term] or term)]";
+
+std::vector<gen::GeneratedQuery> MakeQueries(const Database& db) {
+  gen::QueryGenOptions options;
+  options.seed = 4242;
+  options.renamings_per_label = 3;
+  gen::QueryGenerator generator(db, options);
+  std::vector<gen::GeneratedQuery> queries;
+  constexpr std::string_view kPatterns[] = {gen::kPattern1, gen::kPattern2,
+                                            gen::kPattern3, kOrHeavyPattern};
+  for (size_t i = 0; i < 12; ++i) {
+    auto generated = generator.Generate(kPatterns[i % 4]);
+    APPROXQL_CHECK(generated.ok()) << generated.status();
+    queries.push_back(std::move(generated).value());
+  }
+  return queries;
+}
+
+std::string Canonical(const std::vector<QueryAnswer>& answers) {
+  std::string out;
+  for (const auto& answer : answers) {
+    out += std::to_string(answer.root) + ":" + std::to_string(answer.cost) +
+           ";";
+  }
+  return out;
+}
+
+class ShardedDatabaseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(MakeSyntheticDb());
+    queries_ = new std::vector<gen::GeneratedQuery>(MakeQueries(*db_));
+  }
+  static void TearDownTestSuite() {
+    delete queries_;
+    queries_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static ShardedDatabase MakeSharded(size_t num_shards) {
+    auto sharded =
+        ShardedDatabase::Partition(db_->tree(), db_->cost_model(), num_shards);
+    APPROXQL_CHECK(sharded.ok()) << sharded.status();
+    return std::move(sharded).value();
+  }
+
+  static Database* db_;
+  static std::vector<gen::GeneratedQuery>* queries_;
+};
+
+Database* ShardedDatabaseTest::db_ = nullptr;
+std::vector<gen::GeneratedQuery>* ShardedDatabaseTest::queries_ = nullptr;
+
+TEST_F(ShardedDatabaseTest, PartitionSpanInvariants) {
+  for (size_t num_shards : {size_t{1}, size_t{3}, size_t{8}}) {
+    ShardedDatabase sharded = MakeSharded(num_shards);
+    ASSERT_EQ(sharded.num_shards(), num_shards);
+
+    // Global id space: one shared super-root plus each shard's nodes
+    // minus its own super-root.
+    size_t nodes = 1;
+    size_t documents = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      nodes += sharded.shard(s).tree().size() - 1;
+      documents += sharded.shard_spans(s).size();
+    }
+    EXPECT_EQ(nodes, db_->tree().size());
+    auto stats = sharded.GetStats();
+    EXPECT_EQ(stats.nodes, db_->tree().size());
+    EXPECT_EQ(stats.documents, documents);
+
+    // Per-shard spans are strictly increasing in local and global start,
+    // contiguous in the local id space, and translate consistently.
+    std::vector<std::pair<doc::NodeId, size_t>> doc_order;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const auto& spans = sharded.shard_spans(s);
+      doc::NodeId expected_local = 1;  // 0 is the shard's super-root
+      for (const DocSpan& span : spans) {
+        EXPECT_EQ(span.local_start, expected_local);
+        expected_local += span.length;
+        doc_order.push_back({span.global_start, s});
+        for (uint32_t off = 0; off < span.length; ++off) {
+          EXPECT_EQ(sharded.ToGlobal(s, span.local_start + off),
+                    span.global_start + off);
+        }
+        // Every node of the span belongs to the document rooted at its
+        // global start.
+        EXPECT_EQ(sharded.DocRootOf(span.global_start), span.global_start);
+        EXPECT_EQ(sharded.DocRootOf(span.global_start + span.length - 1),
+                  span.global_start);
+      }
+      EXPECT_EQ(expected_local, sharded.shard(s).tree().size());
+    }
+
+    // Documents in global order alternate round-robin across shards.
+    std::sort(doc_order.begin(), doc_order.end());
+    for (size_t j = 0; j < doc_order.size(); ++j) {
+      EXPECT_EQ(doc_order[j].second, j % num_shards) << "document " << j;
+    }
+    EXPECT_EQ(sharded.DocRootOf(0), 0u);  // super-root maps to itself
+  }
+}
+
+TEST_F(ShardedDatabaseTest, DocRootOfMatchesParentWalk) {
+  ShardedDatabase sharded = MakeSharded(4);
+  util::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    doc::NodeId node =
+        1 + static_cast<doc::NodeId>(rng.Uniform(db_->tree().size() - 1));
+    doc::NodeId walk = node;
+    while (db_->tree().node(walk).parent != 0) {
+      walk = db_->tree().node(walk).parent;
+    }
+    EXPECT_EQ(sharded.DocRootOf(node), walk) << "node " << node;
+  }
+}
+
+TEST_F(ShardedDatabaseTest, GlobalSchemaMergeReproducesUnpartitionedPaths) {
+  // The DataGuide is a path index: partitioning the corpus must not
+  // invent or lose any label-type path, whatever the shard count.
+  std::set<std::string> expected;
+  const schema::Schema& schema = db_->schema();
+  for (uint32_t c = 0; c < schema.size(); ++c) {
+    expected.insert(schema.PathOf(c, db_->tree().labels()));
+  }
+  for (size_t num_shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ShardedDatabase sharded = MakeSharded(num_shards);
+    const GlobalSchema& global = sharded.global_schema();
+    ASSERT_EQ(global.class_count(), expected.size()) << num_shards;
+    std::set<std::string> merged;
+    for (uint32_t g = 0; g < global.class_count(); ++g) {
+      merged.insert(global.PathOf(g));
+      EXPECT_EQ(global.FindPath(global.PathOf(g)), g);
+    }
+    EXPECT_EQ(merged, expected) << num_shards;
+    EXPECT_EQ(global.FindPath("<root>/no/such/path"), UINT32_MAX);
+
+    // Each shard's local classes map onto global classes with the same
+    // path.
+    for (size_t s = 0; s < num_shards; ++s) {
+      const engine::Database& shard_db = sharded.shard(s);
+      for (uint32_t c = 0; c < shard_db.schema().size(); ++c) {
+        uint32_t g = global.GlobalClassOf(s, c);
+        ASSERT_LT(g, global.class_count());
+        EXPECT_EQ(global.PathOf(g),
+                  shard_db.schema().PathOf(c, shard_db.tree().labels()));
+      }
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, BuilderMatchesPartition) {
+  const std::vector<std::string> docs = {
+      "<a><b>one two</b><c>three</c></a>",
+      "<a><b>four</b></a>",
+      "<d><e>five six</e></d>",
+      "<a><c>seven</c><c>eight</c></a>",
+      "<d><e>nine</e><e>ten</e></d>",
+  };
+  cost::CostModel model;
+  auto single = Database::BuildFromXml(docs, model);
+  ASSERT_TRUE(single.ok()) << single.status();
+
+  for (size_t num_shards : {size_t{1}, size_t{2}, size_t{3}}) {
+    ShardedDatabase::Builder builder(num_shards);
+    for (const std::string& xml : docs) {
+      ASSERT_TRUE(builder.AddDocumentXml(xml).ok());
+    }
+    EXPECT_EQ(builder.document_count(), docs.size());
+    auto built = std::move(builder).Build(model);
+    ASSERT_TRUE(built.ok()) << built.status();
+
+    auto partitioned =
+        ShardedDatabase::Partition(single->tree(), model, num_shards);
+    ASSERT_TRUE(partitioned.ok()) << partitioned.status();
+
+    // Same documents, same order, same shard count: identical layout and
+    // identical reassembled corpus.
+    EXPECT_EQ(built->LayoutFingerprint(), partitioned->LayoutFingerprint());
+    EXPECT_EQ(built->MaterializeXml(0), partitioned->MaterializeXml(0));
+    EXPECT_EQ(built->MaterializeXml(0), single->MaterializeXml(0));
+  }
+}
+
+TEST_F(ShardedDatabaseTest, MaterializeXmlMatchesSingleDatabase) {
+  ShardedDatabase sharded = MakeSharded(4);
+  EXPECT_EQ(sharded.MaterializeXml(0), db_->MaterializeXml(0));
+  EXPECT_EQ(sharded.MaterializeXml(0, /*pretty=*/true),
+            db_->MaterializeXml(0, /*pretty=*/true));
+  util::Rng rng(7);
+  int checked = 0;
+  while (checked < 50) {
+    doc::NodeId node =
+        1 + static_cast<doc::NodeId>(rng.Uniform(db_->tree().size() - 1));
+    if (db_->tree().node(node).type != NodeType::kStruct) continue;
+    EXPECT_EQ(sharded.MaterializeXml(node), db_->MaterializeXml(node))
+        << "node " << node;
+    ++checked;
+  }
+}
+
+TEST_F(ShardedDatabaseTest, LayoutFingerprintDistinguishesLayouts) {
+  std::set<uint32_t> fingerprints;
+  for (size_t num_shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    fingerprints.insert(MakeSharded(num_shards).LayoutFingerprint());
+  }
+  EXPECT_EQ(fingerprints.size(), 4u);
+  // Deterministic for a fixed layout.
+  EXPECT_EQ(MakeSharded(4).LayoutFingerprint(),
+            MakeSharded(4).LayoutFingerprint());
+}
+
+void CheckScatterEquivalence(const Database& db,
+                             const std::vector<gen::GeneratedQuery>& queries,
+                             const ShardedDatabase& sharded,
+                             Strategy strategy, service::ThreadPool* pool) {
+  for (const gen::GeneratedQuery& generated : queries) {
+    ExecOptions exec;
+    exec.strategy = strategy;
+    exec.n = 10;
+    exec.cost_model = &generated.cost_model;
+
+    engine::SchemaEvalStats single_stats;
+    exec.schema_stats_out = &single_stats;
+    auto expected = db.Execute(generated.query, exec);
+    ASSERT_TRUE(expected.ok()) << generated.text << ": " << expected.status();
+    exec.schema_stats_out = nullptr;
+
+    for (bool bound : {true, false}) {
+      ScatterOptions scatter;
+      scatter.pool = pool;
+      scatter.share_cost_bound = bound;
+      ScatterStats stats;
+      auto answers = sharded.Execute(generated.query, exec, scatter, &stats);
+      ASSERT_TRUE(answers.ok())
+          << generated.text << " bound=" << bound << ": " << answers.status();
+      // Bit-identity holds whenever neither side hit the incremental
+      // evaluator's max_k cap (a capped search may legitimately stop
+      // with a shorter list; per-shard searches cap at different points
+      // than the whole-corpus search).
+      if (single_stats.k_capped || stats.schema.k_capped) continue;
+      EXPECT_EQ(Canonical(*answers), Canonical(*expected))
+          << generated.text << " shards=" << sharded.num_shards()
+          << " bound=" << bound << " pooled=" << (pool != nullptr);
+      ASSERT_EQ(stats.shards.size(), sharded.num_shards());
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, ScatterGatherBitIdenticalInline) {
+  for (size_t num_shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ShardedDatabase sharded = MakeSharded(num_shards);
+    CheckScatterEquivalence(*db_, *queries_, sharded, Strategy::kDirect,
+                            nullptr);
+    CheckScatterEquivalence(*db_, *queries_, sharded, Strategy::kSchema,
+                            nullptr);
+  }
+}
+
+TEST_F(ShardedDatabaseTest, ScatterGatherBitIdenticalOnPool) {
+  service::ThreadPool pool({/*num_threads=*/4, /*queue_capacity=*/64});
+  for (size_t num_shards : {size_t{2}, size_t{4}, size_t{8}}) {
+    ShardedDatabase sharded = MakeSharded(num_shards);
+    CheckScatterEquivalence(*db_, *queries_, sharded, Strategy::kDirect,
+                            &pool);
+    CheckScatterEquivalence(*db_, *queries_, sharded, Strategy::kSchema,
+                            &pool);
+  }
+}
+
+TEST_F(ShardedDatabaseTest, SharedCostBoundPublishes) {
+  // With several shards and a query that has plenty of answers, some
+  // shard must publish a finite bound (its n-th best skeleton cost).
+  ShardedDatabase sharded = MakeSharded(4);
+  bool saw_finite_bound = false;
+  for (const gen::GeneratedQuery& generated : *queries_) {
+    ExecOptions exec;
+    exec.strategy = Strategy::kSchema;
+    exec.n = 5;
+    exec.cost_model = &generated.cost_model;
+    ScatterOptions scatter;
+    ScatterStats stats;
+    auto answers = sharded.Execute(generated.query, exec, scatter, &stats);
+    ASSERT_TRUE(answers.ok()) << answers.status();
+    if (stats.final_bound != cost::kInfinite) saw_finite_bound = true;
+  }
+  EXPECT_TRUE(saw_finite_bound);
+}
+
+TEST_F(ShardedDatabaseTest, CancellationIsDeadlineExceededAcrossShards) {
+  ShardedDatabase sharded = MakeSharded(4);
+  const gen::GeneratedQuery& generated = queries_->front();
+  ExecOptions exec;
+  exec.strategy = Strategy::kSchema;
+  exec.n = 10;
+  exec.cost_model = &generated.cost_model;
+  ScatterOptions scatter;
+  scatter.cancelled = [] { return true; };
+  ScatterStats stats;
+  auto answers = sharded.Execute(generated.query, exec, scatter, &stats);
+  // A partial scatter is not a correct prefix of the global ranking.
+  EXPECT_FALSE(answers.ok());
+  EXPECT_TRUE(answers.status().IsDeadlineExceeded()) << answers.status();
+  EXPECT_TRUE(stats.cancelled);
+}
+
+TEST_F(ShardedDatabaseTest, QueryServiceShardedBackendMatchesSingle) {
+  ShardedDatabase sharded = MakeSharded(4);
+  service::ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 64;
+  options.cache_capacity = 8;
+  options.parallelism = 4;
+  service::QueryService sharded_service(sharded, options);
+  service::QueryService single_service(*db_, options);
+
+  for (const gen::GeneratedQuery& generated : *queries_) {
+    service::QueryRequest request;
+    request.query_text = generated.text;
+    request.exec.n = 10;
+    request.exec.cost_model = &generated.cost_model;
+
+    engine::SchemaEvalStats single_stats;
+    request.exec.schema_stats_out = &single_stats;
+    request.bypass_cache = true;
+    service::QueryResponse expected = single_service.ExecuteNow(request);
+    ASSERT_TRUE(expected.status.ok()) << expected.status;
+
+    engine::SchemaEvalStats sharded_stats;
+    request.exec.schema_stats_out = &sharded_stats;
+    request.bypass_cache = false;
+    service::QueryResponse first = sharded_service.ExecuteNow(request);
+    ASSERT_TRUE(first.status.ok()) << first.status;
+    service::QueryResponse second = sharded_service.ExecuteNow(request);
+    ASSERT_TRUE(second.status.ok()) << second.status;
+    EXPECT_TRUE(second.cache_hit) << generated.text;
+    EXPECT_EQ(Canonical(second.answers), Canonical(first.answers));
+
+    if (single_stats.k_capped || sharded_stats.k_capped) continue;
+    EXPECT_EQ(Canonical(first.answers), Canonical(expected.answers))
+        << generated.text;
+  }
+  // The sharded service's metrics dump carries the per-shard sections.
+  EXPECT_NE(sharded_service.DumpMetrics().find("shard0_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace approxql::shard
