@@ -100,7 +100,7 @@ void TopKPairs(const std::vector<const SkeletonRef*>& left,
 
 std::shared_ptr<const index::Posting> SharedSkeletonMemo::Lookup(
     const std::string& signature) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = map_.find(signature);
   return it != map_.end() ? it->second : nullptr;
 }
@@ -108,14 +108,14 @@ std::shared_ptr<const index::Posting> SharedSkeletonMemo::Lookup(
 void SharedSkeletonMemo::Insert(const std::string& signature,
                                 index::Posting posting) {
   auto shared = std::make_shared<const index::Posting>(std::move(posting));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   // First writer wins; concurrent inserts for one signature carry the
   // same deterministic posting, so dropping the copy is safe.
   map_.emplace(signature, std::move(shared));
 }
 
 size_t SharedSkeletonMemo::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return map_.size();
 }
 

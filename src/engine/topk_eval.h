@@ -20,7 +20,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -32,6 +31,8 @@
 #include "index/secondary_index.h"
 #include "query/expanded.h"
 #include "schema/schema.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace approxql::engine {
 
@@ -96,8 +97,9 @@ class SharedSkeletonMemo {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const index::Posting>> map_;
+  mutable util::Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const index::Posting>> map_
+      GUARDED_BY(mu_);
 };
 
 class SchemaEvaluator {

@@ -9,19 +9,21 @@ namespace approxql::index {
 const Posting* StoredLabelIndex::Fetch(NodeType type,
                                        doc::LabelId label) const {
   uint64_t key = Key(type, label);
-  // Contention probe: a failed try_lock means another thread holds the
+  // Contention probe: a failed TryLock means another thread holds the
   // store mutex right now — the signal the sharded bench compares
   // against the single-shared-store baseline. The wait itself is timed.
-  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  // Both branches end with mu_ held; the adopting MutexLock scopes the
+  // release across the early returns below.
+  if (!mu_.TryLock()) {
     auto wait_started = std::chrono::steady_clock::now();
-    lock.lock();
+    mu_.Lock();
     ++lock_waits_;
     lock_wait_us_ += static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - wait_started)
             .count());
   }
+  util::MutexLock lock(&mu_, std::adopt_lock);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second.get();
 

@@ -7,12 +7,13 @@
 #define APPROXQL_INDEX_STORED_LABEL_INDEX_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "index/label_index.h"
 #include "storage/kv_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace approxql::index {
 
@@ -30,12 +31,12 @@ class StoredLabelIndex : public PostingSource {
 
   /// Number of postings materialized so far.
   size_t CachedCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return cache_.size();
   }
   /// Store reads that returned corrupt bytes (should stay 0).
   size_t corrupt_fetches() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return corrupt_fetches_;
   }
 
@@ -44,11 +45,11 @@ class StoredLabelIndex : public PostingSource {
   /// sharding bench reports these against the single-shared-store
   /// baseline (per-shard stores should drive both toward zero).
   uint64_t lock_waits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return lock_waits_;
   }
   uint64_t lock_wait_us() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return lock_wait_us_;
   }
 
@@ -65,13 +66,14 @@ class StoredLabelIndex : public PostingSource {
   // heap-allocated and never erased. The underlying KvStore read also
   // happens under the lock — DiskKvStore's page cache is not itself
   // thread-safe.
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   // Pointers into the map stay valid under rehash (node-based), which
   // is what lets Fetch hand out stable Posting pointers.
-  mutable std::unordered_map<uint64_t, std::unique_ptr<Posting>> cache_;
-  mutable size_t corrupt_fetches_ = 0;
-  mutable uint64_t lock_waits_ = 0;
-  mutable uint64_t lock_wait_us_ = 0;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<Posting>> cache_
+      GUARDED_BY(mu_);
+  mutable size_t corrupt_fetches_ GUARDED_BY(mu_) = 0;
+  mutable uint64_t lock_waits_ GUARDED_BY(mu_) = 0;
+  mutable uint64_t lock_wait_us_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace approxql::index

@@ -43,8 +43,8 @@ struct Server::Connection {
 
   std::atomic<int64_t> in_flight{0};
   std::atomic<bool> closed{false};
-  std::mutex out_mu;
-  std::string outbox;  // worker threads append complete frames
+  util::Mutex out_mu;
+  std::string outbox GUARDED_BY(out_mu);  // workers append complete frames
 
   explicit Connection(size_t max_frame_bytes)
       : decoder(max_frame_bytes),
@@ -96,7 +96,10 @@ Server::Server(service::QueryService& service,
 Server::~Server() { Shutdown(/*drain=*/false); }
 
 util::Status Server::Start() {
-  APPROXQL_CHECK(!started_) << "Server::Start called twice";
+  {
+    util::MutexLock lock(&lifecycle_mu_);
+    APPROXQL_CHECK(!started_) << "Server::Start called twice";
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
@@ -152,8 +155,13 @@ util::Status Server::Start() {
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
-  started_ = true;
+  // Spawn before publishing started_: a concurrent JoinLoop that
+  // observes started_ must find a joinable thread.
   loop_thread_ = std::thread([this] { Loop(); });
+  {
+    util::MutexLock lock(&lifecycle_mu_);
+    started_ = true;
+  }
   return util::Status::OK();
 }
 
@@ -166,23 +174,28 @@ void Server::RequestDrain() {
 }
 
 void Server::JoinLoop() {
-  std::unique_lock<std::mutex> lock(lifecycle_mu_);
-  if (!started_ || joined_) return;
+  lifecycle_mu_.Lock();
+  if (!started_ || joined_) {
+    lifecycle_mu_.Unlock();
+    return;
+  }
   if (joining_) {
     // Someone else owns the join; wait for it rather than calling
     // join() twice on the same thread.
-    lifecycle_cv_.wait(lock, [this] { return joined_; });
+    while (!joined_) lifecycle_cv_.Wait(&lifecycle_mu_);
+    lifecycle_mu_.Unlock();
     return;
   }
   joining_ = true;
   // Join with lifecycle_mu_ released: a concurrent Shutdown must be
   // able to store stop_/drain_ (it does so without the lock) and a
   // concurrent Wait must be able to park on lifecycle_cv_.
-  lock.unlock();
+  lifecycle_mu_.Unlock();
   loop_thread_.join();
-  lock.lock();
+  lifecycle_mu_.Lock();
   joined_ = true;
-  lifecycle_cv_.notify_all();
+  lifecycle_cv_.NotifyAll();
+  lifecycle_mu_.Unlock();
 }
 
 void Server::Wait() { JoinLoop(); }
@@ -192,7 +205,7 @@ void Server::Shutdown(bool drain) {
     // Only the stop-flag store and a non-blocking eventfd wake happen
     // under lifecycle_mu_ — never the join itself — so a thread parked
     // in Wait() can no longer deadlock a concurrent Shutdown.
-    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    util::MutexLock lock(&lifecycle_mu_);
     if (!started_) return;
     if (drain) {
       drain_.store(true, std::memory_order_release);
@@ -209,13 +222,13 @@ void Server::Shutdown(bool drain) {
   // completions can only append to dead outboxes. Wait for them so no
   // callback outlives `this`.
   {
-    std::unique_lock<std::mutex> lock(outstanding_mu_);
-    outstanding_cv_.wait(lock, [this] {
-      return outstanding_.load(std::memory_order_acquire) == 0;
-    });
+    util::MutexLock lock(&outstanding_mu_);
+    while (outstanding_.load(std::memory_order_acquire) != 0) {
+      outstanding_cv_.Wait(&outstanding_mu_);
+    }
   }
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    util::MutexLock lock(&lifecycle_mu_);
     if (fds_closed_) return;
     fds_closed_ = true;
   }
@@ -278,7 +291,7 @@ void Server::Loop() {
     // Completions that arrived from worker threads since the last pass.
     std::vector<std::shared_ptr<Connection>> pending;
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      util::MutexLock lock(&pending_mu_);
       pending.swap(pending_writes_);
     }
     for (const std::shared_ptr<Connection>& conn : pending) {
@@ -301,7 +314,7 @@ void Server::Loop() {
         }
         bool outbox_empty;
         {
-          std::lock_guard<std::mutex> lock(conn->out_mu);
+          util::MutexLock lock(&conn->out_mu);
           outbox_empty = conn->outbox.empty();
         }
         if (!outbox_empty || !conn->write_buffer.empty()) {
@@ -507,9 +520,9 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
           // moment it can reacquire the lock and see zero, so the
           // notifying thread must be done with the condvar before the
           // lock is released.
-          std::lock_guard<std::mutex> lock(outstanding_mu_);
+          util::MutexLock lock(&outstanding_mu_);
           outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-          outstanding_cv_.notify_all();
+          outstanding_cv_.NotifyAll();
         }
       });
 }
@@ -538,14 +551,14 @@ void Server::EnqueueResponse(const std::shared_ptr<Connection>& conn,
         << "net: dropping oversized response frame: " << encoded.message();
     return;
   }
-  std::lock_guard<std::mutex> lock(conn->out_mu);
+  util::MutexLock lock(&conn->out_mu);
   if (conn->closed.load(std::memory_order_acquire)) return;  // client gone
   conn->outbox.append(frame);
 }
 
 void Server::NotifyWritable(const std::shared_ptr<Connection>& conn) {
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(&pending_mu_);
     pending_writes_.push_back(conn);
   }
   uint64_t one = 1;
@@ -554,7 +567,7 @@ void Server::NotifyWritable(const std::shared_ptr<Connection>& conn) {
 
 void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    util::MutexLock lock(&conn->out_mu);
     if (!conn->outbox.empty()) {
       conn->write_buffer.append(conn->outbox);
       conn->outbox.clear();
@@ -602,7 +615,7 @@ void Server::CloseConnection(int fd, const char* reason) {
   {
     // Under out_mu so no worker can append between the flag flip and
     // the erase — its append would land after `closed` and be dropped.
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    util::MutexLock lock(&conn->out_mu);
     conn->closed.store(true, std::memory_order_release);
   }
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
@@ -623,7 +636,7 @@ void Server::SweepIdle() {
     if (now - conn->last_active < options_.idle_timeout) continue;
     bool outbox_empty;
     {
-      std::lock_guard<std::mutex> lock(conn->out_mu);
+      util::MutexLock lock(&conn->out_mu);
       outbox_empty = conn->outbox.empty();
     }
     if (outbox_empty) idle.push_back(fd);

@@ -46,11 +46,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -60,7 +58,9 @@
 #include "net/wire.h"
 #include "service/metrics.h"
 #include "service/query_service.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace approxql::shard {
 class ShardedDatabase;
@@ -185,27 +185,33 @@ class Server {
   std::thread loop_thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> drain_{false};
-  bool started_ = false;
-  bool joining_ = false;  // a thread is blocked in loop_thread_.join()
-  bool joined_ = false;
-  bool fds_closed_ = false;
-  std::mutex lifecycle_mu_;  // guards the four flags above
-  std::condition_variable lifecycle_cv_;  // signaled when joined_ flips
+  util::Mutex lifecycle_mu_;
+  util::CondVar lifecycle_cv_;  // signaled when joined_ flips
+  bool started_ GUARDED_BY(lifecycle_mu_) = false;
+  /// A thread is blocked in loop_thread_.join().
+  bool joining_ GUARDED_BY(lifecycle_mu_) = false;
+  bool joined_ GUARDED_BY(lifecycle_mu_) = false;
+  bool fds_closed_ GUARDED_BY(lifecycle_mu_) = false;
 
   /// Loop-thread-only: fd → connection.
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;
 
   /// Connections whose outbox gained data from a worker thread since
   /// the loop last looked.
-  std::mutex pending_mu_;
-  std::vector<std::shared_ptr<Connection>> pending_writes_;
+  util::Mutex pending_mu_;
+  std::vector<std::shared_ptr<Connection>> pending_writes_
+      GUARDED_BY(pending_mu_);
 
   /// SubmitAsync completion callbacks capture `this`; Shutdown waits
   /// for every one of them to finish (even with drain=false) so no
-  /// callback ever runs against a destroyed server.
+  /// callback ever runs against a destroyed server. The count stays
+  /// atomic (completions decrement it under outstanding_mu_, but the
+  /// drain check in Loop reads it lock-free).
   std::atomic<int64_t> outstanding_{0};
-  std::mutex outstanding_mu_;
-  std::condition_variable outstanding_cv_;
+  // lint:allow-unguarded-mutex pure condvar handshake; the counter it
+  // synchronizes stays atomic so Loop's drain check can read lock-free.
+  util::Mutex outstanding_mu_;
+  util::CondVar outstanding_cv_;
 
   service::MetricsRegistry metrics_;
   service::Gauge* connections_open_;

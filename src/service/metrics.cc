@@ -3,7 +3,7 @@
 namespace approxql::service {
 
 Counter* MetricsRegistry::RegisterCounter(std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   Entry entry;
   entry.name = std::move(name);
   entry.counter = std::make_unique<Counter>();
@@ -13,7 +13,7 @@ Counter* MetricsRegistry::RegisterCounter(std::string name) {
 }
 
 Gauge* MetricsRegistry::RegisterGauge(std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   Entry entry;
   entry.name = std::move(name);
   entry.gauge = std::make_unique<Gauge>();
@@ -23,7 +23,7 @@ Gauge* MetricsRegistry::RegisterGauge(std::string name) {
 }
 
 LatencyHistogram* MetricsRegistry::RegisterHistogram(std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   Entry entry;
   entry.name = std::move(name);
   entry.histogram = std::make_unique<LatencyHistogram>();
@@ -33,7 +33,7 @@ LatencyHistogram* MetricsRegistry::RegisterHistogram(std::string name) {
 }
 
 std::string MetricsRegistry::DumpText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::string out;
   for (const Entry& entry : entries_) {
     out += entry.name;

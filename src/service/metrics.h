@@ -12,11 +12,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace approxql::service {
 
@@ -51,18 +52,18 @@ class Gauge {
 class LatencyHistogram {
  public:
   void Record(uint64_t value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     histogram_.Record(value);
   }
   /// A consistent copy for reading quantiles.
   util::Histogram Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return histogram_;
   }
 
  private:
-  mutable std::mutex mu_;
-  util::Histogram histogram_;
+  mutable util::Mutex mu_;
+  util::Histogram histogram_ GUARDED_BY(mu_);
 };
 
 class MetricsRegistry {
@@ -92,8 +93,8 @@ class MetricsRegistry {
     std::unique_ptr<LatencyHistogram> histogram;
   };
 
-  mutable std::mutex mu_;  // guards entries_ (registration vs. dump)
-  std::vector<Entry> entries_;
+  mutable util::Mutex mu_;  // registration vs. dump
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace approxql::service

@@ -8,14 +8,14 @@
 namespace approxql::service {
 
 void CountDownLatch::CountDown(size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   remaining_ -= std::min(n, remaining_);
-  if (remaining_ == 0) zero_.notify_all();
+  if (remaining_ == 0) zero_.NotifyAll();
 }
 
 void CountDownLatch::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  zero_.wait(lock, [this] { return remaining_ == 0; });
+  util::MutexLock lock(&mu_);
+  while (remaining_ != 0) zero_.Wait(&mu_);
 }
 
 namespace {
@@ -37,8 +37,8 @@ struct ForkState {
   std::atomic<size_t> skipped{0};
   std::atomic<bool> stop{false};      // cancellation observed
   std::atomic<bool> failed{false};    // an iteration threw
-  std::mutex error_mu;
-  std::exception_ptr error;           // first exception, guarded by error_mu
+  util::Mutex error_mu;
+  std::exception_ptr error GUARDED_BY(error_mu);  // first exception
   CountDownLatch done;
 };
 
@@ -63,7 +63,7 @@ void RunIterations(const std::shared_ptr<ForkState>& state) {
         state->executed.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(state->error_mu);
+          util::MutexLock lock(&state->error_mu);
           if (!state->error) state->error = std::current_exception();
         }
         state->failed.store(true, std::memory_order_relaxed);
@@ -99,7 +99,7 @@ ParallelForResult ParallelFor(ThreadPool* pool, size_t count,
   result.skipped = state->skipped.load(std::memory_order_relaxed);
   result.cancelled = state->stop.load(std::memory_order_relaxed);
   if (state->failed.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(state->error_mu);
+    util::MutexLock lock(&state->error_mu);
     if (state->error) std::rethrow_exception(state->error);
   }
   return result;

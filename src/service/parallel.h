@@ -13,12 +13,12 @@
 #ifndef APPROXQL_SERVICE_PARALLEL_H_
 #define APPROXQL_SERVICE_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 
 #include "service/thread_pool.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace approxql::service {
 
@@ -34,9 +34,9 @@ class CountDownLatch {
   void Wait();
 
  private:
-  std::mutex mu_;
-  std::condition_variable zero_;
-  size_t remaining_;
+  util::Mutex mu_;
+  util::CondVar zero_;
+  size_t remaining_ GUARDED_BY(mu_);
 };
 
 struct ParallelForOptions {

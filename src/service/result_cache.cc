@@ -25,7 +25,7 @@ uint32_t FingerprintCostModel(const cost::CostModel& model) {
 CachedAnswers ResultCache::Lookup(const CacheKey& key) {
   if (capacity_ == 0) return nullptr;
   std::string encoded = key.Encode();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = index_.find(encoded);
   if (it == index_.end()) {
     ++misses_;
@@ -44,7 +44,7 @@ void ResultCache::Insert(const CacheKey& key,
   // alive independently of the slot.
   auto shared = std::make_shared<const std::vector<engine::QueryAnswer>>(
       std::move(answers));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = index_.find(encoded);
   if (it != index_.end()) {
     it->second->answers = std::move(shared);
@@ -61,14 +61,14 @@ void ResultCache::Insert(const CacheKey& key,
 }
 
 void ResultCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   invalidations_ += lru_.size();
   index_.clear();
   lru_.clear();
 }
 
 ResultCache::Stats ResultCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;

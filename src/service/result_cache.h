@@ -19,12 +19,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/database.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace approxql::service {
 
@@ -92,15 +93,16 @@ class ResultCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   // Front = most recently used. map values point into the list; list
   // iterators stay valid under splice, which is all Touch does.
-  std::list<Slot> lru_;
-  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t invalidations_ = 0;
+  std::list<Slot> lru_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_
+      GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace approxql::service

@@ -20,30 +20,30 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (shutdown_ || queue_.size() >= queue_capacity_) return false;
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return true;
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return queue_.size();
 }
 
 void ThreadPool::Shutdown(DrainMode mode) {
   std::deque<std::function<void()>> abandoned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     shutdown_ = true;
     if (mode == DrainMode::kAbandon) abandoned.swap(queue_);
   }
   // Destroy abandoned tasks outside the lock: their captures may run
   // arbitrary destructors (promise guards that notify waiters, etc.).
   abandoned.clear();
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -54,9 +54,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      util::MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();

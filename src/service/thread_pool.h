@@ -6,13 +6,14 @@
 #ifndef APPROXQL_SERVICE_THREAD_POOL_H_
 #define APPROXQL_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace approxql::service {
 
@@ -57,11 +58,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
-  size_t queue_capacity_;
+  mutable util::Mutex mu_;
+  util::CondVar work_available_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  const size_t queue_capacity_;
+  /// Written only by the constructor and Shutdown (which joins every
+  /// worker before clearing); workers never touch it.
   std::vector<std::thread> workers_;
 };
 

@@ -36,7 +36,10 @@ enum class StatusCode : uint8_t {
 std::string_view StatusCodeToString(StatusCode code);
 
 /// The result of an operation that can fail but returns no value.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures (a lost
+/// KV put, an unsent wire frame); deliberate discards must say so with
+/// an explicit cast through util::IgnoreError.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -110,7 +113,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Either a value of type T or an error Status. Never holds an OK status
 /// without a value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or an error keeps call sites terse
   // (`return 42;` / `return Status::NotFound(...)`), mirroring
@@ -150,6 +153,10 @@ class Result {
  private:
   std::variant<T, Status> repr_;
 };
+
+/// The one sanctioned way to drop a Status on the floor. Grep-able, and
+/// every call site owes a comment saying why the failure is ignorable.
+inline void IgnoreError(const Status&) {}
 
 // Internal helpers for the macros below.
 #define APPROXQL_CONCAT_IMPL(x, y) x##y

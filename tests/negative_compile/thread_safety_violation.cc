@@ -1,0 +1,37 @@
+// Negative-compile probe: this translation unit MUST FAIL to compile
+// under `clang++ -Wthread-safety -Werror` — it reads and writes a
+// GUARDED_BY member without holding the mutex. tests/CMakeLists.txt
+// registers it (Clang only) as a ctest case with WILL_FAIL, so a
+// toolchain or macro regression that silently turns the analysis into
+// a no-op breaks CI instead of silently un-checking every annotation
+// in the codebase.
+//
+// Keep this file minimal and self-contained: it must exercise exactly
+// the annotation layer (util/mutex.h), not any module that happens to
+// use it.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  // VIOLATION: guarded write without holding mu_. The analysis reports
+  // "writing variable 'value_' requires holding mutex 'mu_'".
+  void UnguardedWrite(int v) { value_ = v; }
+
+  // VIOLATION: guarded read without holding mu_.
+  int UnguardedRead() const { return value_; }
+
+ private:
+  mutable approxql::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.UnguardedWrite(1);
+  return g.UnguardedRead();
+}

@@ -253,9 +253,9 @@ TEST_F(ServerTest, GarbageBytesCloseOnlyThatConnection) {
 TEST_F(ServerTest, BadCrcClosesConnection) {
   StartServer();
   std::string wire;
-  EncodeFrame(FrameHeader{kProtocolVersion, 1,
+  ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, 1,
                           static_cast<uint32_t>(MessageType::kQueryRequest)},
-              EncodeQueryRequest(WireRequest{kQuery}), &wire);
+              EncodeQueryRequest(WireRequest{kQuery}), &wire).ok());
   wire.back() = static_cast<char>(wire.back() ^ 0x1);  // corrupt the CRC
 
   int fd = ConnectRaw(server_->port());
@@ -292,15 +292,15 @@ TEST_F(ServerTest, UnknownMessageTypeFailsOnlyThatRequest) {
   int fd = ConnectRaw(server_->port());
   ASSERT_GE(fd, 0);
   std::string wire;
-  EncodeFrame(FrameHeader{kProtocolVersion, 7, /*type=*/99}, "whatever",
-              &wire);
+  ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, 7, /*type=*/99}, "whatever",
+              &wire).ok());
   // Follow with a valid query on the same connection: the unknown type
   // must cost one error response, not the connection.
   WireRequest request;
   request.query = kQuery;
-  EncodeFrame(FrameHeader{kProtocolVersion, 8,
+  ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, 8,
                           static_cast<uint32_t>(MessageType::kQueryRequest)},
-              EncodeQueryRequest(request), &wire);
+              EncodeQueryRequest(request), &wire).ok());
   ASSERT_TRUE(SendAll(fd, wire));
 
   auto frames = ReadFrames(fd, 2);
@@ -328,9 +328,9 @@ TEST_F(ServerTest, MalformedRequestPayloadFailsOnlyThatRequest) {
   int fd = ConnectRaw(server_->port());
   ASSERT_GE(fd, 0);
   std::string wire;
-  EncodeFrame(FrameHeader{kProtocolVersion, 3,
+  ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, 3,
                           static_cast<uint32_t>(MessageType::kQueryRequest)},
-              "\x05trunc", &wire);  // claims 5 query bytes, CRC still valid
+              "\x05trunc", &wire).ok());  // claims 5 query bytes, CRC still valid
   ASSERT_TRUE(SendAll(fd, wire));
   auto frames = ReadFrames(fd, 1);
   ASSERT_EQ(frames.size(), 1u);
@@ -343,9 +343,9 @@ TEST_F(ServerTest, MalformedRequestPayloadFailsOnlyThatRequest) {
   WireRequest request;
   request.query = kQuery;
   wire.clear();
-  EncodeFrame(FrameHeader{kProtocolVersion, 4,
+  ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, 4,
                           static_cast<uint32_t>(MessageType::kQueryRequest)},
-              EncodeQueryRequest(request), &wire);
+              EncodeQueryRequest(request), &wire).ok());
   ASSERT_TRUE(SendAll(fd, wire));
   frames = ReadFrames(fd, 1);
   ::close(fd);
@@ -362,9 +362,9 @@ TEST_F(ServerTest, MidRequestDisconnectLeavesServerServing) {
     request.query = kQuery;
     request.bypass_cache = true;
     std::string wire;
-    EncodeFrame(FrameHeader{kProtocolVersion, 1,
+    ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, 1,
                             static_cast<uint32_t>(MessageType::kQueryRequest)},
-                EncodeQueryRequest(request), &wire);
+                EncodeQueryRequest(request), &wire).ok());
     ASSERT_TRUE(SendAll(fd, wire));
     ::close(fd);  // gone before the response can be written
   }
@@ -383,9 +383,9 @@ TEST_F(ServerTest, TornFrameAtDisconnectIsHarmless) {
   std::string wire;
   WireRequest request;
   request.query = kQuery;
-  EncodeFrame(FrameHeader{kProtocolVersion, 1,
+  ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, 1,
                           static_cast<uint32_t>(MessageType::kQueryRequest)},
-              EncodeQueryRequest(request), &wire);
+              EncodeQueryRequest(request), &wire).ok());
   ASSERT_TRUE(SendAll(fd, wire.substr(0, wire.size() / 2)));
   ::close(fd);  // peer dies mid-frame
 
@@ -405,9 +405,9 @@ TEST_F(ServerTest, PipelinedRequestsAllAnsweredAndMatchedById) {
     WireRequest request;
     request.query = kQuery;
     request.bypass_cache = true;
-    EncodeFrame(FrameHeader{kProtocolVersion, kFirstId + i,
+    ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, kFirstId + i,
                             static_cast<uint32_t>(MessageType::kQueryRequest)},
-                EncodeQueryRequest(request), &wire);
+                EncodeQueryRequest(request), &wire).ok());
   }
   ASSERT_TRUE(SendAll(fd, wire));  // one burst, no waiting in between
 
@@ -437,9 +437,9 @@ TEST_F(ServerTest, GracefulDrainFlushesInFlightResponses) {
   request.query = kQuery;
   request.bypass_cache = true;
   std::string wire;
-  EncodeFrame(FrameHeader{kProtocolVersion, 55,
+  ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, 55,
                           static_cast<uint32_t>(MessageType::kQueryRequest)},
-              EncodeQueryRequest(request), &wire);
+              EncodeQueryRequest(request), &wire).ok());
   ASSERT_TRUE(SendAll(fd, wire));
   // Wait until the request is past admission (SubmitAsync ran), then
   // begin the drain: the response must still reach the socket.
@@ -611,7 +611,10 @@ TEST_F(ServerTest, ShutdownWithoutDrainIsSafeWithRequestsInFlight) {
       request.query = kQuery;
       request.bypass_cache = true;
       while (!stop.load(std::memory_order_relaxed)) {
-        client.Call(request, /*deadline_ms=*/1000);  // errors expected
+        // Errors (and successes) are equally fine here; the loop only
+        // exists to churn connections while the server shuts down.
+        util::IgnoreError(
+            client.Call(request, /*deadline_ms=*/1000).status());
       }
     });
   }

@@ -19,7 +19,9 @@ FrameHeader MakeHeader(uint64_t request_id, MessageType type) {
 
 TEST(FrameTest, RoundTripSingleFrame) {
   std::string wire;
-  EncodeFrame(MakeHeader(42, MessageType::kQueryRequest), "hello", &wire);
+  ASSERT_TRUE(
+      EncodeFrame(MakeHeader(42, MessageType::kQueryRequest), "hello", &wire)
+          .ok());
   FrameDecoder decoder;
   decoder.Append(wire.data(), wire.size());
   FrameHeader header;
@@ -38,7 +40,8 @@ TEST(FrameTest, RoundTripSingleFrame) {
 
 TEST(FrameTest, EmptyPayloadFrame) {
   std::string wire;
-  EncodeFrame(MakeHeader(0, MessageType::kMetricsDump), "", &wire);
+  ASSERT_TRUE(
+      EncodeFrame(MakeHeader(0, MessageType::kMetricsDump), "", &wire).ok());
   FrameDecoder decoder;
   decoder.Append(wire.data(), wire.size());
   FrameHeader header;
@@ -54,7 +57,10 @@ TEST(FrameTest, ByteAtATimeDelivery) {
   // fragments it — the worst case is one byte per read.
   std::string wire;
   std::string big_payload(1000, 'x');
-  EncodeFrame(MakeHeader(7, MessageType::kQueryResponse), big_payload, &wire);
+  ASSERT_TRUE(
+      EncodeFrame(MakeHeader(7, MessageType::kQueryResponse), big_payload,
+                  &wire)
+          .ok());
   FrameDecoder decoder;
   FrameHeader header;
   std::string payload;
@@ -74,8 +80,9 @@ TEST(FrameTest, ByteAtATimeDelivery) {
 TEST(FrameTest, MultipleFramesPerRead) {
   std::string wire;
   for (uint64_t id = 1; id <= 5; ++id) {
-    EncodeFrame(MakeHeader(id, MessageType::kQueryRequest),
-                "payload" + std::to_string(id), &wire);
+    ASSERT_TRUE(EncodeFrame(MakeHeader(id, MessageType::kQueryRequest),
+                            "payload" + std::to_string(id), &wire)
+                    .ok());
   }
   FrameDecoder decoder;
   decoder.Append(wire.data(), wire.size());
@@ -99,7 +106,9 @@ TEST(FrameTest, RandomizedSplitRoundTrip) {
     for (size_t f = 0; f < frames; ++f) {
       std::string payload(rng.Uniform(300), '\0');
       for (char& c : payload) c = static_cast<char>(rng.Uniform(256));
-      EncodeFrame(MakeHeader(f, MessageType::kQueryResponse), payload, &wire);
+      ASSERT_TRUE(EncodeFrame(MakeHeader(f, MessageType::kQueryResponse),
+                              payload, &wire)
+                      .ok());
       payloads.push_back(std::move(payload));
     }
     FrameDecoder decoder;
@@ -129,7 +138,9 @@ TEST(FrameTest, RandomizedSplitRoundTrip) {
 
 TEST(FrameTest, CorruptedByteFailsCrc) {
   std::string wire;
-  EncodeFrame(MakeHeader(9, MessageType::kQueryRequest), "payload", &wire);
+  ASSERT_TRUE(
+      EncodeFrame(MakeHeader(9, MessageType::kQueryRequest), "payload", &wire)
+          .ok());
   wire[6] = static_cast<char>(wire[6] ^ 0x40);  // flip a bit inside the body
   FrameDecoder decoder;
   decoder.Append(wire.data(), wire.size());
@@ -141,7 +152,9 @@ TEST(FrameTest, CorruptedByteFailsCrc) {
   EXPECT_TRUE(error.IsCorruption());
   // Poisoned: even valid bytes afterwards don't resurrect the stream.
   std::string good;
-  EncodeFrame(MakeHeader(10, MessageType::kQueryRequest), "x", &good);
+  ASSERT_TRUE(
+      EncodeFrame(MakeHeader(10, MessageType::kQueryRequest), "x", &good)
+          .ok());
   decoder.Append(good.data(), good.size());
   EXPECT_EQ(decoder.Take(&header, &payload, &error),
             FrameDecoder::Next::kError);

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Repo invariant linter (fast, dependency-free; runs in CI before the
+compilers do). Three checks, each guarding a discipline the toolchain
+alone cannot enforce everywhere:
+
+1. no-raw-mutex: raw std::mutex / std::lock_guard / std::unique_lock /
+   std::scoped_lock / std::condition_variable (and their headers) are
+   forbidden outside src/util/. std types cannot carry Clang capability
+   attributes, so locked state declared with them is invisible to the
+   thread-safety analysis; everything must go through util::Mutex /
+   util::MutexLock / util::CondVar (src/util/mutex.h).
+
+2. guarded-by: every util::Mutex declared in src/ must protect
+   something — at least one GUARDED_BY/PT_GUARDED_BY/REQUIRES/ACQUIRE/
+   EXCLUDES reference to it in the same file. A mutex that exists
+   purely as a condition-variable handshake (no guarded data) must say
+   so with a `lint:allow-unguarded-mutex` comment carrying a reason.
+   Scoped to src/: test-local scratch mutexes are not module state.
+
+3. test-includes: tests/ must include code under test through the
+   public module headers ("module/header.h" relative to src/), never
+   with path-relative escapes ("../", "src/...") that bypass the
+   include layout the library exports.
+
+Exit status 0 = clean, 1 = violations (one line each on stdout).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tests", "examples", "bench")
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b"
+)
+RAW_MUTEX_INCLUDE_RE = re.compile(
+    r'#\s*include\s*<(mutex|shared_mutex|condition_variable)>'
+)
+# `std::adopt_lock` / `std::defer_lock` tags are fine: they configure
+# util::MutexLock, not a raw lock.
+RAW_MUTEX_ALLOWED_RE = re.compile(r"std::(adopt|defer|try_to)_lock\b")
+
+MUTEX_MEMBER_RE = re.compile(
+    r"(?:mutable\s+)?(?:util::|approxql::util::)?Mutex\s+(\w+)\s*;"
+)
+ALLOW_UNGUARDED_RE = re.compile(r"lint:allow-unguarded-mutex\s*\S")
+
+TEST_INCLUDE_RE = re.compile(r'#\s*include\s*"((?:\.\./|src/)[^"]*)"')
+
+COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments, preserving line numbers."""
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+    return COMMENT_RE.sub(blank, text)
+
+
+def check_no_raw_mutex(rel: str, text: str, errors: list[str]) -> None:
+    if rel.startswith("src/util/"):
+        return
+    code = strip_comments(text)
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        match = RAW_MUTEX_RE.search(line)
+        if match and not RAW_MUTEX_ALLOWED_RE.search(match.group(0)):
+            errors.append(
+                f"{rel}:{lineno}: raw {match.group(0)} outside src/util/ "
+                f"(use util::Mutex / util::MutexLock / util::CondVar from "
+                f"util/mutex.h so the thread-safety analysis sees it)")
+        if RAW_MUTEX_INCLUDE_RE.search(line):
+            errors.append(
+                f"{rel}:{lineno}: direct include of a std locking header "
+                f"outside src/util/ (include \"util/mutex.h\" instead)")
+
+
+def check_guarded_by(rel: str, text: str, errors: list[str]) -> None:
+    if not rel.startswith("src/") or rel.startswith("src/util/"):
+        return
+    lines = text.splitlines()
+    code = strip_comments(text)
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        match = MUTEX_MEMBER_RE.search(line)
+        if not match:
+            continue
+        name = match.group(1)
+        uses = re.compile(
+            r"(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|EXCLUDES|"
+            r"RETURN_CAPABILITY|ASSERT_CAPABILITY)\s*\(\s*[\w>.\-]*" +
+            re.escape(name) + r"\s*\)")
+        if uses.search(code):
+            continue
+        # The waiver lives in a comment, so search the *unstripped*
+        # source: the declaration line plus the contiguous //-comment
+        # block immediately above it.
+        first = lineno - 1
+        while first > 0 and lines[first - 1].lstrip().startswith("//"):
+            first -= 1
+        context = "\n".join(lines[first:lineno])
+        if ALLOW_UNGUARDED_RE.search(context):
+            continue
+        errors.append(
+            f"{rel}:{lineno}: util::Mutex member '{name}' has no "
+            f"GUARDED_BY/REQUIRES user in this file; annotate the state it "
+            f"protects, or mark the declaration with "
+            f"'// lint:allow-unguarded-mutex <reason>'")
+
+
+def check_test_includes(rel: str, text: str, errors: list[str]) -> None:
+    if not rel.startswith("tests/"):
+        return
+    code = strip_comments(text)
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        match = TEST_INCLUDE_RE.search(line)
+        if match:
+            errors.append(
+                f"{rel}:{lineno}: test includes \"{match.group(1)}\" — "
+                f"include the public module header relative to src/ "
+                f"(e.g. \"service/thread_pool.h\") instead of bypassing "
+                f"the exported include layout")
+
+
+def main() -> int:
+    errors: list[str] = []
+    for top in SCAN_DIRS:
+        root = REPO_ROOT / top
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            text = path.read_text(encoding="utf-8", errors="replace")
+            check_no_raw_mutex(rel, text, errors)
+            check_guarded_by(rel, text, errors)
+            check_test_includes(rel, text, errors)
+    if errors:
+        print(f"lint.py: {len(errors)} violation(s)")
+        for error in errors:
+            print(error)
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
