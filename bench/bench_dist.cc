@@ -1,0 +1,264 @@
+// Distributed serving sweep: one ShardRouter scatter-gathering over
+// 1/2/4 shard servers — real net::Server processes-equivalent (each its
+// own QueryService + event loop) on TCP loopback — driven by concurrent
+// closed-loop clients. Each level runs twice:
+//
+//   healthy            every shard up for the whole run.
+//   one_shard_killed   the last shard's server is shut down at the
+//                      halfway mark; the router degrades (answers
+//                      flagged, missing shard named) and its health
+//                      machine walks the dead shard DOWN so later
+//                      requests stop burning the attempt timeout.
+//
+// Reports throughput, latency percentiles, degraded/error counts and
+// retry totals per (level, scenario) on stdout and in BENCH_dist.json
+// for EXPERIMENTS.md. With one shard of one killed there is nothing to
+// degrade to — those requests fail kUnavailable, and the numbers show
+// what the cluster's floor looks like.
+//
+// Scale with APPROXQL_BENCH_ELEMENTS (default 30000),
+// APPROXQL_BENCH_QUERIES (default 16), APPROXQL_BENCH_CLIENTS
+// (default 8), APPROXQL_BENCH_ROUNDS (default 4).
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_env.h"
+#include "bench/fig7_common.h"
+#include "dist/shard_router.h"
+#include "engine/database.h"
+#include "gen/query_generator.h"
+#include "gen/xml_generator.h"
+#include "net/server.h"
+#include "service/query_service.h"
+#include "shard/sharded_database.h"
+#include "util/histogram.h"
+#include "util/timer.h"
+
+namespace approxql::bench {
+namespace {
+
+using dist::RouterOptions;
+using dist::ShardRouter;
+using engine::Database;
+using engine::Strategy;
+using net::Server;
+using net::ServerOptions;
+using service::QueryService;
+using service::ServiceOptions;
+using shard::ShardedDatabase;
+
+struct ShardServer {
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<Server> server;
+};
+
+struct Sample {
+  size_t shards = 0;
+  bool killed = false;
+  size_t requests = 0;
+  size_t degraded = 0;
+  size_t errors = 0;
+  uint64_t retries = 0;
+  double qps = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  uint64_t max_us = 0;
+};
+
+Sample RunScenario(const ShardedDatabase& sharded,
+                   const std::vector<std::string>& queries, size_t clients,
+                   size_t rounds, bool kill_one) {
+  const size_t num_shards = sharded.num_shards();
+  std::vector<ShardServer> servers(num_shards);
+  RouterOptions router_options;
+  for (size_t i = 0; i < num_shards; ++i) {
+    ShardServer& s = servers[i];
+    s.service = std::make_unique<QueryService>(
+        sharded.shard(i), ServiceOptions{.num_threads = 2,
+                                         .queue_capacity = 1024,
+                                         .cache_capacity = 0});
+    ServerOptions server_options;
+    server_options.shard.enabled = true;
+    server_options.shard.fingerprint = sharded.LayoutFingerprint();
+    server_options.shard.shard_index = static_cast<uint32_t>(i);
+    s.server = std::make_unique<Server>(*s.service, sharded.shard(i),
+                                        server_options);
+    auto started = s.server->Start();
+    APPROXQL_CHECK(started.ok()) << started;
+    router_options.shards.push_back({"127.0.0.1", s.server->port()});
+  }
+  // Fail fast enough that the killed-shard scenario measures the
+  // degraded path, not the timeout; the health probe then takes the
+  // dead shard out of the hot path entirely.
+  router_options.attempt_deadline_ms = 500;
+  router_options.max_retries = 1;
+  router_options.retry_backoff_ms = 5;
+  router_options.retry_backoff_cap_ms = 20;
+  router_options.health_period_ms = 50;
+  router_options.ping_deadline_ms = 100;
+  ShardRouter router(sharded, router_options);
+  auto started = router.Start();
+  APPROXQL_CHECK(started.ok()) << started;
+
+  const size_t total = queries.size() * rounds;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> kill_fired{false};
+  std::atomic<size_t> degraded{0}, errors{0};
+  std::atomic<uint64_t> retries{0};
+  std::vector<util::Histogram> latencies(clients);
+  util::WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) break;
+        if (kill_one && i >= total / 2 &&
+            !kill_fired.exchange(true, std::memory_order_acq_rel)) {
+          // SIGTERM-equivalent mid-run: the victim's event loop stops
+          // and its connections drop. Evaluations already on its pool
+          // finish and are discarded.
+          servers.back().server->Shutdown(/*drain=*/false);
+        }
+        util::WallTimer call_timer;
+        auto routed = router.Execute(queries[i % queries.size()],
+                                     Strategy::kSchema, 10,
+                                     /*deadline_ms=*/0);
+        latencies[c].Record(
+            static_cast<uint64_t>(call_timer.ElapsedSeconds() * 1e6));
+        if (!routed.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (routed->degraded) degraded.fetch_add(1, std::memory_order_relaxed);
+        retries.fetch_add(routed->retries, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  double seconds = timer.ElapsedSeconds();
+  router.Shutdown();
+  for (ShardServer& s : servers) {
+    if (s.server) s.server->Shutdown(/*drain=*/false);
+  }
+
+  Sample sample;
+  sample.shards = num_shards;
+  sample.killed = kill_one;
+  sample.requests = total;
+  sample.degraded = degraded.load();
+  sample.errors = errors.load();
+  sample.retries = retries.load();
+  sample.qps = seconds > 0 ? static_cast<double>(total) / seconds : 0;
+  util::Histogram merged;
+  for (const util::Histogram& h : latencies) merged.Merge(h);
+  sample.p50_us = merged.Quantile(0.50);
+  sample.p90_us = merged.Quantile(0.90);
+  sample.p99_us = merged.Quantile(0.99);
+  sample.max_us = merged.max();
+  return sample;
+}
+
+int Run() {
+  util::SetLogLevel(util::LogLevel::kError);
+  gen::XmlGenOptions gen_options;
+  gen_options.seed = 20020314;
+  gen_options.total_elements = EnvSize("APPROXQL_BENCH_ELEMENTS", 30000);
+  gen_options.vocabulary =
+      std::max<size_t>(gen_options.total_elements / 10, 100);
+
+  util::WallTimer build_timer;
+  gen::XmlGenerator generator(gen_options);
+  auto tree = generator.GenerateTree(cost::CostModel());
+  APPROXQL_CHECK(tree.ok()) << tree.status();
+  auto built =
+      Database::FromDataTree(std::move(tree).value(), cost::CostModel());
+  APPROXQL_CHECK(built.ok()) << built.status();
+  Database db = std::move(built).value();
+  auto stats = db.GetStats();
+  std::printf("collection: %zu elements, %zu labels (built in %.1fs)\n",
+              stats.struct_nodes, stats.distinct_labels,
+              build_timer.ElapsedSeconds());
+
+  const size_t kQueries = EnvSize("APPROXQL_BENCH_QUERIES", 16);
+  const size_t kClients = EnvSize("APPROXQL_BENCH_CLIENTS", 8);
+  const size_t kRounds = EnvSize("APPROXQL_BENCH_ROUNDS", 4);
+  gen::QueryGenOptions q_options;
+  q_options.seed = 42;
+  gen::QueryGenerator qgen(db, q_options);
+  constexpr std::string_view kPatterns[] = {gen::kPattern1, gen::kPattern2,
+                                            gen::kPattern3};
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto generated = qgen.Generate(kPatterns[i % 3]);
+    APPROXQL_CHECK(generated.ok()) << generated.status();
+    queries.push_back(std::move(generated->text));
+  }
+
+  const size_t kLevels[] = {1, 2, 4};
+  std::vector<Sample> samples;
+  std::printf("%-7s %-10s %8s %10s %10s %10s %10s %9s %7s %7s\n", "shards",
+              "scenario", "qps", "p50-us", "p90-us", "p99-us", "max-us",
+              "degraded", "errors", "retries");
+  for (size_t level : kLevels) {
+    auto partitioned =
+        ShardedDatabase::Partition(db.tree(), db.cost_model(), level);
+    APPROXQL_CHECK(partitioned.ok()) << partitioned.status();
+    ShardedDatabase sharded = std::move(partitioned).value();
+    for (bool kill_one : {false, true}) {
+      Sample sample = RunScenario(sharded, queries, kClients, kRounds,
+                                  kill_one);
+      samples.push_back(sample);
+      std::printf(
+          "%-7zu %-10s %8.1f %10.0f %10.0f %10.0f %10llu %9zu %7zu %7llu\n",
+          sample.shards, sample.killed ? "kill-one" : "healthy", sample.qps,
+          sample.p50_us, sample.p90_us, sample.p99_us,
+          static_cast<unsigned long long>(sample.max_us), sample.degraded,
+          sample.errors, static_cast<unsigned long long>(sample.retries));
+    }
+  }
+
+  std::FILE* out = std::fopen("BENCH_dist.json", "w");
+  APPROXQL_CHECK(out != nullptr) << "cannot write BENCH_dist.json";
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"dist_scatter_gather\",\n"
+               "  \"config\": {\"elements\": %zu, \"queries\": %zu, "
+               "\"clients\": %zu, \"rounds\": %zu, %s},\n  \"levels\": [\n",
+               gen_options.total_elements, queries.size(), kClients, kRounds,
+               bench::BenchEnvJson().c_str());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(
+        out,
+        "    {\"shards\": %zu, \"scenario\": \"%s\", \"requests\": %zu, "
+        "\"qps\": %.2f, \"p50_us\": %.0f, \"p90_us\": %.0f, "
+        "\"p99_us\": %.0f, \"max_us\": %llu, \"degraded\": %zu, "
+        "\"errors\": %zu, \"retries\": %llu}%s\n",
+        s.shards, s.killed ? "one_shard_killed" : "healthy", s.requests,
+        s.qps, s.p50_us, s.p90_us, s.p99_us,
+        static_cast<unsigned long long>(s.max_us), s.degraded, s.errors,
+        static_cast<unsigned long long>(s.retries),
+        i + 1 == samples.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_dist.json\n");
+
+  // Healthy runs must not degrade or error; killed runs may do both.
+  size_t healthy_bad = 0;
+  for (const Sample& s : samples) {
+    if (!s.killed) healthy_bad += s.degraded + s.errors;
+  }
+  return healthy_bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace approxql::bench
+
+int main() { return approxql::bench::Run(); }

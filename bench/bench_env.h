@@ -1,0 +1,40 @@
+// Build/host provenance stamped into every BENCH_*.json, so the perf
+// trajectory across PRs is attributable: a regression plot must be able
+// to tell a sanitizer build on a loaded 2-core CI runner from a release
+// build on a 32-core box, and name the exact commit either came from.
+//
+// Usage in a JSON writer (inside the "config" object):
+//
+//   std::fprintf(out, "  \"config\": {%s, ...},\n",
+//                approxql::bench::BenchEnvJson().c_str());
+#ifndef APPROXQL_BENCH_BENCH_ENV_H_
+#define APPROXQL_BENCH_BENCH_ENV_H_
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#ifndef APPROXQL_BUILD_TYPE
+#define APPROXQL_BUILD_TYPE "unknown"
+#endif
+#ifndef APPROXQL_GIT_SHA
+#define APPROXQL_GIT_SHA "unknown"
+#endif
+
+namespace approxql::bench {
+
+/// The shared stamp as JSON object fields (no braces), for embedding in
+/// a benchmark's "config" object:
+///   "build_type": "Release", "git_sha": "1839fc8", "cpus": 16
+inline std::string BenchEnvJson() {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"build_type\": \"%s\", \"git_sha\": \"%s\", \"cpus\": %u",
+                APPROXQL_BUILD_TYPE, APPROXQL_GIT_SHA,
+                std::thread::hardware_concurrency());
+  return buffer;
+}
+
+}  // namespace approxql::bench
+
+#endif  // APPROXQL_BENCH_BENCH_ENV_H_

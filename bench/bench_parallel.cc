@@ -13,16 +13,13 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_env.h"
 #include "bench/fig7_common.h"
 #include "engine/database.h"
 #include "gen/query_generator.h"
 #include "gen/xml_generator.h"
 #include "service/query_service.h"
 #include "util/timer.h"
-
-#ifndef APPROXQL_BUILD_TYPE
-#define APPROXQL_BUILD_TYPE "unknown"
-#endif
 
 namespace approxql::bench {
 namespace {
@@ -156,9 +153,10 @@ int Run() {
   std::fprintf(out,
                "{\n  \"benchmark\": \"parallel_intra_query\",\n"
                "  \"config\": {\"elements\": %zu, \"queries\": %zu, "
-               "\"shards\": 1, \"build_type\": \"%s\"},\n"
+               "\"shards\": 1, %s},\n"
                "  \"elements\": %zu,\n  \"queries\": %zu,\n  \"levels\": [\n",
-               gen_options.total_elements, queries.size(), APPROXQL_BUILD_TYPE,
+               gen_options.total_elements, queries.size(),
+               bench::BenchEnvJson().c_str(),
                gen_options.total_elements, queries.size());
   for (size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];

@@ -32,15 +32,12 @@
 #include "bench/fig7_common.h"
 #include "engine/database.h"
 #include "gen/query_generator.h"
+#include "bench/bench_env.h"
 #include "index/stored_label_index.h"
 #include "service/thread_pool.h"
 #include "shard/sharded_database.h"
 #include "storage/mem_kv_store.h"
 #include "util/timer.h"
-
-#ifndef APPROXQL_BUILD_TYPE
-#define APPROXQL_BUILD_TYPE "unknown"
-#endif
 
 namespace approxql::bench {
 namespace {
@@ -346,9 +343,9 @@ int Run() {
                "{\n  \"benchmark\": \"shard_scatter_gather\",\n"
                "  \"config\": {\"clients\": %zu, \"parallelism\": %zu, "
                "\"elements\": %zu, \"queries\": %zu, \"rounds\": %d, "
-               "\"stress_rounds\": %d, \"build_type\": \"%s\"},\n",
+               "\"stress_rounds\": %d, %s},\n",
                kClients, kClients, stats.struct_nodes, queries.size(),
-               kRounds, kStressRounds, APPROXQL_BUILD_TYPE);
+               kRounds, kStressRounds, bench::BenchEnvJson().c_str());
   std::fprintf(
       out,
       "  \"single_store_baseline\": {\"qps\": %.2f, "

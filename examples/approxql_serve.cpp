@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "dist/shard_router.h"
 #include "engine/database.h"
 #include "gen/query_generator.h"
 #include "gen/xml_generator.h"
@@ -58,10 +59,10 @@
 #include "util/random.h"
 #include "util/timer.h"
 
-#ifndef APPROXQL_BUILD_TYPE
-#define APPROXQL_BUILD_TYPE "unknown"
-#endif
+#include "bench/bench_env.h"
 
+using approxql::dist::RouterOptions;
+using approxql::dist::ShardRouter;
 using approxql::engine::Database;
 using approxql::shard::ShardedDatabase;
 using approxql::engine::Strategy;
@@ -101,6 +102,18 @@ int Usage() {
       "  --shards N       partition the corpus into N shards and serve\n"
       "                   with scatter-gather, 1 = single database "
       "(default 1)\n"
+      "  --shard-server I serve only shard I of the --shards N partition\n"
+      "                   over --listen PORT (answers kShardQuery/kPing)\n"
+      "  --router H:P,... scatter-gather across remote shard servers, one\n"
+      "                   endpoint per shard in index order; combine with\n"
+      "                   --listen to front the cluster, or replay the\n"
+      "                   workload through the router in process\n"
+      "  --strict         (--router) any unreachable shard fails the query\n"
+      "                   instead of degrading the answer\n"
+      "  --expect-degraded  (--connect) exit 1 unless at least one response\n"
+      "                   came back degraded (cluster smoke tests)\n"
+      "  --bypass-cache   (--connect) ask the server to skip its result\n"
+      "                   cache, forcing every request to the backend\n"
       "  --gen-data N     build a synthetic collection of ~N elements\n"
       "  --gen N          generate an N-query workload from the paper's\n"
       "                   patterns instead of --workload\n"
@@ -124,6 +137,7 @@ struct PassResult {
   size_t truncated = 0;
   size_t failed = 0;
   size_t cache_hits = 0;
+  size_t degraded = 0;
   size_t transport_errors = 0;
   size_t mismatches = 0;
   double wall_seconds = 0;
@@ -159,6 +173,7 @@ PassResult RunPass(QueryService& service,
           ++mine.completed;
           if (response.truncated) ++mine.truncated;
           if (response.cache_hit) ++mine.cache_hits;
+          if (response.degraded) ++mine.degraded;
         } else if (response.status.IsResourceExhausted()) {
           ++mine.rejected;
         } else {
@@ -177,6 +192,7 @@ PassResult RunPass(QueryService& service,
     result.truncated += partials[c].truncated;
     result.failed += partials[c].failed;
     result.cache_hits += partials[c].cache_hits;
+    result.degraded += partials[c].degraded;
     result.latency_us.Merge(latencies[c]);
   }
   return result;
@@ -189,7 +205,8 @@ PassResult RunWirePass(const std::string& host, uint16_t port,
                        const std::vector<std::string>& workload,
                        size_t clients, size_t repeat,
                        const approxql::engine::ExecOptions& exec,
-                       int deadline_ms, QueryService* oracle) {
+                       int deadline_ms, bool bypass_cache,
+                       QueryService* oracle) {
   const size_t total = workload.size() * repeat;
   std::atomic<size_t> next{0};
   std::vector<approxql::util::Histogram> latencies(clients);
@@ -212,6 +229,7 @@ PassResult RunWirePass(const std::string& host, uint16_t port,
         request.strategy = exec.strategy;
         request.n = exec.n;
         request.deadline_ms = deadline_ms;
+        request.bypass_cache = bypass_cache;
         approxql::util::WallTimer call_timer;
         auto response = client.Call(request);
         latencies[c].Record(
@@ -221,7 +239,11 @@ PassResult RunWirePass(const std::string& host, uint16_t port,
           ++mine.completed;
           if (response->truncated) ++mine.truncated;
           if (response->cache_hit) ++mine.cache_hits;
-          if (oracle != nullptr) {
+          if (response->degraded) ++mine.degraded;
+          // A degraded answer deliberately covers only the shards that
+          // responded; comparing it against the full in-process result
+          // would count the cluster's honesty as a mismatch.
+          if (oracle != nullptr && !response->degraded) {
             QueryRequest check;
             check.query_text = request.query;
             check.exec = exec;
@@ -264,6 +286,7 @@ PassResult RunWirePass(const std::string& host, uint16_t port,
     result.truncated += partials[c].truncated;
     result.failed += partials[c].failed;
     result.cache_hits += partials[c].cache_hits;
+    result.degraded += partials[c].degraded;
     result.transport_errors += partials[c].transport_errors;
     result.mismatches += partials[c].mismatches;
     result.latency_us.Merge(latencies[c]);
@@ -281,8 +304,10 @@ void PrintPass(size_t pass, const PassResult& r, bool wire) {
                          : 0.0,
       r.completed, r.cache_hits, r.truncated, r.rejected, r.failed);
   if (wire) {
-    std::printf("  transport-errors %zu  verify-mismatches %zu\n",
-                r.transport_errors, r.mismatches);
+    std::printf("  degraded %zu  transport-errors %zu  verify-mismatches %zu\n",
+                r.degraded, r.transport_errors, r.mismatches);
+  } else if (r.degraded > 0) {
+    std::printf("  degraded %zu\n", r.degraded);
   }
   std::printf("  latency %s\n", r.latency_us.Summary("us").c_str());
 }
@@ -299,12 +324,14 @@ void HandleDrainSignal(int) {
 int main(int argc, char** argv) {
   std::vector<std::string> xml_paths;
   std::string load_path, workload_path, dump_workload_path, bench_json_path;
-  std::string connect_spec;
+  std::string connect_spec, router_spec;
   size_t clients = 8, passes = 2, repeat = 1;
   size_t gen_data = 0, gen_queries = 0, seed = 42;
   size_t shards = 1;
+  size_t shard_server = SIZE_MAX;  // SIZE_MAX = not a shard server
   size_t listen_port = 0;
   bool listen_mode = false, verify = false;
+  bool strict = false, expect_degraded = false, bypass_cache = false;
   int deadline_ms = 0;
   ServiceOptions service_options;
   service_options.num_threads = 8;
@@ -366,6 +393,18 @@ int main(int argc, char** argv) {
       if (!next_num(&seed)) return Usage();
     } else if (arg == "--shards") {
       if (!next_num(&shards) || shards == 0) return Usage();
+    } else if (arg == "--shard-server") {
+      if (!next_num(&shard_server)) return Usage();
+    } else if (arg == "--router") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      router_spec = v;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--bypass-cache") {
+      bypass_cache = true;
+    } else if (arg == "--expect-degraded") {
+      expect_degraded = true;
     } else if (arg == "--listen") {
       if (!next_num(&listen_port) || listen_port > 65535) return Usage();
       listen_mode = true;
@@ -401,10 +440,52 @@ int main(int argc, char** argv) {
   }
   if (listen_mode && !connect_spec.empty()) return Usage();
   const bool connect_mode = !connect_spec.empty();
+  const bool router_mode = !router_spec.empty();
+  const bool shard_server_mode = shard_server != SIZE_MAX;
+  // A shard server fronts exactly one shard of the partition over TCP.
+  if (shard_server_mode &&
+      (!listen_mode || router_mode || connect_mode || shard_server >= shards)) {
+    std::fprintf(stderr,
+                 "--shard-server needs --listen, --shards N with "
+                 "index < N, and no --router/--connect\n");
+    return Usage();
+  }
+  if (router_mode && connect_mode) return Usage();
   // Serving needs no workload; replay modes need one (from a file or
   // the generator).
   if (!listen_mode && workload_path.empty() && gen_queries == 0) {
     return Usage();
+  }
+
+  // Parse --router's comma-separated host:port endpoints, one per shard
+  // in shard-index order.
+  std::vector<RouterOptions::Endpoint> router_endpoints;
+  if (router_mode) {
+    std::string_view rest = router_spec;
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view item =
+          comma == std::string_view::npos ? rest : rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view()
+                                             : rest.substr(comma + 1);
+      size_t colon = item.rfind(':');
+      if (colon == std::string_view::npos) return Usage();
+      RouterOptions::Endpoint endpoint;
+      endpoint.host = std::string(item.substr(0, colon));
+      size_t port = std::strtoull(std::string(item.substr(colon + 1)).c_str(),
+                                  nullptr, 10);
+      if (endpoint.host.empty() || port == 0 || port > 65535) return Usage();
+      endpoint.port = static_cast<uint16_t>(port);
+      router_endpoints.push_back(std::move(endpoint));
+    }
+    if (router_endpoints.empty()) return Usage();
+    if (shards == 1) shards = router_endpoints.size();
+    if (shards != router_endpoints.size()) {
+      std::fprintf(stderr,
+                   "--router lists %zu endpoints but --shards is %zu\n",
+                   router_endpoints.size(), shards);
+      return 1;
+    }
   }
 
   // A database is needed to serve, to replay in process, to generate a
@@ -521,7 +602,7 @@ int main(int argc, char** argv) {
   // --verify's oracle deliberately runs unsharded so a wire replay
   // cross-checks scatter-gather answers against the single-database path.
   std::unique_ptr<ShardedDatabase> sharded;
-  if (db != nullptr && shards > 1) {
+  if (db != nullptr && (shards > 1 || shard_server_mode || router_mode)) {
     auto partitioned =
         ShardedDatabase::Partition(db->tree(), db->cost_model(), shards);
     if (!partitioned.ok()) {
@@ -538,17 +619,52 @@ int main(int argc, char** argv) {
                  sharded->LayoutFingerprint());
   }
 
+  // Remote scatter-gather: the router's transports start before any
+  // query runs. Built outside the listen branch so the in-process
+  // replay path can also drive it; destroyed after anything that
+  // queries it (declaration order).
+  std::unique_ptr<ShardRouter> router;
+  if (router_mode) {
+    RouterOptions router_options;
+    router_options.shards = std::move(router_endpoints);
+    router_options.strict = strict;
+    router = std::make_unique<ShardRouter>(*sharded, router_options);
+    auto started = router->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "router: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "router: %zu remote shard endpoint%s%s\n",
+                 router->num_shards(), router->num_shards() == 1 ? "" : "s",
+                 strict ? " (strict)" : "");
+  }
+
   if (listen_mode) {
-    auto service = sharded != nullptr
-                       ? std::make_unique<QueryService>(*sharded,
-                                                        service_options)
-                       : std::make_unique<QueryService>(*db, service_options);
+    std::unique_ptr<QueryService> service;
     ServerOptions server_options;
     server_options.port = static_cast<uint16_t>(listen_port);
-    auto server =
-        sharded != nullptr
-            ? std::make_unique<Server>(*service, *sharded, server_options)
-            : std::make_unique<Server>(*service, *db, server_options);
+    std::unique_ptr<Server> server;
+    if (shard_server_mode) {
+      // This process fronts exactly one shard of the partition: plain
+      // kQueryRequest traffic runs against the shard's own database,
+      // while kShardQuery/kPing answers carry the layout fingerprint
+      // and shard index stamped here.
+      const Database& shard_db = sharded->shard(shard_server);
+      service = std::make_unique<QueryService>(shard_db, service_options);
+      server_options.shard.enabled = true;
+      server_options.shard.fingerprint = sharded->LayoutFingerprint();
+      server_options.shard.shard_index = static_cast<uint32_t>(shard_server);
+      server = std::make_unique<Server>(*service, shard_db, server_options);
+    } else if (router != nullptr) {
+      service = std::make_unique<QueryService>(*router, service_options);
+      server = std::make_unique<Server>(*service, *sharded, server_options);
+    } else if (sharded != nullptr) {
+      service = std::make_unique<QueryService>(*sharded, service_options);
+      server = std::make_unique<Server>(*service, *sharded, server_options);
+    } else {
+      service = std::make_unique<QueryService>(*db, service_options);
+      server = std::make_unique<Server>(*service, *db, server_options);
+    }
     auto started = server->Start();
     if (!started.ok()) {
       std::fprintf(stderr, "%s\n", started.ToString().c_str());
@@ -557,12 +673,21 @@ int main(int argc, char** argv) {
     g_server = server.get();
     std::signal(SIGTERM, HandleDrainSignal);
     std::signal(SIGINT, HandleDrainSignal);
-    std::fprintf(stderr,
-                 "listening on %s:%u (%zu workers, queue %zu, %zu shard%s) — "
-                 "SIGTERM drains\n",
-                 server_options.bind_address.c_str(), server->port(),
-                 service_options.num_threads, service_options.queue_capacity,
-                 shards, shards == 1 ? "" : "s");
+    if (shard_server_mode) {
+      std::fprintf(stderr,
+                   "shard server %zu/%zu listening on %s:%u (layout "
+                   "fingerprint %08x) — SIGTERM drains\n",
+                   shard_server, shards, server_options.bind_address.c_str(),
+                   server->port(), sharded->LayoutFingerprint());
+    } else {
+      std::fprintf(stderr,
+                   "listening on %s:%u (%zu workers, queue %zu, %zu shard%s"
+                   "%s) — SIGTERM drains\n",
+                   server_options.bind_address.c_str(), server->port(),
+                   service_options.num_threads, service_options.queue_capacity,
+                   shards, shards == 1 ? "" : "s",
+                   router != nullptr ? ", remote" : "");
+    }
     server->Wait();  // returns when a drain signal quiesces the loop
     g_server = nullptr;
     std::printf("--- server metrics ---\n%s", server->DumpMetrics().c_str());
@@ -590,15 +715,17 @@ int main(int argc, char** argv) {
       oracle_options.cache_capacity = 0;  // always re-execute
       oracle = std::make_unique<QueryService>(*db, oracle_options);
     }
-    size_t transport_errors = 0, mismatches = 0;
+    size_t transport_errors = 0, mismatches = 0, degraded = 0;
     std::vector<PassResult> results;
     for (size_t pass = 1; pass <= passes; ++pass) {
       PassResult result =
           RunWirePass(host, static_cast<uint16_t>(port), workload_queries,
-                      clients, repeat, exec, deadline_ms, oracle.get());
+                      clients, repeat, exec, deadline_ms, bypass_cache,
+                      oracle.get());
       PrintPass(pass, result, /*wire=*/true);
       transport_errors += result.transport_errors;
       mismatches += result.mismatches;
+      degraded += result.degraded;
       results.push_back(std::move(result));
     }
     if (!bench_json_path.empty()) {
@@ -610,12 +737,11 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "{\n  \"benchmark\": \"wire_replay\",\n"
                    "  \"config\": {\"shards\": %zu, \"clients\": %zu, "
-                   "\"threads\": %zu, \"parallelism\": %zu, "
-                   "\"build_type\": \"%s\"},\n"
+                   "\"threads\": %zu, \"parallelism\": %zu, %s},\n"
                    "  \"clients\": %zu,\n  \"passes\": [\n",
                    shards, clients, service_options.num_threads,
-                   service_options.parallelism, APPROXQL_BUILD_TYPE,
-                   clients);
+                   service_options.parallelism,
+                   approxql::bench::BenchEnvJson().c_str(), clients);
       for (size_t p = 0; p < results.size(); ++p) {
         const PassResult& r = results[p];
         std::fprintf(
@@ -646,11 +772,19 @@ int main(int argc, char** argv) {
                    mismatches);
       return 1;
     }
+    if (expect_degraded && degraded == 0) {
+      std::fprintf(stderr,
+                   "FAILED: --expect-degraded but no degraded responses "
+                   "were observed\n");
+      return 1;
+    }
     return 0;
   }
 
   auto service =
-      sharded != nullptr
+      router != nullptr
+          ? std::make_unique<QueryService>(*router, service_options)
+      : sharded != nullptr
           ? std::make_unique<QueryService>(*sharded, service_options)
           : std::make_unique<QueryService>(*db, service_options);
   for (size_t pass = 1; pass <= passes; ++pass) {

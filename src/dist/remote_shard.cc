@@ -1,0 +1,125 @@
+#include "dist/remote_shard.h"
+
+#include <utility>
+
+namespace approxql::dist {
+
+const char* ToString(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kUp:
+      return "UP";
+    case ShardHealth::kSuspect:
+      return "SUSPECT";
+    case ShardHealth::kDown:
+      return "DOWN";
+  }
+  return "?";
+}
+
+namespace {
+
+net::AsyncClientOptions TransportOptions(const RemoteShardOptions& options) {
+  net::AsyncClientOptions transport;
+  transport.host = options.host;
+  transport.port = options.port;
+  transport.connect_timeout_ms = options.connect_timeout_ms;
+  transport.max_frame_bytes = options.max_frame_bytes;
+  transport.reconnect_backoff_ms = options.reconnect_backoff_ms;
+  transport.reconnect_backoff_cap_ms = options.reconnect_backoff_cap_ms;
+  return transport;
+}
+
+}  // namespace
+
+RemoteShardBackend::RemoteShardBackend(uint32_t shard_index,
+                                       RemoteShardOptions options)
+    : shard_index_(shard_index),
+      options_(std::move(options)),
+      client_(TransportOptions(options_)) {}
+
+RemoteShardBackend::~RemoteShardBackend() { Shutdown(); }
+
+util::Status RemoteShardBackend::Start() { return client_.Start(); }
+
+void RemoteShardBackend::Shutdown() { client_.Shutdown(); }
+
+ShardHealth RemoteShardBackend::health() const {
+  util::MutexLock lock(&mu_);
+  return health_;
+}
+
+void RemoteShardBackend::RecordOutcome(bool success) {
+  util::MutexLock lock(&mu_);
+  if (success) {
+    consecutive_failures_ = 0;
+    health_ = ShardHealth::kUp;
+    return;
+  }
+  ++consecutive_failures_;
+  health_ = consecutive_failures_ >= options_.failures_to_down
+                ? ShardHealth::kDown
+                : ShardHealth::kSuspect;
+}
+
+template <typename Payload>
+util::Result<Payload> RemoteShardBackend::CheckReply(
+    util::Result<std::pair<net::FrameHeader, std::string>>& reply,
+    net::MessageType want,
+    util::Status (*decode)(std::string_view, Payload*)) {
+  if (!reply.ok()) {
+    RecordOutcome(false);
+    return reply.status();
+  }
+  if (reply->first.type != static_cast<uint32_t>(want)) {
+    // A well-framed but wrong-typed reply (e.g. a plain server's
+    // kUnimplemented kQueryResponse): the process on that port is not a
+    // shard server. Permanent, like a fingerprint mismatch.
+    RecordOutcome(false);
+    return util::Status::Internal(
+        endpoint() + " is not serving shard queries (reply type " +
+        std::to_string(reply->first.type) + ")");
+  }
+  Payload payload;
+  util::Status decoded = decode(reply->second, &payload);
+  if (!decoded.ok()) {
+    RecordOutcome(false);
+    return decoded;
+  }
+  if (payload.fingerprint != options_.expected_fingerprint ||
+      payload.shard_index != shard_index_) {
+    RecordOutcome(false);
+    return util::Status::Internal(
+        "shard " + std::to_string(shard_index_) + " at " + endpoint() +
+        ": layout fingerprint/index mismatch (theirs " +
+        std::to_string(payload.fingerprint) + "/" +
+        std::to_string(payload.shard_index) + ", ours " +
+        std::to_string(options_.expected_fingerprint) + "/" +
+        std::to_string(shard_index_) +
+        ") — remote partitioned a different corpus");
+  }
+  RecordOutcome(true);
+  return payload;
+}
+
+void RemoteShardBackend::CallShardQuery(const net::WireShardQuery& query,
+                                        int deadline_ms, AnswerCallback done) {
+  client_.Call(
+      net::MessageType::kShardQuery, net::EncodeShardQuery(query), deadline_ms,
+      [this, done = std::move(done)](
+          util::Result<std::pair<net::FrameHeader, std::string>> reply) {
+        done(CheckReply<net::WireShardAnswer>(
+            reply, net::MessageType::kShardAnswer, &net::DecodeShardAnswer));
+      });
+}
+
+void RemoteShardBackend::CallPing(int deadline_ms, PongCallback done) {
+  client_.Call(
+      net::MessageType::kPing, std::string(), deadline_ms,
+      [this, done = std::move(done)](
+          util::Result<std::pair<net::FrameHeader, std::string>> reply) {
+        done(CheckReply<net::WirePong>(reply, net::MessageType::kPong,
+                                       &net::DecodePong));
+      });
+}
+
+}  // namespace approxql::dist

@@ -1,0 +1,106 @@
+// One remote shard endpoint, typed: wraps a net::AsyncClient with the
+// shard-scoped wire calls (kShardQuery, kPing), verifies every reply's
+// layout fingerprint and shard index against what the router expects,
+// and runs the per-shard health state machine
+//
+//     UP --failure--> SUSPECT --(failures_to_down consecutive)--> DOWN
+//      ^------------------------any success-----------------------'
+//
+// fed by both the query path and the periodic health probes. Health
+// only steers routing (a DOWN shard is skipped, not retried, until a
+// probe revives it); correctness never depends on it — a wrongly-UP
+// shard just costs a timed-out attempt.
+#ifndef APPROXQL_DIST_REMOTE_SHARD_H_
+#define APPROXQL_DIST_REMOTE_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/async_client.h"
+#include "net/wire.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace approxql::dist {
+
+enum class ShardHealth { kUp, kSuspect, kDown };
+const char* ToString(ShardHealth health);
+
+struct RemoteShardOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 2000;
+  size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+  int reconnect_backoff_ms = 20;
+  int reconnect_backoff_cap_ms = 1000;
+  /// Consecutive failures before SUSPECT becomes DOWN.
+  int failures_to_down = 3;
+  /// The router's own layout fingerprint. A reply stamped with any
+  /// other value means the remote process partitioned a different
+  /// corpus — its local preorders cannot be translated, so the call
+  /// fails kInternal (permanent) instead of returning garbage answers.
+  uint32_t expected_fingerprint = 0;
+};
+
+class RemoteShardBackend {
+ public:
+  RemoteShardBackend(uint32_t shard_index, RemoteShardOptions options);
+  ~RemoteShardBackend();
+
+  RemoteShardBackend(const RemoteShardBackend&) = delete;
+  RemoteShardBackend& operator=(const RemoteShardBackend&) = delete;
+
+  util::Status Start();
+  /// Joins the transport's IO thread; every outstanding callback fires
+  /// (with kUnavailable) before this returns.
+  void Shutdown();
+
+  /// One shard-scoped evaluation. `done` runs on the transport's IO
+  /// thread (it must not block) with either a decoded, fingerprint-
+  /// verified answer — whose status_code may still be non-OK — or the
+  /// error explaining why none came. Transport outcomes feed the health
+  /// state machine automatically.
+  using AnswerCallback =
+      std::function<void(util::Result<net::WireShardAnswer>)>;
+  void CallShardQuery(const net::WireShardQuery& query, int deadline_ms,
+                      AnswerCallback done);
+
+  /// One health probe. Same callback/threading rules as CallShardQuery.
+  using PongCallback = std::function<void(util::Result<net::WirePong>)>;
+  void CallPing(int deadline_ms, PongCallback done);
+
+  ShardHealth health() const;
+  /// Feeds the state machine directly (the Call* paths do it for their
+  /// own outcomes; the router adds query-level signals like a shard
+  /// answering "draining").
+  void RecordOutcome(bool success);
+
+  uint32_t shard_index() const { return shard_index_; }
+  std::string endpoint() const {
+    return options_.host + ":" + std::to_string(options_.port);
+  }
+  net::AsyncClient::Stats transport_stats() const { return client_.stats(); }
+
+ private:
+  /// Shared tail of both Call paths: type-check the frame, decode,
+  /// verify the stamp, record the outcome.
+  template <typename Payload>
+  util::Result<Payload> CheckReply(
+      util::Result<std::pair<net::FrameHeader, std::string>>& reply,
+      net::MessageType want,
+      util::Status (*decode)(std::string_view, Payload*));
+
+  const uint32_t shard_index_;
+  const RemoteShardOptions options_;
+  net::AsyncClient client_;
+
+  mutable util::Mutex mu_;
+  ShardHealth health_ GUARDED_BY(mu_) = ShardHealth::kUp;
+  int consecutive_failures_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace approxql::dist
+
+#endif  // APPROXQL_DIST_REMOTE_SHARD_H_

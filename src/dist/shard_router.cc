@@ -1,0 +1,492 @@
+#include "dist/shard_router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/list_ops.h"
+#include "net/socket.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace approxql::dist {
+
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Codes a TRANSPORT failure may retry on. kResourceExhausted is
+/// deliberately absent: at the transport layer it means the request
+/// exceeded the frame limit, which a retry cannot fix.
+bool TransportTransient(util::StatusCode code) {
+  return code == util::StatusCode::kUnavailable ||
+         code == util::StatusCode::kDeadlineExceeded ||
+         code == util::StatusCode::kIoError;
+}
+
+/// Guarded cast of a wire status code (a newer peer's unknown code
+/// degrades to kInternal instead of an out-of-range enum).
+util::StatusCode CodeOf(uint32_t wire_code) {
+  if (wire_code > static_cast<uint32_t>(util::StatusCode::kUnavailable)) {
+    return util::StatusCode::kInternal;
+  }
+  return static_cast<util::StatusCode>(wire_code);
+}
+
+}  // namespace
+
+/// Shared between the coordinating thread and the transports' IO
+/// callbacks; heap-held via shared_ptr so a reply that arrives after
+/// the coordinator gave up (overall deadline, strict fail-fast) lands
+/// in still-valid memory and is dropped by the staleness check.
+struct ShardRouter::ScatterState {
+  enum class SlotState {
+    kPending,    // an attempt is in flight
+    kRetryWait,  // failed transiently; waiting out the backoff
+    kDone,
+  };
+  struct Slot {
+    SlotState state = SlotState::kPending;
+    int attempt = 0;  // attempt the in-flight call belongs to
+    Clock::time_point retry_at;
+    bool ok = false;
+    /// The failure is the query's own fault (parse/invalid argument):
+    /// it would fail identically on every shard, so it fails the query
+    /// rather than degrading the answer.
+    bool query_error = false;
+    util::Status error = util::Status::OK();
+    net::WireShardAnswer answer;
+  };
+
+  explicit ScatterState(size_t num_shards) : slots(num_shards) {}
+
+  // Immutable after Execute fills them, before the first launch.
+  std::string query_text;
+  engine::Strategy strategy = engine::Strategy::kSchema;
+  uint64_t wire_n = 10;
+
+  util::Mutex mu;
+  util::CondVar cv;
+  std::vector<Slot> slots GUARDED_BY(mu);
+  util::Rng rng GUARDED_BY(mu);
+
+  /// The execution's shared inclusive cost bound, CAS-min'd by
+  /// callbacks and snapshotted by every (re)launch.
+  std::atomic<int64_t> bound{cost::kInfinite};
+  std::atomic<uint32_t> retries{0};
+};
+
+ShardRouter::ShardRouter(const shard::ShardedDatabase& layout,
+                         RouterOptions options)
+    : layout_(layout),
+      options_(std::move(options)),
+      queries_(metrics_.RegisterCounter("dist_queries")),
+      degraded_(metrics_.RegisterCounter("dist_degraded")),
+      strict_failures_(metrics_.RegisterCounter("dist_strict_failures")),
+      shard_calls_(metrics_.RegisterCounter("dist_shard_calls")),
+      shard_retries_(metrics_.RegisterCounter("dist_shard_retries")),
+      shard_failures_(metrics_.RegisterCounter("dist_shard_failures")),
+      shards_missing_(metrics_.RegisterCounter("dist_shards_missing")),
+      bound_updates_(metrics_.RegisterCounter("dist_bound_updates")),
+      health_pings_(metrics_.RegisterCounter("dist_health_pings")),
+      health_ping_failures_(
+          metrics_.RegisterCounter("dist_health_ping_failures")),
+      shards_up_(metrics_.RegisterGauge("dist_shards_up")),
+      shards_down_(metrics_.RegisterGauge("dist_shards_down")),
+      scatter_us_(metrics_.RegisterHistogram("dist_scatter_us")) {
+  backends_.reserve(options_.shards.size());
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    RemoteShardOptions shard;
+    shard.host = options_.shards[i].host;
+    shard.port = options_.shards[i].port;
+    shard.connect_timeout_ms = options_.connect_timeout_ms;
+    shard.max_frame_bytes = options_.max_frame_bytes;
+    shard.failures_to_down = options_.failures_to_down;
+    shard.expected_fingerprint = layout_.LayoutFingerprint();
+    backends_.push_back(std::make_unique<RemoteShardBackend>(
+        static_cast<uint32_t>(i), std::move(shard)));
+  }
+  shards_up_->Set(static_cast<int64_t>(backends_.size()));
+}
+
+ShardRouter::~ShardRouter() { Shutdown(); }
+
+util::Status ShardRouter::Start() {
+  if (options_.shards.size() != layout_.num_shards()) {
+    return util::Status::InvalidArgument(
+        "router has " + std::to_string(options_.shards.size()) +
+        " endpoints but the layout has " +
+        std::to_string(layout_.num_shards()) + " shards");
+  }
+  for (auto& backend : backends_) {
+    RETURN_IF_ERROR(backend->Start());
+  }
+  if (options_.health_period_ms > 0) {
+    health_thread_ = std::thread([this] { HealthLoop(); });
+  }
+  started_ = true;
+  return util::Status::OK();
+}
+
+void ShardRouter::Shutdown() {
+  {
+    util::MutexLock lock(&health_mu_);
+    health_stop_ = true;
+    health_cv_.NotifyAll();
+  }
+  if (health_thread_.joinable()) health_thread_.join();
+  // Joining each transport flushes its outstanding callbacks, so no
+  // reply handler can run against a dead router after this returns.
+  for (auto& backend : backends_) backend->Shutdown();
+}
+
+void ShardRouter::LaunchAttempt(const std::shared_ptr<ScatterState>& state,
+                                size_t i, int attempt, bool share_bound,
+                                int64_t deadline_ms,
+                                Clock::time_point overall_deadline) {
+  (void)deadline_ms;
+  shard_calls_->Increment();
+  net::WireShardQuery query;
+  query.query = state->query_text;
+  query.strategy = state->strategy;
+  query.n = state->wire_n;
+  // Opportunistic bound propagation: a retry (and every attempt issued
+  // after some shard already answered) snapshots the tightest bound
+  // known so far — the shard prunes with it exactly like an in-process
+  // scatter participant.
+  query.cost_bound = share_bound
+                         ? state->bound.load(std::memory_order_acquire)
+                         : cost::kInfinite;
+  int64_t attempt_deadline = options_.attempt_deadline_ms;
+  if (overall_deadline != Clock::time_point::max()) {
+    int64_t remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            overall_deadline - Clock::now())
+                            .count();
+    if (remaining < 1) remaining = 1;
+    attempt_deadline = attempt_deadline > 0
+                           ? std::min<int64_t>(attempt_deadline, remaining)
+                           : remaining;
+  }
+  query.deadline_ms = attempt_deadline;  // server-side enforcement too
+
+  backends_[i]->CallShardQuery(
+      query, static_cast<int>(attempt_deadline),
+      [this, state, i, attempt,
+       share_bound](util::Result<net::WireShardAnswer> result) {
+        util::MutexLock lock(&state->mu);
+        ScatterState::Slot& slot = state->slots[i];
+        if (slot.state != ScatterState::SlotState::kPending ||
+            slot.attempt != attempt) {
+          return;  // superseded or abandoned attempt; drop silently
+        }
+
+        util::Status failure = util::Status::OK();
+        bool permanent = false;
+        bool query_error = false;
+        if (!result.ok()) {
+          failure = result.status();
+          permanent = !TransportTransient(failure.code());
+        } else {
+          net::WireShardAnswer& answer = *result;
+          const util::StatusCode code = CodeOf(answer.status_code);
+          if (code == util::StatusCode::kOk && !answer.truncated) {
+            const cost::Cost achieved = answer.achieved_bound;
+            slot.state = ScatterState::SlotState::kDone;
+            slot.ok = true;
+            slot.answer = std::move(answer);
+            if (share_bound && cost::IsFinite(achieved)) {
+              int64_t current = state->bound.load(std::memory_order_relaxed);
+              while (achieved < current) {
+                if (state->bound.compare_exchange_weak(
+                        current, achieved, std::memory_order_acq_rel)) {
+                  bound_updates_->Increment();
+                  break;
+                }
+              }
+            }
+            state->cv.NotifyAll();
+            return;
+          }
+          if (code == util::StatusCode::kOk) {
+            // Truncated: a correct but short prefix is useless for the
+            // global merge — a failed attempt, worth retrying with more
+            // of the overall budget.
+            failure = util::Status::DeadlineExceeded(
+                "shard answer truncated by its server-side deadline");
+          } else {
+            failure = util::Status(code, answer.status_message);
+            query_error = code == util::StatusCode::kInvalidArgument ||
+                          code == util::StatusCode::kParseError;
+            permanent = query_error;
+            // The shard is alive but answering "going away"/"overloaded"
+            // — that is routing-relevant even though the transport and
+            // fingerprint checks passed.
+            if (code == util::StatusCode::kUnavailable) {
+              backends_[i]->RecordOutcome(false);
+            }
+          }
+        }
+
+        shard_failures_->Increment();
+        slot.error = failure;
+        if (!permanent && slot.attempt < options_.max_retries) {
+          slot.state = ScatterState::SlotState::kRetryWait;
+          slot.retry_at =
+              Clock::now() +
+              std::chrono::milliseconds(net::JitteredBackoffMs(
+                  slot.attempt, options_.retry_backoff_ms,
+                  options_.retry_backoff_cap_ms, state->rng.Next()));
+        } else {
+          slot.state = ScatterState::SlotState::kDone;
+          slot.query_error = query_error;
+        }
+        state->cv.NotifyAll();
+      });
+}
+
+util::Result<RoutedResult> ShardRouter::Execute(const std::string& query_text,
+                                                engine::Strategy strategy,
+                                                size_t n, int64_t deadline_ms) {
+  APPROXQL_CHECK(started_) << "ShardRouter::Execute before Start";
+  queries_->Increment();
+  const Clock::time_point started = Clock::now();
+  const size_t num_shards = backends_.size();
+  const Clock::time_point overall_deadline =
+      deadline_ms > 0 ? started + std::chrono::milliseconds(deadline_ms)
+                      : Clock::time_point::max();
+  // Matches the in-process condition (ShardedDatabase::Execute): the
+  // bound is an inclusive skeleton-cost prune, sound only for the
+  // schema strategy's top-n, and pointless for n=all or one shard.
+  const bool share_bound = strategy == engine::Strategy::kSchema &&
+                           num_shards > 1 && n != SIZE_MAX;
+
+  auto state = std::make_shared<ScatterState>(num_shards);
+  state->query_text = query_text;
+  state->strategy = strategy;
+  state->wire_n = n == SIZE_MAX ? UINT64_MAX : static_cast<uint64_t>(n);
+
+  std::vector<size_t> initial;
+  initial.reserve(num_shards);
+  {
+    util::MutexLock lock(&state->mu);
+    state->rng.Seed(reinterpret_cast<uintptr_t>(state.get()) ^
+                    static_cast<uint64_t>(
+                        started.time_since_epoch().count()));
+    for (size_t i = 0; i < num_shards; ++i) {
+      if (backends_[i]->health() == ShardHealth::kDown) {
+        // No timeout burned on a shard the health checker already
+        // declared dead; a ping revives it for later queries.
+        state->slots[i].state = ScatterState::SlotState::kDone;
+        state->slots[i].error = util::Status::Unavailable(
+            "shard " + std::to_string(i) + " (" + backends_[i]->endpoint() +
+            ") is DOWN");
+      } else {
+        initial.push_back(i);
+      }
+    }
+  }
+  for (size_t i : initial) {
+    LaunchAttempt(state, i, /*attempt=*/0, share_bound, deadline_ms,
+                  overall_deadline);
+  }
+
+  // Coordinate: wait for callbacks, relaunch retries whose backoff
+  // elapsed, enforce the overall deadline and strict fail-fast.
+  std::vector<std::pair<size_t, int>> due;
+  state->mu.Lock();
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    due.clear();
+    bool all_done = true;
+    bool hard_failure = false;
+    Clock::time_point next = Clock::time_point::max();
+    for (size_t i = 0; i < num_shards; ++i) {
+      ScatterState::Slot& slot = state->slots[i];
+      switch (slot.state) {
+        case ScatterState::SlotState::kPending:
+          all_done = false;
+          break;
+        case ScatterState::SlotState::kRetryWait:
+          all_done = false;
+          if (now >= slot.retry_at) {
+            slot.state = ScatterState::SlotState::kPending;
+            ++slot.attempt;
+            due.emplace_back(i, slot.attempt);
+          } else {
+            next = std::min(next, slot.retry_at);
+          }
+          break;
+        case ScatterState::SlotState::kDone:
+          if (!slot.ok && !slot.query_error) hard_failure = true;
+          break;
+      }
+    }
+    if (!due.empty()) {
+      // Launch outside the lock: a shut-down transport invokes the
+      // callback inline, and the callback takes state->mu.
+      state->mu.Unlock();
+      for (const auto& [i, attempt] : due) {
+        shard_retries_->Increment();
+        state->retries.fetch_add(1, std::memory_order_relaxed);
+        LaunchAttempt(state, i, attempt, share_bound, deadline_ms,
+                      overall_deadline);
+      }
+      state->mu.Lock();
+      continue;
+    }
+    if (all_done) break;
+    if (options_.strict && hard_failure) {
+      // Fail fast: the query is already lost, so don't wait out the
+      // slowest shard's timeout to say so.
+      for (ScatterState::Slot& slot : state->slots) {
+        if (slot.state != ScatterState::SlotState::kDone) {
+          slot.state = ScatterState::SlotState::kDone;
+          slot.error = util::Status::Unavailable(
+              "abandoned: strict scatter failing fast");
+        }
+      }
+      break;
+    }
+    if (overall_deadline != Clock::time_point::max()) {
+      if (now >= overall_deadline) {
+        for (ScatterState::Slot& slot : state->slots) {
+          if (slot.state != ScatterState::SlotState::kDone) {
+            slot.state = ScatterState::SlotState::kDone;
+            slot.error =
+                util::Status::DeadlineExceeded("scatter deadline expired");
+          }
+        }
+        break;
+      }
+      next = std::min(next, overall_deadline);
+    }
+    if (next == Clock::time_point::max()) {
+      state->cv.Wait(&state->mu);
+    } else {
+      state->cv.WaitFor(&state->mu, next - now);
+    }
+  }
+
+  // Gather under the same lock (late stale callbacks only ever see
+  // kDone slots now and drop themselves).
+  RoutedResult out;
+  std::vector<std::vector<engine::RootCost>> lists;
+  util::Status query_error = util::Status::OK();
+  bool has_query_error = false;
+  util::Status last_failure = util::Status::OK();
+  for (size_t i = 0; i < num_shards; ++i) {
+    const ScatterState::Slot& slot = state->slots[i];
+    if (slot.ok) {
+      std::vector<engine::RootCost>& list = lists.emplace_back();
+      list.reserve(slot.answer.answers.size());
+      // ToGlobal is strictly increasing per shard, so the shard's
+      // (cost, root)-sorted list stays sorted after translation.
+      for (const net::WireAnswer& answer : slot.answer.answers) {
+        list.push_back({layout_.ToGlobal(i, answer.root), answer.cost});
+      }
+    } else if (slot.query_error) {
+      has_query_error = true;
+      query_error = slot.error;
+    } else {
+      out.missing_shards.push_back(static_cast<uint32_t>(i));
+      last_failure = slot.error;
+    }
+  }
+  out.final_bound = state->bound.load(std::memory_order_relaxed);
+  out.retries = state->retries.load(std::memory_order_relaxed);
+  state->mu.Unlock();
+
+  scatter_us_->Record(static_cast<uint64_t>(MicrosSince(started)));
+  if (has_query_error) return query_error;
+  if (out.missing_shards.size() == num_shards) {
+    shards_missing_->Increment(num_shards);
+    return util::Status::Unavailable(
+        "all " + std::to_string(num_shards) +
+        " shards unavailable; last error: " + last_failure.message());
+  }
+  if (!out.missing_shards.empty()) {
+    shards_missing_->Increment(out.missing_shards.size());
+    if (options_.strict) {
+      strict_failures_->Increment();
+      std::string which;
+      for (uint32_t i : out.missing_shards) {
+        if (!which.empty()) which += ",";
+        which += std::to_string(i);
+      }
+      return util::Status::Unavailable(
+          "strict mode: shard(s) " + which +
+          " unavailable: " + last_failure.message());
+    }
+    degraded_->Increment();
+    out.degraded = true;
+  }
+
+  const std::vector<engine::RootCost> merged = engine::MergeTopN(lists, n);
+  out.answers.reserve(merged.size());
+  for (const engine::RootCost& rc : merged) {
+    out.answers.push_back({rc.root, rc.cost});
+  }
+  return out;
+}
+
+void ShardRouter::UpdateHealthGauges() {
+  int64_t up = 0, down = 0;
+  for (const auto& backend : backends_) {
+    switch (backend->health()) {
+      case ShardHealth::kUp:
+        ++up;
+        break;
+      case ShardHealth::kDown:
+        ++down;
+        break;
+      case ShardHealth::kSuspect:
+        break;
+    }
+  }
+  shards_up_->Set(up);
+  shards_down_->Set(down);
+}
+
+void ShardRouter::HealthLoop() {
+  health_mu_.Lock();
+  while (!health_stop_) {
+    health_mu_.Unlock();
+    for (auto& backend : backends_) {
+      health_pings_->Increment();
+      backend->CallPing(options_.ping_deadline_ms,
+                        [this](util::Result<net::WirePong> pong) {
+                          // RemoteShardBackend already fed the health
+                          // machine; only the counter is ours.
+                          if (!pong.ok()) {
+                            health_ping_failures_->Increment();
+                          }
+                        });
+    }
+    UpdateHealthGauges();
+    health_mu_.Lock();
+    if (health_stop_) break;
+    health_cv_.WaitFor(&health_mu_,
+                       std::chrono::milliseconds(options_.health_period_ms));
+  }
+  health_mu_.Unlock();
+}
+
+std::string ShardRouter::DumpMetrics() const {
+  std::string out = metrics_.DumpText();
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    const std::string prefix = "dist_shard_" + std::to_string(i);
+    const net::AsyncClient::Stats stats = backends_[i]->transport_stats();
+    out += prefix + "_health " + ToString(backends_[i]->health()) + "\n";
+    out += prefix + "_sent " + std::to_string(stats.sent) + "\n";
+    out += prefix + "_completed " + std::to_string(stats.completed) + "\n";
+    out += prefix + "_failed " + std::to_string(stats.failed) + "\n";
+    out += prefix + "_timed_out " + std::to_string(stats.timed_out) + "\n";
+    out += prefix + "_reconnects " + std::to_string(stats.reconnects) + "\n";
+  }
+  return out;
+}
+
+}  // namespace approxql::dist

@@ -1,0 +1,173 @@
+// Partial-failure-aware scatter-gather over remote shard servers: the
+// distributed counterpart of shard::ShardedDatabase::Execute. The
+// router holds the SAME partition layout as every shard server (each
+// process builds it independently from identical corpus flags, and the
+// LayoutFingerprint stamped on every reply proves they agree), so it
+// can translate shard-local preorder answers back to global ids through
+// the DocSpan tables without shipping trees over the wire.
+//
+// One query fans out as one kShardQuery per shard, all concurrently
+// (each shard endpoint has its own multiplexed AsyncClient, so queries
+// also pipeline across concurrent callers). The shared inclusive
+// skeleton-cost bound of in-process scatter-gather is propagated
+// opportunistically: each shard that returns a full n answers reports
+// its local n-th cost (a valid global inclusive bound), the router
+// CAS-mins these into the execution's bound, and every retry snapshots
+// the tightened value. Bit-identity with in-process execution holds
+// because any inclusive bound >= the final global n-th cost prunes only
+// answers that cannot reach the merged top n (see the equivalence notes
+// in shard/sharded_database.h).
+//
+// Failure handling:
+//   - transient errors (connection loss, attempt deadline, shard
+//     draining/overloaded, truncated shard answer) are retried with
+//     jittered exponential backoff up to max_retries per shard;
+//   - permanent errors (fingerprint mismatch, bad query) are not;
+//   - a shard that stays missing makes the response DEGRADED: the
+//     merged answers cover only the shards that responded, and
+//     missing_shards names the holes — the caller layer must never
+//     cache such a result. strict=true turns any hole into a fail-fast
+//     kUnavailable instead;
+//   - every shard missing is kUnavailable regardless of mode;
+//   - a bad query (parse/invalid-argument from a shard) fails the query
+//     itself — it would fail identically on every shard.
+//
+// A background health checker pings every shard each health_period_ms;
+// outcomes drive the per-shard UP/SUSPECT/DOWN machine (see
+// remote_shard.h). DOWN shards are skipped by non-strict queries
+// (counted missing immediately, no timeout burned) until a ping
+// revives them.
+#ifndef APPROXQL_DIST_SHARD_ROUTER_H_
+#define APPROXQL_DIST_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/remote_shard.h"
+#include "engine/database.h"
+#include "service/metrics.h"
+#include "shard/sharded_database.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace approxql::dist {
+
+struct RouterOptions {
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+  };
+  /// One endpoint per shard, in shard-index order; size must equal the
+  /// layout's num_shards().
+  std::vector<Endpoint> shards;
+
+  int connect_timeout_ms = 2000;
+  size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+  /// Deadline for each shard attempt; a query-level deadline caps it
+  /// further. <= 0 means attempts are bounded only by the query.
+  int attempt_deadline_ms = 2000;
+  /// Retries per shard beyond the first attempt, transient errors only.
+  int max_retries = 2;
+  int retry_backoff_ms = 10;
+  int retry_backoff_cap_ms = 200;
+  /// Any unreachable shard fails the query (kUnavailable) instead of
+  /// degrading the answer.
+  bool strict = false;
+  /// Health-probe period; 0 disables the checker thread (health is then
+  /// driven by query outcomes alone).
+  int health_period_ms = 500;
+  int ping_deadline_ms = 250;
+  int failures_to_down = 3;
+};
+
+struct RoutedResult {
+  /// Merged global top-n; roots are global preorder ids.
+  std::vector<engine::QueryAnswer> answers;
+  /// One or more shards never answered: `answers` covers only the
+  /// responding shards. NEVER cache a degraded result.
+  bool degraded = false;
+  std::vector<uint32_t> missing_shards;  // sorted
+  /// Final value of the shared cost bound (kInfinite if never set).
+  cost::Cost final_bound = cost::kInfinite;
+  /// Retry attempts this execution spent.
+  uint32_t retries = 0;
+};
+
+class ShardRouter {
+ public:
+  /// `layout` is the router's own build of the partition (for DocSpan
+  /// translation, fingerprint, cost model); it must outlive the router.
+  ShardRouter(const shard::ShardedDatabase& layout, RouterOptions options);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Starts the per-shard transports and the health checker. Does not
+  /// require any shard to be up yet.
+  util::Status Start();
+  void Shutdown();
+
+  /// Scatter-gathers one query. `deadline_ms` <= 0 means no overall
+  /// deadline (attempts still bound themselves). n == SIZE_MAX asks for
+  /// all results (no bound sharing, exactly like in-process). Blocks
+  /// the calling thread; safe from many threads concurrently.
+  util::Result<RoutedResult> Execute(const std::string& query_text,
+                                     engine::Strategy strategy, size_t n,
+                                     int64_t deadline_ms);
+
+  const shard::ShardedDatabase& layout() const { return layout_; }
+  uint32_t layout_fingerprint() const { return layout_.LayoutFingerprint(); }
+  size_t num_shards() const { return backends_.size(); }
+  ShardHealth shard_health(size_t i) const { return backends_[i]->health(); }
+  const RouterOptions& options() const { return options_; }
+
+  /// dist_* counters/gauges plus per-shard health and transport lines.
+  std::string DumpMetrics() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct ScatterState;
+
+  /// Issues one attempt against shard `i`. `attempt` tags the slot so a
+  /// late reply from a superseded attempt is ignored.
+  void LaunchAttempt(const std::shared_ptr<ScatterState>& state, size_t i,
+                     int attempt, bool share_bound, int64_t deadline_ms,
+                     Clock::time_point overall_deadline);
+  void HealthLoop();
+  void UpdateHealthGauges();
+
+  const shard::ShardedDatabase& layout_;
+  const RouterOptions options_;
+  std::vector<std::unique_ptr<RemoteShardBackend>> backends_;
+
+  std::thread health_thread_;
+  util::Mutex health_mu_;
+  util::CondVar health_cv_;
+  bool health_stop_ GUARDED_BY(health_mu_) = false;
+  bool started_ = false;
+
+  service::MetricsRegistry metrics_;
+  service::Counter* queries_;
+  service::Counter* degraded_;
+  service::Counter* strict_failures_;
+  service::Counter* shard_calls_;
+  service::Counter* shard_retries_;
+  service::Counter* shard_failures_;
+  service::Counter* shards_missing_;
+  service::Counter* bound_updates_;
+  service::Counter* health_pings_;
+  service::Counter* health_ping_failures_;
+  service::Gauge* shards_up_;
+  service::Gauge* shards_down_;
+  service::LatencyHistogram* scatter_us_;
+};
+
+}  // namespace approxql::dist
+
+#endif  // APPROXQL_DIST_SHARD_ROUTER_H_

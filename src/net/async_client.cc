@@ -1,0 +1,400 @@
+#include "net/async_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/logging.h"
+
+namespace approxql::net {
+
+namespace {
+
+/// poll() timeout until `when`; -1 (infinite) for time_point::max().
+int TimeoutMs(std::chrono::steady_clock::time_point when,
+              std::chrono::steady_clock::time_point now) {
+  if (when == std::chrono::steady_clock::time_point::max()) return -1;
+  auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(when - now);
+  if (left.count() <= 0) return 0;
+  if (left.count() > 1'000'000) return 1'000'000;
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
+
+AsyncClient::AsyncClient(AsyncClientOptions options)
+    : options_(std::move(options)),
+      decoder_(options_.max_frame_bytes),
+      // Per-instance jitter: a router holding one AsyncClient per shard
+      // must not have them all back off in lockstep after a restart.
+      backoff_rng_(reinterpret_cast<uintptr_t>(this) ^
+                   static_cast<uint64_t>(
+                       Clock::now().time_since_epoch().count())) {}
+
+AsyncClient::~AsyncClient() { Shutdown(); }
+
+util::Status AsyncClient::Start() {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return util::Status::IoError(std::string("pipe2: ") + strerror(errno));
+  }
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+  next_connect_ = Clock::now();
+  {
+    util::MutexLock lock(&mu_);
+    stopped_ = false;
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return util::Status::OK();
+}
+
+void AsyncClient::Shutdown() {
+  {
+    util::MutexLock lock(&mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    char byte = 0;
+    // A full pipe already guarantees a pending wakeup.
+    (void)!::write(wake_write_fd_, &byte, 1);
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+void AsyncClient::Call(MessageType type, std::string payload, int deadline_ms,
+                       AsyncCallback done) {
+  Request request;
+  request.type = type;
+  request.payload = std::move(payload);
+  if (deadline_ms > 0) {
+    request.has_deadline = true;
+    request.deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  }
+  request.done = std::move(done);
+  {
+    util::MutexLock lock(&mu_);
+    if (!stopped_) {
+      request.id = next_id_++;
+      submitted_.push_back(std::move(request));
+      char byte = 0;
+      (void)!::write(wake_write_fd_, &byte, 1);
+      return;
+    }
+  }
+  request.done(util::Status::Unavailable("async client is shut down"));
+}
+
+AsyncClient::Stats AsyncClient::stats() const {
+  Stats s;
+  s.sent = sent_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AsyncClient::Complete(
+    Request&& request,
+    util::Result<std::pair<FrameHeader, std::string>> result) {
+  if (result.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status().IsDeadlineExceeded()) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The entry is already detached from inflight_, so the callback may
+  // re-enter Call() freely.
+  request.done(std::move(result));
+}
+
+void AsyncClient::StartConnect() {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    DropConnection(
+        util::Status::IoError(std::string("socket: ") + strerror(errno)));
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    DropConnection(
+        util::Status::InvalidArgument("bad host address " + options_.host));
+    return;
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    util::Status st = util::Status::IoError(
+        "connect " + options_.host + ":" + std::to_string(options_.port) +
+        ": " + strerror(errno));
+    ::close(fd);
+    DropConnection(st);
+    return;
+  }
+  fd_ = fd;
+  connecting_ = true;
+  connect_deadline_ =
+      options_.connect_timeout_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(options_.connect_timeout_ms)
+          : Clock::time_point::max();
+  if (rc == 0) FinishConnect();  // loopback often connects instantly
+}
+
+void AsyncClient::FinishConnect() {
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len);
+  if (err != 0) {
+    DropConnection(util::Status::IoError(
+        "connect " + options_.host + ":" + std::to_string(options_.port) +
+        ": " + strerror(err)));
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  connecting_ = false;
+  connect_attempt_ = 0;
+  if (connected_once_) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  connected_once_ = true;
+}
+
+void AsyncClient::DropConnection(const util::Status& cause) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  connecting_ = false;
+  decoder_.Reset();
+  outbox_.clear();
+  // Fail what was (maybe partially) written; requests never sent stay
+  // queued for the next connection and only their deadlines can expire
+  // them. The cause is forwarded as kUnavailable so callers classify
+  // every connection-level failure the same way.
+  std::vector<uint64_t> written_ids;
+  for (const auto& [id, request] : inflight_) {
+    if (request.written) written_ids.push_back(id);
+  }
+  for (uint64_t id : written_ids) {
+    auto it = inflight_.find(id);
+    Request request = std::move(it->second);
+    inflight_.erase(it);
+    Complete(std::move(request), util::Status::Unavailable(cause.message()));
+  }
+  next_connect_ =
+      Clock::now() +
+      std::chrono::milliseconds(JitteredBackoffMs(
+          connect_attempt_, options_.reconnect_backoff_ms,
+          options_.reconnect_backoff_cap_ms, backoff_rng_.Next()));
+  if (connect_attempt_ < 30) ++connect_attempt_;
+}
+
+void AsyncClient::EncodeWaiting() {
+  std::vector<uint64_t> rejected;
+  for (auto& [id, request] : inflight_) {
+    if (request.written) continue;
+    FrameHeader header{kProtocolVersion, id,
+                       static_cast<uint32_t>(request.type)};
+    util::Status encoded = EncodeFrame(header, request.payload, &outbox_,
+                                       options_.max_frame_bytes);
+    if (!encoded.ok()) {
+      rejected.push_back(id);
+      continue;
+    }
+    request.written = true;
+    sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (uint64_t id : rejected) {
+    auto it = inflight_.find(id);
+    Request request = std::move(it->second);
+    inflight_.erase(it);
+    Complete(std::move(request),
+             util::Status::ResourceExhausted("request exceeds frame limit"));
+  }
+}
+
+void AsyncClient::FlushOutbox() {
+  size_t off = 0;
+  while (off < outbox_.size()) {
+    ssize_t n = ::send(fd_, outbox_.data() + off, outbox_.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    outbox_.erase(0, off);
+    DropConnection(
+        util::Status::IoError(std::string("send: ") + strerror(errno)));
+    return;
+  }
+  outbox_.erase(0, off);
+}
+
+void AsyncClient::ReadSocket() {
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<size_t>(n));
+      for (;;) {
+        FrameHeader header;
+        std::string payload;
+        util::Status error;
+        FrameDecoder::Next next = decoder_.Take(&header, &payload, &error);
+        if (next == FrameDecoder::Next::kNeedMore) break;
+        if (next == FrameDecoder::Next::kError) {
+          DropConnection(error);
+          return;
+        }
+        auto it = inflight_.find(header.request_id);
+        if (it == inflight_.end()) continue;  // deadline-abandoned; drop
+        Request request = std::move(it->second);
+        inflight_.erase(it);
+        Complete(std::move(request),
+                 std::make_pair(header, std::move(payload)));
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    DropConnection(n == 0 ? util::Status::Unavailable(
+                                "server closed the connection")
+                          : util::Status::IoError(std::string("recv: ") +
+                                                  strerror(errno)));
+    return;
+  }
+}
+
+void AsyncClient::ExpireDeadlines(Clock::time_point now) {
+  std::vector<uint64_t> expired;
+  for (const auto& [id, request] : inflight_) {
+    if (request.has_deadline && now >= request.deadline) expired.push_back(id);
+  }
+  for (uint64_t id : expired) {
+    auto it = inflight_.find(id);
+    Request request = std::move(it->second);
+    inflight_.erase(it);
+    // The connection stays healthy: if the response shows up later its
+    // id no longer matches anything and it is dropped in ReadSocket.
+    Complete(std::move(request),
+             util::Status::DeadlineExceeded("no response within deadline"));
+  }
+}
+
+AsyncClient::Clock::time_point AsyncClient::NextWakeup() const {
+  Clock::time_point next = Clock::time_point::max();
+  for (const auto& [id, request] : inflight_) {
+    (void)id;
+    if (request.has_deadline) next = std::min(next, request.deadline);
+  }
+  if (connecting_) next = std::min(next, connect_deadline_);
+  if (fd_ < 0 && !inflight_.empty()) next = std::min(next, next_connect_);
+  return next;
+}
+
+void AsyncClient::IoLoop() {
+  for (;;) {
+    bool stop = false;
+    {
+      util::MutexLock lock(&mu_);
+      while (!submitted_.empty()) {
+        Request request = std::move(submitted_.front());
+        submitted_.pop_front();
+        inflight_.emplace(request.id, std::move(request));
+      }
+      stop = stopped_;
+    }
+    if (stop) break;
+
+    Clock::time_point now = Clock::now();
+    ExpireDeadlines(now);
+    if (connecting_ && now >= connect_deadline_) {
+      DropConnection(util::Status::Unavailable("connect timed out"));
+    }
+    if (fd_ < 0 && !inflight_.empty() && now >= next_connect_) {
+      StartConnect();
+    }
+    if (fd_ >= 0 && !connecting_) {
+      EncodeWaiting();
+      if (!outbox_.empty()) FlushOutbox();
+    }
+
+    pollfd pfds[2];
+    pfds[0] = {wake_read_fd_, POLLIN, 0};
+    nfds_t nfds = 1;
+    if (fd_ >= 0) {
+      short events = connecting_
+                         ? POLLOUT
+                         : static_cast<short>(
+                               POLLIN | (outbox_.empty() ? 0 : POLLOUT));
+      pfds[1] = {fd_, events, 0};
+      nfds = 2;
+    }
+    int ready = ::poll(pfds, nfds, TimeoutMs(NextWakeup(), Clock::now()));
+    if (ready < 0 && errno != EINTR) {
+      // poll() failing is unrecoverable for the loop; treat as fatal
+      // for the connection and keep spinning on the wake pipe.
+      DropConnection(
+          util::Status::IoError(std::string("poll: ") + strerror(errno)));
+      continue;
+    }
+    if (ready <= 0) continue;
+    if (pfds[0].revents & POLLIN) {
+      char drain[256];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (nfds == 2 && pfds[1].revents != 0) {
+      if (connecting_) {
+        FinishConnect();
+      } else {
+        if (pfds[1].revents & (POLLIN | POLLERR | POLLHUP)) ReadSocket();
+        if (fd_ >= 0 && (pfds[1].revents & POLLOUT)) FlushOutbox();
+      }
+    }
+  }
+
+  // Stopped: fail everything still outstanding, including submissions
+  // that raced in after the stop flag was set.
+  {
+    util::MutexLock lock(&mu_);
+    while (!submitted_.empty()) {
+      Request request = std::move(submitted_.front());
+      submitted_.pop_front();
+      inflight_.emplace(request.id, std::move(request));
+    }
+  }
+  while (!inflight_.empty()) {
+    auto it = inflight_.begin();
+    Request request = std::move(it->second);
+    inflight_.erase(it);
+    Complete(std::move(request),
+             util::Status::Unavailable("async client is shut down"));
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace approxql::net

@@ -1,16 +1,16 @@
 #include "net/client.h"
 
-#include <arpa/inet.h>
 #include <errno.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <thread>
+
+#include "net/socket.h"
 
 namespace approxql::net {
 
@@ -29,10 +29,23 @@ int RemainingMs(bool has_deadline, Clock::time_point deadline) {
   return static_cast<int>(left.count());
 }
 
+std::atomic<uint64_t> g_total_reconnects{0};
+
 }  // namespace
 
+uint64_t TotalClientReconnects() {
+  return g_total_reconnects.load(std::memory_order_relaxed);
+}
+
 Client::Client(ClientOptions options)
-    : options_(std::move(options)), decoder_(options_.max_frame_bytes) {}
+    : options_(std::move(options)),
+      // Jitter must differ across client instances; fold in this
+      // object's address and the clock so a fleet started from one
+      // seed doesn't back off in lockstep.
+      backoff_rng_(reinterpret_cast<uintptr_t>(this) ^
+                   static_cast<uint64_t>(
+                       Clock::now().time_since_epoch().count())),
+      decoder_(options_.max_frame_bytes) {}
 
 Client::~Client() { Close(); }
 
@@ -46,71 +59,10 @@ void Client::Close() {
 
 util::Status Client::Connect() {
   Close();
-  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
-  if (fd < 0) {
-    return util::Status::IoError(std::string("socket: ") + strerror(errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return util::Status::InvalidArgument("bad host address " + options_.host);
-  }
-  // Bounded connect: non-blocking connect, poll(POLLOUT) with the
-  // configured timeout, then SO_ERROR for the actual result. The socket
-  // goes back to blocking afterwards (all further waiting is
+  // ConnectTcp returns the fd already blocking (all further waiting is
   // poll()-driven in ReadFrame; SendFrame relies on blocking send).
-  const std::string endpoint =
-      options_.host + ":" + std::to_string(options_.port);
-  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc < 0 && errno != EINPROGRESS) {
-    util::Status st =
-        util::Status::IoError("connect " + endpoint + ": " + strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  if (rc < 0) {
-    const bool has_deadline = options_.connect_timeout_ms > 0;
-    const Clock::time_point deadline =
-        Clock::now() + std::chrono::milliseconds(options_.connect_timeout_ms);
-    int ready;
-    do {
-      pollfd pfd{fd, POLLOUT, 0};
-      ready = ::poll(&pfd, 1, RemainingMs(has_deadline, deadline));
-    } while (ready < 0 && errno == EINTR);
-    if (ready < 0) {
-      util::Status st =
-          util::Status::IoError(std::string("poll: ") + strerror(errno));
-      ::close(fd);
-      return st;
-    }
-    if (ready == 0) {
-      ::close(fd);
-      return util::Status::DeadlineExceeded(
-          "connect " + endpoint + ": no answer within " +
-          std::to_string(options_.connect_timeout_ms) + " ms");
-    }
-    int err = 0;
-    socklen_t err_len = sizeof(err);
-    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
-    if (err != 0) {
-      util::Status st =
-          util::Status::IoError("connect " + endpoint + ": " + strerror(err));
-      ::close(fd);
-      return st;
-    }
-  }
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
-    util::Status st =
-        util::Status::IoError(std::string("fcntl: ") + strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  fd_ = fd;
+  ASSIGN_OR_RETURN(fd_, ConnectTcp(options_.host, options_.port,
+                                   options_.connect_timeout_ms));
   return util::Status::OK();
 }
 
@@ -196,8 +148,17 @@ util::Result<std::pair<FrameHeader, std::string>> Client::RoundTrip(
     // The server (or an idle timeout) closed under us between calls;
     // one reconnect covers that without turning errors into loops. A
     // ResourceExhausted send is an oversized request — retrying it on a
-    // fresh connection cannot help.
+    // fresh connection cannot help. Jittered pause first: if the server
+    // bounced, every client thread is here at once.
+    if (options_.reconnect_backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          JitteredBackoffMs(0, options_.reconnect_backoff_ms,
+                            options_.reconnect_backoff_ms,
+                            backoff_rng_.Next())));
+    }
     RETURN_IF_ERROR(Connect());
+    ++reconnects_;
+    g_total_reconnects.fetch_add(1, std::memory_order_relaxed);
     sent = SendFrame(request_id, type, payload);
   }
   RETURN_IF_ERROR(sent);

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "net/wire.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace approxql::net {
@@ -23,7 +24,17 @@ struct ClientOptions {
   /// poll(POLLOUT)); <= 0 waits forever.
   int connect_timeout_ms = 5000;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Base of the jittered backoff slept before a send-time reconnect
+  /// (uniform in [base/2, base]); 0 reconnects immediately. A fleet of
+  /// client threads whose server bounced must not stampede it back
+  /// down the instant it returns.
+  int reconnect_backoff_ms = 20;
 };
+
+/// Process-wide count of Client reconnects (every instance), so load
+/// drivers with hundreds of short-lived client threads can report
+/// transient-failure behavior without threading a registry through.
+uint64_t TotalClientReconnects();
 
 class Client {
  public:
@@ -53,6 +64,10 @@ class Client {
   /// Fetches the server's metrics dump (kMetricsDump round trip).
   util::Result<std::string> FetchMetrics(int deadline_ms = 0);
 
+  /// Times this client re-established a connection found dead at send
+  /// time (the reconnect-once path in Call).
+  uint64_t reconnects() const { return reconnects_; }
+
  private:
   /// One request/response exchange; reconnects once if the send hits a
   /// dead connection. Returns the response frame's header and payload.
@@ -66,6 +81,8 @@ class Client {
   ClientOptions options_;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint64_t reconnects_ = 0;
+  util::Rng backoff_rng_;
   FrameDecoder decoder_;
 };
 

@@ -446,6 +446,25 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  if (options_.shard.enabled &&
+      header.type == static_cast<uint32_t>(MessageType::kPing)) {
+    // Answered inline by the event loop, never the worker pool: a ping
+    // measures liveness of the serving process, and a pool saturated
+    // with long queries must not make a healthy shard look dead.
+    FrameHeader reply{kProtocolVersion, header.request_id,
+                      static_cast<uint32_t>(MessageType::kPong)};
+    EnqueueResponse(conn, reply,
+                    EncodePong({options_.shard.fingerprint,
+                                options_.shard.shard_index}));
+    FlushWrites(conn);
+    return;
+  }
+  if (options_.shard.enabled &&
+      header.type == static_cast<uint32_t>(MessageType::kShardQuery)) {
+    DispatchShardQuery(conn, header, payload);
+    return;
+  }
+
   FrameHeader reply{kProtocolVersion, header.request_id,
                     static_cast<uint32_t>(MessageType::kQueryResponse)};
 
@@ -502,6 +521,8 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
         response.status_message = r.status.message();
         response.truncated = r.truncated;
         response.cache_hit = r.cache_hit;
+        response.degraded = r.degraded;
+        response.missing_shards = std::move(r.missing_shards);
         response.answers.reserve(r.answers.size());
         for (const engine::QueryAnswer& answer : r.answers) {
           response.answers.push_back(
@@ -520,6 +541,87 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
           // moment it can reacquire the lock and see zero, so the
           // notifying thread must be done with the condvar before the
           // lock is released.
+          util::MutexLock lock(&outstanding_mu_);
+          outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+          outstanding_cv_.NotifyAll();
+        }
+      });
+}
+
+void Server::DispatchShardQuery(const std::shared_ptr<Connection>& conn,
+                                const FrameHeader& header,
+                                const std::string& payload) {
+  FrameHeader reply{kProtocolVersion, header.request_id,
+                    static_cast<uint32_t>(MessageType::kShardAnswer)};
+  WireShardAnswer stamp;  // constants every answer from this shard carries
+  stamp.fingerprint = options_.shard.fingerprint;
+  stamp.shard_index = options_.shard.shard_index;
+
+  requests_->Increment();
+  WireShardQuery wire_query;
+  util::Status decoded = DecodeShardQuery(payload, &wire_query);
+  if (!decoded.ok()) {
+    WireShardAnswer answer = stamp;
+    answer.status_code = static_cast<uint32_t>(decoded.code());
+    answer.status_message = "bad shard query: " + decoded.message();
+    EnqueueResponse(conn, reply, EncodeShardAnswer(answer));
+    FlushWrites(conn);
+    return;
+  }
+  if (drain_.load(std::memory_order_acquire)) {
+    WireShardAnswer answer = stamp;
+    answer.status_code = static_cast<uint32_t>(util::StatusCode::kUnavailable);
+    answer.status_message = "server draining";
+    EnqueueResponse(conn, reply, EncodeShardAnswer(answer));
+    FlushWrites(conn);
+    return;
+  }
+
+  const uint64_t want_n = wire_query.n;
+  service::QueryRequest request;
+  request.query_text = std::move(wire_query.query);
+  request.exec.strategy = wire_query.strategy;
+  request.exec.n = static_cast<size_t>(wire_query.n);
+  request.deadline = std::chrono::milliseconds(wire_query.deadline_ms);
+  if (cost::IsFinite(wire_query.cost_bound)) {
+    // The router's snapshot of the shared scatter bound: prune exactly
+    // like an in-process shard would. A bounded evaluation's result is
+    // only valid against that bound, so it must not touch the cache in
+    // either direction.
+    const cost::Cost bound = wire_query.cost_bound;
+    request.exec.schema.cost_bound = [bound] { return bound; };
+    request.bypass_cache = true;
+  }
+
+  conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  const auto start = std::chrono::steady_clock::now();
+  service_.SubmitAsync(
+      std::move(request),
+      [this, conn, reply, stamp, want_n, start](service::QueryResponse r) {
+        WireShardAnswer answer = stamp;
+        answer.status_code = static_cast<uint32_t>(r.status.code());
+        answer.status_message = r.status.message();
+        answer.truncated = r.truncated;
+        answer.answers.reserve(r.answers.size());
+        for (const engine::QueryAnswer& a : r.answers) {
+          // Roots stay LOCAL preorders — the router owns the DocSpan
+          // table and translates; docs are likewise its job.
+          answer.answers.push_back({a.cost, a.root, /*doc=*/0});
+        }
+        // A full n answers makes the local n-th cost a valid global
+        // inclusive bound (the global n-th answer costs no more than
+        // ours); anything less says nothing about the global set.
+        if (r.status.ok() && !r.truncated &&
+            want_n != UINT64_MAX &&
+            answer.answers.size() == want_n) {
+          answer.achieved_bound = answer.answers.back().cost;
+        }
+        EnqueueResponse(conn, reply, EncodeShardAnswer(answer));
+        wire_latency_us_->Record(static_cast<uint64_t>(MicrosSince(start)));
+        conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        NotifyWritable(conn);
+        {
           util::MutexLock lock(&outstanding_mu_);
           outstanding_.fetch_sub(1, std::memory_order_acq_rel);
           outstanding_cv_.NotifyAll();

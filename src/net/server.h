@@ -83,6 +83,21 @@ struct ServerOptions {
   /// Zero means no bound.
   std::chrono::milliseconds drain_timeout{10000};
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Shard-serving mode: this process fronts exactly one shard of a
+  /// partitioned corpus, so the server additionally answers
+  /// kShardQuery (shard-scoped execution whose answer roots are
+  /// LOCAL preorder ids, carrying the caller's cost bound into the
+  /// evaluation) and kPing (health probe, answered inline by the
+  /// event loop so a saturated worker pool cannot look dead). The
+  /// fingerprint and index are stamped into every kShardAnswer/kPong
+  /// so a router detects topology mismatches instead of mistranslating
+  /// local ids.
+  struct ShardServing {
+    bool enabled = false;
+    uint32_t fingerprint = 0;  ///< the partition layout's fingerprint
+    uint32_t shard_index = 0;
+  };
+  ShardServing shard;
 };
 
 class Server {
@@ -151,6 +166,12 @@ class Server {
   void HandleReadable(const std::shared_ptr<Connection>& conn);
   void DispatchFrame(const std::shared_ptr<Connection>& conn,
                      const FrameHeader& header, std::string payload);
+  /// kShardQuery handling (shard-serving mode only): decode, run on the
+  /// service's pool with the frame's cost bound wired into the schema
+  /// evaluation, answer with a kShardAnswer of local preorder roots.
+  void DispatchShardQuery(const std::shared_ptr<Connection>& conn,
+                          const FrameHeader& header,
+                          const std::string& payload);
   void EnqueueResponse(const std::shared_ptr<Connection>& conn,
                        const FrameHeader& header, std::string_view payload);
   /// Moves the outbox into the write buffer and writes what the socket

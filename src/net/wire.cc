@@ -164,7 +164,12 @@ std::string EncodeQueryResponse(const WireResponse& response) {
   util::PutVarint32(&out, response.status_code);
   PutLengthPrefixed(&out, response.status_message);
   util::PutVarint32(&out, (response.truncated ? 1 : 0) |
-                              (response.cache_hit ? 2 : 0));
+                              (response.cache_hit ? 2 : 0) |
+                              (response.degraded ? 4 : 0));
+  util::PutVarint64(&out, response.missing_shards.size());
+  for (uint32_t shard : response.missing_shards) {
+    util::PutVarint32(&out, shard);
+  }
   util::PutVarint64(&out, response.answers.size());
   for (const WireAnswer& answer : response.answers) {
     util::PutVarint64(&out, util::ZigZagEncode(answer.cost));
@@ -182,6 +187,20 @@ util::Status DecodeQueryResponse(std::string_view payload, WireResponse* out) {
   RETURN_IF_ERROR(reader.GetVarint32(&flags));
   out->truncated = (flags & 1) != 0;
   out->cache_hit = (flags & 2) != 0;
+  out->degraded = (flags & 4) != 0;
+  uint64_t missing = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&missing));
+  // Each missing-shard id is at least 1 byte.
+  if (missing > reader.remaining()) {
+    return util::Status::Corruption("missing-shard count overruns payload");
+  }
+  out->missing_shards.clear();
+  out->missing_shards.reserve(static_cast<size_t>(missing));
+  for (uint64_t i = 0; i < missing; ++i) {
+    uint32_t shard = 0;
+    RETURN_IF_ERROR(reader.GetVarint32(&shard));
+    out->missing_shards.push_back(shard);
+  }
   uint64_t count = 0;
   RETURN_IF_ERROR(reader.GetVarint64(&count));
   // Each answer is at least 3 bytes; a count beyond that bound cannot
@@ -202,6 +221,120 @@ util::Status DecodeQueryResponse(std::string_view payload, WireResponse* out) {
   }
   if (!reader.empty()) {
     return util::Status::Corruption("trailing bytes after query response");
+  }
+  return util::Status::OK();
+}
+
+namespace {
+
+util::Status DecodeStrategy(uint32_t raw, engine::Strategy* out) {
+  switch (raw) {
+    case static_cast<uint32_t>(engine::Strategy::kDirect):
+    case static_cast<uint32_t>(engine::Strategy::kSchema):
+    case static_cast<uint32_t>(engine::Strategy::kFullScan):
+      *out = static_cast<engine::Strategy>(raw);
+      return util::Status::OK();
+    default:
+      return util::Status::InvalidArgument("unknown strategy " +
+                                           std::to_string(raw));
+  }
+}
+
+}  // namespace
+
+std::string EncodeShardQuery(const WireShardQuery& query) {
+  std::string out;
+  PutLengthPrefixed(&out, query.query);
+  util::PutVarint32(&out, static_cast<uint32_t>(query.strategy));
+  util::PutVarint64(&out, query.n);
+  util::PutVarint64(&out, util::ZigZagEncode(query.cost_bound));
+  util::PutVarint64(&out, util::ZigZagEncode(query.deadline_ms));
+  return out;
+}
+
+util::Status DecodeShardQuery(std::string_view payload, WireShardQuery* out) {
+  util::VarintReader reader(payload);
+  RETURN_IF_ERROR(GetLengthPrefixed(&reader, &out->query));
+  uint32_t strategy = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&strategy));
+  RETURN_IF_ERROR(DecodeStrategy(strategy, &out->strategy));
+  RETURN_IF_ERROR(reader.GetVarint64(&out->n));
+  uint64_t bound = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&bound));
+  out->cost_bound = util::ZigZagDecode(bound);
+  uint64_t deadline = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&deadline));
+  out->deadline_ms = util::ZigZagDecode(deadline);
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after shard query");
+  }
+  return util::Status::OK();
+}
+
+std::string EncodeShardAnswer(const WireShardAnswer& answer) {
+  std::string out;
+  util::PutVarint32(&out, answer.status_code);
+  PutLengthPrefixed(&out, answer.status_message);
+  util::PutVarint32(&out, answer.fingerprint);
+  util::PutVarint32(&out, answer.shard_index);
+  util::PutVarint64(&out, util::ZigZagEncode(answer.achieved_bound));
+  util::PutVarint32(&out, answer.truncated ? 1 : 0);
+  util::PutVarint64(&out, answer.answers.size());
+  for (const WireAnswer& hit : answer.answers) {
+    util::PutVarint64(&out, util::ZigZagEncode(hit.cost));
+    util::PutVarint32(&out, hit.root);
+  }
+  return out;
+}
+
+util::Status DecodeShardAnswer(std::string_view payload,
+                               WireShardAnswer* out) {
+  util::VarintReader reader(payload);
+  RETURN_IF_ERROR(reader.GetVarint32(&out->status_code));
+  RETURN_IF_ERROR(GetLengthPrefixed(&reader, &out->status_message));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->fingerprint));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->shard_index));
+  uint64_t bound = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&bound));
+  out->achieved_bound = util::ZigZagDecode(bound);
+  uint32_t flags = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&flags));
+  out->truncated = (flags & 1) != 0;
+  uint64_t count = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&count));
+  // Each answer is at least 2 bytes (cost varint + root varint).
+  if (count > reader.remaining() / 2) {
+    return util::Status::Corruption("answer count overruns payload");
+  }
+  out->answers.clear();
+  out->answers.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    WireAnswer hit;
+    uint64_t cost = 0;
+    RETURN_IF_ERROR(reader.GetVarint64(&cost));
+    hit.cost = util::ZigZagDecode(cost);
+    RETURN_IF_ERROR(reader.GetVarint32(&hit.root));
+    out->answers.push_back(hit);
+  }
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after shard answer");
+  }
+  return util::Status::OK();
+}
+
+std::string EncodePong(const WirePong& pong) {
+  std::string out;
+  util::PutVarint32(&out, pong.fingerprint);
+  util::PutVarint32(&out, pong.shard_index);
+  return out;
+}
+
+util::Status DecodePong(std::string_view payload, WirePong* out) {
+  util::VarintReader reader(payload);
+  RETURN_IF_ERROR(reader.GetVarint32(&out->fingerprint));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->shard_index));
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after pong");
   }
   return util::Status::OK();
 }

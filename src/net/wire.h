@@ -35,7 +35,10 @@ namespace approxql::net {
 
 /// Bumped on any incompatible frame or payload change. A server
 /// rejects (closes) connections speaking a different version.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: WireResponse carries degraded/missing_shards; shard-scoped
+/// execution frames (kShardQuery/kShardAnswer) and health probes
+/// (kPing/kPong) added.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard ceiling a decoder enforces before buffering a frame; a declared
 /// length beyond this is treated as stream corruption, not a large
@@ -50,6 +53,16 @@ enum class MessageType : uint32_t {
   kMetricsDump = 3,
   /// Response to kMetricsDump: payload is the dump text, raw bytes.
   kMetricsText = 4,
+  /// Shard-scoped execution (router -> shard server): evaluate on the
+  /// server's single shard; answer roots are shard-local preorders.
+  kShardQuery = 5,
+  kShardAnswer = 6,
+  /// Lightweight health probe, answered inline by the event loop (no
+  /// worker dispatch — a loaded pool must not mark a live shard dead).
+  kPing = 7,
+  /// Response to kPing: payload is the serving shard's layout
+  /// fingerprint + shard index, so a probe doubles as a topology check.
+  kPong = 8,
 };
 
 struct FrameHeader {
@@ -135,7 +148,55 @@ struct WireResponse {
   std::string status_message;
   bool truncated = false;
   bool cache_hit = false;
+  /// One or more shards were unreachable when a distributed backend
+  /// answered: `answers` covers only the shards that responded (listed
+  /// nowhere), `missing_shards` names the holes. Degraded answers are
+  /// never cached anywhere — a repeat of the query re-asks the cluster.
+  bool degraded = false;
+  std::vector<uint32_t> missing_shards;
   std::vector<WireAnswer> answers;
+};
+
+/// kShardQuery payload: one shard-scoped evaluation. The router fans
+/// one client query out as N of these; `cost_bound` is its snapshot of
+/// the shared inclusive skeleton-cost bound (cost::kInfinite = none),
+/// letting a shard prune exactly like in-process scatter-gather.
+struct WireShardQuery {
+  std::string query;
+  engine::Strategy strategy = engine::Strategy::kSchema;
+  /// Best-n bound; UINT64_MAX = all results.
+  uint64_t n = 10;
+  cost::Cost cost_bound = cost::kInfinite;
+  /// Per-attempt deadline the shard enforces server-side; 0 = none.
+  int64_t deadline_ms = 0;
+};
+
+/// kShardAnswer payload. Roots (and docs) are shard-local preorder
+/// ids; the router translates them through its DocSpan table after
+/// checking `fingerprint` against its own layout.
+struct WireShardAnswer {
+  uint32_t status_code = 0;
+  std::string status_message;
+  /// The serving shard's layout fingerprint and index: a mismatch with
+  /// the router's layout means the processes were built from different
+  /// corpora/partitions and local ids cannot be translated.
+  uint32_t fingerprint = 0;
+  uint32_t shard_index = 0;
+  /// Local n-th answer cost when a full n answers came back (a valid
+  /// global inclusive bound: the global n-th answer costs no more);
+  /// cost::kInfinite otherwise. Routers CAS-min their shared bound.
+  cost::Cost achieved_bound = cost::kInfinite;
+  /// Server-side deadline fired: `answers` is a correct but short
+  /// prefix — useless for a global merge, so routers treat it as a
+  /// failed attempt.
+  bool truncated = false;
+  std::vector<WireAnswer> answers;
+};
+
+/// kPong payload.
+struct WirePong {
+  uint32_t fingerprint = 0;
+  uint32_t shard_index = 0;
 };
 
 std::string EncodeQueryRequest(const WireRequest& request);
@@ -143,6 +204,15 @@ util::Status DecodeQueryRequest(std::string_view payload, WireRequest* out);
 
 std::string EncodeQueryResponse(const WireResponse& response);
 util::Status DecodeQueryResponse(std::string_view payload, WireResponse* out);
+
+std::string EncodeShardQuery(const WireShardQuery& query);
+util::Status DecodeShardQuery(std::string_view payload, WireShardQuery* out);
+
+std::string EncodeShardAnswer(const WireShardAnswer& answer);
+util::Status DecodeShardAnswer(std::string_view payload, WireShardAnswer* out);
+
+std::string EncodePong(const WirePong& pong);
+util::Status DecodePong(std::string_view payload, WirePong* out);
 
 }  // namespace approxql::net
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "dist/shard_router.h"
 #include "engine/fetch_plan.h"
 #include "engine/list_ops.h"
 #include "query/ast.h"
@@ -59,20 +60,39 @@ class PendingResponse {
 
 }  // namespace
 
+namespace {
+
+uint32_t FingerprintBackend(const shard::ShardedDatabase* sharded,
+                            const dist::ShardRouter* router) {
+  // A distributed and an in-process sharded backend over the same
+  // layout share the fingerprint but not the tag: distributed answers
+  // can be degraded, so they must never alias in the cache.
+  if (router != nullptr) {
+    return util::Crc32c("backend=dist") ^ router->layout_fingerprint();
+  }
+  if (sharded != nullptr) return sharded->LayoutFingerprint();
+  return util::Crc32c("backend=single");
+}
+
+}  // namespace
+
 QueryService::QueryService(const engine::Database& db, ServiceOptions options)
-    : QueryService(&db, nullptr, std::move(options)) {}
+    : QueryService(&db, nullptr, nullptr, std::move(options)) {}
 
 QueryService::QueryService(const shard::ShardedDatabase& db,
                            ServiceOptions options)
-    : QueryService(nullptr, &db, std::move(options)) {}
+    : QueryService(nullptr, &db, nullptr, std::move(options)) {}
+
+QueryService::QueryService(dist::ShardRouter& router, ServiceOptions options)
+    : QueryService(nullptr, nullptr, &router, std::move(options)) {}
 
 QueryService::QueryService(const engine::Database* db,
                            const shard::ShardedDatabase* sharded,
-                           ServiceOptions options)
+                           dist::ShardRouter* router, ServiceOptions options)
     : db_(db),
       sharded_(sharded),
-      backend_fingerprint_(sharded != nullptr ? sharded->LayoutFingerprint()
-                                              : util::Crc32c("backend=single")),
+      router_(router),
+      backend_fingerprint_(FingerprintBackend(sharded, router)),
       options_(options),
       cache_(options.cache_capacity),
       submitted_(metrics_.RegisterCounter("queries_submitted")),
@@ -239,7 +259,16 @@ QueryResponse QueryService::Run(QueryRequest& request,
   const size_t parallelism = request.parallelism != 0 ? request.parallelism
                                                       : options_.parallelism;
   QueryResponse r;
-  if (sharded_ != nullptr) {
+  if (router_ != nullptr) {
+    int64_t remaining_ms = 0;
+    if (has_deadline) {
+      remaining_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         deadline - Clock::now())
+                         .count();
+      if (remaining_ms < 1) remaining_ms = 1;
+    }
+    r = RunRouted(request, remaining_ms);
+  } else if (sharded_ != nullptr) {
     r = RunSharded(query, exec, parallelism, cancelled);
   } else {
     bool handled =
@@ -271,9 +300,10 @@ QueryResponse QueryService::Run(QueryRequest& request,
     deadline_exceeded_->Increment();
   }
   completed_->Increment();
-  // Only complete answer lists are cacheable; a truncated prefix served
-  // from cache would silently under-answer future requests.
-  if (!request.bypass_cache && !r.truncated) {
+  // Only complete answer lists are cacheable; a truncated prefix (or a
+  // degraded scatter missing whole shards' answers) served from cache
+  // would silently under-answer future requests.
+  if (!request.bypass_cache && !r.truncated && !r.degraded) {
     cache_.Insert(key, r.answers);
   }
   return finish(std::move(r));
@@ -495,7 +525,33 @@ QueryResponse QueryService::RunSharded(const query::Query& query,
   return r;
 }
 
+QueryResponse QueryService::RunRouted(const QueryRequest& request,
+                                      int64_t deadline_ms) {
+  QueryResponse r;
+  if (request.exec.cost_model != nullptr) {
+    // Remote shards evaluate with their own (identically built) model;
+    // shipping an arbitrary per-request model is not supported, and
+    // silently ignoring it would poison the cost-fingerprinted cache.
+    r.status = util::Status::InvalidArgument(
+        "per-request cost models are not supported by the distributed "
+        "backend");
+    return r;
+  }
+  auto routed = router_->Execute(request.query_text, request.exec.strategy,
+                                 request.exec.n, deadline_ms);
+  if (!routed.ok()) {
+    r.status = routed.status();
+    return r;
+  }
+  r.answers = std::move(routed->answers);
+  r.degraded = routed->degraded;
+  r.missing_shards = std::move(routed->missing_shards);
+  r.parallel = router_->num_shards() > 1;
+  return r;
+}
+
 const cost::CostModel& QueryService::BackendCostModel() const {
+  if (router_ != nullptr) return router_->layout().cost_model();
   return sharded_ != nullptr ? sharded_->cost_model() : db_->cost_model();
 }
 
@@ -530,6 +586,9 @@ std::string QueryService::DumpMetrics() const {
   out += std::string("cache_hit_rate ") + rate + "\n";
   if (sharded_ != nullptr) {
     out += sharded_->DumpMetrics();
+  }
+  if (router_ != nullptr) {
+    out += router_->DumpMetrics();
   }
   return out;
 }

@@ -37,6 +37,10 @@ namespace approxql::shard {
 class ShardedDatabase;
 }  // namespace approxql::shard
 
+namespace approxql::dist {
+class ShardRouter;
+}  // namespace approxql::dist
+
 namespace approxql::service {
 
 struct ServiceOptions {
@@ -77,6 +81,11 @@ struct QueryResponse {
   /// short prefix of the best results (schema strategy only).
   bool truncated = false;
   bool cache_hit = false;
+  /// Distributed backend only: one or more shards never answered, so
+  /// `answers` covers only the shards that did. Degraded responses are
+  /// NEVER cached — a repeat of the query re-asks the cluster.
+  bool degraded = false;
+  std::vector<uint32_t> missing_shards;
   /// The parallel evaluation path ran (disjunct fan-out and/or
   /// concurrent fetch). False for serial execution and cache hits.
   bool parallel = false;
@@ -97,6 +106,14 @@ class QueryService {
   /// the backend's layout fingerprint, so answers never alias across
   /// backends or shard layouts.
   QueryService(const shard::ShardedDatabase& db, ServiceOptions options);
+  /// Distributed backend: requests scatter-gather across REMOTE shard
+  /// servers through the router (dist/shard_router.h). Healthy-cluster
+  /// results are bit-identical to both in-process backends over the
+  /// same corpus; with shards missing the response is `degraded` (and
+  /// never cached) or, in the router's strict mode, kUnavailable. The
+  /// cache key folds the router's layout fingerprint plus a distinct
+  /// backend tag, so distributed answers never alias in-process ones.
+  QueryService(dist::ShardRouter& router, ServiceOptions options);
   /// Abandons queued requests (their futures resolve with kUnavailable)
   /// and joins the workers; in-flight requests finish first.
   ~QueryService();
@@ -151,7 +168,7 @@ class QueryService {
   using Clock = std::chrono::steady_clock;
 
   QueryService(const engine::Database* db, const shard::ShardedDatabase* sharded,
-               ServiceOptions options);
+               dist::ShardRouter* router, ServiceOptions options);
 
   /// The worker-side request lifecycle (also the ExecuteNow body).
   QueryResponse Run(QueryRequest& request, Clock::time_point admitted);
@@ -162,6 +179,11 @@ class QueryService {
   QueryResponse RunSharded(const query::Query& query, engine::ExecOptions& exec,
                            size_t parallelism,
                            const std::function<bool()>& cancelled);
+
+  /// Remote scatter-gather through router_. The router blocks this
+  /// worker thread while its transports fan out; `deadline_ms` is the
+  /// request's remaining budget (0 = none).
+  QueryResponse RunRouted(const QueryRequest& request, int64_t deadline_ms);
 
   const cost::CostModel& BackendCostModel() const;
 
@@ -181,9 +203,11 @@ class QueryService {
   }
 
   /// Exactly one backend is set. Requests dispatch to db_ (serial or
-  /// disjunct-parallel) or to sharded_ (scatter-gather).
+  /// disjunct-parallel), to sharded_ (in-process scatter-gather), or to
+  /// router_ (remote scatter-gather).
   const engine::Database* db_ = nullptr;
   const shard::ShardedDatabase* sharded_ = nullptr;
+  dist::ShardRouter* router_ = nullptr;
   /// Folded into every cache key (see CacheKey::backend_fingerprint).
   uint32_t backend_fingerprint_ = 0;
   const ServiceOptions options_;
