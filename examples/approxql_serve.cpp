@@ -54,6 +54,7 @@
 #include "net/server.h"
 #include "service/query_service.h"
 #include "service/workload.h"
+#include "shard/layout_manifest.h"
 #include "shard/sharded_database.h"
 #include "util/histogram.h"
 #include "util/random.h"
@@ -110,6 +111,12 @@ int Usage() {
       "                   workload through the router in process\n"
       "  --strict         (--router) any unreachable shard fails the query\n"
       "                   instead of degrading the answer\n"
+      "  --save-manifest F  write the partition's layout manifest (spans,\n"
+      "                   fingerprint, cost model — no trees or postings)\n"
+      "                   to F after building the sharded corpus\n"
+      "  --manifest F     (--router) load the layout from a manifest file\n"
+      "                   instead of building the corpus; the router host\n"
+      "                   then needs no --xml/--load/--gen-data at all\n"
       "  --expect-degraded  (--connect) exit 1 unless at least one response\n"
       "                   came back degraded (cluster smoke tests)\n"
       "  --bypass-cache   (--connect) ask the server to skip its result\n"
@@ -325,6 +332,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> xml_paths;
   std::string load_path, workload_path, dump_workload_path, bench_json_path;
   std::string connect_spec, router_spec;
+  std::string manifest_path, save_manifest_path;
   size_t clients = 8, passes = 2, repeat = 1;
   size_t gen_data = 0, gen_queries = 0, seed = 42;
   size_t shards = 1;
@@ -399,6 +407,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       router_spec = v;
+    } else if (arg == "--manifest") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      manifest_path = v;
+    } else if (arg == "--save-manifest") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      save_manifest_path = v;
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--bypass-cache") {
@@ -451,9 +467,17 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (router_mode && connect_mode) return Usage();
+  // A manifest replaces the corpus for a router host, nothing else.
+  const bool manifest_mode = !manifest_path.empty();
+  if (manifest_mode &&
+      (!router_mode || shard_server_mode || !save_manifest_path.empty())) {
+    std::fprintf(stderr, "--manifest needs --router (and no corpus role)\n");
+    return Usage();
+  }
   // Serving needs no workload; replay modes need one (from a file or
-  // the generator).
-  if (!listen_mode && workload_path.empty() && gen_queries == 0) {
+  // the generator). A pure --save-manifest run needs neither.
+  if (!listen_mode && workload_path.empty() && gen_queries == 0 &&
+      save_manifest_path.empty()) {
     return Usage();
   }
 
@@ -490,9 +514,10 @@ int main(int argc, char** argv) {
 
   // A database is needed to serve, to replay in process, to generate a
   // workload, and to verify wire answers — a pure wire replay from a
-  // workload file is the one mode without.
-  const bool needs_db = listen_mode || !connect_mode || gen_queries > 0 ||
-                        verify;
+  // workload file, and a router host fed by --manifest, are the modes
+  // without.
+  const bool needs_db = gen_queries > 0 || verify ||
+                        (!manifest_mode && (listen_mode || !connect_mode));
   std::unique_ptr<Database> db;
   if (needs_db) {
     if (!load_path.empty()) {
@@ -602,7 +627,8 @@ int main(int argc, char** argv) {
   // --verify's oracle deliberately runs unsharded so a wire replay
   // cross-checks scatter-gather answers against the single-database path.
   std::unique_ptr<ShardedDatabase> sharded;
-  if (db != nullptr && (shards > 1 || shard_server_mode || router_mode)) {
+  if (db != nullptr && (shards > 1 || shard_server_mode || router_mode ||
+                        !save_manifest_path.empty())) {
     auto partitioned =
         ShardedDatabase::Partition(db->tree(), db->cost_model(), shards);
     if (!partitioned.ok()) {
@@ -618,6 +644,47 @@ int main(int argc, char** argv) {
                  sstats.num_shards, sstats.documents, sstats.global_classes,
                  sharded->LayoutFingerprint());
   }
+  if (!save_manifest_path.empty()) {
+    if (sharded == nullptr) {
+      std::fprintf(stderr, "--save-manifest needs a corpus to partition\n");
+      return 1;
+    }
+    auto saved = approxql::shard::LayoutManifest::Of(*sharded).SaveTo(
+        save_manifest_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save-manifest: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote layout manifest (%zu shards) to %s\n",
+                 sharded->num_shards(), save_manifest_path.c_str());
+    // Saving can be the run's only job.
+    if (!listen_mode && workload_path.empty() && gen_queries == 0) return 0;
+  }
+
+  // A router host's layout can come from a manifest file instead of a
+  // materialized corpus.
+  std::unique_ptr<approxql::shard::LayoutManifest> manifest;
+  if (manifest_mode) {
+    auto loaded = approxql::shard::LayoutManifest::LoadFrom(manifest_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "manifest: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    manifest = std::make_unique<approxql::shard::LayoutManifest>(
+        std::move(loaded).value());
+    if (manifest->num_shards() != router_endpoints.size()) {
+      std::fprintf(stderr,
+                   "manifest describes %zu shards but --router lists %zu "
+                   "endpoints\n",
+                   manifest->num_shards(), router_endpoints.size());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "manifest: %zu shards (layout fingerprint %08x) from %s\n",
+                 manifest->num_shards(), manifest->fingerprint(),
+                 manifest_path.c_str());
+  }
 
   // Remote scatter-gather: the router's transports start before any
   // query runs. Built outside the listen branch so the in-process
@@ -628,7 +695,11 @@ int main(int argc, char** argv) {
     RouterOptions router_options;
     router_options.shards = std::move(router_endpoints);
     router_options.strict = strict;
-    router = std::make_unique<ShardRouter>(*sharded, router_options);
+    if (manifest != nullptr) {
+      router = std::make_unique<ShardRouter>(*manifest, router_options);
+    } else {
+      router = std::make_unique<ShardRouter>(*sharded, router_options);
+    }
     auto started = router->Start();
     if (!started.ok()) {
       std::fprintf(stderr, "router: %s\n", started.ToString().c_str());
@@ -657,7 +728,10 @@ int main(int argc, char** argv) {
       server = std::make_unique<Server>(*service, shard_db, server_options);
     } else if (router != nullptr) {
       service = std::make_unique<QueryService>(*router, service_options);
-      server = std::make_unique<Server>(*service, *sharded, server_options);
+      // The router's own manifest copy resolves answer roots, so this
+      // works identically with and without a local corpus (--manifest).
+      server = std::make_unique<Server>(*service, router->manifest(),
+                                       server_options);
     } else if (sharded != nullptr) {
       service = std::make_unique<QueryService>(*sharded, service_options);
       server = std::make_unique<Server>(*service, *sharded, server_options);

@@ -81,7 +81,10 @@ struct ShardRouter::ScatterState {
 
 ShardRouter::ShardRouter(const shard::ShardedDatabase& layout,
                          RouterOptions options)
-    : layout_(layout),
+    : ShardRouter(shard::LayoutManifest::Of(layout), std::move(options)) {}
+
+ShardRouter::ShardRouter(shard::LayoutManifest manifest, RouterOptions options)
+    : manifest_(std::move(manifest)),
       options_(std::move(options)),
       queries_(metrics_.RegisterCounter("dist_queries")),
       degraded_(metrics_.RegisterCounter("dist_degraded")),
@@ -105,7 +108,7 @@ ShardRouter::ShardRouter(const shard::ShardedDatabase& layout,
     shard.connect_timeout_ms = options_.connect_timeout_ms;
     shard.max_frame_bytes = options_.max_frame_bytes;
     shard.failures_to_down = options_.failures_to_down;
-    shard.expected_fingerprint = layout_.LayoutFingerprint();
+    shard.expected_fingerprint = manifest_.fingerprint();
     backends_.push_back(std::make_unique<RemoteShardBackend>(
         static_cast<uint32_t>(i), std::move(shard)));
   }
@@ -115,11 +118,11 @@ ShardRouter::ShardRouter(const shard::ShardedDatabase& layout,
 ShardRouter::~ShardRouter() { Shutdown(); }
 
 util::Status ShardRouter::Start() {
-  if (options_.shards.size() != layout_.num_shards()) {
+  if (options_.shards.size() != manifest_.num_shards()) {
     return util::Status::InvalidArgument(
         "router has " + std::to_string(options_.shards.size()) +
         " endpoints but the layout has " +
-        std::to_string(layout_.num_shards()) + " shards");
+        std::to_string(manifest_.num_shards()) + " shards");
   }
   for (auto& backend : backends_) {
     RETURN_IF_ERROR(backend->Start());
@@ -310,6 +313,21 @@ util::Result<RoutedResult> ShardRouter::Execute(const std::string& query_text,
           all_done = false;
           break;
         case ScatterState::SlotState::kRetryWait:
+          if (backends_[i]->health() == ShardHealth::kDown) {
+            // Outcome-driven fast-DOWN: the backend crossed its
+            // consecutive-failure threshold (fed by this query's own
+            // attempts, a concurrent query's, or a failed ping) while
+            // this slot waited out its backoff. A relaunch would burn
+            // another full attempt deadline against a dead endpoint —
+            // declare the slot missing now; the health prober's next
+            // successful ping revives the shard for later queries.
+            slot.state = ScatterState::SlotState::kDone;
+            slot.error = util::Status::Unavailable(
+                "shard " + std::to_string(i) + " (" +
+                backends_[i]->endpoint() + ") went DOWN during retry backoff");
+            hard_failure = true;
+            break;
+          }
           all_done = false;
           if (now >= slot.retry_at) {
             slot.state = ScatterState::SlotState::kPending;
@@ -385,7 +403,7 @@ util::Result<RoutedResult> ShardRouter::Execute(const std::string& query_text,
       // ToGlobal is strictly increasing per shard, so the shard's
       // (cost, root)-sorted list stays sorted after translation.
       for (const net::WireAnswer& answer : slot.answer.answers) {
-        list.push_back({layout_.ToGlobal(i, answer.root), answer.cost});
+        list.push_back({manifest_.ToGlobal(i, answer.root), answer.cost});
       }
     } else if (slot.query_error) {
       has_query_error = true;

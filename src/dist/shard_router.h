@@ -50,6 +50,7 @@
 #include "dist/remote_shard.h"
 #include "engine/database.h"
 #include "service/metrics.h"
+#include "shard/layout_manifest.h"
 #include "shard/sharded_database.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -100,8 +101,13 @@ struct RoutedResult {
 
 class ShardRouter {
  public:
-  /// `layout` is the router's own build of the partition (for DocSpan
-  /// translation, fingerprint, cost model); it must outlive the router.
+  /// The router needs only the partition's *layout* (DocSpan
+  /// translation tables, fingerprint, cost model) — never the data. A
+  /// router host passes a LayoutManifest saved next to the corpus; the
+  /// manifest is copied, so nothing must outlive the router.
+  ShardRouter(shard::LayoutManifest manifest, RouterOptions options);
+  /// Convenience for co-located deployments that already hold the full
+  /// partition: extracts the manifest from it.
   ShardRouter(const shard::ShardedDatabase& layout, RouterOptions options);
   ~ShardRouter();
 
@@ -121,8 +127,9 @@ class ShardRouter {
                                      engine::Strategy strategy, size_t n,
                                      int64_t deadline_ms);
 
-  const shard::ShardedDatabase& layout() const { return layout_; }
-  uint32_t layout_fingerprint() const { return layout_.LayoutFingerprint(); }
+  const shard::LayoutManifest& manifest() const { return manifest_; }
+  const cost::CostModel& cost_model() const { return manifest_.cost_model(); }
+  uint32_t layout_fingerprint() const { return manifest_.fingerprint(); }
   size_t num_shards() const { return backends_.size(); }
   ShardHealth shard_health(size_t i) const { return backends_[i]->health(); }
   const RouterOptions& options() const { return options_; }
@@ -142,7 +149,7 @@ class ShardRouter {
   void HealthLoop();
   void UpdateHealthGauges();
 
-  const shard::ShardedDatabase& layout_;
+  const shard::LayoutManifest manifest_;
   const RouterOptions options_;
   std::vector<std::unique_ptr<RemoteShardBackend>> backends_;
 

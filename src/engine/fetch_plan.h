@@ -46,6 +46,13 @@ class FetchPlan {
                    const index::PostingSource& index,
                    const doc::LabelTable& labels);
 
+  /// Estimated entry count of slot `i`, from the source's statistics
+  /// only (never fetches): 0 for labels absent from the table,
+  /// index::PostingSource::kUnknownSize when the source cannot say.
+  /// Input to the adaptive fan-out decision (service/granularity.h).
+  size_t EstimateEntries(size_t i, const index::PostingSource& index,
+                         const doc::LabelTable& labels) const;
+
   /// The materialized list for (type, label, as_leaf), or nullptr if the
   /// slot is absent or was never materialized.
   const EntryList* Find(NodeType type, std::string_view label,

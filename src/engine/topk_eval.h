@@ -142,6 +142,20 @@ class SchemaEvaluator {
     /// SharedSkeletonMemo). Must outlive the evaluator and refer to the
     /// same schema/tree.
     SharedSkeletonMemo* shared_memo = nullptr;
+    /// Injected by the service layer (src/engine cannot depend on the
+    /// thread pool): runner(count, fn) must invoke fn(0..count-1) —
+    /// every index exactly once, possibly concurrently — and return
+    /// after all complete. When set, BestN precomputes each round's
+    /// fresh second-level batch through it as concurrent waves; the
+    /// consumption loop is unchanged, so results stay bit-identical to
+    /// serial execution (second-level results are deterministic per
+    /// signature). Null = serial second level.
+    std::function<void(size_t, const std::function<void(size_t)>&)>
+        parallel_runner;
+    /// Fewer fresh skeletons than this in a round and the wave is not
+    /// worth its fork-join barrier; the round runs serially. 0 = wave
+    /// every round (tests).
+    size_t parallel_min_batch = 8;
   };
 
   /// `schema`, `tree` (its labels and encoding) must outlive this.
@@ -181,6 +195,22 @@ class SchemaEvaluator {
 
   SkeletonRef NewEntry(const SkeletonEntry& base);
 
+  /// Thread-safe flavor of ExecuteSecondary for wave workers: reads
+  /// only immutable state (schema_, tree_) plus the thread-safe `memo`,
+  /// and accumulates counters into the caller-owned `stats` instead of
+  /// stats_. Results are identical to ExecuteSecondary's.
+  index::Posting ComputeSecondaryShared(const SkeletonEntry& skeleton,
+                                        SharedSkeletonMemo* memo,
+                                        SchemaEvalStats* stats) const;
+
+  /// Runs the round's fresh (unexecuted, in-bound) skeletons through
+  /// options_.parallel_runner in bounded waves, installing each wave's
+  /// results into secondary_memo_ at the barrier so the serial
+  /// consumption loop finds them memoized.
+  void PrecomputeRound(const TopKList& queries,
+                       const std::unordered_set<std::string>& executed,
+                       bool have_boundary, cost::Cost boundary);
+
   TopKList FetchLabel(NodeType type, std::string_view label, bool as_leaf);
   const TopKList& InnerList(const query::ExpandedNode* node, size_t k);
   TopKList ComputeInnerList(const query::ExpandedNode* node, size_t k);
@@ -207,6 +237,10 @@ class SchemaEvaluator {
   std::unordered_map<const SkeletonEntry*, index::Posting> secondary_memo_;
   // Keeps memoized entries alive so raw-pointer keys cannot be reused.
   std::vector<SkeletonRef> memo_guard_;
+  // Wave workers need a signature-keyed thread-safe memo; when the
+  // caller supplied none, BestN installs an owned one so waves and the
+  // serial consumption path share sub-skeleton results uniformly.
+  std::unique_ptr<SharedSkeletonMemo> owned_memo_;
 };
 
 /// Pull-based incremental retrieval (the paper's conclusion: "once the

@@ -13,6 +13,7 @@
 
 #include <utility>
 
+#include "shard/layout_manifest.h"
 #include "shard/sharded_database.h"
 #include "util/logging.h"
 
@@ -74,6 +75,12 @@ Server::Server(service::QueryService& service, const shard::ShardedDatabase& db,
                ServerOptions options)
     : Server(service,
              [&db](doc::NodeId node) { return db.DocRootOf(node); },
+             std::move(options)) {}
+
+Server::Server(service::QueryService& service,
+               const shard::LayoutManifest& manifest, ServerOptions options)
+    : Server(service,
+             [&manifest](doc::NodeId node) { return manifest.DocRootOf(node); },
              std::move(options)) {}
 
 Server::Server(service::QueryService& service,

@@ -63,6 +63,7 @@
 #include "util/thread_annotations.h"
 
 namespace approxql::shard {
+class LayoutManifest;
 class ShardedDatabase;
 }  // namespace approxql::shard
 
@@ -111,6 +112,11 @@ class Server {
   /// through the shard layout's document table.
   Server(service::QueryService& service, const shard::ShardedDatabase& db,
          ServerOptions options);
+  /// Router-host flavor: the process holds no corpus at all, only a
+  /// layout manifest; answer roots resolve through its span tables.
+  /// `manifest` must outlive the server.
+  Server(service::QueryService& service,
+         const shard::LayoutManifest& manifest, ServerOptions options);
   /// Equivalent to Shutdown(/*drain=*/false).
   ~Server();
 

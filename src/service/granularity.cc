@@ -1,0 +1,48 @@
+#include "service/granularity.h"
+
+namespace approxql::service {
+
+namespace {
+constexpr size_t kUnknown = index::PostingSource::kUnknownSize;
+}  // namespace
+
+size_t EstimateTotalWork(const std::vector<size_t>& estimates) {
+  size_t total = 0;
+  for (size_t e : estimates) {
+    if (e == kUnknown || e > kUnknown - total) return kUnknown;
+    total += e;
+  }
+  return total;
+}
+
+std::vector<size_t> PackBatches(const std::vector<size_t>& estimates,
+                                size_t target) {
+  std::vector<size_t> ends;
+  const size_t n = estimates.size();
+  if (n == 0) return ends;
+  if (target == 0) {
+    ends.reserve(n);
+    for (size_t i = 1; i <= n; ++i) ends.push_back(i);
+    return ends;
+  }
+  size_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t e = estimates[i];
+    if (e == kUnknown) {
+      const size_t open = ends.empty() ? 0 : ends.back();
+      if (i > open) ends.push_back(i);
+      ends.push_back(i + 1);
+      acc = 0;
+      continue;
+    }
+    acc = e > kUnknown - acc ? kUnknown : acc + e;
+    if (acc >= target) {
+      ends.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  if (ends.empty() || ends.back() != n) ends.push_back(n);
+  return ends;
+}
+
+}  // namespace approxql::service

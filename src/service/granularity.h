@@ -1,0 +1,39 @@
+// Adaptive fan-out granularity: pure decision functions that turn
+// per-slot posting-size estimates (engine::FetchPlan::EstimateEntries,
+// backed by index::PostingSource::EstimateSize) into a task layout for
+// ParallelFor. The scheduler's unit of admission is a task; a task per
+// tiny posting makes queue traffic the dominant cost, so slots are
+// greedily packed into batches of roughly `target` estimated entries
+// and whole stages whose total work falls below a floor run inline.
+//
+// All functions are pure over plain vectors so they are unit-testable
+// without an index or a pool. kUnknownSize estimates (a source that
+// cannot say without doing the very fetch being scheduled) are treated
+// as "large": they saturate totals and close their own batch.
+#ifndef APPROXQL_SERVICE_GRANULARITY_H_
+#define APPROXQL_SERVICE_GRANULARITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "index/label_index.h"
+
+namespace approxql::service {
+
+/// Saturating sum of per-slot estimates. Any kUnknownSize term (or an
+/// overflowing sum) yields kUnknownSize, which compares >= every
+/// threshold — unknown work is always worth fanning out.
+size_t EstimateTotalWork(const std::vector<size_t>& estimates);
+
+/// Packs consecutive slots into batches of at least `target` estimated
+/// entries each (the final batch may be smaller). Returns exclusive
+/// end offsets: batch b covers [ends[b-1], ends[b]) with ends[-1] = 0.
+/// target == 0 means one slot per batch (the pre-adaptive layout, used
+/// by tests that force maximal fan-out). A kUnknownSize slot always
+/// closes the open batch and occupies a batch of its own.
+std::vector<size_t> PackBatches(const std::vector<size_t>& estimates,
+                                size_t target);
+
+}  // namespace approxql::service
+
+#endif  // APPROXQL_SERVICE_GRANULARITY_H_

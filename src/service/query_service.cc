@@ -10,6 +10,7 @@
 #include "engine/list_ops.h"
 #include "query/ast.h"
 #include "query/separated.h"
+#include "service/granularity.h"
 #include "service/parallel.h"
 #include "shard/sharded_database.h"
 #include "util/crc32.h"
@@ -327,29 +328,62 @@ bool QueryService::RunParallel(const query::Query& query,
   auto separated = query::SeparatedRepresentation(query);
   if (!separated.ok()) return false;
   const size_t disjuncts = separated->size();
-  // The schema strategy has no concurrent fetch stage, so a single
-  // conjunct leaves nothing to parallelize.
-  if (!direct && disjuncts < 2) return false;
 
   auto expanded = query::ExpandedQuery::Build(query, model);
   if (!expanded.ok()) return false;
+
+  // Adaptive granularity: per-slot posting-size estimates for the full
+  // query, from index statistics only (never a fetch). Below the floor
+  // the fan-out overhead dominates the work being split — decline, and
+  // the caller runs the serial path. For the schema strategy the data
+  // postings still bound the instance-scanning volume, so the same
+  // estimate serves both strategies.
+  engine::FetchPlan plan(*expanded);
+  std::vector<size_t> estimates(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    estimates[i] =
+        plan.EstimateEntries(i, db_->label_index(), db_->tree().labels());
+  }
+  if (options_.parallel_min_work > 0 &&
+      EstimateTotalWork(estimates) < options_.parallel_min_work) {
+    return false;
+  }
 
   ParallelForOptions pf;
   pf.parallelism = parallelism;
   pf.cancelled = cancelled;
 
+  // Second-level wave runner injected into the schema evaluators (the
+  // engine layer cannot depend on the pool). The runner contract
+  // requires every index to execute, so no cancellation here — the
+  // evaluator bounds each wave and polls its own cancellation between
+  // waves, the same granularity as its serial loop.
+  ParallelForOptions wave_pf;
+  wave_pf.parallelism = parallelism;
+  auto wave_runner = [this, wave_pf](size_t count,
+                                     const std::function<void(size_t)>& fn) {
+    ParallelForResult waved = ParallelFor(&pool_, count, fn, wave_pf);
+    parallel_tasks_->Increment(waved.executed);
+  };
+
   // Stage 1 (direct only): materialize every per-label index read of
   // the full query concurrently. Sub-queries fetch a subset of the full
   // query's (type, label, as_leaf) slots, so one plan serves them all.
-  engine::FetchPlan plan;
+  // A task per ~parallel_fetch_batch estimated entries instead of one
+  // per slot: parallel_tasks scales with real work, not plan size.
   if (direct) {
-    plan = engine::FetchPlan(*expanded);
     Clock::time_point fetch_started = Clock::now();
     const engine::EncodedTree tree = engine::EncodedTree::Of(db_->tree());
+    const std::vector<size_t> batch_ends =
+        PackBatches(estimates, options_.parallel_fetch_batch);
     ParallelForResult fetched = ParallelFor(
-        &pool_, plan.size(),
-        [&](size_t i) {
-          plan.Materialize(i, tree, db_->label_index(), db_->tree().labels());
+        &pool_, batch_ends.size(),
+        [&](size_t b) {
+          for (size_t i = b == 0 ? 0 : batch_ends[b - 1]; i < batch_ends[b];
+               ++i) {
+            plan.Materialize(i, tree, db_->label_index(),
+                             db_->tree().labels());
+          }
         },
         pf);
     parallel_tasks_->Increment(fetched.executed);
@@ -365,7 +399,13 @@ bool QueryService::RunParallel(const query::Query& query,
   }
 
   if (disjuncts < 2) {
-    // One conjunct: only the fetch stage parallelized; evaluate inline.
+    // One conjunct: no disjunct fan-out. The direct strategy already
+    // parallelized its fetch stage above; the schema strategy runs its
+    // second-level rounds as concurrent waves instead.
+    if (!direct) {
+      exec.schema.parallel_runner = wave_runner;
+      exec.schema.parallel_min_batch = options_.parallel_min_skeletons;
+    }
     Clock::time_point eval_started = Clock::now();
     auto answers = db_->Execute(query, exec);
     parallel_eval_us_->Record(static_cast<uint64_t>(MicrosSince(eval_started)));
@@ -401,21 +441,51 @@ bool QueryService::RunParallel(const query::Query& query,
   // (results are deterministic per signature, so sharing cannot change
   // answers — only skip re-execution).
   engine::SharedSkeletonMemo skeleton_memo;
+  // The same granularity logic batches the disjuncts: consecutive
+  // disjuncts whose combined estimated work stays under the floor share
+  // one task instead of costing one each. An un-estimable disjunct
+  // (expansion failed here; Execute will surface the error) counts as
+  // unknown and gets its own task.
+  std::vector<size_t> disjunct_work(disjuncts,
+                                    index::PostingSource::kUnknownSize);
+  if (options_.parallel_min_work > 0) {
+    for (size_t i = 0; i < disjuncts; ++i) {
+      auto sub_expanded = query::ExpandedQuery::Build(subqueries[i], model);
+      if (!sub_expanded.ok()) continue;
+      engine::FetchPlan sub_plan(*sub_expanded);
+      std::vector<size_t> sub_estimates(sub_plan.size());
+      for (size_t s = 0; s < sub_plan.size(); ++s) {
+        sub_estimates[s] = sub_plan.EstimateEntries(s, db_->label_index(),
+                                                    db_->tree().labels());
+      }
+      disjunct_work[i] = EstimateTotalWork(sub_estimates);
+    }
+  }
+  const std::vector<size_t> disjunct_ends =
+      PackBatches(disjunct_work, options_.parallel_min_work);
   Clock::time_point eval_started = Clock::now();
   ParallelForResult evaluated = ParallelFor(
-      &pool_, disjuncts,
-      [&](size_t i) {
-        engine::ExecOptions sub = exec;
-        sub.schema_stats_out = &parts[i].schema_stats;
-        sub.direct_stats_out = &parts[i].direct_stats;
-        if (sub.strategy == engine::Strategy::kSchema) {
-          sub.schema.shared_memo = &skeleton_memo;
-        }
-        auto result = db_->Execute(subqueries[i], sub);
-        if (result.ok()) {
-          parts[i].answers = std::move(*result);
-        } else {
-          parts[i].status = result.status();
+      &pool_, disjunct_ends.size(),
+      [&](size_t b) {
+        for (size_t i = b == 0 ? 0 : disjunct_ends[b - 1];
+             i < disjunct_ends[b]; ++i) {
+          engine::ExecOptions sub = exec;
+          sub.schema_stats_out = &parts[i].schema_stats;
+          sub.direct_stats_out = &parts[i].direct_stats;
+          if (sub.strategy == engine::Strategy::kSchema) {
+            sub.schema.shared_memo = &skeleton_memo;
+            // Disjunct tasks fork their second-level waves back into
+            // the pool; idle workers (done with their own disjuncts)
+            // steal that work instead of waiting at the barrier.
+            sub.schema.parallel_runner = wave_runner;
+            sub.schema.parallel_min_batch = options_.parallel_min_skeletons;
+          }
+          auto result = db_->Execute(subqueries[i], sub);
+          if (result.ok()) {
+            parts[i].answers = std::move(*result);
+          } else {
+            parts[i].status = result.status();
+          }
         }
       },
       pf);
@@ -551,7 +621,7 @@ QueryResponse QueryService::RunRouted(const QueryRequest& request,
 }
 
 const cost::CostModel& QueryService::BackendCostModel() const {
-  if (router_ != nullptr) return router_->layout().cost_model();
+  if (router_ != nullptr) return router_->cost_model();
   return sharded_ != nullptr ? sharded_->cost_model() : db_->cost_model();
 }
 
@@ -575,6 +645,7 @@ QueryService::Snapshot QueryService::GetSnapshot() const {
 
 std::string QueryService::DumpMetrics() const {
   std::string out = metrics_.DumpText();
+  out += "thread_pool_steals " + std::to_string(pool_.steals()) + "\n";
   ResultCache::Stats cache = cache_.GetStats();
   out += "cache_evictions " + std::to_string(cache.evictions) + "\n";
   out += "cache_size " + std::to_string(cache.size) + "\n";

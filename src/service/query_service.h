@@ -56,6 +56,18 @@ struct ServiceOptions {
   /// including the thread running the request). 1 = serial; requests
   /// can override per-call. Results are identical either way.
   size_t parallelism = 1;
+  /// Adaptive fan-out floor (service/granularity.h): a parallel-eligible
+  /// request whose total estimated index entries fall below this runs
+  /// serially instead — task overhead would dominate. 0 = always fan
+  /// out (tests use this to force the parallel path on tiny corpora).
+  size_t parallel_min_work = 2048;
+  /// Target estimated entries per concurrent fetch task; consecutive
+  /// small plan slots are packed into one task. 0 = one task per slot.
+  size_t parallel_fetch_batch = 512;
+  /// Schema strategy: fresh skeletons a top-k round must produce before
+  /// the second-level batch is executed as a parallel wave; smaller
+  /// rounds run serially. 0 = parallelize every round.
+  size_t parallel_min_skeletons = 8;
 };
 
 struct QueryRequest {

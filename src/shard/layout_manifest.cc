@@ -1,0 +1,170 @@
+#include "shard/layout_manifest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace approxql::shard {
+
+using util::Result;
+using util::Status;
+
+namespace {
+// "AQLM" + format version, leading every serialized manifest.
+constexpr uint32_t kMagic = 0x41514c4d;
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+LayoutManifest::LayoutManifest(uint32_t fingerprint, cost::CostModel model,
+                               std::vector<std::vector<DocSpan>> spans)
+    : fingerprint_(fingerprint),
+      model_(std::move(model)),
+      spans_(std::move(spans)) {
+  RebuildDocs();
+}
+
+LayoutManifest LayoutManifest::Of(const ShardedDatabase& layout) {
+  std::vector<std::vector<DocSpan>> spans;
+  spans.reserve(layout.num_shards());
+  for (size_t i = 0; i < layout.num_shards(); ++i) {
+    spans.push_back(layout.shard_spans(i));
+  }
+  return LayoutManifest(layout.LayoutFingerprint(), layout.cost_model(),
+                        std::move(spans));
+}
+
+void LayoutManifest::RebuildDocs() {
+  docs_.clear();
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    for (const DocSpan& span : spans_[i]) {
+      docs_.push_back({span.global_start, span.length,
+                       static_cast<uint32_t>(i), span.local_start});
+    }
+  }
+  std::sort(docs_.begin(), docs_.end(),
+            [](const GlobalDoc& a, const GlobalDoc& b) {
+              return a.global_start < b.global_start;
+            });
+}
+
+doc::NodeId LayoutManifest::ToGlobal(size_t shard, doc::NodeId local) const {
+  if (local == 0) return 0;  // shard super-root -> global super-root
+  const std::vector<DocSpan>& spans = spans_[shard];
+  auto it = std::upper_bound(spans.begin(), spans.end(), local,
+                             [](doc::NodeId value, const DocSpan& span) {
+                               return value < span.local_start;
+                             });
+  APPROXQL_DCHECK(it != spans.begin());
+  const DocSpan& span = *(it - 1);
+  APPROXQL_DCHECK(local < span.local_start + span.length);
+  return span.global_start + (local - span.local_start);
+}
+
+doc::NodeId LayoutManifest::DocRootOf(doc::NodeId global) const {
+  if (global == 0) return 0;
+  auto it = std::upper_bound(docs_.begin(), docs_.end(), global,
+                             [](doc::NodeId value, const GlobalDoc& d) {
+                               return value < d.global_start;
+                             });
+  if (it == docs_.begin()) return 0;
+  const GlobalDoc& d = *(it - 1);
+  return global < d.global_start + d.length ? d.global_start : 0;
+}
+
+std::string LayoutManifest::Serialize() const {
+  std::string out;
+  util::PutVarint32(&out, kMagic);
+  util::PutVarint32(&out, kVersion);
+  util::PutVarint32(&out, fingerprint_);
+  const std::string model = model_.ToConfigString();
+  util::PutVarint64(&out, model.size());
+  out += model;
+  util::PutVarint64(&out, spans_.size());
+  for (const std::vector<DocSpan>& shard : spans_) {
+    util::PutVarint64(&out, shard.size());
+    for (const DocSpan& span : shard) {
+      util::PutVarint32(&out, span.local_start);
+      util::PutVarint32(&out, span.global_start);
+      util::PutVarint32(&out, span.length);
+    }
+  }
+  util::PutVarint32(&out, util::Crc32c(out));
+  return out;
+}
+
+Result<LayoutManifest> LayoutManifest::Deserialize(std::string_view data) {
+  util::VarintReader reader(data);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t fingerprint = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&magic));
+  if (magic != kMagic) {
+    return Status::Corruption("not a layout manifest (bad magic)");
+  }
+  RETURN_IF_ERROR(reader.GetVarint32(&version));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported layout manifest version " +
+                              std::to_string(version));
+  }
+  RETURN_IF_ERROR(reader.GetVarint32(&fingerprint));
+  uint64_t model_size = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&model_size));
+  std::string_view model_text;
+  RETURN_IF_ERROR(reader.GetBytes(model_size, &model_text));
+  ASSIGN_OR_RETURN(cost::CostModel model, cost::CostModel::ParseConfig(model_text));
+  uint64_t num_shards = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&num_shards));
+  std::vector<std::vector<DocSpan>> spans(num_shards);
+  for (uint64_t i = 0; i < num_shards; ++i) {
+    uint64_t count = 0;
+    RETURN_IF_ERROR(reader.GetVarint64(&count));
+    spans[i].reserve(count);
+    for (uint64_t d = 0; d < count; ++d) {
+      DocSpan span;
+      RETURN_IF_ERROR(reader.GetVarint32(&span.local_start));
+      RETURN_IF_ERROR(reader.GetVarint32(&span.global_start));
+      RETURN_IF_ERROR(reader.GetVarint32(&span.length));
+      spans[i].push_back(span);
+    }
+  }
+  const size_t body_end = reader.position();
+  uint32_t crc = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&crc));
+  if (crc != util::Crc32c(data.substr(0, body_end))) {
+    return Status::Corruption("layout manifest checksum mismatch");
+  }
+  return LayoutManifest(fingerprint, std::move(model), std::move(spans));
+}
+
+Status LayoutManifest::SaveTo(const std::string& path) const {
+  const std::string temp_path = path + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("open " + temp_path + " for write");
+    const std::string blob = Serialize();
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) return Status::IoError("write " + temp_path);
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp_path, path, ec);
+  if (ec) {
+    return Status::IoError("rename " + temp_path + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Result<LayoutManifest> LayoutManifest::LoadFrom(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("open " + path);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return Status::IoError("read " + path);
+  return Deserialize(blob);
+}
+
+}  // namespace approxql::shard

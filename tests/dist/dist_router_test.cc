@@ -35,6 +35,7 @@
 #include "gen/xml_generator.h"
 #include "net/server.h"
 #include "service/query_service.h"
+#include "shard/layout_manifest.h"
 #include "shard/sharded_database.h"
 
 namespace approxql::dist {
@@ -371,6 +372,98 @@ TEST_F(DistRouterTest, FingerprintMismatchIsRejectedNotMistranslated) {
   EXPECT_TRUE(routed->degraded);
   ASSERT_EQ(routed->missing_shards.size(), 1u);
   EXPECT_EQ(routed->missing_shards[0], 1u);
+  router.Shutdown();
+  for (ShardServer& s : servers) s.Stop();
+}
+
+TEST_F(DistRouterTest, ManifestOnlyRouterMatchesAndRejectsWrongLayout) {
+  // A router host holding only a LayoutManifest (no trees, no postings)
+  // must route bit-identically to one holding the full partition — and
+  // a manifest describing a DIFFERENT layout pointed at these servers
+  // must be rejected per call, never mistranslated.
+  ShardedDatabase sharded = MakeSharded(2);
+  std::vector<ShardServer> servers = StartCluster(sharded);
+
+  // Round-trip through the serialized form, exactly what
+  // `approxql_serve --save-manifest` / `--manifest` ship on disk.
+  auto manifest = shard::LayoutManifest::Deserialize(
+      shard::LayoutManifest::Of(sharded).Serialize());
+  ASSERT_TRUE(manifest.ok()) << manifest.status();
+
+  {
+    ShardRouter router(*manifest, FastFailOptions(servers));
+    ASSERT_TRUE(router.Start().ok());
+    for (const std::string& query : *queries_) {
+      ExecOptions exec;
+      exec.n = 10;
+      auto expected = db_->Execute(query, exec);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      auto routed = router.Execute(query, Strategy::kSchema, 10, 0);
+      ASSERT_TRUE(routed.ok()) << routed.status();
+      EXPECT_FALSE(routed->degraded);
+      EXPECT_EQ(Canonical(routed->answers), Canonical(*expected)) << query;
+    }
+    router.Shutdown();
+  }
+
+  // Same endpoints, wrong layout: every shard's reply carries the real
+  // fingerprint, the manifest claims another, so every slot fails
+  // permanently (no retries) and the query is kUnavailable.
+  std::vector<std::vector<shard::DocSpan>> spans;
+  for (size_t s = 0; s < manifest->num_shards(); ++s) {
+    spans.push_back(manifest->shard_spans(s));
+  }
+  shard::LayoutManifest wrong(manifest->fingerprint() ^ 0xDEADBEEF,
+                              manifest->cost_model(), std::move(spans));
+  ShardRouter router(wrong, FastFailOptions(servers));
+  ASSERT_TRUE(router.Start().ok());
+  auto routed = router.Execute((*queries_)[0], Strategy::kSchema, 10, 0);
+  ASSERT_FALSE(routed.ok());
+  EXPECT_EQ(routed.status().code(), util::StatusCode::kUnavailable)
+      << routed.status();
+  router.Shutdown();
+  for (ShardServer& s : servers) s.Stop();
+}
+
+TEST_F(DistRouterTest, FastDownStopsRetryingMidQuery) {
+  // Outcome-driven fast-DOWN: with a generous retry budget against a
+  // dead endpoint, the router must NOT relaunch all retries (each
+  // burning a full attempt deadline) — the backend flips DOWN at
+  // failures_to_down consecutive transport failures and the slot is
+  // declared missing during its next backoff instead.
+  ShardedDatabase sharded = MakeSharded(2);
+  std::vector<ShardServer> servers = StartCluster(sharded);
+  RouterOptions options = FastFailOptions(servers);
+  options.max_retries = 8;
+  options.failures_to_down = 2;
+  servers[1].Stop();
+  ShardRouter router(sharded, options);
+  ASSERT_TRUE(router.Start().ok());
+  auto routed = router.Execute((*queries_)[0], Strategy::kSchema, 10, 0);
+  ASSERT_TRUE(routed.ok()) << routed.status();
+  EXPECT_TRUE(routed->degraded);
+  ASSERT_EQ(routed->missing_shards.size(), 1u);
+  EXPECT_EQ(routed->missing_shards[0], 1u);
+  EXPECT_EQ(router.shard_health(1), ShardHealth::kDown);
+  // Attempts stop at the DOWN threshold: the initial launch plus
+  // exactly one retry (whose failure is the second consecutive one),
+  // not the full max_retries budget.
+  EXPECT_EQ(routed->retries, 1u);
+  // The live shard's answers still arrive intact.
+  ExecOptions exec;
+  exec.n = SIZE_MAX;
+  auto full = db_->Execute((*queries_)[0], exec);
+  ASSERT_TRUE(full.ok());
+  for (const QueryAnswer& answer : routed->answers) {
+    bool found = false;
+    for (const QueryAnswer& expected : *full) {
+      if (expected.root == answer.root && expected.cost == answer.cost) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "degraded answer invented root " << answer.root;
+  }
   router.Shutdown();
   for (ShardServer& s : servers) s.Stop();
 }

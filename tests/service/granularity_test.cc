@@ -1,0 +1,103 @@
+// The adaptive-granularity decision functions are pure over vectors;
+// these tests pin the exact batch layouts RunParallel builds from them,
+// since a layout change silently shifts which slots share a task.
+#include "service/granularity.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "index/label_index.h"
+
+namespace approxql::service {
+namespace {
+
+constexpr size_t kUnknown = index::PostingSource::kUnknownSize;
+
+using Ends = std::vector<size_t>;
+
+TEST(EstimateTotalWorkTest, SumsKnownEstimates) {
+  EXPECT_EQ(EstimateTotalWork({}), 0u);
+  EXPECT_EQ(EstimateTotalWork({7}), 7u);
+  EXPECT_EQ(EstimateTotalWork({1, 2, 3, 0, 4}), 10u);
+}
+
+TEST(EstimateTotalWorkTest, UnknownTermSaturates) {
+  EXPECT_EQ(EstimateTotalWork({kUnknown}), kUnknown);
+  EXPECT_EQ(EstimateTotalWork({5, kUnknown, 5}), kUnknown);
+  // Unknown compares >= every threshold: it always clears the floor.
+  EXPECT_GE(EstimateTotalWork({kUnknown}), size_t{1} << 20);
+}
+
+TEST(EstimateTotalWorkTest, OverflowSaturatesInsteadOfWrapping) {
+  const size_t half = kUnknown / 2 + 1;
+  EXPECT_EQ(EstimateTotalWork({half, half}), kUnknown);
+  EXPECT_EQ(EstimateTotalWork({kUnknown - 1, 1}), kUnknown);
+  EXPECT_EQ(EstimateTotalWork({kUnknown - 1, 0}), kUnknown - 1);
+}
+
+TEST(PackBatchesTest, EmptyAndSingleton) {
+  EXPECT_EQ(PackBatches({}, 100), Ends{});
+  EXPECT_EQ(PackBatches({5}, 100), Ends{1});
+  EXPECT_EQ(PackBatches({500}, 100), Ends{1});
+}
+
+TEST(PackBatchesTest, TargetZeroIsOneSlotPerBatch) {
+  EXPECT_EQ(PackBatches({10, 20, 30}, 0), (Ends{1, 2, 3}));
+  EXPECT_EQ(PackBatches({kUnknown, 0}, 0), (Ends{1, 2}));
+}
+
+TEST(PackBatchesTest, GreedyPackingClosesAtTarget) {
+  // 60+50 >= 100 closes; 10+20 trails as a final partial batch.
+  EXPECT_EQ(PackBatches({60, 50, 10, 20}, 100), (Ends{2, 4}));
+  // A single slot over target is its own batch.
+  EXPECT_EQ(PackBatches({300, 1, 1}, 100), (Ends{1, 3}));
+  // Exactly at target closes too.
+  EXPECT_EQ(PackBatches({100, 100}, 100), (Ends{1, 2}));
+}
+
+TEST(PackBatchesTest, TinySlotsCollapseIntoOneBatch) {
+  EXPECT_EQ(PackBatches({1, 1, 1, 1, 1}, 100), Ends{5});
+}
+
+TEST(PackBatchesTest, UnknownSlotOwnsItsBatch) {
+  // The open batch closes before the unknown, the unknown stands alone,
+  // and packing resumes after it.
+  EXPECT_EQ(PackBatches({10, 10, kUnknown, 10, 10}, 100),
+            (Ends{2, 3, 5}));
+  EXPECT_EQ(PackBatches({kUnknown, kUnknown}, 100), (Ends{1, 2}));
+  EXPECT_EQ(PackBatches({kUnknown, 5}, 100), (Ends{1, 2}));
+}
+
+TEST(PackBatchesTest, ZeroEstimatesStillCovered) {
+  // Slots estimated at zero (absent labels) must still be assigned to
+  // some batch — the plan materializes them regardless.
+  EXPECT_EQ(PackBatches({0, 0, 0}, 100), Ends{3});
+  EXPECT_EQ(PackBatches({0, kUnknown, 0}, 100), (Ends{1, 2, 3}));
+}
+
+TEST(PackBatchesTest, EndsPartitionTheInput) {
+  // Property: whatever the estimates, the offsets are strictly
+  // increasing and end at n — every slot lands in exactly one batch.
+  const std::vector<std::vector<size_t>> cases = {
+      {3, 1, 4, 1, 5, 9, 2, 6},
+      {kUnknown, 1, kUnknown, 1},
+      {0, 0, kUnknown},
+      {250, 250, 250, 250},
+  };
+  for (const auto& estimates : cases) {
+    for (size_t target : {size_t{0}, size_t{1}, size_t{10}, size_t{1000}}) {
+      const Ends ends = PackBatches(estimates, target);
+      ASSERT_FALSE(ends.empty());
+      size_t prev = 0;
+      for (size_t end : ends) {
+        EXPECT_GT(end, prev);
+        prev = end;
+      }
+      EXPECT_EQ(ends.back(), estimates.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace approxql::service

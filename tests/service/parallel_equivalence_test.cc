@@ -98,9 +98,14 @@ std::vector<gen::GeneratedQuery>* ParallelEquivalenceTest::queries_ = nullptr;
 void CheckStrategy(const Database& db,
                    const std::vector<gen::GeneratedQuery>& queries,
                    Strategy strategy) {
+  // The test corpus is tiny; zero the granularity thresholds so the
+  // adaptive scheduler still exercises maximal fan-out here.
   QueryService service(db, ServiceOptions{.num_threads = 4,
                                           .queue_capacity = 64,
-                                          .cache_capacity = 0});
+                                          .cache_capacity = 0,
+                                          .parallel_min_work = 0,
+                                          .parallel_fetch_batch = 0,
+                                          .parallel_min_skeletons = 0});
   for (const gen::GeneratedQuery& generated : queries) {
     QueryRequest request;
     request.query_text = generated.text;
@@ -158,7 +163,10 @@ TEST_F(ParallelEquivalenceTest, ParallelFlagSetOnFanOut) {
   QueryService service(*db_, ServiceOptions{.num_threads = 4,
                                             .queue_capacity = 64,
                                             .cache_capacity = 0,
-                                            .parallelism = 4});
+                                            .parallelism = 4,
+                                            .parallel_min_work = 0,
+                                            .parallel_fetch_batch = 0,
+                                            .parallel_min_skeletons = 0});
   // The or-heavy pattern always decomposes into multiple disjuncts.
   const gen::GeneratedQuery& generated = (*queries_)[3];
   QueryRequest request;
@@ -179,7 +187,10 @@ TEST_F(ParallelEquivalenceTest, SubmittedParallelRequestsAgreeWithSerial) {
   QueryService service(*db_, ServiceOptions{.num_threads = 4,
                                             .queue_capacity = 64,
                                             .cache_capacity = 0,
-                                            .parallelism = 4});
+                                            .parallelism = 4,
+                                            .parallel_min_work = 0,
+                                            .parallel_fetch_batch = 0,
+                                            .parallel_min_skeletons = 0});
   const size_t count = queries_->size();
   std::vector<std::string> expected(count);
   std::vector<engine::SchemaEvalStats> serial_stats(count);

@@ -241,7 +241,9 @@ TEST(QueryServiceTest, ParseErrorCountsAsFailed) {
 
 TEST(QueryServiceTest, ParallelRequestMatchesSerialAndSetsFlag) {
   Database db = MakeDb();
-  QueryService service(db, ServiceOptions{.num_threads = 2});
+  // Tiny corpus: zero the granularity floor so fan-out still triggers.
+  QueryService service(
+      db, ServiceOptions{.num_threads = 2, .parallel_min_work = 0});
   // Two disjuncts under the schema strategy; parallel and serial must
   // rank identically.
   QueryRequest request;
@@ -262,6 +264,31 @@ TEST(QueryServiceTest, ParallelRequestMatchesSerialAndSetsFlag) {
     EXPECT_EQ(parallel.answers[i].cost, serial.answers[i].cost);
   }
   EXPECT_GT(service.GetSnapshot().parallel_tasks, 0u);
+}
+
+TEST(QueryServiceTest, SmallPlanStaysInlineUnderGranularityFloor) {
+  Database db = MakeDb();
+  // The default parallel_min_work floor dwarfs this corpus's postings:
+  // a parallel request must decline fan-out (no tasks, parallel=false)
+  // and still answer identically to serial.
+  QueryService service(db, ServiceOptions{.num_threads = 2});
+  QueryRequest request;
+  request.query_text = R"(cd[title["piano" or "goldberg"]])";
+  request.exec.n = SIZE_MAX;
+  request.bypass_cache = true;
+  request.parallelism = 1;
+  QueryResponse serial = service.ExecuteNow(request);
+  ASSERT_TRUE(serial.status.ok()) << serial.status;
+  request.parallelism = 4;
+  QueryResponse parallel = service.ExecuteNow(request);
+  ASSERT_TRUE(parallel.status.ok()) << parallel.status;
+  EXPECT_FALSE(parallel.parallel);
+  EXPECT_EQ(service.GetSnapshot().parallel_tasks, 0u);
+  ASSERT_EQ(parallel.answers.size(), serial.answers.size());
+  for (size_t i = 0; i < serial.answers.size(); ++i) {
+    EXPECT_EQ(parallel.answers[i].root, serial.answers[i].root);
+    EXPECT_EQ(parallel.answers[i].cost, serial.answers[i].cost);
+  }
 }
 
 TEST(QueryServiceTest, ParallelAndSerialShareCacheEntries) {

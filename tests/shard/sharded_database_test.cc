@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "gen/xml_generator.h"
 #include "service/query_service.h"
 #include "service/thread_pool.h"
+#include "shard/layout_manifest.h"
 #include "util/random.h"
 
 namespace approxql::shard {
@@ -387,6 +389,89 @@ TEST_F(ShardedDatabaseTest, QueryServiceShardedBackendMatchesSingle) {
   }
   // The sharded service's metrics dump carries the per-shard sections.
   EXPECT_NE(sharded_service.DumpMetrics().find("shard0_"), std::string::npos);
+}
+
+TEST_F(ShardedDatabaseTest, LayoutManifestMirrorsTheLayout) {
+  for (size_t num_shards : {size_t{1}, size_t{3}, size_t{8}}) {
+    ShardedDatabase sharded = MakeSharded(num_shards);
+    LayoutManifest manifest = LayoutManifest::Of(sharded);
+
+    EXPECT_EQ(manifest.num_shards(), num_shards);
+    EXPECT_EQ(manifest.fingerprint(), sharded.LayoutFingerprint());
+    EXPECT_EQ(manifest.cost_model().ToConfigString(),
+              sharded.cost_model().ToConfigString());
+
+    // Every translation the router performs agrees with the full corpus.
+    for (size_t s = 0; s < num_shards; ++s) {
+      ASSERT_EQ(manifest.shard_spans(s).size(), sharded.shard_spans(s).size());
+      for (const DocSpan& span : manifest.shard_spans(s)) {
+        for (uint32_t off = 0; off < span.length; ++off) {
+          const doc::NodeId local = span.local_start + off;
+          EXPECT_EQ(manifest.ToGlobal(s, local), sharded.ToGlobal(s, local));
+        }
+      }
+      EXPECT_EQ(manifest.ToGlobal(s, 0), 0u);  // shard super-root
+    }
+    util::Rng rng(7 * num_shards + 1);
+    for (int i = 0; i < 100; ++i) {
+      doc::NodeId node =
+          static_cast<doc::NodeId>(rng.Uniform(db_->tree().size()));
+      EXPECT_EQ(manifest.DocRootOf(node), sharded.DocRootOf(node))
+          << "node " << node;
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, LayoutManifestSerializeRoundTrips) {
+  ShardedDatabase sharded = MakeSharded(4);
+  LayoutManifest manifest = LayoutManifest::Of(sharded);
+  const std::string blob = manifest.Serialize();
+
+  auto restored = LayoutManifest::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->fingerprint(), manifest.fingerprint());
+  EXPECT_EQ(restored->num_shards(), manifest.num_shards());
+  EXPECT_EQ(restored->cost_model().ToConfigString(),
+            manifest.cost_model().ToConfigString());
+  for (size_t s = 0; s < manifest.num_shards(); ++s) {
+    ASSERT_EQ(restored->shard_spans(s).size(), manifest.shard_spans(s).size());
+    for (size_t d = 0; d < manifest.shard_spans(s).size(); ++d) {
+      const DocSpan& a = manifest.shard_spans(s)[d];
+      const DocSpan& b = restored->shard_spans(s)[d];
+      EXPECT_EQ(a.local_start, b.local_start);
+      EXPECT_EQ(a.global_start, b.global_start);
+      EXPECT_EQ(a.length, b.length);
+    }
+  }
+  util::Rng rng(515);
+  for (int i = 0; i < 100; ++i) {
+    doc::NodeId node =
+        static_cast<doc::NodeId>(rng.Uniform(db_->tree().size()));
+    EXPECT_EQ(restored->DocRootOf(node), sharded.DocRootOf(node));
+  }
+
+  // Corruption anywhere in the blob must be caught, not mistranslated.
+  for (size_t pos : {size_t{0}, blob.size() / 2, blob.size() - 1}) {
+    std::string corrupt = blob;
+    corrupt[pos] ^= 0x40;
+    EXPECT_FALSE(LayoutManifest::Deserialize(corrupt).ok())
+        << "flip at " << pos;
+  }
+  EXPECT_FALSE(LayoutManifest::Deserialize(blob.substr(0, 10)).ok());
+  EXPECT_FALSE(LayoutManifest::Deserialize("").ok());
+}
+
+TEST_F(ShardedDatabaseTest, LayoutManifestSaveLoadRoundTrips) {
+  ShardedDatabase sharded = MakeSharded(2);
+  LayoutManifest manifest = LayoutManifest::Of(sharded);
+  const std::string path =
+      ::testing::TempDir() + "/approxql_layout_manifest_test.aqlm";
+  ASSERT_TRUE(manifest.SaveTo(path).ok());
+  auto loaded = LayoutManifest::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->Serialize(), manifest.Serialize());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LayoutManifest::LoadFrom(path).ok());  // gone now
 }
 
 }  // namespace
