@@ -39,7 +39,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -50,12 +52,14 @@
 #include "engine/database.h"
 #include "gen/query_generator.h"
 #include "gen/xml_generator.h"
+#include "ingest/mutable_corpus.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/query_service.h"
 #include "service/workload.h"
 #include "shard/layout_manifest.h"
 #include "shard/sharded_database.h"
+#include "storage/kv_factory.h"
 #include "util/histogram.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -133,7 +137,23 @@ int Usage() {
       "  --verify         (--connect) check wire answers against the\n"
       "                   in-process path; needs the same db flags as the "
       "server\n"
-      "  --bench-json F   (--connect) append the per-pass wire report to F\n");
+      "  --bench-json F   (--connect) append the per-pass wire report to F\n"
+      "  --store S        mem|disk posting stores (default mem); disk needs\n"
+      "                   --data-dir for the backing files\n"
+      "  --data-dir D     directory for disk stores / the mutable corpus\n"
+      "  --mutable        (--listen) serve a live-ingest corpus from\n"
+      "                   --data-dir (recovering it if it exists): answers\n"
+      "                   kIngest, acks only after WAL fsync + visibility\n"
+      "  --ingest N       (--connect) ingest driver: add N generated docs\n"
+      "                   over the wire, interleaving workload queries if\n"
+      "                   one was given; tolerates the server dying mid-\n"
+      "                   stream (crash harness)\n"
+      "  --acked-file F   (--ingest) write every acked document's XML to F\n"
+      "                   (one per line) and any in-doubt document to\n"
+      "                   F.indoubt — the durably-acked oracle inputs\n"
+      "  --oracle-docs F  build the database from the XML lines of F (an\n"
+      "                   --acked-file) instead of --xml/--load/--gen-data;\n"
+      "                   with --verify this is the crash-recovery oracle\n");
   return 2;
 }
 
@@ -319,6 +339,56 @@ void PrintPass(size_t pass, const PassResult& r, bool wire) {
   std::printf("  latency %s\n", r.latency_us.Summary("us").c_str());
 }
 
+// The label space shared by the ingest driver's generated documents,
+// the mutable server's cost model, and the crash-recovery oracle. All
+// three derive the same model from --seed alone, so a verify client
+// needs nothing from the server but the acked documents.
+constexpr size_t kIngestElementNames = 50;
+constexpr size_t kIngestVocabulary = 1000;
+
+approxql::cost::CostModel IngestCostModel(size_t seed) {
+  approxql::cost::CostModel model;
+  approxql::util::Rng cost_rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  for (size_t i = 0; i < kIngestElementNames; ++i) {
+    model.SetDeleteCost(
+        approxql::NodeType::kStruct, "elem" + std::to_string(i),
+        static_cast<approxql::cost::Cost>(cost_rng.UniformInt(2, 10)));
+  }
+  for (size_t i = 0; i < kIngestVocabulary; ++i) {
+    model.SetDeleteCost(
+        approxql::NodeType::kText, "term" + std::to_string(i),
+        static_cast<approxql::cost::Cost>(cost_rng.UniformInt(2, 10)));
+  }
+  return model;
+}
+
+/// One small nested document over the elem*/term* label space,
+/// deterministic given the rng state. Single line (no newlines), so an
+/// acked file can hold one document per line.
+std::string MakeIngestDoc(approxql::util::Rng& rng) {
+  std::string xml;
+  size_t budget = static_cast<size_t>(rng.UniformInt(3, 24));
+  std::function<void(size_t)> emit = [&](size_t depth) {
+    const std::string label =
+        "elem" + std::to_string(rng.UniformInt(
+                     0, static_cast<int64_t>(kIngestElementNames) - 1));
+    xml += "<" + label + ">";
+    while (budget > 0 && rng.UniformInt(0, 2) != 0) {
+      --budget;
+      if (depth >= 4 || rng.UniformInt(0, 1) == 0) {
+        xml += "term" + std::to_string(rng.UniformInt(
+                            0, static_cast<int64_t>(kIngestVocabulary) - 1));
+        xml += " ";
+      } else {
+        emit(depth + 1);
+      }
+    }
+    xml += "</" + label + ">";
+  };
+  emit(0);
+  return xml;
+}
+
 Server* g_server = nullptr;
 
 void HandleDrainSignal(int) {
@@ -333,6 +403,10 @@ int main(int argc, char** argv) {
   std::string load_path, workload_path, dump_workload_path, bench_json_path;
   std::string connect_spec, router_spec;
   std::string manifest_path, save_manifest_path;
+  std::string data_dir, acked_file, oracle_docs_path;
+  size_t ingest_count = 0;
+  bool mutable_mode = false;
+  approxql::storage::StoreKind store_kind = approxql::storage::StoreKind::kMem;
   size_t clients = 8, passes = 2, repeat = 1;
   size_t gen_data = 0, gen_queries = 0, seed = 42;
   size_t shards = 1;
@@ -415,6 +489,28 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       save_manifest_path = v;
+    } else if (arg == "--store") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      auto kind = approxql::storage::ParseStoreKind(v);
+      if (!kind.ok()) return Usage();
+      store_kind = *kind;
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      data_dir = v;
+    } else if (arg == "--mutable") {
+      mutable_mode = true;
+    } else if (arg == "--ingest") {
+      if (!next_num(&ingest_count) || ingest_count == 0) return Usage();
+    } else if (arg == "--acked-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      acked_file = v;
+    } else if (arg == "--oracle-docs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      oracle_docs_path = v;
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--bypass-cache") {
@@ -474,10 +570,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--manifest needs --router (and no corpus role)\n");
     return Usage();
   }
+  // A mutable server owns its corpus directory; it is not a shard
+  // server, a router, or a static-corpus role.
+  if (mutable_mode &&
+      (!listen_mode || shard_server_mode || router_mode || data_dir.empty())) {
+    std::fprintf(stderr,
+                 "--mutable needs --listen and --data-dir (and no "
+                 "--shard-server/--router)\n");
+    return Usage();
+  }
+  if (ingest_count > 0 && !connect_mode) {
+    std::fprintf(stderr, "--ingest needs --connect\n");
+    return Usage();
+  }
+  if (store_kind == approxql::storage::StoreKind::kDisk && data_dir.empty()) {
+    std::fprintf(stderr, "--store disk needs --data-dir\n");
+    return Usage();
+  }
   // Serving needs no workload; replay modes need one (from a file or
-  // the generator). A pure --save-manifest run needs neither.
+  // the generator). A pure --save-manifest run, and the ingest driver,
+  // need neither.
   if (!listen_mode && workload_path.empty() && gen_queries == 0 &&
-      save_manifest_path.empty()) {
+      save_manifest_path.empty() && ingest_count == 0) {
     return Usage();
   }
 
@@ -516,11 +630,54 @@ int main(int argc, char** argv) {
   // workload, and to verify wire answers — a pure wire replay from a
   // workload file, and a router host fed by --manifest, are the modes
   // without.
-  const bool needs_db = gen_queries > 0 || verify ||
-                        (!manifest_mode && (listen_mode || !connect_mode));
+  const bool needs_db =
+      gen_queries > 0 || verify || !oracle_docs_path.empty() ||
+      (!manifest_mode && !mutable_mode &&
+       (listen_mode || (!connect_mode && ingest_count == 0)));
   std::unique_ptr<Database> db;
   if (needs_db) {
-    if (!load_path.empty()) {
+    if (!oracle_docs_path.empty()) {
+      // The crash-recovery oracle: exactly the documents the ingest
+      // driver got acks for, in ack order. Concatenating them under one
+      // super-root reproduces the server's global preorder ids (the
+      // mutable corpus assigns global_start sequentially in ack order,
+      // independent of shard placement), so roots and costs compare
+      // bit-for-bit.
+      std::ifstream in(oracle_docs_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", oracle_docs_path.c_str());
+        return 1;
+      }
+      approxql::doc::DataTreeBuilder builder;
+      std::string line;
+      size_t docs = 0;
+      while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        auto added = builder.AddDocumentXml(line);
+        if (!added.ok()) {
+          std::fprintf(stderr, "oracle-docs line %zu: %s\n", docs + 1,
+                       added.ToString().c_str());
+          return 1;
+        }
+        ++docs;
+      }
+      const approxql::cost::CostModel model = IngestCostModel(seed);
+      auto tree = std::move(builder).Build(model);
+      if (!tree.ok()) {
+        std::fprintf(stderr, "oracle-docs: %s\n",
+                     tree.status().ToString().c_str());
+        return 1;
+      }
+      auto built = Database::FromDataTree(std::move(tree).value(), model);
+      if (!built.ok()) {
+        std::fprintf(stderr, "oracle-docs: %s\n",
+                     built.status().ToString().c_str());
+        return 1;
+      }
+      db = std::make_unique<Database>(std::move(built).value());
+      std::fprintf(stderr, "oracle: %zu documents from %s\n", docs,
+                   oracle_docs_path.c_str());
+    } else if (!load_path.empty()) {
       auto loaded = Database::Load(load_path);
       if (!loaded.ok()) {
         std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
@@ -629,8 +786,25 @@ int main(int argc, char** argv) {
   std::unique_ptr<ShardedDatabase> sharded;
   if (db != nullptr && (shards > 1 || shard_server_mode || router_mode ||
                         !save_manifest_path.empty())) {
-    auto partitioned =
-        ShardedDatabase::Partition(db->tree(), db->cost_model(), shards);
+    // --store disk backs each shard's postings with a B+tree file under
+    // --data-dir; the default keeps them in memory.
+    approxql::storage::StoreFactory store_factory = nullptr;
+    if (store_kind == approxql::storage::StoreKind::kDisk && !mutable_mode) {
+      std::error_code ec;
+      std::filesystem::create_directories(data_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "cannot create %s: %s\n", data_dir.c_str(),
+                     ec.message().c_str());
+        return 1;
+      }
+      store_factory = [kind = store_kind, dir = data_dir](
+                          const std::string& stem) {
+        return approxql::storage::CreateKvStore(kind, dir + "/" + stem + ".kv",
+                                                /*create_if_missing=*/true);
+      };
+    }
+    auto partitioned = ShardedDatabase::Partition(
+        db->tree(), db->cost_model(), shards, std::move(store_factory));
     if (!partitioned.ok()) {
       std::fprintf(stderr, "shard: %s\n",
                    partitioned.status().ToString().c_str());
@@ -711,11 +885,42 @@ int main(int argc, char** argv) {
   }
 
   if (listen_mode) {
+    // Declared before service/server so it outlives them (destruction
+    // runs a final checkpoint).
+    std::unique_ptr<approxql::ingest::MutableCorpus> corpus;
     std::unique_ptr<QueryService> service;
     ServerOptions server_options;
     server_options.port = static_cast<uint16_t>(listen_port);
     std::unique_ptr<Server> server;
-    if (shard_server_mode) {
+    if (mutable_mode) {
+      approxql::ingest::MutableCorpus::Options corpus_options;
+      corpus_options.data_dir = data_dir;
+      corpus_options.num_shards = shards;
+      corpus_options.store_kind = store_kind;
+      corpus_options.model = IngestCostModel(seed);
+      approxql::ingest::MutableCorpus::OpenStats open_stats;
+      auto opened = approxql::ingest::MutableCorpus::Open(
+          std::move(corpus_options), nullptr, &open_stats);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "mutable corpus: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      corpus = std::move(opened).value();
+      std::fprintf(stderr,
+                   "mutable corpus: recovered %zu documents "
+                   "(%zu wal records replayed%s%s), epoch %llu, "
+                   "%zu shard%s, store %s, dir %s\n",
+                   open_stats.recovered_documents, open_stats.replayed_records,
+                   open_stats.any_tail_truncated ? ", torn tail dropped" : "",
+                   open_stats.any_store_rebuilt ? ", store rebuilt" : "",
+                   static_cast<unsigned long long>(corpus->epoch()), shards,
+                   shards == 1 ? "" : "s",
+                   approxql::storage::StoreKindName(store_kind),
+                   data_dir.c_str());
+      service = std::make_unique<QueryService>(*corpus, service_options);
+      server = std::make_unique<Server>(*service, *corpus, server_options);
+    } else if (shard_server_mode) {
       // This process fronts exactly one shard of the partition: plain
       // kQueryRequest traffic runs against the shard's own database,
       // while kShardQuery/kPing answers carry the layout fingerprint
@@ -760,7 +965,9 @@ int main(int argc, char** argv) {
                    server_options.bind_address.c_str(), server->port(),
                    service_options.num_threads, service_options.queue_capacity,
                    shards, shards == 1 ? "" : "s",
-                   router != nullptr ? ", remote" : "");
+                   router != nullptr      ? ", remote"
+                   : corpus != nullptr    ? ", mutable"
+                                          : "");
     }
     server->Wait();  // returns when a drain signal quiesces the loop
     g_server = nullptr;
@@ -782,6 +989,100 @@ int main(int argc, char** argv) {
     const size_t port = std::strtoull(connect_spec.c_str() + colon + 1,
                                       nullptr, 10);
     if (port == 0 || port > 65535) return Usage();
+
+    if (ingest_count > 0) {
+      // Live-ingest driver: one synchronous connection adding generated
+      // documents, optionally interleaving workload queries so serving-
+      // while-ingesting is exercised on the same socket. The server
+      // dying mid-stream (the crash harness's kill -9) is an expected
+      // outcome: whatever was acked before the failure is the durable
+      // set, recorded to --acked-file; the document in flight at the
+      // failure is IN DOUBT (its WAL sync may have happened without the
+      // ack reaching us) and goes to --acked-file.indoubt.
+      ClientOptions client_options;
+      client_options.host = host;
+      client_options.port = static_cast<uint16_t>(port);
+      Client client(client_options);
+      approxql::util::Rng doc_rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+      std::vector<std::string> acked;
+      std::string indoubt;
+      size_t rejected = 0, queries_sent = 0;
+      uint64_t last_epoch = 0;
+      bool transport_error = false;
+      approxql::util::WallTimer timer;
+      for (size_t i = 0; i < ingest_count; ++i) {
+        approxql::net::WireIngest op;
+        op.op = approxql::net::WireIngest::Op::kAdd;
+        op.xml = MakeIngestDoc(doc_rng);
+        auto ack = client.Ingest(op, deadline_ms);
+        if (!ack.ok()) {
+          const auto& status = ack.status();
+          if (status.code() == approxql::util::StatusCode::kIoError ||
+              status.IsUnavailable() || status.IsCorruption() ||
+              status.IsDeadlineExceeded()) {
+            indoubt = op.xml;
+            transport_error = true;
+            std::fprintf(stderr,
+                         "ingest: transport error after %zu acks: %s\n",
+                         acked.size(), status.ToString().c_str());
+            break;
+          }
+          ++rejected;
+          std::fprintf(stderr, "ingest: rejected: %s\n",
+                       status.ToString().c_str());
+          continue;
+        }
+        acked.push_back(std::move(op.xml));
+        last_epoch = ack->epoch;
+        if (!workload_queries.empty() && (i + 1) % 8 == 0) {
+          WireRequest request;
+          request.query =
+              workload_queries[queries_sent++ % workload_queries.size()];
+          request.strategy = exec.strategy;
+          request.n = exec.n;
+          auto response = client.Call(request, deadline_ms);
+          // The ack promised visibility: a response evaluated against
+          // an older epoch on the same connection breaks it.
+          if (response.ok() && response->backend_epoch < last_epoch) {
+            std::fprintf(stderr,
+                         "FAILED: query after ack saw epoch %llu < %llu\n",
+                         static_cast<unsigned long long>(
+                             response->backend_epoch),
+                         static_cast<unsigned long long>(last_epoch));
+            return 1;
+          }
+        }
+        if ((i + 1) % 100 == 0) {
+          std::fprintf(stderr, "ingest: %zu acked, epoch %llu\n",
+                       acked.size(),
+                       static_cast<unsigned long long>(last_epoch));
+        }
+      }
+      const double wall = timer.ElapsedSeconds();
+      std::printf(
+          "ingest: %zu/%zu acked in %.3f s (%.0f docs/s), %zu rejected, "
+          "%zu interleaved queries, final epoch %llu%s\n",
+          acked.size(), ingest_count, wall,
+          wall > 0 ? static_cast<double>(acked.size()) / wall : 0.0, rejected,
+          queries_sent, static_cast<unsigned long long>(last_epoch),
+          transport_error ? " (server lost mid-stream)" : "");
+      if (!acked_file.empty()) {
+        std::ofstream out(acked_file);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", acked_file.c_str());
+          return 1;
+        }
+        for (const std::string& xml : acked) out << xml << "\n";
+        out.close();
+        std::ofstream doubt(acked_file + ".indoubt");
+        if (!indoubt.empty()) doubt << indoubt << "\n";
+        std::fprintf(stderr, "wrote %zu acked docs to %s (%zu in doubt)\n",
+                     acked.size(), acked_file.c_str(),
+                     indoubt.empty() ? size_t{0} : size_t{1});
+      }
+      if (acked.empty() || rejected > 0) return 1;
+      return 0;
+    }
 
     std::unique_ptr<QueryService> oracle;
     if (verify) {

@@ -122,4 +122,38 @@ void RemoteShardBackend::CallPing(int deadline_ms, PongCallback done) {
       });
 }
 
+void RemoteShardBackend::CallIngest(const net::WireIngest& ingest,
+                                    int deadline_ms, IngestCallback done) {
+  client_.Call(
+      net::MessageType::kIngest, net::EncodeIngest(ingest), deadline_ms,
+      [this, done = std::move(done)](
+          util::Result<std::pair<net::FrameHeader, std::string>> reply) {
+        // No CheckReply: acks have no fingerprint/shard stamp to verify.
+        if (!reply.ok()) {
+          RecordOutcome(false);
+          done(reply.status());
+          return;
+        }
+        if (reply->first.type !=
+            static_cast<uint32_t>(net::MessageType::kIngestAck)) {
+          RecordOutcome(false);
+          done(util::Status::Internal(
+              endpoint() + " is not serving ingest (reply type " +
+              std::to_string(reply->first.type) + ")"));
+          return;
+        }
+        net::WireIngestAck ack;
+        util::Status decoded = net::DecodeIngestAck(reply->second, &ack);
+        if (!decoded.ok()) {
+          RecordOutcome(false);
+          done(decoded);
+          return;
+        }
+        // Any well-formed ack proves the server is alive; a rejected
+        // mutation (bad XML, unknown doc) is not a health signal.
+        RecordOutcome(true);
+        done(ack);
+      });
+}
+
 }  // namespace approxql::dist

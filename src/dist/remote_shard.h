@@ -71,6 +71,15 @@ class RemoteShardBackend {
   using PongCallback = std::function<void(util::Result<net::WirePong>)>;
   void CallPing(int deadline_ms, PongCallback done);
 
+  /// One ingest mutation against a mutable shard server. Same callback/
+  /// threading rules as CallShardQuery. Acks carry no layout
+  /// fingerprint (a mutable corpus's layout changes with every ingest),
+  /// so only the frame type and decode are verified; a non-OK ack
+  /// status comes back inside the WireIngestAck, not as an error.
+  using IngestCallback = std::function<void(util::Result<net::WireIngestAck>)>;
+  void CallIngest(const net::WireIngest& ingest, int deadline_ms,
+                  IngestCallback done);
+
   ShardHealth health() const;
   /// Feeds the state machine directly (the Call* paths do it for their
   /// own outcomes; the router adds query-level signals like a shard

@@ -1,6 +1,7 @@
 #include "dist/shard_router.h"
 
 #include <algorithm>
+#include <future>
 #include <utility>
 
 #include "engine/list_ops.h"
@@ -97,6 +98,8 @@ ShardRouter::ShardRouter(shard::LayoutManifest manifest, RouterOptions options)
       health_pings_(metrics_.RegisterCounter("dist_health_pings")),
       health_ping_failures_(
           metrics_.RegisterCounter("dist_health_ping_failures")),
+      ingest_calls_(metrics_.RegisterCounter("dist_ingest_calls")),
+      ingest_failures_(metrics_.RegisterCounter("dist_ingest_failures")),
       shards_up_(metrics_.RegisterGauge("dist_shards_up")),
       shards_down_(metrics_.RegisterGauge("dist_shards_down")),
       scatter_us_(metrics_.RegisterHistogram("dist_scatter_us")) {
@@ -113,6 +116,10 @@ ShardRouter::ShardRouter(shard::LayoutManifest manifest, RouterOptions options)
         static_cast<uint32_t>(i), std::move(shard)));
   }
   shards_up_->Set(static_cast<int64_t>(backends_.size()));
+  {
+    util::MutexLock lock(&ingest_mu_);
+    ingest_docs_.assign(backends_.size(), 0);
+  }
 }
 
 ShardRouter::~ShardRouter() { Shutdown(); }
@@ -492,6 +499,89 @@ void ShardRouter::HealthLoop() {
   health_mu_.Unlock();
 }
 
+util::Result<net::WireIngestAck> ShardRouter::Ingest(
+    const net::WireIngest& ingest, int64_t deadline_ms) {
+  if (backends_.empty()) {
+    return util::Status::InvalidArgument("router has no shard endpoints");
+  }
+  ingest_calls_->Increment();
+  const int attempt_deadline = deadline_ms > 0
+                                   ? static_cast<int>(deadline_ms)
+                                   : options_.attempt_deadline_ms;
+
+  // Ingest is synchronous end to end (the shard acks only after fsync),
+  // so one blocking round trip per attempt is the honest shape — no
+  // scatter, no retries (a resent add is a duplicate document).
+  auto call_one = [&](size_t i) -> util::Result<net::WireIngestAck> {
+    auto done =
+        std::make_shared<std::promise<util::Result<net::WireIngestAck>>>();
+    std::future<util::Result<net::WireIngestAck>> reply = done->get_future();
+    backends_[i]->CallIngest(
+        ingest, attempt_deadline,
+        [done](util::Result<net::WireIngestAck> ack) {
+          done->set_value(std::move(ack));
+        });
+    return reply.get();
+  };
+
+  if (ingest.op == net::WireIngest::Op::kAdd) {
+    size_t target;
+    {
+      // Fewest router-acked documents, ties to the lowest index — the
+      // same argmin rule MutableCorpus applies in process, so a single
+      // router driving fresh shards reproduces in-process placement.
+      util::MutexLock lock(&ingest_mu_);
+      target = static_cast<size_t>(
+          std::min_element(ingest_docs_.begin(), ingest_docs_.end()) -
+          ingest_docs_.begin());
+    }
+    util::Result<net::WireIngestAck> ack = call_one(target);
+    if (!ack.ok()) {
+      ingest_failures_->Increment();
+      return ack;
+    }
+    if (ack->status_code != static_cast<uint32_t>(util::StatusCode::kOk)) {
+      ingest_failures_->Increment();
+      return util::Status(CodeOf(ack->status_code), ack->status_message);
+    }
+    {
+      util::MutexLock lock(&ingest_mu_);
+      ++ingest_docs_[target];
+    }
+    return ack;
+  }
+
+  // Remove: the router does not track which shard holds which document
+  // (acked roots live with the caller), so probe shards in index order
+  // until one answers anything but NOT_FOUND.
+  util::Status failure = util::Status::OK();
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    util::Result<net::WireIngestAck> ack = call_one(i);
+    if (!ack.ok()) {
+      // In doubt on this shard (the remove may have landed); keep
+      // probing the rest but surface the error instead of NOT_FOUND.
+      if (failure.ok()) failure = ack.status();
+      continue;
+    }
+    if (ack->status_code ==
+        static_cast<uint32_t>(util::StatusCode::kNotFound)) {
+      continue;
+    }
+    if (ack->status_code != static_cast<uint32_t>(util::StatusCode::kOk)) {
+      ingest_failures_->Increment();
+      return util::Status(CodeOf(ack->status_code), ack->status_message);
+    }
+    {
+      util::MutexLock lock(&ingest_mu_);
+      if (ingest_docs_[i] > 0) --ingest_docs_[i];
+    }
+    return ack;
+  }
+  ingest_failures_->Increment();
+  if (!failure.ok()) return failure;
+  return util::Status::NotFound("document not found on any shard");
+}
+
 std::string ShardRouter::DumpMetrics() const {
   std::string out = metrics_.DumpText();
   for (size_t i = 0; i < backends_.size(); ++i) {
@@ -503,6 +593,10 @@ std::string ShardRouter::DumpMetrics() const {
     out += prefix + "_failed " + std::to_string(stats.failed) + "\n";
     out += prefix + "_timed_out " + std::to_string(stats.timed_out) + "\n";
     out += prefix + "_reconnects " + std::to_string(stats.reconnects) + "\n";
+    {
+      util::MutexLock lock(&ingest_mu_);
+      out += prefix + "_ingested " + std::to_string(ingest_docs_[i]) + "\n";
+    }
   }
   return out;
 }

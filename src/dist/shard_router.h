@@ -127,6 +127,21 @@ class ShardRouter {
                                      engine::Strategy strategy, size_t n,
                                      int64_t deadline_ms);
 
+  /// Routes one ingest mutation and blocks for the ack. Adds go to the
+  /// shard this router has sent the fewest documents (ties to the
+  /// lowest index — matching MutableCorpus's in-process placement when
+  /// one router owns all ingest); removes are tried on each shard in
+  /// index order until one answers anything but NOT_FOUND. No retries:
+  /// a transport failure leaves the mutation in doubt (it may be
+  /// durable on the shard), so the caller must reconcile via a query
+  /// rather than blindly resend. NOTE: ingest acks carry no layout
+  /// fingerprint — the mutable corpus's layout moves with every ingest,
+  /// so this router's static manifest does NOT translate the mutated
+  /// corpus's answers; Ingest is for driving mutable shard servers, not
+  /// for querying them through Execute().
+  util::Result<net::WireIngestAck> Ingest(const net::WireIngest& ingest,
+                                          int64_t deadline_ms);
+
   const shard::LayoutManifest& manifest() const { return manifest_; }
   const cost::CostModel& cost_model() const { return manifest_.cost_model(); }
   uint32_t layout_fingerprint() const { return manifest_.fingerprint(); }
@@ -153,6 +168,10 @@ class ShardRouter {
   const RouterOptions options_;
   std::vector<std::unique_ptr<RemoteShardBackend>> backends_;
 
+  /// One ack'd kAdd count per shard, for least-loaded placement.
+  mutable util::Mutex ingest_mu_;
+  std::vector<uint64_t> ingest_docs_ GUARDED_BY(ingest_mu_);
+
   std::thread health_thread_;
   util::Mutex health_mu_;
   util::CondVar health_cv_;
@@ -170,6 +189,8 @@ class ShardRouter {
   service::Counter* bound_updates_;
   service::Counter* health_pings_;
   service::Counter* health_ping_failures_;
+  service::Counter* ingest_calls_;
+  service::Counter* ingest_failures_;
   service::Gauge* shards_up_;
   service::Gauge* shards_down_;
   service::LatencyHistogram* scatter_us_;

@@ -226,6 +226,51 @@ Status DataTreeBuilder::AddDocumentXml(std::string_view xml_text) {
   return xml::ParseXml(xml_text, &handler);
 }
 
+void DataTreeBuilder::AppendSubtree(const DataTree& tree,
+                                    NodeId subtree_root) {
+  std::vector<NodeId> open;  // struct nodes awaiting EndElement
+  const NodeId bound = tree.node(subtree_root).bound;
+  for (NodeId id = subtree_root; id <= bound; ++id) {
+    while (!open.empty() && tree.node(open.back()).bound < id) {
+      EndElement();
+      open.pop_back();
+    }
+    if (tree.node(id).type == NodeType::kStruct) {
+      StartElement(tree.label(id));
+      open.push_back(id);
+    } else {
+      AddWord(tree.label(id));
+    }
+  }
+  while (!open.empty()) {
+    EndElement();
+    open.pop_back();
+  }
+}
+
+Result<DataTree> DataTreeBuilder::Snapshot(const CostModel& model) const {
+  if (stack_.size() != 1) {
+    return Status::InvalidArgument("snapshot inside an open element");
+  }
+  // Serialize/Deserialize round-trip: O(n) like any copy, and reuses the
+  // single tested path that recomputes bounds and the cost encoding.
+  std::string bytes;
+  tree_.Serialize(&bytes);
+  return DataTree::Deserialize(bytes, model);
+}
+
+DataTreeBuilder DataTreeBuilder::FromTree(const DataTree& tree) {
+  DataTreeBuilder builder;
+  builder.tree_.nodes_ = tree.nodes_;
+  builder.tree_.labels_ = doc::LabelTable();
+  for (LabelId id = 0; id < tree.labels().size(); ++id) {
+    LabelId interned = builder.tree_.labels_.Intern(tree.labels().Get(id));
+    APPROXQL_CHECK(interned == id) << "label re-intern changed ids";
+  }
+  builder.stack_.assign(1, tree.root());
+  return builder;
+}
+
 Result<DataTree> DataTreeBuilder::Build(const CostModel& model) && {
   if (stack_.size() != 1) {
     return Status::InvalidArgument("unbalanced StartElement/EndElement");

@@ -133,11 +133,34 @@ class DataTreeBuilder {
   util::Status AddDocumentXml(std::string_view xml);
   void AddDocument(const xml::XmlElement& element);
 
+  /// Replays the subtree of `tree` rooted at `subtree_root` as SAX
+  /// events. Labels were normalized when `tree` was first built
+  /// (attributes are struct nodes, text is one lowercase word per node),
+  /// so the subtree is reproduced exactly.
+  void AppendSubtree(const DataTree& tree, NodeId subtree_root);
+
   size_t node_count() const { return tree_.nodes_.size(); }
+
+  /// The tree under construction. Structure (parent/label/type) is valid
+  /// for every node already added; bounds and the cost encoding are NOT
+  /// finalized — callers may only read per-node labels and types (the
+  /// incremental posting maintenance of live ingest does exactly that).
+  const DataTree& pending() const { return tree_; }
 
   /// Finalizes bounds and the encoding. The builder is consumed.
   /// Precondition: every StartElement has a matching EndElement.
   util::Result<DataTree> Build(const cost::CostModel& model) &&;
+
+  /// Like Build, but the builder stays usable — the backbone of live
+  /// ingest, where every accepted document produces a fresh immutable
+  /// tree while the builder keeps accumulating. Precondition: balanced
+  /// (between documents, not inside one).
+  util::Result<DataTree> Snapshot(const cost::CostModel& model) const;
+
+  /// Reconstructs a builder holding exactly the documents of `tree`, as
+  /// if they had just been added — recovery resumes ingest from a
+  /// checkpointed tree. Label ids and node ids are preserved.
+  static DataTreeBuilder FromTree(const DataTree& tree);
 
  private:
   DataTree tree_;

@@ -1,5 +1,7 @@
 #include "index/label_index.h"
 
+#include <algorithm>
+
 #include "util/varint.h"
 
 namespace approxql::index {
@@ -63,13 +65,23 @@ Result<Posting> DeserializePosting(std::string_view data) {
 
 Status LabelIndex::PersistTo(storage::KvStore* store,
                              std::string_view prefix) const {
+  // Deterministic Put order (sorted by type, label): the durable layer
+  // requires that persisting identical logical content produces an
+  // identical store + value-log layout, and unordered_map iteration
+  // order is anything but stable across processes.
   for (NodeType type : {NodeType::kStruct, NodeType::kText}) {
+    std::vector<doc::LabelId> labels;
+    labels.reserve(postings(type).size());
     for (const auto& [label, posting] : postings(type)) {
+      labels.push_back(label);
+    }
+    std::sort(labels.begin(), labels.end());
+    for (doc::LabelId label : labels) {
       std::string key(prefix);
       key.push_back(type == NodeType::kStruct ? 's' : 't');
       util::PutVarint32(&key, label);
       std::string value;
-      SerializePosting(posting, &value);
+      SerializePosting(*Fetch(type, label), &value);
       RETURN_IF_ERROR(store->Put(key, value));
     }
   }

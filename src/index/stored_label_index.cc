@@ -1,10 +1,29 @@
 #include "index/stored_label_index.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/varint.h"
 
 namespace approxql::index {
+
+void StoredLabelIndex::Preload(const LabelIndex& index) {
+  util::MutexLock lock(&mu_);
+  for (NodeType type : {NodeType::kStruct, NodeType::kText}) {
+    for (const auto& [label, posting] : index.postings(type)) {
+      auto copy = std::make_unique<Posting>(posting);
+      if (node_limit_ != doc::kInvalidNode) {
+        auto cut = std::lower_bound(copy->begin(), copy->end(), node_limit_);
+        copy->erase(cut, copy->end());
+        if (copy->empty()) copy = nullptr;
+      }
+      // No overwrite: an already-cached entry was decoded from the same
+      // logical content, and queries may hold its pointer.
+      cache_.emplace(Key(type, label), std::move(copy));
+    }
+  }
+  sealed_ = true;
+}
 
 const Posting* StoredLabelIndex::Fetch(NodeType type,
                                        doc::LabelId label) const {
@@ -26,6 +45,10 @@ const Posting* StoredLabelIndex::Fetch(NodeType type,
   util::MutexLock lock(&mu_, std::adopt_lock);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second.get();
+  if (sealed_) {
+    cache_.emplace(key, nullptr);
+    return nullptr;
+  }
 
   std::string store_key(prefix_);
   store_key.push_back(type == NodeType::kStruct ? 's' : 't');
@@ -43,6 +66,15 @@ const Posting* StoredLabelIndex::Fetch(NodeType type,
     return nullptr;
   }
   auto owned = std::make_unique<Posting>(std::move(posting).value());
+  if (node_limit_ != doc::kInvalidNode) {
+    // Drop ids appended by documents ingested after this snapshot.
+    auto cut = std::lower_bound(owned->begin(), owned->end(), node_limit_);
+    owned->erase(cut, owned->end());
+    if (owned->empty()) {
+      cache_.emplace(key, nullptr);
+      return nullptr;
+    }
+  }
   const Posting* raw = owned.get();
   cache_.emplace(key, std::move(owned));
   return raw;

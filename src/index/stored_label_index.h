@@ -21,8 +21,24 @@ class StoredLabelIndex : public PostingSource {
  public:
   /// Reads postings persisted by LabelIndex::PersistTo(store, prefix).
   /// The store must outlive this object.
-  StoredLabelIndex(const storage::KvStore* store, std::string prefix)
-      : store_(store), prefix_(std::move(prefix)) {}
+  ///
+  /// `node_limit` bounds what this index can see: decoded postings are
+  /// truncated to ids strictly below it (kInvalidNode = unbounded).
+  /// Snapshot isolation for live ingest rests on it — appending a
+  /// document only ever appends ids >= the old tree size to stored
+  /// postings, so an older snapshot reading the same store through its
+  /// own limit reproduces exactly the postings it was built over.
+  StoredLabelIndex(const storage::KvStore* store, std::string prefix,
+                   doc::NodeId node_limit = doc::kInvalidNode)
+      : store_(store), prefix_(std::move(prefix)), node_limit_(node_limit) {}
+
+  /// Copies every posting of `index` (truncated to the node limit) into
+  /// the cache and seals this object: later cache misses return nullptr
+  /// instead of touching the store. Document removal renumbers node ids
+  /// and rewrites stored postings in place, which truncation cannot mask
+  /// — live snapshots are preloaded first so they never read the store
+  /// again. Postings already cached keep their (stable) pointers.
+  void Preload(const LabelIndex& index);
 
   /// Fetches from the cache or the store. Unknown labels and postings
   /// that fail to decode return nullptr (a decode failure is also
@@ -71,6 +87,7 @@ class StoredLabelIndex : public PostingSource {
 
   const storage::KvStore* store_;
   std::string prefix_;
+  doc::NodeId node_limit_;
   // Guards the lazy cache: Fetch is const but materializes postings on
   // first use, and concurrent Execute calls share one index. Returned
   // Posting pointers stay stable outside the lock because entries are
@@ -82,6 +99,7 @@ class StoredLabelIndex : public PostingSource {
   // is what lets Fetch hand out stable Posting pointers.
   mutable std::unordered_map<uint64_t, std::unique_ptr<Posting>> cache_
       GUARDED_BY(mu_);
+  mutable bool sealed_ GUARDED_BY(mu_) = false;
   mutable size_t corrupt_fetches_ GUARDED_BY(mu_) = 0;
   mutable uint64_t lock_waits_ GUARDED_BY(mu_) = 0;
   mutable uint64_t lock_wait_us_ GUARDED_BY(mu_) = 0;

@@ -1,0 +1,387 @@
+#include "ingest/mutable_corpus.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "engine/database.h"
+#include "storage/wal/log_format.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "util/varint.h"
+
+namespace approxql::ingest {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr std::string_view kPostingPrefix = "ix#";
+constexpr uint32_t kMetaMagic = 0x54454d41;  // "AMET"
+
+Status WriteMetaFile(const std::string& path, std::string_view config) {
+  std::string out;
+  util::PutVarint32(&out, kMetaMagic);
+  util::PutVarint64(&out, config.size());
+  out.append(config);
+  storage::PutFixed32(&out, util::Crc32c(out));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot create " + tmp);
+  if (std::fwrite(out.data(), 1, out.size(), file) != out.size() ||
+      std::fflush(file) != 0 || ::fsync(fileno(file)) != 0) {
+    std::fclose(file);
+    return Status::IoError(tmp + ": write failed");
+  }
+  std::fclose(file);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadMetaFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::NotFound(path + ": cannot open");
+  std::string data;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    data.append(buffer, n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return Status::IoError(path + ": read failed");
+  if (data.size() < 4) return Status::Corruption(path + ": truncated");
+  const std::string_view body(data.data(), data.size() - 4);
+  if (storage::GetFixed32(data.data() + body.size()) != util::Crc32c(body)) {
+    return Status::Corruption(path + ": CRC mismatch");
+  }
+  util::VarintReader reader(body);
+  uint32_t magic = 0;
+  uint64_t config_len = 0;
+  std::string_view config;
+  RETURN_IF_ERROR(reader.GetVarint32(&magic));
+  RETURN_IF_ERROR(reader.GetVarint64(&config_len));
+  RETURN_IF_ERROR(reader.GetBytes(config_len, &config));
+  if (magic != kMetaMagic || !reader.empty()) {
+    return Status::Corruption(path + ": malformed");
+  }
+  return std::string(config);
+}
+
+}  // namespace
+
+MutableCorpus::MutableCorpus(Options options,
+                             std::shared_ptr<service::MetricsRegistry> metrics)
+    : options_(std::move(options)), metrics_(std::move(metrics)) {
+  docs_added_ = metrics_->RegisterCounter("ingest_docs_added");
+  docs_removed_ = metrics_->RegisterCounter("ingest_docs_removed");
+  ingest_rejected_ = metrics_->RegisterCounter("ingest_rejected");
+  generations_published_ =
+      metrics_->RegisterCounter("ingest_generations_published");
+  epoch_gauge_ = metrics_->RegisterGauge("ingest_epoch");
+  documents_gauge_ = metrics_->RegisterGauge("ingest_documents");
+  ingest_latency_us_ = metrics_->RegisterHistogram("ingest_latency_us");
+}
+
+std::string MutableCorpus::ConfigString() const {
+  return "shards=" + std::to_string(options_.num_shards) +
+         ";store=" + storage::StoreKindName(options_.store_kind) +
+         ";threshold=" + std::to_string(options_.inline_threshold) +
+         ";model=" + options_.model.ToConfigString();
+}
+
+Result<std::unique_ptr<MutableCorpus>> MutableCorpus::Open(
+    Options options, std::shared_ptr<service::MetricsRegistry> metrics,
+    OpenStats* stats_out) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.data_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + options.data_dir + ": " +
+                           ec.message());
+  }
+  if (metrics == nullptr) {
+    metrics = std::make_shared<service::MetricsRegistry>();
+  }
+  std::unique_ptr<MutableCorpus> corpus(
+      new MutableCorpus(std::move(options), std::move(metrics)));
+
+  const std::string meta_path = corpus->options_.data_dir + "/corpus.meta";
+  auto stored = ReadMetaFile(meta_path);
+  if (stored.ok()) {
+    if (*stored != corpus->ConfigString()) {
+      return Status::Corruption("corpus.meta mismatch: directory was created "
+                                "with \"" +
+                                *stored + "\", reopened with \"" +
+                                corpus->ConfigString() + "\"");
+    }
+  } else if (stored.status().IsNotFound()) {
+    RETURN_IF_ERROR(WriteMetaFile(meta_path, corpus->ConfigString()));
+  } else {
+    return stored.status();
+  }
+
+  // Recover all shards in parallel — WAL replay re-parses every logged
+  // document, so recovery of a large corpus is CPU-bound.
+  const size_t n = corpus->options_.num_shards;
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<std::unique_ptr<DurableShard>> opened(n);
+  std::vector<DurableShard::OpenStats> shard_stats(n);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        DurableShard::Options shard_options;
+        shard_options.data_dir = corpus->options_.data_dir;
+        shard_options.shard_index = i;
+        shard_options.store_kind = corpus->options_.store_kind;
+        shard_options.model = corpus->options_.model;
+        shard_options.inline_threshold = corpus->options_.inline_threshold;
+        auto result =
+            DurableShard::Open(std::move(shard_options), &shard_stats[i]);
+        if (result.ok()) {
+          opened[i] = std::move(result).value();
+        } else {
+          statuses[i] = result.status();
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (size_t i = 0; i < n; ++i) RETURN_IF_ERROR(statuses[i]);
+
+  util::MutexLock lock(&corpus->ingest_mu_);
+  corpus->shards_ = std::move(opened);
+  for (const auto& shard : corpus->shards_) {
+    for (const shard::DocSpan& span : shard->spans()) {
+      corpus->next_global_ = std::max(
+          corpus->next_global_, span.global_start + span.length);
+    }
+  }
+  if (stats_out != nullptr) {
+    *stats_out = OpenStats();
+    for (const DurableShard::OpenStats& s : shard_stats) {
+      stats_out->recovered_documents += s.recovered_documents;
+      stats_out->replayed_records += s.replayed_records;
+      stats_out->any_tail_truncated |= s.wal_tail_truncated;
+      stats_out->any_store_rebuilt |= s.store_rebuilt;
+    }
+  }
+  RETURN_IF_ERROR(corpus->PublishGeneration(SIZE_MAX));
+  return corpus;
+}
+
+Result<std::shared_ptr<shard::ShardedDatabase::Shard>>
+MutableCorpus::BuildShardView(size_t shard_index) {
+  DurableShard& durable = *shards_[shard_index];
+  ASSIGN_OR_RETURN(doc::DataTree tree, durable.SnapshotTree());
+  const doc::NodeId node_limit = static_cast<doc::NodeId>(tree.size());
+  ASSIGN_OR_RETURN(engine::Database db, engine::Database::FromDataTree(
+                                            std::move(tree), options_.model));
+  auto shard =
+      std::make_shared<shard::ShardedDatabase::Shard>(std::move(db));
+  shard->store = durable.store();
+  // The node limit hides postings appended by documents ingested after
+  // this snapshot — the store is shared with future generations.
+  shard->postings = std::make_unique<index::StoredLabelIndex>(
+      shard->store.get(), std::string(kPostingPrefix), node_limit);
+  shard->spans = durable.spans();
+  return shard;
+}
+
+Status MutableCorpus::PublishGeneration(size_t mutated_shard) {
+  std::shared_ptr<const shard::ShardedDatabase> previous;
+  {
+    util::MutexLock lock(&snap_mu_);
+    previous = current_;
+  }
+  std::vector<std::shared_ptr<shard::ShardedDatabase::Shard>> shards;
+  shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (previous != nullptr && mutated_shard != SIZE_MAX &&
+        i != mutated_shard) {
+      shards.push_back(previous->shards_[i]);
+    } else {
+      ASSIGN_OR_RETURN(std::shared_ptr<shard::ShardedDatabase::Shard> shard,
+                       BuildShardView(i));
+      shards.push_back(std::move(shard));
+    }
+  }
+  uint64_t epoch = 0;
+  for (const auto& shard : shards_) epoch += shard->last_seq();
+  ASSIGN_OR_RETURN(shard::ShardedDatabase assembled,
+                   shard::ShardedDatabase::AssembleFromShards(
+                       std::move(shards), options_.model, metrics_, epoch));
+  auto generation = std::make_shared<const shard::ShardedDatabase>(
+      std::move(assembled));
+
+  // Compact the live-generation list while registering the new one.
+  live_.erase(std::remove_if(live_.begin(), live_.end(),
+                             [](const auto& weak) { return weak.expired(); }),
+              live_.end());
+  live_.push_back(generation);
+  {
+    util::MutexLock lock(&snap_mu_);
+    current_ = std::move(generation);
+  }
+  generations_published_->Increment();
+  epoch_gauge_->Set(static_cast<int64_t>(epoch));
+  size_t documents = 0;
+  for (const auto& shard : shards_) documents += shard->spans().size();
+  documents_gauge_->Set(static_cast<int64_t>(documents));
+  return Status::OK();
+}
+
+void MutableCorpus::PreloadLiveGenerations(size_t shard_index) {
+  std::set<shard::ShardedDatabase::Shard*> sealed;
+  for (const auto& weak : live_) {
+    std::shared_ptr<const shard::ShardedDatabase> generation = weak.lock();
+    if (generation == nullptr) continue;
+    shard::ShardedDatabase::Shard* shard =
+        generation->shards_[shard_index].get();
+    if (!sealed.insert(shard).second) continue;  // shared across generations
+    shard->postings->Preload(shard->db.label_index());
+  }
+}
+
+Result<MutableCorpus::IngestResult> MutableCorpus::AddDocument(
+    std::string_view xml) {
+  util::WallTimer timer;
+  util::MutexLock lock(&ingest_mu_);
+  if (abandoned_) {
+    return Status::Unavailable("corpus abandoned; ingest rejected");
+  }
+  // Fewest documents, ties to the lowest index: recomputable from
+  // recovered state, so placement survives crashes without a log of its
+  // own.
+  size_t target = 0;
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    if (shards_[i]->spans().size() < shards_[target]->spans().size()) {
+      target = i;
+    }
+  }
+  const doc::NodeId global_start = next_global_;
+  auto added = shards_[target]->AddDocument(xml, global_start);
+  if (!added.ok()) {
+    ingest_rejected_->Increment();
+    return added.status();
+  }
+  next_global_ = global_start + added->span.length;
+  RETURN_IF_ERROR(PublishGeneration(target));
+  docs_added_->Increment();
+  ingest_latency_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+
+  IngestResult result;
+  result.seq = added->seq;
+  result.epoch = static_cast<uint64_t>(epoch_gauge_->Value());
+  result.doc_root = global_start;
+  result.shard_index = static_cast<uint32_t>(target);
+  result.length = added->span.length;
+  return result;
+}
+
+Result<MutableCorpus::IngestResult> MutableCorpus::RemoveDocument(
+    doc::NodeId doc_root) {
+  util::WallTimer timer;
+  util::MutexLock lock(&ingest_mu_);
+  if (abandoned_) {
+    return Status::Unavailable("corpus abandoned; ingest rejected");
+  }
+  size_t target = shards_.size();
+  uint32_t length = 0;
+  for (size_t i = 0; i < shards_.size() && target == shards_.size(); ++i) {
+    for (const shard::DocSpan& span : shards_[i]->spans()) {
+      if (span.global_start == doc_root) {
+        target = i;
+        length = span.length;
+        break;
+      }
+    }
+  }
+  if (target == shards_.size()) {
+    return Status::NotFound("no document with global root " +
+                            std::to_string(doc_root));
+  }
+  // The remove rewrites the shard's postings in place; live snapshots
+  // must stop reading the store for this shard first.
+  PreloadLiveGenerations(target);
+  auto removed = shards_[target]->RemoveDocument(doc_root);
+  if (!removed.ok()) {
+    ingest_rejected_->Increment();
+    return removed.status();
+  }
+  RETURN_IF_ERROR(PublishGeneration(target));
+  docs_removed_->Increment();
+  ingest_latency_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+
+  IngestResult result;
+  result.seq = *removed;
+  result.epoch = static_cast<uint64_t>(epoch_gauge_->Value());
+  result.doc_root = doc_root;
+  result.shard_index = static_cast<uint32_t>(target);
+  result.length = length;
+  return result;
+}
+
+std::shared_ptr<const shard::ShardedDatabase> MutableCorpus::snapshot() const {
+  util::MutexLock lock(&snap_mu_);
+  return current_;
+}
+
+uint64_t MutableCorpus::epoch() const { return snapshot()->epoch(); }
+
+size_t MutableCorpus::document_count() const {
+  util::MutexLock lock(&ingest_mu_);
+  size_t documents = 0;
+  for (const auto& shard : shards_) documents += shard->spans().size();
+  return documents;
+}
+
+Status MutableCorpus::Checkpoint() {
+  util::MutexLock lock(&ingest_mu_);
+  if (abandoned_) {
+    return Status::Unavailable("corpus abandoned; checkpoint rejected");
+  }
+  for (const auto& shard : shards_) {
+    RETURN_IF_ERROR(shard->Checkpoint());
+  }
+  return Status::OK();
+}
+
+void MutableCorpus::Abandon() {
+  util::MutexLock lock(&ingest_mu_);
+  abandoned_ = true;
+  for (const auto& shard : shards_) shard->Abandon();
+}
+
+std::vector<MutableCorpus::ShardStatus> MutableCorpus::ShardStatuses() const {
+  util::MutexLock lock(&ingest_mu_);
+  std::vector<ShardStatus> statuses;
+  statuses.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStatus status;
+    status.documents = shard->spans().size();
+    status.last_seq = shard->last_seq();
+    status.wal_bytes = shard->wal_size_bytes();
+    status.vlog_bytes = shard->vlog_size();
+    status.generation = shard->generation();
+    status.poisoned = shard->poisoned();
+    statuses.push_back(status);
+  }
+  return statuses;
+}
+
+}  // namespace approxql::ingest

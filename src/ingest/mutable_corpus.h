@@ -1,0 +1,177 @@
+// A mutable sharded corpus: N DurableShards behind a serialized ingest
+// path, published to readers as immutable ShardedDatabase generations.
+//
+// Readers call snapshot() and run queries against the returned
+// generation for as long as they like; every accepted mutation builds a
+// new generation copy-on-write (only the mutated shard's engine state
+// is rebuilt — unmutated shards are shared by pointer) and swaps it in.
+// Snapshot isolation is enforced by the StoredLabelIndex node limit on
+// the read side: postings appended by later documents are invisible to
+// older generations. Removals rewrite postings in place, so before a
+// remove every still-live generation's view of the affected shard is
+// preloaded into its cache and sealed.
+//
+// Placement: a new document goes to the shard with the fewest documents
+// (ties to the lowest index). The rule is recomputable from recovered
+// state alone, and answers are placement-independent (the partition-
+// equivalence contract), so recovery does not need to remember any
+// arrival ordering beyond the global ids themselves.
+//
+// Epoch: the sum of the shards' durable WAL sequence numbers. Every
+// acknowledged mutation moves it; it salts the generation's layout
+// fingerprint, so result caches keyed by fingerprint never cross
+// corpus states.
+#ifndef APPROXQL_INGEST_MUTABLE_CORPUS_H_
+#define APPROXQL_INGEST_MUTABLE_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "doc/data_tree.h"
+#include "ingest/durable_shard.h"
+#include "service/metrics.h"
+#include "shard/sharded_database.h"
+#include "storage/kv_factory.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace approxql::ingest {
+
+class MutableCorpus {
+ public:
+  struct Options {
+    std::string data_dir;
+    size_t num_shards = 1;
+    storage::StoreKind store_kind = storage::StoreKind::kMem;
+    cost::CostModel model;
+    size_t inline_threshold = storage::kDefaultInlineThreshold;
+  };
+
+  struct OpenStats {
+    size_t recovered_documents = 0;
+    size_t replayed_records = 0;
+    bool any_tail_truncated = false;
+    bool any_store_rebuilt = false;
+  };
+
+  /// Opens (or creates) the corpus under `data_dir`, recovering every
+  /// shard (in parallel) and publishing the first generation. A corpus
+  /// directory remembers its configuration (corpus.meta) and refuses to
+  /// open under a different one. `metrics` may be shared with a serving
+  /// QueryService; pass nullptr for a private registry.
+  static util::Result<std::unique_ptr<MutableCorpus>> Open(
+      Options options,
+      std::shared_ptr<service::MetricsRegistry> metrics = nullptr,
+      OpenStats* stats_out = nullptr);
+
+  MutableCorpus(const MutableCorpus&) = delete;
+  MutableCorpus& operator=(const MutableCorpus&) = delete;
+
+  struct IngestResult {
+    uint64_t seq = 0;       // durable sequence number on the owning shard
+    uint64_t epoch = 0;     // corpus epoch after the mutation
+    doc::NodeId doc_root = 0;  // the document's global root id
+    uint32_t shard_index = 0;
+    uint32_t length = 0;    // nodes in the document subtree
+  };
+
+  /// Ingests one XML document. Returns only after the mutation is
+  /// durable (WAL synced) and the new generation is visible to
+  /// snapshot(). Safe to call concurrently with queries; concurrent
+  /// ingest calls are serialized internally.
+  util::Result<IngestResult> AddDocument(std::string_view xml);
+
+  /// Removes the document whose global root id is `doc_root` (as
+  /// returned by AddDocument, or ShardedDatabase::DocRootOf on an
+  /// answer). The id stays a permanent hole in the global id space.
+  util::Result<IngestResult> RemoveDocument(doc::NodeId doc_root);
+
+  /// The current generation. Never null; holding the pointer keeps the
+  /// generation (and everything its queries touch) alive.
+  std::shared_ptr<const shard::ShardedDatabase> snapshot() const;
+
+  /// Current corpus epoch (Σ per-shard durable sequence numbers).
+  uint64_t epoch() const;
+
+  /// Documents across all shards.
+  size_t document_count() const;
+
+  /// Checkpoints every shard: postings rebuilt as fresh store
+  /// generations, WALs truncated. Queries keep running throughout.
+  util::Status Checkpoint();
+
+  /// Crash simulation: every shard drops its unflushed buffers and the
+  /// corpus stops accepting mutations. What fsync made durable stays.
+  void Abandon();
+
+  struct ShardStatus {
+    size_t documents = 0;
+    uint64_t last_seq = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t vlog_bytes = 0;
+    uint64_t generation = 0;
+    bool poisoned = false;
+  };
+  std::vector<ShardStatus> ShardStatuses() const;
+
+  const Options& options() const { return options_; }
+  const std::shared_ptr<service::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  explicit MutableCorpus(Options options,
+                         std::shared_ptr<service::MetricsRegistry> metrics);
+
+  std::string ConfigString() const;
+
+  /// Builds and publishes a generation. `mutated_shard` < num_shards
+  /// rebuilds only that shard's engine state reusing the rest from the
+  /// previous generation; SIZE_MAX (first open) builds all of them.
+  util::Status PublishGeneration(size_t mutated_shard)
+      REQUIRES(ingest_mu_);
+
+  /// Builds one reader-side Shard from the durable shard's current
+  /// state (tree snapshot + store view limited to the snapshot size).
+  util::Result<std::shared_ptr<shard::ShardedDatabase::Shard>> BuildShardView(
+      size_t shard_index) REQUIRES(ingest_mu_);
+
+  /// Seals the view of shard `shard_index` in every still-live
+  /// generation by preloading its posting cache (removals rewrite
+  /// postings in place; see StoredLabelIndex::Preload).
+  void PreloadLiveGenerations(size_t shard_index)
+      REQUIRES(ingest_mu_);
+
+  const Options options_;
+  std::shared_ptr<service::MetricsRegistry> metrics_;
+
+  /// Serializes mutations and guards all durable state.
+  mutable util::Mutex ingest_mu_;
+  std::vector<std::unique_ptr<DurableShard>> shards_ GUARDED_BY(ingest_mu_);
+  doc::NodeId next_global_ GUARDED_BY(ingest_mu_) = 1;  // super-root is 0
+  std::vector<std::weak_ptr<const shard::ShardedDatabase>> live_
+      GUARDED_BY(ingest_mu_);
+  bool abandoned_ GUARDED_BY(ingest_mu_) = false;
+
+  /// Publication point: ingest writes under both mutexes, readers take
+  /// only this one.
+  mutable util::Mutex snap_mu_;
+  std::shared_ptr<const shard::ShardedDatabase> current_ GUARDED_BY(snap_mu_);
+
+  service::Counter* docs_added_ = nullptr;
+  service::Counter* docs_removed_ = nullptr;
+  service::Counter* ingest_rejected_ = nullptr;
+  service::Counter* generations_published_ = nullptr;
+  service::Gauge* epoch_gauge_ = nullptr;
+  service::Gauge* documents_gauge_ = nullptr;
+  service::LatencyHistogram* ingest_latency_us_ = nullptr;
+};
+
+}  // namespace approxql::ingest
+
+#endif  // APPROXQL_INGEST_MUTABLE_CORPUS_H_

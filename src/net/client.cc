@@ -201,6 +201,32 @@ util::Result<WireResponse> Client::Call(const WireRequest& request,
   return response;
 }
 
+util::Result<WireIngestAck> Client::Ingest(const WireIngest& ingest,
+                                           int deadline_ms) {
+  ASSIGN_OR_RETURN(auto frame, RoundTrip(MessageType::kIngest,
+                                         EncodeIngest(ingest), deadline_ms));
+  if (frame.first.type != static_cast<uint32_t>(MessageType::kIngestAck)) {
+    Close();
+    return util::Status::Corruption("unexpected response type " +
+                                    std::to_string(frame.first.type));
+  }
+  WireIngestAck ack;
+  util::Status decoded = DecodeIngestAck(frame.second, &ack);
+  if (!decoded.ok()) {
+    Close();
+    return decoded;
+  }
+  if (ack.status_code != static_cast<uint32_t>(util::StatusCode::kOk)) {
+    uint32_t code = ack.status_code;
+    if (code > static_cast<uint32_t>(util::StatusCode::kUnavailable)) {
+      code = static_cast<uint32_t>(util::StatusCode::kInternal);
+    }
+    return util::Status(static_cast<util::StatusCode>(code),
+                        ack.status_message);
+  }
+  return ack;
+}
+
 util::Result<std::string> Client::FetchMetrics(int deadline_ms) {
   ASSIGN_OR_RETURN(auto frame, RoundTrip(MessageType::kMetricsDump,
                                          std::string(), deadline_ms));

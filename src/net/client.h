@@ -64,6 +64,17 @@ class Client {
   /// Fetches the server's metrics dump (kMetricsDump round trip).
   util::Result<std::string> FetchMetrics(int deadline_ms = 0);
 
+  /// Sends one ingest mutation and blocks for its ack. A returned ack
+  /// means the server made the mutation durable and visible; a non-OK
+  /// ack status_code comes back as an error Status (the mutation did
+  /// NOT happen). NOTE: unlike Call(), a transport failure here is
+  /// ambiguous — the mutation may or may not have been applied (the
+  /// reconnect-once resend makes an add at-least-once, not exactly-
+  /// once), so drivers needing an exact acked set must treat transport
+  /// errors as "unknown" and reconcile via a query.
+  util::Result<WireIngestAck> Ingest(const WireIngest& ingest,
+                                     int deadline_ms = 0);
+
   /// Times this client re-established a connection found dead at send
   /// time (the reconnect-once path in Call).
   uint64_t reconnects() const { return reconnects_; }

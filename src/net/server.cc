@@ -13,6 +13,7 @@
 
 #include <utility>
 
+#include "ingest/mutable_corpus.h"
 #include "shard/layout_manifest.h"
 #include "shard/sharded_database.h"
 #include "util/logging.h"
@@ -82,6 +83,19 @@ Server::Server(service::QueryService& service,
     : Server(service,
              [&manifest](doc::NodeId node) { return manifest.DocRootOf(node); },
              std::move(options)) {}
+
+Server::Server(service::QueryService& service, ingest::MutableCorpus& corpus,
+               ServerOptions options)
+    : Server(service,
+             // Resolve against the generation current at answer time:
+             // the corpus mutates, but any generation that produced an
+             // answer keeps its documents' global roots stable forever.
+             [&corpus](doc::NodeId node) {
+               return corpus.snapshot()->DocRootOf(node);
+             },
+             std::move(options)) {
+  corpus_ = &corpus;
+}
 
 Server::Server(service::QueryService& service,
                std::function<doc::NodeId(doc::NodeId)> doc_root_of,
@@ -471,6 +485,10 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
     DispatchShardQuery(conn, header, payload);
     return;
   }
+  if (header.type == static_cast<uint32_t>(MessageType::kIngest)) {
+    DispatchIngest(conn, header, payload);
+    return;
+  }
 
   FrameHeader reply{kProtocolVersion, header.request_id,
                     static_cast<uint32_t>(MessageType::kQueryResponse)};
@@ -529,6 +547,7 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
         response.truncated = r.truncated;
         response.cache_hit = r.cache_hit;
         response.degraded = r.degraded;
+        response.backend_epoch = r.backend_epoch;
         response.missing_shards = std::move(r.missing_shards);
         response.answers.reserve(r.answers.size());
         for (const engine::QueryAnswer& answer : r.answers) {
@@ -634,6 +653,60 @@ void Server::DispatchShardQuery(const std::shared_ptr<Connection>& conn,
           outstanding_cv_.NotifyAll();
         }
       });
+}
+
+void Server::DispatchIngest(const std::shared_ptr<Connection>& conn,
+                            const FrameHeader& header,
+                            const std::string& payload) {
+  FrameHeader reply{kProtocolVersion, header.request_id,
+                    static_cast<uint32_t>(MessageType::kIngestAck)};
+  requests_->Increment();
+
+  auto nack = [&](util::StatusCode code, std::string message) {
+    WireIngestAck ack;
+    ack.status_code = static_cast<uint32_t>(code);
+    ack.status_message = std::move(message);
+    EnqueueResponse(conn, reply, EncodeIngestAck(ack));
+    FlushWrites(conn);
+  };
+
+  WireIngest op;
+  util::Status decoded = DecodeIngest(payload, &op);
+  if (!decoded.ok()) {
+    nack(decoded.code(), "bad ingest: " + decoded.message());
+    return;
+  }
+  if (corpus_ == nullptr) {
+    nack(util::StatusCode::kUnimplemented,
+         "server is not serving a mutable corpus");
+    return;
+  }
+  if (drain_.load(std::memory_order_acquire)) {
+    nack(util::StatusCode::kUnavailable, "server draining");
+    return;
+  }
+
+  // Runs inline on the event loop: the corpus serializes ingest anyway,
+  // and the ack must not be enqueued before the mutation is durable and
+  // published. Queries in flight keep executing on the worker pool.
+  const auto start = std::chrono::steady_clock::now();
+  util::Result<ingest::MutableCorpus::IngestResult> result =
+      op.op == WireIngest::Op::kAdd ? corpus_->AddDocument(op.xml)
+                                    : corpus_->RemoveDocument(op.doc_root);
+  if (!result.ok()) {
+    nack(result.status().code(), std::string(result.status().message()));
+    return;
+  }
+  WireIngestAck ack;
+  ack.status_code = static_cast<uint32_t>(util::StatusCode::kOk);
+  ack.seq = result->seq;
+  ack.epoch = result->epoch;
+  ack.doc_root = result->doc_root;
+  ack.shard_index = static_cast<uint32_t>(result->shard_index);
+  ack.length = static_cast<uint32_t>(result->length);
+  EnqueueResponse(conn, reply, EncodeIngestAck(ack));
+  wire_latency_us_->Record(static_cast<uint64_t>(MicrosSince(start)));
+  FlushWrites(conn);
 }
 
 void Server::EnqueueResponse(const std::shared_ptr<Connection>& conn,

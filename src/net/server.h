@@ -67,6 +67,10 @@ class LayoutManifest;
 class ShardedDatabase;
 }  // namespace approxql::shard
 
+namespace approxql::ingest {
+class MutableCorpus;
+}  // namespace approxql::ingest
+
 namespace approxql::net {
 
 struct ServerOptions {
@@ -117,6 +121,13 @@ class Server {
   /// `manifest` must outlive the server.
   Server(service::QueryService& service,
          const shard::LayoutManifest& manifest, ServerOptions options);
+  /// Mutable-corpus flavor: queries resolve document roots through the
+  /// corpus's current generation, and the server additionally answers
+  /// kIngest (add/remove a document; acked only after the mutation is
+  /// durable and visible). `corpus` must outlive the server and should
+  /// be the same one `service` fronts.
+  Server(service::QueryService& service, ingest::MutableCorpus& corpus,
+         ServerOptions options);
   /// Equivalent to Shutdown(/*drain=*/false).
   ~Server();
 
@@ -178,6 +189,13 @@ class Server {
   void DispatchShardQuery(const std::shared_ptr<Connection>& conn,
                           const FrameHeader& header,
                           const std::string& payload);
+  /// kIngest handling. Runs the corpus mutation inline on the event
+  /// loop: the ack must only be enqueued once the mutation is durable,
+  /// ingest is serialized by the corpus anyway, and in-flight queries
+  /// keep executing on the worker pool meanwhile. Non-mutable servers
+  /// ack with kUnimplemented.
+  void DispatchIngest(const std::shared_ptr<Connection>& conn,
+                      const FrameHeader& header, const std::string& payload);
   void EnqueueResponse(const std::shared_ptr<Connection>& conn,
                        const FrameHeader& header, std::string_view payload);
   /// Moves the outbox into the write buffer and writes what the socket
@@ -198,6 +216,8 @@ class Server {
          ServerOptions options);
 
   service::QueryService& service_;
+  /// Set by the mutable-corpus constructor; enables kIngest.
+  ingest::MutableCorpus* corpus_ = nullptr;
   /// Maps an answer root to its containing document root — the only
   /// thing the wire layer needs from the corpus, abstracted so single
   /// and sharded backends plug in alike. Must be thread-safe (worker

@@ -170,6 +170,7 @@ std::string EncodeQueryResponse(const WireResponse& response) {
   for (uint32_t shard : response.missing_shards) {
     util::PutVarint32(&out, shard);
   }
+  util::PutVarint64(&out, response.backend_epoch);
   util::PutVarint64(&out, response.answers.size());
   for (const WireAnswer& answer : response.answers) {
     util::PutVarint64(&out, util::ZigZagEncode(answer.cost));
@@ -201,6 +202,7 @@ util::Status DecodeQueryResponse(std::string_view payload, WireResponse* out) {
     RETURN_IF_ERROR(reader.GetVarint32(&shard));
     out->missing_shards.push_back(shard);
   }
+  RETURN_IF_ERROR(reader.GetVarint64(&out->backend_epoch));
   uint64_t count = 0;
   RETURN_IF_ERROR(reader.GetVarint64(&count));
   // Each answer is at least 3 bytes; a count beyond that bound cannot
@@ -335,6 +337,58 @@ util::Status DecodePong(std::string_view payload, WirePong* out) {
   RETURN_IF_ERROR(reader.GetVarint32(&out->shard_index));
   if (!reader.empty()) {
     return util::Status::Corruption("trailing bytes after pong");
+  }
+  return util::Status::OK();
+}
+
+std::string EncodeIngest(const WireIngest& ingest) {
+  std::string out;
+  util::PutVarint32(&out, static_cast<uint32_t>(ingest.op));
+  PutLengthPrefixed(&out, ingest.xml);
+  util::PutVarint32(&out, ingest.doc_root);
+  return out;
+}
+
+util::Status DecodeIngest(std::string_view payload, WireIngest* out) {
+  util::VarintReader reader(payload);
+  uint32_t op = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&op));
+  if (op != static_cast<uint32_t>(WireIngest::Op::kAdd) &&
+      op != static_cast<uint32_t>(WireIngest::Op::kRemove)) {
+    return util::Status::Corruption("unknown ingest op " + std::to_string(op));
+  }
+  out->op = static_cast<WireIngest::Op>(op);
+  RETURN_IF_ERROR(GetLengthPrefixed(&reader, &out->xml));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->doc_root));
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after ingest");
+  }
+  return util::Status::OK();
+}
+
+std::string EncodeIngestAck(const WireIngestAck& ack) {
+  std::string out;
+  util::PutVarint32(&out, ack.status_code);
+  PutLengthPrefixed(&out, ack.status_message);
+  util::PutVarint64(&out, ack.seq);
+  util::PutVarint64(&out, ack.epoch);
+  util::PutVarint32(&out, ack.doc_root);
+  util::PutVarint32(&out, ack.shard_index);
+  util::PutVarint32(&out, ack.length);
+  return out;
+}
+
+util::Status DecodeIngestAck(std::string_view payload, WireIngestAck* out) {
+  util::VarintReader reader(payload);
+  RETURN_IF_ERROR(reader.GetVarint32(&out->status_code));
+  RETURN_IF_ERROR(GetLengthPrefixed(&reader, &out->status_message));
+  RETURN_IF_ERROR(reader.GetVarint64(&out->seq));
+  RETURN_IF_ERROR(reader.GetVarint64(&out->epoch));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->doc_root));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->shard_index));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->length));
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after ingest ack");
   }
   return util::Status::OK();
 }

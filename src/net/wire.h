@@ -38,7 +38,9 @@ namespace approxql::net {
 /// v2: WireResponse carries degraded/missing_shards; shard-scoped
 /// execution frames (kShardQuery/kShardAnswer) and health probes
 /// (kPing/kPong) added.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: live-ingest frames (kIngest/kIngestAck); WireResponse carries
+/// the backend epoch of mutable-corpus servers.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Hard ceiling a decoder enforces before buffering a frame; a declared
 /// length beyond this is treated as stream corruption, not a large
@@ -63,6 +65,13 @@ enum class MessageType : uint32_t {
   /// Response to kPing: payload is the serving shard's layout
   /// fingerprint + shard index, so a probe doubles as a topology check.
   kPong = 8,
+  /// Live ingest against a server fronting a mutable corpus: add or
+  /// remove one document. The kIngestAck reply is sent only after the
+  /// mutation is durable (WAL synced) AND visible to queries on the
+  /// same connection — an acked document survives any crash and shows
+  /// up in every subsequent kQueryRequest.
+  kIngest = 9,
+  kIngestAck = 10,
 };
 
 struct FrameHeader {
@@ -154,6 +163,10 @@ struct WireResponse {
   /// never cached anywhere — a repeat of the query re-asks the cluster.
   bool degraded = false;
   std::vector<uint32_t> missing_shards;
+  /// Mutable-corpus servers: ingest epoch of the snapshot this response
+  /// was evaluated against (0 elsewhere). An ingesting client compares
+  /// it with WireIngestAck::epoch to tell whether its write is visible.
+  uint64_t backend_epoch = 0;
   std::vector<WireAnswer> answers;
 };
 
@@ -199,6 +212,33 @@ struct WirePong {
   uint32_t shard_index = 0;
 };
 
+/// kIngest payload.
+struct WireIngest {
+  enum class Op : uint32_t { kAdd = 1, kRemove = 2 };
+  Op op = Op::kAdd;
+  /// kAdd: the document, complete XML.
+  std::string xml;
+  /// kRemove: the document's global root id (WireIngestAck::doc_root of
+  /// the add, or WireAnswer::doc of a query hit).
+  doc::NodeId doc_root = 0;
+};
+
+/// kIngestAck payload. Non-OK status_code means the mutation did NOT
+/// happen (malformed XML, unknown document, poisoned shard, or a plain
+/// immutable server); the remaining fields are meaningful only on OK.
+struct WireIngestAck {
+  uint32_t status_code = 0;
+  std::string status_message;
+  /// Durable WAL sequence number on the owning shard.
+  uint64_t seq = 0;
+  /// Corpus epoch after the mutation; any query response whose
+  /// backend_epoch is >= this value sees the mutation.
+  uint64_t epoch = 0;
+  doc::NodeId doc_root = 0;
+  uint32_t shard_index = 0;
+  uint32_t length = 0;  // nodes in the document subtree (kAdd)
+};
+
 std::string EncodeQueryRequest(const WireRequest& request);
 util::Status DecodeQueryRequest(std::string_view payload, WireRequest* out);
 
@@ -213,6 +253,12 @@ util::Status DecodeShardAnswer(std::string_view payload, WireShardAnswer* out);
 
 std::string EncodePong(const WirePong& pong);
 util::Status DecodePong(std::string_view payload, WirePong* out);
+
+std::string EncodeIngest(const WireIngest& ingest);
+util::Status DecodeIngest(std::string_view payload, WireIngest* out);
+
+std::string EncodeIngestAck(const WireIngestAck& ack);
+util::Status DecodeIngestAck(std::string_view payload, WireIngestAck* out);
 
 }  // namespace approxql::net
 

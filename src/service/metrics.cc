@@ -4,6 +4,11 @@ namespace approxql::service {
 
 Counter* MetricsRegistry::RegisterCounter(std::string name) {
   util::MutexLock lock(&mu_);
+  for (const Entry& existing : entries_) {
+    if (existing.name == name && existing.counter != nullptr) {
+      return existing.counter.get();
+    }
+  }
   Entry entry;
   entry.name = std::move(name);
   entry.counter = std::make_unique<Counter>();
@@ -14,6 +19,11 @@ Counter* MetricsRegistry::RegisterCounter(std::string name) {
 
 Gauge* MetricsRegistry::RegisterGauge(std::string name) {
   util::MutexLock lock(&mu_);
+  for (const Entry& existing : entries_) {
+    if (existing.name == name && existing.gauge != nullptr) {
+      return existing.gauge.get();
+    }
+  }
   Entry entry;
   entry.name = std::move(name);
   entry.gauge = std::make_unique<Gauge>();
@@ -24,6 +34,11 @@ Gauge* MetricsRegistry::RegisterGauge(std::string name) {
 
 LatencyHistogram* MetricsRegistry::RegisterHistogram(std::string name) {
   util::MutexLock lock(&mu_);
+  for (const Entry& existing : entries_) {
+    if (existing.name == name && existing.histogram != nullptr) {
+      return existing.histogram.get();
+    }
+  }
   Entry entry;
   entry.name = std::move(name);
   entry.histogram = std::make_unique<LatencyHistogram>();

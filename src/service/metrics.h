@@ -73,8 +73,10 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Names should be snake_case with a unit suffix where applicable
-  /// (e.g. "queries_completed", "exec_latency_us"). Duplicate names are
-  /// allowed but make the dump ambiguous; don't.
+  /// (e.g. "queries_completed", "exec_latency_us"). Registration is
+  /// idempotent: re-registering a name of the same metric kind returns
+  /// the existing handle — corpus generations that share a registry keep
+  /// accumulating into the same metrics.
   Counter* RegisterCounter(std::string name);
   Gauge* RegisterGauge(std::string name);
   LatencyHistogram* RegisterHistogram(std::string name);

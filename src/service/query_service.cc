@@ -7,6 +7,7 @@
 
 #include "dist/shard_router.h"
 #include "engine/fetch_plan.h"
+#include "ingest/mutable_corpus.h"
 #include "engine/list_ops.h"
 #include "query/ast.h"
 #include "query/separated.h"
@@ -78,21 +79,28 @@ uint32_t FingerprintBackend(const shard::ShardedDatabase* sharded,
 }  // namespace
 
 QueryService::QueryService(const engine::Database& db, ServiceOptions options)
-    : QueryService(&db, nullptr, nullptr, std::move(options)) {}
+    : QueryService(&db, nullptr, nullptr, nullptr, std::move(options)) {}
 
 QueryService::QueryService(const shard::ShardedDatabase& db,
                            ServiceOptions options)
-    : QueryService(nullptr, &db, nullptr, std::move(options)) {}
+    : QueryService(nullptr, &db, nullptr, nullptr, std::move(options)) {}
 
 QueryService::QueryService(dist::ShardRouter& router, ServiceOptions options)
-    : QueryService(nullptr, nullptr, &router, std::move(options)) {}
+    : QueryService(nullptr, nullptr, &router, nullptr, std::move(options)) {}
+
+QueryService::QueryService(const ingest::MutableCorpus& corpus,
+                           ServiceOptions options)
+    : QueryService(nullptr, nullptr, nullptr, &corpus, std::move(options)) {}
 
 QueryService::QueryService(const engine::Database* db,
                            const shard::ShardedDatabase* sharded,
-                           dist::ShardRouter* router, ServiceOptions options)
+                           dist::ShardRouter* router,
+                           const ingest::MutableCorpus* corpus,
+                           ServiceOptions options)
     : db_(db),
       sharded_(sharded),
       router_(router),
+      mutable_(corpus),
       backend_fingerprint_(FingerprintBackend(sharded, router)),
       options_(options),
       cache_(options.cache_capacity),
@@ -211,6 +219,12 @@ QueryResponse QueryService::Run(QueryRequest& request,
   }
   const query::Query& query = *parsed;
 
+  // Mutable backend: pin this request to the corpus's current
+  // generation — one consistent state for the cache key, the evaluation
+  // and the reported epoch, however long the query runs.
+  std::shared_ptr<const shard::ShardedDatabase> pinned;
+  if (mutable_ != nullptr) pinned = mutable_->snapshot();
+
   const cost::CostModel& effective_model = request.exec.cost_model != nullptr
                                                ? *request.exec.cost_model
                                                : BackendCostModel();
@@ -219,7 +233,11 @@ QueryResponse QueryService::Run(QueryRequest& request,
   key.strategy = request.exec.strategy;
   key.n = request.exec.n;
   key.cost_fingerprint = FingerprintCostModel(effective_model);
-  key.backend_fingerprint = backend_fingerprint_;
+  // The generation fingerprint is epoch-salted, so a cached answer can
+  // only ever be served against the exact corpus state it was computed
+  // from.
+  key.backend_fingerprint =
+      pinned != nullptr ? pinned->LayoutFingerprint() : backend_fingerprint_;
 
   if (!request.bypass_cache) {
     if (auto cached = cache_.Lookup(key); cached != nullptr) {
@@ -228,6 +246,7 @@ QueryResponse QueryService::Run(QueryRequest& request,
       QueryResponse r;
       r.answers = *cached;
       r.cache_hit = true;
+      if (pinned != nullptr) r.backend_epoch = pinned->epoch();
       return finish(std::move(r));
     }
     cache_misses_->Increment();
@@ -270,7 +289,10 @@ QueryResponse QueryService::Run(QueryRequest& request,
     }
     r = RunRouted(request, remaining_ms);
   } else if (sharded_ != nullptr) {
-    r = RunSharded(query, exec, parallelism, cancelled);
+    r = RunSharded(*sharded_, query, exec, parallelism, cancelled);
+  } else if (pinned != nullptr) {
+    r = RunSharded(*pinned, query, exec, parallelism, cancelled);
+    r.backend_epoch = pinned->epoch();
   } else {
     bool handled =
         parallelism > 1 && RunParallel(query, exec, parallelism, cancelled, &r);
@@ -564,7 +586,8 @@ bool QueryService::RunParallel(const query::Query& query,
   return true;
 }
 
-QueryResponse QueryService::RunSharded(const query::Query& query,
+QueryResponse QueryService::RunSharded(const shard::ShardedDatabase& db,
+                                       const query::Query& query,
                                        engine::ExecOptions& exec,
                                        size_t parallelism,
                                        const std::function<bool()>& cancelled) {
@@ -575,10 +598,10 @@ QueryResponse QueryService::RunSharded(const query::Query& query,
   scatter.cancelled = cancelled;
   shard::ScatterStats stats;
   Clock::time_point eval_started = Clock::now();
-  auto answers = sharded_->Execute(query, exec, scatter, &stats);
+  auto answers = db.Execute(query, exec, scatter, &stats);
   parallel_eval_us_->Record(static_cast<uint64_t>(MicrosSince(eval_started)));
   parallel_tasks_->Increment(stats.shards.size());
-  r.parallel = sharded_->num_shards() > 1 && parallelism > 1;
+  r.parallel = db.num_shards() > 1 && parallelism > 1;
   // Surface the aggregated evaluator counters through the caller's
   // stats slot (Run's truncation logic reads the cancelled flag there).
   if (exec.schema_stats_out != nullptr) {
@@ -622,6 +645,7 @@ QueryResponse QueryService::RunRouted(const QueryRequest& request,
 
 const cost::CostModel& QueryService::BackendCostModel() const {
   if (router_ != nullptr) return router_->cost_model();
+  if (mutable_ != nullptr) return mutable_->options().model;
   return sharded_ != nullptr ? sharded_->cost_model() : db_->cost_model();
 }
 
@@ -660,6 +684,23 @@ std::string QueryService::DumpMetrics() const {
   }
   if (router_ != nullptr) {
     out += router_->DumpMetrics();
+  }
+  if (mutable_ != nullptr) {
+    // The corpus registry carries both the ingest_* metrics and the
+    // per-shard fetch/eval metrics of every published generation.
+    out += mutable_->metrics()->DumpText();
+    std::vector<ingest::MutableCorpus::ShardStatus> statuses =
+        mutable_->ShardStatuses();
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      const std::string stem = "ingest_shard" + std::to_string(i);
+      out += stem + "_documents " + std::to_string(statuses[i].documents) +
+             "\n";
+      out += stem + "_last_seq " + std::to_string(statuses[i].last_seq) + "\n";
+      out += stem + "_wal_bytes " + std::to_string(statuses[i].wal_bytes) +
+             "\n";
+      out += stem + "_vlog_bytes " + std::to_string(statuses[i].vlog_bytes) +
+             "\n";
+    }
   }
   return out;
 }

@@ -41,6 +41,10 @@ namespace approxql::dist {
 class ShardRouter;
 }  // namespace approxql::dist
 
+namespace approxql::ingest {
+class MutableCorpus;
+}  // namespace approxql::ingest
+
 namespace approxql::service {
 
 struct ServiceOptions {
@@ -101,6 +105,10 @@ struct QueryResponse {
   /// The parallel evaluation path ran (disjunct fan-out and/or
   /// concurrent fetch). False for serial execution and cache hits.
   bool parallel = false;
+  /// Mutable-corpus backend only: the ingest epoch of the snapshot this
+  /// response was evaluated against (0 elsewhere). Lets ingesting
+  /// clients tell whether a query already sees their last write.
+  uint64_t backend_epoch = 0;
   int64_t queue_micros = 0;  // admission-to-start wait
   int64_t exec_micros = 0;   // parse + evaluate (0 on cache hit)
   int64_t total_micros = 0;  // admission-to-response
@@ -126,6 +134,14 @@ class QueryService {
   /// cache key folds the router's layout fingerprint plus a distinct
   /// backend tag, so distributed answers never alias in-process ones.
   QueryService(dist::ShardRouter& router, ServiceOptions options);
+  /// Mutable-corpus backend: every request takes the corpus's current
+  /// generation and runs the in-process scatter-gather path against it,
+  /// so queries keep serving (and stay bit-identical to a frozen
+  /// ShardedDatabase over the same document set) while documents are
+  /// ingested concurrently. The cache key carries the generation's
+  /// epoch-salted fingerprint, so cached answers never survive a
+  /// mutation.
+  QueryService(const ingest::MutableCorpus& corpus, ServiceOptions options);
   /// Abandons queued requests (their futures resolve with kUnavailable)
   /// and joins the workers; in-flight requests finish first.
   ~QueryService();
@@ -180,7 +196,8 @@ class QueryService {
   using Clock = std::chrono::steady_clock;
 
   QueryService(const engine::Database* db, const shard::ShardedDatabase* sharded,
-               dist::ShardRouter* router, ServiceOptions options);
+               dist::ShardRouter* router, const ingest::MutableCorpus* corpus,
+               ServiceOptions options);
 
   /// The worker-side request lifecycle (also the ExecuteNow body).
   QueryResponse Run(QueryRequest& request, Clock::time_point admitted);
@@ -188,7 +205,8 @@ class QueryService {
   /// Scatter-gather execution against the sharded backend (sharded_
   /// != nullptr). Mirrors the serial/parallel paths' deadline and
   /// truncation semantics.
-  QueryResponse RunSharded(const query::Query& query, engine::ExecOptions& exec,
+  QueryResponse RunSharded(const shard::ShardedDatabase& db,
+                           const query::Query& query, engine::ExecOptions& exec,
                            size_t parallelism,
                            const std::function<bool()>& cancelled);
 
@@ -220,6 +238,7 @@ class QueryService {
   const engine::Database* db_ = nullptr;
   const shard::ShardedDatabase* sharded_ = nullptr;
   dist::ShardRouter* router_ = nullptr;
+  const ingest::MutableCorpus* mutable_ = nullptr;
   /// Folded into every cache key (see CacheKey::backend_fingerprint).
   uint32_t backend_fingerprint_ = 0;
   const ServiceOptions options_;

@@ -28,9 +28,11 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
-ShardedDatabase::Builder::Builder(size_t num_shards)
+ShardedDatabase::Builder::Builder(size_t num_shards,
+                                  storage::StoreFactory store_factory)
     : builders_(std::max<size_t>(1, num_shards)),
-      spans_(builders_.size()) {}
+      spans_(builders_.size()),
+      store_factory_(std::move(store_factory)) {}
 
 Status ShardedDatabase::Builder::AddDocumentXml(std::string_view xml) {
   size_t shard = next_doc_ % builders_.size();
@@ -57,12 +59,13 @@ Result<ShardedDatabase> ShardedDatabase::Builder::Build(
                      engine::Database::FromDataTree(std::move(tree), model));
     databases.push_back(std::move(db));
   }
-  return Assemble(std::move(databases), std::move(spans_), std::move(model));
+  return Assemble(std::move(databases), std::move(spans_), std::move(model),
+                  store_factory_);
 }
 
-Result<ShardedDatabase> ShardedDatabase::Partition(const doc::DataTree& tree,
-                                                   const cost::CostModel& model,
-                                                   size_t num_shards) {
+Result<ShardedDatabase> ShardedDatabase::Partition(
+    const doc::DataTree& tree, const cost::CostModel& model, size_t num_shards,
+    storage::StoreFactory store_factory) {
   size_t n = std::max<size_t>(1, num_shards);
   std::vector<doc::DataTreeBuilder> builders(n);
   std::vector<std::vector<DocSpan>> spans(n);
@@ -75,27 +78,7 @@ Result<ShardedDatabase> ShardedDatabase::Partition(const doc::DataTree& tree,
     span.local_start = static_cast<doc::NodeId>(builder.node_count());
     span.global_start = d;
     span.length = tree.node(d).bound - d + 1;
-    // Replay the document subtree as SAX events. Labels were normalized
-    // at original build time (attributes are struct nodes, text is one
-    // lowercase word per node), so StartElement/AddWord reproduce the
-    // subtree exactly.
-    std::vector<doc::NodeId> open;  // struct nodes awaiting EndElement
-    for (doc::NodeId id = d; id <= tree.node(d).bound; ++id) {
-      while (!open.empty() && tree.node(open.back()).bound < id) {
-        builder.EndElement();
-        open.pop_back();
-      }
-      if (tree.node(id).type == NodeType::kStruct) {
-        builder.StartElement(tree.label(id));
-        open.push_back(id);
-      } else {
-        builder.AddWord(tree.label(id));
-      }
-    }
-    while (!open.empty()) {
-      builder.EndElement();
-      open.pop_back();
-    }
+    builder.AppendSubtree(tree, d);
     spans[shard].push_back(span);
     ++doc_index;
   }
@@ -109,7 +92,8 @@ Result<ShardedDatabase> ShardedDatabase::Partition(const doc::DataTree& tree,
         engine::Database::FromDataTree(std::move(shard_tree), model));
     databases.push_back(std::move(db));
   }
-  return Assemble(std::move(databases), std::move(spans), model);
+  return Assemble(std::move(databases), std::move(spans), model,
+                  store_factory);
 }
 
 Result<ShardedDatabase> ShardedDatabase::BuildFromXml(
@@ -122,35 +106,65 @@ Result<ShardedDatabase> ShardedDatabase::BuildFromXml(
   return std::move(builder).Build(std::move(model));
 }
 
-Result<ShardedDatabase> ShardedDatabase::Load(const std::string& path,
-                                              size_t num_shards) {
+Result<ShardedDatabase> ShardedDatabase::Load(
+    const std::string& path, size_t num_shards,
+    storage::StoreFactory store_factory) {
   ASSIGN_OR_RETURN(engine::Database db, engine::Database::Load(path));
-  return Partition(db.tree(), db.cost_model(), num_shards);
+  return Partition(db.tree(), db.cost_model(), num_shards,
+                   std::move(store_factory));
 }
 
 Result<ShardedDatabase> ShardedDatabase::Assemble(
     std::vector<engine::Database> databases,
-    std::vector<std::vector<DocSpan>> spans, cost::CostModel model) {
-  ShardedDatabase sdb;
-  sdb.model_ = std::move(model);
-  sdb.metrics_ = std::make_unique<service::MetricsRegistry>();
+    std::vector<std::vector<DocSpan>> spans, cost::CostModel model,
+    const storage::StoreFactory& store_factory) {
+  std::vector<std::shared_ptr<Shard>> shards;
+  shards.reserve(databases.size());
   for (size_t i = 0; i < databases.size(); ++i) {
-    auto shard = std::make_unique<Shard>(std::move(databases[i]));
+    auto shard = std::make_shared<Shard>(std::move(databases[i]));
     shard->spans = std::move(spans[i]);
-    shard->store = std::make_unique<storage::MemKvStore>();
+    if (store_factory != nullptr) {
+      ASSIGN_OR_RETURN(std::unique_ptr<storage::KvStore> store,
+                       store_factory("shard" + std::to_string(i)));
+      shard->store = std::move(store);
+    } else {
+      shard->store = std::make_shared<storage::MemKvStore>();
+    }
     RETURN_IF_ERROR(
         shard->db.label_index().PersistTo(shard->store.get(), kPostingPrefix));
     shard->postings = std::make_unique<index::StoredLabelIndex>(
         shard->store.get(), std::string(kPostingPrefix));
-    const std::string stem = "shard" + std::to_string(i);
-    shard->fetch_us = sdb.metrics_->RegisterHistogram(stem + "_fetch_us");
-    shard->eval_us = sdb.metrics_->RegisterHistogram(stem + "_eval_us");
-    shard->answers = sdb.metrics_->RegisterCounter(stem + "_answers");
-    for (const DocSpan& span : shard->spans) {
+    shards.push_back(std::move(shard));
+  }
+  return AssembleFromShards(std::move(shards), std::move(model),
+                            std::make_shared<service::MetricsRegistry>(),
+                            /*epoch=*/0);
+}
+
+Result<ShardedDatabase> ShardedDatabase::AssembleFromShards(
+    std::vector<std::shared_ptr<Shard>> shards, cost::CostModel model,
+    std::shared_ptr<service::MetricsRegistry> metrics, uint64_t epoch) {
+  ShardedDatabase sdb;
+  sdb.model_ = std::move(model);
+  sdb.metrics_ = std::move(metrics);
+  sdb.epoch_ = epoch;
+  sdb.shards_ = std::move(shards);
+  for (size_t i = 0; i < sdb.shards_.size(); ++i) {
+    Shard& shard = *sdb.shards_[i];
+    // Shards shared with a previous corpus generation already carry
+    // their handles (and may be serving queries right now — don't touch
+    // them); only freshly built shards register. A shard's index never
+    // changes across generations, so the stem is stable.
+    if (shard.fetch_us == nullptr) {
+      const std::string stem = "shard" + std::to_string(i);
+      shard.fetch_us = sdb.metrics_->RegisterHistogram(stem + "_fetch_us");
+      shard.eval_us = sdb.metrics_->RegisterHistogram(stem + "_eval_us");
+      shard.answers = sdb.metrics_->RegisterCounter(stem + "_answers");
+    }
+    for (const DocSpan& span : shard.spans) {
       sdb.docs_.push_back({span.global_start, span.length,
                            static_cast<uint32_t>(i), span.local_start});
     }
-    sdb.shards_.push_back(std::move(shard));
   }
   std::sort(sdb.docs_.begin(), sdb.docs_.end(),
             [](const GlobalDoc& a, const GlobalDoc& b) {
@@ -169,6 +183,7 @@ Result<ShardedDatabase> ShardedDatabase::Assemble(
               ":docs=" + std::to_string(shard.spans.size()) +
               ",nodes=" + std::to_string(shard.db.tree().size()) + ";";
   }
+  if (epoch != 0) layout += "epoch=" + std::to_string(epoch) + ";";
   sdb.fingerprint_ = util::Crc32c(layout);
   return sdb;
 }

@@ -39,7 +39,12 @@
 #include "service/metrics.h"
 #include "service/thread_pool.h"
 #include "shard/global_schema.h"
+#include "storage/kv_factory.h"
 #include "storage/mem_kv_store.h"
+
+namespace approxql::ingest {
+class MutableCorpus;
+}  // namespace approxql::ingest
 
 namespace approxql::shard {
 
@@ -109,7 +114,11 @@ class ShardedDatabase {
   /// assigned exactly as DataTreeBuilder would in one tree.
   class Builder {
    public:
-    explicit Builder(size_t num_shards);
+    /// `store_factory` produces each shard's posting store, invoked with
+    /// the shard stem ("shard0", "shard1", ...); null means in-memory
+    /// stores. Callers wanting files map the stem to a path.
+    explicit Builder(size_t num_shards,
+                     storage::StoreFactory store_factory = nullptr);
 
     /// Parses `xml` and adds it as the next document.
     util::Status AddDocumentXml(std::string_view xml);
@@ -122,6 +131,7 @@ class ShardedDatabase {
    private:
     std::vector<doc::DataTreeBuilder> builders_;
     std::vector<std::vector<DocSpan>> spans_;
+    storage::StoreFactory store_factory_;
     size_t next_doc_ = 0;
     doc::NodeId next_global_ = 1;  // 0 is the super-root
   };
@@ -129,9 +139,9 @@ class ShardedDatabase {
   /// Partitions an existing (unpartitioned) data tree: each document
   /// subtree is replayed into its shard's builder, so global ids are the
   /// ids of `tree` itself.
-  static util::Result<ShardedDatabase> Partition(const doc::DataTree& tree,
-                                                 const cost::CostModel& model,
-                                                 size_t num_shards);
+  static util::Result<ShardedDatabase> Partition(
+      const doc::DataTree& tree, const cost::CostModel& model,
+      size_t num_shards, storage::StoreFactory store_factory = nullptr);
 
   /// Builds from XML document strings (round-robin assignment).
   static util::Result<ShardedDatabase> BuildFromXml(
@@ -140,8 +150,9 @@ class ShardedDatabase {
 
   /// Loads a single-file database (engine::Database::Save format) and
   /// partitions it.
-  static util::Result<ShardedDatabase> Load(const std::string& path,
-                                            size_t num_shards);
+  static util::Result<ShardedDatabase> Load(
+      const std::string& path, size_t num_shards,
+      storage::StoreFactory store_factory = nullptr);
 
   /// Scatter-gather execution: runs the query on every shard (direct
   /// strategy against the shard's own stored postings; schema strategy
@@ -188,8 +199,13 @@ class ShardedDatabase {
   /// Fingerprint of the backend + shard layout: shard count, per-shard
   /// document/node counts. Two layouts answering queries over different
   /// partitions (or a partitioned vs. unpartitioned corpus) never share
-  /// it; the result cache folds it into its key.
+  /// it; the result cache folds it into its key. Mutable corpora salt it
+  /// with the ingest epoch, so every accepted mutation moves it.
   uint32_t LayoutFingerprint() const { return fingerprint_; }
+
+  /// Ingest epoch this snapshot reflects (sum of per-shard durable
+  /// sequence numbers); 0 for corpora built without live ingest.
+  uint64_t epoch() const { return epoch_; }
 
   struct Stats {
     size_t num_shards = 0;
@@ -205,6 +221,8 @@ class ShardedDatabase {
   std::string DumpMetrics() const;
 
  private:
+  friend class approxql::ingest::MutableCorpus;
+
   struct Shard {
     explicit Shard(engine::Database database) : db(std::move(database)) {}
 
@@ -212,8 +230,10 @@ class ShardedDatabase {
     /// The shard's own posting storage: label postings persisted into a
     /// private store and fetched lazily — the partitioned counterpart of
     /// one shared StoredLabelIndex, so concurrent queries contend (if at
-    /// all) only within a shard.
-    std::unique_ptr<storage::MemKvStore> store;
+    /// all) only within a shard. Shared: a mutable corpus carries the
+    /// same store across corpus generations (only the StoredLabelIndex
+    /// view in front of it changes).
+    std::shared_ptr<storage::KvStore> store;
     std::unique_ptr<index::StoredLabelIndex> postings;
     std::vector<DocSpan> spans;  // increasing local_start AND global_start
     service::LatencyHistogram* fetch_us = nullptr;  // owned by metrics_
@@ -235,14 +255,24 @@ class ShardedDatabase {
   /// metrics, merged schema, global doc table, fingerprint.
   static util::Result<ShardedDatabase> Assemble(
       std::vector<engine::Database> databases,
-      std::vector<std::vector<DocSpan>> spans, cost::CostModel model);
+      std::vector<std::vector<DocSpan>> spans, cost::CostModel model,
+      const storage::StoreFactory& store_factory = nullptr);
+
+  /// Copy-on-write assembly for live ingest: shards arrive ready-made
+  /// (most shared with the previous corpus generation, stores and all)
+  /// and only the derived state — global doc table, merged schema,
+  /// metric handles, epoch-salted fingerprint — is recomputed.
+  static util::Result<ShardedDatabase> AssembleFromShards(
+      std::vector<std::shared_ptr<Shard>> shards, cost::CostModel model,
+      std::shared_ptr<service::MetricsRegistry> metrics, uint64_t epoch);
 
   cost::CostModel model_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::shared_ptr<Shard>> shards_;
   std::vector<GlobalDoc> docs_;  // sorted by global_start
   GlobalSchema global_schema_;
-  std::unique_ptr<service::MetricsRegistry> metrics_;
+  std::shared_ptr<service::MetricsRegistry> metrics_;
   uint32_t fingerprint_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace approxql::shard

@@ -516,6 +516,22 @@ Status BPlusTree::Flush() {
   return pager_->Flush();
 }
 
+Status BPlusTree::Sync() {
+  for (auto& [id, node] : nodes_) {
+    if (node->dirty) {
+      RETURN_IF_ERROR(SerializeNode(*node));
+      node->dirty = false;
+    }
+  }
+  return pager_->Sync();
+}
+
+void BPlusTree::Abandon() {
+  nodes_.clear();
+  pager_->Abandon();
+  abandoned_ = true;
+}
+
 int BPlusTree::Height() const {
   int height = 1;
   auto node = FetchNode(root_);
@@ -613,6 +629,7 @@ Status BPlusTree::CheckInvariants() const {
 }
 
 BPlusTree::~BPlusTree() {
+  if (abandoned_) return;
   Status s = Flush();
   if (!s.ok()) {
     APPROXQL_LOG(Error) << "B+tree flush on close failed: " << s;

@@ -45,6 +45,15 @@ class BPlusTree {
   size_t KeyCount() const { return key_count_; }
   util::Status Flush();
 
+  /// Flush plus fsync — durable on media, not just in the OS cache.
+  util::Status Sync();
+
+  /// Discards all in-memory state (dirty nodes and pages included) and
+  /// closes the file without writing: the on-disk image stays whatever
+  /// the last Flush/Sync produced. Crash simulation for recovery tests;
+  /// the tree is unusable afterwards.
+  void Abandon();
+
   /// Bounds the decoded-node and raw-page caches (0 = unbounded, the
   /// default). Enforced between public operations: clean entries beyond
   /// the limit are dropped LRU-first, dirty nodes are serialized first.
@@ -121,6 +130,7 @@ class BPlusTree {
 
   std::unique_ptr<Pager> pager_;
   PageId root_ = kInvalidPage;
+  bool abandoned_ = false;
   size_t key_count_ = 0;
   size_t max_cached_nodes_ = 0;
   mutable uint64_t node_clock_ = 0;
@@ -141,6 +151,8 @@ class DiskKvStore : public KvStore {
   std::unique_ptr<KvIterator> NewIterator() const override;
   size_t KeyCount() const override;
   util::Status Flush() override;
+  util::Status Sync() { return tree_->Sync(); }
+  void Abandon() { tree_->Abandon(); }
 
   BPlusTree* tree() { return tree_.get(); }
 

@@ -1,0 +1,51 @@
+#include "storage/kv_factory.h"
+
+#include <utility>
+
+#include "storage/bptree.h"
+#include "storage/mem_kv_store.h"
+
+namespace approxql::storage {
+
+using util::Result;
+using util::Status;
+
+Result<StoreKind> ParseStoreKind(std::string_view text) {
+  if (text == "mem") return StoreKind::kMem;
+  if (text == "disk") return StoreKind::kDisk;
+  return Status::InvalidArgument("unknown store kind '" + std::string(text) +
+                                 "' (expected mem|disk)");
+}
+
+const char* StoreKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kMem:
+      return "mem";
+    case StoreKind::kDisk:
+      return "disk";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<KvStore>> CreateKvStore(StoreKind kind,
+                                               const std::string& path,
+                                               bool create_if_missing) {
+  switch (kind) {
+    case StoreKind::kMem:
+      return std::unique_ptr<KvStore>(std::make_unique<MemKvStore>());
+    case StoreKind::kDisk: {
+      ASSIGN_OR_RETURN(std::unique_ptr<DiskKvStore> store,
+                       DiskKvStore::Open(path, create_if_missing));
+      return std::unique_ptr<KvStore>(std::move(store));
+    }
+  }
+  return Status::InvalidArgument("unknown store kind");
+}
+
+StoreFactory MakeStoreFactory(StoreKind kind) {
+  return [kind](const std::string& path) {
+    return CreateKvStore(kind, path, /*create_if_missing=*/true);
+  };
+}
+
+}  // namespace approxql::storage

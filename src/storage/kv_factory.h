@@ -1,0 +1,43 @@
+// Selects a KvStore backend by name — the one place `--store=mem|disk`
+// flags resolve to a concrete store, shared by builders, servers and
+// tools so they cannot drift.
+#ifndef APPROXQL_STORAGE_KV_FACTORY_H_
+#define APPROXQL_STORAGE_KV_FACTORY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "storage/kv_store.h"
+#include "util/status.h"
+
+namespace approxql::storage {
+
+enum class StoreKind {
+  kMem,   // MemKvStore: everything in RAM, nothing persisted.
+  kDisk,  // DiskKvStore: B+tree pages in a file.
+};
+
+/// "mem" or "disk"; anything else is InvalidArgument.
+util::Result<StoreKind> ParseStoreKind(std::string_view text);
+
+const char* StoreKindName(StoreKind kind);
+
+/// Creates a bare store of `kind`. `path` names the backing file for
+/// kDisk and is ignored for kMem.
+util::Result<std::unique_ptr<KvStore>> CreateKvStore(
+    StoreKind kind, const std::string& path, bool create_if_missing);
+
+/// A store factory: invoked once per shard with that shard's backing
+/// path. Builders take this so callers pick the backend without the
+/// builder knowing about files or flags.
+using StoreFactory =
+    std::function<util::Result<std::unique_ptr<KvStore>>(const std::string&)>;
+
+/// Factory producing stores of `kind`; kMem ignores the path argument.
+StoreFactory MakeStoreFactory(StoreKind kind);
+
+}  // namespace approxql::storage
+
+#endif  // APPROXQL_STORAGE_KV_FACTORY_H_

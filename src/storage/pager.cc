@@ -1,5 +1,7 @@
 #include "storage/pager.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <vector>
@@ -236,6 +238,23 @@ Status Pager::Flush() {
     return Status::IoError(path_ + ": fflush failed");
   }
   return Status::OK();
+}
+
+Status Pager::Sync() {
+  RETURN_IF_ERROR(Flush());
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IoError(path_ + ": fsync failed");
+  }
+  return Status::OK();
+}
+
+void Pager::Abandon() {
+  cache_.clear();
+  meta_dirty_ = false;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
 }
 
 uint32_t Pager::GetMetaSlot(int slot) const {

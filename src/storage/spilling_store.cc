@@ -1,0 +1,117 @@
+#include "storage/spilling_store.h"
+
+#include <utility>
+
+#include "util/varint.h"
+
+namespace approxql::storage {
+
+using util::Result;
+using util::Status;
+
+Status SpillingStore::Put(std::string_view key, std::string_view value) {
+  std::string stored;
+  if (value.size() > inline_threshold_) {
+    ASSIGN_OR_RETURN(SegmentPointer pointer, vlog_->Append(value));
+    stored.reserve(21);
+    stored.push_back(kSpilledTag);
+    util::PutVarint64(&stored, pointer.offset);
+    util::PutVarint64(&stored, pointer.length);
+    stats_.spilled_puts += 1;
+    stats_.spilled_bytes += value.size();
+  } else {
+    stored.reserve(value.size() + 1);
+    stored.push_back(kInlineTag);
+    stored.append(value);
+    stats_.inline_puts += 1;
+  }
+  return inner_->Put(key, stored);
+}
+
+Result<std::string> SpillingStore::Resolve(std::string_view stored) const {
+  if (stored.empty()) {
+    return Status::Corruption("spilling store: empty stored value");
+  }
+  if (stored.front() == kInlineTag) {
+    return std::string(stored.substr(1));
+  }
+  if (stored.front() != kSpilledTag) {
+    return Status::Corruption("spilling store: unknown value tag " +
+                              std::to_string(stored.front()));
+  }
+  util::VarintReader reader(stored.substr(1));
+  SegmentPointer pointer;
+  RETURN_IF_ERROR(reader.GetVarint64(&pointer.offset));
+  RETURN_IF_ERROR(reader.GetVarint64(&pointer.length));
+  if (!reader.empty()) {
+    return Status::Corruption("spilling store: trailing pointer bytes");
+  }
+  return vlog_->Read(pointer);
+}
+
+Result<std::string> SpillingStore::Get(std::string_view key) const {
+  ASSIGN_OR_RETURN(std::string stored, inner_->Get(key));
+  return Resolve(stored);
+}
+
+Status SpillingStore::Delete(std::string_view key, bool* existed) {
+  // The spilled segment (if any) becomes garbage until the next
+  // checkpoint rewrites the log with only live values.
+  return inner_->Delete(key, existed);
+}
+
+Result<bool> SpillingStore::Contains(std::string_view key) const {
+  return inner_->Contains(key);
+}
+
+Status SpillingStore::Flush() {
+  RETURN_IF_ERROR(vlog_->Sync());
+  return inner_->Flush();
+}
+
+/// Iterator that resolves spilled values on access. value() materializes
+/// into an owned buffer (the base class hands out string_views).
+class SpillingIterator : public KvIterator {
+ public:
+  SpillingIterator(const SpillingStore* store,
+                   std::unique_ptr<KvIterator> inner)
+      : store_(store), inner_(std::move(inner)) {}
+
+  void Seek(std::string_view key) override {
+    inner_->Seek(key);
+    resolved_ = false;
+  }
+  void SeekToFirst() override {
+    inner_->SeekToFirst();
+    resolved_ = false;
+  }
+  bool Valid() const override { return inner_->Valid(); }
+  void Next() override {
+    inner_->Next();
+    resolved_ = false;
+  }
+  std::string_view key() const override { return inner_->key(); }
+  std::string_view value() const override {
+    if (!resolved_) {
+      auto value = store_->Resolve(inner_->value());
+      // The KvIterator interface has no error channel; a corrupt
+      // segment surfaces as an empty value here and as a hard error on
+      // the Get path (which every correctness-critical reader uses).
+      buffer_ = value.ok() ? std::move(value).value() : std::string();
+      resolved_ = true;
+    }
+    return buffer_;
+  }
+
+ private:
+  const SpillingStore* store_;
+  std::unique_ptr<KvIterator> inner_;
+  mutable std::string buffer_;
+  mutable bool resolved_ = false;
+};
+
+std::unique_ptr<KvIterator> SpillingStore::NewIterator() const {
+  return std::make_unique<SpillingIterator>(this, inner_->NewIterator());
+}
+
+}  // namespace approxql::storage

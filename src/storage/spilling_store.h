@@ -1,0 +1,74 @@
+// KvStore decorator that spills large values into a ValueLog, keeping
+// only a tagged SegmentPointer in the underlying (B+tree) store — the
+// jubilant-db pattern: leaves stay small, bulk bytes live in an
+// append-only log. The spill decision is a pure function of the value
+// size and the fixed inline threshold, so WAL replay that re-issues the
+// same Puts in the same order reproduces the identical log layout
+// byte for byte (DurableShard verifies this against the WAL records).
+//
+// Stored representation:
+//   kInlineTag  (1 byte) + raw value
+//   kSpilledTag (1 byte) + varint offset + varint length
+#ifndef APPROXQL_STORAGE_SPILLING_STORE_H_
+#define APPROXQL_STORAGE_SPILLING_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "storage/kv_store.h"
+#include "storage/vlog/value_log.h"
+
+namespace approxql::storage {
+
+inline constexpr char kInlineTag = 1;
+inline constexpr char kSpilledTag = 2;
+
+/// Values strictly larger than this many bytes spill to the value log.
+inline constexpr size_t kDefaultInlineThreshold = 256;
+
+class SpillingStore : public KvStore {
+ public:
+  /// Takes ownership of both. `inline_threshold` must stay constant
+  /// across the store's whole life (it is part of the layout contract).
+  SpillingStore(std::unique_ptr<KvStore> inner,
+                std::unique_ptr<ValueLog> vlog,
+                size_t inline_threshold = kDefaultInlineThreshold)
+      : inner_(std::move(inner)),
+        vlog_(std::move(vlog)),
+        inline_threshold_(inline_threshold) {}
+
+  util::Status Put(std::string_view key, std::string_view value) override;
+  util::Result<std::string> Get(std::string_view key) const override;
+  util::Status Delete(std::string_view key, bool* existed = nullptr) override;
+  util::Result<bool> Contains(std::string_view key) const override;
+  std::unique_ptr<KvIterator> NewIterator() const override;
+  size_t KeyCount() const override { return inner_->KeyCount(); }
+  /// Values first, then the pointers that reference them.
+  util::Status Flush() override;
+
+  struct Stats {
+    uint64_t inline_puts = 0;
+    uint64_t spilled_puts = 0;
+    uint64_t spilled_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t inline_threshold() const { return inline_threshold_; }
+  ValueLog* vlog() { return vlog_.get(); }
+  KvStore* inner() { return inner_.get(); }
+
+ private:
+  friend class SpillingIterator;
+
+  util::Result<std::string> Resolve(std::string_view stored) const;
+
+  std::unique_ptr<KvStore> inner_;
+  std::unique_ptr<ValueLog> vlog_;
+  size_t inline_threshold_;
+  Stats stats_;
+};
+
+}  // namespace approxql::storage
+
+#endif  // APPROXQL_STORAGE_SPILLING_STORE_H_

@@ -1,0 +1,108 @@
+// KvStore decorator serializing every operation behind one mutex, so a
+// single mutating writer (live ingest) can share a store with the
+// read-side StoredLabelIndex fetches of any number of query threads —
+// DiskKvStore's page cache is single-threaded by contract, MemKvStore's
+// map is not concurrent either. Also the seam for checkpoint handoff:
+// Swap() atomically replaces the inner store (the checkpoint's freshly
+// compacted generation) without readers ever observing a half state.
+//
+// NewIterator() holds the store mutex for the ITERATOR'S LIFETIME:
+// destroy it before calling any other method from the same thread, and
+// never hold two at once.
+#ifndef APPROXQL_STORAGE_SYNCHRONIZED_STORE_H_
+#define APPROXQL_STORAGE_SYNCHRONIZED_STORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "storage/kv_store.h"
+#include "util/mutex.h"
+
+namespace approxql::storage {
+
+class SynchronizedKvStore : public KvStore {
+ public:
+  explicit SynchronizedKvStore(std::unique_ptr<KvStore> inner)
+      : inner_(std::move(inner)) {}
+
+  util::Status Put(std::string_view key, std::string_view value) override {
+    util::MutexLock lock(&mu_);
+    return inner_->Put(key, value);
+  }
+  util::Result<std::string> Get(std::string_view key) const override {
+    util::MutexLock lock(&mu_);
+    return inner_->Get(key);
+  }
+  util::Status Delete(std::string_view key, bool* existed = nullptr) override {
+    util::MutexLock lock(&mu_);
+    return inner_->Delete(key, existed);
+  }
+  util::Result<bool> Contains(std::string_view key) const override {
+    util::MutexLock lock(&mu_);
+    return inner_->Contains(key);
+  }
+  std::unique_ptr<KvIterator> NewIterator() const override;
+  size_t KeyCount() const override {
+    util::MutexLock lock(&mu_);
+    return inner_->KeyCount();
+  }
+  util::Status Flush() override {
+    util::MutexLock lock(&mu_);
+    return inner_->Flush();
+  }
+
+  /// Replaces the inner store, returning the previous one. In-flight
+  /// readers (all serialized on mu_) switch to the new store on their
+  /// next operation; the checkpoint protocol guarantees it holds the
+  /// same logical content.
+  std::unique_ptr<KvStore> Swap(std::unique_ptr<KvStore> next) {
+    util::MutexLock lock(&mu_);
+    std::swap(inner_, next);
+    return next;
+  }
+
+ private:
+  friend class SynchronizedIterator;
+
+  mutable util::Mutex mu_;
+  std::unique_ptr<KvStore> inner_ GUARDED_BY(mu_);
+};
+
+/// Holds the store mutex from construction to destruction; the inner
+/// iterator is only ever touched with the lock held.
+class SynchronizedIterator : public KvIterator {
+ public:
+  // Lifetime-scoped lock: acquired here, released in the destructor.
+  // The static analysis cannot track a capability across object
+  // lifetime, hence the explicit opt-outs.
+  explicit SynchronizedIterator(const SynchronizedKvStore* store)
+      NO_THREAD_SAFETY_ANALYSIS : store_(store) {
+    store_->mu_.Lock();
+    inner_ = store_->inner_->NewIterator();
+  }
+  ~SynchronizedIterator() override NO_THREAD_SAFETY_ANALYSIS {
+    inner_.reset();  // before the lock drops: it points into the store
+    store_->mu_.Unlock();
+  }
+
+  void Seek(std::string_view key) override { inner_->Seek(key); }
+  void SeekToFirst() override { inner_->SeekToFirst(); }
+  bool Valid() const override { return inner_->Valid(); }
+  void Next() override { inner_->Next(); }
+  std::string_view key() const override { return inner_->key(); }
+  std::string_view value() const override { return inner_->value(); }
+
+ private:
+  const SynchronizedKvStore* store_;
+  std::unique_ptr<KvIterator> inner_;
+};
+
+inline std::unique_ptr<KvIterator> SynchronizedKvStore::NewIterator() const {
+  return std::make_unique<SynchronizedIterator>(this);
+}
+
+}  // namespace approxql::storage
+
+#endif  // APPROXQL_STORAGE_SYNCHRONIZED_STORE_H_

@@ -1,0 +1,186 @@
+#include "storage/vlog/value_log.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "storage/wal/log_format.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace approxql::storage {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr uint32_t kVlogMagic = 0x474c5641;  // "AVLG"
+constexpr uint32_t kVlogVersion = 1;
+constexpr size_t kCrcBytes = 4;
+
+std::string EncodeVlogHeader() {
+  std::string out;
+  util::PutVarint32(&out, kVlogMagic);
+  util::PutVarint32(&out, kVlogVersion);
+  PutFixed32(&out, util::Crc32c(out));
+  return out;
+}
+
+Status SyncFile(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::IoError(path + ": fflush failed");
+  }
+  if (::fsync(fileno(file)) != 0) {
+    return Status::IoError(path + ": fsync failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t ValueLog::HeaderSize() { return EncodeVlogHeader().size(); }
+
+Result<std::unique_ptr<ValueLog>> ValueLog::Open(const std::string& path) {
+  const std::string header = EncodeVlogHeader();
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");
+    if (file == nullptr) return Status::IoError("cannot create " + path);
+    if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+      std::fclose(file);
+      return Status::IoError(path + ": short header write");
+    }
+    Status synced = SyncFile(file, path);
+    if (!synced.ok()) {
+      std::fclose(file);
+      return synced;
+    }
+    std::unique_ptr<ValueLog> vlog(new ValueLog(file, path));
+    vlog->size_ = header.size();
+    return vlog;
+  }
+  std::vector<char> stored(header.size());
+  if (std::fread(stored.data(), 1, stored.size(), file) != stored.size() ||
+      std::string_view(stored.data(), stored.size()) != header) {
+    std::fclose(file);
+    return Status::Corruption(path + ": bad value-log header");
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError(path + ": seek failed");
+  }
+  const long end = std::ftell(file);
+  if (end < 0) {
+    std::fclose(file);
+    return Status::IoError(path + ": ftell failed");
+  }
+  std::unique_ptr<ValueLog> vlog(new ValueLog(file, path));
+  vlog->size_ = static_cast<uint64_t>(end);
+  return vlog;
+}
+
+ValueLog::~ValueLog() {
+  if (file_ != nullptr) {
+    if (std::fflush(file_) != 0) {
+      APPROXQL_LOG(Error) << "value-log flush on close failed for " << path_;
+    }
+    std::fclose(file_);
+  }
+}
+
+Result<SegmentPointer> ValueLog::Append(std::string_view value) {
+  std::string segment;
+  segment.reserve(value.size() + 14);
+  util::PutVarint64(&segment, value.size());
+  segment.append(value);
+  PutFixed32(&segment, util::Crc32c(value));
+  if (std::fseek(file_, static_cast<long>(size_), SEEK_SET) != 0) {
+    return Status::IoError(path_ + ": seek failed");
+  }
+  if (std::fwrite(segment.data(), 1, segment.size(), file_) !=
+      segment.size()) {
+    return Status::IoError(path_ + ": short value-log append");
+  }
+  SegmentPointer pointer;
+  pointer.offset = size_;
+  pointer.length = value.size();
+  size_ += segment.size();
+  return pointer;
+}
+
+Result<std::string> ValueLog::Read(const SegmentPointer& pointer) const {
+  // Appends sit in the stdio buffer until flushed, but reads bypass it
+  // via pread — push any buffered suffix to the kernel first so a
+  // just-appended segment is readable. No-op when the buffer is empty.
+  if (std::fflush(file_) != 0) {
+    return Status::IoError(path_ + ": fflush before read failed");
+  }
+  // Segment = len varint (<=10 bytes) + value + CRC; bound the pread by
+  // the log end so a stale pointer fails instead of reading garbage.
+  if (pointer.offset >= size_) {
+    return Status::Corruption(path_ + ": segment offset " +
+                              std::to_string(pointer.offset) +
+                              " beyond log end " + std::to_string(size_));
+  }
+  const uint64_t max_segment = pointer.length + 10 + kCrcBytes;
+  const uint64_t available = size_ - pointer.offset;
+  const size_t to_read =
+      static_cast<size_t>(max_segment < available ? max_segment : available);
+  std::string buffer(to_read, '\0');
+  // pread: no shared file-position state, so concurrent readers under
+  // the store mutex never interleave with the append cursor.
+  const ssize_t n = ::pread(fileno(file_), buffer.data(), to_read,
+                            static_cast<off_t>(pointer.offset));
+  if (n < 0 || static_cast<size_t>(n) != to_read) {
+    return Status::IoError(path_ + ": segment read failed at offset " +
+                           std::to_string(pointer.offset));
+  }
+  util::VarintReader reader(buffer);
+  uint64_t stored_length = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&stored_length));
+  if (stored_length != pointer.length) {
+    return Status::Corruption(path_ + ": segment length mismatch at offset " +
+                              std::to_string(pointer.offset));
+  }
+  if (reader.remaining() < stored_length + kCrcBytes) {
+    return Status::Corruption(path_ + ": segment overruns log");
+  }
+  std::string_view value;
+  RETURN_IF_ERROR(reader.GetBytes(static_cast<size_t>(stored_length), &value));
+  if (GetFixed32(buffer.data() + reader.position()) != util::Crc32c(value)) {
+    return Status::Corruption(path_ + ": segment CRC mismatch at offset " +
+                              std::to_string(pointer.offset));
+  }
+  return std::string(value);
+}
+
+Status ValueLog::TruncateTo(uint64_t size) {
+  if (size < HeaderSize() || size > size_) {
+    return Status::InvalidArgument(
+        path_ + ": truncate to " + std::to_string(size) + " outside [" +
+        std::to_string(HeaderSize()) + ", " + std::to_string(size_) + "]");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError(path_ + ": fflush failed");
+  }
+  if (::ftruncate(fileno(file_), static_cast<off_t>(size)) != 0) {
+    return Status::IoError(path_ + ": truncate failed");
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+Status ValueLog::Sync() { return SyncFile(file_, path_); }
+
+void ValueLog::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace approxql::storage

@@ -1,0 +1,81 @@
+// Append-only value log: large posting lists spill here out of B+tree
+// leaves, which keep only a fixed-size SegmentPointer. Each segment is
+// individually CRC'd, so a damaged log fails the specific read instead
+// of the whole store. The log is truncated back to its checkpointed
+// size at open — replaying the WAL then re-appends the post-checkpoint
+// values at byte-identical offsets, which is what makes the spill
+// layout reproducible across crashes.
+//
+// File layout:
+//
+//   header  := varint magic, varint version, fixed32 crc(header bytes)
+//   segment := varint len(value) value fixed32 crc(value)
+//
+// A SegmentPointer addresses the whole segment (offset of the length
+// varint); Read re-verifies length and CRC on every access.
+#ifndef APPROXQL_STORAGE_VLOG_VALUE_LOG_H_
+#define APPROXQL_STORAGE_VLOG_VALUE_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace approxql::storage {
+
+/// Location of one spilled value. `offset` is the segment start in the
+/// log file; `length` is the raw value length (what Read returns).
+struct SegmentPointer {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+class ValueLog {
+ public:
+  /// Opens or creates `path`. An existing log is NOT scanned — callers
+  /// immediately TruncateTo() their checkpointed size, which also
+  /// discards any torn tail from a crash.
+  static util::Result<std::unique_ptr<ValueLog>> Open(
+      const std::string& path);
+
+  ~ValueLog();
+  ValueLog(const ValueLog&) = delete;
+  ValueLog& operator=(const ValueLog&) = delete;
+
+  /// Appends one value; returns where it landed. Durable after Sync().
+  util::Result<SegmentPointer> Append(std::string_view value);
+
+  /// Reads a segment back, verifying its length header and CRC.
+  util::Result<std::string> Read(const SegmentPointer& pointer) const;
+
+  /// Drops everything past `size` bytes (a previously recorded size()).
+  /// Rejects sizes beyond the current end or inside the header.
+  util::Status TruncateTo(uint64_t size);
+
+  util::Status Sync();
+
+  /// Current end of the log = the next Append's offset. Recorded in
+  /// checkpoints and in WAL records for replay-layout verification.
+  uint64_t size() const { return size_; }
+
+  /// Smallest valid size(): a log truncated here is empty.
+  static uint64_t HeaderSize();
+
+  /// Close without flushing (crash simulation); unusable afterwards.
+  void Abandon();
+
+ private:
+  ValueLog(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace approxql::storage
+
+#endif  // APPROXQL_STORAGE_VLOG_VALUE_LOG_H_

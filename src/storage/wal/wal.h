@@ -1,0 +1,105 @@
+// Per-shard write-ahead log. Every mutation is appended as a CRC'd
+// varint record and fsync'd before the caller acknowledges it, so a
+// crash can lose at most the un-acked suffix. Replay at open returns
+// the longest valid record prefix and drops a torn tail; an explicit
+// Truncate() (the checkpoint protocol's last step) empties the log
+// while preserving the sequence numbering.
+//
+// File layout (all integers varint unless noted):
+//
+//   header  := magic version base_seq len(config) config fixed32 crc
+//   record  := len(payload) payload fixed32 crc(payload)
+//   payload := seq type body-bytes
+//
+// The header CRC covers the header bytes before it; each record CRC
+// covers its payload. Sequence numbers are strictly consecutive
+// (base_seq+1, base_seq+2, ...) — a gap, repeat, or regression is
+// treated exactly like a torn tail: replay stops cleanly at the last
+// good record and the bad suffix is truncated away. The header (and
+// every Truncate) is published by tmp-file + rename, so a half-written
+// header can never be observed.
+#ifndef APPROXQL_STORAGE_WAL_WAL_H_
+#define APPROXQL_STORAGE_WAL_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace approxql::storage {
+
+struct WalRecord {
+  uint64_t seq = 0;
+  uint32_t type = 0;
+  std::string payload;
+};
+
+class WriteAheadLog {
+ public:
+  struct OpenResult {
+    std::unique_ptr<WriteAheadLog> wal;
+    /// The longest valid record prefix, sequence-ascending.
+    std::vector<WalRecord> records;
+    /// True when bytes after the valid prefix were dropped (torn tail,
+    /// CRC mismatch, sequence break). Never an error: the suffix was
+    /// by definition never acknowledged durable.
+    bool tail_truncated = false;
+  };
+
+  /// Opens or creates `path`. `config` is an opaque caller string baked
+  /// into the header (shard layout parameters); reopening with a
+  /// different config fails with Corruption rather than replaying a log
+  /// against the wrong world.
+  static util::Result<OpenResult> Open(const std::string& path,
+                                       std::string_view config);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record and returns its sequence number. NOT durable
+  /// until Sync() returns.
+  util::Result<uint64_t> Append(uint32_t type, std::string_view payload);
+
+  /// fsync barrier: every appended record is on media after this.
+  util::Status Sync();
+
+  /// Drops all records (the checkpoint that just completed covers
+  /// them), keeping base_seq = last_seq so numbering never restarts.
+  /// Atomic via tmp + rename.
+  util::Status Truncate();
+
+  /// Last appended (or replayed) sequence number; base_seq() right
+  /// after a Truncate or on a fresh log.
+  uint64_t last_seq() const { return last_seq_; }
+  uint64_t base_seq() const { return base_seq_; }
+  size_t size_bytes() const { return size_bytes_; }
+  const std::string& config() const { return config_; }
+
+  /// Closes the file without flushing buffered appends — the on-disk
+  /// log keeps only what the last Sync made durable (plus whatever the
+  /// OS happened to write). Crash simulation; unusable afterwards.
+  void Abandon();
+
+ private:
+  WriteAheadLog(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  static std::string EncodeHeader(std::string_view config, uint64_t base_seq);
+  util::Status WriteFresh(uint64_t base_seq);
+
+  std::FILE* file_;
+  std::string path_;
+  std::string config_;
+  uint64_t base_seq_ = 0;
+  uint64_t last_seq_ = 0;
+  size_t size_bytes_ = 0;
+};
+
+}  // namespace approxql::storage
+
+#endif  // APPROXQL_STORAGE_WAL_WAL_H_

@@ -1,0 +1,298 @@
+// Crash recovery pins the PR's core acceptance invariant: after a crash
+// (simulated by Abandon — drop all unflushed buffers, stop mutating)
+// and a reopen with WAL replay, every durably-acked document is
+// present, no partial document is visible, and answers are
+// bit-identical to an oracle Database built from exactly the acked
+// document set — for both strategies, at 1, 2 and 4 shards, over both
+// store kinds. The inline threshold is set low so every run exercises
+// value-log spill replay, not just inline postings.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "engine/database.h"
+#include "ingest/mutable_corpus.h"
+#include "shard/sharded_database.h"
+#include "util/status.h"
+
+namespace approxql::ingest {
+namespace {
+
+using engine::ExecOptions;
+using engine::QueryAnswer;
+using engine::Strategy;
+
+const char* const kQueries[] = {
+    R"(elem0["term1"])",
+    R"(elem1[elem3 and "term2"])",
+    R"(elem2[elem4["term0"]])",
+};
+
+cost::CostModel TestModel() {
+  cost::CostModel model;
+  for (int i = 0; i < 10; ++i) {
+    model.SetDeleteCost(NodeType::kStruct, "elem" + std::to_string(i),
+                        static_cast<cost::Cost>(2 + (i * 3) % 7));
+    model.SetDeleteCost(NodeType::kText, "term" + std::to_string(i),
+                        static_cast<cost::Cost>(1 + (i * 5) % 6));
+  }
+  return model;
+}
+
+std::string MakeDoc(size_t i) {
+  const std::string a = "elem" + std::to_string(i % 5);
+  const std::string b = "elem" + std::to_string((i + 2) % 6);
+  const std::string c = "elem" + std::to_string((i + 4) % 7);
+  // Pad one text child past any reasonable inline threshold so most
+  // documents carry at least one spilled posting.
+  const std::string t1 = "term" + std::to_string(i % 7);
+  const std::string t2 = "term" + std::to_string((i + 3) % 8);
+  return "<" + a + "><" + b + ">" + t1 + "</" + b + "><" + c + ">" + t2 +
+         " " + t1 + "</" + c + "></" + a + ">";
+}
+
+void ExpectSameAnswers(const std::vector<QueryAnswer>& got,
+                       const std::vector<QueryAnswer>& want,
+                       const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].root, want[i].root) << label << " answer " << i;
+    EXPECT_EQ(got[i].cost, want[i].cost) << label << " answer " << i;
+  }
+}
+
+std::vector<QueryAnswer> Answers(const shard::ShardedDatabase& snap,
+                                 const char* query, Strategy strategy) {
+  ExecOptions options;
+  options.strategy = strategy;
+  options.n = SIZE_MAX;  // all answers: the strongest equality
+  auto answers = snap.Execute(query, options, shard::ScatterOptions{});
+  EXPECT_TRUE(answers.ok()) << answers.status();
+  return answers.ok() ? *answers : std::vector<QueryAnswer>{};
+}
+
+/// Recovered corpus must answer exactly like a Database built from the
+/// acked documents in ack order.
+void ExpectMatchesOracle(const MutableCorpus& corpus,
+                         const std::vector<std::string>& acked,
+                         const std::string& label) {
+  auto oracle = engine::Database::BuildFromXml(acked, TestModel());
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  auto snap = corpus.snapshot();
+  for (const char* query : kQueries) {
+    for (Strategy strategy : {Strategy::kSchema, Strategy::kDirect}) {
+      ExecOptions options;
+      options.strategy = strategy;
+      options.n = SIZE_MAX;
+      auto want = oracle->Execute(query, options);
+      ASSERT_TRUE(want.ok()) << want.status();
+      ExpectSameAnswers(Answers(*snap, query, strategy), *want,
+                        label + " " + query +
+                            (strategy == Strategy::kSchema ? " schema"
+                                                           : " direct"));
+    }
+  }
+}
+
+struct RecoveryParam {
+  size_t num_shards;
+  storage::StoreKind store_kind;
+};
+
+class RecoveryTest : public ::testing::TestWithParam<RecoveryParam> {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("approxql_recovery_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  MutableCorpus::Options Opts() {
+    MutableCorpus::Options options;
+    options.data_dir = dir_;
+    options.num_shards = GetParam().num_shards;
+    options.store_kind = GetParam().store_kind;
+    options.model = TestModel();
+    options.inline_threshold = 16;  // force value-log spills
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_P(RecoveryTest, AckedDocumentsSurviveTheCrash) {
+  std::vector<std::string> acked;
+  uint64_t epoch_before = 0;
+  {
+    auto corpus = MutableCorpus::Open(Opts());
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    for (size_t i = 0; i < 18; ++i) {
+      ASSERT_TRUE((*corpus)->AddDocument(MakeDoc(i)).ok());
+      acked.push_back(MakeDoc(i));
+    }
+    epoch_before = (*corpus)->epoch();
+    (*corpus)->Abandon();  // crash: nothing flushed past the last ack
+  }
+  MutableCorpus::OpenStats stats;
+  auto recovered = MutableCorpus::Open(Opts(), nullptr, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(stats.recovered_documents, acked.size());
+  EXPECT_EQ(stats.replayed_records, acked.size());
+  EXPECT_EQ((*recovered)->document_count(), acked.size());
+  EXPECT_EQ((*recovered)->epoch(), epoch_before);
+  ExpectMatchesOracle(**recovered, acked, "recovered");
+}
+
+TEST_P(RecoveryTest, RemovalsReplayAndIdsAreStable) {
+  std::vector<std::vector<QueryAnswer>> before;
+  uint64_t epoch_before = 0;
+  {
+    auto corpus = MutableCorpus::Open(Opts());
+    ASSERT_TRUE(corpus.ok());
+    std::vector<doc::NodeId> roots;
+    for (size_t i = 0; i < 10; ++i) {
+      auto result = (*corpus)->AddDocument(MakeDoc(i));
+      ASSERT_TRUE(result.ok());
+      roots.push_back(result->doc_root);
+    }
+    ASSERT_TRUE((*corpus)->RemoveDocument(roots[2]).ok());
+    ASSERT_TRUE((*corpus)->RemoveDocument(roots[7]).ok());
+    ASSERT_TRUE((*corpus)->RemoveDocument(roots[9]).ok());
+    epoch_before = (*corpus)->epoch();
+    auto snap = (*corpus)->snapshot();
+    for (const char* query : kQueries) {
+      before.push_back(Answers(*snap, query, Strategy::kSchema));
+    }
+    (*corpus)->Abandon();
+  }
+  auto recovered = MutableCorpus::Open(Opts());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->document_count(), 7u);
+  EXPECT_EQ((*recovered)->epoch(), epoch_before);  // 10 adds + 3 removes
+  // Global ids survive recovery verbatim (holes included), so the
+  // pre-crash snapshot's answers are the exact expectation.
+  auto snap = (*recovered)->snapshot();
+  for (size_t q = 0; q < std::size(kQueries); ++q) {
+    ExpectSameAnswers(Answers(*snap, kQueries[q], Strategy::kSchema),
+                      before[q], std::string("replayed ") + kQueries[q]);
+  }
+}
+
+TEST_P(RecoveryTest, CheckpointBoundsReplay) {
+  std::vector<std::string> acked;
+  {
+    auto corpus = MutableCorpus::Open(Opts());
+    ASSERT_TRUE(corpus.ok());
+    for (size_t i = 0; i < 12; ++i) {
+      ASSERT_TRUE((*corpus)->AddDocument(MakeDoc(i)).ok());
+      acked.push_back(MakeDoc(i));
+    }
+    ASSERT_TRUE((*corpus)->Checkpoint().ok());
+    for (size_t i = 12; i < 17; ++i) {
+      ASSERT_TRUE((*corpus)->AddDocument(MakeDoc(i)).ok());
+      acked.push_back(MakeDoc(i));
+    }
+    (*corpus)->Abandon();
+  }
+  MutableCorpus::OpenStats stats;
+  auto recovered = MutableCorpus::Open(Opts(), nullptr, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(stats.recovered_documents, 17u);
+  // Only the post-checkpoint suffix replays from the WALs.
+  EXPECT_EQ(stats.replayed_records, 5u);
+  ExpectMatchesOracle(**recovered, acked, "post-checkpoint");
+}
+
+TEST_P(RecoveryTest, TornWalTailDropsOnlyTheUnackedSuffix) {
+  // Per query: the pre-crash answers tagged with their document roots.
+  std::vector<std::vector<std::pair<QueryAnswer, doc::NodeId>>> tagged;
+  doc::NodeId lost_root = 0;
+  {
+    auto corpus = MutableCorpus::Open(Opts());
+    ASSERT_TRUE(corpus.ok());
+    doc::NodeId last_on_shard0 = 0;
+    for (size_t i = 0; i < 11; ++i) {
+      auto result = (*corpus)->AddDocument(MakeDoc(i));
+      ASSERT_TRUE(result.ok());
+      if (result->shard_index == 0) last_on_shard0 = result->doc_root;
+    }
+    lost_root = last_on_shard0;
+    ASSERT_NE(lost_root, 0u);
+    auto snap = (*corpus)->snapshot();
+    for (const char* query : kQueries) {
+      std::vector<std::pair<QueryAnswer, doc::NodeId>> per_query;
+      for (const auto& answer : Answers(*snap, query, Strategy::kSchema)) {
+        per_query.emplace_back(answer, snap->DocRootOf(answer.root));
+      }
+      tagged.push_back(std::move(per_query));
+    }
+    (*corpus)->Abandon();
+  }
+  // Tear the tail of shard 0's WAL: its final record (the last acked
+  // document on that shard) becomes unreadable, exactly as if the
+  // crash hit mid-append before the ack went out.
+  const std::string wal_path = dir_ + "/shard0.wal";
+  const auto full = std::filesystem::file_size(wal_path);
+  std::filesystem::resize_file(wal_path, full - 5);
+
+  MutableCorpus::OpenStats stats;
+  auto recovered = MutableCorpus::Open(Opts(), nullptr, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(stats.any_tail_truncated);
+  EXPECT_EQ((*recovered)->document_count(), 10u);
+  // Surviving documents keep their global ids and costs, so with n=all
+  // the recovered answers are exactly the pre-crash answers minus the
+  // torn document's.
+  auto snap = (*recovered)->snapshot();
+  for (size_t q = 0; q < std::size(kQueries); ++q) {
+    std::vector<QueryAnswer> want;
+    for (const auto& [answer, doc_root] : tagged[q]) {
+      if (doc_root != lost_root) want.push_back(answer);
+    }
+    ExpectSameAnswers(Answers(*snap, kQueries[q], Strategy::kSchema), want,
+                      std::string("torn ") + kQueries[q]);
+  }
+}
+
+TEST_P(RecoveryTest, DoubleRecoveryIsDeterministic) {
+  std::vector<std::string> acked;
+  {
+    auto corpus = MutableCorpus::Open(Opts());
+    ASSERT_TRUE(corpus.ok());
+    for (size_t i = 0; i < 9; ++i) {
+      ASSERT_TRUE((*corpus)->AddDocument(MakeDoc(i)).ok());
+      acked.push_back(MakeDoc(i));
+    }
+    (*corpus)->Abandon();
+  }
+  for (int round = 0; round < 2; ++round) {
+    auto recovered = MutableCorpus::Open(Opts());
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    ExpectMatchesOracle(**recovered, acked,
+                        "round " + std::to_string(round));
+    (*recovered)->Abandon();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsAndStores, RecoveryTest,
+    ::testing::Values(RecoveryParam{1, storage::StoreKind::kMem},
+                      RecoveryParam{2, storage::StoreKind::kMem},
+                      RecoveryParam{2, storage::StoreKind::kDisk},
+                      RecoveryParam{4, storage::StoreKind::kDisk}),
+    [](const ::testing::TestParamInfo<RecoveryParam>& info) {
+      return std::to_string(info.param.num_shards) + "shard_" +
+             (info.param.store_kind == storage::StoreKind::kMem ? "mem"
+                                                                : "disk");
+    });
+
+}  // namespace
+}  // namespace approxql::ingest

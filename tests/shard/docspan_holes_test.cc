@@ -1,0 +1,208 @@
+// DocSpan maps with holes: removing documents mid-shard leaves
+// permanent gaps in the global id space, and the remaining spans must
+// keep translating shard-local answers exactly. The oracle is a FRESH
+// Database rebuilt from only the surviving documents — its ids are
+// compacted, so equality is checked through the placement-independent
+// tuple (survivor ordinal, offset within document, cost): if the
+// holed DocSpan tables translate correctly, the two answer lists are
+// identical under that translation, for both strategies, with and
+// without a top-k cutoff.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "engine/database.h"
+#include "ingest/mutable_corpus.h"
+#include "shard/sharded_database.h"
+
+namespace approxql::shard {
+namespace {
+
+using engine::ExecOptions;
+using engine::QueryAnswer;
+using engine::Strategy;
+
+const char* const kQueries[] = {
+    R"(elem0["term1"])",
+    R"(elem1[elem3 and "term2"])",
+    R"(elem2[elem4["term0"]])",
+};
+
+cost::CostModel TestModel() {
+  cost::CostModel model;
+  for (int i = 0; i < 10; ++i) {
+    model.SetDeleteCost(NodeType::kStruct, "elem" + std::to_string(i),
+                        static_cast<cost::Cost>(2 + (i * 3) % 7));
+    model.SetDeleteCost(NodeType::kText, "term" + std::to_string(i),
+                        static_cast<cost::Cost>(1 + (i * 5) % 6));
+  }
+  return model;
+}
+
+std::string MakeDoc(size_t i) {
+  const std::string a = "elem" + std::to_string(i % 5);
+  const std::string b = "elem" + std::to_string((i + 2) % 6);
+  const std::string c = "elem" + std::to_string((i + 4) % 7);
+  const std::string t1 = "term" + std::to_string(i % 7);
+  const std::string t2 = "term" + std::to_string((i + 3) % 8);
+  return "<" + a + "><" + b + ">" + t1 + "</" + b + "><" + c + ">" + t2 +
+         "</" + c + "></" + a + ">";
+}
+
+/// (survivor ordinal, offset within the document, cost): the id-space-
+/// independent form of an answer.
+using Tuple = std::tuple<size_t, doc::NodeId, cost::Cost>;
+
+struct Survivor {
+  doc::NodeId root = 0;   // in whichever id space the list describes
+  uint32_t length = 0;    // nodes in the document subtree
+  std::string xml;
+};
+
+/// Translates `root` to its tuple against `survivors` (sorted by root).
+Tuple Translate(doc::NodeId root, cost::Cost cost,
+                const std::vector<Survivor>& survivors) {
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    if (root >= survivors[i].root &&
+        root < survivors[i].root + survivors[i].length) {
+      return {i, root - survivors[i].root, cost};
+    }
+  }
+  ADD_FAILURE() << "answer root " << root << " is in no surviving document";
+  return {SIZE_MAX, 0, cost};
+}
+
+class DocSpanHolesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("approxql_holes_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(DocSpanHolesTest, HoledSpansMatchAFreshRebuildOfTheSurvivors) {
+  ingest::MutableCorpus::Options options;
+  options.data_dir = dir_;
+  options.num_shards = 2;
+  options.model = TestModel();
+  auto corpus = ingest::MutableCorpus::Open(std::move(options));
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+
+  // 12 documents, then punch 4 holes: mid-shard, shard-initial, and
+  // two adjacent (a double-width gap).
+  std::vector<Survivor> all;
+  for (size_t i = 0; i < 12; ++i) {
+    auto result = (*corpus)->AddDocument(MakeDoc(i));
+    ASSERT_TRUE(result.ok());
+    all.push_back({result->doc_root, result->length, MakeDoc(i)});
+  }
+  for (size_t victim : {0u, 4u, 5u, 9u}) {
+    ASSERT_TRUE((*corpus)->RemoveDocument(all[victim].root).ok());
+  }
+  std::vector<Survivor> survivors;  // holed (corpus) id space
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i != 0 && i != 4 && i != 5 && i != 9) survivors.push_back(all[i]);
+  }
+
+  // Fresh rebuild from only the survivors: compacted id space.
+  std::vector<std::string> survivor_xml;
+  for (const auto& survivor : survivors) {
+    survivor_xml.push_back(survivor.xml);
+  }
+  auto oracle = engine::Database::BuildFromXml(survivor_xml, TestModel());
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  std::vector<Survivor> compacted = survivors;
+  doc::NodeId next = 1;  // super-root is 0
+  for (auto& survivor : compacted) {
+    survivor.root = next;
+    next += survivor.length;
+  }
+
+  auto snap = (*corpus)->snapshot();
+  // The DocSpan mapping itself: first and last node of every surviving
+  // document resolve to its root; answers never land in a hole.
+  for (const auto& survivor : survivors) {
+    EXPECT_EQ(snap->DocRootOf(survivor.root), survivor.root);
+    EXPECT_EQ(snap->DocRootOf(survivor.root + survivor.length - 1),
+              survivor.root);
+  }
+
+  for (const char* query : kQueries) {
+    for (Strategy strategy : {Strategy::kSchema, Strategy::kDirect}) {
+      for (size_t n : {static_cast<size_t>(3), SIZE_MAX}) {
+        ExecOptions exec;
+        exec.strategy = strategy;
+        exec.n = n;
+        auto got = snap->Execute(query, exec, ScatterOptions{});
+        ASSERT_TRUE(got.ok()) << got.status();
+        auto want = oracle->Execute(query, exec);
+        ASSERT_TRUE(want.ok()) << want.status();
+        ASSERT_EQ(got->size(), want->size())
+            << query << " n=" << n
+            << (strategy == Strategy::kSchema ? " schema" : " direct");
+        for (size_t i = 0; i < got->size(); ++i) {
+          EXPECT_EQ(
+              Translate((*got)[i].root, (*got)[i].cost, survivors),
+              Translate((*want)[i].root, (*want)[i].cost, compacted))
+              << query << " answer " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DocSpanHolesTest, HolesSurviveRecoveryIdentically) {
+  ingest::MutableCorpus::Options options;
+  options.data_dir = dir_;
+  options.num_shards = 2;
+  options.model = TestModel();
+
+  std::vector<std::pair<doc::NodeId, cost::Cost>> before;
+  {
+    auto corpus = ingest::MutableCorpus::Open(options);
+    ASSERT_TRUE(corpus.ok());
+    std::vector<doc::NodeId> roots;
+    for (size_t i = 0; i < 10; ++i) {
+      auto result = (*corpus)->AddDocument(MakeDoc(i));
+      ASSERT_TRUE(result.ok());
+      roots.push_back(result->doc_root);
+    }
+    ASSERT_TRUE((*corpus)->RemoveDocument(roots[1]).ok());
+    ASSERT_TRUE((*corpus)->RemoveDocument(roots[6]).ok());
+    auto snap = (*corpus)->snapshot();
+    ExecOptions exec;
+    exec.n = SIZE_MAX;
+    auto answers = snap->Execute(kQueries[0], exec, ScatterOptions{});
+    ASSERT_TRUE(answers.ok());
+    for (const auto& answer : *answers) {
+      before.emplace_back(answer.root, answer.cost);
+    }
+    (*corpus)->Abandon();
+  }
+  auto recovered = ingest::MutableCorpus::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  auto snap = (*recovered)->snapshot();
+  ExecOptions exec;
+  exec.n = SIZE_MAX;
+  auto answers = snap->Execute(kQueries[0], exec, ScatterOptions{});
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), before.size());
+  for (size_t i = 0; i < answers->size(); ++i) {
+    EXPECT_EQ((*answers)[i].root, before[i].first) << "answer " << i;
+    EXPECT_EQ((*answers)[i].cost, before[i].second) << "answer " << i;
+  }
+}
+
+}  // namespace
+}  // namespace approxql::shard
