@@ -47,7 +47,7 @@ Status WriteFileDurably(const std::string& path, std::string_view bytes) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IoError("rename " + tmp + " -> " + path + " failed");
   }
-  return Status::OK();
+  return storage::SyncParentDir(path);
 }
 
 Result<std::string> ReadWholeFile(const std::string& path) {
@@ -72,7 +72,7 @@ DurableShard::DurableShard(Options options)
       stem_("shard" + std::to_string(options_.shard_index)) {}
 
 DurableShard::~DurableShard() {
-  if (abandoned_ || poisoned_ || wal_ == nullptr) return;
+  if (!recovered_ || abandoned_ || poisoned_ || wal_ == nullptr) return;
   // Clean shutdown = checkpoint: the next open loads the snapshot and
   // replays nothing, and the B+tree's own destructor flush can never
   // produce a layout that diverges from the checkpoint image.
@@ -513,11 +513,46 @@ Status DurableShard::Recover(bool have_snapshot, const SnapshotFile& snap,
     ++replayed;
   }
 
+  if (!rebuild && options_.store_kind == storage::StoreKind::kDisk) {
+    // The reused kv content is trusted to be exactly checkpoint+replay
+    // state. That fails if a bounded page cache flushed dirty pages from
+    // an un-logged apply before the crash: labels untouched by replay
+    // keep entries past the recovered tree, which would alias real nodes
+    // once the tree grows over them. Detect and fall back to a rebuild.
+    RETURN_IF_ERROR(VerifyNoStalePostings());
+  }
+
   if (stats_out != nullptr) {
     stats_out->recovered_documents = spans_.size();
     stats_out->replayed_records = replayed;
     stats_out->store_rebuilt =
         rebuild && options_.store_kind == storage::StoreKind::kDisk;
+  }
+  return Status::OK();
+}
+
+Status DurableShard::VerifyNoStalePostings() const {
+  // Keys first, values after: Get() resolves spilled segment pointers,
+  // and SynchronizedKvStore holds its mutex for the iterator's lifetime.
+  std::vector<std::string> keys;
+  {
+    std::unique_ptr<storage::KvIterator> it = store_->NewIterator();
+    for (it->Seek(kPostingPrefix); it->Valid(); it->Next()) {
+      const std::string_view key = it->key();
+      if (key.substr(0, kPostingPrefix.size()) != kPostingPrefix) break;
+      keys.emplace_back(key);
+    }
+  }
+  const doc::NodeId limit = static_cast<doc::NodeId>(builder_.node_count());
+  for (const std::string& key : keys) {
+    ASSIGN_OR_RETURN(std::string value, store_->Get(key));
+    ASSIGN_OR_RETURN(index::Posting posting, index::DeserializePosting(value));
+    if (!posting.empty() && posting.back() >= limit) {
+      return Status::Corruption(stem_ + ": stale posting entry " +
+                                std::to_string(posting.back()) +
+                                " past recovered node count " +
+                                std::to_string(limit));
+    }
   }
   return Status::OK();
 }
@@ -567,6 +602,7 @@ Result<std::unique_ptr<DurableShard>> DurableShard::Open(Options options,
                                /*force_rebuild=*/true, stats_out);
   }
   RETURN_IF_ERROR(recovered);
+  shard->recovered_ = true;
   return shard;
 }
 

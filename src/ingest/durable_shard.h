@@ -178,6 +178,11 @@ class DurableShard {
                        const std::vector<storage::WalRecord>& records,
                        bool force_rebuild, OpenStats* stats_out);
 
+  /// Corruption if any stored posting references a node id beyond the
+  /// recovered tree — entries a bounded page cache may have flushed from
+  /// an un-logged (never-acked) apply, for labels replay never touched.
+  util::Status VerifyNoStalePostings() const;
+
   void DeleteStaleGenerations() const;
 
   const Options options_;
@@ -193,6 +198,11 @@ class DurableShard {
   storage::ValueLog* vlog_ = nullptr;
   storage::SpillingStore* spilling_ = nullptr;
   uint64_t gen_ = 0;
+  /// True only once Open finished successfully. The destructor must not
+  /// checkpoint a partially recovered shard: the snapshot would be
+  /// stamped with the WAL's last_seq and the WAL truncated, silently
+  /// dropping acked records that were never applied.
+  bool recovered_ = false;
   bool poisoned_ = false;
   bool abandoned_ = false;
 };

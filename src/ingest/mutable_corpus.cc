@@ -45,7 +45,7 @@ Status WriteMetaFile(const std::string& path, std::string_view config) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IoError("rename " + tmp + " -> " + path + " failed");
   }
-  return Status::OK();
+  return storage::SyncParentDir(path);
 }
 
 Result<std::string> ReadMetaFile(const std::string& path) {
@@ -203,6 +203,10 @@ MutableCorpus::BuildShardView(size_t shard_index) {
 }
 
 Status MutableCorpus::PublishGeneration(size_t mutated_shard) {
+  // A previously failed publish left the current generation stale for
+  // its shard; sharing unmutated shards from it would bake the staleness
+  // into every later generation.
+  if (republish_all_) mutated_shard = SIZE_MAX;
   std::shared_ptr<const shard::ShardedDatabase> previous;
   {
     util::MutexLock lock(&snap_mu_);
@@ -237,6 +241,7 @@ Status MutableCorpus::PublishGeneration(size_t mutated_shard) {
     util::MutexLock lock(&snap_mu_);
     current_ = std::move(generation);
   }
+  republish_all_ = false;
   generations_published_->Increment();
   epoch_gauge_->Set(static_cast<int64_t>(epoch));
   size_t documents = 0;
@@ -280,13 +285,26 @@ Result<MutableCorpus::IngestResult> MutableCorpus::AddDocument(
     return added.status();
   }
   next_global_ = global_start + added->span.length;
-  RETURN_IF_ERROR(PublishGeneration(target));
+  Status published = PublishGeneration(target);
+  if (!published.ok()) {
+    // The document is already durable (WAL appended + fsynced). A non-OK
+    // ack would break the WireIngestAck contract — the client would
+    // resend and duplicate the document — so ack it; the snapshot stays
+    // stale until the next publish succeeds (and rebuilds every shard).
+    republish_all_ = true;
+    APPROXQL_LOG(Error) << "generation publish failed after durable add: "
+                        << published.message();
+  }
   docs_added_->Increment();
   ingest_latency_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
 
   IngestResult result;
   result.seq = added->seq;
-  result.epoch = static_cast<uint64_t>(epoch_gauge_->Value());
+  // The durable epoch, not the gauge: on a failed publish the gauge
+  // still holds the pre-mutation value.
+  uint64_t epoch = 0;
+  for (const auto& shard : shards_) epoch += shard->last_seq();
+  result.epoch = epoch;
   result.doc_root = global_start;
   result.shard_index = static_cast<uint32_t>(target);
   result.length = added->span.length;
@@ -323,13 +341,21 @@ Result<MutableCorpus::IngestResult> MutableCorpus::RemoveDocument(
     ingest_rejected_->Increment();
     return removed.status();
   }
-  RETURN_IF_ERROR(PublishGeneration(target));
+  Status published = PublishGeneration(target);
+  if (!published.ok()) {
+    // As in AddDocument: the remove is durable, so it must be acked.
+    republish_all_ = true;
+    APPROXQL_LOG(Error) << "generation publish failed after durable remove: "
+                        << published.message();
+  }
   docs_removed_->Increment();
   ingest_latency_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
 
   IngestResult result;
   result.seq = *removed;
-  result.epoch = static_cast<uint64_t>(epoch_gauge_->Value());
+  uint64_t epoch = 0;
+  for (const auto& shard : shards_) epoch += shard->last_seq();
+  result.epoch = epoch;
   result.doc_root = doc_root;
   result.shard_index = static_cast<uint32_t>(target);
   result.length = length;

@@ -81,9 +81,14 @@ class MutableCorpus {
   };
 
   /// Ingests one XML document. Returns only after the mutation is
-  /// durable (WAL synced) and the new generation is visible to
-  /// snapshot(). Safe to call concurrently with queries; concurrent
-  /// ingest calls are serialized internally.
+  /// durable (WAL synced); normally the new generation is also visible
+  /// to snapshot() by then. If publishing the generation fails after
+  /// the durable apply, the mutation is still acknowledged (a non-OK
+  /// status always means "did not happen", so callers may safely
+  /// resend on error) and the snapshot lags until the next successful
+  /// publish — compare snapshot()->epoch() with the returned epoch to
+  /// tell. Safe to call concurrently with queries; concurrent ingest
+  /// calls are serialized internally.
   util::Result<IngestResult> AddDocument(std::string_view xml);
 
   /// Removes the document whose global root id is `doc_root` (as
@@ -157,6 +162,11 @@ class MutableCorpus {
   std::vector<std::weak_ptr<const shard::ShardedDatabase>> live_
       GUARDED_BY(ingest_mu_);
   bool abandoned_ GUARDED_BY(ingest_mu_) = false;
+  /// Set when a generation publish failed after a durable apply (the
+  /// mutation was acked anyway — see AddDocument). The read snapshot is
+  /// then stale for the failed shard, so the next publish rebuilds every
+  /// shard instead of copy-on-write sharing from the stale generation.
+  bool republish_all_ GUARDED_BY(ingest_mu_) = false;
 
   /// Publication point: ingest writes under both mutexes, readers take
   /// only this one.

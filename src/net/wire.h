@@ -67,9 +67,12 @@ enum class MessageType : uint32_t {
   kPong = 8,
   /// Live ingest against a server fronting a mutable corpus: add or
   /// remove one document. The kIngestAck reply is sent only after the
-  /// mutation is durable (WAL synced) AND visible to queries on the
-  /// same connection — an acked document survives any crash and shows
-  /// up in every subsequent kQueryRequest.
+  /// mutation is durable (WAL synced) — an acked document survives any
+  /// crash. Visibility is normally immediate (the ack follows the
+  /// snapshot swap); if the server's snapshot publication failed after
+  /// the durable apply, the ack still stands and the mutation becomes
+  /// visible at the next successful publish — compare a response's
+  /// backend_epoch with WireIngestAck::epoch to confirm.
   kIngest = 9,
   kIngestAck = 10,
 };
@@ -225,7 +228,9 @@ struct WireIngest {
 
 /// kIngestAck payload. Non-OK status_code means the mutation did NOT
 /// happen (malformed XML, unknown document, poisoned shard, or a plain
-/// immutable server); the remaining fields are meaningful only on OK.
+/// immutable server), so resending it is always safe; the remaining
+/// fields are meaningful only on OK. An OK ack means the mutation is
+/// durable even when it is not yet visible (see `epoch`).
 struct WireIngestAck {
   uint32_t status_code = 0;
   std::string status_message;

@@ -110,6 +110,7 @@ Status WriteAheadLog::WriteFresh(uint64_t base_seq) {
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     return Status::IoError("rename " + tmp + " -> " + path_ + " failed");
   }
+  RETURN_IF_ERROR(SyncParentDir(path_));
   if (file_ != nullptr) std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "r+b");
   if (file_ == nullptr) {

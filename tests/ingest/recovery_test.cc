@@ -11,15 +11,24 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cost/cost_model.h"
 #include "engine/database.h"
+#include "index/label_index.h"
 #include "ingest/mutable_corpus.h"
 #include "shard/sharded_database.h"
+#include "storage/bptree.h"
+#include "storage/spilling_store.h"
+#include "storage/vlog/value_log.h"
+#include "storage/wal/log_format.h"
+#include "util/crc32.h"
 #include "util/status.h"
+#include "util/varint.h"
 
 namespace approxql::ingest {
 namespace {
@@ -280,6 +289,111 @@ TEST_P(RecoveryTest, DoubleRecoveryIsDeterministic) {
                         "round " + std::to_string(round));
     (*recovered)->Abandon();
   }
+}
+
+class RecoveryFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("approxql_recovery_fault_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  MutableCorpus::Options Opts(storage::StoreKind kind) {
+    MutableCorpus::Options options;
+    options.data_dir = dir_;
+    options.num_shards = 1;
+    options.store_kind = kind;
+    options.model = TestModel();
+    options.inline_threshold = 16;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RecoveryFaultTest, FailedRecoveryMustNotCheckpointOrTruncateTheWal) {
+  std::vector<std::string> acked;
+  {
+    auto corpus = MutableCorpus::Open(Opts(storage::StoreKind::kMem));
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    for (size_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*corpus)->AddDocument(MakeDoc(i)).ok());
+      acked.push_back(MakeDoc(i));
+    }
+    (*corpus)->Abandon();
+  }
+  // Append a WAL-layer-valid record with an unknown type: replay fails
+  // inside DurableShard::Recover, after the shard already holds its WAL
+  // handle — exactly the state where a destructor checkpoint would
+  // stamp a snapshot with last_seq and truncate away the good records.
+  const std::string wal_path = dir_ + "/shard0.wal";
+  const auto clean_size = std::filesystem::file_size(wal_path);
+  {
+    std::string body;
+    util::PutVarint64(&body, 6);   // next consecutive seq after 5 adds
+    util::PutVarint32(&body, 99);  // unknown record type
+    std::string record;
+    util::PutVarint64(&record, body.size());
+    record.append(body);
+    storage::PutFixed32(&record, util::Crc32c(body));
+    std::ofstream out(wal_path, std::ios::binary | std::ios::app);
+    out.write(record.data(), record.size());
+  }
+  const auto poisoned_size = std::filesystem::file_size(wal_path);
+
+  auto failed = MutableCorpus::Open(Opts(storage::StoreKind::kMem));
+  ASSERT_FALSE(failed.ok());
+  // The failed open must leave durable state untouched: no checkpoint
+  // published from the partially replayed tree, every WAL byte kept.
+  EXPECT_EQ(std::filesystem::file_size(wal_path), poisoned_size);
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/shard0.CURRENT"));
+
+  // Strip the bad record (as an operator would) and reopen: every
+  // acked document is still there.
+  std::filesystem::resize_file(wal_path, clean_size);
+  auto recovered = MutableCorpus::Open(Opts(storage::StoreKind::kMem));
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectMatchesOracle(**recovered, acked, "repaired");
+}
+
+TEST_F(RecoveryFaultTest, StalePostingEntriesForceAStoreRebuild) {
+  std::vector<std::string> acked;
+  {
+    auto corpus = MutableCorpus::Open(Opts(storage::StoreKind::kDisk));
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    for (size_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*corpus)->AddDocument(MakeDoc(i)).ok());
+      acked.push_back(MakeDoc(i));
+    }
+  }  // clean close: the destructor checkpoint publishes generation 1
+
+  // Plant a posting entry far past the checkpointed tree under a label
+  // replay will never touch — what a bounded page cache could have
+  // flushed mid-apply for a document that was never logged or acked.
+  {
+    auto kv = storage::DiskKvStore::Open(dir_ + "/shard0-1.kv",
+                                         /*create_if_missing=*/false);
+    ASSERT_TRUE(kv.ok()) << kv.status();
+    auto vlog = storage::ValueLog::Open(dir_ + "/shard0-1.vlog");
+    ASSERT_TRUE(vlog.ok()) << vlog.status();
+    storage::SpillingStore store(std::move(*kv), std::move(*vlog), 16);
+    std::string key = "ix#s";
+    util::PutVarint32(&key, 200);  // a label no document uses
+    std::string value;
+    index::SerializePosting(index::Posting{1000000}, &value);
+    ASSERT_TRUE(store.Put(key, value).ok());
+    ASSERT_TRUE(store.Flush().ok());
+  }
+
+  MutableCorpus::OpenStats stats;
+  auto recovered =
+      MutableCorpus::Open(Opts(storage::StoreKind::kDisk), nullptr, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(stats.any_store_rebuilt);
+  ExpectMatchesOracle(**recovered, acked, "rebuilt");
 }
 
 INSTANTIATE_TEST_SUITE_P(
