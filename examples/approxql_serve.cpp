@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_config.h"
 #include "dist/shard_router.h"
 #include "engine/database.h"
 #include "gen/query_generator.h"
@@ -61,6 +62,7 @@
 #include "shard/sharded_database.h"
 #include "storage/kv_factory.h"
 #include "util/histogram.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -143,7 +145,21 @@ int Usage() {
       "  --data-dir D     directory for disk stores / the mutable corpus\n"
       "  --mutable        (--listen) serve a live-ingest corpus from\n"
       "                   --data-dir (recovering it if it exists): answers\n"
-      "                   kIngest, acks only after WAL fsync + visibility\n"
+      "                   kIngest, acks only after WAL fsync + visibility;\n"
+      "                   with --shard-server I --shards N the corpus is one\n"
+      "                   cluster shard (single internal shard, cluster\n"
+      "                   fingerprint from --seed/--shards, serves manifest\n"
+      "                   slices + delta subscriptions)\n"
+      "  --live           (--router) the endpoints are mutable cluster shard\n"
+      "                   servers: the router syncs epoch-tagged manifest\n"
+      "                   slices instead of loading a static layout, and\n"
+      "                   Ingest assigns cluster-global document ids\n"
+      "  --ingest-while-querying N  (--router --live, in process) driver:\n"
+      "                   ingest N docs through the router while querying it\n"
+      "                   concurrently; --verify checks quiesced rounds\n"
+      "                   bit-for-bit against a BuildFromXml(acked) oracle\n"
+      "                   (the driver must be the only writer, starting\n"
+      "                   from an empty cluster)\n"
       "  --ingest N       (--connect) ingest driver: add N generated docs\n"
       "                   over the wire, interleaving workload queries if\n"
       "                   one was given; tolerates the server dying mid-\n"
@@ -404,8 +420,8 @@ int main(int argc, char** argv) {
   std::string connect_spec, router_spec;
   std::string manifest_path, save_manifest_path;
   std::string data_dir, acked_file, oracle_docs_path;
-  size_t ingest_count = 0;
-  bool mutable_mode = false;
+  size_t ingest_count = 0, ingest_while_querying = 0;
+  bool mutable_mode = false, live = false;
   approxql::storage::StoreKind store_kind = approxql::storage::StoreKind::kMem;
   size_t clients = 8, passes = 2, repeat = 1;
   size_t gen_data = 0, gen_queries = 0, seed = 42;
@@ -501,6 +517,12 @@ int main(int argc, char** argv) {
       data_dir = v;
     } else if (arg == "--mutable") {
       mutable_mode = true;
+    } else if (arg == "--live") {
+      live = true;
+    } else if (arg == "--ingest-while-querying") {
+      if (!next_num(&ingest_while_querying) || ingest_while_querying == 0) {
+        return Usage();
+      }
     } else if (arg == "--ingest") {
       if (!next_num(&ingest_count) || ingest_count == 0) return Usage();
     } else if (arg == "--acked-file") {
@@ -570,13 +592,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--manifest needs --router (and no corpus role)\n");
     return Usage();
   }
-  // A mutable server owns its corpus directory; it is not a shard
-  // server, a router, or a static-corpus role.
-  if (mutable_mode &&
-      (!listen_mode || shard_server_mode || router_mode || data_dir.empty())) {
+  // A mutable server owns its corpus directory; it is not a router or a
+  // static-corpus role. Combined with --shard-server it becomes one
+  // live-ingesting cluster shard.
+  if (mutable_mode && (!listen_mode || router_mode || data_dir.empty())) {
     std::fprintf(stderr,
                  "--mutable needs --listen and --data-dir (and no "
-                 "--shard-server/--router)\n");
+                 "--router)\n");
+    return Usage();
+  }
+  if (shard_server_mode && !mutable_mode && live) {
+    std::fprintf(stderr, "--live describes a router, not a shard server\n");
+    return Usage();
+  }
+  if (live && !router_mode) {
+    std::fprintf(stderr, "--live needs --router\n");
+    return Usage();
+  }
+  if (live && manifest_mode) {
+    std::fprintf(stderr,
+                 "--live syncs manifest slices from the shard servers; "
+                 "--manifest would pin a static layout\n");
+    return Usage();
+  }
+  if (ingest_while_querying > 0 &&
+      (!live || listen_mode || connect_mode || ingest_count > 0)) {
+    std::fprintf(stderr,
+                 "--ingest-while-querying needs --router --live and runs in "
+                 "process (no --listen/--connect/--ingest)\n");
     return Usage();
   }
   if (ingest_count > 0 && !connect_mode) {
@@ -591,7 +634,8 @@ int main(int argc, char** argv) {
   // the generator). A pure --save-manifest run, and the ingest driver,
   // need neither.
   if (!listen_mode && workload_path.empty() && gen_queries == 0 &&
-      save_manifest_path.empty() && ingest_count == 0) {
+      save_manifest_path.empty() && ingest_count == 0 &&
+      ingest_while_querying == 0) {
     return Usage();
   }
 
@@ -630,10 +674,15 @@ int main(int argc, char** argv) {
   // workload, and to verify wire answers — a pure wire replay from a
   // workload file, and a router host fed by --manifest, are the modes
   // without.
+  // The --live driver is fully self-contained: its oracle database is
+  // built from the documents it ingests, and its workload is generated
+  // from that oracle — no corpus flags at all.
+  const bool driver_mode = ingest_while_querying > 0;
   const bool needs_db =
-      gen_queries > 0 || verify || !oracle_docs_path.empty() ||
-      (!manifest_mode && !mutable_mode &&
-       (listen_mode || (!connect_mode && ingest_count == 0)));
+      (gen_queries > 0 && !driver_mode) || (verify && !driver_mode) ||
+      !oracle_docs_path.empty() ||
+      (!manifest_mode && !mutable_mode && !live &&
+       (listen_mode || (!connect_mode && ingest_count == 0 && !driver_mode)));
   std::unique_ptr<Database> db;
   if (needs_db) {
     if (!oracle_docs_path.empty()) {
@@ -869,7 +918,16 @@ int main(int argc, char** argv) {
     RouterOptions router_options;
     router_options.shards = std::move(router_endpoints);
     router_options.strict = strict;
-    if (manifest != nullptr) {
+    if (live) {
+      // Live cluster: no static layout exists — the router bootstraps
+      // epoch-tagged manifest slices from the shard servers themselves.
+      // Model and shard count derive from --seed/--shards exactly as on
+      // each mutable shard server, so the cluster fingerprint matches.
+      approxql::cluster::ClusterConfig config;
+      config.model = IngestCostModel(seed);
+      config.num_shards = shards;
+      router = std::make_unique<ShardRouter>(config, router_options);
+    } else if (manifest != nullptr) {
       router = std::make_unique<ShardRouter>(*manifest, router_options);
     } else {
       router = std::make_unique<ShardRouter>(*sharded, router_options);
@@ -879,9 +937,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "router: %s\n", started.ToString().c_str());
       return 1;
     }
-    std::fprintf(stderr, "router: %zu remote shard endpoint%s%s\n",
+    std::fprintf(stderr, "router: %zu remote shard endpoint%s%s%s\n",
                  router->num_shards(), router->num_shards() == 1 ? "" : "s",
-                 strict ? " (strict)" : "");
+                 live ? " (live cluster)" : "", strict ? " (strict)" : "");
   }
 
   if (listen_mode) {
@@ -895,9 +953,13 @@ int main(int argc, char** argv) {
     if (mutable_mode) {
       approxql::ingest::MutableCorpus::Options corpus_options;
       corpus_options.data_dir = data_dir;
-      corpus_options.num_shards = shards;
+      // A cluster shard server IS one shard: its corpus has exactly one
+      // internal shard and --shards describes the cluster, not the
+      // corpus (the router owns placement across servers).
+      corpus_options.num_shards = shard_server_mode ? 1 : shards;
       corpus_options.store_kind = store_kind;
       corpus_options.model = IngestCostModel(seed);
+      const size_t corpus_shards = corpus_options.num_shards;
       approxql::ingest::MutableCorpus::OpenStats open_stats;
       auto opened = approxql::ingest::MutableCorpus::Open(
           std::move(corpus_options), nullptr, &open_stats);
@@ -914,11 +976,22 @@ int main(int argc, char** argv) {
                    open_stats.recovered_documents, open_stats.replayed_records,
                    open_stats.any_tail_truncated ? ", torn tail dropped" : "",
                    open_stats.any_store_rebuilt ? ", store rebuilt" : "",
-                   static_cast<unsigned long long>(corpus->epoch()), shards,
-                   shards == 1 ? "" : "s",
+                   static_cast<unsigned long long>(corpus->epoch()),
+                   corpus_shards, corpus_shards == 1 ? "" : "s",
                    approxql::storage::StoreKindName(store_kind),
                    data_dir.c_str());
       service = std::make_unique<QueryService>(*corpus, service_options);
+      if (shard_server_mode) {
+        // One live-mutating cluster shard: kShardQuery answers carry
+        // local preorders + snapshot epoch, kManifestFetch serves the
+        // slice, and the stamp is the static cluster fingerprint (the
+        // corpus's own fingerprint moves with every mutation — the
+        // epoch, not the stamp, pins the layout; DESIGN.md §14).
+        server_options.shard.enabled = true;
+        server_options.shard.fingerprint = approxql::cluster::ClusterFingerprint(
+            IngestCostModel(seed), shards);
+        server_options.shard.shard_index = static_cast<uint32_t>(shard_server);
+      }
       server = std::make_unique<Server>(*service, *corpus, server_options);
     } else if (shard_server_mode) {
       // This process fronts exactly one shard of the partition: plain
@@ -933,10 +1006,23 @@ int main(int argc, char** argv) {
       server = std::make_unique<Server>(*service, shard_db, server_options);
     } else if (router != nullptr) {
       service = std::make_unique<QueryService>(*router, service_options);
-      // The router's own manifest copy resolves answer roots, so this
-      // works identically with and without a local corpus (--manifest).
-      server = std::make_unique<Server>(*service, router->manifest(),
-                                       server_options);
+      if (live) {
+        // A live router's layout is its manifest view, not a static
+        // manifest: resolve answer roots through the current slices.
+        server = std::make_unique<Server>(
+            *service,
+            std::function<approxql::doc::NodeId(approxql::doc::NodeId)>(
+                [r = router.get()](approxql::doc::NodeId node) {
+                  return r->DocRootOfGlobal(node);
+                }),
+            server_options);
+      } else {
+        // The router's own manifest copy resolves answer roots, so this
+        // works identically with and without a local corpus
+        // (--manifest).
+        server = std::make_unique<Server>(*service, router->manifest(),
+                                          server_options);
+      }
     } else if (sharded != nullptr) {
       service = std::make_unique<QueryService>(*sharded, service_options);
       server = std::make_unique<Server>(*service, *sharded, server_options);
@@ -954,10 +1040,11 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, HandleDrainSignal);
     if (shard_server_mode) {
       std::fprintf(stderr,
-                   "shard server %zu/%zu listening on %s:%u (layout "
+                   "shard server %zu/%zu listening on %s:%u (%s "
                    "fingerprint %08x) — SIGTERM drains\n",
                    shard_server, shards, server_options.bind_address.c_str(),
-                   server->port(), sharded->LayoutFingerprint());
+                   server->port(), mutable_mode ? "cluster" : "layout",
+                   server_options.shard.fingerprint);
     } else {
       std::fprintf(stderr,
                    "listening on %s:%u (%zu workers, queue %zu, %zu shard%s"
@@ -973,6 +1060,269 @@ int main(int argc, char** argv) {
     g_server = nullptr;
     std::printf("--- server metrics ---\n%s", server->DumpMetrics().c_str());
     server->Shutdown(/*drain=*/true);
+    return 0;
+  }
+
+  if (driver_mode) {
+    // Live-cluster driver: ingest through the router while querying it.
+    // Each round ingests a burst with query threads running concurrently
+    // (exercising the epoch-reconciliation path), then quiesces and —
+    // with --verify — replays the round's workload with read-your-writes
+    // epoch floors, comparing bit-for-bit against a database built from
+    // exactly the acked documents. A document whose ingest failed in
+    // transport is IN DOUBT (it may have landed without the ack); the
+    // verifier resolves each candidate by testing which landed-subset
+    // oracle matches the cluster.
+    QueryService service(*router, service_options);
+    approxql::util::Rng doc_rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    struct DocEntry {
+      std::string xml;
+      bool acked;
+    };
+    std::vector<DocEntry> docs;
+    std::vector<uint64_t> floors(shards, 0);
+    size_t acked_total = 0, candidates = 0, failed_rounds = 0, rounds = 0;
+    std::atomic<size_t> bg_queries{0}, bg_hard_failures{0};
+    std::string first_bg_failure;
+    approxql::util::Mutex bg_failure_mu;
+    const size_t query_count = gen_queries > 0 ? gen_queries : 24;
+    constexpr size_t kBurst = 32;
+    constexpr size_t kMaxCandidates = 6;
+    const Strategy kStrategies[] = {Strategy::kSchema, Strategy::kDirect};
+
+    while (acked_total < ingest_while_querying) {
+      ++rounds;
+      // Concurrent query load during the burst (answers not compared —
+      // the corpus is moving — but hard failures are: a fingerprint or
+      // translation error here means the epoch machinery mistranslated).
+      std::atomic<bool> bg_stop{false};
+      std::thread bg([&] {
+        size_t k = 0;
+        while (!bg_stop.load(std::memory_order_acquire)) {
+          if (workload_queries.empty()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            continue;
+          }
+          QueryRequest request;
+          request.query_text = workload_queries[k % workload_queries.size()];
+          request.exec = exec;
+          request.exec.strategy = kStrategies[k % 2];
+          ++k;
+          QueryResponse response = service.ExecuteNow(std::move(request));
+          bg_queries.fetch_add(1, std::memory_order_relaxed);
+          const auto& st = response.status;
+          if (!st.ok() && !st.IsUnavailable() && !st.IsDeadlineExceeded() &&
+              !st.IsResourceExhausted()) {
+            if (bg_hard_failures.fetch_add(1, std::memory_order_relaxed) ==
+                0) {
+              approxql::util::MutexLock lock(&bg_failure_mu);
+              first_bg_failure = st.ToString();
+            }
+          }
+        }
+      });
+      const size_t burst =
+          std::min(kBurst, ingest_while_querying - acked_total);
+      bool gave_up = false;
+      for (size_t b = 0; b < burst && !gave_up; ++b) {
+        std::string xml = MakeIngestDoc(doc_rng);
+        approxql::util::WallTimer doc_timer;
+        int backoff_ms = 100;
+        for (;;) {
+          approxql::net::WireIngest op;
+          op.op = approxql::net::WireIngest::Op::kAdd;
+          op.xml = xml;
+          auto ack = router->Ingest(op, /*deadline_ms=*/2000);
+          if (ack.ok()) {
+            docs.push_back({std::move(xml), /*acked=*/true});
+            if (ack->shard_index < floors.size()) {
+              floors[ack->shard_index] =
+                  std::max(floors[ack->shard_index], ack->epoch);
+            }
+            ++acked_total;
+            break;
+          }
+          // In doubt: never resend (a duplicate would corrupt the
+          // oracle either way); record the candidate, take a fresh doc.
+          docs.push_back({std::move(xml), /*acked=*/false});
+          if (++candidates > kMaxCandidates) {
+            std::fprintf(stderr,
+                         "driver: more than %zu in-doubt documents — "
+                         "cluster unrecoverable: %s\n",
+                         kMaxCandidates, ack.status().ToString().c_str());
+            gave_up = true;
+            break;
+          }
+          if (doc_timer.ElapsedSeconds() > 120.0) {
+            std::fprintf(stderr, "driver: ingest stalled >120 s: %s\n",
+                         ack.status().ToString().c_str());
+            gave_up = true;
+            break;
+          }
+          std::fprintf(stderr, "driver: ingest in doubt (%s), retrying\n",
+                       ack.status().ToString().c_str());
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          backoff_ms = std::min(backoff_ms * 2, 2000);
+          xml = MakeIngestDoc(doc_rng);
+        }
+      }
+      bg_stop.store(true, std::memory_order_release);
+      bg.join();
+      if (gave_up) {
+        ++failed_rounds;
+        break;
+      }
+      if (!verify) {
+        std::fprintf(stderr, "driver: round %zu: %zu/%zu docs acked\n",
+                     rounds, acked_total, ingest_while_querying);
+        continue;
+      }
+
+      // Quiesced verification: the cluster now holds exactly the acked
+      // documents plus some subset of the in-doubt candidates. Routed
+      // answers (with epoch floors enforcing read-your-writes) must be
+      // bit-identical to the oracle of whichever subset actually landed.
+      std::vector<size_t> candidate_index;
+      for (size_t d = 0; d < docs.size(); ++d) {
+        if (!docs[d].acked) candidate_index.push_back(d);
+      }
+      std::vector<QueryResponse> routed;
+      bool routed_ok = true;
+      // Collected once; compared against each candidate-subset oracle.
+      auto run_routed = [&] {
+        routed.clear();
+        for (const std::string& query : workload_queries) {
+          for (Strategy strategy : kStrategies) {
+            QueryRequest request;
+            request.query_text = query;
+            request.exec = exec;
+            request.exec.strategy = strategy;
+            request.min_epochs = floors;
+            routed.push_back(service.ExecuteNow(std::move(request)));
+            const QueryResponse& r = routed.back();
+            if (!r.status.ok() || r.degraded) routed_ok = false;
+          }
+        }
+      };
+      size_t adopted = SIZE_MAX;
+      size_t base_mismatches = 0;
+      for (size_t mask = 0; mask < (size_t{1} << candidate_index.size());
+           ++mask) {
+        approxql::doc::DataTreeBuilder builder;
+        bool build_ok = true;
+        for (size_t d = 0, c = 0; d < docs.size(); ++d) {
+          if (!docs[d].acked &&
+              (mask & (size_t{1} << c++)) == 0) {
+            continue;
+          }
+          if (!builder.AddDocumentXml(docs[d].xml).ok()) build_ok = false;
+        }
+        if (!build_ok) continue;
+        const approxql::cost::CostModel model = IngestCostModel(seed);
+        auto tree = std::move(builder).Build(model);
+        if (!tree.ok()) continue;
+        auto built = Database::FromDataTree(std::move(tree).value(), model);
+        if (!built.ok()) continue;
+        Database oracle_db = std::move(built).value();
+        if (workload_queries.empty()) {
+          // First verified round: draw the workload from the oracle —
+          // the driver needs no corpus flags at all.
+          approxql::gen::QueryGenOptions gen_options;
+          gen_options.seed = seed;
+          approxql::gen::QueryGenerator generator(oracle_db, gen_options);
+          constexpr std::string_view kPatterns[] = {
+              approxql::gen::kPattern1, approxql::gen::kPattern2,
+              approxql::gen::kPattern3};
+          for (size_t q = 0; q < query_count; ++q) {
+            auto generated = generator.Generate(kPatterns[q % 3]);
+            if (generated.ok()) {
+              workload_queries.push_back(std::move(generated->text));
+            }
+          }
+        }
+        if (routed.empty()) run_routed();
+        ServiceOptions oracle_options = service_options;
+        oracle_options.cache_capacity = 0;
+        QueryService oracle(oracle_db, oracle_options);
+        size_t mismatches = 0, slot = 0;
+        for (const std::string& query : workload_queries) {
+          for (Strategy strategy : kStrategies) {
+            QueryRequest request;
+            request.query_text = query;
+            request.exec = exec;
+            request.exec.strategy = strategy;
+            QueryResponse expected = oracle.ExecuteNow(std::move(request));
+            const QueryResponse& got = routed[slot++];
+            bool match = expected.status.ok() && got.status.ok() &&
+                         expected.answers.size() == got.answers.size();
+            if (match) {
+              for (size_t k = 0; k < expected.answers.size(); ++k) {
+                if (expected.answers[k].root != got.answers[k].root ||
+                    expected.answers[k].cost != got.answers[k].cost) {
+                  match = false;
+                  break;
+                }
+              }
+            }
+            if (!match) ++mismatches;
+          }
+        }
+        if (mask == 0) base_mismatches = mismatches;
+        if (mismatches == 0) {
+          adopted = mask;
+          break;
+        }
+      }
+      if (adopted == SIZE_MAX || !routed_ok) {
+        ++failed_rounds;
+        std::fprintf(stderr,
+                     "driver: round %zu FAILED verification (%zu/%zu "
+                     "query-strategy pairs mismatched against the acked "
+                     "oracle%s)\n",
+                     rounds, base_mismatches, routed.size(),
+                     routed_ok ? "" : "; routed errors/degraded");
+      } else {
+        // Promote the adopted subset: landed candidates become acked
+        // documents, the rest never existed.
+        std::vector<DocEntry> resolved;
+        resolved.reserve(docs.size());
+        for (size_t d = 0, c = 0; d < docs.size(); ++d) {
+          if (docs[d].acked) {
+            resolved.push_back(std::move(docs[d]));
+          } else if (adopted & (size_t{1} << c++)) {
+            docs[d].acked = true;
+            resolved.push_back(std::move(docs[d]));
+          }
+        }
+        docs = std::move(resolved);
+        candidates = 0;
+        std::fprintf(stderr,
+                     "driver: round %zu verified: %zu docs, %zu routed "
+                     "query-strategy pairs bit-identical\n",
+                     rounds, docs.size(), routed.size());
+      }
+    }
+
+    if (!acked_file.empty()) {
+      std::ofstream out(acked_file);
+      if (out) {
+        for (const DocEntry& entry : docs) {
+          if (entry.acked) out << entry.xml << "\n";
+        }
+      }
+    }
+    std::printf(
+        "driver: %zu docs acked over %zu rounds, %zu concurrent queries "
+        "(%zu hard failures), %zu failed verification rounds\n",
+        acked_total, rounds, bg_queries.load(), bg_hard_failures.load(),
+        failed_rounds);
+    std::printf("--- router metrics ---\n%s", router->DumpMetrics().c_str());
+    if (bg_hard_failures.load() > 0) {
+      std::fprintf(stderr, "FAILED: concurrent query hard failure: %s\n",
+                   first_bg_failure.c_str());
+      return 1;
+    }
+    if (failed_rounds > 0 || acked_total < ingest_while_querying) return 1;
     return 0;
   }
 

@@ -1,0 +1,19 @@
+#include "cluster/cluster_config.h"
+
+#include <string>
+
+#include "service/result_cache.h"
+#include "util/crc32.h"
+
+namespace approxql::cluster {
+
+uint32_t ClusterFingerprint(const cost::CostModel& model, size_t num_shards) {
+  std::string canonical = "cluster;model=";
+  canonical += std::to_string(service::FingerprintCostModel(model));
+  canonical += ";shards=";
+  canonical += std::to_string(num_shards);
+  canonical += ";";
+  return util::Crc32c(canonical);
+}
+
+}  // namespace approxql::cluster

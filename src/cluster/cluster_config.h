@@ -1,0 +1,38 @@
+// Static identity of a live-mutating cluster.
+//
+// A mutable shard server's LayoutFingerprint is epoch-salted — it moves
+// with every publish — so the per-answer stamp check that pins a static
+// deployment (router manifest fingerprint == server fingerprint) would
+// reject every reply from a live cluster. Live clusters therefore stamp
+// a *configuration* fingerprint instead: a CRC over the shared cost
+// model and the shard count, computed independently by the router and
+// by every shard server from their own flags. It validates that the two
+// sides agree on what the cluster *is* (same model tables, same width);
+// the ingest epoch — carried per answer and validated against the
+// manifest view — is what pins the moving document layout. See
+// DESIGN.md §14.
+#ifndef APPROXQL_CLUSTER_CLUSTER_CONFIG_H_
+#define APPROXQL_CLUSTER_CLUSTER_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cost/cost_model.h"
+
+namespace approxql::cluster {
+
+/// Wiring for a router serving a live cluster: the shared cost model
+/// and how many shard servers the id space is scattered over.
+struct ClusterConfig {
+  cost::CostModel model;
+  size_t num_shards = 0;
+};
+
+/// The static stamp both sides derive independently: CRC-32C over a
+/// cluster tag, the canonical cost-model fingerprint, and the shard
+/// count. Deliberately ignores document state.
+uint32_t ClusterFingerprint(const cost::CostModel& model, size_t num_shards);
+
+}  // namespace approxql::cluster
+
+#endif  // APPROXQL_CLUSTER_CLUSTER_CONFIG_H_

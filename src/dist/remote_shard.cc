@@ -26,6 +26,22 @@ net::AsyncClientOptions TransportOptions(const RemoteShardOptions& options) {
   transport.max_frame_bytes = options.max_frame_bytes;
   transport.reconnect_backoff_ms = options.reconnect_backoff_ms;
   transport.reconnect_backoff_cap_ms = options.reconnect_backoff_cap_ms;
+  if (options.on_delta) {
+    transport.on_push = [on_delta = options.on_delta](
+                            const net::FrameHeader& header,
+                            std::string_view payload) {
+      if (header.type !=
+          static_cast<uint32_t>(net::MessageType::kManifestDelta)) {
+        return;  // unknown push type; ignore
+      }
+      net::WireManifestDelta delta;
+      if (net::DecodeManifestDelta(payload, &delta).ok()) {
+        // A malformed delta is simply dropped: the receiver's epoch
+        // chain gaps and the next delta forces a full slice fetch.
+        on_delta(delta);
+      }
+    };
+  }
   return transport;
 }
 
@@ -153,6 +169,65 @@ void RemoteShardBackend::CallIngest(const net::WireIngest& ingest,
         // mutation (bad XML, unknown doc) is not a health signal.
         RecordOutcome(true);
         done(ack);
+      });
+}
+
+void RemoteShardBackend::CallManifestFetch(bool subscribe, int deadline_ms,
+                                           SliceCallback done) {
+  net::WireManifestFetch fetch;
+  fetch.subscribe = subscribe;
+  client_.Call(
+      net::MessageType::kManifestFetch, net::EncodeManifestFetch(fetch),
+      deadline_ms,
+      [this, done = std::move(done)](
+          util::Result<std::pair<net::FrameHeader, std::string>> reply) {
+        if (!reply.ok()) {
+          RecordOutcome(false);
+          done(reply.status());
+          return;
+        }
+        if (reply->first.type !=
+            static_cast<uint32_t>(net::MessageType::kManifestSlice)) {
+          RecordOutcome(false);
+          done(util::Status::Internal(
+              endpoint() + " is not serving manifest slices (reply type " +
+              std::to_string(reply->first.type) + ")"));
+          return;
+        }
+        net::WireManifestSlice slice;
+        util::Status decoded = net::DecodeManifestSlice(reply->second, &slice);
+        if (!decoded.ok()) {
+          RecordOutcome(false);
+          done(decoded);
+          return;
+        }
+        if (slice.status_code !=
+            static_cast<uint32_t>(util::StatusCode::kOk)) {
+          // The server is alive but declined (e.g. not mutable); alive
+          // for health purposes, but the fetch itself failed.
+          RecordOutcome(true);
+          util::StatusCode code =
+              slice.status_code >
+                      static_cast<uint32_t>(util::StatusCode::kUnavailable)
+                  ? util::StatusCode::kInternal
+                  : static_cast<util::StatusCode>(slice.status_code);
+          done(util::Status(code, slice.status_message));
+          return;
+        }
+        if (slice.shard_index != shard_index_) {
+          // NOTE: the slice's fingerprint is the epoch-salted layout
+          // stamp (diagnostics), deliberately not checked — only the
+          // cluster position must match.
+          RecordOutcome(false);
+          done(util::Status::Internal(
+              "shard " + std::to_string(shard_index_) + " at " + endpoint() +
+              ": manifest slice for shard " +
+              std::to_string(slice.shard_index) +
+              " — endpoint serves a different cluster position"));
+          return;
+        }
+        RecordOutcome(true);
+        done(std::move(slice));
       });
 }
 

@@ -41,7 +41,14 @@ struct RemoteShardOptions {
   /// other value means the remote process partitioned a different
   /// corpus — its local preorders cannot be translated, so the call
   /// fails kInternal (permanent) instead of returning garbage answers.
+  /// Live clusters stamp cluster::ClusterFingerprint instead (the
+  /// moving layout is pinned per answer by the epoch, not the stamp).
   uint32_t expected_fingerprint = 0;
+  /// Manifest-delta pushes (kManifestDelta frames with request_id 0)
+  /// decoded off the transport land here. Runs on the transport's IO
+  /// thread — must not block. Malformed pushes are dropped (the epoch
+  /// chain then gaps and the subscriber full-fetches).
+  std::function<void(const net::WireManifestDelta&)> on_delta;
 };
 
 class RemoteShardBackend {
@@ -79,6 +86,16 @@ class RemoteShardBackend {
   using IngestCallback = std::function<void(util::Result<net::WireIngestAck>)>;
   void CallIngest(const net::WireIngest& ingest, int deadline_ms,
                   IngestCallback done);
+
+  /// Fetches the shard server's current manifest slice; subscribe=true
+  /// additionally registers this connection for kManifestDelta pushes
+  /// (delivered to RemoteShardOptions::on_delta). Only the frame type,
+  /// decode, and shard index are verified — the slice's fingerprint is
+  /// the epoch-salted layout stamp, diagnostics only. A non-OK
+  /// status_code inside the slice surfaces as that error.
+  using SliceCallback =
+      std::function<void(util::Result<net::WireManifestSlice>)>;
+  void CallManifestFetch(bool subscribe, int deadline_ms, SliceCallback done);
 
   ShardHealth health() const;
   /// Feeds the state machine directly (the Call* paths do it for their

@@ -37,6 +37,16 @@ util::StatusCode CodeOf(uint32_t wire_code) {
   return static_cast<util::StatusCode>(wire_code);
 }
 
+/// The live-cluster router's stand-in manifest: the right shard count
+/// and cost model under the cluster fingerprint, with no spans — all id
+/// translation happens through the epoch-versioned view instead.
+shard::LayoutManifest StubManifest(const cluster::ClusterConfig& config) {
+  return shard::LayoutManifest(
+      cluster::ClusterFingerprint(config.model, config.num_shards),
+      config.model,
+      std::vector<std::vector<shard::DocSpan>>(config.num_shards));
+}
+
 }  // namespace
 
 /// Shared between the coordinating thread and the transports' IO
@@ -60,6 +70,10 @@ struct ShardRouter::ScatterState {
     bool query_error = false;
     util::Status error = util::Status::OK();
     net::WireShardAnswer answer;
+    /// Live-cluster mode: the answer's local ids translated through the
+    /// slice of exactly answer.backend_epoch (reconciliation fills it).
+    std::vector<engine::RootCost> translated;
+    bool translated_done = false;
   };
 
   explicit ScatterState(size_t num_shards) : slots(num_shards) {}
@@ -85,8 +99,20 @@ ShardRouter::ShardRouter(const shard::ShardedDatabase& layout,
     : ShardRouter(shard::LayoutManifest::Of(layout), std::move(options)) {}
 
 ShardRouter::ShardRouter(shard::LayoutManifest manifest, RouterOptions options)
+    : ShardRouter(std::move(manifest), std::move(options), /*live=*/false) {}
+
+ShardRouter::ShardRouter(const cluster::ClusterConfig& config,
+                         RouterOptions options)
+    : ShardRouter(StubManifest(config), std::move(options), /*live=*/true) {}
+
+ShardRouter::ShardRouter(shard::LayoutManifest manifest, RouterOptions options,
+                         bool live)
     : manifest_(std::move(manifest)),
       options_(std::move(options)),
+      view_(live ? std::make_unique<cluster::ManifestView>(
+                       manifest_.num_shards(),
+                       options_.manifest_history_depth)
+                 : nullptr),
       queries_(metrics_.RegisterCounter("dist_queries")),
       degraded_(metrics_.RegisterCounter("dist_degraded")),
       strict_failures_(metrics_.RegisterCounter("dist_strict_failures")),
@@ -100,10 +126,24 @@ ShardRouter::ShardRouter(shard::LayoutManifest manifest, RouterOptions options)
           metrics_.RegisterCounter("dist_health_ping_failures")),
       ingest_calls_(metrics_.RegisterCounter("dist_ingest_calls")),
       ingest_failures_(metrics_.RegisterCounter("dist_ingest_failures")),
+      manifest_fetches_(metrics_.RegisterCounter("dist_manifest_fetches")),
+      manifest_fetch_failures_(
+          metrics_.RegisterCounter("dist_manifest_fetch_failures")),
+      manifest_deltas_(metrics_.RegisterCounter("dist_manifest_deltas")),
+      manifest_delta_gaps_(
+          metrics_.RegisterCounter("dist_manifest_delta_gaps")),
+      epoch_requeries_(metrics_.RegisterCounter("dist_epoch_requeries")),
       shards_up_(metrics_.RegisterGauge("dist_shards_up")),
       shards_down_(metrics_.RegisterGauge("dist_shards_down")),
       scatter_us_(metrics_.RegisterHistogram("dist_scatter_us")) {
   backends_.reserve(options_.shards.size());
+  if (view_ != nullptr) {
+    refetch_inflight_ =
+        std::make_unique<std::atomic<bool>[]>(options_.shards.size());
+    for (size_t i = 0; i < options_.shards.size(); ++i) {
+      refetch_inflight_[i].store(false, std::memory_order_relaxed);
+    }
+  }
   for (size_t i = 0; i < options_.shards.size(); ++i) {
     RemoteShardOptions shard;
     shard.host = options_.shards[i].host;
@@ -112,6 +152,11 @@ ShardRouter::ShardRouter(shard::LayoutManifest manifest, RouterOptions options)
     shard.max_frame_bytes = options_.max_frame_bytes;
     shard.failures_to_down = options_.failures_to_down;
     shard.expected_fingerprint = manifest_.fingerprint();
+    if (view_ != nullptr) {
+      shard.on_delta = [this, i](const net::WireManifestDelta& delta) {
+        OnDelta(i, delta);
+      };
+    }
     backends_.push_back(std::make_unique<RemoteShardBackend>(
         static_cast<uint32_t>(i), std::move(shard)));
   }
@@ -138,6 +183,12 @@ util::Status ShardRouter::Start() {
     health_thread_ = std::thread([this] { HealthLoop(); });
   }
   started_ = true;
+  if (view_ != nullptr) {
+    // Bootstrap the view (and the delta subscriptions) without blocking
+    // startup: a query racing the fetches just fetches on demand in its
+    // own reconciliation pass.
+    for (size_t i = 0; i < backends_.size(); ++i) RefetchSliceAsync(i);
+  }
   return util::Status::OK();
 }
 
@@ -257,9 +308,9 @@ void ShardRouter::LaunchAttempt(const std::shared_ptr<ScatterState>& state,
       });
 }
 
-util::Result<RoutedResult> ShardRouter::Execute(const std::string& query_text,
-                                                engine::Strategy strategy,
-                                                size_t n, int64_t deadline_ms) {
+util::Result<RoutedResult> ShardRouter::Execute(
+    const std::string& query_text, engine::Strategy strategy, size_t n,
+    int64_t deadline_ms, const std::vector<uint64_t>& min_epochs) {
   APPROXQL_CHECK(started_) << "ShardRouter::Execute before Start";
   queries_->Increment();
   const Clock::time_point started = Clock::now();
@@ -303,9 +354,36 @@ util::Result<RoutedResult> ShardRouter::Execute(const std::string& query_text,
                   overall_deadline);
   }
 
+  const auto floor_of = [&min_epochs](size_t i) -> uint64_t {
+    return i < min_epochs.size() ? min_epochs[i] : 0;
+  };
+  // Live mode: translate one shard answer's local ids through the slice
+  // of exactly the epoch it was computed under. Unavailable = the view
+  // lacks that epoch (retryable by fetching); any other error is a real
+  // inconsistency — the answer must not be guessed onto global ids.
+  const auto translate = [this](size_t i, const net::WireShardAnswer& answer)
+      -> util::Result<std::vector<engine::RootCost>> {
+    std::vector<engine::RootCost> list;
+    list.reserve(answer.answers.size());
+    for (const net::WireAnswer& a : answer.answers) {
+      util::Result<doc::NodeId> global = view_->ToGlobal(
+          static_cast<uint32_t>(i), answer.backend_epoch, a.root);
+      if (!global.ok()) return global.status();
+      // ToGlobal is strictly increasing in the local id within a slice,
+      // so the shard's (cost, root)-sorted list stays sorted.
+      list.push_back({*global, a.cost});
+    }
+    return list;
+  };
+
   // Coordinate: wait for callbacks, relaunch retries whose backoff
-  // elapsed, enforce the overall deadline and strict fail-fast.
+  // elapsed, enforce the overall deadline and strict fail-fast. In live
+  // mode the coordinate loop is wrapped in bounded epoch-reconciliation
+  // rounds: answers whose epoch the view cannot translate yet trigger a
+  // slice fetch + retranslation, and answers that still cannot be
+  // translated (or sit below a min-epoch floor) are re-queried.
   std::vector<std::pair<size_t, int>> due;
+  int epoch_rounds = 0;
   state->mu.Lock();
   for (;;) {
     const Clock::time_point now = Clock::now();
@@ -362,7 +440,120 @@ util::Result<RoutedResult> ShardRouter::Execute(const std::string& query_text,
       state->mu.Lock();
       continue;
     }
-    if (all_done) break;
+    if (all_done) {
+      if (view_ == nullptr) break;
+      // Live-mode epoch reconciliation. Every ok slot must translate
+      // through the slice of exactly its answer's epoch and clear the
+      // caller's min-epoch floor before the scatter may complete.
+      std::vector<size_t> need_fetch;
+      std::vector<size_t> need_requery;
+      for (size_t i = 0; i < num_shards; ++i) {
+        ScatterState::Slot& slot = state->slots[i];
+        if (!slot.ok || slot.translated_done) continue;
+        if (slot.answer.backend_epoch < floor_of(i)) {
+          // Read-your-writes: the answer predates the caller's own
+          // acked write on this shard — ask again, never return it.
+          need_requery.push_back(i);
+          continue;
+        }
+        auto list = translate(i, slot.answer);
+        if (list.ok()) {
+          slot.translated = std::move(*list);
+          slot.translated_done = true;
+        } else if (list.status().code() == util::StatusCode::kUnavailable) {
+          need_fetch.push_back(i);
+        } else {
+          // The slice of that epoch is held but cannot contain the
+          // answer: a real inconsistency. Fail the shard (typed) —
+          // never translate through a mismatched slice.
+          slot.ok = false;
+          slot.error = list.status();
+        }
+      }
+      if (need_fetch.empty() && need_requery.empty()) break;
+      if (epoch_rounds >= options_.max_epoch_rounds) {
+        for (size_t i : need_fetch) {
+          ScatterState::Slot& slot = state->slots[i];
+          slot.ok = false;
+          slot.error = util::Status::Unavailable(
+              "no manifest slice for shard " + std::to_string(i) +
+              " at epoch " + std::to_string(slot.answer.backend_epoch) +
+              " after " + std::to_string(epoch_rounds) + " resync rounds");
+        }
+        for (size_t i : need_requery) {
+          ScatterState::Slot& slot = state->slots[i];
+          slot.ok = false;
+          slot.error = util::Status::Unavailable(
+              "shard " + std::to_string(i) + " answered at epoch " +
+              std::to_string(slot.answer.backend_epoch) +
+              " below the caller's floor " + std::to_string(floor_of(i)) +
+              " after " + std::to_string(epoch_rounds) + " resync rounds");
+        }
+        break;
+      }
+      ++epoch_rounds;
+      if (!need_fetch.empty()) {
+        // Blocking slice fetches with the lock released, then an
+        // immediate retranslation; a slice the server no longer holds
+        // (racing publishes outran the history) falls back to asking
+        // the shard again — a fresh answer comes with a fresh epoch.
+        state->mu.Unlock();
+        for (size_t i : need_fetch) {
+          int64_t fetch_deadline =
+              options_.attempt_deadline_ms > 0 ? options_.attempt_deadline_ms
+                                               : 2000;
+          if (overall_deadline != Clock::time_point::max()) {
+            int64_t remaining =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    overall_deadline - Clock::now())
+                    .count();
+            if (remaining < 1) remaining = 1;
+            fetch_deadline = std::min(fetch_deadline, remaining);
+          }
+          // A failed fetch is not terminal: retranslation below routes
+          // the slot into a re-query instead.
+          (void)FetchSliceBlocking(i, static_cast<int>(fetch_deadline));
+        }
+        state->mu.Lock();
+        for (size_t i : need_fetch) {
+          ScatterState::Slot& slot = state->slots[i];
+          if (!slot.ok || slot.translated_done) continue;
+          auto list = translate(i, slot.answer);
+          if (list.ok()) {
+            slot.translated = std::move(*list);
+            slot.translated_done = true;
+          } else if (list.status().code() ==
+                     util::StatusCode::kUnavailable) {
+            need_requery.push_back(i);
+          } else {
+            slot.ok = false;
+            slot.error = list.status();
+          }
+        }
+      }
+      due.clear();
+      for (size_t i : need_requery) {
+        ScatterState::Slot& slot = state->slots[i];
+        if (!slot.ok) continue;  // failed terminally meanwhile
+        epoch_requeries_->Increment();
+        slot.state = ScatterState::SlotState::kPending;
+        slot.ok = false;
+        slot.translated_done = false;
+        slot.translated.clear();
+        slot.error = util::Status::OK();
+        ++slot.attempt;
+        due.emplace_back(i, slot.attempt);
+      }
+      if (due.empty()) continue;  // everything resolved by the fetches
+      state->mu.Unlock();
+      for (const auto& [i, attempt] : due) {
+        state->retries.fetch_add(1, std::memory_order_relaxed);
+        LaunchAttempt(state, i, attempt, share_bound, deadline_ms,
+                      overall_deadline);
+      }
+      state->mu.Lock();
+      continue;
+    }
     if (options_.strict && hard_failure) {
       // Fail fast: the query is already lost, so don't wait out the
       // slowest shard's timeout to say so.
@@ -402,9 +593,18 @@ util::Result<RoutedResult> ShardRouter::Execute(const std::string& query_text,
   util::Status query_error = util::Status::OK();
   bool has_query_error = false;
   util::Status last_failure = util::Status::OK();
+  uint64_t min_answer_epoch = UINT64_MAX;
   for (size_t i = 0; i < num_shards; ++i) {
-    const ScatterState::Slot& slot = state->slots[i];
+    ScatterState::Slot& slot = state->slots[i];
     if (slot.ok) {
+      if (view_ != nullptr) {
+        // Reconciliation already translated through the epoch-exact
+        // slice; an ok slot always carries its translated list here.
+        lists.push_back(std::move(slot.translated));
+        min_answer_epoch =
+            std::min(min_answer_epoch, slot.answer.backend_epoch);
+        continue;
+      }
       std::vector<engine::RootCost>& list = lists.emplace_back();
       list.reserve(slot.answer.answers.size());
       // ToGlobal is strictly increasing per shard, so the shard's
@@ -422,6 +622,9 @@ util::Result<RoutedResult> ShardRouter::Execute(const std::string& query_text,
   }
   out.final_bound = state->bound.load(std::memory_order_relaxed);
   out.retries = state->retries.load(std::memory_order_relaxed);
+  if (view_ != nullptr && min_answer_epoch != UINT64_MAX) {
+    out.backend_epoch = min_answer_epoch;
+  }
   state->mu.Unlock();
 
   scatter_us_->Record(static_cast<uint64_t>(MicrosSince(started)));
@@ -479,16 +682,26 @@ void ShardRouter::HealthLoop() {
   health_mu_.Lock();
   while (!health_stop_) {
     health_mu_.Unlock();
-    for (auto& backend : backends_) {
+    for (size_t i = 0; i < backends_.size(); ++i) {
       health_pings_->Increment();
-      backend->CallPing(options_.ping_deadline_ms,
-                        [this](util::Result<net::WirePong> pong) {
-                          // RemoteShardBackend already fed the health
-                          // machine; only the counter is ours.
-                          if (!pong.ok()) {
-                            health_ping_failures_->Increment();
-                          }
-                        });
+      backends_[i]->CallPing(
+          options_.ping_deadline_ms,
+          [this, i](util::Result<net::WirePong> pong) {
+            // RemoteShardBackend already fed the health machine; only
+            // the counter (and live-mode epoch staleness) is ours.
+            if (!pong.ok()) {
+              health_ping_failures_->Increment();
+              return;
+            }
+            if (view_ != nullptr && pong->epoch > view_->epoch(
+                                        static_cast<uint32_t>(i))) {
+              // The shard advanced past our view: deltas were lost
+              // (dropped push, or the transport reconnected and the
+              // subscription died with the old connection). A full
+              // fetch resyncs AND re-subscribes.
+              RefetchSliceAsync(i);
+            }
+          });
     }
     UpdateHealthGauges();
     health_mu_.Lock();
@@ -497,6 +710,195 @@ void ShardRouter::HealthLoop() {
                        std::chrono::milliseconds(options_.health_period_ms));
   }
   health_mu_.Unlock();
+}
+
+void ShardRouter::OnDelta(size_t i, const net::WireManifestDelta& delta) {
+  if (view_ == nullptr || delta.shard_index != i) return;
+  manifest_deltas_->Increment();
+  if (!view_->ApplyDelta(delta)) {
+    // Gap (missed/reordered deltas) or inconsistency with the held
+    // slice: the delta stream is no longer trustworthy as-is; a full
+    // fetch re-bases it. Answers racing this window translate through
+    // history or trigger their own fetch in Execute's reconciliation.
+    manifest_delta_gaps_->Increment();
+    RefetchSliceAsync(i);
+  }
+}
+
+void ShardRouter::RefetchSliceAsync(size_t i) {
+  if (refetch_inflight_[i].exchange(true, std::memory_order_acq_rel)) {
+    return;  // a fetch for this shard is already on the wire
+  }
+  manifest_fetches_->Increment();
+  const int deadline =
+      options_.attempt_deadline_ms > 0 ? options_.attempt_deadline_ms : 2000;
+  backends_[i]->CallManifestFetch(
+      options_.manifest_subscribe, deadline,
+      [this, i](util::Result<net::WireManifestSlice> slice) {
+        refetch_inflight_[i].store(false, std::memory_order_release);
+        if (!slice.ok()) {
+          // Stale view is self-healing: the next delta gap, stale
+          // pong, or query-side reconciliation retries the fetch.
+          manifest_fetch_failures_->Increment();
+          return;
+        }
+        view_->InstallSlice(static_cast<uint32_t>(i), slice->epoch,
+                            std::move(slice->spans));
+      });
+}
+
+util::Status ShardRouter::FetchSliceBlocking(size_t i, int deadline_ms) {
+  manifest_fetches_->Increment();
+  auto done =
+      std::make_shared<std::promise<util::Result<net::WireManifestSlice>>>();
+  std::future<util::Result<net::WireManifestSlice>> reply = done->get_future();
+  backends_[i]->CallManifestFetch(
+      options_.manifest_subscribe, deadline_ms,
+      [done](util::Result<net::WireManifestSlice> slice) {
+        done->set_value(std::move(slice));
+      });
+  util::Result<net::WireManifestSlice> slice = reply.get();
+  if (!slice.ok()) {
+    manifest_fetch_failures_->Increment();
+    return slice.status();
+  }
+  // InstallSlice never regresses, so a fetch that raced a concurrent
+  // async refetch (or a delta) cannot roll the view back.
+  view_->InstallSlice(static_cast<uint32_t>(i), slice->epoch,
+                      std::move(slice->spans));
+  return util::Status::OK();
+}
+
+doc::NodeId ShardRouter::DocRootOfGlobal(doc::NodeId global) const {
+  return view_ != nullptr ? view_->DocRootOf(global)
+                          : manifest_.DocRootOf(global);
+}
+
+util::Result<net::WireIngestAck> ShardRouter::CallIngestBlocking(
+    size_t i, const net::WireIngest& ingest, int deadline_ms) {
+  auto done =
+      std::make_shared<std::promise<util::Result<net::WireIngestAck>>>();
+  std::future<util::Result<net::WireIngestAck>> reply = done->get_future();
+  backends_[i]->CallIngest(ingest, deadline_ms,
+                           [done](util::Result<net::WireIngestAck> ack) {
+                             done->set_value(std::move(ack));
+                           });
+  return reply.get();
+}
+
+util::Status ShardRouter::ResyncGlobals(int deadline_ms) {
+  // Every slice, blocking: the next global id must clear EVERY shard's
+  // occupied range, or a reassigned id would collide with a document
+  // whose ack we never saw (an "in doubt" add that actually landed).
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    util::Status fetched = FetchSliceBlocking(i, deadline_ms);
+    if (!fetched.ok()) {
+      return util::Status(fetched.code(),
+                          "cannot resync global id space: shard " +
+                              std::to_string(i) + ": " + fetched.message());
+    }
+  }
+  next_global_ = view_->NextGlobal();
+  return util::Status::OK();
+}
+
+util::Result<net::WireIngestAck> ShardRouter::IngestLive(
+    const net::WireIngest& ingest, int attempt_deadline_ms) {
+  if (ingest.op == net::WireIngest::Op::kAdd) {
+    // The router owns the cluster-global id space: it assigns the add's
+    // root id up front so every shard's corpus-global ids ARE cluster-
+    // global ids and answers merge without remapping. assign_mu_ is held
+    // across assign→ack so ids are handed out in ack order — exactly the
+    // order BuildFromXml(acked docs) reproduces.
+    util::MutexLock lock(&assign_mu_);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (next_global_ == 0) {
+        // Fresh router, or the last add left us in doubt. Rebase on the
+        // cluster's actual occupancy before assigning anything.
+        util::Status resynced = ResyncGlobals(attempt_deadline_ms);
+        if (!resynced.ok()) {
+          ingest_failures_->Increment();
+          return resynced;
+        }
+      }
+      // Fewest docs among shards not known-DOWN: a dead server would
+      // otherwise stay the argmin forever (it never gains documents)
+      // and every add during its outage would go in-doubt against it.
+      size_t target = SIZE_MAX;
+      {
+        util::MutexLock docs(&ingest_mu_);
+        uint64_t fewest = UINT64_MAX;
+        for (size_t s = 0; s < backends_.size(); ++s) {
+          if (backends_[s]->health() == ShardHealth::kDown) continue;
+          if (ingest_docs_[s] < fewest) {
+            fewest = ingest_docs_[s];
+            target = s;
+          }
+        }
+      }
+      if (target == SIZE_MAX) {
+        ingest_failures_->Increment();
+        return util::Status::Unavailable("every shard server is DOWN");
+      }
+      net::WireIngest assigned = ingest;
+      assigned.assigned_global = next_global_;
+      util::Result<net::WireIngestAck> ack =
+          CallIngestBlocking(target, assigned, attempt_deadline_ms);
+      if (!ack.ok()) {
+        // In doubt: the add may have landed without us seeing the ack.
+        // Never reuse the id — force a resync before the next assign.
+        next_global_ = 0;
+        ingest_failures_->Increment();
+        return ack;
+      }
+      if (ack->status_code ==
+          static_cast<uint32_t>(util::StatusCode::kInvalidArgument)) {
+        // The shard rejected the assigned id (our floor is stale — e.g.
+        // another router is also assigning). Resync and retry once.
+        next_global_ = 0;
+        continue;
+      }
+      if (ack->status_code != static_cast<uint32_t>(util::StatusCode::kOk)) {
+        ingest_failures_->Increment();
+        return util::Status(CodeOf(ack->status_code), ack->status_message);
+      }
+      next_global_ = ack->doc_root + ack->length;
+      {
+        util::MutexLock docs(&ingest_mu_);
+        ++ingest_docs_[target];
+      }
+      return ack;
+    }
+    ingest_failures_->Increment();
+    return util::Status::Unavailable(
+        "cluster rejected the assigned global id twice after resync — "
+        "another writer owns this id space?");
+  }
+
+  // Remove: the manifest view usually knows which shard holds the
+  // document, so try that shard directly; fall back to the probe-all
+  // loop (shared with static mode) if the view is stale or the call
+  // fails.
+  uint32_t holder = 0;
+  shard::DocSpan span;
+  if (view_->FindDocument(ingest.doc_root, &holder, &span)) {
+    util::Result<net::WireIngestAck> ack =
+        CallIngestBlocking(holder, ingest, attempt_deadline_ms);
+    if (ack.ok() &&
+        ack->status_code == static_cast<uint32_t>(util::StatusCode::kOk)) {
+      util::MutexLock docs(&ingest_mu_);
+      if (ingest_docs_[holder] > 0) --ingest_docs_[holder];
+      return ack;
+    }
+    if (ack.ok() &&
+        ack->status_code !=
+            static_cast<uint32_t>(util::StatusCode::kNotFound)) {
+      ingest_failures_->Increment();
+      return util::Status(CodeOf(ack->status_code), ack->status_message);
+    }
+    // NOT_FOUND (stale view) or transport error: probe everything.
+  }
+  return util::Status::NotFound("fall through to probe");
 }
 
 util::Result<net::WireIngestAck> ShardRouter::Ingest(
@@ -509,19 +911,21 @@ util::Result<net::WireIngestAck> ShardRouter::Ingest(
                                    ? static_cast<int>(deadline_ms)
                                    : options_.attempt_deadline_ms;
 
+  if (view_ != nullptr) {
+    util::Result<net::WireIngestAck> live = IngestLive(ingest, attempt_deadline);
+    // Adds are fully handled by IngestLive; removes fall through to the
+    // probe-all loop below when the view couldn't place the document.
+    if (ingest.op == net::WireIngest::Op::kAdd || live.ok() ||
+        live.status().code() != util::StatusCode::kNotFound) {
+      return live;
+    }
+  }
+
   // Ingest is synchronous end to end (the shard acks only after fsync),
   // so one blocking round trip per attempt is the honest shape — no
   // scatter, no retries (a resent add is a duplicate document).
   auto call_one = [&](size_t i) -> util::Result<net::WireIngestAck> {
-    auto done =
-        std::make_shared<std::promise<util::Result<net::WireIngestAck>>>();
-    std::future<util::Result<net::WireIngestAck>> reply = done->get_future();
-    backends_[i]->CallIngest(
-        ingest, attempt_deadline,
-        [done](util::Result<net::WireIngestAck> ack) {
-          done->set_value(std::move(ack));
-        });
-    return reply.get();
+    return CallIngestBlocking(i, ingest, attempt_deadline);
   };
 
   if (ingest.op == net::WireIngest::Op::kAdd) {

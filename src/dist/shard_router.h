@@ -37,6 +37,24 @@
 // remote_shard.h). DOWN shards are skipped by non-strict queries
 // (counted missing immediately, no timeout burned) until a ping
 // revives them.
+//
+// LIVE-CLUSTER MODE (the cluster::ClusterConfig constructor): the
+// shards are mutable servers ingesting concurrently, so there is no
+// static layout to agree on. Instead the router keeps a composite
+// cluster::ManifestView of per-shard manifest slices, each tagged with
+// the ingest epoch it describes, synchronized by kManifestDelta pushes
+// with kManifestFetch as bootstrap/gap fallback. Every kShardAnswer
+// carries the epoch of the snapshot that produced it, and its local ids
+// are translated through the slice of EXACTLY that epoch: a missing
+// slice is fetched and the answer retranslated; if the slice still
+// cannot be had (or the answer predates a caller's read-your-writes
+// min-epoch floor) the shard is re-queried inside the normal retry
+// loop; a genuine inconsistency fails that shard rather than guessing.
+// The per-answer stamp becomes cluster::ClusterFingerprint (cost model
+// + shard count), which validates configuration; the epoch validates
+// layout. Ingest in this mode assigns cluster-wide global root ids
+// (WireIngest::assigned_global) from the view's id-space high-water
+// mark, serialized so acked documents get sequential ids.
 #ifndef APPROXQL_DIST_SHARD_ROUTER_H_
 #define APPROXQL_DIST_SHARD_ROUTER_H_
 
@@ -47,6 +65,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_config.h"
+#include "cluster/manifest_view.h"
 #include "dist/remote_shard.h"
 #include "engine/database.h"
 #include "service/metrics.h"
@@ -84,6 +104,18 @@ struct RouterOptions {
   int health_period_ms = 500;
   int ping_deadline_ms = 250;
   int failures_to_down = 3;
+
+  // Live-cluster mode only (the ClusterConfig constructor).
+
+  /// Subscribe to kManifestDelta pushes on every manifest fetch. Tests
+  /// disable this to force the fetch-on-stale-epoch path.
+  bool manifest_subscribe = true;
+  /// Superseded epochs kept translatable per shard (ManifestView).
+  size_t manifest_history_depth = 32;
+  /// Bound on post-scatter reconciliation rounds (fetch-retranslate or
+  /// re-query) per Execute before a still-unresolvable shard is
+  /// declared missing. Each round re-enters the normal retry loop.
+  int max_epoch_rounds = 3;
 };
 
 struct RoutedResult {
@@ -97,6 +129,9 @@ struct RoutedResult {
   cost::Cost final_bound = cost::kInfinite;
   /// Retry attempts this execution spent.
   uint32_t retries = 0;
+  /// Live-cluster mode: the minimum ingest epoch across the shard
+  /// answers merged here (the read-your-writes watermark); 0 otherwise.
+  uint64_t backend_epoch = 0;
 };
 
 class ShardRouter {
@@ -109,6 +144,11 @@ class ShardRouter {
   /// Convenience for co-located deployments that already hold the full
   /// partition: extracts the manifest from it.
   ShardRouter(const shard::ShardedDatabase& layout, RouterOptions options);
+  /// Live-cluster mode: the shards are mutable servers with no static
+  /// layout. The router needs only the cluster's configuration (shared
+  /// cost model + shard count); the moving document layout is tracked
+  /// by an epoch-versioned manifest view synchronized over the wire.
+  ShardRouter(const cluster::ClusterConfig& config, RouterOptions options);
   ~ShardRouter();
 
   ShardRouter(const ShardRouter&) = delete;
@@ -123,9 +163,15 @@ class ShardRouter {
   /// deadline (attempts still bound themselves). n == SIZE_MAX asks for
   /// all results (no bound sharing, exactly like in-process). Blocks
   /// the calling thread; safe from many threads concurrently.
+  /// `min_epochs` (live-cluster mode): per-shard read-your-writes
+  /// floors — shard i's answer must have been computed at epoch >=
+  /// min_epochs[i] (shards beyond the vector have no floor); an answer
+  /// below its floor is re-queried, never returned.
   util::Result<RoutedResult> Execute(const std::string& query_text,
                                      engine::Strategy strategy, size_t n,
-                                     int64_t deadline_ms);
+                                     int64_t deadline_ms,
+                                     const std::vector<uint64_t>& min_epochs =
+                                         {});
 
   /// Routes one ingest mutation and blocks for the ack. Adds go to the
   /// shard this router has sent the fewest documents (ties to the
@@ -149,12 +195,25 @@ class ShardRouter {
   ShardHealth shard_health(size_t i) const { return backends_[i]->health(); }
   const RouterOptions& options() const { return options_; }
 
+  /// True in live-cluster mode: answers move with ingest, so callers
+  /// must never cache routed results.
+  bool live() const { return view_ != nullptr; }
+  /// Live mode: the composite manifest view (tests inspect epochs).
+  const cluster::ManifestView* view() const { return view_.get(); }
+  /// Document root containing `global` — through the live view in
+  /// cluster mode, through the static manifest otherwise (the wire
+  /// layer's doc_root_of for a cluster router host).
+  doc::NodeId DocRootOfGlobal(doc::NodeId global) const;
+
   /// dist_* counters/gauges plus per-shard health and transport lines.
   std::string DumpMetrics() const;
 
  private:
   using Clock = std::chrono::steady_clock;
   struct ScatterState;
+
+  ShardRouter(shard::LayoutManifest manifest, RouterOptions options,
+              bool live);
 
   /// Issues one attempt against shard `i`. `attempt` tags the slot so a
   /// late reply from a superseded attempt is ignored.
@@ -164,9 +223,42 @@ class ShardRouter {
   void HealthLoop();
   void UpdateHealthGauges();
 
+  // Live-cluster manifest synchronization.
+
+  /// A kManifestDelta push from shard `i`'s transport (IO thread).
+  /// Applies it to the view; a gap triggers an async full refetch.
+  void OnDelta(size_t i, const net::WireManifestDelta& delta);
+  /// Fire-and-forget slice refetch, deduplicated per shard (delta gaps
+  /// and stale pongs may fire faster than fetches complete). Also
+  /// re-establishes the delta subscription after a reconnect.
+  void RefetchSliceAsync(size_t i);
+  /// Blocking slice fetch + install (the Execute reconciliation path).
+  util::Status FetchSliceBlocking(size_t i, int deadline_ms);
+  /// Re-fetches every shard's slice and rebases next_global_ on the
+  /// view's id-space high-water mark (ingest bootstrap / collision
+  /// recovery).
+  util::Status ResyncGlobals(int deadline_ms) REQUIRES(assign_mu_);
+  /// The live-cluster ingest path (id assignment + epoch-aware acks).
+  util::Result<net::WireIngestAck> IngestLive(const net::WireIngest& ingest,
+                                              int attempt_deadline_ms);
+  util::Result<net::WireIngestAck> CallIngestBlocking(
+      size_t i, const net::WireIngest& ingest, int deadline_ms);
+
   const shard::LayoutManifest manifest_;
   const RouterOptions options_;
+  /// Non-null exactly in live-cluster mode.
+  const std::unique_ptr<cluster::ManifestView> view_;
   std::vector<std::unique_ptr<RemoteShardBackend>> backends_;
+  /// Per-shard refetch-in-flight latch (live mode; sized num_shards).
+  std::unique_ptr<std::atomic<bool>[]> refetch_inflight_;
+
+  /// Live mode: serializes global-id assignment with the ack that
+  /// confirms it (the next id depends on the previous ack's length).
+  util::Mutex assign_mu_;
+  /// Next cluster-global root id to assign; 0 = must resync from the
+  /// view before assigning (bootstrap, or the last assign ended in
+  /// doubt).
+  doc::NodeId next_global_ GUARDED_BY(assign_mu_) = 0;
 
   /// One ack'd kAdd count per shard, for least-loaded placement.
   mutable util::Mutex ingest_mu_;
@@ -191,6 +283,11 @@ class ShardRouter {
   service::Counter* health_ping_failures_;
   service::Counter* ingest_calls_;
   service::Counter* ingest_failures_;
+  service::Counter* manifest_fetches_;
+  service::Counter* manifest_fetch_failures_;
+  service::Counter* manifest_deltas_;
+  service::Counter* manifest_delta_gaps_;
+  service::Counter* epoch_requeries_;
   service::Gauge* shards_up_;
   service::Gauge* shards_down_;
   service::LatencyHistogram* scatter_us_;

@@ -225,7 +225,7 @@ Status DurableShard::ApplyRemove(doc::NodeId global_start) {
   return Status::OK();
 }
 
-Result<DurableShard::AddResult> DurableShard::AddDocument(
+Result<DurableShard::AddResult> DurableShard::AddDocumentBuffered(
     std::string_view xml, doc::NodeId global_start) {
   if (poisoned_) {
     return Status::Unavailable(stem_ + " is poisoned; ingest rejected");
@@ -256,12 +256,23 @@ Result<DurableShard::AddResult> DurableShard::AddDocument(
     poisoned_ = true;
     return seq.status();
   }
-  Status synced = wal_->Sync();
-  if (!synced.ok()) {
-    poisoned_ = true;
-    return synced;
-  }
   result.seq = *seq;
+  return result;
+}
+
+Status DurableShard::SyncWal() {
+  if (poisoned_) {
+    return Status::Unavailable(stem_ + " is poisoned; sync rejected");
+  }
+  Status synced = wal_->Sync();
+  if (!synced.ok()) poisoned_ = true;
+  return synced;
+}
+
+Result<DurableShard::AddResult> DurableShard::AddDocument(
+    std::string_view xml, doc::NodeId global_start) {
+  ASSIGN_OR_RETURN(AddResult result, AddDocumentBuffered(xml, global_start));
+  RETURN_IF_ERROR(SyncWal());
   return result;
 }
 

@@ -95,6 +95,17 @@ class DurableShard {
   util::Result<AddResult> AddDocument(std::string_view xml,
                                       doc::NodeId global_start);
 
+  /// Group-commit half of AddDocument: applies and appends the WAL
+  /// record but does NOT sync — the mutation is not durable (and must
+  /// not be acknowledged) until a following SyncWal() succeeds. The
+  /// corpus batches several of these into one fsync.
+  util::Result<AddResult> AddDocumentBuffered(std::string_view xml,
+                                              doc::NodeId global_start);
+
+  /// Fsync barrier covering every buffered append (see
+  /// storage::WriteAheadLog::Sync). Failure poisons the shard.
+  util::Status SyncWal();
+
   /// Removes the document whose global root is `global_start`. The
   /// shard's tree is rebuilt without it (remaining documents keep their
   /// global ids — holes are permanent) and every posting is rewritten.
@@ -128,6 +139,9 @@ class DurableShard {
     return store_;
   }
   uint64_t wal_size_bytes() const { return wal_->size_bytes(); }
+  /// Records appended since the last checkpoint (what replay would cost
+  /// after a crash right now) — the auto-checkpoint trigger's unit.
+  uint64_t wal_records() const { return wal_->last_seq() - wal_->base_seq(); }
   uint64_t vlog_size() const;
   storage::SpillingStore::Stats spill_stats() const;
   uint64_t generation() const { return gen_; }

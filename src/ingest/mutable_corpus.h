@@ -3,7 +3,7 @@
 //
 // Readers call snapshot() and run queries against the returned
 // generation for as long as they like; every accepted mutation builds a
-// new generation copy-on-write (only the mutated shard's engine state
+// new generation copy-on-write (only the mutated shards' engine state
 // is rebuilt — unmutated shards are shared by pointer) and swaps it in.
 // Snapshot isolation is enforced by the StoredLabelIndex node limit on
 // the read side: postings appended by later documents are invisible to
@@ -11,23 +11,41 @@
 // remove every still-live generation's view of the affected shard is
 // preloaded into its cache and sealed.
 //
+// Write path (group commit): concurrent AddDocument calls join a writer
+// queue. The writer at the front becomes the batch leader: it takes the
+// ingest lock, drains everything queued behind it, applies each add as
+// a buffered (un-synced) WAL append, then issues ONE fsync per touched
+// shard and ONE generation publish for the whole batch — the LevelDB
+// writer-queue pattern. Under a single writer this degenerates to the
+// old apply+fsync-per-document path with no added latency; under K
+// concurrent writers the fsync cost amortizes across the batch
+// (`ingest_group_commit_batch` histogram tracks batch sizes).
+//
 // Placement: a new document goes to the shard with the fewest documents
 // (ties to the lowest index). The rule is recomputable from recovered
 // state alone, and answers are placement-independent (the partition-
 // equivalence contract), so recovery does not need to remember any
-// arrival ordering beyond the global ids themselves.
+// arrival ordering beyond the global ids themselves. AddDocumentAt
+// bypasses id assignment for cluster serving: the router allocates
+// cluster-wide root ids and each shard server's corpus accepts them
+// verbatim (gaps are fine — other servers own the intervening ranges).
 //
 // Epoch: the sum of the shards' durable WAL sequence numbers. Every
 // acknowledged mutation moves it; it salts the generation's layout
 // fingerprint, so result caches keyed by fingerprint never cross
-// corpus states.
+// corpus states. Checkpoints never move the epoch (WAL truncation
+// preserves the sequence numbering), so a manifest slice taken at
+// epoch E stays valid across any number of checkpoints.
 #ifndef APPROXQL_INGEST_MUTABLE_CORPUS_H_
 #define APPROXQL_INGEST_MUTABLE_CORPUS_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "cost/cost_model.h"
@@ -50,6 +68,22 @@ class MutableCorpus {
     storage::StoreKind store_kind = storage::StoreKind::kMem;
     cost::CostModel model;
     size_t inline_threshold = storage::kDefaultInlineThreshold;
+
+    // Runtime tuning below — deliberately NOT part of corpus.meta, so a
+    // directory can be reopened with different knobs.
+
+    /// Group commit: once a writer becomes batch leader it waits this
+    /// long for followers to queue up before draining the batch. 0 (the
+    /// default) never waits — concurrent writers still batch naturally
+    /// because followers accumulate while the leader fsyncs.
+    uint32_t group_commit_window_us = 0;
+    /// Auto-checkpoint thresholds (0 disables each). When any shard
+    /// exceeds one after a publish, a background thread checkpoints it,
+    /// bounding crash-recovery replay (records/bytes) and value-log
+    /// garbage without blocking the ingest path.
+    uint64_t checkpoint_wal_bytes = 0;
+    uint64_t checkpoint_wal_records = 0;
+    uint64_t checkpoint_vlog_garbage_bytes = 0;
   };
 
   struct OpenStats {
@@ -69,6 +103,7 @@ class MutableCorpus {
       std::shared_ptr<service::MetricsRegistry> metrics = nullptr,
       OpenStats* stats_out = nullptr);
 
+  ~MutableCorpus();
   MutableCorpus(const MutableCorpus&) = delete;
   MutableCorpus& operator=(const MutableCorpus&) = delete;
 
@@ -88,13 +123,47 @@ class MutableCorpus {
   /// resend on error) and the snapshot lags until the next successful
   /// publish — compare snapshot()->epoch() with the returned epoch to
   /// tell. Safe to call concurrently with queries; concurrent ingest
-  /// calls are serialized internally.
+  /// calls join one group-commit batch (see file comment).
   util::Result<IngestResult> AddDocument(std::string_view xml);
+
+  /// Ingests one document under a caller-assigned global root id
+  /// (cluster routers allocate cluster-wide ids; this corpus is one
+  /// cluster shard and must not invent its own). `doc_root` must be
+  /// beyond every id this corpus has allocated — ids never regress —
+  /// but gaps are fine and become permanent holes. InvalidArgument if
+  /// the id is 0 (the super-root) or already allocated.
+  util::Result<IngestResult> AddDocumentAt(std::string_view xml,
+                                           doc::NodeId doc_root);
 
   /// Removes the document whose global root id is `doc_root` (as
   /// returned by AddDocument, or ShardedDatabase::DocRootOf on an
   /// answer). The id stays a permanent hole in the global id space.
   util::Result<IngestResult> RemoveDocument(doc::NodeId doc_root);
+
+  /// One accepted mutation as seen by a manifest-sync subscriber.
+  /// `span` is the document's placement on its internal shard
+  /// (global_start = corpus-global root id, local_start = that shard's
+  /// local id); `prev_epoch` -> `epoch` is the corpus epoch step the
+  /// mutation performed, so consecutive mutations chain.
+  struct Mutation {
+    bool is_add = true;
+    uint32_t shard_index = 0;
+    shard::DocSpan span;
+    uint64_t prev_epoch = 0;
+    uint64_t epoch = 0;
+  };
+  /// Fired after every successful generation publish with the chain of
+  /// mutations that generation adds over the previous one. Invoked on
+  /// the ingest path WITH the ingest lock held: the listener must not
+  /// call back into the corpus and must be quick (hand off to a queue).
+  /// A failed publish fires nothing — subscribers see an epoch gap on
+  /// the next event and fall back to a full slice fetch.
+  struct PublishEvent {
+    uint64_t epoch = 0;  // the published generation's epoch
+    std::vector<Mutation> mutations;
+  };
+  using PublishListener = std::function<void(const PublishEvent&)>;
+  void SetPublishListener(PublishListener listener);
 
   /// The current generation. Never null; holding the pointer keeps the
   /// generation (and everything its queries touch) alive.
@@ -118,7 +187,9 @@ class MutableCorpus {
     size_t documents = 0;
     uint64_t last_seq = 0;
     uint64_t wal_bytes = 0;
+    uint64_t wal_records = 0;
     uint64_t vlog_bytes = 0;
+    uint64_t vlog_garbage_bytes = 0;
     uint64_t generation = 0;
     bool poisoned = false;
   };
@@ -135,9 +206,34 @@ class MutableCorpus {
 
   std::string ConfigString() const;
 
-  /// Builds and publishes a generation. `mutated_shard` < num_shards
-  /// rebuilds only that shard's engine state reusing the rest from the
-  /// previous generation; SIZE_MAX (first open) builds all of them.
+  /// One writer waiting in the group-commit queue. Owned by the
+  /// writer's stack frame; the leader fills `result` and flips `done`
+  /// under queue_mu_ (the flag is the publication point — `result` is
+  /// only read after observing done == true).
+  struct PendingAdd {
+    std::string_view xml;
+    doc::NodeId assigned_root = 0;  // 0 = corpus places and assigns
+    bool done = false;
+    util::Result<IngestResult> result =
+        util::Status::Internal("batch member never processed");
+  };
+
+  /// Joins the writer queue; whoever reaches the front leads the batch.
+  util::Result<IngestResult> EnqueueAdd(std::string_view xml,
+                                        doc::NodeId assigned_root);
+  /// Leader path: drains the queue under ingest_mu_, commits the batch,
+  /// completes every member.
+  void LeadCommit();
+  /// Applies + logs every batch member, then one fsync per touched
+  /// shard and one publish. Fills each member's result.
+  void CommitBatch(const std::vector<PendingAdd*>& batch)
+      REQUIRES(ingest_mu_);
+
+  /// Builds and publishes a generation. `mutated[i]` rebuilds shard i's
+  /// engine state; others are shared from the previous generation
+  /// (subject to republish_all_). nullptr (first open) builds all.
+  util::Status PublishShards(const std::vector<bool>* mutated)
+      REQUIRES(ingest_mu_);
   util::Status PublishGeneration(size_t mutated_shard)
       REQUIRES(ingest_mu_);
 
@@ -152,8 +248,26 @@ class MutableCorpus {
   void PreloadLiveGenerations(size_t shard_index)
       REQUIRES(ingest_mu_);
 
+  uint64_t DurableEpoch() const REQUIRES(ingest_mu_);
+  /// Fires the publish listener (if any) for a successful publish.
+  void NotifyPublish(uint64_t epoch, std::vector<Mutation> mutations)
+      REQUIRES(ingest_mu_);
+
+  /// Auto-checkpoint support: wakes the background thread when a shard
+  /// crosses a threshold.
+  bool ShardOverThreshold(const DurableShard& shard) const;
+  void MaybeKickCheckpointer() REQUIRES(ingest_mu_);
+  void CheckpointLoop();
+
   const Options options_;
   std::shared_ptr<service::MetricsRegistry> metrics_;
+
+  /// Group-commit writer queue. Ordering: ingest_mu_ is acquired before
+  /// queue_mu_ (the leader drains the queue while holding the ingest
+  /// lock); waiters hold only queue_mu_.
+  util::Mutex queue_mu_;
+  util::CondVar queue_cv_;
+  std::deque<PendingAdd*> add_queue_ GUARDED_BY(queue_mu_);
 
   /// Serializes mutations and guards all durable state.
   mutable util::Mutex ingest_mu_;
@@ -167,19 +281,32 @@ class MutableCorpus {
   /// then stale for the failed shard, so the next publish rebuilds every
   /// shard instead of copy-on-write sharing from the stale generation.
   bool republish_all_ GUARDED_BY(ingest_mu_) = false;
+  PublishListener listener_ GUARDED_BY(ingest_mu_);
 
   /// Publication point: ingest writes under both mutexes, readers take
   /// only this one.
   mutable util::Mutex snap_mu_;
   std::shared_ptr<const shard::ShardedDatabase> current_ GUARDED_BY(snap_mu_);
 
+  /// Background checkpointer handshake. Ordering: ingest_mu_ before
+  /// ckpt_mu_ on the kick path; the loop never holds ckpt_mu_ while
+  /// taking ingest_mu_.
+  util::Mutex ckpt_mu_;
+  util::CondVar ckpt_cv_;
+  bool ckpt_stop_ GUARDED_BY(ckpt_mu_) = false;
+  bool ckpt_kick_ GUARDED_BY(ckpt_mu_) = false;
+  std::thread ckpt_thread_;  // started by Open when a threshold is set
+
   service::Counter* docs_added_ = nullptr;
   service::Counter* docs_removed_ = nullptr;
   service::Counter* ingest_rejected_ = nullptr;
   service::Counter* generations_published_ = nullptr;
+  service::Counter* auto_checkpoints_ = nullptr;
   service::Gauge* epoch_gauge_ = nullptr;
   service::Gauge* documents_gauge_ = nullptr;
+  service::Gauge* vlog_garbage_gauge_ = nullptr;
   service::LatencyHistogram* ingest_latency_us_ = nullptr;
+  service::LatencyHistogram* group_commit_batch_ = nullptr;
 };
 
 }  // namespace approxql::ingest

@@ -266,6 +266,12 @@ void AsyncClient::ReadSocket() {
           DropConnection(error);
           return;
         }
+        if (header.request_id == 0) {
+          // Server push (manifest deltas): id 0 is never assigned to a
+          // Call, so this cannot be a response.
+          if (options_.on_push) options_.on_push(header, payload);
+          continue;
+        }
         auto it = inflight_.find(header.request_id);
         if (it == inflight_.end()) continue;  // deadline-abandoned; drop
         Request request = std::move(it->second);

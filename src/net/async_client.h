@@ -50,6 +50,11 @@ struct AsyncClientOptions {
   /// uniform in [base/2, min(cap, base << attempt)].
   int reconnect_backoff_ms = 20;
   int reconnect_backoff_cap_ms = 1000;
+  /// Server-push frames (request_id 0 — never assigned to a Call) are
+  /// handed here; without a handler they are dropped. Runs on the IO
+  /// thread under the same rules as completion callbacks: never block,
+  /// submitting further Calls is fine.
+  std::function<void(const FrameHeader&, std::string_view payload)> on_push;
 };
 
 /// Completion: the response frame's header and payload, or the status

@@ -95,6 +95,52 @@ Server::Server(service::QueryService& service, ingest::MutableCorpus& corpus,
              },
              std::move(options)) {
   corpus_ = &corpus;
+  // Manifest-sync push path: after every generation publish, fan the
+  // mutation chain out to subscribed connections as kManifestDelta
+  // frames (request_id 0). Runs on the ingest path WITH the corpus
+  // lock held — no corpus re-entry here, only frame encoding and
+  // thread-safe outbox appends. On a connection shared by a router's
+  // query and ingest traffic, these frames enter the outbox during
+  // AddDocument/RemoveDocument, i.e. strictly before the ingest ack.
+  corpus.SetPublishListener([this](
+                                const ingest::MutableCorpus::PublishEvent&
+                                    event) {
+    std::vector<std::shared_ptr<Connection>> targets;
+    {
+      util::MutexLock lock(&subscribers_mu_);
+      auto it = subscribers_.begin();
+      while (it != subscribers_.end()) {
+        std::shared_ptr<Connection> conn = it->lock();
+        if (conn == nullptr || conn->closed.load(std::memory_order_acquire)) {
+          it = subscribers_.erase(it);
+          continue;
+        }
+        targets.push_back(std::move(conn));
+        ++it;
+      }
+    }
+    if (targets.empty()) return;
+    const FrameHeader push{kProtocolVersion, /*request_id=*/0,
+                           static_cast<uint32_t>(MessageType::kManifestDelta)};
+    for (const ingest::MutableCorpus::Mutation& m : event.mutations) {
+      WireManifestDelta delta;
+      // The delta is stamped with the server's CLUSTER position, not
+      // the corpus's internal shard index (always 0 in cluster mode).
+      delta.shard_index = options_.shard.shard_index;
+      delta.prev_epoch = m.prev_epoch;
+      delta.epoch = m.epoch;
+      delta.op = m.is_add ? WireManifestDelta::Op::kAdd
+                          : WireManifestDelta::Op::kRemove;
+      delta.span = m.span;
+      const std::string payload = EncodeManifestDelta(delta);
+      for (const std::shared_ptr<Connection>& conn : targets) {
+        EnqueueResponse(conn, push, payload);
+      }
+    }
+    for (const std::shared_ptr<Connection>& conn : targets) {
+      NotifyWritable(conn);
+    }
+  });
 }
 
 Server::Server(service::QueryService& service,
@@ -120,6 +166,15 @@ util::Status Server::Start() {
   {
     util::MutexLock lock(&lifecycle_mu_);
     APPROXQL_CHECK(!started_) << "Server::Start called twice";
+  }
+  if (options_.shard.enabled && corpus_ != nullptr &&
+      corpus_->snapshot()->num_shards() != 1) {
+    // A cluster shard server's local ids are ITS tree's preorders; a
+    // corpus internally partitioned again would need two translation
+    // layers. One cluster shard = one corpus shard, by construction.
+    return util::Status::InvalidArgument(
+        "a mutable shard server requires a single-shard corpus (got " +
+        std::to_string(corpus_->snapshot()->num_shards()) + ")");
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
@@ -222,6 +277,12 @@ void Server::JoinLoop() {
 void Server::Wait() { JoinLoop(); }
 
 void Server::Shutdown(bool drain) {
+  if (corpus_ != nullptr) {
+    // Detach from the corpus first. SetPublishListener serializes with
+    // a firing listener on the ingest lock, so after this returns no
+    // publish can reach this server's outboxes or wake fd again.
+    corpus_->SetPublishListener(nullptr);
+  }
   {
     // Only the stop-flag store and a non-blocking eventfd wake happen
     // under lifecycle_mu_ — never the join itself — so a thread parked
@@ -474,9 +535,14 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
     // with long queries must not make a healthy shard look dead.
     FrameHeader reply{kProtocolVersion, header.request_id,
                       static_cast<uint32_t>(MessageType::kPong)};
+    // Mutable servers piggyback the snapshot epoch (what queries are
+    // answered from — not the durable WAL epoch, which can run ahead
+    // across a failed publish) so a probe doubles as a staleness check.
+    const uint64_t epoch =
+        corpus_ != nullptr ? corpus_->snapshot()->epoch() : 0;
     EnqueueResponse(conn, reply,
                     EncodePong({options_.shard.fingerprint,
-                                options_.shard.shard_index}));
+                                options_.shard.shard_index, epoch}));
     FlushWrites(conn);
     return;
   }
@@ -487,6 +553,10 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
   }
   if (header.type == static_cast<uint32_t>(MessageType::kIngest)) {
     DispatchIngest(conn, header, payload);
+    return;
+  }
+  if (header.type == static_cast<uint32_t>(MessageType::kManifestFetch)) {
+    DispatchManifestFetch(conn, header, payload);
     return;
   }
 
@@ -534,6 +604,7 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
   request.parallelism = wire_request.parallelism;
   request.deadline = std::chrono::milliseconds(wire_request.deadline_ms);
   request.bypass_cache = wire_request.bypass_cache;
+  request.min_epochs = std::move(wire_request.min_epochs);
 
   conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
@@ -622,18 +693,46 @@ void Server::DispatchShardQuery(const std::shared_ptr<Connection>& conn,
   conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   const auto start = std::chrono::steady_clock::now();
+  const bool mutable_backend = corpus_ != nullptr;
   service_.SubmitAsync(
       std::move(request),
-      [this, conn, reply, stamp, want_n, start](service::QueryResponse r) {
+      [this, conn, reply, stamp, want_n, start,
+       mutable_backend](service::QueryResponse r) {
         WireShardAnswer answer = stamp;
         answer.status_code = static_cast<uint32_t>(r.status.code());
         answer.status_message = r.status.message();
         answer.truncated = r.truncated;
+        // Mutable backends stamp the epoch of the snapshot that
+        // produced the answer — the router translates the local ids
+        // through the manifest slice of exactly this epoch.
+        answer.backend_epoch = r.backend_epoch;
         answer.answers.reserve(r.answers.size());
         for (const engine::QueryAnswer& a : r.answers) {
           // Roots stay LOCAL preorders — the router owns the DocSpan
-          // table and translates; docs are likewise its job.
-          answer.answers.push_back({a.cost, a.root, /*doc=*/0});
+          // table and translates; docs are likewise its job. A static
+          // shard server fronts the shard's own tree, so its roots are
+          // already local; a mutable one evaluates in its corpus-global
+          // id space and reverse-translates against the pinned snapshot
+          // (global → local is strictly increasing, so the cost-then-
+          // root answer order survives translation).
+          doc::NodeId root = a.root;
+          if (mutable_backend) {
+            uint32_t internal_shard = 0;
+            doc::NodeId local = 0;
+            if (r.backend_snapshot == nullptr ||
+                !r.backend_snapshot->ToLocal(a.root, &internal_shard,
+                                             &local)) {
+              answer.status_code =
+                  static_cast<uint32_t>(util::StatusCode::kInternal);
+              answer.status_message =
+                  "answer root " + std::to_string(a.root) +
+                  " outside the evaluated snapshot";
+              answer.answers.clear();
+              break;
+            }
+            root = local;
+          }
+          answer.answers.push_back({a.cost, root, /*doc=*/0});
         }
         // A full n answers makes the local n-th cost a valid global
         // inclusive bound (the global n-th answer costs no more than
@@ -690,9 +789,14 @@ void Server::DispatchIngest(const std::shared_ptr<Connection>& conn,
   // and the ack must not be enqueued before the mutation is durable and
   // published. Queries in flight keep executing on the worker pool.
   const auto start = std::chrono::steady_clock::now();
+  // A nonzero assigned_global is a router-owned cluster id: place the
+  // document at exactly that root (gaps are other servers' ranges).
   util::Result<ingest::MutableCorpus::IngestResult> result =
-      op.op == WireIngest::Op::kAdd ? corpus_->AddDocument(op.xml)
-                                    : corpus_->RemoveDocument(op.doc_root);
+      op.op == WireIngest::Op::kAdd
+          ? (op.assigned_global != 0
+                 ? corpus_->AddDocumentAt(op.xml, op.assigned_global)
+                 : corpus_->AddDocument(op.xml))
+          : corpus_->RemoveDocument(op.doc_root);
   if (!result.ok()) {
     nack(result.status().code(), std::string(result.status().message()));
     return;
@@ -702,10 +806,62 @@ void Server::DispatchIngest(const std::shared_ptr<Connection>& conn,
   ack.seq = result->seq;
   ack.epoch = result->epoch;
   ack.doc_root = result->doc_root;
-  ack.shard_index = static_cast<uint32_t>(result->shard_index);
+  // In cluster mode the useful placement is this server's CLUSTER
+  // position (the corpus's internal index is always 0 there) — a
+  // routed caller keys its per-shard epoch floors by it.
+  ack.shard_index = options_.shard.enabled
+                        ? options_.shard.shard_index
+                        : static_cast<uint32_t>(result->shard_index);
   ack.length = static_cast<uint32_t>(result->length);
   EnqueueResponse(conn, reply, EncodeIngestAck(ack));
   wire_latency_us_->Record(static_cast<uint64_t>(MicrosSince(start)));
+  FlushWrites(conn);
+}
+
+void Server::DispatchManifestFetch(const std::shared_ptr<Connection>& conn,
+                                   const FrameHeader& header,
+                                   const std::string& payload) {
+  FrameHeader reply{kProtocolVersion, header.request_id,
+                    static_cast<uint32_t>(MessageType::kManifestSlice)};
+  requests_->Increment();
+
+  auto decline = [&](util::StatusCode code, std::string message) {
+    WireManifestSlice slice;
+    slice.status_code = static_cast<uint32_t>(code);
+    slice.status_message = std::move(message);
+    slice.shard_index = options_.shard.shard_index;
+    EnqueueResponse(conn, reply, EncodeManifestSlice(slice));
+    FlushWrites(conn);
+  };
+
+  WireManifestFetch fetch;
+  util::Status decoded = DecodeManifestFetch(payload, &fetch);
+  if (!decoded.ok()) {
+    decline(decoded.code(), "bad manifest fetch: " + decoded.message());
+    return;
+  }
+  if (corpus_ == nullptr) {
+    decline(util::StatusCode::kUnimplemented,
+            "server is not serving a mutable corpus (no manifest slices)");
+    return;
+  }
+  if (fetch.subscribe) {
+    // Register BEFORE taking the snapshot. Ingest runs inline on this
+    // same event loop, so any publish after this point fires the
+    // listener with this connection already registered: the reply slice
+    // and the delta stream compose without a gap. (A delta the slice
+    // already contains is a stale duplicate on the receiver — ignored.)
+    util::MutexLock lock(&subscribers_mu_);
+    subscribers_.push_back(conn);
+  }
+  std::shared_ptr<const shard::ShardedDatabase> snap = corpus_->snapshot();
+  WireManifestSlice slice;
+  slice.status_code = static_cast<uint32_t>(util::StatusCode::kOk);
+  slice.shard_index = options_.shard.shard_index;
+  slice.epoch = snap->epoch();
+  slice.fingerprint = snap->LayoutFingerprint();  // epoch-salted diagnostics
+  slice.spans = snap->shard_spans(0);
+  EnqueueResponse(conn, reply, EncodeManifestSlice(slice));
   FlushWrites(conn);
 }
 

@@ -124,9 +124,23 @@ class Server {
   /// Mutable-corpus flavor: queries resolve document roots through the
   /// corpus's current generation, and the server additionally answers
   /// kIngest (add/remove a document; acked only after the mutation is
-  /// durable and visible). `corpus` must outlive the server and should
-  /// be the same one `service` fronts.
+  /// durable and visible), kManifestFetch (the current generation's
+  /// DocSpan slice + epoch, optionally subscribing the connection to
+  /// kManifestDelta pushes after every publish), and — in shard-serving
+  /// mode — stamps each kShardAnswer with its snapshot epoch and
+  /// translates answer roots to shard-local preorders. `corpus` must
+  /// outlive the server, be the same one `service` fronts, and have no
+  /// other publish listener (the server owns the corpus's listener slot
+  /// for the duration).
   Server(service::QueryService& service, ingest::MutableCorpus& corpus,
+         ServerOptions options);
+  /// Custom-resolver flavor (e.g. a cluster router host, whose answer
+  /// roots resolve through the router's manifest view): `doc_root_of`
+  /// maps an answer root to its containing document root and must be
+  /// thread-safe (worker threads call it concurrently) and outlive the
+  /// server.
+  Server(service::QueryService& service,
+         std::function<doc::NodeId(doc::NodeId)> doc_root_of,
          ServerOptions options);
   /// Equivalent to Shutdown(/*drain=*/false).
   ~Server();
@@ -196,6 +210,16 @@ class Server {
   /// ack with kUnimplemented.
   void DispatchIngest(const std::shared_ptr<Connection>& conn,
                       const FrameHeader& header, const std::string& payload);
+  /// kManifestFetch handling. Answered inline on the event loop with
+  /// the corpus's current slice; subscribe=true registers the
+  /// connection for kManifestDelta pushes BEFORE the snapshot is taken
+  /// (ingest also runs inline on this loop, so every mutation published
+  /// after the reply slice reaches the subscriber as a delta — the
+  /// slice and the stream have no gap between them). Non-mutable
+  /// servers answer a slice carrying kUnimplemented.
+  void DispatchManifestFetch(const std::shared_ptr<Connection>& conn,
+                             const FrameHeader& header,
+                             const std::string& payload);
   void EnqueueResponse(const std::shared_ptr<Connection>& conn,
                        const FrameHeader& header, std::string_view payload);
   /// Moves the outbox into the write buffer and writes what the socket
@@ -210,10 +234,6 @@ class Server {
   doc::NodeId DocRootOf(doc::NodeId node) const {
     return doc_root_of_(node);
   }
-
-  Server(service::QueryService& service,
-         std::function<doc::NodeId(doc::NodeId)> doc_root_of,
-         ServerOptions options);
 
   service::QueryService& service_;
   /// Set by the mutable-corpus constructor; enables kIngest.
@@ -248,6 +268,12 @@ class Server {
   util::Mutex pending_mu_;
   std::vector<std::shared_ptr<Connection>> pending_writes_
       GUARDED_BY(pending_mu_);
+
+  /// Connections subscribed to kManifestDelta pushes (weak: a closed
+  /// connection just drops out of the registry on the next broadcast).
+  util::Mutex subscribers_mu_;
+  std::vector<std::weak_ptr<Connection>> subscribers_
+      GUARDED_BY(subscribers_mu_);
 
   /// SubmitAsync completion callbacks capture `this`; Shutdown waits
   /// for every one of them to finish (even with drain=false) so no

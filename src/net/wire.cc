@@ -127,6 +127,10 @@ std::string EncodeQueryRequest(const WireRequest& request) {
   util::PutVarint32(&out, request.parallelism);
   util::PutVarint64(&out, util::ZigZagEncode(request.deadline_ms));
   util::PutVarint32(&out, request.bypass_cache ? 1 : 0);
+  util::PutVarint64(&out, request.min_epochs.size());
+  for (uint64_t epoch : request.min_epochs) {
+    util::PutVarint64(&out, epoch);
+  }
   return out;
 }
 
@@ -153,6 +157,19 @@ util::Status DecodeQueryRequest(std::string_view payload, WireRequest* out) {
   uint32_t bypass = 0;
   RETURN_IF_ERROR(reader.GetVarint32(&bypass));
   out->bypass_cache = bypass != 0;
+  uint64_t floors = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&floors));
+  // Each floor is at least 1 byte.
+  if (floors > reader.remaining()) {
+    return util::Status::Corruption("min-epoch count overruns payload");
+  }
+  out->min_epochs.clear();
+  out->min_epochs.reserve(static_cast<size_t>(floors));
+  for (uint64_t i = 0; i < floors; ++i) {
+    uint64_t epoch = 0;
+    RETURN_IF_ERROR(reader.GetVarint64(&epoch));
+    out->min_epochs.push_back(epoch);
+  }
   if (!reader.empty()) {
     return util::Status::Corruption("trailing bytes after query request");
   }
@@ -281,6 +298,7 @@ std::string EncodeShardAnswer(const WireShardAnswer& answer) {
   util::PutVarint32(&out, answer.shard_index);
   util::PutVarint64(&out, util::ZigZagEncode(answer.achieved_bound));
   util::PutVarint32(&out, answer.truncated ? 1 : 0);
+  util::PutVarint64(&out, answer.backend_epoch);
   util::PutVarint64(&out, answer.answers.size());
   for (const WireAnswer& hit : answer.answers) {
     util::PutVarint64(&out, util::ZigZagEncode(hit.cost));
@@ -302,6 +320,7 @@ util::Status DecodeShardAnswer(std::string_view payload,
   uint32_t flags = 0;
   RETURN_IF_ERROR(reader.GetVarint32(&flags));
   out->truncated = (flags & 1) != 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&out->backend_epoch));
   uint64_t count = 0;
   RETURN_IF_ERROR(reader.GetVarint64(&count));
   // Each answer is at least 2 bytes (cost varint + root varint).
@@ -328,6 +347,7 @@ std::string EncodePong(const WirePong& pong) {
   std::string out;
   util::PutVarint32(&out, pong.fingerprint);
   util::PutVarint32(&out, pong.shard_index);
+  util::PutVarint64(&out, pong.epoch);
   return out;
 }
 
@@ -335,6 +355,7 @@ util::Status DecodePong(std::string_view payload, WirePong* out) {
   util::VarintReader reader(payload);
   RETURN_IF_ERROR(reader.GetVarint32(&out->fingerprint));
   RETURN_IF_ERROR(reader.GetVarint32(&out->shard_index));
+  RETURN_IF_ERROR(reader.GetVarint64(&out->epoch));
   if (!reader.empty()) {
     return util::Status::Corruption("trailing bytes after pong");
   }
@@ -346,6 +367,7 @@ std::string EncodeIngest(const WireIngest& ingest) {
   util::PutVarint32(&out, static_cast<uint32_t>(ingest.op));
   PutLengthPrefixed(&out, ingest.xml);
   util::PutVarint32(&out, ingest.doc_root);
+  util::PutVarint32(&out, ingest.assigned_global);
   return out;
 }
 
@@ -360,6 +382,7 @@ util::Status DecodeIngest(std::string_view payload, WireIngest* out) {
   out->op = static_cast<WireIngest::Op>(op);
   RETURN_IF_ERROR(GetLengthPrefixed(&reader, &out->xml));
   RETURN_IF_ERROR(reader.GetVarint32(&out->doc_root));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->assigned_global));
   if (!reader.empty()) {
     return util::Status::Corruption("trailing bytes after ingest");
   }
@@ -389,6 +412,104 @@ util::Status DecodeIngestAck(std::string_view payload, WireIngestAck* out) {
   RETURN_IF_ERROR(reader.GetVarint32(&out->length));
   if (!reader.empty()) {
     return util::Status::Corruption("trailing bytes after ingest ack");
+  }
+  return util::Status::OK();
+}
+
+std::string EncodeManifestFetch(const WireManifestFetch& fetch) {
+  std::string out;
+  util::PutVarint32(&out, fetch.subscribe ? 1 : 0);
+  return out;
+}
+
+util::Status DecodeManifestFetch(std::string_view payload,
+                                 WireManifestFetch* out) {
+  util::VarintReader reader(payload);
+  uint32_t subscribe = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&subscribe));
+  out->subscribe = subscribe != 0;
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after manifest fetch");
+  }
+  return util::Status::OK();
+}
+
+std::string EncodeManifestSlice(const WireManifestSlice& slice) {
+  std::string out;
+  util::PutVarint32(&out, slice.status_code);
+  PutLengthPrefixed(&out, slice.status_message);
+  util::PutVarint32(&out, slice.shard_index);
+  util::PutVarint64(&out, slice.epoch);
+  util::PutVarint32(&out, slice.fingerprint);
+  util::PutVarint64(&out, slice.spans.size());
+  for (const shard::DocSpan& span : slice.spans) {
+    util::PutVarint32(&out, span.local_start);
+    util::PutVarint32(&out, span.global_start);
+    util::PutVarint32(&out, span.length);
+  }
+  return out;
+}
+
+util::Status DecodeManifestSlice(std::string_view payload,
+                                 WireManifestSlice* out) {
+  util::VarintReader reader(payload);
+  RETURN_IF_ERROR(reader.GetVarint32(&out->status_code));
+  RETURN_IF_ERROR(GetLengthPrefixed(&reader, &out->status_message));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->shard_index));
+  RETURN_IF_ERROR(reader.GetVarint64(&out->epoch));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->fingerprint));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(reader.GetVarint64(&count));
+  // Each span is at least 3 bytes (three varints).
+  if (count > reader.remaining() / 3) {
+    return util::Status::Corruption("span count overruns payload");
+  }
+  out->spans.clear();
+  out->spans.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    shard::DocSpan span;
+    RETURN_IF_ERROR(reader.GetVarint32(&span.local_start));
+    RETURN_IF_ERROR(reader.GetVarint32(&span.global_start));
+    RETURN_IF_ERROR(reader.GetVarint32(&span.length));
+    out->spans.push_back(span);
+  }
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after manifest slice");
+  }
+  return util::Status::OK();
+}
+
+std::string EncodeManifestDelta(const WireManifestDelta& delta) {
+  std::string out;
+  util::PutVarint32(&out, delta.shard_index);
+  util::PutVarint64(&out, delta.prev_epoch);
+  util::PutVarint64(&out, delta.epoch);
+  util::PutVarint32(&out, static_cast<uint32_t>(delta.op));
+  util::PutVarint32(&out, delta.span.local_start);
+  util::PutVarint32(&out, delta.span.global_start);
+  util::PutVarint32(&out, delta.span.length);
+  return out;
+}
+
+util::Status DecodeManifestDelta(std::string_view payload,
+                                 WireManifestDelta* out) {
+  util::VarintReader reader(payload);
+  RETURN_IF_ERROR(reader.GetVarint32(&out->shard_index));
+  RETURN_IF_ERROR(reader.GetVarint64(&out->prev_epoch));
+  RETURN_IF_ERROR(reader.GetVarint64(&out->epoch));
+  uint32_t op = 0;
+  RETURN_IF_ERROR(reader.GetVarint32(&op));
+  if (op != static_cast<uint32_t>(WireManifestDelta::Op::kAdd) &&
+      op != static_cast<uint32_t>(WireManifestDelta::Op::kRemove)) {
+    return util::Status::Corruption("unknown manifest delta op " +
+                                    std::to_string(op));
+  }
+  out->op = static_cast<WireManifestDelta::Op>(op);
+  RETURN_IF_ERROR(reader.GetVarint32(&out->span.local_start));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->span.global_start));
+  RETURN_IF_ERROR(reader.GetVarint32(&out->span.length));
+  if (!reader.empty()) {
+    return util::Status::Corruption("trailing bytes after manifest delta");
   }
   return util::Status::OK();
 }

@@ -29,6 +29,7 @@
 #include "cost/cost_model.h"
 #include "doc/data_tree.h"
 #include "engine/database.h"
+#include "shard/sharded_database.h"
 #include "util/status.h"
 
 namespace approxql::net {
@@ -40,7 +41,12 @@ namespace approxql::net {
 /// (kPing/kPong) added.
 /// v3: live-ingest frames (kIngest/kIngestAck); WireResponse carries
 /// the backend epoch of mutable-corpus servers.
-inline constexpr uint32_t kProtocolVersion = 3;
+/// v4: cluster manifest synchronization — kManifestFetch/kManifestSlice
+/// and the kManifestDelta push frame; WireShardAnswer and WirePong carry
+/// the serving snapshot's epoch; WireIngest can carry a router-assigned
+/// global id; WireRequest carries per-shard min-epoch floors
+/// (read-your-writes over a routed cluster).
+inline constexpr uint32_t kProtocolVersion = 4;
 
 /// Hard ceiling a decoder enforces before buffering a frame; a declared
 /// length beyond this is treated as stream corruption, not a large
@@ -75,6 +81,17 @@ enum class MessageType : uint32_t {
   /// backend_epoch with WireIngestAck::epoch to confirm.
   kIngest = 9,
   kIngestAck = 10,
+  /// Manifest synchronization (router <-> mutable shard server): fetch
+  /// the server's current manifest slice (the DocSpan table + epoch of
+  /// the snapshot it is answering from). With `subscribe` set the
+  /// server also registers the connection for kManifestDelta pushes.
+  kManifestFetch = 11,
+  kManifestSlice = 12,
+  /// Server push (request_id 0, never a reply): one mutation's effect
+  /// on the server's manifest slice, sent to every subscribed
+  /// connection after each generation publish. A receiver that detects
+  /// a gap in the epoch sequence falls back to kManifestFetch.
+  kManifestDelta = 13,
 };
 
 struct FrameHeader {
@@ -142,6 +159,12 @@ struct WireRequest {
   /// expired (deterministic DEADLINE_EXCEEDED, used by tests).
   int64_t deadline_ms = 0;
   bool bypass_cache = false;
+  /// Read-your-writes floors for routed execution: min_epochs[i] is the
+  /// minimum ingest epoch cluster shard i's answer must have been
+  /// computed under (a client sets it from WireIngestAck::epoch /
+  /// shard_index of its own acked writes). Shards beyond the vector (or
+  /// an empty vector) have no floor. Non-routed servers ignore it.
+  std::vector<uint64_t> min_epochs;
 };
 
 struct WireAnswer {
@@ -206,6 +229,11 @@ struct WireShardAnswer {
   /// prefix — useless for a global merge, so routers treat it as a
   /// failed attempt.
   bool truncated = false;
+  /// Mutable shard servers: ingest epoch of the snapshot this answer
+  /// was evaluated on (0 from static servers). The router translates
+  /// the local ids through a manifest slice of exactly this epoch —
+  /// never through a mismatched one (removals renumber local ids).
+  uint64_t backend_epoch = 0;
   std::vector<WireAnswer> answers;
 };
 
@@ -213,6 +241,9 @@ struct WireShardAnswer {
 struct WirePong {
   uint32_t fingerprint = 0;
   uint32_t shard_index = 0;
+  /// Mutable shard servers: current snapshot epoch (0 elsewhere), so a
+  /// health probe doubles as an epoch-staleness check.
+  uint64_t epoch = 0;
 };
 
 /// kIngest payload.
@@ -224,6 +255,11 @@ struct WireIngest {
   /// kRemove: the document's global root id (WireIngestAck::doc_root of
   /// the add, or WireAnswer::doc of a query hit).
   doc::NodeId doc_root = 0;
+  /// kAdd, cluster mode: the global preorder id the document's root
+  /// must get, assigned by the router that owns the cluster-wide id
+  /// space. 0 = the server assigns its own next id (single-server
+  /// ingest, the v3 behavior).
+  doc::NodeId assigned_global = 0;
 };
 
 /// kIngestAck payload. Non-OK status_code means the mutation did NOT
@@ -243,6 +279,58 @@ struct WireIngestAck {
   uint32_t shard_index = 0;
   uint32_t length = 0;  // nodes in the document subtree (kAdd)
 };
+
+/// kManifestFetch payload.
+struct WireManifestFetch {
+  /// Also register this connection for kManifestDelta pushes (the reply
+  /// slice is then the subscription's starting state).
+  bool subscribe = false;
+};
+
+/// kManifestSlice payload: one shard server's complete manifest slice —
+/// the DocSpan table and epoch of the snapshot it currently answers
+/// from. Spans are sorted by increasing local AND global start (the
+/// ShardedDatabase invariant).
+struct WireManifestSlice {
+  uint32_t status_code = 0;
+  std::string status_message;
+  uint32_t shard_index = 0;
+  /// Snapshot epoch the spans describe. Answers stamped with this epoch
+  /// translate through these spans; any other epoch must not.
+  uint64_t epoch = 0;
+  /// Epoch-salted layout fingerprint of the same snapshot (diagnostics).
+  uint32_t fingerprint = 0;
+  std::vector<shard::DocSpan> spans;
+};
+
+/// kManifestDelta payload (server push, request_id 0): the slice
+/// transition `prev_epoch -> epoch` caused by one published mutation.
+/// A receiver applies it only when its slice sits exactly at
+/// `prev_epoch`; any gap means missed deltas and forces a full fetch.
+struct WireManifestDelta {
+  enum class Op : uint32_t { kAdd = 1, kRemove = 2 };
+  uint32_t shard_index = 0;
+  uint64_t prev_epoch = 0;
+  uint64_t epoch = 0;
+  Op op = Op::kAdd;
+  /// kAdd: the new document's span (appended past the current spans).
+  /// kRemove: the removed document's span as it was in `prev_epoch`;
+  /// spans after it shift their local_start down by `span.length` (the
+  /// shard rebuilds its tree compactly on removal).
+  shard::DocSpan span;
+};
+
+std::string EncodeManifestFetch(const WireManifestFetch& fetch);
+util::Status DecodeManifestFetch(std::string_view payload,
+                                 WireManifestFetch* out);
+
+std::string EncodeManifestSlice(const WireManifestSlice& slice);
+util::Status DecodeManifestSlice(std::string_view payload,
+                                 WireManifestSlice* out);
+
+std::string EncodeManifestDelta(const WireManifestDelta& delta);
+util::Status DecodeManifestDelta(std::string_view payload,
+                                 WireManifestDelta* out);
 
 std::string EncodeQueryRequest(const WireRequest& request);
 util::Status DecodeQueryRequest(std::string_view payload, WireRequest* out);

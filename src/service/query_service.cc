@@ -225,6 +225,12 @@ QueryResponse QueryService::Run(QueryRequest& request,
   std::shared_ptr<const shard::ShardedDatabase> pinned;
   if (mutable_ != nullptr) pinned = mutable_->snapshot();
 
+  // Live-cluster routed backend: the backend fingerprint is the static
+  // cluster configuration, not the moving document layout, so a cached
+  // answer could outlive the data it was computed from. Never cache.
+  const bool bypass_cache = request.bypass_cache ||
+                            (router_ != nullptr && router_->live());
+
   const cost::CostModel& effective_model = request.exec.cost_model != nullptr
                                                ? *request.exec.cost_model
                                                : BackendCostModel();
@@ -239,14 +245,17 @@ QueryResponse QueryService::Run(QueryRequest& request,
   key.backend_fingerprint =
       pinned != nullptr ? pinned->LayoutFingerprint() : backend_fingerprint_;
 
-  if (!request.bypass_cache) {
+  if (!bypass_cache) {
     if (auto cached = cache_.Lookup(key); cached != nullptr) {
       cache_hits_->Increment();
       completed_->Increment();
       QueryResponse r;
       r.answers = *cached;
       r.cache_hit = true;
-      if (pinned != nullptr) r.backend_epoch = pinned->epoch();
+      if (pinned != nullptr) {
+        r.backend_epoch = pinned->epoch();
+        r.backend_snapshot = pinned;
+      }
       return finish(std::move(r));
     }
     cache_misses_->Increment();
@@ -293,6 +302,7 @@ QueryResponse QueryService::Run(QueryRequest& request,
   } else if (pinned != nullptr) {
     r = RunSharded(*pinned, query, exec, parallelism, cancelled);
     r.backend_epoch = pinned->epoch();
+    r.backend_snapshot = pinned;
   } else {
     bool handled =
         parallelism > 1 && RunParallel(query, exec, parallelism, cancelled, &r);
@@ -326,7 +336,7 @@ QueryResponse QueryService::Run(QueryRequest& request,
   // Only complete answer lists are cacheable; a truncated prefix (or a
   // degraded scatter missing whole shards' answers) served from cache
   // would silently under-answer future requests.
-  if (!request.bypass_cache && !r.truncated && !r.degraded) {
+  if (!bypass_cache && !r.truncated && !r.degraded) {
     cache_.Insert(key, r.answers);
   }
   return finish(std::move(r));
@@ -631,7 +641,8 @@ QueryResponse QueryService::RunRouted(const QueryRequest& request,
     return r;
   }
   auto routed = router_->Execute(request.query_text, request.exec.strategy,
-                                 request.exec.n, deadline_ms);
+                                 request.exec.n, deadline_ms,
+                                 request.min_epochs);
   if (!routed.ok()) {
     r.status = routed.status();
     return r;
@@ -639,6 +650,7 @@ QueryResponse QueryService::RunRouted(const QueryRequest& request,
   r.answers = std::move(routed->answers);
   r.degraded = routed->degraded;
   r.missing_shards = std::move(routed->missing_shards);
+  r.backend_epoch = routed->backend_epoch;
   r.parallel = router_->num_shards() > 1;
   return r;
 }

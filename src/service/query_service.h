@@ -26,7 +26,9 @@
 #include <chrono>
 #include <functional>
 #include <future>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "engine/database.h"
 #include "service/metrics.h"
@@ -88,6 +90,12 @@ struct QueryRequest {
   bool bypass_cache = false;
   /// Intra-query parallelism override; 0 = ServiceOptions::parallelism.
   size_t parallelism = 0;
+  /// Live-cluster routed backend only: read-your-writes floors.
+  /// min_epochs[i] is the minimum ingest epoch cluster shard i's answer
+  /// must have been computed under (from WireIngestAck::epoch of the
+  /// caller's own acked writes); shards beyond the vector have no
+  /// floor. Ignored by every other backend.
+  std::vector<uint64_t> min_epochs;
 };
 
 struct QueryResponse {
@@ -105,10 +113,18 @@ struct QueryResponse {
   /// The parallel evaluation path ran (disjunct fan-out and/or
   /// concurrent fetch). False for serial execution and cache hits.
   bool parallel = false;
-  /// Mutable-corpus backend only: the ingest epoch of the snapshot this
-  /// response was evaluated against (0 elsewhere). Lets ingesting
+  /// Mutable-corpus backend: the ingest epoch of the snapshot this
+  /// response was evaluated against. Live-cluster routed backend: the
+  /// minimum epoch across the shard answers merged into this response
+  /// (the read-your-writes watermark). 0 elsewhere. Lets ingesting
   /// clients tell whether a query already sees their last write.
   uint64_t backend_epoch = 0;
+  /// Mutable-corpus backend only: the exact generation this response
+  /// was evaluated against (or, on a cache hit, the generation whose
+  /// fingerprint keyed the hit). The network server reverse-translates
+  /// global answer ids to shard-local ids against precisely this
+  /// snapshot — never a newer one.
+  std::shared_ptr<const shard::ShardedDatabase> backend_snapshot;
   int64_t queue_micros = 0;  // admission-to-start wait
   int64_t exec_micros = 0;   // parse + evaluate (0 on cache hit)
   int64_t total_micros = 0;  // admission-to-response

@@ -201,6 +201,25 @@ doc::NodeId ShardedDatabase::ToGlobal(size_t shard, doc::NodeId local) const {
   return span.global_start + (local - span.local_start);
 }
 
+bool ShardedDatabase::ToLocal(doc::NodeId global, uint32_t* shard_out,
+                              doc::NodeId* local_out) const {
+  if (global == 0) {
+    *shard_out = 0;
+    *local_out = 0;
+    return true;
+  }
+  auto it = std::upper_bound(docs_.begin(), docs_.end(), global,
+                             [](doc::NodeId value, const GlobalDoc& d) {
+                               return value < d.global_start;
+                             });
+  if (it == docs_.begin()) return false;
+  const GlobalDoc& d = *(it - 1);
+  if (global >= d.global_start + d.length) return false;
+  *shard_out = static_cast<uint32_t>(d.shard);
+  *local_out = d.local_start + (global - d.global_start);
+  return true;
+}
+
 doc::NodeId ShardedDatabase::DocRootOf(doc::NodeId global) const {
   if (global == 0) return 0;
   auto it = std::upper_bound(docs_.begin(), docs_.end(), global,

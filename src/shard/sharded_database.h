@@ -183,6 +183,12 @@ class ShardedDatabase {
   /// Translates a shard-local node id to the global id space.
   doc::NodeId ToGlobal(size_t shard, doc::NodeId local) const;
 
+  /// Inverse of ToGlobal: finds the shard + shard-local id of a global
+  /// id. False when no document contains it (global 0 maps to shard 0,
+  /// local 0 — every shard's super-root is the same node).
+  bool ToLocal(doc::NodeId global, uint32_t* shard_out,
+               doc::NodeId* local_out) const;
+
   size_t num_shards() const { return shards_.size(); }
   const engine::Database& shard(size_t i) const { return shards_[i]->db; }
   /// The shard's own stored postings (what direct-strategy scatters fetch

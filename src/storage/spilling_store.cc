@@ -9,7 +9,18 @@ namespace approxql::storage {
 using util::Result;
 using util::Status;
 
+void SpillingStore::AccountGarbage(std::string_view key) {
+  auto old = inner_->Get(key);
+  if (!old.ok() || old->empty() || old->front() != kSpilledTag) return;
+  util::VarintReader reader(std::string_view(*old).substr(1));
+  SegmentPointer pointer;
+  if (!reader.GetVarint64(&pointer.offset).ok()) return;
+  if (!reader.GetVarint64(&pointer.length).ok()) return;
+  stats_.garbage_bytes += pointer.length;
+}
+
 Status SpillingStore::Put(std::string_view key, std::string_view value) {
+  AccountGarbage(key);
   std::string stored;
   if (value.size() > inline_threshold_) {
     ASSIGN_OR_RETURN(SegmentPointer pointer, vlog_->Append(value));
@@ -57,6 +68,7 @@ Result<std::string> SpillingStore::Get(std::string_view key) const {
 Status SpillingStore::Delete(std::string_view key, bool* existed) {
   // The spilled segment (if any) becomes garbage until the next
   // checkpoint rewrites the log with only live values.
+  AccountGarbage(key);
   return inner_->Delete(key, existed);
 }
 

@@ -52,6 +52,11 @@ class SpillingStore : public KvStore {
     uint64_t inline_puts = 0;
     uint64_t spilled_puts = 0;
     uint64_t spilled_bytes = 0;
+    /// Value-log bytes whose pointer was overwritten or deleted since
+    /// this store generation was created. Dead weight the next
+    /// checkpoint's log rewrite reclaims; until then the ratio
+    /// garbage_bytes / vlog size measures how stale the log is.
+    uint64_t garbage_bytes = 0;
   };
   const Stats& stats() const { return stats_; }
   size_t inline_threshold() const { return inline_threshold_; }
@@ -62,6 +67,9 @@ class SpillingStore : public KvStore {
   friend class SpillingIterator;
 
   util::Result<std::string> Resolve(std::string_view stored) const;
+  /// If `key` currently maps to a spilled segment, that segment is about
+  /// to become unreachable — charge it to stats_.garbage_bytes.
+  void AccountGarbage(std::string_view key);
 
   std::unique_ptr<KvStore> inner_;
   std::unique_ptr<ValueLog> vlog_;

@@ -1,0 +1,232 @@
+// ManifestView: the router's composite epoch-versioned view of every
+// shard server's manifest slice. The invariants under test are the
+// manifest-sync safety properties of DESIGN.md §14 — dropped,
+// reordered, or duplicated deltas and fetches racing publishes must
+// produce either a correct translation or a typed error, NEVER a
+// translation through the wrong epoch's spans.
+#include "cluster/manifest_view.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/wire.h"
+#include "shard/sharded_database.h"
+#include "util/status.h"
+
+namespace approxql::cluster {
+namespace {
+
+using net::WireManifestDelta;
+using shard::DocSpan;
+
+DocSpan Span(doc::NodeId local_start, doc::NodeId global_start,
+             uint32_t length) {
+  DocSpan span;
+  span.local_start = local_start;
+  span.global_start = global_start;
+  span.length = length;
+  return span;
+}
+
+WireManifestDelta AddDelta(uint32_t shard, uint64_t prev_epoch, uint64_t epoch,
+                           DocSpan span) {
+  WireManifestDelta delta;
+  delta.shard_index = shard;
+  delta.prev_epoch = prev_epoch;
+  delta.epoch = epoch;
+  delta.op = WireManifestDelta::Op::kAdd;
+  delta.span = span;
+  return delta;
+}
+
+WireManifestDelta RemoveDelta(uint32_t shard, uint64_t prev_epoch,
+                              uint64_t epoch, DocSpan span) {
+  WireManifestDelta delta = AddDelta(shard, prev_epoch, epoch, span);
+  delta.op = WireManifestDelta::Op::kRemove;
+  return delta;
+}
+
+TEST(ManifestViewTest, UnknownShardUntilFirstInstall) {
+  ManifestView view(2);
+  EXPECT_FALSE(view.known(0));
+  EXPECT_EQ(view.epoch(0), 0u);
+  // An installed EMPTY slice at epoch 0 is "fetched and empty", not
+  // "unknown" — a fresh shard server legitimately reports epoch 0.
+  view.InstallSlice(0, 0, {});
+  EXPECT_TRUE(view.known(0));
+  EXPECT_FALSE(view.known(1));
+  EXPECT_EQ(view.NextGlobal(), 1u);  // id 0 is the super-root
+}
+
+TEST(ManifestViewTest, ToGlobalTranslatesThroughExactEpoch) {
+  ManifestView view(1);
+  view.InstallSlice(0, 3, {Span(1, 1, 4), Span(5, 9, 2)});
+  // local 0 is the shard super-root.
+  auto root = view.ToGlobal(0, 3, 0);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, 0u);
+  auto first = view.ToGlobal(0, 3, 1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+  auto mid = view.ToGlobal(0, 3, 6);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, 10u);  // second span: 9 + (6 - 5)
+  // A local id in the gap between spans is a real inconsistency, not a
+  // retryable miss: InvalidArgument.
+  auto outside = view.ToGlobal(0, 3, 8);
+  ASSERT_FALSE(outside.ok());
+  EXPECT_EQ(outside.status().code(), util::StatusCode::kInvalidArgument)
+      << outside.status();
+}
+
+TEST(ManifestViewTest, ToGlobalAtUnknownEpochIsUnavailable) {
+  ManifestView view(1);
+  view.InstallSlice(0, 5, {Span(1, 1, 3)});
+  // Epoch 7 was never installed: retryable (fetch, then retranslate).
+  auto miss = view.ToGlobal(0, 7, 1);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_TRUE(miss.status().IsUnavailable()) << miss.status();
+  // Epoch 2 predates every held slice — e.g. an answer computed under
+  // an epoch older than the server's recovery checkpoint. Same typed
+  // error: the caller re-queries; the view never guesses.
+  auto ancient = view.ToGlobal(0, 2, 1);
+  ASSERT_FALSE(ancient.ok());
+  EXPECT_TRUE(ancient.status().IsUnavailable()) << ancient.status();
+}
+
+TEST(ManifestViewTest, AddDeltaAdvancesEpochAndKeepsHistory) {
+  ManifestView view(1);
+  view.InstallSlice(0, 1, {Span(1, 1, 3)});
+  ASSERT_TRUE(view.ApplyDelta(AddDelta(0, 1, 2, Span(4, 10, 2))));
+  EXPECT_EQ(view.epoch(0), 2u);
+  EXPECT_EQ(view.document_count(), 2u);
+  EXPECT_EQ(view.NextGlobal(), 12u);
+  // The superseded epoch stays translatable: an answer computed at
+  // epoch 1 that arrives after the publish still lands.
+  auto old_epoch = view.ToGlobal(0, 1, 2);
+  ASSERT_TRUE(old_epoch.ok());
+  EXPECT_EQ(*old_epoch, 2u);
+  auto new_epoch = view.ToGlobal(0, 2, 5);
+  ASSERT_TRUE(new_epoch.ok());
+  EXPECT_EQ(*new_epoch, 11u);
+}
+
+TEST(ManifestViewTest, RemoveDeltaShiftsLocalIdsKeepsGlobalHole) {
+  ManifestView view(1);
+  view.InstallSlice(0, 1, {Span(1, 1, 3), Span(4, 4, 2), Span(6, 6, 5)});
+  // Remove the middle document: the shard rebuilds compactly, so later
+  // documents' LOCAL ids shift down by the removed length; their GLOBAL
+  // ids are permanent (the hole at 4..5 stays a hole forever).
+  ASSERT_TRUE(view.ApplyDelta(RemoveDelta(0, 1, 2, Span(4, 4, 2))));
+  auto shifted = view.ToGlobal(0, 2, 4);  // was local 6 before the shift
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_EQ(*shifted, 6u);
+  EXPECT_EQ(view.DocRootOf(5), 0u);   // the hole resolves to no document
+  EXPECT_EQ(view.DocRootOf(8), 6u);   // inside the surviving document
+  EXPECT_EQ(view.NextGlobal(), 11u);  // holes are never reused
+  uint32_t shard = 0;
+  DocSpan span;
+  EXPECT_FALSE(view.FindDocument(4, &shard, &span));
+  ASSERT_TRUE(view.FindDocument(6, &shard, &span));
+  EXPECT_EQ(shard, 0u);
+  EXPECT_EQ(span.length, 5u);
+}
+
+TEST(ManifestViewTest, DroppedDeltaIsAGapAndForcesFetch) {
+  ManifestView view(1);
+  view.InstallSlice(0, 1, {Span(1, 1, 3)});
+  // Delta 1->2 was dropped on the wire; 2->3 arrives. prev_epoch does
+  // not match the held epoch: refuse (caller re-fetches the slice).
+  EXPECT_FALSE(view.ApplyDelta(AddDelta(0, 2, 3, Span(6, 20, 2))));
+  EXPECT_EQ(view.epoch(0), 1u);  // unchanged — never guess across a gap
+  // Recovery: a full fetch at epoch 3 installs, and the NEXT delta
+  // chains off it normally.
+  view.InstallSlice(0, 3, {Span(1, 1, 3), Span(4, 10, 2), Span(6, 20, 2)});
+  EXPECT_TRUE(view.ApplyDelta(AddDelta(0, 3, 4, Span(8, 22, 1))));
+  EXPECT_EQ(view.epoch(0), 4u);
+  EXPECT_EQ(view.NextGlobal(), 23u);
+}
+
+TEST(ManifestViewTest, ReorderedAndDuplicateDeltasAreStaleNoOps) {
+  ManifestView view(1);
+  view.InstallSlice(0, 1, {Span(1, 1, 3)});
+  const WireManifestDelta first = AddDelta(0, 1, 2, Span(4, 10, 2));
+  ASSERT_TRUE(view.ApplyDelta(first));
+  // Duplicate delivery of an already-applied delta: true (nothing to
+  // re-fetch), and the slice is unchanged.
+  EXPECT_TRUE(view.ApplyDelta(first));
+  EXPECT_EQ(view.epoch(0), 2u);
+  EXPECT_EQ(view.document_count(), 2u);
+  // A delta reordered from before the current epoch is equally stale.
+  EXPECT_TRUE(view.ApplyDelta(AddDelta(0, 0, 1, Span(1, 1, 3))));
+  EXPECT_EQ(view.epoch(0), 2u);
+}
+
+TEST(ManifestViewTest, DeltaWithoutBaseSliceIsAGap) {
+  ManifestView view(2);
+  // No slice was ever fetched for shard 1: even a "first" delta cannot
+  // apply (there is no base to chain from).
+  EXPECT_FALSE(view.ApplyDelta(AddDelta(1, 0, 1, Span(1, 1, 3))));
+  EXPECT_FALSE(view.known(1));
+}
+
+TEST(ManifestViewTest, StaleFetchRacingPublishNeverRegresses) {
+  ManifestView view(1);
+  view.InstallSlice(0, 5, {Span(1, 1, 3), Span(4, 10, 2)});
+  // A fetch issued before a publish lands late, describing epoch 4.
+  // The current slice must not move backward — but the late reply is
+  // still a correct description of epoch 4, so it joins the history
+  // and translates answers computed at that epoch.
+  view.InstallSlice(0, 4, {Span(1, 1, 3)});
+  EXPECT_EQ(view.epoch(0), 5u);
+  auto through_history = view.ToGlobal(0, 4, 2);
+  ASSERT_TRUE(through_history.ok());
+  EXPECT_EQ(*through_history, 2u);
+  auto current = view.ToGlobal(0, 5, 5);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 11u);
+}
+
+TEST(ManifestViewTest, HistoryDepthBoundsTranslatableEpochs) {
+  ManifestView view(1, /*history_depth=*/2);
+  view.InstallSlice(0, 1, {Span(1, 1, 1)});
+  for (uint64_t e = 2; e <= 5; ++e) {
+    ASSERT_TRUE(view.ApplyDelta(AddDelta(
+        0, e - 1, e, Span(1 + (e - 1), 1 + (e - 1), 1))));
+  }
+  EXPECT_EQ(view.epoch(0), 5u);
+  // Depth 2 keeps epochs 4 and 3; epochs 2 and 1 have aged out.
+  EXPECT_TRUE(view.ToGlobal(0, 4, 1).ok());
+  EXPECT_TRUE(view.ToGlobal(0, 3, 1).ok());
+  auto aged = view.ToGlobal(0, 1, 1);
+  ASSERT_FALSE(aged.ok());
+  EXPECT_TRUE(aged.status().IsUnavailable());
+}
+
+TEST(ManifestViewTest, InconsistentAddDeltaIsRejectedNotApplied) {
+  ManifestView view(1);
+  view.InstallSlice(0, 1, {Span(1, 1, 4)});
+  // An add whose span overlaps the held slice contradicts it — apply
+  // would corrupt every later translation. Refuse and force a fetch.
+  EXPECT_FALSE(view.ApplyDelta(AddDelta(0, 1, 2, Span(3, 3, 2))));
+  EXPECT_EQ(view.epoch(0), 1u);
+  // A remove of a document the slice never had is equally inconsistent.
+  EXPECT_FALSE(view.ApplyDelta(RemoveDelta(0, 1, 2, Span(9, 99, 1))));
+  EXPECT_EQ(view.epoch(0), 1u);
+}
+
+TEST(ManifestViewTest, NextGlobalSpansAllShards) {
+  ManifestView view(3);
+  view.InstallSlice(0, 1, {Span(1, 1, 3)});
+  view.InstallSlice(2, 4, {Span(1, 30, 5)});
+  // Shard 1 is still unknown; NextGlobal covers what IS known.
+  EXPECT_EQ(view.NextGlobal(), 35u);
+  uint32_t shard = 0;
+  DocSpan span;
+  ASSERT_TRUE(view.FindDocument(30, &shard, &span));
+  EXPECT_EQ(shard, 2u);
+}
+
+}  // namespace
+}  // namespace approxql::cluster

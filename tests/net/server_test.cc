@@ -253,9 +253,11 @@ TEST_F(ServerTest, GarbageBytesCloseOnlyThatConnection) {
 TEST_F(ServerTest, BadCrcClosesConnection) {
   StartServer();
   std::string wire;
+  WireRequest corrupt_request;
+  corrupt_request.query = kQuery;
   ASSERT_TRUE(EncodeFrame(FrameHeader{kProtocolVersion, 1,
                           static_cast<uint32_t>(MessageType::kQueryRequest)},
-              EncodeQueryRequest(WireRequest{kQuery}), &wire).ok());
+              EncodeQueryRequest(corrupt_request), &wire).ok());
   wire.back() = static_cast<char>(wire.back() ^ 0x1);  // corrupt the CRC
 
   int fd = ConnectRaw(server_->port());
