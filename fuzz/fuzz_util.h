@@ -1,0 +1,98 @@
+// Shared harness utilities for the fuzz targets under fuzz/targets/.
+//
+// Every target is a plain named function
+//
+//   int FuzzXxx(const uint8_t* data, size_t size);
+//
+// declared in fuzz/targets.h and registered in fuzz/registry.cc. The
+// same function body serves two drivers:
+//
+//   * libFuzzer executables (APPROXQL_FUZZ=ON, clang only): the
+//     APPROXQL_FUZZ_MAIN macro below emits LLVMFuzzerTestOneInput, and
+//     the target links with -fsanitize=fuzzer.
+//   * the plain test build: tests/fuzz/fuzz_corpus_test.cc replays every
+//     checked-in corpus file (and a deterministic mutation sweep) through
+//     the registry, so fuzz findings are regression tests everywhere —
+//     no clang required.
+//
+// Targets assert the library contract with APPROXQL_FUZZ_ASSERT: a clean
+// Status/Result or a valid object, never a crash, hang, or sanitizer
+// report. Round-trip targets additionally assert encode(decode(x))
+// reaches a fixed point (the re-encoding of a decoded value re-decodes
+// to the same bytes — NOT byte-equality with the hostile input, which
+// may use non-canonical varints).
+#ifndef APPROXQL_FUZZ_FUZZ_UTIL_H_
+#define APPROXQL_FUZZ_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace approxql::fuzz {
+
+// Abort-on-failure assert that works under both drivers: libFuzzer turns
+// the abort into a reported crash with the offending input; the corpus
+// replay test dies loudly instead of silently passing.
+#define APPROXQL_FUZZ_ASSERT(cond)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "fuzz contract violated: %s at %s:%d\n",     \
+                   #cond, __FILE__, __LINE__);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+// FuzzedDataProvider-style slicing: consume structured values off the
+// front of the raw input, leaving the rest as payload. Running out of
+// bytes yields zeros rather than failing — targets must behave on any
+// input length.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t TakeByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  uint64_t TakeUint64() {
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(TakeByte()) << (8 * i);
+    }
+    return value;
+  }
+
+  /// Consumes up to `n` bytes (fewer when the input runs short).
+  std::string_view TakeBytes(size_t n) {
+    if (n > remaining()) n = remaining();
+    std::string_view out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Everything not yet consumed; the input is exhausted afterwards.
+  std::string_view TakeRest() { return TakeBytes(remaining()); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace approxql::fuzz
+
+// Emits the libFuzzer entry point around a named target function when
+// this translation unit is compiled as a fuzz driver; expands to nothing
+// in the plain library build (where the registry is the only consumer).
+#ifdef APPROXQL_FUZZ_DRIVER
+#define APPROXQL_FUZZ_MAIN(fn)                                            \
+  extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) { \
+    return fn(data, size);                                                \
+  }
+#else
+#define APPROXQL_FUZZ_MAIN(fn)
+#endif
+
+#endif  // APPROXQL_FUZZ_FUZZ_UTIL_H_

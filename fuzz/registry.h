@@ -1,0 +1,23 @@
+// Name -> entry-point registry over fuzz/targets.h, consumed by the
+// plain-build corpus replay test. Names match the corpus directories
+// (fuzz/corpus/<name>/), the executables (fuzz_<name>), and the first
+// column of fuzz/targets.manifest.
+#ifndef APPROXQL_FUZZ_REGISTRY_H_
+#define APPROXQL_FUZZ_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace approxql::fuzz {
+
+struct FuzzTarget {
+  const char* name;
+  int (*fn)(const uint8_t* data, size_t size);
+};
+
+const std::vector<FuzzTarget>& AllTargets();
+
+}  // namespace approxql::fuzz
+
+#endif  // APPROXQL_FUZZ_REGISTRY_H_

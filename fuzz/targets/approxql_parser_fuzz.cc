@@ -1,0 +1,34 @@
+// The ApproxQL query parser over arbitrary bytes — query strings arrive
+// over the wire verbatim. Contract: clean ParseError or an AST whose
+// canonical ToString() re-parses to an equal AST with an identical
+// canonical form. Nesting depth is capped by the parser, so recursive
+// AST walks cannot overflow.
+
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_util.h"
+#include "fuzz/targets.h"
+#include "query/ast.h"
+
+namespace approxql::fuzz {
+
+int FuzzApproxqlParser(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto result = query::Parse(text);
+  if (!result.ok()) {
+    APPROXQL_FUZZ_ASSERT(!result.status().message().empty());
+    return 0;
+  }
+  APPROXQL_FUZZ_ASSERT(result->root != nullptr);
+  const std::string canonical = result->ToString();
+  auto again = query::Parse(canonical);
+  APPROXQL_FUZZ_ASSERT(again.ok());
+  APPROXQL_FUZZ_ASSERT(query::AstEquals(*result->root, *again->root));
+  APPROXQL_FUZZ_ASSERT(again->ToString() == canonical);
+  return 0;
+}
+
+}  // namespace approxql::fuzz
+
+APPROXQL_FUZZ_MAIN(approxql::fuzz::FuzzApproxqlParser)

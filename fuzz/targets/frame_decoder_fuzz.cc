@@ -1,0 +1,72 @@
+// Stream-level target: net::FrameDecoder over an adversarial byte
+// stream, delivered in fuzz-chosen chunk sizes so torn frames, multiple
+// frames per read, and mid-header splits are all exercised. Contract:
+// every Take returns kFrame with a protocol-version header, kNeedMore,
+// or kError with a message; after kError the decoder stays poisoned; the
+// decoder never consumes more bytes than were appended.
+
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_util.h"
+#include "fuzz/targets.h"
+#include "net/wire.h"
+
+namespace approxql::fuzz {
+
+int FuzzFrameDecoder(const uint8_t* data, size_t size) {
+  FuzzInput input(data, size);
+  // First byte picks the append-chunk size (1..256); the rest is stream.
+  const size_t chunk = static_cast<size_t>(input.TakeByte()) + 1;
+  std::string_view stream = input.TakeRest();
+
+  net::FrameDecoder decoder;
+  size_t frames = 0;
+  bool dead = false;
+  while (!stream.empty() && !dead) {
+    const size_t n = stream.size() < chunk ? stream.size() : chunk;
+    decoder.Append(stream.data(), n);
+    stream.remove_prefix(n);
+    for (;;) {
+      net::FrameHeader header;
+      std::string payload;
+      util::Status error;
+      net::FrameDecoder::Next next = decoder.Take(&header, &payload, &error);
+      if (next == net::FrameDecoder::Next::kNeedMore) break;
+      if (next == net::FrameDecoder::Next::kError) {
+        APPROXQL_FUZZ_ASSERT(!error.ok());
+        // Poisoned: the error must be sticky.
+        net::FrameDecoder::Next again = decoder.Take(&header, &payload, &error);
+        APPROXQL_FUZZ_ASSERT(again == net::FrameDecoder::Next::kError);
+        dead = true;
+        break;
+      }
+      APPROXQL_FUZZ_ASSERT(next == net::FrameDecoder::Next::kFrame);
+      APPROXQL_FUZZ_ASSERT(header.version == net::kProtocolVersion);
+      // A frame the decoder accepted must re-encode (its payload fits
+      // the frame bound by construction) and re-extract identically.
+      std::string bytes;
+      APPROXQL_FUZZ_ASSERT(net::EncodeFrame(header, payload, &bytes).ok());
+      net::FrameDecoder reparse;
+      reparse.Append(bytes.data(), bytes.size());
+      net::FrameHeader header2;
+      std::string payload2;
+      util::Status error2;
+      APPROXQL_FUZZ_ASSERT(reparse.Take(&header2, &payload2, &error2) ==
+                           net::FrameDecoder::Next::kFrame);
+      APPROXQL_FUZZ_ASSERT(header2.request_id == header.request_id);
+      APPROXQL_FUZZ_ASSERT(header2.type == header.type);
+      APPROXQL_FUZZ_ASSERT(payload2 == payload);
+      APPROXQL_FUZZ_ASSERT(reparse.buffered() == 0);
+      ++frames;
+    }
+  }
+  // Bounded progress: a frame is at least 4 length bytes + 3 header
+  // varints + 4 CRC bytes on the wire.
+  APPROXQL_FUZZ_ASSERT(frames <= size / 8);
+  return 0;
+}
+
+}  // namespace approxql::fuzz
+
+APPROXQL_FUZZ_MAIN(approxql::fuzz::FuzzFrameDecoder)

@@ -1,0 +1,45 @@
+// shard::LayoutManifest::Deserialize over hostile bytes — the blob a
+// corpus-free router host loads at startup. Contract: clean Result or a
+// manifest whose canonical re-serialization round-trips; claimed counts
+// never drive allocations past the blob size.
+
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_util.h"
+#include "fuzz/targets.h"
+#include "shard/layout_manifest.h"
+
+namespace approxql::fuzz {
+
+int FuzzLayoutManifest(const uint8_t* data, size_t size) {
+  std::string_view blob(reinterpret_cast<const char*>(data), size);
+  auto result = shard::LayoutManifest::Deserialize(blob);
+  if (!result.ok()) {
+    APPROXQL_FUZZ_ASSERT(!result.status().message().empty());
+    return 0;
+  }
+  const std::string bytes = result->Serialize();
+  auto again = shard::LayoutManifest::Deserialize(bytes);
+  APPROXQL_FUZZ_ASSERT(again.ok());
+  APPROXQL_FUZZ_ASSERT(again->Serialize() == bytes);
+  APPROXQL_FUZZ_ASSERT(again->fingerprint() == result->fingerprint());
+  APPROXQL_FUZZ_ASSERT(again->num_shards() == result->num_shards());
+  // The accepted span tables must satisfy the id-translation invariant
+  // the router leans on: every in-span local id maps into its span's
+  // global range.
+  for (size_t s = 0; s < result->num_shards(); ++s) {
+    for (const shard::DocSpan& span : result->shard_spans(s)) {
+      APPROXQL_FUZZ_ASSERT(result->ToGlobal(s, span.local_start) ==
+                           span.global_start);
+      APPROXQL_FUZZ_ASSERT(
+          result->ToGlobal(s, span.local_start + span.length - 1) ==
+          span.global_start + span.length - 1);
+    }
+  }
+  return 0;
+}
+
+}  // namespace approxql::fuzz
+
+APPROXQL_FUZZ_MAIN(approxql::fuzz::FuzzLayoutManifest)

@@ -1,0 +1,37 @@
+// Shared round-trip scaffolding for the wire payload targets: decode the
+// raw input; when it decodes, the re-encoding must re-decode and reach a
+// byte-level fixed point. (The first encoding need not equal the input —
+// decoders accept non-canonical varints; the *second* encoding must
+// equal the first.)
+#ifndef APPROXQL_FUZZ_TARGETS_WIRE_COMMON_H_
+#define APPROXQL_FUZZ_TARGETS_WIRE_COMMON_H_
+
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_util.h"
+#include "util/status.h"
+
+namespace approxql::fuzz {
+
+template <typename Message, typename Decode, typename Encode>
+int WirePayloadRoundTrip(const uint8_t* data, size_t size, Decode decode,
+                         Encode encode) {
+  std::string_view payload(reinterpret_cast<const char*>(data), size);
+  Message message;
+  util::Status st = decode(payload, &message);
+  if (!st.ok()) {
+    APPROXQL_FUZZ_ASSERT(!st.message().empty());
+    return 0;
+  }
+  const std::string bytes = encode(message);
+  Message again;
+  util::Status st2 = decode(bytes, &again);
+  APPROXQL_FUZZ_ASSERT(st2.ok());
+  APPROXQL_FUZZ_ASSERT(encode(again) == bytes);
+  return 0;
+}
+
+}  // namespace approxql::fuzz
+
+#endif  // APPROXQL_FUZZ_TARGETS_WIRE_COMMON_H_

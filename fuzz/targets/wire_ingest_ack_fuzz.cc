@@ -1,0 +1,14 @@
+#include "fuzz/targets.h"
+#include "fuzz/targets/wire_common.h"
+#include "net/wire.h"
+
+namespace approxql::fuzz {
+
+int FuzzWireIngestAck(const uint8_t* data, size_t size) {
+  return WirePayloadRoundTrip<net::WireIngestAck>(
+      data, size, net::DecodeIngestAck, net::EncodeIngestAck);
+}
+
+}  // namespace approxql::fuzz
+
+APPROXQL_FUZZ_MAIN(approxql::fuzz::FuzzWireIngestAck)

@@ -1,0 +1,14 @@
+#include "fuzz/targets.h"
+#include "fuzz/targets/wire_common.h"
+#include "net/wire.h"
+
+namespace approxql::fuzz {
+
+int FuzzWireManifestFetch(const uint8_t* data, size_t size) {
+  return WirePayloadRoundTrip<net::WireManifestFetch>(
+      data, size, net::DecodeManifestFetch, net::EncodeManifestFetch);
+}
+
+}  // namespace approxql::fuzz
+
+APPROXQL_FUZZ_MAIN(approxql::fuzz::FuzzWireManifestFetch)

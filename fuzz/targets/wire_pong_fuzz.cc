@@ -1,0 +1,14 @@
+#include "fuzz/targets.h"
+#include "fuzz/targets/wire_common.h"
+#include "net/wire.h"
+
+namespace approxql::fuzz {
+
+int FuzzWirePong(const uint8_t* data, size_t size) {
+  return WirePayloadRoundTrip<net::WirePong>(data, size, net::DecodePong,
+                                             net::EncodePong);
+}
+
+}  // namespace approxql::fuzz
+
+APPROXQL_FUZZ_MAIN(approxql::fuzz::FuzzWirePong)

@@ -1,0 +1,14 @@
+#include "fuzz/targets.h"
+#include "fuzz/targets/wire_common.h"
+#include "net/wire.h"
+
+namespace approxql::fuzz {
+
+int FuzzWireQueryResponse(const uint8_t* data, size_t size) {
+  return WirePayloadRoundTrip<net::WireResponse>(
+      data, size, net::DecodeQueryResponse, net::EncodeQueryResponse);
+}
+
+}  // namespace approxql::fuzz
+
+APPROXQL_FUZZ_MAIN(approxql::fuzz::FuzzWireQueryResponse)

@@ -1,0 +1,33 @@
+// The XML parser over arbitrary bytes — the full ingest path surface
+// (documents arrive over the wire as raw XML). Contract: clean parse
+// error or a DOM whose WriteXml serialization re-parses to the same
+// serialization (fixed point). Depth is capped by the parser, so the
+// recursive DOM destructor/writer cannot overflow.
+
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_util.h"
+#include "fuzz/targets.h"
+#include "xml/xml_dom.h"
+
+namespace approxql::fuzz {
+
+int FuzzXmlParser(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto result = xml::ParseXmlDocument(text);
+  if (!result.ok()) {
+    APPROXQL_FUZZ_ASSERT(!result.status().message().empty());
+    return 0;
+  }
+  APPROXQL_FUZZ_ASSERT(result->root != nullptr);
+  const std::string written = xml::WriteXml(*result->root);
+  auto again = xml::ParseXmlDocument(written);
+  APPROXQL_FUZZ_ASSERT(again.ok());
+  APPROXQL_FUZZ_ASSERT(xml::WriteXml(*again->root) == written);
+  return 0;
+}
+
+}  // namespace approxql::fuzz
+
+APPROXQL_FUZZ_MAIN(approxql::fuzz::FuzzXmlParser)

@@ -95,6 +95,12 @@ Result<DataTree> DataTree::Deserialize(std::string_view data,
   if (node_count > UINT32_MAX) {
     return Status::Corruption("node count exceeds 32-bit id space");
   }
+  // Each node is at least two 1-byte varints; a claimed count past that
+  // bound cannot be satisfied by the remaining bytes, so reject it before
+  // the resize instead of attempting a multi-gigabyte allocation.
+  if (node_count > reader.remaining() / 2) {
+    return Status::Corruption("node count overruns serialized data tree");
+  }
   tree.nodes_.resize(node_count);
   for (NodeId id = 0; id < node_count; ++id) {
     uint32_t parent_delta = 0;

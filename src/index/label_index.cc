@@ -45,6 +45,11 @@ Result<Posting> DeserializePosting(std::string_view data) {
   util::VarintReader reader(data);
   uint64_t count = 0;
   RETURN_IF_ERROR(reader.GetVarint64(&count));
+  // Each delta is at least one byte; a count past the remaining bytes is
+  // corrupt and must not size the allocation.
+  if (count > reader.remaining()) {
+    return Status::Corruption("posting count overruns data");
+  }
   Posting posting;
   posting.reserve(count);
   doc::NodeId prev = 0;
@@ -53,6 +58,11 @@ Result<Posting> DeserializePosting(std::string_view data) {
     RETURN_IF_ERROR(reader.GetVarint32(&delta));
     if (i > 0 && delta == 0) {
       return Status::Corruption("posting deltas must be positive");
+    }
+    // Hostile deltas must not wrap the 32-bit id space — a wrapped
+    // posting is no longer sorted and would corrupt downstream merges.
+    if (delta > UINT32_MAX - prev) {
+      return Status::Corruption("posting id overflows 32-bit id space");
     }
     prev += delta;
     posting.push_back(prev);

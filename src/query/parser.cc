@@ -16,6 +16,13 @@ bool IsNameChar(char c) {
          c == ':' || c == '.';
 }
 
+// Brackets and parentheses each recurse one level of ParseSelector /
+// ParsePrimary; a wire-delivered "a[a[a[…" must hit a parse error, not
+// exhaust the stack. 64 is far beyond any schema-sensible query (the
+// paper's examples nest 2-3 deep) and also bounds the recursion of
+// every downstream AST walk (ToString, AstEquals, the node destructor).
+constexpr int kMaxNesting = 64;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -79,7 +86,12 @@ class Parser {
     node->label = std::move(name);
     SkipWhitespace();
     if (Consume('[')) {
+      if (++depth_ > kMaxNesting) {
+        return Error("query nesting exceeds depth limit " +
+                     std::to_string(kMaxNesting));
+      }
       ASSIGN_OR_RETURN(std::unique_ptr<AstNode> expr, ParseOrExpr());
+      --depth_;
       SkipWhitespace();
       if (!Consume(']')) return Error("expected ']'");
       node->children.push_back(std::move(expr));
@@ -132,7 +144,12 @@ class Parser {
     char c = Peek();
     if (c == '(') {
       ++pos_;
+      if (++depth_ > kMaxNesting) {
+        return Error("query nesting exceeds depth limit " +
+                     std::to_string(kMaxNesting));
+      }
       ASSIGN_OR_RETURN(std::unique_ptr<AstNode> expr, ParseOrExpr());
+      --depth_;
       SkipWhitespace();
       if (!Consume(')')) return Error("expected ')'");
       return expr;
@@ -178,6 +195,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void AppendString(const AstNode& node, std::string* out) {

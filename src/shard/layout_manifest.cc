@@ -113,21 +113,54 @@ Result<LayoutManifest> LayoutManifest::Deserialize(std::string_view data) {
   RETURN_IF_ERROR(reader.GetVarint32(&fingerprint));
   uint64_t model_size = 0;
   RETURN_IF_ERROR(reader.GetVarint64(&model_size));
+  if (model_size > reader.remaining()) {
+    return Status::Corruption("layout manifest cost model overruns blob");
+  }
   std::string_view model_text;
   RETURN_IF_ERROR(reader.GetBytes(model_size, &model_text));
   ASSIGN_OR_RETURN(cost::CostModel model, cost::CostModel::ParseConfig(model_text));
   uint64_t num_shards = 0;
   RETURN_IF_ERROR(reader.GetVarint64(&num_shards));
+  // Every claimed count is checked against the bytes that could satisfy
+  // it BEFORE sizing any container: a hostile 5-byte varint must produce
+  // a clean Corruption, never a multi-gigabyte allocation. Each shard
+  // contributes at least its span-count varint (1 byte); each span is at
+  // least three 1-byte varints.
+  if (num_shards > reader.remaining()) {
+    return Status::Corruption("layout manifest shard count overruns blob");
+  }
   std::vector<std::vector<DocSpan>> spans(num_shards);
   for (uint64_t i = 0; i < num_shards; ++i) {
     uint64_t count = 0;
     RETURN_IF_ERROR(reader.GetVarint64(&count));
+    if (count > reader.remaining() / 3) {
+      return Status::Corruption("layout manifest span count overruns blob");
+    }
     spans[i].reserve(count);
     for (uint64_t d = 0; d < count; ++d) {
       DocSpan span;
       RETURN_IF_ERROR(reader.GetVarint32(&span.local_start));
       RETURN_IF_ERROR(reader.GetVarint32(&span.global_start));
       RETURN_IF_ERROR(reader.GetVarint32(&span.length));
+      // ToGlobal/DocRootOf binary-search these tables assuming the
+      // ShardedDatabase invariant; a manifest that violates it would
+      // mistranslate ids (or walk off the table), so reject it here.
+      if (span.local_start == 0 || span.global_start == 0 ||
+          span.length == 0 ||
+          static_cast<uint64_t>(span.local_start) + span.length >
+              UINT32_MAX ||
+          static_cast<uint64_t>(span.global_start) + span.length >
+              UINT32_MAX) {
+        return Status::Corruption("layout manifest span out of range");
+      }
+      if (!spans[i].empty()) {
+        const DocSpan& prev = spans[i].back();
+        if (span.local_start < prev.local_start + prev.length ||
+            span.global_start < prev.global_start + prev.length) {
+          return Status::Corruption(
+              "layout manifest spans overlap or regress");
+        }
+      }
       spans[i].push_back(span);
     }
   }

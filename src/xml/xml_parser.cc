@@ -7,6 +7,11 @@ namespace {
 
 using util::Status;
 
+// Maximum element nesting accepted from an input document. Real corpora
+// (XMark, DBLP) stay under ~20; anything deeper is hostile input aimed at
+// the recursive consumers downstream of the SAX events.
+constexpr size_t kMaxElementDepth = 512;
+
 bool IsNameStartChar(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
          static_cast<unsigned char>(c) >= 0x80;
@@ -265,6 +270,14 @@ class Parser {
       if (self_closing) {
         RETURN_IF_ERROR(handler_->OnEndElement(name));
       } else {
+        // The SAX loop itself is iterative, but consumers build recursive
+        // structures (DOM subtrees, whose destructors and writers recurse
+        // per level) — bound the depth here so a hostile "<a><a><a>…"
+        // stream cannot overflow their stacks.
+        if (open.size() >= kMaxElementDepth) {
+          return Error("element nesting exceeds depth limit " +
+                       std::to_string(kMaxElementDepth));
+        }
         open.push_back(std::move(name));
       }
       RETURN_IF_ERROR(ParseContentUntilTag(&open));

@@ -1,0 +1,57 @@
+// Hostile-input tests for DataTree::Deserialize: claimed label lengths and
+// node counts must be validated against the remaining bytes before any
+// allocation — a short hostile blob must produce Corruption, not a
+// 100+ GB resize.
+
+#include <cstdint>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "doc/data_tree.h"
+#include "gtest/gtest.h"
+#include "util/varint.h"
+
+namespace approxql::doc {
+namespace {
+
+constexpr uint64_t kHugeCount = uint64_t{1} << 40;
+
+TEST(DataTreeHostileTest, HugeNodeCount) {
+  std::string blob;
+  util::PutVarint64(&blob, 0);               // no labels
+  // Within the 32-bit id space (so it passes the id-width check) but far
+  // past the remaining bytes: would be a ~32 GB resize without the cap.
+  util::PutVarint64(&blob, uint64_t{1} << 30);
+  auto result = DataTree::Deserialize(blob, cost::CostModel());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("overruns"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(DataTreeHostileTest, NodeCountJustPastPayload) {
+  std::string blob;
+  util::PutVarint64(&blob, 1);  // one label: "a"
+  util::PutVarint64(&blob, 1);
+  blob += "a";
+  util::PutVarint64(&blob, 3);  // claims 3 nodes...
+  util::PutVarint32(&blob, 0);  // ...supplies only the root
+  util::PutVarint32(&blob, 0);
+  EXPECT_FALSE(DataTree::Deserialize(blob, cost::CostModel()).ok());
+}
+
+TEST(DataTreeHostileTest, HugeLabelLength) {
+  std::string blob;
+  util::PutVarint64(&blob, 1);           // one label...
+  util::PutVarint64(&blob, kHugeCount);  // ...claiming 2^40 bytes
+  blob += "a";
+  EXPECT_FALSE(DataTree::Deserialize(blob, cost::CostModel()).ok());
+}
+
+TEST(DataTreeHostileTest, HugeLabelCount) {
+  std::string blob;
+  util::PutVarint64(&blob, kHugeCount);  // label table truncates immediately
+  EXPECT_FALSE(DataTree::Deserialize(blob, cost::CostModel()).ok());
+}
+
+}  // namespace
+}  // namespace approxql::doc

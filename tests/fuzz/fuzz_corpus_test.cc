@@ -1,0 +1,134 @@
+// Corpus regression replay: every checked-in seed and crasher under
+// fuzz/corpus/<target>/ runs through its registered fuzz entry point in
+// the PLAIN build, on every tier-1 run, on every compiler. A target
+// crashing or tripping an APPROXQL_FUZZ_ASSERT here is the same failure
+// libFuzzer would report under -DAPPROXQL_FUZZ=ON — this is the
+// no-clang-required leg of the fuzzing subsystem (DESIGN.md §15).
+//
+// APPROXQL_FUZZ_CORPUS_DIR is injected by tests/CMakeLists.txt and
+// points at the source-tree corpus, so new seeds take effect without
+// reconfiguring.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/registry.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace approxql {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint8_t> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+std::map<std::string, std::vector<fs::path>> CorpusByTarget() {
+  std::map<std::string, std::vector<fs::path>> corpus;
+  const fs::path root(APPROXQL_FUZZ_CORPUS_DIR);
+  for (const auto& dir : fs::directory_iterator(root)) {
+    if (!dir.is_directory()) continue;
+    auto& files = corpus[dir.path().filename().string()];
+    for (const auto& entry : fs::directory_iterator(dir.path())) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  }
+  return corpus;
+}
+
+// Every registered target must have at least one checked-in seed, and
+// every corpus directory must correspond to a registered target —
+// catches renames that silently orphan a corpus.
+TEST(FuzzCorpusTest, EveryTargetHasSeedsAndEveryCorpusHasTarget) {
+  auto corpus = CorpusByTarget();
+  for (const auto& target : fuzz::AllTargets()) {
+    auto it = corpus.find(target.name);
+    ASSERT_NE(it, corpus.end()) << "no corpus directory for fuzz target '"
+                                << target.name << "'";
+    EXPECT_FALSE(it->second.empty())
+        << "corpus for '" << target.name << "' has no seed files";
+    corpus.erase(it);
+  }
+  for (const auto& [name, files] : corpus) {
+    ADD_FAILURE() << "corpus directory '" << name
+                  << "' has no registered fuzz target (stale rename?)";
+  }
+}
+
+// Replay every corpus file verbatim. Any crash/abort fails the test
+// binary loudly; a zero return is all the contract requires.
+TEST(FuzzCorpusTest, ReplaysEveryCorpusFile) {
+  int replayed = 0;
+  auto corpus = CorpusByTarget();
+  for (const auto& target : fuzz::AllTargets()) {
+    for (const auto& path : corpus[target.name]) {
+      SCOPED_TRACE(path.string());
+      const auto bytes = ReadFile(path);
+      EXPECT_EQ(target.fn(bytes.data(), bytes.size()), 0);
+      ++replayed;
+    }
+  }
+  EXPECT_GE(replayed, 30) << "corpus suspiciously small; regenerate with "
+                             "fuzz_gen_seeds";
+}
+
+// Deterministic mutation sweep: bit flips, truncations, and splices of
+// the seeds, seeded per (target, file, round) so failures reproduce.
+// Not a substitute for coverage-guided fuzzing — a cheap always-on
+// probe that the decoders stay total near the valid-input manifold.
+TEST(FuzzCorpusTest, MutatedSeedsStillSatisfyContracts) {
+  constexpr int kRoundsPerFile = 16;
+  auto corpus = CorpusByTarget();
+  for (const auto& target : fuzz::AllTargets()) {
+    const auto& files = corpus[target.name];
+    for (size_t f = 0; f < files.size(); ++f) {
+      const auto seed_bytes = ReadFile(files[f]);
+      // Deep-nesting crashers are large and mutation adds nothing.
+      if (seed_bytes.size() > 64 * 1024) continue;
+      for (int round = 0; round < kRoundsPerFile; ++round) {
+        util::Rng rng(0x5eed0000 + 1315423911u * static_cast<uint32_t>(f) +
+                      2654435761u * static_cast<uint32_t>(round) +
+                      static_cast<uint32_t>(target.name[0]));
+        std::vector<uint8_t> bytes = seed_bytes;
+        switch (round % 4) {
+          case 0:  // flip a handful of bits
+            for (int i = 0; i < 8 && !bytes.empty(); ++i) {
+              size_t pos = rng.UniformInt(0, bytes.size() - 1);
+              bytes[pos] ^= uint8_t{1} << rng.UniformInt(0, 7);
+            }
+            break;
+          case 1:  // truncate
+            if (!bytes.empty()) {
+              bytes.resize(rng.UniformInt(0, bytes.size() - 1));
+            }
+            break;
+          case 2:  // overwrite a window with random bytes
+            for (int i = 0; i < 16 && !bytes.empty(); ++i) {
+              bytes[rng.UniformInt(0, bytes.size() - 1)] =
+                  static_cast<uint8_t>(rng.Next());
+            }
+            break;
+          default:  // splice the seed onto a copy of itself
+            bytes.insert(bytes.end(), seed_bytes.begin(),
+                         seed_bytes.begin() +
+                             static_cast<ptrdiff_t>(seed_bytes.size() / 2));
+            break;
+        }
+        SCOPED_TRACE(files[f].string() + " round " + std::to_string(round));
+        EXPECT_EQ(target.fn(bytes.data(), bytes.size()), 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace approxql

@@ -1,0 +1,52 @@
+// Hostile-input tests for DeserializePosting: the claimed entry count is
+// validated against the remaining bytes before reserve().
+
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "index/label_index.h"
+#include "util/varint.h"
+
+namespace approxql::index {
+namespace {
+
+TEST(PostingHostileTest, HugeCount) {
+  std::string blob;
+  util::PutVarint64(&blob, uint64_t{1} << 40);  // no deltas follow
+  auto result = DeserializePosting(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("overruns"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(PostingHostileTest, CountJustPastPayload) {
+  std::string blob;
+  util::PutVarint64(&blob, 3);  // claims 3 deltas, supplies 2
+  util::PutVarint32(&blob, 1);
+  util::PutVarint32(&blob, 1);
+  EXPECT_FALSE(DeserializePosting(blob).ok());
+}
+
+TEST(PostingHostileTest, DeltaOverflowRejected) {
+  std::string blob;
+  util::PutVarint64(&blob, 2);
+  util::PutVarint32(&blob, UINT32_MAX);  // first id = UINT32_MAX
+  util::PutVarint32(&blob, 2);           // wraps the 32-bit id space
+  auto result = DeserializePosting(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("overflows"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(PostingHostileTest, ValidPostingStillDecodes) {
+  Posting posting = {1, 5, 9};
+  std::string blob;
+  SerializePosting(posting, &blob);
+  auto result = DeserializePosting(blob);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, posting);
+}
+
+}  // namespace
+}  // namespace approxql::index

@@ -7,17 +7,34 @@
 // deliberately covers every message type, including the shard-scoped
 // frames (kShardQuery/kShardAnswer/kPing/kPong), so protocol growth
 // inherits the same guarantees.
+//
+// Every adversarial stream this test constructs is ALSO routed through
+// fuzz::FuzzFrameDecoder — the shared fuzz/ entry point libFuzzer
+// drives under -DAPPROXQL_FUZZ=ON — so the deterministic sweep here and
+// the coverage-guided runs exercise identical contract checks.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <string>
 #include <vector>
 
+#include "fuzz/targets.h"
 #include "net/wire.h"
 #include "util/random.h"
 
 namespace approxql::net {
 namespace {
+
+// Replays an adversarial stream through the shared fuzz entry point
+// (first input byte selects the decoder's append-chunk size).
+void ReplayThroughFuzzTarget(std::string_view stream, uint8_t chunk = 0xff) {
+  std::string input;
+  input.push_back(static_cast<char>(chunk));
+  input += stream;
+  EXPECT_EQ(fuzz::FuzzFrameDecoder(
+                reinterpret_cast<const uint8_t*>(input.data()), input.size()),
+            0);
+}
 
 struct CorpusFrame {
   FrameHeader header;
@@ -125,6 +142,7 @@ TEST(WireFuzzTest, TruncationsNeverCrashAndNeverYieldAFrame) {
       if (!result.errored) {
         EXPECT_EQ(decoder.buffered(), cut);  // torn-frame detection at EOF
       }
+      ReplayThroughFuzzTarget(std::string_view(frame.wire).substr(0, cut));
     }
   }
 }
@@ -138,6 +156,7 @@ TEST(WireFuzzTest, FlippedBytesAreRejectedNotCrashed) {
       for (uint8_t bit : {uint8_t{1}, uint8_t{0x80}}) {
         std::string corrupted = frame.wire;
         corrupted[pos] = static_cast<char>(corrupted[pos] ^ bit);
+        ReplayThroughFuzzTarget(corrupted);
         FrameDecoder decoder;
         decoder.Append(corrupted.data(), corrupted.size());
         DrainResult result = Drain(decoder);
@@ -242,6 +261,9 @@ TEST(WireFuzzTest, RandomGarbageStreamsNeverCrash) {
     }
     decoder.Append(garbage.data(), garbage.size());
     Drain(decoder);  // must terminate without crashing; outcome is free
+    // Same garbage through the shared entry point, at a torn chunk size
+    // so the fuzz target's reassembly path sees it too.
+    ReplayThroughFuzzTarget(garbage, static_cast<uint8_t>(trial % 256));
   }
 }
 

@@ -1,0 +1,82 @@
+// Depth-limit tests for the ApproxQL parser: query strings arrive over the
+// wire, so "a[a[a[…" and "(((…" must hit a parse error at the nesting cap
+// instead of exhausting the call stack.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "query/ast.h"
+
+namespace approxql::query {
+namespace {
+
+std::string NestedBrackets(int depth) {
+  std::string text = "a";
+  for (int i = 0; i < depth; ++i) text += "[a";
+  text.append(static_cast<size_t>(depth), ']');
+  return text;
+}
+
+TEST(ParserDepthTest, DeepButLegalBracketsParse) {
+  auto result = Parse(NestedBrackets(64));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+}
+
+TEST(ParserDepthTest, BracketNestingPastLimitRejected) {
+  auto result = Parse(NestedBrackets(65));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("depth limit"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(ParserDepthTest, HostileUnclosedBracketsRejected) {
+  // No closing brackets at all: the error must fire at the cap, well
+  // before the recursion could chew through the stack.
+  std::string text = "a";
+  for (int i = 0; i < 100000; ++i) text += "[a";
+  EXPECT_FALSE(Parse(text).ok());
+}
+
+TEST(ParserDepthTest, HostileParenNestingRejected) {
+  std::string text = "a[";
+  text.append(100000, '(');
+  text += "\"w\"";
+  text.append(100000, ')');
+  text += "]";
+  auto result = Parse(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("depth limit"), std::string::npos)
+      << result.status().message();
+}
+
+std::string MixedNesting(int pairs) {
+  // Each "a[(" contributes two nesting levels (bracket + paren).
+  std::string text;
+  for (int i = 0; i < pairs; ++i) text += "a[(";
+  text += "\"w\"";
+  for (int i = 0; i < pairs; ++i) text += ")]";
+  return text;
+}
+
+TEST(ParserDepthTest, MixedNestingCountsBothSites) {
+  ASSERT_TRUE(Parse(MixedNesting(32)).ok());  // 64 levels: at the cap
+  auto result = Parse(MixedNesting(33));      // 66 levels: past it
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("depth limit"), std::string::npos)
+      << result.status().message();
+}
+
+// Wide queries (many siblings, no nesting) stay legal — the cap is on
+// depth only.
+TEST(ParserDepthTest, WideConjunctionUnaffected) {
+  std::string text = "a[\"w0\"";
+  for (int i = 1; i < 500; ++i) {
+    text += " and \"w" + std::to_string(i) + "\"";
+  }
+  text += "]";
+  auto result = Parse(text);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+}
+
+}  // namespace
+}  // namespace approxql::query

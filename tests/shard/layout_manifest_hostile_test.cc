@@ -1,0 +1,135 @@
+// Hostile-input tests for LayoutManifest::Deserialize: claimed counts and
+// lengths are validated against the remaining bytes before any allocation,
+// and the span tables must satisfy the ShardedDatabase invariant (sorted,
+// non-overlapping, 1-based, no uint32 overflow) that ToGlobal/DocRootOf
+// binary-search under.
+
+#include <cstdint>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "gtest/gtest.h"
+#include "shard/layout_manifest.h"
+#include "util/varint.h"
+
+namespace approxql::shard {
+namespace {
+
+constexpr uint32_t kMagic = 0x41514c4d;  // must match layout_manifest.cc
+constexpr uint64_t kHugeCount = uint64_t{1} << 40;
+
+// Everything up to (and including) the cost-model text, shared by all the
+// hostile bodies below.
+std::string Preamble() {
+  std::string out;
+  util::PutVarint32(&out, kMagic);
+  util::PutVarint32(&out, 1);   // version
+  util::PutVarint32(&out, 42);  // fingerprint
+  const std::string model = cost::CostModel().ToConfigString();
+  util::PutVarint64(&out, model.size());
+  out += model;
+  return out;
+}
+
+void ExpectCorruption(const std::string& blob, std::string_view needle) {
+  auto result = LayoutManifest::Deserialize(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(needle), std::string::npos)
+      << result.status().message();
+}
+
+TEST(LayoutManifestHostileTest, HugeModelSize) {
+  std::string blob;
+  util::PutVarint32(&blob, kMagic);
+  util::PutVarint32(&blob, 1);
+  util::PutVarint32(&blob, 42);
+  util::PutVarint64(&blob, kHugeCount);  // model text length, nothing follows
+  ExpectCorruption(blob, "cost model overruns");
+}
+
+TEST(LayoutManifestHostileTest, HugeShardCount) {
+  std::string blob = Preamble();
+  util::PutVarint64(&blob, kHugeCount);  // shard count, no shards follow
+  ExpectCorruption(blob, "shard count overruns");
+}
+
+TEST(LayoutManifestHostileTest, HugeSpanCount) {
+  std::string blob = Preamble();
+  util::PutVarint64(&blob, 1);           // one shard...
+  util::PutVarint64(&blob, kHugeCount);  // ...claiming 2^40 spans
+  ExpectCorruption(blob, "span count overruns");
+}
+
+TEST(LayoutManifestHostileTest, ZeroBasedSpanRejected) {
+  std::string blob = Preamble();
+  util::PutVarint64(&blob, 1);
+  util::PutVarint64(&blob, 1);
+  util::PutVarint32(&blob, 0);  // local_start 0 collides with the super-root
+  util::PutVarint32(&blob, 1);
+  util::PutVarint32(&blob, 4);
+  ExpectCorruption(blob, "span out of range");
+}
+
+TEST(LayoutManifestHostileTest, ZeroLengthSpanRejected) {
+  std::string blob = Preamble();
+  util::PutVarint64(&blob, 1);
+  util::PutVarint64(&blob, 1);
+  util::PutVarint32(&blob, 1);
+  util::PutVarint32(&blob, 1);
+  util::PutVarint32(&blob, 0);  // empty span
+  ExpectCorruption(blob, "span out of range");
+}
+
+TEST(LayoutManifestHostileTest, SpanIdOverflowRejected) {
+  std::string blob = Preamble();
+  util::PutVarint64(&blob, 1);
+  util::PutVarint64(&blob, 1);
+  util::PutVarint32(&blob, UINT32_MAX);  // local ids wrap past 2^32
+  util::PutVarint32(&blob, 1);
+  util::PutVarint32(&blob, 2);
+  ExpectCorruption(blob, "span out of range");
+}
+
+TEST(LayoutManifestHostileTest, OverlappingSpansRejected) {
+  std::string blob = Preamble();
+  util::PutVarint64(&blob, 1);
+  util::PutVarint64(&blob, 2);
+  util::PutVarint32(&blob, 1);  // [1, 6) locally
+  util::PutVarint32(&blob, 1);
+  util::PutVarint32(&blob, 5);
+  util::PutVarint32(&blob, 3);  // starts inside the previous span
+  util::PutVarint32(&blob, 10);
+  util::PutVarint32(&blob, 5);
+  ExpectCorruption(blob, "overlap");
+}
+
+TEST(LayoutManifestHostileTest, RegressingGlobalSpansRejected) {
+  std::string blob = Preamble();
+  util::PutVarint64(&blob, 1);
+  util::PutVarint64(&blob, 2);
+  util::PutVarint32(&blob, 1);   // local [1, 6), global [10, 15)
+  util::PutVarint32(&blob, 10);
+  util::PutVarint32(&blob, 5);
+  util::PutVarint32(&blob, 6);   // local fine, but global goes backwards
+  util::PutVarint32(&blob, 2);
+  util::PutVarint32(&blob, 5);
+  ExpectCorruption(blob, "overlap");
+}
+
+// A well-formed manifest still round-trips after the hardening.
+TEST(LayoutManifestHostileTest, ValidManifestRoundTrips) {
+  std::vector<std::vector<DocSpan>> spans(2);
+  spans[0].push_back({1, 1, 5});
+  spans[0].push_back({6, 11, 3});
+  spans[1].push_back({1, 6, 5});
+  LayoutManifest manifest(7, cost::CostModel(), std::move(spans));
+  auto result = LayoutManifest::Deserialize(manifest.Serialize());
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->fingerprint(), 7u);
+  EXPECT_EQ(result->num_shards(), 2u);
+  EXPECT_EQ(result->ToGlobal(0, 7), 12u);
+  EXPECT_EQ(result->ToGlobal(1, 3), 8u);
+}
+
+}  // namespace
+}  // namespace approxql::shard

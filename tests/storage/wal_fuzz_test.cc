@@ -17,12 +17,42 @@
 #include <string>
 #include <vector>
 
+#include "fuzz/targets.h"
 #include "storage/vlog/value_log.h"
 #include "storage/wal/wal.h"
 #include "util/random.h"
 
 namespace approxql::storage {
 namespace {
+
+// Same config string the shared fuzz/ WAL target opens with, so the
+// damaged files this test constructs replay meaningfully through
+// fuzz::FuzzWalReplay (a mismatched config would fail before parsing).
+constexpr std::string_view kWalConfig = "fuzz-config";
+
+// Routes raw WAL file bytes through the shared fuzz entry point — the
+// identical contract check libFuzzer drives under -DAPPROXQL_FUZZ=ON.
+void ReplayThroughWalFuzzTarget(std::string_view bytes) {
+  EXPECT_EQ(fuzz::FuzzWalReplay(
+                reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()),
+            0);
+}
+
+// Likewise for the value log: the target input is a 16-byte pointer
+// (offset, length; little-endian) followed by the file image.
+void ReplayThroughVlogFuzzTarget(const SegmentPointer& pointer,
+                                 std::string_view file) {
+  std::string input;
+  for (uint64_t v : {pointer.offset, pointer.length}) {
+    for (int i = 0; i < 8; ++i) {
+      input.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  input += file;
+  EXPECT_EQ(fuzz::FuzzVlogRead(
+                reinterpret_cast<const uint8_t*>(input.data()), input.size()),
+            0);
+}
 
 std::string FuzzPath(const std::string& name) {
   return (std::filesystem::temp_directory_path() /
@@ -88,12 +118,13 @@ void CheckPrefixOrCleanFailure(const std::string& path,
 TEST(WalFuzzTest, TruncatedAtEveryByteBoundary) {
   util::Rng rng(0xda7a1);
   const std::string path = FuzzPath("trunc");
-  auto payloads = BuildValidWal(path, "cfg", 10, rng);
+  auto payloads = BuildValidWal(path, kWalConfig, 10, rng);
   const std::string full = ReadFile(path);
   ASSERT_GT(full.size(), 0u);
   for (size_t cut = 0; cut <= full.size(); ++cut) {
     WriteFile(path, full.substr(0, cut));
-    CheckPrefixOrCleanFailure(path, "cfg", payloads);
+    CheckPrefixOrCleanFailure(path, kWalConfig, payloads);
+    ReplayThroughWalFuzzTarget(std::string_view(full).substr(0, cut));
   }
   std::filesystem::remove(path);
 }
@@ -101,7 +132,7 @@ TEST(WalFuzzTest, TruncatedAtEveryByteBoundary) {
 TEST(WalFuzzTest, SingleByteFlipsAnywhere) {
   util::Rng rng(0xf11b);
   const std::string path = FuzzPath("flip");
-  auto payloads = BuildValidWal(path, "cfg", 8, rng);
+  auto payloads = BuildValidWal(path, kWalConfig, 8, rng);
   const std::string full = ReadFile(path);
   for (int trial = 0; trial < 400; ++trial) {
     std::string mutated = full;
@@ -110,7 +141,8 @@ TEST(WalFuzzTest, SingleByteFlipsAnywhere) {
     mutated[pos] = static_cast<char>(mutated[pos] ^
                                      (1u << rng.UniformInt(0, 7)));
     WriteFile(path, mutated);
-    CheckPrefixOrCleanFailure(path, "cfg", payloads);
+    CheckPrefixOrCleanFailure(path, kWalConfig, payloads);
+    ReplayThroughWalFuzzTarget(mutated);
   }
   std::filesystem::remove(path);
 }
@@ -118,7 +150,7 @@ TEST(WalFuzzTest, SingleByteFlipsAnywhere) {
 TEST(WalFuzzTest, MultiByteGarbageSplices) {
   util::Rng rng(0x6a5b);
   const std::string path = FuzzPath("garbage");
-  auto payloads = BuildValidWal(path, "cfg", 8, rng);
+  auto payloads = BuildValidWal(path, kWalConfig, 8, rng);
   const std::string full = ReadFile(path);
   for (int trial = 0; trial < 200; ++trial) {
     std::string mutated = full;
@@ -131,7 +163,8 @@ TEST(WalFuzzTest, MultiByteGarbageSplices) {
       mutated[pos + i] = static_cast<char>(rng.UniformInt(0, 255));
     }
     WriteFile(path, mutated);
-    CheckPrefixOrCleanFailure(path, "cfg", payloads);
+    CheckPrefixOrCleanFailure(path, kWalConfig, payloads);
+    ReplayThroughWalFuzzTarget(mutated);
   }
   std::filesystem::remove(path);
 }
@@ -143,8 +176,8 @@ TEST(WalFuzzTest, SplicedRecordsFromAnotherLog) {
   util::Rng rng(0x5ea3);
   const std::string path_a = FuzzPath("splice_a");
   const std::string path_b = FuzzPath("splice_b");
-  auto payloads_a = BuildValidWal(path_a, "cfg", 6, rng);
-  BuildValidWal(path_b, "cfg", 12, rng);
+  auto payloads_a = BuildValidWal(path_a, kWalConfig, 6, rng);
+  BuildValidWal(path_b, kWalConfig, 12, rng);
   const std::string full_a = ReadFile(path_a);
   const std::string full_b = ReadFile(path_b);
   for (int trial = 0; trial < 100; ++trial) {
@@ -153,7 +186,7 @@ TEST(WalFuzzTest, SplicedRecordsFromAnotherLog) {
     const size_t from_b = static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(full_b.size()) - 1));
     WriteFile(path_a, full_a.substr(0, keep_a) + full_b.substr(from_b));
-    CheckPrefixOrCleanFailure(path_a, "cfg", payloads_a);
+    CheckPrefixOrCleanFailure(path_a, kWalConfig, payloads_a);
   }
   std::filesystem::remove(path_a);
   std::filesystem::remove(path_b);
@@ -165,16 +198,16 @@ TEST(WalFuzzTest, DuplicatedRecordBytesStopReplay) {
   // not apply twice.
   util::Rng rng(0xd0b1e);
   const std::string path = FuzzPath("dup");
-  auto payloads = BuildValidWal(path, "cfg", 1, rng);
+  auto payloads = BuildValidWal(path, kWalConfig, 1, rng);
   const std::string one = ReadFile(path);
-  auto more = BuildValidWal(path, "cfg", 2, rng);
+  auto more = BuildValidWal(path, kWalConfig, 2, rng);
   const std::string two = ReadFile(path);
   ASSERT_GT(two.size(), one.size());
   // Seed the duplicate run with the 2-record file's own bytes so the
   // copied slice is its genuine record 2.
   const std::string record2 = two.substr(one.size());
   WriteFile(path, two + record2);
-  auto opened = WriteAheadLog::Open(path, "cfg");
+  auto opened = WriteAheadLog::Open(path, kWalConfig);
   ASSERT_TRUE(opened.ok()) << opened.status();
   EXPECT_TRUE(opened->tail_truncated);
   ASSERT_EQ(opened->records.size(), 2u);
@@ -188,7 +221,7 @@ TEST(WalFuzzTest, ReplayThenAppendHealsTheFile) {
   // reopen cleanly — truncation really removed the bad suffix.
   util::Rng rng(0x4ea1);
   const std::string path = FuzzPath("heal");
-  auto payloads = BuildValidWal(path, "cfg", 6, rng);
+  auto payloads = BuildValidWal(path, kWalConfig, 6, rng);
   const std::string full = ReadFile(path);
   for (int trial = 0; trial < 60; ++trial) {
     std::string mutated = full;
@@ -197,13 +230,13 @@ TEST(WalFuzzTest, ReplayThenAppendHealsTheFile) {
         static_cast<int64_t>(full.size()) - 1));
     mutated[pos] = static_cast<char>(~mutated[pos]);
     WriteFile(path, mutated);
-    auto opened = WriteAheadLog::Open(path, "cfg");
+    auto opened = WriteAheadLog::Open(path, kWalConfig);
     if (!opened.ok()) continue;  // header damage: nothing to heal
     const size_t kept = opened->records.size();
     ASSERT_TRUE(opened->wal->Append(5, "healed").ok());
     ASSERT_TRUE(opened->wal->Sync().ok());
     opened->wal.reset();
-    auto reopened = WriteAheadLog::Open(path, "cfg");
+    auto reopened = WriteAheadLog::Open(path, kWalConfig);
     ASSERT_TRUE(reopened.ok()) << reopened.status();
     EXPECT_FALSE(reopened->tail_truncated);
     ASSERT_EQ(reopened->records.size(), kept + 1);
@@ -236,6 +269,9 @@ TEST(VlogFuzzTest, ReadsNeverCrashOnDamage) {
         rng.UniformInt(0, static_cast<int64_t>(full.size()) - 1));
     mutated[pos] = static_cast<char>(mutated[pos] ^ 0x40);
     WriteFile(path, mutated);
+    ReplayThroughVlogFuzzTarget(pointers[static_cast<size_t>(
+                                    trial % static_cast<int>(pointers.size()))],
+                                mutated);
     auto opened = ValueLog::Open(path);
     if (!opened.ok()) continue;
     for (size_t i = 0; i < pointers.size(); ++i) {

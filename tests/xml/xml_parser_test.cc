@@ -139,13 +139,38 @@ TEST(XmlParserTest, Utf8BomAccepted) {
 }
 
 TEST(XmlParserTest, DeeplyNestedDoesNotOverflow) {
-  // 100k-deep nesting exercises the iterative parser.
+  // The parser loop is iterative, but consumers of the SAX events build
+  // recursive structures, so nesting past the depth limit is rejected —
+  // cleanly, without touching the call stack. 100k-deep input must
+  // produce a parse error, not a crash.
   std::string xml;
   for (int i = 0; i < 100000; ++i) xml += "<d>";
   for (int i = 0; i < 100000; ++i) xml += "</d>";
   Status s;
   Parse(xml, &s);
-  EXPECT_TRUE(s.ok()) << s;
+  ASSERT_TRUE(s.IsParseError()) << s;
+  EXPECT_NE(s.message().find("depth limit"), std::string::npos) << s;
+}
+
+TEST(XmlParserTest, NestingAtDepthLimitParses) {
+  // 512 levels is the documented maximum; exactly at the cap still parses.
+  std::string xml;
+  for (int i = 0; i < 512; ++i) xml += "<d>";
+  for (int i = 0; i < 512; ++i) xml += "</d>";
+  Status s;
+  auto events = Parse(xml, &s);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(events.size(), 2u * 512);
+}
+
+TEST(XmlParserTest, NestingPastDepthLimitRejected) {
+  std::string xml;
+  for (int i = 0; i < 513; ++i) xml += "<d>";
+  for (int i = 0; i < 513; ++i) xml += "</d>";
+  Status s;
+  Parse(xml, &s);
+  ASSERT_TRUE(s.IsParseError()) << s;
+  EXPECT_NE(s.message().find("depth limit"), std::string::npos) << s;
 }
 
 // --- failure injection ---

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Repo invariant linter (fast, dependency-free; runs in CI before the
-compilers do). Three checks, each guarding a discipline the toolchain
+compilers do). Four checks, each guarding a discipline the toolchain
 alone cannot enforce everywhere:
 
 1. no-raw-mutex: raw std::mutex / std::lock_guard / std::unique_lock /
@@ -22,7 +22,21 @@ alone cannot enforce everywhere:
    with path-relative escapes ("../", "src/...") that bypass the
    include layout the library exports.
 
+4. decoder-coverage: every untrusted-input entry point declared in a
+   src/ header — any function named Decode<X>/Deserialize*/Replay* —
+   must be mapped to a registered fuzz target in fuzz/targets.manifest,
+   and every manifest line must name a target whose
+   fuzz/targets/<target>_fuzz.cc exists. A decoder that genuinely
+   cannot see attacker bytes (e.g. input already integrity-checked
+   upstream) must say why with a `lint:allow-unfuzzed <reason>` comment
+   on or immediately above its declaration. This is what keeps the
+   fuzz/ subsystem complete as new wire messages and on-disk formats
+   are added (DESIGN.md §15).
+
 Exit status 0 = clean, 1 = violations (one line each on stdout).
+--self-test seeds synthetic violations of every check against an
+in-memory file set and verifies each one is caught (CI runs it so a
+regex regression cannot silently disable a check).
 """
 
 from __future__ import annotations
@@ -52,6 +66,15 @@ MUTEX_MEMBER_RE = re.compile(
 ALLOW_UNGUARDED_RE = re.compile(r"lint:allow-unguarded-mutex\s*\S")
 
 TEST_INCLUDE_RE = re.compile(r'#\s*include\s*"((?:\.\./|src/)[^"]*)"')
+
+# Untrusted-byte entry points: free functions or methods whose name
+# marks them as parsing serialized input. Requires a following '(' so
+# mentions in prose or string literals do not count.
+DECODER_DECL_RE = re.compile(
+    r"\b(Decode[A-Z]\w*|Deserialize\w*|Replay\w*)\s*\(")
+ALLOW_UNFUZZED_RE = re.compile(r"lint:allow-unfuzzed\s*\S")
+MANIFEST_PATH = "fuzz/targets.manifest"
+FUZZ_TARGET_DIR = "fuzz/targets"
 
 COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
 
@@ -126,8 +149,144 @@ def check_test_includes(rel: str, text: str, errors: list[str]) -> None:
                 f"the exported include layout")
 
 
-def main() -> int:
+def parse_manifest(manifest_text: str, target_files: set[str],
+                   errors: list[str]) -> set[tuple[str, str]]:
+    """Returns the set of (header, function) pairs the manifest covers,
+    reporting malformed lines and targets without a _fuzz.cc source."""
+    covered: set[tuple[str, str]] = set()
+    for lineno, raw in enumerate(manifest_text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2 or ":" not in parts[0]:
+            errors.append(
+                f"{MANIFEST_PATH}:{lineno}: malformed line "
+                f"(want '<header>:<Function> <target>'): {raw.strip()}")
+            continue
+        header, function = parts[0].rsplit(":", 1)
+        target = parts[1]
+        source = f"{FUZZ_TARGET_DIR}/{target}_fuzz.cc"
+        if source not in target_files:
+            errors.append(
+                f"{MANIFEST_PATH}:{lineno}: target '{target}' has no "
+                f"{source} (renamed target without updating the manifest?)")
+        covered.add((header, function))
+    return covered
+
+
+def check_decoder_coverage(rel: str, text: str,
+                           covered: set[tuple[str, str]],
+                           errors: list[str]) -> None:
+    """Every Decode*/Deserialize*/Replay* declared in a src/ header must
+    be fuzzed (manifest entry) or carry a lint:allow-unfuzzed waiver."""
+    if not rel.startswith("src/") or not rel.endswith(".h"):
+        return
+    lines = text.splitlines()
+    code = strip_comments(text)
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        for match in DECODER_DECL_RE.finditer(line):
+            name = match.group(1)
+            if (rel, name) in covered:
+                continue
+            # Waiver comments live on the declaration line or in the
+            # contiguous //-block above it; search unstripped source.
+            first = lineno - 1
+            while first > 0 and lines[first - 1].lstrip().startswith("//"):
+                first -= 1
+            context = "\n".join(lines[first:lineno])
+            if ALLOW_UNFUZZED_RE.search(context):
+                continue
+            errors.append(
+                f"{rel}:{lineno}: untrusted-input entry point '{name}' has "
+                f"no fuzz target in {MANIFEST_PATH}; add a fuzz/targets/ "
+                f"target and a manifest line '{rel}:{name} <target>', or — "
+                f"only if attacker bytes provably cannot reach it — mark "
+                f"the declaration '// lint:allow-unfuzzed <reason>'")
+
+
+def run_checks(files: dict[str, str], manifest_text: str | None,
+               target_files: set[str]) -> list[str]:
+    """Runs every check over an in-memory file set (rel path -> text)."""
     errors: list[str] = []
+    if manifest_text is None:
+        errors.append(f"{MANIFEST_PATH}: missing (decoder-coverage check "
+                      f"has nothing to verify against)")
+        covered: set[tuple[str, str]] = set()
+    else:
+        covered = parse_manifest(manifest_text, target_files, errors)
+    for rel in sorted(files):
+        text = files[rel]
+        check_no_raw_mutex(rel, text, errors)
+        check_guarded_by(rel, text, errors)
+        check_test_includes(rel, text, errors)
+        check_decoder_coverage(rel, text, covered, errors)
+    return errors
+
+
+def self_test() -> int:
+    """Seeds one synthetic violation per check and verifies each is
+    caught, plus a waiver/clean case per check that must NOT fire."""
+    target_files = {"fuzz/targets/wire_thing_fuzz.cc"}
+    manifest = (
+        "# comment\n"
+        "src/net/thing.h:DecodeThing wire_thing\n"
+        "src/net/thing.h:DecodeGone wire_gone\n"  # missing _fuzz.cc
+        "malformed-no-colon\n")
+    files = {
+        # Violations: raw mutex, raw include, unguarded mutex, escape
+        # include, unfuzzed decoder.
+        "src/bad/raw_mutex.cc": "std::mutex m;\n#include <mutex>\n",
+        "src/bad/unguarded.h": "class A { util::Mutex mu_; };\n",
+        "tests/bad/escape_test.cc": '#include "../src/net/thing.h"\n',
+        "src/net/thing.h": (
+            "util::Status DecodeThing(std::string_view p);\n"
+            "util::Status DecodeNaked(std::string_view p);\n"
+            "// lint:allow-unfuzzed input is CRC-checked upstream\n"
+            "util::Status DecodeWaived(std::string_view p);\n"
+            "// in a comment: DecodeCommented( does not count\n"),
+        # Clean: guarded mutex and manifest-covered decoder.
+        "src/good/guarded.h": (
+            "class B { util::Mutex mu_; int x GUARDED_BY(mu_); };\n"),
+    }
+    errors = run_checks(files, manifest, target_files)
+    expected = [
+        ("raw std::mutex", "src/bad/raw_mutex.cc:1"),
+        ("std locking header", "src/bad/raw_mutex.cc:2"),
+        ("no GUARDED_BY", "src/bad/unguarded.h:1"),
+        ("bypassing", "tests/bad/escape_test.cc:1"),
+        ("'DecodeNaked' has no fuzz target", "src/net/thing.h:2"),
+        ("no fuzz/targets/wire_gone_fuzz.cc", "fuzz/targets.manifest:3"),
+        ("malformed line", "fuzz/targets.manifest:4"),
+    ]
+    failures = 0
+    for needle, location in expected:
+        if not any(needle in e and location in e for e in errors):
+            print(f"self-test: MISSED expected violation {location} "
+                  f"({needle!r})")
+            failures += 1
+    unexpected = [e for e in errors
+                  if "DecodeWaived" in e or "DecodeThing'" in e
+                  or "DecodeCommented" in e or "src/good/" in e]
+    for e in unexpected:
+        print(f"self-test: FALSE POSITIVE: {e}")
+        failures += 1
+    # A missing manifest must itself be a violation.
+    if not any("missing" in e for e in run_checks({}, None, set())):
+        print("self-test: MISSED missing-manifest violation")
+        failures += 1
+    if failures:
+        print(f"lint.py --self-test: {failures} failure(s)")
+        return 1
+    print(f"lint.py --self-test: all checks fire "
+          f"({len(expected)} seeded violations caught, waivers honored)")
+    return 0
+
+
+def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    files: dict[str, str] = {}
     for top in SCAN_DIRS:
         root = REPO_ROOT / top
         if not root.is_dir():
@@ -136,10 +295,15 @@ def main() -> int:
             if path.suffix not in CXX_SUFFIXES or not path.is_file():
                 continue
             rel = path.relative_to(REPO_ROOT).as_posix()
-            text = path.read_text(encoding="utf-8", errors="replace")
-            check_no_raw_mutex(rel, text, errors)
-            check_guarded_by(rel, text, errors)
-            check_test_includes(rel, text, errors)
+            files[rel] = path.read_text(encoding="utf-8", errors="replace")
+    manifest_path = REPO_ROOT / MANIFEST_PATH
+    manifest_text = (manifest_path.read_text(encoding="utf-8")
+                     if manifest_path.is_file() else None)
+    target_files = {
+        p.relative_to(REPO_ROOT).as_posix()
+        for p in (REPO_ROOT / FUZZ_TARGET_DIR).glob("*_fuzz.cc")
+    } if (REPO_ROOT / FUZZ_TARGET_DIR).is_dir() else set()
+    errors = run_checks(files, manifest_text, target_files)
     if errors:
         print(f"lint.py: {len(errors)} violation(s)")
         for error in errors:
